@@ -1,0 +1,36 @@
+//! Benchmarks one full GA fitness evaluation — the paper's unit of
+//! off-line tuning work (20 individuals × 500 generations of these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itbench::default_params;
+use jit::{AdaptConfig, ArchModel, Scenario};
+use tuner::{Goal, Tuner, TuningTask};
+use workloads::specjvm98;
+
+fn bench_fitness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_eval");
+    group.sample_size(10);
+    let training = specjvm98();
+    for (name, scenario, goal) in [
+        ("opt_total", Scenario::Opt, Goal::Total),
+        ("adapt_balance", Scenario::Adapt, Goal::Balance),
+    ] {
+        let tuner = Tuner::new(
+            TuningTask {
+                name: name.into(),
+                scenario,
+                goal,
+                arch: ArchModel::pentium4(),
+            },
+            training.clone(),
+            AdaptConfig::default(),
+        );
+        group.bench_function(format!("specjvm98_fitness/{name}"), |b| {
+            b.iter(|| tuner.fitness(&default_params()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitness);
+criterion_main!(benches);

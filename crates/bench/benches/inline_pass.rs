@@ -1,0 +1,68 @@
+//! Benchmarks the inlining transformation itself: per-method and
+//! whole-program passes, default vs maximally aggressive parameters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use inliner::{inline_method, inline_program, HotSites};
+use itbench::{
+    aggressive_params, default_params, large_benchmark, medium_benchmark, small_benchmark,
+};
+
+fn bench_inline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inline_pass");
+    group.sample_size(10);
+    for (label, bench) in [
+        ("db", small_benchmark()),
+        ("jess", medium_benchmark()),
+        ("antlr", large_benchmark()),
+    ] {
+        let program = bench.program;
+        let ids: Vec<_> = program.methods.iter().map(|m| m.id).collect();
+        let hot = HotSites::new();
+        group.bench_function(format!("program_default/{label}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| inline_program(&program, &default_params(), &hot, &ids),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("program_aggressive/{label}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| inline_program(&program, &aggressive_params(), &hot, &ids),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("single_method_entry/{label}"), |b| {
+            b.iter(|| inline_method(&program, program.entry, &default_params(), &hot));
+        });
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_passes");
+    group.sample_size(10);
+    for (label, bench) in [("db", small_benchmark()), ("jess", medium_benchmark())] {
+        let program = bench.program;
+        let ids: Vec<_> = program.methods.iter().map(|m| m.id).collect();
+        let hot = HotSites::new();
+        let (inlined, _) = inline_program(&program, &default_params(), &hot, &ids);
+        group.bench_function(format!("optimize_program/{label}"), |b| {
+            b.iter_batched(
+                || inlined.clone(),
+                |mut p| {
+                    let ids: Vec<_> = p.methods.iter().map(|m| m.id).collect();
+                    for id in ids {
+                        jit::passes::optimize_method(p.method_mut(id));
+                    }
+                    p
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inline, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Benchmarks the reference interpreter (used by the correctness tests,
+//! not the cost model — but its speed bounds property-test throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir::builder::demo_program;
+use ir::interp::{run, InterpLimits};
+use ir::testgen::{random_program, GenConfig};
+use simrng::Rng;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    let demo = demo_program();
+    let limits = InterpLimits::default();
+    group.bench_function("demo_program", |b| {
+        b.iter(|| run(&demo, &[], &limits).unwrap());
+    });
+    let mut rng = Rng::seed_from_u64(3);
+    let random = random_program(&mut rng, &GenConfig::default());
+    group.bench_function("random_program", |b| {
+        b.iter(|| run(&random, &[], &limits));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks one full §5 measurement (compile + cost model), the unit
+//! the GA pays per benchmark per genome.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itbench::{default_params, large_benchmark, medium_benchmark, small_benchmark};
+use jit::{measure, AdaptConfig, ArchModel, Scenario};
+
+fn bench_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    let arch = ArchModel::pentium4();
+    let cfg = AdaptConfig::default();
+    for (label, bench) in [
+        ("db", small_benchmark()),
+        ("jess", medium_benchmark()),
+        ("antlr", large_benchmark()),
+    ] {
+        let p = bench.program;
+        group.bench_function(format!("opt/{label}"), |b| {
+            b.iter(|| measure(&p, Scenario::Opt, &arch, &default_params(), &cfg));
+        });
+        group.bench_function(format!("adapt/{label}"), |b| {
+            b.iter(|| measure(&p, Scenario::Adapt, &arch, &default_params(), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks synthetic benchmark generation and the analytic frequency
+//! analysis that every cost evaluation runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itbench::{large_benchmark, medium_benchmark};
+use workloads::{benchmark_by_name, generate};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    let jess_spec = benchmark_by_name("jess").unwrap().spec;
+    group.bench_function("generate/jess", |b| {
+        b.iter(|| generate(&jess_spec, 42));
+    });
+    let antlr_spec = benchmark_by_name("antlr").unwrap().spec;
+    group.bench_function("generate/antlr", |b| {
+        b.iter(|| generate(&antlr_spec, 42));
+    });
+    let jess = medium_benchmark().program;
+    let antlr = large_benchmark().program;
+    group.bench_function("freq_analysis/jess", |b| {
+        b.iter(|| ir::freq::analyze(&jess, 1.0));
+    });
+    group.bench_function("freq_analysis/antlr", |b| {
+        b.iter(|| ir::freq::analyze(&antlr, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

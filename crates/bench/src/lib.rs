@@ -1,0 +1,63 @@
+//! Shared fixtures for the `inlinetune` Criterion benchmarks.
+//!
+//! The benches measure the *reproduction system itself* (how fast is an
+//! inlining pass, a cost-model evaluation, a GA generation), because the
+//! wall-clock of one fitness evaluation × 20 individuals × hundreds of
+//! generations is what determines whether the paper's off-line tuning
+//! loop is practical.
+
+use inliner::InlineParams;
+use workloads::{benchmark_by_name, Benchmark};
+
+/// A small training benchmark (84 methods).
+#[must_use]
+pub fn small_benchmark() -> Benchmark {
+    benchmark_by_name("db").expect("db exists")
+}
+
+/// A mid-size training benchmark (≈350 methods).
+#[must_use]
+pub fn medium_benchmark() -> Benchmark {
+    benchmark_by_name("jess").expect("jess exists")
+}
+
+/// A large test benchmark (≈1500 methods).
+#[must_use]
+pub fn large_benchmark() -> Benchmark {
+    benchmark_by_name("antlr").expect("antlr exists")
+}
+
+/// The Jikes default parameter vector.
+#[must_use]
+pub fn default_params() -> InlineParams {
+    InlineParams::jikes_default()
+}
+
+/// An aggressive vector (maximum growth) — the worst case for the
+/// inliner's and the cost model's wall-clock.
+#[must_use]
+pub fn aggressive_params() -> InlineParams {
+    InlineParams {
+        callee_max_size: 50,
+        always_inline_size: 30,
+        max_inline_depth: 15,
+        caller_max_size: 4000,
+        hot_callee_max_size: 400,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_resolve() {
+        assert!(
+            small_benchmark().program.method_count() < medium_benchmark().program.method_count()
+        );
+        assert!(
+            medium_benchmark().program.method_count() < large_benchmark().program.method_count()
+        );
+        assert_eq!(default_params().callee_max_size, 23);
+    }
+}

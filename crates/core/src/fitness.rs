@@ -1,0 +1,81 @@
+//! The fitness function of §3.1: the geometric mean of a performance
+//! metric over the training suite.
+
+/// Geometric mean of strictly positive values:
+/// `Perf(S) = (∏ Perf(s))^(1/|S|)`.
+///
+/// Computed in log space for numerical robustness. Returns `+inf` if the
+/// slice is empty or any value is non-positive/non-finite (a degenerate
+/// simulation outcome must rank worst, never best).
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 || v.is_nan() || !v.is_finite() {
+            return f64::INFINITY;
+        }
+        log_sum += v.ln();
+    }
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        let g3 = geometric_mean(&[2.0, 4.0, 8.0]);
+        assert!((g3 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_under_permutation() {
+        let a = geometric_mean(&[3.0, 7.0, 11.0]);
+        let b = geometric_mean(&[11.0, 3.0, 7.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_arithmetic_mean() {
+        let vals = [1.0, 2.0, 3.0, 10.0];
+        let am: f64 = vals.iter().sum::<f64>() / 4.0;
+        assert!(geometric_mean(&vals) < am);
+    }
+
+    #[test]
+    fn degenerate_inputs_rank_worst() {
+        assert_eq!(geometric_mean(&[]), f64::INFINITY);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), f64::INFINITY);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), f64::INFINITY);
+        assert_eq!(geometric_mean(&[1.0, f64::NAN]), f64::INFINITY);
+        assert_eq!(geometric_mean(&[1.0, f64::INFINITY]), f64::INFINITY);
+    }
+
+    #[test]
+    fn scale_free_normalization_preserves_order() {
+        // Dividing each component by a per-benchmark constant rescales the
+        // geomean by a constant, so rankings are unchanged — the property
+        // that lets the tuner normalize to the default heuristic.
+        let raw_a = [100.0, 4.0];
+        let raw_b = [120.0, 3.5];
+        let norms = [50.0, 2.0];
+        let n_a: Vec<f64> = raw_a.iter().zip(&norms).map(|(v, n)| v / n).collect();
+        let n_b: Vec<f64> = raw_b.iter().zip(&norms).map(|(v, n)| v / n).collect();
+        assert_eq!(
+            geometric_mean(&raw_a) < geometric_mean(&raw_b),
+            geometric_mean(&n_a) < geometric_mean(&n_b)
+        );
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let g = geometric_mean(&[1e300, 1e300, 1e300]);
+        assert!((g / 1e300 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Optimization goals (§3.3 of the paper).
+
+use jit::Measurement;
+
+/// What the tuner minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Goal {
+    /// Steady-state running time (no compilation) — §6.5's per-program
+    /// goal for long-running codes.
+    Running,
+    /// Total execution time: first iteration including all dynamic
+    /// compilation.
+    Total,
+    /// `factor × Running(s) + Total(s)` with
+    /// `factor = Total(s_def) / Running(s_def)`: reduces total time without
+    /// letting running time blow up (the paper calls this "probably the
+    /// most useful case").
+    Balance,
+}
+
+impl Goal {
+    /// Short label matching the paper's column naming (`Bal`, `Tot`,
+    /// `Run`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Goal::Running => "Run",
+            Goal::Total => "Tot",
+            Goal::Balance => "Bal",
+        }
+    }
+
+    /// The goal metric in cycles, given this benchmark's *default-params*
+    /// measurement (needed for the balance factor).
+    #[must_use]
+    pub fn metric(self, m: &Measurement, default: &Measurement) -> f64 {
+        match self {
+            Goal::Running => m.running_cycles,
+            Goal::Total => m.total_cycles,
+            Goal::Balance => {
+                let factor = if default.running_cycles > 0.0 {
+                    default.total_cycles / default.running_cycles
+                } else {
+                    1.0
+                };
+                factor * m.running_cycles + m.total_cycles
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Goal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jit::ExecBreakdown;
+
+    fn meas(running: f64, total: f64) -> Measurement {
+        Measurement {
+            total_cycles: total,
+            running_cycles: running,
+            compile_cycles: total - running,
+            baseline_compile_cycles: 0.0,
+            opt_compile_cycles: total - running,
+            first_iter_exec_cycles: running,
+            steady: ExecBreakdown {
+                total_cycles: running,
+                op_cycles: running,
+                call_cycles: 0.0,
+                icache_factor: 1.0,
+                hot_footprint: 0.0,
+                dynamic_calls: 0.0,
+            },
+            code_size: 0,
+            inline_stats: inliner::InlineStats::default(),
+            n_opt_methods: 0,
+            n_baseline_methods: 0,
+        }
+    }
+
+    #[test]
+    fn running_and_total_pick_their_fields() {
+        let d = meas(100.0, 150.0);
+        let m = meas(80.0, 160.0);
+        assert_eq!(Goal::Running.metric(&m, &d), 80.0);
+        assert_eq!(Goal::Total.metric(&m, &d), 160.0);
+    }
+
+    #[test]
+    fn balance_weights_by_default_ratio() {
+        let d = meas(100.0, 150.0); // factor = 1.5
+        let m = meas(80.0, 160.0);
+        assert!((Goal::Balance.metric(&m, &d) - (1.5 * 80.0 + 160.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_on_default_is_twice_total() {
+        // Perf(s_def) = factor*R_def + T_def = T_def + T_def = 2 T_def.
+        let d = meas(100.0, 150.0);
+        assert!((Goal::Balance.metric(&d, &d) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Goal::Balance.to_string(), "Bal");
+        assert_eq!(Goal::Total.to_string(), "Tot");
+        assert_eq!(Goal::Running.to_string(), "Run");
+    }
+}

@@ -1,0 +1,253 @@
+//! The off-line tuning driver.
+//!
+//! A [`TuningTask`] names a (scenario, goal, architecture) cell of the
+//! paper's Table 4; a [`Tuner`] binds it to a training suite and exposes
+//! the GA fitness function; [`Tuner::tune`] runs the genetic algorithm and
+//! returns the tuned [`InlineParams`].
+
+use ga::{GaConfig, GaResult, GeneticAlgorithm, Ranges};
+use inliner::{InlineParams, ParamRanges};
+use jit::{measure, AdaptConfig, ArchModel, Measurement, Scenario};
+use workloads::Benchmark;
+
+use crate::fitness::geometric_mean;
+use crate::goal::Goal;
+
+/// One tuning configuration — a column of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningTask {
+    /// Display name, e.g. `"Opt:Bal"` or `"Adapt (PPC)"`.
+    pub name: String,
+    /// Compilation scenario.
+    pub scenario: Scenario,
+    /// Optimization goal.
+    pub goal: Goal,
+    /// Target machine.
+    pub arch: ArchModel,
+}
+
+impl TuningTask {
+    /// Genome ranges for this task: the full Table 1 ranges under `Adapt`;
+    /// under `Opt` the `HOT_CALLEE_MAX_SIZE` gene is pinned (the paper
+    /// reports "NA" for it — no profile exists, so the gene is inert).
+    #[must_use]
+    pub fn ranges(&self) -> Ranges {
+        let pr = match self.scenario {
+            Scenario::Adapt => ParamRanges::paper(),
+            Scenario::Opt => ParamRanges::paper_opt_only(),
+        };
+        Ranges::new(pr.bounds.to_vec())
+    }
+}
+
+/// The five tuning tasks of the paper's Table 4 (excluding the Default
+/// column).
+#[must_use]
+pub fn paper_tasks() -> Vec<TuningTask> {
+    vec![
+        TuningTask {
+            name: "Adapt".into(),
+            scenario: Scenario::Adapt,
+            goal: Goal::Balance,
+            arch: ArchModel::pentium4(),
+        },
+        TuningTask {
+            name: "Opt:Bal".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Balance,
+            arch: ArchModel::pentium4(),
+        },
+        TuningTask {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: ArchModel::pentium4(),
+        },
+        TuningTask {
+            name: "Adapt (PPC)".into(),
+            scenario: Scenario::Adapt,
+            goal: Goal::Balance,
+            arch: ArchModel::powerpc_g4(),
+        },
+        TuningTask {
+            name: "Opt:Bal (PPC)".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Balance,
+            arch: ArchModel::powerpc_g4(),
+        },
+    ]
+}
+
+/// The tuning result: the parameters plus the GA's search record.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The task that was tuned.
+    pub task: TuningTask,
+    /// The tuned parameter vector (the deliverable baked into the
+    /// "shipped" compiler).
+    pub params: InlineParams,
+    /// Fitness of the tuned parameters (relative cost vs. the default
+    /// heuristic; < 1 means the GA beat the default on the training
+    /// suite).
+    pub fitness: f64,
+    /// The GA's full result (history, evaluation counts).
+    pub ga: GaResult,
+}
+
+/// Binds a task to a training suite and evaluates/tunes parameter
+/// vectors.
+pub struct Tuner {
+    task: TuningTask,
+    adapt_cfg: AdaptConfig,
+    training: Vec<Benchmark>,
+    /// Per-benchmark measurement under the Jikes default heuristic — the
+    /// normalization constants of the fitness function and the balance
+    /// factors.
+    defaults: Vec<Measurement>,
+}
+
+impl Tuner {
+    /// Creates a tuner over a training suite (the paper trains on
+    /// SPECjvm98: pass [`workloads::specjvm98()`]).
+    ///
+    /// # Panics
+    /// Panics if the suite is empty.
+    #[must_use]
+    pub fn new(task: TuningTask, training: Vec<Benchmark>, adapt_cfg: AdaptConfig) -> Self {
+        assert!(!training.is_empty(), "training suite must not be empty");
+        let defaults = training
+            .iter()
+            .map(|b| {
+                measure(
+                    &b.program,
+                    task.scenario,
+                    &task.arch,
+                    &InlineParams::jikes_default(),
+                    &adapt_cfg,
+                )
+            })
+            .collect();
+        Self {
+            task,
+            adapt_cfg,
+            training,
+            defaults,
+        }
+    }
+
+    /// The task being tuned.
+    #[must_use]
+    pub fn task(&self) -> &TuningTask {
+        &self.task
+    }
+
+    /// Fitness of a parameter vector: geometric mean over the training
+    /// suite of `goal_metric(params) / goal_metric(default)` (§3.1,
+    /// normalized). Lower is better; the default heuristic scores exactly
+    /// 1.
+    #[must_use]
+    pub fn fitness(&self, params: &InlineParams) -> f64 {
+        let mut ratios = Vec::with_capacity(self.training.len());
+        for (b, default) in self.training.iter().zip(&self.defaults) {
+            let m = measure(
+                &b.program,
+                self.task.scenario,
+                &self.task.arch,
+                params,
+                &self.adapt_cfg,
+            );
+            let num = self.task.goal.metric(&m, default);
+            let den = self.task.goal.metric(default, default);
+            if den <= 0.0 {
+                return f64::INFINITY;
+            }
+            ratios.push(num / den);
+        }
+        geometric_mean(&ratios)
+    }
+
+    /// Runs the genetic algorithm (§3.1) and returns the tuned heuristic.
+    #[must_use]
+    pub fn tune(&self, ga_config: GaConfig) -> TuneOutcome {
+        let ranges = self.task.ranges();
+        let engine = GeneticAlgorithm::new(ranges, ga_config);
+        let ga = engine.run(|genes| self.fitness(&InlineParams::from_genes(genes)));
+        let params = InlineParams::from_genes(&ga.best_genome);
+        TuneOutcome {
+            task: self.task.clone(),
+            params,
+            fitness: ga.best_fitness,
+            ga,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::benchmark_by_name;
+
+    fn small_training() -> Vec<Benchmark> {
+        vec![
+            benchmark_by_name("db").unwrap(),
+            benchmark_by_name("jess").unwrap(),
+        ]
+    }
+
+    fn task() -> TuningTask {
+        TuningTask {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: ArchModel::pentium4(),
+        }
+    }
+
+    #[test]
+    fn default_params_score_one() {
+        let t = Tuner::new(task(), small_training(), AdaptConfig::default());
+        let f = t.fitness(&InlineParams::jikes_default());
+        assert!((f - 1.0).abs() < 1e-9, "fitness {f}");
+    }
+
+    #[test]
+    fn paper_tasks_cover_table4() {
+        let tasks = paper_tasks();
+        assert_eq!(tasks.len(), 5);
+        assert_eq!(tasks[0].name, "Adapt");
+        assert_eq!(tasks[2].goal, Goal::Total);
+        assert_eq!(tasks[3].arch.name, "ppc-g4");
+    }
+
+    #[test]
+    fn opt_tasks_pin_hot_gene() {
+        let t = task();
+        let r = t.ranges();
+        assert_eq!(r.gene(4), (135, 135));
+    }
+
+    #[test]
+    fn short_tune_beats_or_matches_default() {
+        let t = Tuner::new(task(), small_training(), AdaptConfig::default());
+        let outcome = t.tune(GaConfig {
+            pop_size: 10,
+            generations: 8,
+            threads: 1,
+            stagnation_limit: None,
+            seed: 42,
+            ..GaConfig::default()
+        });
+        // The default genome may not be in the random population, but with
+        // 80 evaluations the GA should find something at least as good.
+        assert!(outcome.fitness <= 1.05, "fitness {}", outcome.fitness);
+        assert!(t.task().ranges().contains(&outcome.params.to_genes()));
+    }
+
+    #[test]
+    fn fitness_distinguishes_heuristics() {
+        let t = Tuner::new(task(), small_training(), AdaptConfig::default());
+        let disabled = t.fitness(&InlineParams::disabled());
+        let default = t.fitness(&InlineParams::jikes_default());
+        assert_ne!(disabled, default);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the tuning pipeline's fitness function.
+
+use proptest::prelude::*;
+
+use inliner::InlineParams;
+use jit::{AdaptConfig, ArchModel, Scenario};
+use tuner::{Goal, Tuner, TuningTask};
+use workloads::benchmark_by_name;
+
+fn tuner_for(scenario: Scenario, goal: Goal, ppc: bool) -> Tuner {
+    let arch = if ppc {
+        ArchModel::powerpc_g4()
+    } else {
+        ArchModel::pentium4()
+    };
+    Tuner::new(
+        TuningTask {
+            name: format!("{scenario}:{goal}"),
+            scenario,
+            goal,
+            arch,
+        },
+        vec![
+            benchmark_by_name("db").unwrap(),
+            benchmark_by_name("compress").unwrap(),
+        ],
+        AdaptConfig::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The default heuristic scores exactly 1 under every scenario, goal
+    /// and architecture (the fitness is normalized to it).
+    #[test]
+    fn default_params_score_exactly_one(scen in 0usize..2, goal in 0usize..3, ppc in any::<bool>()) {
+        let scenario = [Scenario::Opt, Scenario::Adapt][scen];
+        let goal = [Goal::Running, Goal::Total, Goal::Balance][goal];
+        let t = tuner_for(scenario, goal, ppc);
+        let f = t.fitness(&InlineParams::jikes_default());
+        prop_assert!((f - 1.0).abs() < 1e-12, "fitness {f}");
+    }
+
+    /// Fitness is finite and positive for arbitrary in-domain genomes —
+    /// the GA never sees NaN/∞ from a legitimate vector.
+    #[test]
+    fn fitness_is_finite_positive_across_the_search_space(
+        callee in 0i64..=60,
+        always in 0i64..=35,
+        depth in 0i64..=16,
+        caller in 0i64..=4200,
+        hot in 0i64..=420,
+        scen in 0usize..2,
+        goal in 0usize..3,
+    ) {
+        let scenario = [Scenario::Opt, Scenario::Adapt][scen];
+        let goal = [Goal::Running, Goal::Total, Goal::Balance][goal];
+        let t = tuner_for(scenario, goal, false);
+        let f = t.fitness(&InlineParams::from_genes(&[callee, always, depth, caller, hot]));
+        prop_assert!(f.is_finite() && f > 0.0, "fitness {f}");
+        // No legitimate heuristic should be catastrophically far from the
+        // default in this simulator (sanity bound, not a theorem).
+        prop_assert!(f < 10.0, "fitness {f} suspiciously bad");
+    }
+
+    /// Fitness is a pure function of the genome.
+    #[test]
+    fn fitness_is_pure(callee in 1i64..=50, caller in 1i64..=4000) {
+        let t = tuner_for(Scenario::Opt, Goal::Total, false);
+        let p = InlineParams::from_genes(&[callee, 11, 5, caller, 135]);
+        prop_assert_eq!(t.fitness(&p).to_bits(), t.fitness(&p).to_bits());
+    }
+}

@@ -1,0 +1,374 @@
+//! `experiments` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <command> [options]
+//!
+//! Commands:
+//!   table1            Table 1: parameters and search ranges
+//!   fig1              Fig. 1: inlining on/off, Opt & Adapt, SPECjvm98
+//!   fig2              Fig. 2: time vs inline depth (compress, jess)
+//!   table4            Table 4: GA-tuned parameters (runs all 5 tunings)
+//!   fig5..fig9        Figs. 5-9: tuned vs default per benchmark
+//!   fig10             Fig. 10: per-program tuning for running time
+//!   table5            Table 5: summary of average reductions
+//!   all               Everything above, in dependency order
+//!   ablation          extension: cost-model mechanism knock-outs
+//!   sweep             extension: per-parameter sensitivity (all 5 knobs)
+//!   inspect           extension: benchmark-suite calibration statistics
+//!   dump NAME         extension: serialize a benchmark's IR to results/ir/
+//!   budget            extension: GA search-budget / operator study
+//!
+//! Options:
+//!   --out DIR         results directory              (default: results)
+//!   --gens N          GA generations                 (default: 80)
+//!   --pop N           GA population size             (default: 20)
+//!   --seed N          GA seed                        (default: 2005)
+//!   --full            paper budget: 20 x 500, no early stop
+//! ```
+//!
+//! Every command prints its table(s) and writes a CSV under `--out`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::table::Table;
+use experiments::{
+    ablation, budget, fig1, fig10, fig2, figs, inspect, sweep, table1, table4, table5, Context,
+};
+
+struct Args {
+    command: String,
+    operand: Option<String>,
+    out: PathBuf,
+    gens: Option<usize>,
+    pop: Option<usize>,
+    seed: Option<u64>,
+    full: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut out = PathBuf::from("results");
+    let (mut operand, mut gens, mut pop, mut seed, mut full) = (None, None, None, None, false);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--gens" => {
+                gens = Some(
+                    args.next()
+                        .ok_or("--gens needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--gens: {e}"))?,
+                );
+            }
+            "--pop" => {
+                pop = Some(
+                    args.next()
+                        .ok_or("--pop needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--pop: {e}"))?,
+                );
+            }
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--full" => full = true,
+            other if !other.starts_with('-') && operand.is_none() => {
+                operand = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        command,
+        operand,
+        out,
+        gens,
+        pop,
+        seed,
+        full,
+    })
+}
+
+fn context(args: &Args) -> Context {
+    let mut ga = if args.full {
+        Context::paper_ga()
+    } else {
+        Context::default_ga()
+    };
+    if let Some(g) = args.gens {
+        ga.generations = g;
+    }
+    if let Some(p) = args.pop {
+        ga.pop_size = p;
+    }
+    if let Some(s) = args.seed {
+        ga.seed = s;
+    }
+    Context::new(args.out.clone(), ga)
+}
+
+fn emit(ctx: &Context, title: &str, csv_name: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{}", table.render());
+    if let Err(e) = table.write_csv(&ctx.out_dir, csv_name) {
+        eprintln!("warning: could not write {csv_name}: {e}");
+    }
+}
+
+fn run_table1(ctx: &Context) {
+    emit(
+        ctx,
+        "Table 1: tuned parameters and ranges",
+        "table1.csv",
+        &table1::run(),
+    );
+}
+
+fn run_fig1(ctx: &Context) {
+    for f in fig1::run(ctx) {
+        let (title, csv) = match f.scenario {
+            jit::Scenario::Opt => ("Figure 1(a): inlining vs none, Opt, SPECjvm98", "fig1a.csv"),
+            jit::Scenario::Adapt => (
+                "Figure 1(b): inlining vs none, Adapt, SPECjvm98",
+                "fig1b.csv",
+            ),
+        };
+        emit(ctx, title, csv, &f.to_table());
+    }
+}
+
+fn run_fig2(ctx: &Context) {
+    for (f, csv) in fig2::run(ctx).iter().zip(["fig2a.csv", "fig2b.csv"]) {
+        emit(
+            ctx,
+            &format!(
+                "Figure 2: total seconds vs MAX_INLINE_DEPTH, {}",
+                f.benchmark
+            ),
+            csv,
+            &f.to_table(),
+        );
+        for (scenario, _) in &f.series {
+            if let Some(d) = f.best_depth(*scenario) {
+                println!("  best depth for {} under {scenario}: {d}", f.benchmark);
+            }
+        }
+        println!();
+    }
+}
+
+fn run_table4(ctx: &Context) {
+    let t4 = table4::run(ctx);
+    emit(
+        ctx,
+        "Table 4: GA-tuned inlining parameter values",
+        "table4.csv",
+        &t4.to_table(),
+    );
+    emit(
+        ctx,
+        "Table 4 (search summary)",
+        "table4_search.csv",
+        &t4.search_table(),
+    );
+    if let Err(e) = t4
+        .convergence_table()
+        .write_csv(&ctx.out_dir, "table4_convergence.csv")
+    {
+        eprintln!("warning: could not write convergence: {e}");
+    }
+}
+
+fn run_scenario_fig(ctx: &Context, number: u32) {
+    let Some(f) = figs::run(ctx, number) else {
+        eprintln!("unknown figure {number}");
+        return;
+    };
+    println!("(task {} tuned params: {})", f.task.name, f.params);
+    emit(
+        ctx,
+        &format!("Figure {number}(a): {} — SPECjvm98 (training)", f.task.name),
+        &format!("fig{number}a.csv"),
+        &f.to_table(&f.train),
+    );
+    emit(
+        ctx,
+        &format!("Figure {number}(b): {} — DaCapo+JBB (test)", f.task.name),
+        &format!("fig{number}b.csv"),
+        &f.to_table(&f.test),
+    );
+}
+
+fn run_fig10(ctx: &Context) {
+    let f = fig10::run(ctx);
+    emit(
+        ctx,
+        "Figure 10(a): per-program tuning for running time — SPECjvm98",
+        "fig10a.csv",
+        &fig10::Fig10::to_table(&f.train),
+    );
+    emit(
+        ctx,
+        "Figure 10(b): per-program tuning for running time — DaCapo+JBB",
+        "fig10b.csv",
+        &fig10::Fig10::to_table(&f.test),
+    );
+    println!(
+        "average running-time ratio across all programs: {:.3} ({:.0}% reduction)",
+        f.mean_running_ratio(),
+        100.0 * (1.0 - f.mean_running_ratio())
+    );
+}
+
+fn run_ablation(ctx: &Context) {
+    let rows = ablation::run(ctx);
+    emit(
+        ctx,
+        "Ablation: cost-model mechanisms vs paper shapes (Opt, x86; inlining on/off ratios)",
+        "ablation.csv",
+        &ablation::to_table(&rows),
+    );
+}
+
+fn run_sweep(ctx: &Context) {
+    for param in 0..5 {
+        let sweeps: Vec<_> = ["compress", "jess", "antlr"]
+            .iter()
+            .filter_map(|b| sweep::sweep_param(ctx, b, param, jit::Scenario::Opt, 10))
+            .collect();
+        if sweeps.is_empty() {
+            continue;
+        }
+        emit(
+            ctx,
+            &format!(
+                "Sensitivity sweep: {} (Opt, x86, ratios vs default)",
+                inliner::PARAM_NAMES[param]
+            ),
+            &format!("sweep_{}.csv", inliner::PARAM_NAMES[param].to_lowercase()),
+            &sweep::to_table(&sweeps),
+        );
+    }
+}
+
+fn run_budget(ctx: &Context) {
+    let task = figs::task_for_figure(7).expect("Opt:Tot task exists");
+    let cells = budget::run(ctx, task);
+    emit(
+        ctx,
+        "GA budget study: fitness vs population/generations/operator (Opt:Tot, x86)",
+        "budget.csv",
+        &budget::to_table(&cells),
+    );
+}
+
+fn run_dump(ctx: &Context, name: Option<&str>) {
+    let Some(name) = name else {
+        eprintln!("usage: experiments dump <benchmark-name>");
+        return;
+    };
+    let Some(b) = workloads::benchmark_by_name(name) else {
+        eprintln!("unknown benchmark {name}");
+        return;
+    };
+    let text = ir::pretty::program_to_string(&b.program);
+    // Round-trip check before writing: the dump must reload to the exact
+    // same program.
+    let reparsed = ir::parse::parse_program(&text).expect("printer output parses");
+    assert_eq!(reparsed, b.program, "round-trip mismatch");
+    let dir = ctx.out_dir.join("ir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.ir"));
+    match std::fs::write(&path, &text) {
+        Ok(()) => println!(
+            "wrote {} ({} methods, {} lines, round-trip verified)",
+            path.display(),
+            b.program.method_count(),
+            text.lines().count()
+        ),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+fn run_inspect(ctx: &Context) {
+    emit(
+        ctx,
+        "Benchmark suite statistics",
+        "inspect.csv",
+        &inspect::run(ctx),
+    );
+}
+
+fn run_table5(ctx: &Context) {
+    let t5 = table5::run(ctx);
+    emit(
+        ctx,
+        "Table 5: average performance of the genetically tuned heuristic",
+        "table5.csv",
+        &t5.to_table(),
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = context(&args);
+    let started = std::time::Instant::now();
+    match args.command.as_str() {
+        "table1" => run_table1(&ctx),
+        "fig1" => run_fig1(&ctx),
+        "fig2" => run_fig2(&ctx),
+        "table4" => run_table4(&ctx),
+        "fig5" => run_scenario_fig(&ctx, 5),
+        "fig6" => run_scenario_fig(&ctx, 6),
+        "fig7" => run_scenario_fig(&ctx, 7),
+        "fig8" => run_scenario_fig(&ctx, 8),
+        "fig9" => run_scenario_fig(&ctx, 9),
+        "fig10" => run_fig10(&ctx),
+        "table5" => run_table5(&ctx),
+        "ablation" => run_ablation(&ctx),
+        "sweep" => run_sweep(&ctx),
+        "inspect" => run_inspect(&ctx),
+        "dump" => run_dump(&ctx, args.operand.as_deref()),
+        "budget" => run_budget(&ctx),
+        "all" => {
+            run_table1(&ctx);
+            run_fig1(&ctx);
+            run_fig2(&ctx);
+            run_table4(&ctx); // persists tuned params
+            for n in 5..=9 {
+                run_scenario_fig(&ctx, n); // reuses persisted params
+            }
+            run_fig10(&ctx);
+            run_table5(&ctx);
+            run_ablation(&ctx);
+            run_sweep(&ctx);
+            run_inspect(&ctx);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "done in {:.1}s; CSVs in {}",
+        started.elapsed().as_secs_f64(),
+        ctx.out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,167 @@
+//! Shared experiment context: suites, GA budget, output directory, and
+//! persistence of tuned parameters across harness invocations.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ga::GaConfig;
+use inliner::InlineParams;
+use jit::AdaptConfig;
+use workloads::{dacapo_jbb, specjvm98, Benchmark};
+
+/// Everything an experiment needs.
+pub struct Context {
+    /// The SPECjvm98 training suite.
+    pub training: Vec<Benchmark>,
+    /// The DaCapo+JBB test suite.
+    pub test: Vec<Benchmark>,
+    /// Adaptive-system configuration (fixed VM model, not tuned).
+    pub adapt_cfg: AdaptConfig,
+    /// GA budget used for tuning runs.
+    pub ga: GaConfig,
+    /// Output directory for CSV results.
+    pub out_dir: PathBuf,
+}
+
+impl Context {
+    /// Standard context: both suites generated, results into `results/`,
+    /// and a GA budget that converges in seconds per task (pass
+    /// `--full` to the binary for the paper's 20×500 configuration).
+    #[must_use]
+    pub fn new(out_dir: PathBuf, ga: GaConfig) -> Self {
+        Self {
+            training: specjvm98(),
+            test: dacapo_jbb(),
+            adapt_cfg: AdaptConfig::default(),
+            ga,
+            out_dir,
+        }
+    }
+
+    /// The default GA budget: the paper's population of 20 with early
+    /// stopping — converges in well under a minute per tuning task on one
+    /// core while exploring ~1k genomes.
+    #[must_use]
+    pub fn default_ga() -> GaConfig {
+        GaConfig {
+            pop_size: 20,
+            generations: 80,
+            stagnation_limit: Some(25),
+            seed: 2005,
+            ..GaConfig::default()
+        }
+    }
+
+    /// The paper's full §3.1 budget (population 20, 500 generations, no
+    /// early stop).
+    #[must_use]
+    pub fn paper_ga() -> GaConfig {
+        GaConfig {
+            seed: 2005,
+            ..GaConfig::paper()
+        }
+    }
+
+    /// Persists a task's tuned parameters to
+    /// `results/tuned_params.csv` (append/overwrite by task name).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_params(&self, task_name: &str, params: &InlineParams) -> std::io::Result<()> {
+        let path = self.out_dir.join("tuned_params.csv");
+        fs::create_dir_all(&self.out_dir)?;
+        let mut entries = self.load_all_params().unwrap_or_default();
+        entries.retain(|(name, _)| name != task_name);
+        entries.push((task_name.to_string(), *params));
+        let mut out =
+            String::from("task,callee_max,always_inline,max_depth,caller_max,hot_callee_max\n");
+        for (name, p) in &entries {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                name,
+                p.callee_max_size,
+                p.always_inline_size,
+                p.max_inline_depth,
+                p.caller_max_size,
+                p.hot_callee_max_size
+            ));
+        }
+        fs::write(path, out)
+    }
+
+    /// Loads a task's persisted parameters, if any.
+    #[must_use]
+    pub fn load_params(&self, task_name: &str) -> Option<InlineParams> {
+        self.load_all_params()
+            .ok()?
+            .into_iter()
+            .find(|(name, _)| name == task_name)
+            .map(|(_, p)| p)
+    }
+
+    fn load_all_params(&self) -> std::io::Result<Vec<(String, InlineParams)>> {
+        let path = self.out_dir.join("tuned_params.csv");
+        let text = fs::read_to_string(path)?;
+        let mut out = Vec::new();
+        for line in text.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != 6 {
+                continue;
+            }
+            let parse = |s: &str| s.trim().parse::<u32>().ok();
+            if let (Some(a), Some(b), Some(c), Some(d), Some(e)) = (
+                parse(cells[1]),
+                parse(cells[2]),
+                parse(cells[3]),
+                parse(cells[4]),
+                parse(cells[5]),
+            ) {
+                out.push((
+                    cells[0].to_string(),
+                    InlineParams {
+                        callee_max_size: a,
+                        always_inline_size: b,
+                        max_inline_depth: c,
+                        caller_max_size: d,
+                        hot_callee_max_size: e,
+                    },
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip_through_csv() {
+        let dir = std::env::temp_dir().join(format!("inlinetune-ctx-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ctx = Context {
+            training: Vec::new(),
+            test: Vec::new(),
+            adapt_cfg: AdaptConfig::default(),
+            ga: Context::default_ga(),
+            out_dir: dir.clone(),
+        };
+        let p1 = InlineParams::from_genes(&[49, 15, 10, 60, 138]);
+        let p2 = InlineParams::from_genes(&[10, 16, 8, 402, 135]);
+        ctx.save_params("Adapt", &p1).unwrap();
+        ctx.save_params("Opt:Bal", &p2).unwrap();
+        // Overwrite by task name.
+        ctx.save_params("Adapt", &p2).unwrap();
+        assert_eq!(ctx.load_params("Adapt"), Some(p2));
+        assert_eq!(ctx.load_params("Opt:Bal"), Some(p2));
+        assert_eq!(ctx.load_params("missing"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ga_presets_differ() {
+        assert!(Context::paper_ga().generations > Context::default_ga().generations);
+        assert_eq!(Context::paper_ga().pop_size, 20);
+    }
+}

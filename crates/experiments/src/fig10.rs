@@ -1,0 +1,86 @@
+//! Figure 10: running-time reduction when tuning the heuristic for each
+//! program in turn (§6.5), under the `Opt` scenario on x86.
+
+use jit::ArchModel;
+use tuner::{tune_per_program, PerProgramOutcome};
+
+use crate::table::{ratio, Table};
+use crate::Context;
+
+/// The per-program tuning results for both suites.
+pub struct Fig10 {
+    /// SPECjvm98 results (sub-figure a).
+    pub train: Vec<PerProgramOutcome>,
+    /// DaCapo+JBB results (sub-figure b).
+    pub test: Vec<PerProgramOutcome>,
+}
+
+impl Fig10 {
+    /// Mean running ratio over all programs (the paper quotes a 15%
+    /// average reduction).
+    #[must_use]
+    pub fn mean_running_ratio(&self) -> f64 {
+        let all: Vec<f64> = self
+            .train
+            .iter()
+            .chain(&self.test)
+            .map(|o| o.running_ratio)
+            .collect();
+        all.iter().sum::<f64>() / all.len() as f64
+    }
+
+    /// Renders one suite's rows (with the specialized parameter vector —
+    /// not in the paper's plot, but the actual deliverable).
+    #[must_use]
+    pub fn to_table(outcomes: &[PerProgramOutcome]) -> Table {
+        let mut t = Table::new(&["benchmark", "running", "params", "evaluations"]);
+        for o in outcomes {
+            t.row(vec![
+                o.name.to_string(),
+                ratio(o.running_ratio),
+                o.params.to_string(),
+                o.evaluations.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs per-program tuning on both suites.
+#[must_use]
+pub fn run(ctx: &Context) -> Fig10 {
+    let arch = ArchModel::pentium4();
+    Fig10 {
+        train: tune_per_program(&ctx.training, &arch, &ctx.ga, ctx.ga.seed),
+        test: tune_per_program(&ctx.test, &arch, &ctx.ga, ctx.ga.seed ^ 0xf16),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+
+    #[test]
+    fn per_program_results_cover_suites() {
+        let mut ctx = Context::new(
+            std::env::temp_dir().join("fig10-test"),
+            GaConfig {
+                pop_size: 6,
+                generations: 3,
+                threads: 1,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        );
+        ctx.training.truncate(1);
+        ctx.test.truncate(1);
+        let f = run(&ctx);
+        assert_eq!(f.train.len(), 1);
+        assert_eq!(f.test.len(), 1);
+        // Specializing per program can only help (or tie) vs default,
+        // modulo tiny search budgets; allow slack.
+        assert!(f.mean_running_ratio() < 1.05, "{}", f.mean_running_ratio());
+        assert!(Fig10::to_table(&f.train).render().contains("callee_max"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Figures 5–9: the tuned heuristic versus the Jikes default, per
+//! benchmark, on both the training suite (sub-figure a) and the unseen
+//! test suite (sub-figure b).
+//!
+//! | Figure | Task (Table 4 column) |
+//! |---|---|
+//! | 5 | `Adapt` (x86, tuned for balance) |
+//! | 6 | `Opt:Bal` (x86) |
+//! | 7 | `Opt:Tot` (x86) |
+//! | 8 | `Adapt (PPC)` |
+//! | 9 | `Opt:Bal (PPC)` |
+//!
+//! Bars below 1 are improvements over the default heuristic, exactly as
+//! in the paper's plots.
+
+use inliner::InlineParams;
+use tuner::{evaluate_suite, paper_tasks, SuiteEval, Tuner, TuningTask};
+
+use crate::table::{ratio, Table};
+use crate::Context;
+
+/// One figure's data: the task, the parameters used, and both suites'
+/// evaluations.
+pub struct ScenarioFigure {
+    /// Figure number in the paper (5..=9).
+    pub number: u32,
+    /// The tuning task evaluated.
+    pub task: TuningTask,
+    /// Parameters used (tuned, from `table4` or a fresh run).
+    pub params: InlineParams,
+    /// Sub-figure (a): the SPECjvm98 training suite.
+    pub train: SuiteEval,
+    /// Sub-figure (b): the DaCapo+JBB test suite.
+    pub test: SuiteEval,
+}
+
+impl ScenarioFigure {
+    /// Renders one sub-figure as a table with the average row.
+    #[must_use]
+    pub fn to_table(&self, eval: &SuiteEval) -> Table {
+        let mut t = Table::new(&["benchmark", "running", "total"]);
+        for b in &eval.benches {
+            t.row(vec![
+                b.name.to_string(),
+                ratio(b.running_ratio),
+                ratio(b.total_ratio),
+            ]);
+        }
+        t.row(vec![
+            "average".into(),
+            ratio(eval.mean_running_ratio()),
+            ratio(eval.mean_total_ratio()),
+        ]);
+        t
+    }
+}
+
+/// The paper figure number for each Table 4 task, in task order.
+pub const FIGURE_NUMBERS: [u32; 5] = [5, 6, 7, 8, 9];
+
+/// Resolves the task for a figure number.
+#[must_use]
+pub fn task_for_figure(number: u32) -> Option<TuningTask> {
+    let idx = FIGURE_NUMBERS.iter().position(|&n| n == number)?;
+    paper_tasks().into_iter().nth(idx)
+}
+
+/// Produces one scenario figure: reuses persisted tuned parameters when
+/// available, otherwise tunes first.
+#[must_use]
+pub fn run(ctx: &Context, number: u32) -> Option<ScenarioFigure> {
+    let task = task_for_figure(number)?;
+    let params = match ctx.load_params(&task.name) {
+        Some(p) => p,
+        None => {
+            let tuner = Tuner::new(task.clone(), ctx.training.clone(), ctx.adapt_cfg);
+            let outcome = tuner.tune(ctx.ga.clone());
+            let _ = ctx.save_params(&task.name, &outcome.params);
+            outcome.params
+        }
+    };
+    let train = evaluate_suite(
+        &ctx.training,
+        task.scenario,
+        &task.arch,
+        &params,
+        &ctx.adapt_cfg,
+    );
+    let test = evaluate_suite(
+        &ctx.test,
+        task.scenario,
+        &task.arch,
+        &params,
+        &ctx.adapt_cfg,
+    );
+    Some(ScenarioFigure {
+        number,
+        task,
+        params,
+        train,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_task_mapping_matches_paper() {
+        assert_eq!(task_for_figure(5).unwrap().name, "Adapt");
+        assert_eq!(task_for_figure(6).unwrap().name, "Opt:Bal");
+        assert_eq!(task_for_figure(7).unwrap().name, "Opt:Tot");
+        assert_eq!(task_for_figure(8).unwrap().name, "Adapt (PPC)");
+        assert_eq!(task_for_figure(9).unwrap().name, "Opt:Bal (PPC)");
+        assert!(task_for_figure(4).is_none());
+    }
+
+    #[test]
+    fn run_reuses_persisted_params() {
+        let mut ctx = Context::new(
+            std::env::temp_dir().join(format!("figs-test-{}", std::process::id())),
+            Context::default_ga(),
+        );
+        ctx.training.truncate(1);
+        ctx.test.truncate(1);
+        // Persist known params so no tuning happens.
+        let p = InlineParams::from_genes(&[10, 16, 8, 402, 135]);
+        ctx.save_params("Opt:Bal", &p).unwrap();
+        let fig = run(&ctx, 6).unwrap();
+        assert_eq!(fig.params, p);
+        assert_eq!(fig.train.benches.len(), 1);
+        assert_eq!(fig.test.benches.len(), 1);
+        let t = fig.to_table(&fig.train);
+        assert!(t.render().contains("average"));
+        let _ = std::fs::remove_dir_all(&ctx.out_dir);
+    }
+}

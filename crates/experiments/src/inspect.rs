@@ -1,0 +1,62 @@
+//! `experiments inspect` — structural and dynamic statistics of the
+//! synthetic benchmark suites, for checking suite calibration against the
+//! bands DESIGN.md promises (accessor mass below `ALWAYS_INLINE_SIZE`,
+//! DaCapo method populations 5–20× SPEC's, etc.).
+
+use ir::stats::program_stats;
+
+use crate::table::{ratio, Table};
+use crate::Context;
+
+/// Renders one row per benchmark (both suites).
+#[must_use]
+pub fn run(ctx: &Context) -> Table {
+    let mut t = Table::new(&[
+        "benchmark",
+        "suite",
+        "methods",
+        "sites",
+        "size p50",
+        "size p90",
+        "size max",
+        "tiny%",
+        "<=23%",
+        "total size",
+        "dyn calls",
+    ]);
+    for b in ctx.training.iter().chain(&ctx.test) {
+        let s = program_stats(&b.program);
+        t.row(vec![
+            b.name().to_string(),
+            b.spec.suite.to_string(),
+            s.n_methods.to_string(),
+            s.n_call_sites.to_string(),
+            format!("{:.0}", s.sizes.p50),
+            format!("{:.0}", s.sizes.p90),
+            format!("{:.0}", s.sizes.max),
+            ratio(s.tiny_fraction),
+            ratio(s.inlinable_fraction),
+            s.total_size.to_string(),
+            format!("{:.0}", s.dynamic_calls),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inspect_covers_all_fourteen_benchmarks() {
+        let ctx = Context::new(
+            std::env::temp_dir().join("inspect-test"),
+            Context::default_ga(),
+        );
+        let t = run(&ctx);
+        assert_eq!(t.len(), 14);
+        let r = t.render();
+        assert!(r.contains("compress"));
+        assert!(r.contains("pseudojbb"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section (§2 motivation and §6 results).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — tuned parameters and their search ranges |
+//! | [`fig1`] | Fig. 1 — relative time reduction with inlining on/off |
+//! | [`fig2`] | Fig. 2 — execution time vs `MAX_INLINE_DEPTH` (compress, jess) |
+//! | [`table4`] | Table 4 — GA-tuned parameter values per scenario/arch |
+//! | [`figs`] | Figs. 5–9 — tuned vs default per benchmark, both suites |
+//! | [`fig10`] | Fig. 10 — per-program tuning for running time |
+//! | [`table5`] | Table 5 — average reductions summary |
+//!
+//! Everything funnels through [`context::Context`] (suites, architectures,
+//! GA budget, output directory) and renders through [`table`] (aligned
+//! console tables + CSV files under `results/`).
+//!
+//! Beyond the paper's artifacts, four extension commands:
+//! [`ablation`] (cost-model mechanism knock-outs), [`sweep`]
+//! (per-parameter sensitivity, generalizing Fig. 2 to all five knobs),
+//! [`inspect`] (suite calibration statistics) and [`budget`] (GA search
+//! budget / operator study).
+//!
+//! Tuned parameters are persisted to `results/tuned_params.csv` so that
+//! `experiments fig5` can reuse the `table4` tuning run instead of
+//! repeating it; `experiments all` runs everything in dependency order.
+
+pub mod ablation;
+pub mod budget;
+pub mod context;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod figs;
+pub mod inspect;
+pub mod sweep;
+pub mod table;
+pub mod table1;
+pub mod table4;
+pub mod table5;
+
+pub use context::Context;

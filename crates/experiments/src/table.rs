@@ -1,0 +1,186 @@
+//! Minimal table rendering: aligned console output and CSV files.
+//!
+//! Hand-rolled on purpose — the only format consumers are humans and the
+//! CSV readers in `EXPERIMENTS.md` tooling, and a serde dependency would
+//! buy nothing here (see DESIGN.md §7).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table (first column left-aligned, the rest
+    /// right-aligned).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "{cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas, quotes or
+    /// newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let write_row = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/name` (creating `dir` if needed).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(name), self.to_csv())
+    }
+}
+
+/// Formats a ratio as the paper's "relative time" (3 decimal places).
+#[must_use]
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage reduction (paper style: positive = improvement).
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats seconds with millisecond resolution.
+#[must_use]
+pub fn secs(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "x"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["long-name".into(), "22.5".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+        // Right-aligned numeric column: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("inlinetune-table-test");
+        let mut t = Table::new(&["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.write_csv(&dir, "t.csv").unwrap();
+        let read = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(read, "k,v\na,1\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(0.51234), "0.512");
+        assert_eq!(pct(17.04), "17.0%");
+        assert_eq!(secs(1.23456), "1.2346");
+    }
+}

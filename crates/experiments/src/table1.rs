@@ -1,0 +1,49 @@
+//! Table 1: the tuned parameters, their descriptions and search ranges.
+//!
+//! Static content — rendered so `experiments all` reproduces every table,
+//! and cross-checked against the machine-readable ranges the GA actually
+//! searches.
+
+use inliner::{ParamRanges, PARAM_NAMES};
+
+use crate::table::Table;
+
+/// Human descriptions, in genome order (paper Table 1 wording).
+pub const DESCRIPTIONS: [&str; 5] = [
+    "Maximum callee size allowable to inline",
+    "Callee methods less than this size are always inlined",
+    "Maximum inlining depth at a particular call site",
+    "Maximum caller size to inline into",
+    "Maximum hot callee to inline",
+];
+
+/// Renders Table 1.
+#[must_use]
+pub fn run() -> Table {
+    let ranges = ParamRanges::paper();
+    let mut t = Table::new(&["Inlining Parameter", "Description", "Range"]);
+    for ((name, desc), (lo, hi)) in PARAM_NAMES.iter().zip(DESCRIPTIONS).zip(ranges.bounds) {
+        t.row(vec![
+            (*name).to_string(),
+            desc.to_string(),
+            format!("{lo}-{hi}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_parameters_with_paper_ranges() {
+        let t = run();
+        assert_eq!(t.len(), 5);
+        let rendered = t.render();
+        assert!(rendered.contains("CALLEE_MAX_SIZE"));
+        assert!(rendered.contains("1-50"));
+        assert!(rendered.contains("1-4000"));
+        assert!(rendered.contains("1-400"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Table 4: the inlining parameter values the genetic algorithm finds for
+//! each compilation scenario and architecture.
+//!
+//! Runs the five paper tuning tasks (§6: `Adapt`, `Opt:Bal`, `Opt:Tot` on
+//! x86; `Adapt`, `Opt:Bal` on PPC), each tuned over the SPECjvm98 training
+//! suite, and renders the parameter matrix with the Jikes default as the
+//! first column. The tuned vectors are persisted so Figures 5–9 and
+//! Table 5 reuse them.
+
+use inliner::{InlineParams, PARAM_NAMES};
+use tuner::{paper_tasks, TuneOutcome, Tuner};
+
+use crate::table::Table;
+use crate::Context;
+
+/// All five tuning outcomes, in paper column order.
+pub struct Table4 {
+    /// One outcome per task.
+    pub outcomes: Vec<TuneOutcome>,
+}
+
+impl Table4 {
+    /// Renders the parameter matrix (paper Table 4 layout: parameters as
+    /// rows, scenarios as columns).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut header = vec!["Parameter".to_string(), "Default".to_string()];
+        for o in &self.outcomes {
+            header.push(o.task.name.clone());
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        let default = InlineParams::jikes_default().to_genes();
+        for (i, name) in PARAM_NAMES.iter().enumerate() {
+            let mut row = vec![(*name).to_string(), default[i].to_string()];
+            for o in &self.outcomes {
+                let genes = o.params.to_genes();
+                // The hot gene is inert under Opt (paper prints "NA").
+                let cell = if i == 4 && o.task.scenario == jit::Scenario::Opt {
+                    "NA".to_string()
+                } else {
+                    genes[i].to_string()
+                };
+                row.push(cell);
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Renders the per-task GA search summary (fitness, evaluations,
+    /// generations) — useful alongside the parameter matrix.
+    #[must_use]
+    pub fn search_table(&self) -> Table {
+        let mut t = Table::new(&[
+            "task",
+            "fitness",
+            "evaluations",
+            "cache_hits",
+            "generations",
+        ]);
+        for o in &self.outcomes {
+            t.row(vec![
+                o.task.name.clone(),
+                format!("{:.4}", o.fitness),
+                o.ga.evaluations.to_string(),
+                o.ga.cache_hits.to_string(),
+                o.ga.history.len().to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Per-generation best-fitness history for every task (convergence
+    /// curves; not a paper figure but standard GA reporting).
+    #[must_use]
+    pub fn convergence_table(&self) -> Table {
+        let mut header = vec!["generation".to_string()];
+        for o in &self.outcomes {
+            header.push(o.task.name.clone());
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&header_refs);
+        let max_gens = self
+            .outcomes
+            .iter()
+            .map(|o| o.ga.history.len())
+            .max()
+            .unwrap_or(0);
+        for g in 0..max_gens {
+            let mut row = vec![g.to_string()];
+            for o in &self.outcomes {
+                let h = &o.ga.history;
+                let v = h
+                    .get(g)
+                    .unwrap_or_else(|| h.last().expect("non-empty history"));
+                row.push(format!("{:.5}", v.best_fitness));
+            }
+            t.row(row);
+        }
+        t
+    }
+}
+
+/// Runs all five tuning tasks and persists the tuned parameters.
+#[must_use]
+pub fn run(ctx: &Context) -> Table4 {
+    let outcomes = paper_tasks()
+        .into_iter()
+        .map(|task| {
+            let tuner = Tuner::new(task, ctx.training.clone(), ctx.adapt_cfg);
+            let outcome = tuner.tune(ctx.ga.clone());
+            let _ = ctx.save_params(&outcome.task.name, &outcome.params);
+            outcome
+        })
+        .collect();
+    Table4 { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+
+    #[test]
+    fn tiny_budget_produces_full_table() {
+        let mut ctx = Context::new(
+            std::env::temp_dir().join(format!("table4-test-{}", std::process::id())),
+            GaConfig {
+                pop_size: 6,
+                generations: 2,
+                threads: 1,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        );
+        ctx.training.truncate(1);
+        let t4 = run(&ctx);
+        assert_eq!(t4.outcomes.len(), 5);
+        let table = t4.to_table();
+        assert_eq!(table.len(), 5); // five parameter rows
+        let rendered = table.render();
+        assert!(rendered.contains("Default"));
+        assert!(
+            rendered.contains("NA"),
+            "Opt columns print NA for the hot gene"
+        );
+        // Params persisted and reloadable.
+        assert!(ctx.load_params("Opt:Tot").is_some());
+        assert!(!t4.search_table().is_empty());
+        assert!(!t4.convergence_table().is_empty());
+        let _ = std::fs::remove_dir_all(&ctx.out_dir);
+    }
+}

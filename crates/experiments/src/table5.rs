@@ -1,0 +1,86 @@
+//! Table 5: the summary — average running/total reductions per
+//! compilation scenario for both suites.
+//!
+//! Assembled from the same evaluations as Figures 5–9 (reusing persisted
+//! tuned parameters), rendered in the paper's percent-reduction
+//! convention (positive = improvement, negative = degradation).
+
+use crate::figs::{run as run_fig, ScenarioFigure, FIGURE_NUMBERS};
+use crate::table::Table;
+use crate::Context;
+
+/// The five scenario rows.
+pub struct Table5 {
+    /// One evaluated figure per scenario row.
+    pub figures: Vec<ScenarioFigure>,
+}
+
+impl Table5 {
+    /// Renders the summary matrix.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(&[
+            "Compilation Scenario",
+            "SPECjvm98 Running",
+            "SPECjvm98 Total",
+            "DaCapo+JBB Running",
+            "DaCapo+JBB Total",
+        ]);
+        for f in &self.figures {
+            t.row(vec![
+                f.task.name.clone(),
+                format!("{:.0}%", f.train.running_reduction_pct()),
+                format!("{:.0}%", f.train.total_reduction_pct()),
+                format!("{:.0}%", f.test.running_reduction_pct()),
+                format!("{:.0}%", f.test.total_reduction_pct()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Evaluates all five scenarios (tuning first where no persisted
+/// parameters exist).
+#[must_use]
+pub fn run(ctx: &Context) -> Table5 {
+    let figures = FIGURE_NUMBERS
+        .iter()
+        .filter_map(|&n| run_fig(ctx, n))
+        .collect();
+    Table5 { figures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inliner::InlineParams;
+
+    #[test]
+    fn summary_has_five_rows_with_paper_layout() {
+        let mut ctx = Context::new(
+            std::env::temp_dir().join(format!("table5-test-{}", std::process::id())),
+            Context::default_ga(),
+        );
+        ctx.training.truncate(1);
+        ctx.test.truncate(1);
+        // Seed persisted params for every task so no tuning runs.
+        for name in [
+            "Adapt",
+            "Opt:Bal",
+            "Opt:Tot",
+            "Adapt (PPC)",
+            "Opt:Bal (PPC)",
+        ] {
+            ctx.save_params(name, &InlineParams::jikes_default())
+                .unwrap();
+        }
+        let t5 = run(&ctx);
+        assert_eq!(t5.figures.len(), 5);
+        let rendered = t5.to_table().render();
+        assert!(rendered.contains("Opt:Tot"));
+        assert!(rendered.contains("DaCapo+JBB Total"));
+        // Default-vs-default rows are all 0%.
+        assert!(rendered.contains("0%"));
+        let _ = std::fs::remove_dir_all(&ctx.out_dir);
+    }
+}

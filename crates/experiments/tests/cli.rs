@@ -1,0 +1,140 @@
+//! End-to-end tests of the `experiments` binary: commands run, print the
+//! right artifacts, and write the promised CSVs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tmp_out(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("inlinetune-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn table1_prints_all_parameters() {
+    let dir = tmp_out("t1");
+    let (stdout, _, ok) = run(&["table1", "--out", dir.to_str().unwrap()]);
+    assert!(ok);
+    for name in inliner::PARAM_NAMES {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+    assert!(dir.join("table1.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig1_writes_both_subfigures() {
+    let dir = tmp_out("f1");
+    let (stdout, _, ok) = run(&["fig1", "--out", dir.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("Figure 1(a)"));
+    assert!(stdout.contains("Figure 1(b)"));
+    assert!(stdout.contains("average"));
+    assert!(dir.join("fig1a.csv").exists());
+    assert!(dir.join("fig1b.csv").exists());
+    let csv = std::fs::read_to_string(dir.join("fig1a.csv")).unwrap();
+    assert!(csv.starts_with("benchmark,running,total"));
+    assert_eq!(csv.lines().count(), 1 + 7 + 1, "7 benchmarks + average");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let (_, stderr, ok) = run(&["table1", "--gens", "not-a-number"]);
+    assert!(!ok);
+    assert!(stderr.contains("--gens"));
+}
+
+#[test]
+fn fig6_with_tiny_budget_tunes_and_persists() {
+    let dir = tmp_out("f6");
+    let (stdout, _, ok) = run(&[
+        "fig6",
+        "--out",
+        dir.to_str().unwrap(),
+        "--gens",
+        "2",
+        "--pop",
+        "6",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Figure 6(a)"));
+    assert!(stdout.contains("Figure 6(b)"));
+    assert!(dir.join("tuned_params.csv").exists(), "params persisted");
+    // A second invocation reuses the persisted params (fast path).
+    let (stdout2, _, ok2) = run(&["fig6", "--out", dir.to_str().unwrap()]);
+    assert!(ok2);
+    assert!(stdout2.contains("tuned params"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_lists_every_benchmark() {
+    let dir = tmp_out("ins");
+    let (stdout, _, ok) = run(&["inspect", "--out", dir.to_str().unwrap()]);
+    assert!(ok);
+    for name in [
+        "compress",
+        "jess",
+        "db",
+        "javac",
+        "mpegaudio",
+        "raytrace",
+        "jack",
+        "antlr",
+        "fop",
+        "jython",
+        "pmd",
+        "ps",
+        "ipsixql",
+        "pseudojbb",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dump_serializes_a_benchmark_round_trip_verified() {
+    let dir = tmp_out("dump");
+    let (stdout, _, ok) = run(&["dump", "db", "--out", dir.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("round-trip verified"));
+    let path = dir.join("ir/db.ir");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let p = ir::parse::parse_program(&text).unwrap();
+    assert_eq!(p.name, "db");
+    assert!(ir::validate::validate(&p).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dump_without_operand_reports_usage() {
+    let (_, stderr, ok) = run(&["dump"]);
+    assert!(ok, "graceful");
+    assert!(stderr.contains("usage"));
+}

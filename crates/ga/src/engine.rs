@@ -1,0 +1,484 @@
+//! The generational GA engine with memoized, optionally parallel fitness
+//! evaluation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simrng::Rng;
+
+use crate::genome::{Genome, Ranges};
+use crate::ops::{mutate, one_point_crossover, tournament, two_point_crossover, uniform_crossover};
+
+/// Which recombination operator breeding uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrossoverKind {
+    /// One-point tail swap.
+    OnePoint,
+    /// Two-point middle-segment swap (ECJ's vector default).
+    TwoPoint,
+    /// Per-gene coin-flip.
+    Uniform,
+    /// A 50/50 mix of one-point and uniform per breeding pair.
+    #[default]
+    Mixed,
+}
+
+/// Engine configuration.
+///
+/// The paper's setup (§3.1) is population 20 evolved for 500 generations;
+/// [`GaConfig::paper`] reproduces it. The default configuration trades a
+/// little search quality for wall-clock (the fitness landscape here
+/// plateaus long before 500 generations; `stagnation_limit` stops early).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub pop_size: usize,
+    /// Maximum generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Probability a breeding pair undergoes crossover (else clones).
+    pub crossover_prob: f64,
+    /// Recombination operator.
+    pub crossover_kind: CrossoverKind,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed (the whole run is a pure function of this).
+    pub seed: u64,
+    /// Stop after this many generations without best-fitness improvement
+    /// (`None` = never stop early).
+    pub stagnation_limit: Option<usize>,
+    /// Worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            pop_size: 20,
+            generations: 100,
+            tournament_size: 2,
+            crossover_prob: 0.9,
+            crossover_kind: CrossoverKind::Mixed,
+            mutation_prob: 0.25,
+            elitism: 2,
+            seed: 0x6a11,
+            stagnation_limit: Some(30),
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    }
+}
+
+impl GaConfig {
+    /// The paper's §3.1 configuration: population 20, 500 generations, no
+    /// early stopping.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            pop_size: 20,
+            generations: 500,
+            stagnation_limit: None,
+            ..Self::default()
+        }
+    }
+}
+
+/// One generation's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Generation index (0-based).
+    pub index: usize,
+    /// Best fitness seen up to and including this generation.
+    pub best_fitness: f64,
+    /// Best genome so far.
+    pub best_genome: Genome,
+    /// Mean fitness of this generation's population.
+    pub mean_fitness: f64,
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaResult {
+    /// Best genome found.
+    pub best_genome: Genome,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation history (useful for convergence plots).
+    pub history: Vec<Generation>,
+    /// Distinct genomes actually evaluated (cache misses).
+    pub evaluations: usize,
+    /// Evaluations answered from the memo table.
+    pub cache_hits: usize,
+}
+
+/// The engine. Construct with ranges and a config, then [`run`] with a
+/// fitness function (lower is better).
+///
+/// [`run`]: GeneticAlgorithm::run
+#[derive(Debug)]
+pub struct GeneticAlgorithm {
+    ranges: Ranges,
+    config: GaConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (zero population, zero elitism pool
+    /// larger than the population, zero threads).
+    #[must_use]
+    pub fn new(ranges: Ranges, config: GaConfig) -> Self {
+        assert!(config.pop_size >= 2, "population must be at least 2");
+        assert!(
+            config.elitism < config.pop_size,
+            "elitism must leave room to breed"
+        );
+        assert!(config.threads >= 1, "need at least one evaluation thread");
+        assert!(
+            config.tournament_size >= 1,
+            "tournament size must be positive"
+        );
+        Self { ranges, config }
+    }
+
+    /// Runs the GA, minimizing `fitness`.
+    ///
+    /// `fitness` must be deterministic: results are memoized by genome.
+    /// Non-finite fitness values are treated as `+inf` (worst).
+    pub fn run<F>(&self, fitness: F) -> GaResult
+    where
+        F: Fn(&[i64]) -> f64 + Sync,
+    {
+        let cfg = &self.config;
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let cache: Mutex<HashMap<Genome, f64>> = Mutex::new(HashMap::new());
+        let mut evaluations = 0usize;
+        let mut cache_hits = 0usize;
+
+        let mut population: Vec<Genome> = (0..cfg.pop_size)
+            .map(|_| self.ranges.random(&mut rng))
+            .collect();
+
+        let mut history: Vec<Generation> = Vec::with_capacity(cfg.generations);
+        let mut best_genome = population[0].clone();
+        let mut best_fitness = f64::INFINITY;
+        let mut stagnant = 0usize;
+
+        for gen_index in 0..cfg.generations {
+            let scores = self.evaluate(
+                &population,
+                &fitness,
+                &cache,
+                &mut evaluations,
+                &mut cache_hits,
+            );
+
+            // Track the best.
+            let mut improved = false;
+            for (genome, &score) in population.iter().zip(&scores) {
+                if score < best_fitness {
+                    best_fitness = score;
+                    best_genome = genome.clone();
+                    improved = true;
+                }
+            }
+            let finite_mean = {
+                let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+                if finite.is_empty() {
+                    f64::INFINITY
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                }
+            };
+            history.push(Generation {
+                index: gen_index,
+                best_fitness,
+                best_genome: best_genome.clone(),
+                mean_fitness: finite_mean,
+            });
+
+            stagnant = if improved { 0 } else { stagnant + 1 };
+            if let Some(limit) = cfg.stagnation_limit {
+                if stagnant >= limit {
+                    break;
+                }
+            }
+            if gen_index + 1 == cfg.generations {
+                break;
+            }
+
+            // ---- breed the next generation ----
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+            let mut next: Vec<Genome> = Vec::with_capacity(cfg.pop_size);
+            for &i in order.iter().take(cfg.elitism) {
+                next.push(population[i].clone());
+            }
+            while next.len() < cfg.pop_size {
+                let pa = tournament(&scores, cfg.tournament_size, &mut rng);
+                let pb = tournament(&scores, cfg.tournament_size, &mut rng);
+                let (mut c, mut d) = if rng.chance(cfg.crossover_prob) {
+                    let (x, y) = (&population[pa], &population[pb]);
+                    match cfg.crossover_kind {
+                        CrossoverKind::OnePoint => one_point_crossover(x, y, &mut rng),
+                        CrossoverKind::TwoPoint => two_point_crossover(x, y, &mut rng),
+                        CrossoverKind::Uniform => uniform_crossover(x, y, &mut rng),
+                        CrossoverKind::Mixed => {
+                            if rng.chance(0.5) {
+                                uniform_crossover(x, y, &mut rng)
+                            } else {
+                                one_point_crossover(x, y, &mut rng)
+                            }
+                        }
+                    }
+                } else {
+                    (population[pa].clone(), population[pb].clone())
+                };
+                mutate(&mut c, &self.ranges, cfg.mutation_prob, &mut rng);
+                mutate(&mut d, &self.ranges, cfg.mutation_prob, &mut rng);
+                next.push(c);
+                if next.len() < cfg.pop_size {
+                    next.push(d);
+                }
+            }
+            population = next;
+        }
+
+        GaResult {
+            best_genome,
+            best_fitness,
+            history,
+            evaluations,
+            cache_hits,
+        }
+    }
+
+    /// Evaluates a population through the memo table, farming cache misses
+    /// out to worker threads.
+    fn evaluate<F>(
+        &self,
+        population: &[Genome],
+        fitness: &F,
+        cache: &Mutex<HashMap<Genome, f64>>,
+        evaluations: &mut usize,
+        cache_hits: &mut usize,
+    ) -> Vec<f64>
+    where
+        F: Fn(&[i64]) -> f64 + Sync,
+    {
+        // Split into hits and (deduplicated) misses.
+        let mut misses: Vec<&Genome> = Vec::new();
+        {
+            let cache = cache.lock();
+            let mut seen: HashMap<&Genome, ()> = HashMap::new();
+            for g in population {
+                if cache.contains_key(g) {
+                    *cache_hits += 1;
+                } else if seen.insert(g, ()).is_none() {
+                    misses.push(g);
+                }
+            }
+        }
+        *evaluations += misses.len();
+
+        let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+        if self.config.threads <= 1 || misses.len() <= 1 {
+            let mut cache = cache.lock();
+            for g in misses {
+                let v = sanitize(fitness(g));
+                cache.insert(g.clone(), v);
+            }
+        } else {
+            let n_threads = self.config.threads.min(misses.len());
+            let chunk = misses.len().div_ceil(n_threads);
+            std::thread::scope(|scope| {
+                for part in misses.chunks(chunk) {
+                    scope.spawn(move || {
+                        for g in part {
+                            let v = sanitize(fitness(g));
+                            cache.lock().insert((*g).clone(), v);
+                        }
+                    });
+                }
+            });
+        }
+
+        let cache = cache.lock();
+        population.iter().map(|g| cache[g]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_ranges() -> Ranges {
+        Ranges::new(vec![(-100, 100); 4])
+    }
+
+    /// Distance-squared to a hidden optimum: easy landscape.
+    fn sphere(target: &[i64]) -> impl Fn(&[i64]) -> f64 + Sync + '_ {
+        move |g: &[i64]| {
+            g.iter()
+                .zip(target)
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum()
+        }
+    }
+
+    #[test]
+    fn finds_the_sphere_optimum() {
+        let target = vec![17, -42, 3, 88];
+        let ga = GeneticAlgorithm::new(
+            sphere_ranges(),
+            GaConfig {
+                pop_size: 24,
+                generations: 150,
+                stagnation_limit: None,
+                threads: 1,
+                seed: 11,
+                ..GaConfig::default()
+            },
+        );
+        let result = ga.run(sphere(&target));
+        assert!(
+            result.best_fitness < 30.0,
+            "fitness {} genome {:?}",
+            result.best_fitness,
+            result.best_genome
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let target = vec![5, 5, 5, 5];
+        let mk = || {
+            GeneticAlgorithm::new(
+                sphere_ranges(),
+                GaConfig {
+                    generations: 30,
+                    threads: 1,
+                    seed: 99,
+                    ..GaConfig::default()
+                },
+            )
+            .run(sphere(&target))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.best_genome, b.best_genome);
+        assert_eq!(a.history.len(), b.history.len());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let target = vec![5, -5, 25, 0];
+        let run = |threads| {
+            GeneticAlgorithm::new(
+                sphere_ranges(),
+                GaConfig {
+                    generations: 25,
+                    threads,
+                    seed: 7,
+                    ..GaConfig::default()
+                },
+            )
+            .run(sphere(&target))
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.best_genome, par.best_genome);
+        assert_eq!(seq.best_fitness, par.best_fitness);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_in_history() {
+        let target = vec![1, 2, 3, 4];
+        let r = GeneticAlgorithm::new(
+            sphere_ranges(),
+            GaConfig {
+                generations: 40,
+                threads: 1,
+                seed: 3,
+                ..GaConfig::default()
+            },
+        )
+        .run(sphere(&target));
+        for w in r.history.windows(2) {
+            assert!(w[1].best_fitness <= w[0].best_fitness);
+        }
+    }
+
+    #[test]
+    fn memoization_saves_evaluations() {
+        let target = vec![0, 0, 0, 0];
+        let r = GeneticAlgorithm::new(
+            sphere_ranges(),
+            GaConfig {
+                pop_size: 20,
+                generations: 60,
+                threads: 1,
+                seed: 21,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        )
+        .run(sphere(&target));
+        assert!(r.cache_hits > 0, "expected some repeated genomes");
+        // Within-generation duplicates are deduplicated before evaluation,
+        // so distinct evaluations never exceed the genomes proposed.
+        assert!(r.evaluations < 20 * r.history.len());
+    }
+
+    #[test]
+    fn stagnation_stops_early() {
+        // Constant fitness: never improves after the first generation.
+        let r = GeneticAlgorithm::new(
+            sphere_ranges(),
+            GaConfig {
+                generations: 500,
+                stagnation_limit: Some(5),
+                threads: 1,
+                ..GaConfig::default()
+            },
+        )
+        .run(|_| 1.0);
+        assert!(r.history.len() <= 7, "ran {} generations", r.history.len());
+    }
+
+    #[test]
+    fn nonfinite_fitness_is_worst() {
+        // NaN for everything except one genome; the GA must still find it.
+        let r = GeneticAlgorithm::new(
+            Ranges::new(vec![(0, 3); 2]),
+            GaConfig {
+                pop_size: 8,
+                generations: 30,
+                threads: 1,
+                seed: 5,
+                ..GaConfig::default()
+            },
+        )
+        .run(|g| if g == [2, 2] { 0.0 } else { f64::NAN });
+        assert_eq!(r.best_genome, vec![2, 2]);
+        assert_eq!(r.best_fitness, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be at least 2")]
+    fn tiny_population_rejected() {
+        let _ = GeneticAlgorithm::new(
+            sphere_ranges(),
+            GaConfig {
+                pop_size: 1,
+                elitism: 0,
+                ..GaConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Genomes and gene ranges.
+
+use simrng::Rng;
+
+/// A fixed-length integer genome.
+pub type Genome = Vec<i64>;
+
+/// Inclusive per-gene bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ranges {
+    bounds: Vec<(i64, i64)>,
+}
+
+impl Ranges {
+    /// Creates ranges from inclusive `(lo, hi)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any `lo > hi` or the list is empty.
+    #[must_use]
+    pub fn new(bounds: Vec<(i64, i64)>) -> Self {
+        assert!(!bounds.is_empty(), "ranges must have at least one gene");
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo <= hi, "gene {i}: lo {lo} > hi {hi}");
+        }
+        Self { bounds }
+    }
+
+    /// Number of genes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when there are no genes (never, for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The inclusive bounds of gene `i`.
+    #[must_use]
+    pub fn gene(&self, i: usize) -> (i64, i64) {
+        self.bounds[i]
+    }
+
+    /// Iterates over all bounds.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.bounds.iter().copied()
+    }
+
+    /// Draws a uniformly random genome.
+    #[must_use]
+    pub fn random(&self, rng: &mut Rng) -> Genome {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| rng.range_i64(lo, hi))
+            .collect()
+    }
+
+    /// Draws a uniformly random value for one gene.
+    #[must_use]
+    pub fn random_gene(&self, i: usize, rng: &mut Rng) -> i64 {
+        let (lo, hi) = self.bounds[i];
+        rng.range_i64(lo, hi)
+    }
+
+    /// Clamps every gene of a genome into range, in place.
+    pub fn clamp(&self, genome: &mut Genome) {
+        for (g, &(lo, hi)) in genome.iter_mut().zip(&self.bounds) {
+            *g = (*g).clamp(lo, hi);
+        }
+    }
+
+    /// Whether the genome has the right length and every gene is in range.
+    #[must_use]
+    pub fn contains(&self, genome: &[i64]) -> bool {
+        genome.len() == self.bounds.len()
+            && genome
+                .iter()
+                .zip(&self.bounds)
+                .all(|(g, &(lo, hi))| (lo..=hi).contains(g))
+    }
+
+    /// Number of distinct genomes.
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| (hi as i128 - lo as i128 + 1) as u128)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges() -> Ranges {
+        Ranges::new(vec![(1, 50), (1, 30), (1, 15), (1, 4000), (1, 400)])
+    }
+
+    #[test]
+    fn random_genomes_are_in_range() {
+        let r = ranges();
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let g = r.random(&mut rng);
+            assert!(r.contains(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn clamp_brings_genes_into_range() {
+        let r = ranges();
+        let mut g = vec![0, 100, -5, 9999, 401];
+        r.clamp(&mut g);
+        assert_eq!(g, vec![1, 30, 1, 4000, 400]);
+        assert!(r.contains(&g));
+    }
+
+    #[test]
+    fn contains_rejects_wrong_length() {
+        let r = ranges();
+        assert!(!r.contains(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn cardinality_multiplies() {
+        let r = Ranges::new(vec![(1, 2), (0, 9)]);
+        assert_eq!(r.cardinality(), 20);
+    }
+
+    #[test]
+    fn degenerate_single_value_range_works() {
+        let r = Ranges::new(vec![(7, 7)]);
+        let mut rng = Rng::seed_from_u64(2);
+        assert_eq!(r.random(&mut rng), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo 5 > hi 2")]
+    fn inverted_range_panics() {
+        let _ = Ranges::new(vec![(5, 2)]);
+    }
+}

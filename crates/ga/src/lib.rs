@@ -1,0 +1,29 @@
+//! A genetic-algorithm engine for integer-vector genomes — the stand-in
+//! for the ECJ library ([Luke, 2004]) the paper uses to tune the Jikes RVM
+//! inlining heuristic.
+//!
+//! Scope mirrors what the paper needs from ECJ:
+//!
+//! * fixed-length integer genomes with per-gene inclusive ranges
+//!   ([`genome`]);
+//! * tournament selection, one-point and uniform crossover,
+//!   range-respecting mutation (uniform reset and geometric step), elitism
+//!   ([`ops`]);
+//! * a generational [`engine`] with **fitness memoization** (converged
+//!   populations re-propose the same genomes constantly; the simulator
+//!   evaluation is the expensive part) and optional **parallel
+//!   evaluation** across worker threads, plus per-generation history for
+//!   convergence analysis and early stopping on stagnation.
+//!
+//! Fitness is *minimized* (the paper minimizes time metrics). Everything
+//! is deterministic given the seed: parallel evaluation never consumes
+//! randomness, only the sequential breeding loop does.
+//!
+//! [Luke, 2004]: https://cs.gmu.edu/~eclab/projects/ecj/
+
+pub mod engine;
+pub mod genome;
+pub mod ops;
+
+pub use engine::{CrossoverKind, GaConfig, GaResult, Generation, GeneticAlgorithm};
+pub use genome::{Genome, Ranges};

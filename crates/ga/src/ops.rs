@@ -1,0 +1,228 @@
+//! Genetic operators: selection, crossover, mutation.
+
+use simrng::Rng;
+
+use crate::genome::{Genome, Ranges};
+
+/// Tournament selection: picks `size` individuals uniformly and returns
+/// the index of the fittest (lowest fitness). `size = 1` degenerates to
+/// uniform random selection.
+///
+/// # Panics
+/// Panics if `fitness` is empty or `size == 0`.
+#[must_use]
+pub fn tournament(fitness: &[f64], size: usize, rng: &mut Rng) -> usize {
+    assert!(!fitness.is_empty() && size > 0, "bad tournament inputs");
+    let mut best = rng.below(fitness.len() as u64) as usize;
+    for _ in 1..size {
+        let cand = rng.below(fitness.len() as u64) as usize;
+        if fitness[cand] < fitness[best] {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// One-point crossover: children swap tails after a random cut point in
+/// `1..len` (so both parents always contribute).
+#[must_use]
+pub fn one_point_crossover(a: &Genome, b: &Genome, rng: &mut Rng) -> (Genome, Genome) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return (a.clone(), b.clone());
+    }
+    let cut = 1 + rng.below(a.len() as u64 - 1) as usize;
+    let mut c = a.clone();
+    let mut d = b.clone();
+    c[cut..].copy_from_slice(&b[cut..]);
+    d[cut..].copy_from_slice(&a[cut..]);
+    (c, d)
+}
+
+/// Two-point crossover: children swap the middle segment between two
+/// random cut points (ECJ's default for fixed-length vectors).
+#[must_use]
+pub fn two_point_crossover(a: &Genome, b: &Genome, rng: &mut Rng) -> (Genome, Genome) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return (a.clone(), b.clone());
+    }
+    let x = rng.below(a.len() as u64) as usize;
+    let y = rng.below(a.len() as u64) as usize;
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    let mut c = a.clone();
+    let mut d = b.clone();
+    c[lo..hi].copy_from_slice(&b[lo..hi]);
+    d[lo..hi].copy_from_slice(&a[lo..hi]);
+    (c, d)
+}
+
+/// Uniform crossover: each gene independently comes from either parent.
+#[must_use]
+pub fn uniform_crossover(a: &Genome, b: &Genome, rng: &mut Rng) -> (Genome, Genome) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut c = a.clone();
+    let mut d = b.clone();
+    for i in 0..a.len() {
+        if rng.chance(0.5) {
+            c[i] = b[i];
+            d[i] = a[i];
+        }
+    }
+    (c, d)
+}
+
+/// Mutates each gene independently with probability `per_gene_prob`.
+///
+/// Half of the mutations are *resets* (uniform redraw over the gene's
+/// range — global exploration), half are *geometric steps* (multiply or
+/// nudge the current value — local refinement, important for wide ranges
+/// like `CALLER_MAX_SIZE`'s 1..4000 where uniform resets alone rarely
+/// sample small values).
+pub fn mutate(genome: &mut Genome, ranges: &Ranges, per_gene_prob: f64, rng: &mut Rng) {
+    for (i, gene) in genome.iter_mut().enumerate() {
+        if !rng.chance(per_gene_prob) {
+            continue;
+        }
+        let (lo, hi) = ranges.gene(i);
+        if rng.chance(0.5) {
+            *gene = ranges.random_gene(i, rng);
+        } else {
+            // Geometric step: scale by a factor in [0.5, 2.0) or, for tiny
+            // values where scaling is too coarse, step by ±1..3.
+            let v = *gene;
+            let stepped = if v.abs() >= 4 {
+                let factor = rng.f64_range(0.5, 2.0);
+                (v as f64 * factor).round() as i64
+            } else {
+                v + rng.range_i64(-3, 3)
+            };
+            *gene = stepped.clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tournament_prefers_lower_fitness() {
+        let fitness = vec![5.0, 1.0, 9.0, 3.0];
+        let mut rng = Rng::seed_from_u64(3);
+        // With a tournament as large as the population, the best always
+        // has a chance to be picked; over many draws, index 1 must
+        // dominate.
+        let mut wins = [0usize; 4];
+        for _ in 0..400 {
+            wins[tournament(&fitness, 3, &mut rng)] += 1;
+        }
+        assert!(
+            wins[1] > wins[0] && wins[1] > wins[2] && wins[1] > wins[3],
+            "{wins:?}"
+        );
+        assert_eq!(wins[2], *wins.iter().min().unwrap(), "worst wins least");
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let fitness = vec![5.0, 1.0];
+        let mut rng = Rng::seed_from_u64(4);
+        let picks: Vec<usize> = (0..200)
+            .map(|_| tournament(&fitness, 1, &mut rng))
+            .collect();
+        let ones = picks.iter().filter(|&&p| p == 1).count();
+        assert!((60..140).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn one_point_preserves_genes() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![10, 20, 30, 40, 50];
+        let mut rng = Rng::seed_from_u64(5);
+        let (c, d) = one_point_crossover(&a, &b, &mut rng);
+        for i in 0..5 {
+            assert!(c[i] == a[i] || c[i] == b[i]);
+            // The two children are complementary.
+            assert_eq!(c[i] == a[i], d[i] == b[i]);
+        }
+        // A cut in 1..5 means c starts with a's first gene.
+        assert_eq!(c[0], a[0]);
+        assert_eq!(d[0], b[0]);
+    }
+
+    #[test]
+    fn uniform_children_are_complementary() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![9, 8, 7, 6];
+        let mut rng = Rng::seed_from_u64(6);
+        let (c, d) = uniform_crossover(&a, &b, &mut rng);
+        for i in 0..4 {
+            assert_eq!(c[i] + d[i], a[i] + b[i], "complementary at {i}");
+        }
+    }
+
+    #[test]
+    fn mutation_respects_ranges() {
+        let ranges = Ranges::new(vec![(1, 50), (1, 30), (1, 15), (1, 4000), (1, 400)]);
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut g = ranges.random(&mut rng);
+            mutate(&mut g, &ranges, 1.0, &mut rng);
+            assert!(ranges.contains(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_mutation_is_identity() {
+        let ranges = Ranges::new(vec![(1, 100); 4]);
+        let mut rng = Rng::seed_from_u64(8);
+        let g0 = ranges.random(&mut rng);
+        let mut g = g0.clone();
+        mutate(&mut g, &ranges, 0.0, &mut rng);
+        assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn mutation_eventually_changes_every_gene() {
+        let ranges = Ranges::new(vec![(1, 100); 5]);
+        let mut rng = Rng::seed_from_u64(9);
+        let g0 = ranges.random(&mut rng);
+        let mut changed = [false; 5];
+        for _ in 0..300 {
+            let mut g = g0.clone();
+            mutate(&mut g, &ranges, 1.0, &mut rng);
+            for i in 0..5 {
+                changed[i] |= g[i] != g0[i];
+            }
+        }
+        assert!(changed.iter().all(|&c| c), "{changed:?}");
+    }
+
+    #[test]
+    fn two_point_preserves_genes_and_complements() {
+        let a = vec![1, 2, 3, 4, 5, 6];
+        let b = vec![10, 20, 30, 40, 50, 60];
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let (c, d) = two_point_crossover(&a, &b, &mut rng);
+            for i in 0..6 {
+                assert!(c[i] == a[i] || c[i] == b[i]);
+                assert_eq!(c[i] == a[i], d[i] == b[i], "complementary at {i}");
+            }
+            // The swapped region is contiguous.
+            let flips: Vec<bool> = c.iter().zip(&a).map(|(x, y)| x != y).collect();
+            let transitions = flips.windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(transitions <= 2, "{flips:?}");
+        }
+    }
+
+    #[test]
+    fn crossover_of_length_one_copies() {
+        let a = vec![1];
+        let b = vec![2];
+        let mut rng = Rng::seed_from_u64(10);
+        let (c, d) = one_point_crossover(&a, &b, &mut rng);
+        assert_eq!((c, d), (a, b));
+    }
+}

@@ -1,0 +1,230 @@
+//! The tunable inlining parameters (the paper's Table 1) and their Jikes
+//! RVM default values (Table 4, column "Default").
+
+/// The five parameters controlling the Jikes RVM inlining heuristic.
+///
+/// Units are "estimated machine instructions" as computed by
+/// [`ir::size::method_size`]; depths count nested inlining decisions at a
+/// call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InlineParams {
+    /// Maximum callee size allowable to inline (Fig. 3, test 1).
+    pub callee_max_size: u32,
+    /// Callees smaller than this are always inlined (Fig. 3, test 2).
+    pub always_inline_size: u32,
+    /// Maximum inlining depth at a call site (Fig. 3, test 3).
+    pub max_inline_depth: u32,
+    /// Maximum caller size to inline into (Fig. 3, test 4).
+    pub caller_max_size: u32,
+    /// Maximum *hot* callee size to inline (Fig. 4) — only consulted under
+    /// the adaptive compilation scenario.
+    pub hot_callee_max_size: u32,
+}
+
+impl InlineParams {
+    /// The values shipped with Jikes RVM 2.3.3 (paper Table 4, "Default").
+    #[must_use]
+    pub fn jikes_default() -> Self {
+        Self {
+            callee_max_size: 23,
+            always_inline_size: 11,
+            max_inline_depth: 5,
+            caller_max_size: 2048,
+            hot_callee_max_size: 135,
+        }
+    }
+
+    /// Parameters that inline nothing (used as the "no inlining" baseline
+    /// of the paper's Fig. 1): every callee fails the `CALLEE_MAX_SIZE`
+    /// test (all method sizes are ≥ 1) and the hot test.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            callee_max_size: 0,
+            always_inline_size: 0,
+            max_inline_depth: 0,
+            caller_max_size: 0,
+            hot_callee_max_size: 0,
+        }
+    }
+
+    /// Constructs parameters from a genome vector in the fixed order of
+    /// [`PARAM_NAMES`].
+    ///
+    /// # Panics
+    /// Panics if `genes.len() != 5`.
+    #[must_use]
+    pub fn from_genes(genes: &[i64]) -> Self {
+        assert_eq!(genes.len(), 5, "inline genome must have 5 genes");
+        let g = |i: usize| -> u32 { genes[i].clamp(0, i64::from(u32::MAX)) as u32 };
+        Self {
+            callee_max_size: g(0),
+            always_inline_size: g(1),
+            max_inline_depth: g(2),
+            caller_max_size: g(3),
+            hot_callee_max_size: g(4),
+        }
+    }
+
+    /// The genome vector for this parameter set (inverse of
+    /// [`from_genes`](Self::from_genes)).
+    #[must_use]
+    pub fn to_genes(self) -> Vec<i64> {
+        vec![
+            i64::from(self.callee_max_size),
+            i64::from(self.always_inline_size),
+            i64::from(self.max_inline_depth),
+            i64::from(self.caller_max_size),
+            i64::from(self.hot_callee_max_size),
+        ]
+    }
+}
+
+impl Default for InlineParams {
+    fn default() -> Self {
+        Self::jikes_default()
+    }
+}
+
+impl std::fmt::Display for InlineParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[callee_max={}, always={}, depth={}, caller_max={}, hot_callee_max={}]",
+            self.callee_max_size,
+            self.always_inline_size,
+            self.max_inline_depth,
+            self.caller_max_size,
+            self.hot_callee_max_size
+        )
+    }
+}
+
+/// Parameter names in genome order (for reports and Table 4 output).
+pub const PARAM_NAMES: [&str; 5] = [
+    "CALLEE_MAX_SIZE",
+    "ALWAYS_INLINE_SIZE",
+    "MAX_INLINE_DEPTH",
+    "CALLER_MAX_SIZE",
+    "HOT_CALLEE_MAX_SIZE",
+];
+
+/// The search ranges of the paper's Table 1 (inclusive), in genome order.
+///
+/// The `ALWAYS_INLINE_SIZE` upper bound is reconstructed as 30 (the table
+/// row is partially illegible in the source; the paper's found values range
+/// 6–16 and the Jikes default is 11, all comfortably inside 1–30).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRanges {
+    /// Inclusive `(lo, hi)` bounds per gene.
+    pub bounds: [(i64, i64); 5],
+}
+
+impl ParamRanges {
+    /// Table 1 ranges.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            bounds: [(1, 50), (1, 30), (1, 15), (1, 4000), (1, 400)],
+        }
+    }
+
+    /// Ranges for the optimizing scenario, where `HOT_CALLEE_MAX_SIZE` is
+    /// unused (the paper reports "NA" for it under `Opt`): the hot gene is
+    /// pinned to the default so the search space collapses to four
+    /// dimensions.
+    #[must_use]
+    pub fn paper_opt_only() -> Self {
+        let mut r = Self::paper();
+        let hot = i64::from(InlineParams::jikes_default().hot_callee_max_size);
+        r.bounds[4] = (hot, hot);
+        r
+    }
+
+    /// Total number of distinct genomes in the search space.
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        self.bounds
+            .iter()
+            .map(|(lo, hi)| (hi - lo + 1) as u128)
+            .product()
+    }
+
+    /// Whether a genome lies inside the ranges.
+    #[must_use]
+    pub fn contains(&self, genes: &[i64]) -> bool {
+        genes.len() == 5
+            && genes
+                .iter()
+                .zip(&self.bounds)
+                .all(|(g, (lo, hi))| g >= lo && g <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table4() {
+        let d = InlineParams::jikes_default();
+        assert_eq!(d.callee_max_size, 23);
+        assert_eq!(d.always_inline_size, 11);
+        assert_eq!(d.max_inline_depth, 5);
+        assert_eq!(d.caller_max_size, 2048);
+        assert_eq!(d.hot_callee_max_size, 135);
+    }
+
+    #[test]
+    fn genome_roundtrip() {
+        let p = InlineParams {
+            callee_max_size: 49,
+            always_inline_size: 15,
+            max_inline_depth: 10,
+            caller_max_size: 60,
+            hot_callee_max_size: 138,
+        };
+        assert_eq!(InlineParams::from_genes(&p.to_genes()), p);
+    }
+
+    #[test]
+    fn from_genes_clamps_out_of_domain_values() {
+        let p = InlineParams::from_genes(&[-5, 11, 5, 2048, 135]);
+        assert_eq!(p.callee_max_size, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "5 genes")]
+    fn from_genes_rejects_wrong_length() {
+        let _ = InlineParams::from_genes(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn paper_ranges_are_large() {
+        let r = ParamRanges::paper();
+        // The paper quotes ~3e11 keys; our reconstructed table gives ~3.6e10,
+        // far beyond exhaustive search either way.
+        assert!(r.cardinality() > 1e10 as u128, "{}", r.cardinality());
+    }
+
+    #[test]
+    fn ranges_contain_defaults() {
+        let r = ParamRanges::paper();
+        assert!(r.contains(&InlineParams::jikes_default().to_genes()));
+        assert!(!r.contains(&InlineParams::disabled().to_genes()));
+        assert!(!r.contains(&[1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn opt_only_ranges_pin_hot_gene() {
+        let r = ParamRanges::paper_opt_only();
+        assert_eq!(r.bounds[4], (135, 135));
+        assert!(r.cardinality() < ParamRanges::paper().cardinality());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = InlineParams::jikes_default().to_string();
+        assert!(s.contains("callee_max=23"));
+    }
+}

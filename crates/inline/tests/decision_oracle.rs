@@ -1,0 +1,108 @@
+//! Randomized cross-check of the decision procedures against independent
+//! oracle transliterations of the paper's Fig. 3 and Fig. 4 pseudo-code,
+//! plus end-to-end checks that the *transformer* obeys the decisions it
+//! is given.
+
+use proptest::prelude::*;
+
+use inliner::{hot_decision, static_decision, InlineParams};
+
+/// Literal transliteration of Fig. 3 (kept deliberately separate from the
+/// library implementation).
+fn fig3_oracle(callee: u32, depth: u32, caller: u32, p: &InlineParams) -> bool {
+    if callee > p.callee_max_size {
+        return false;
+    }
+    if callee < p.always_inline_size {
+        return true;
+    }
+    if depth > p.max_inline_depth {
+        return false;
+    }
+    if caller > p.caller_max_size {
+        return false;
+    }
+    true
+}
+
+/// Literal transliteration of Fig. 4.
+fn fig4_oracle(callee: u32, p: &InlineParams) -> bool {
+    callee <= p.hot_callee_max_size
+}
+
+prop_compose! {
+    fn arb_params()(
+        a in 0u32..=80,
+        b in 0u32..=50,
+        c in 0u32..=20,
+        d in 0u32..=5000,
+        e in 0u32..=500,
+    ) -> InlineParams {
+        InlineParams {
+            callee_max_size: a,
+            always_inline_size: b,
+            max_inline_depth: c,
+            caller_max_size: d,
+            hot_callee_max_size: e,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn static_decision_matches_fig3_oracle(
+        params in arb_params(),
+        callee in 0u32..=100,
+        depth in 0u32..=25,
+        caller in 0u32..=6000,
+    ) {
+        prop_assert_eq!(
+            static_decision(callee, depth, caller, &params).is_inline(),
+            fig3_oracle(callee, depth, caller, &params),
+            "callee={} depth={} caller={} params={}",
+            callee, depth, caller, params
+        );
+    }
+
+    #[test]
+    fn hot_decision_matches_fig4_oracle(params in arb_params(), callee in 0u32..=600) {
+        prop_assert_eq!(
+            hot_decision(callee, &params).is_inline(),
+            fig4_oracle(callee, &params),
+            "callee={} params={}",
+            callee, params
+        );
+    }
+
+    /// The always-inline short-circuit: when the callee is below both
+    /// ALWAYS_INLINE_SIZE and CALLEE_MAX_SIZE, depth and caller size are
+    /// irrelevant — a subtle ordering property of the original heuristic.
+    #[test]
+    fn always_inline_ignores_depth_and_caller(
+        params in arb_params(),
+        frac in 0.0f64..1.0,
+        d1 in 0u32..=25, d2 in 0u32..=25,
+        c1 in 0u32..=6000, c2 in 0u32..=6000,
+    ) {
+        prop_assume!(params.always_inline_size > 0);
+        // Construct a callee inside the always-inline band directly.
+        let upper = (params.always_inline_size - 1).min(params.callee_max_size);
+        let callee = (frac * f64::from(upper + 1)).floor() as u32;
+        prop_assume!(callee < params.always_inline_size && callee <= params.callee_max_size);
+        prop_assert!(static_decision(callee, d1, c1, &params).is_inline());
+        prop_assert_eq!(
+            static_decision(callee, d1, c1, &params),
+            static_decision(callee, d2, c2, &params)
+        );
+    }
+
+    /// Oversized callees are rejected regardless of everything else —
+    /// test 1 dominates even the always-inline test.
+    #[test]
+    fn callee_cap_dominates(params in arb_params(), depth in 0u32..=25, caller in 0u32..=6000) {
+        let callee = params.callee_max_size.saturating_add(1);
+        prop_assert!(!static_decision(callee, depth, caller, &params).is_inline());
+    }
+}

@@ -1,0 +1,262 @@
+//! Call-graph construction and analysis (successors, Tarjan SCCs,
+//! reverse-topological order).
+//!
+//! The inliner uses SCC information to recognize (mutually) recursive
+//! methods; the optimizing compiler processes methods in reverse topological
+//! order of the condensation so callee bodies are final before callers
+//! consider inlining them (a bottom-up inlining pass, as in Jikes RVM's
+//! static inline oracle).
+
+use std::collections::HashSet;
+
+use crate::method::MethodId;
+use crate::program::Program;
+use crate::stmt::{visit_body, Stmt};
+
+/// An adjacency-list call graph over the methods of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `succ[i]` = deduplicated callees of method `i`.
+    succ: Vec<Vec<MethodId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a program (edges deduplicated).
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let n = program.methods.len();
+        let mut succ = vec![Vec::new(); n];
+        for (i, m) in program.methods.iter().enumerate() {
+            let mut seen = HashSet::new();
+            visit_body(&m.body, &mut |s| {
+                if let Stmt::Call(c) = s {
+                    if c.callee.index() < n && seen.insert(c.callee) {
+                        succ[i].push(c.callee);
+                    }
+                }
+            });
+        }
+        Self { succ }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Direct callees of a method (deduplicated).
+    #[must_use]
+    pub fn callees(&self, m: MethodId) -> &[MethodId] {
+        &self.succ[m.index()]
+    }
+
+    /// Total number of (deduplicated) call edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Strongly connected components via Tarjan's algorithm (iterative, so
+    /// deep call chains cannot overflow the native stack). Components are
+    /// returned in **reverse topological order**: every edge leaving a
+    /// component points to an *earlier* component in the returned list.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<MethodId>> {
+        let n = self.succ.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<MethodId>> = Vec::new();
+
+        // Explicit DFS frames: (node, next-successor position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos < self.succ[v].len() {
+                    let w = self.succ[v][*pos].index();
+                    *pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(MethodId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// The set of methods that participate in recursion: members of an SCC
+    /// of size > 1, or methods with a direct self-edge.
+    #[must_use]
+    pub fn recursive_set(&self) -> HashSet<MethodId> {
+        let mut out = HashSet::new();
+        for comp in self.sccs() {
+            if comp.len() > 1 {
+                out.extend(comp.iter().copied());
+            } else {
+                let m = comp[0];
+                if self.succ[m.index()].contains(&m) {
+                    out.insert(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Methods in bottom-up (callees-before-callers) order. Within a cycle
+    /// the relative order is arbitrary but deterministic.
+    #[must_use]
+    pub fn bottom_up_order(&self) -> Vec<MethodId> {
+        self.sccs().into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::stmt::CallSiteId;
+
+    fn calls(id: u32, callees: &[u32]) -> Method {
+        Method {
+            id: MethodId(id),
+            name: format!("m{id}"),
+            n_params: 0,
+            n_regs: 1,
+            body: callees
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| {
+                    Stmt::call(CallSiteId(id * 100 + k as u32), MethodId(c), vec![], None)
+                })
+                .collect(),
+            ret: 0i64.into(),
+        }
+    }
+
+    fn prog(methods: Vec<Method>) -> Program {
+        Program {
+            name: "cg".into(),
+            methods,
+            entry: MethodId(0),
+            heap_size: 8,
+        }
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let p = prog(vec![calls(0, &[1, 1, 1]), calls(1, &[])]);
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees(MethodId(0)), &[MethodId(1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sccs_of_dag_are_singletons_in_reverse_topo_order() {
+        // 0 -> 1 -> 2 and 0 -> 2.
+        let p = prog(vec![calls(0, &[1, 2]), calls(1, &[2]), calls(2, &[])]);
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 3);
+        // Reverse topological: 2 before 1 before 0.
+        let pos = |m: u32| sccs.iter().position(|c| c.contains(&MethodId(m))).unwrap();
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        // 0 -> 1 <-> 2, plus 2 -> 3.
+        let p = prog(vec![
+            calls(0, &[1]),
+            calls(1, &[2]),
+            calls(2, &[1, 3]),
+            calls(3, &[]),
+        ]);
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+        let big: Vec<_> = sccs.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        let mut ids: Vec<u32> = big[0].iter().map(|m| m.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        let rec = g.recursive_set();
+        assert!(rec.contains(&MethodId(1)) && rec.contains(&MethodId(2)));
+        assert!(!rec.contains(&MethodId(0)) && !rec.contains(&MethodId(3)));
+    }
+
+    #[test]
+    fn self_loop_is_recursive() {
+        let p = prog(vec![calls(0, &[0])]);
+        let g = CallGraph::build(&p);
+        assert!(g.recursive_set().contains(&MethodId(0)));
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_first() {
+        let p = prog(vec![calls(0, &[1]), calls(1, &[2]), calls(2, &[])]);
+        let g = CallGraph::build(&p);
+        let order = g.bottom_up_order();
+        assert_eq!(order, vec![MethodId(2), MethodId(1), MethodId(0)]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-deep chain exercises the iterative Tarjan.
+        let n = 10_000u32;
+        let methods: Vec<Method> = (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    calls(i, &[i + 1])
+                } else {
+                    calls(i, &[])
+                }
+            })
+            .collect();
+        let g = CallGraph::build(&prog(methods));
+        assert_eq!(g.sccs().len(), n as usize);
+    }
+}

@@ -1,0 +1,469 @@
+//! A reference interpreter giving the IR concrete semantics.
+//!
+//! The interpreter exists to make correctness claims *testable*: the inliner
+//! must preserve interpreter results exactly (return value, heap contents,
+//! and invariant-op count), which the property tests in
+//! `inlinetune-inline` verify on thousands of random programs.
+//!
+//! Cost evaluation never interprets — the JIT simulator uses the analytic
+//! frequency analysis — so the interpreter favours clarity over speed.
+//!
+//! ## Fuel accounting
+//!
+//! `fuel_used` counts *semantic steps*: every non-`Mov` op, every loop
+//! iteration and every branch evaluation. `Mov` ops are excluded because the
+//! inliner introduces argument/return plumbing `Mov`s; with this accounting,
+//! fuel consumption is invariant under inlining, so a fuel limit can never
+//! make an inlined program diverge from its original.
+
+use crate::method::MethodId;
+use crate::op::{OpKind, Operand};
+use crate::program::Program;
+use crate::stmt::Stmt;
+
+/// Resource limits for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpLimits {
+    /// Maximum semantic steps (see module docs).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: u32,
+}
+
+impl Default for InterpLimits {
+    fn default() -> Self {
+        Self {
+            fuel: 50_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// Why a run stopped without producing a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The fuel limit was reached.
+    OutOfFuel,
+    /// The call-depth limit was reached.
+    DepthExceeded,
+    /// Wrong number of arguments supplied to the invoked method.
+    ArgCountMismatch {
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfFuel => write!(f, "out of fuel"),
+            InterpError::DepthExceeded => write!(f, "call depth exceeded"),
+            InterpError::ArgCountMismatch { got, want } => {
+                write!(f, "argument count mismatch: got {got}, want {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The observable outcome of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// The entry method's return value.
+    pub value: i64,
+    /// Semantic steps consumed (invariant under inlining).
+    pub fuel_used: u64,
+    /// All ops executed, including `Mov`s (NOT invariant under inlining).
+    pub ops_executed: u64,
+    /// Dynamic calls executed (decreases under inlining).
+    pub calls_executed: u64,
+    /// FNV-1a digest of the final heap (order-sensitive).
+    pub heap_digest: u64,
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    heap: Vec<i64>,
+    fuel_left: u64,
+    fuel_budget: u64,
+    ops_executed: u64,
+    calls_executed: u64,
+    max_depth: u32,
+}
+
+impl<'p> Interp<'p> {
+    fn burn(&mut self, n: u64) -> Result<(), InterpError> {
+        if self.fuel_left < n {
+            self.fuel_left = 0;
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel_left -= n;
+        Ok(())
+    }
+
+    fn heap_index(&self, addr: i64) -> usize {
+        (addr.rem_euclid(self.heap.len() as i64)) as usize
+    }
+
+    fn exec_body(
+        &mut self,
+        body: &[Stmt],
+        regs: &mut [i64],
+        depth: u32,
+    ) -> Result<(), InterpError> {
+        for stmt in body {
+            match stmt {
+                Stmt::Op(o) => {
+                    self.ops_executed += 1;
+                    let a = eval(o.a, regs);
+                    let b = eval(o.b, regs);
+                    match o.op {
+                        OpKind::Mov => {
+                            // Plumbing: free (see module docs).
+                            regs[o.dst.0 as usize] = a;
+                        }
+                        OpKind::Load => {
+                            self.burn(1)?;
+                            let idx = self.heap_index(a);
+                            regs[o.dst.0 as usize] = self.heap[idx];
+                        }
+                        OpKind::Store => {
+                            self.burn(1)?;
+                            let idx = self.heap_index(a);
+                            self.heap[idx] = b;
+                        }
+                        op => {
+                            self.burn(1)?;
+                            regs[o.dst.0 as usize] = op.eval_pure(a, b);
+                        }
+                    }
+                }
+                Stmt::Call(c) => {
+                    let args: Vec<i64> = c.args.iter().map(|a| eval(*a, regs)).collect();
+                    let v = self.invoke(c.callee, &args, depth + 1)?;
+                    self.calls_executed += 1;
+                    if let Some(d) = c.dst {
+                        regs[d.0 as usize] = v;
+                    }
+                }
+                Stmt::Loop { trips, body } => {
+                    for _ in 0..*trips {
+                        self.burn(1)?; // loop-iteration step
+                        self.exec_body(body, regs, depth)?;
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                    ..
+                } => {
+                    self.burn(1)?; // branch evaluation step
+                    let taken = eval(*cond, regs) & 1 != 0;
+                    let arm = if taken { then_b } else { else_b };
+                    self.exec_body(arm, regs, depth)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn invoke(&mut self, id: MethodId, args: &[i64], depth: u32) -> Result<i64, InterpError> {
+        if depth > self.max_depth {
+            return Err(InterpError::DepthExceeded);
+        }
+        let m = self.program.method(id);
+        if args.len() != m.n_params as usize {
+            return Err(InterpError::ArgCountMismatch {
+                got: args.len(),
+                want: m.n_params as usize,
+            });
+        }
+        let mut regs = vec![0i64; m.n_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        self.exec_body(&m.body, &mut regs, depth)?;
+        Ok(eval(m.ret, &regs))
+    }
+}
+
+#[inline]
+fn eval(o: Operand, regs: &[i64]) -> i64 {
+    match o {
+        Operand::Reg(r) => regs[r.0 as usize],
+        Operand::Imm(v) => v,
+    }
+}
+
+/// Deterministic initial heap contents: a SplitMix64-style mix of the slot
+/// index, so programs observe rich, reproducible initial state.
+#[must_use]
+pub fn initial_heap(size: u32) -> Vec<i64> {
+    (0..size as u64)
+        .map(|i| {
+            let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as i64
+        })
+        .collect()
+}
+
+fn fnv1a_heap(heap: &[i64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in heap {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs a program's entry method with the given arguments.
+///
+/// # Errors
+/// Returns an [`InterpError`] on fuel/depth exhaustion or arity mismatch.
+pub fn run(
+    program: &Program,
+    args: &[i64],
+    limits: &InterpLimits,
+) -> Result<RunOutput, InterpError> {
+    run_method(program, program.entry, args, limits)
+}
+
+/// Runs an arbitrary method of the program (the entry-point variant used by
+/// equivalence tests that compare individual transformed methods).
+///
+/// # Errors
+/// Returns an [`InterpError`] on fuel/depth exhaustion or arity mismatch.
+pub fn run_method(
+    program: &Program,
+    method: MethodId,
+    args: &[i64],
+    limits: &InterpLimits,
+) -> Result<RunOutput, InterpError> {
+    let mut interp = Interp {
+        program,
+        heap: initial_heap(program.heap_size),
+        fuel_left: limits.fuel,
+        fuel_budget: limits.fuel,
+        ops_executed: 0,
+        calls_executed: 0,
+        max_depth: limits.max_depth,
+    };
+    let value = interp.invoke(method, args, 0)?;
+    Ok(RunOutput {
+        value,
+        fuel_used: interp.fuel_budget - interp.fuel_left,
+        ops_executed: interp.ops_executed,
+        calls_executed: interp.calls_executed,
+        heap_digest: fnv1a_heap(&interp.heap),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MethodBuilder, ProgramBuilder};
+    use crate::op::{OpKind, Reg};
+
+    fn limits() -> InterpLimits {
+        InterpLimits::default()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        let a = m.op(OpKind::Mov, 6i64, 0i64);
+        let b = m.op(OpKind::Mul, a, 7i64);
+        m.ret(b);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        assert_eq!(run(&p, &[], &limits()).unwrap().value, 42);
+    }
+
+    #[test]
+    fn loops_iterate_exactly() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        let acc = m.op(OpKind::Mov, 0i64, 0i64);
+        m.begin_loop(100);
+        m.op_into(OpKind::Add, acc, acc, 3i64);
+        m.end();
+        m.ret(acc);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        assert_eq!(run(&p, &[], &limits()).unwrap().value, 300);
+    }
+
+    #[test]
+    fn branch_takes_odd_condition() {
+        let mk = |cond_val: i64| {
+            let mut pb = ProgramBuilder::new("t");
+            let mut m = MethodBuilder::new("main", 0);
+            let c = m.op(OpKind::Mov, cond_val, 0i64);
+            let out = m.op(OpKind::Mov, 0i64, 0i64);
+            m.begin_if(c, 0.5);
+            m.op_into(OpKind::Mov, out, 111i64, 0i64);
+            m.begin_else();
+            m.op_into(OpKind::Mov, out, 222i64, 0i64);
+            m.end();
+            m.ret(out);
+            let id = pb.add(m);
+            pb.entry(id);
+            pb.build().unwrap()
+        };
+        assert_eq!(run(&mk(3), &[], &limits()).unwrap().value, 111);
+        assert_eq!(run(&mk(4), &[], &limits()).unwrap().value, 222);
+    }
+
+    #[test]
+    fn heap_store_then_load_roundtrips() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        let addr = m.op(OpKind::Mov, 5i64, 0i64);
+        m.op_into(OpKind::Store, Reg(0), addr, 1234i64);
+        let v = m.op(OpKind::Load, addr, 0i64);
+        m.ret(v);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        assert_eq!(run(&p, &[], &limits()).unwrap().value, 1234);
+    }
+
+    #[test]
+    fn heap_addresses_wrap_negative() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        // Store at -1 == heap_size - 1.
+        let addr = m.op(OpKind::Mov, -1i64, 0i64);
+        m.op_into(OpKind::Store, Reg(0), addr, 9i64);
+        let pos = m.op(OpKind::Mov, (1 << 16) - 1i64, 0i64);
+        let v = m.op(OpKind::Load, pos, 0i64);
+        m.ret(v);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        assert_eq!(run(&p, &[], &limits()).unwrap().value, 9);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut add = MethodBuilder::new("add", 2);
+        let s = add.op(OpKind::Add, add.param(0), add.param(1));
+        add.ret(s);
+        let add_id = pb.add(add);
+        let mut m = MethodBuilder::new("main", 0);
+        let site = pb.fresh_site();
+        let v = m
+            .call(site, add_id, vec![40i64.into(), 2i64.into()], true)
+            .unwrap();
+        m.ret(v);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        let out = run(&p, &[], &limits()).unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.calls_executed, 1);
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        let acc = m.op(OpKind::Mov, 0i64, 0i64);
+        m.begin_loop(1000);
+        m.op_into(OpKind::Add, acc, acc, 1i64);
+        m.end();
+        m.ret(acc);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        let err = run(
+            &p,
+            &[],
+            &InterpLimits {
+                fuel: 10,
+                max_depth: 8,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut pb = ProgramBuilder::new("t");
+        let rec_id = pb.declare();
+        let mut rec = MethodBuilder::new("rec", 1);
+        let arg = rec.param(0);
+        let site = pb.fresh_site();
+        // Unconditional recursion.
+        rec.call(site, rec_id, vec![arg.into()], false);
+        rec.ret(arg);
+        pb.define(rec_id, rec);
+        let mut m = MethodBuilder::new("main", 0);
+        let s = pb.fresh_site();
+        m.call(s, rec_id, vec![0i64.into()], false);
+        m.ret(0i64);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        let err = run(
+            &p,
+            &[],
+            &InterpLimits {
+                fuel: 1_000_000,
+                max_depth: 16,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::DepthExceeded);
+    }
+
+    #[test]
+    fn mov_is_fuel_free_but_counted_as_op() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        let a = m.op(OpKind::Mov, 1i64, 0i64);
+        let b = m.op(OpKind::Add, a, 1i64);
+        m.ret(b);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        let out = run(&p, &[], &limits()).unwrap();
+        assert_eq!(out.ops_executed, 2);
+        assert_eq!(out.fuel_used, 1); // only the Add burns fuel
+    }
+
+    #[test]
+    fn initial_heap_is_deterministic_and_nonzero() {
+        let h1 = initial_heap(128);
+        let h2 = initial_heap(128);
+        assert_eq!(h1, h2);
+        assert!(h1.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn digest_reflects_heap_changes() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut m = MethodBuilder::new("main", 0);
+        m.op_into(OpKind::Store, Reg(0), 3i64, 77i64);
+        m.ret(0i64);
+        let id = pb.add(m);
+        pb.entry(id);
+        let p = pb.build().unwrap();
+        let mut p2 = p.clone();
+        p2.methods[0].body.clear();
+        let d1 = run(&p, &[], &limits()).unwrap().heap_digest;
+        let d2 = run(&p2, &[], &limits()).unwrap().heap_digest;
+        assert_ne!(d1, d2);
+    }
+}

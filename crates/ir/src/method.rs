@@ -1,0 +1,109 @@
+//! Methods: the unit of compilation, inlining and profiling.
+
+use crate::op::Operand;
+use crate::stmt::{call_sites, stmt_count, Stmt};
+
+/// Identity of a method within a [`crate::Program`] (an index into
+/// `Program::methods`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// The index this id denotes.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MethodId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A method: parameters, a register frame, a structured body and a return
+/// operand.
+///
+/// There are no early returns: the return value is `ret`, evaluated after
+/// the body completes. This mirrors a single-exit canonical form and makes
+/// inlining a pure statement-list substitution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// This method's id (must equal its index in the owning program).
+    pub id: MethodId,
+    /// Human-readable name (used by the pretty printer and reports).
+    pub name: String,
+    /// Number of parameters; arguments arrive in registers `0..n_params`.
+    pub n_params: u16,
+    /// Total registers in the frame; must be `>= n_params` and cover every
+    /// register mentioned in the body.
+    pub n_regs: u16,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// The value returned to the caller.
+    pub ret: Operand,
+}
+
+impl Method {
+    /// Total statement count (including nested).
+    #[must_use]
+    pub fn stmt_count(&self) -> usize {
+        stmt_count(&self.body)
+    }
+
+    /// Number of syntactic call sites in the body.
+    #[must_use]
+    pub fn call_site_count(&self) -> usize {
+        call_sites(&self.body).len()
+    }
+
+    /// Ids of methods this method calls directly (with duplicates).
+    #[must_use]
+    pub fn callees(&self) -> Vec<MethodId> {
+        call_sites(&self.body).iter().map(|c| c.callee).collect()
+    }
+
+    /// Whether the body mentions no call statements at all (a leaf method).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.call_site_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Reg};
+    use crate::stmt::CallSiteId;
+
+    fn leaf() -> Method {
+        Method {
+            id: MethodId(0),
+            name: "leaf".into(),
+            n_params: 1,
+            n_regs: 2,
+            body: vec![Stmt::op(OpKind::Add, Reg(1), Reg(0), 1i64)],
+            ret: Reg(1).into(),
+        }
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let m = leaf();
+        assert!(m.is_leaf());
+        assert_eq!(m.stmt_count(), 1);
+        assert!(m.callees().is_empty());
+    }
+
+    #[test]
+    fn callees_reports_duplicates() {
+        let mut m = leaf();
+        m.body
+            .push(Stmt::call(CallSiteId(0), MethodId(2), vec![], None));
+        m.body
+            .push(Stmt::call(CallSiteId(1), MethodId(2), vec![], None));
+        assert_eq!(m.callees(), vec![MethodId(2), MethodId(2)]);
+        assert!(!m.is_leaf());
+    }
+}

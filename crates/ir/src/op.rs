@@ -1,0 +1,295 @@
+//! Primitive operations, operands and registers.
+
+/// A virtual register index within a method's frame.
+///
+/// Registers are method-local; inlining renames the callee's registers by a
+/// fixed offset into the caller's (grown) frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An operand: either a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read a register of the current frame.
+    Reg(Reg),
+    /// A literal value.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    #[must_use]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Cost classes: the execution-cost model in `inlinetune-jit` assigns a
+/// per-architecture cycle cost to each class rather than to each op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Simple integer ALU op (add, xor, …) — 1 "unit" on most machines.
+    IntAlu,
+    /// Integer multiply — several cycles.
+    IntMul,
+    /// Memory access (load/store to the program heap).
+    Mem,
+    /// Fixed-point "floating" arithmetic — models FP latency.
+    Float,
+}
+
+/// The primitive operation kinds.
+///
+/// All operations are **total**: wrapping arithmetic, masked shifts, and
+/// division-free, so the interpreter never traps and inlining never has to
+/// reason about exceptional control flow (the Jikes heuristic does not
+/// either — exceptions are handled elsewhere in the RVM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `dst = a` (register/immediate move). Inserted by the inliner for
+    /// argument and return-value plumbing.
+    Mov,
+    /// `dst = a + b` (wrapping).
+    Add,
+    /// `dst = a - b` (wrapping).
+    Sub,
+    /// `dst = a * b` (wrapping).
+    Mul,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a << (b & 63)` (wrapping shift).
+    Shl,
+    /// `dst = a >> (b & 63)` (arithmetic).
+    Shr,
+    /// `dst = min(a, b)`.
+    Min,
+    /// `dst = max(a, b)`.
+    Max,
+    /// `dst = heap[a mod H]` — load from the program heap.
+    Load,
+    /// `heap[a mod H] = b` — store to the program heap (`dst` unused).
+    Store,
+    /// Fixed-point multiply: `dst = (a * b) >> 16` (on 128-bit intermediate);
+    /// stands in for floating-point multiply in compute kernels.
+    FMul,
+    /// Fixed-point add (same as Add but costed as [`CostClass::Float`]);
+    /// stands in for floating-point add.
+    FAdd,
+}
+
+impl OpKind {
+    /// The cost class the JIT cost model uses for this op.
+    #[must_use]
+    pub fn cost_class(self) -> CostClass {
+        match self {
+            OpKind::Mov
+            | OpKind::Add
+            | OpKind::Sub
+            | OpKind::Xor
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Shl
+            | OpKind::Shr
+            | OpKind::Min
+            | OpKind::Max => CostClass::IntAlu,
+            OpKind::Mul => CostClass::IntMul,
+            OpKind::Load | OpKind::Store => CostClass::Mem,
+            OpKind::FMul | OpKind::FAdd => CostClass::Float,
+        }
+    }
+
+    /// Estimated number of machine instructions this op expands to — the
+    /// unit of Jikes RVM's "estimated size" that all inlining thresholds
+    /// (`CALLEE_MAX_SIZE` etc.) are compared against.
+    #[must_use]
+    pub fn size_weight(self) -> u32 {
+        match self {
+            OpKind::Mov => 1,
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Xor
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Shl
+            | OpKind::Shr => 1,
+            OpKind::Min | OpKind::Max => 2,
+            OpKind::Mul => 1,
+            OpKind::Load | OpKind::Store => 2,
+            OpKind::FMul | OpKind::FAdd => 2,
+        }
+    }
+
+    /// Whether this op writes `dst`.
+    #[must_use]
+    pub fn writes_dst(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Evaluates the op on concrete values (heap handled by the caller —
+    /// this covers the pure ops; `Load`/`Store` are interpreted in
+    /// [`crate::interp`]).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if called on `Load`/`Store`.
+    #[must_use]
+    pub fn eval_pure(self, a: i64, b: i64) -> i64 {
+        match self {
+            OpKind::Mov => a,
+            OpKind::Add => a.wrapping_add(b),
+            OpKind::Sub => a.wrapping_sub(b),
+            OpKind::Mul => a.wrapping_mul(b),
+            OpKind::Xor => a ^ b,
+            OpKind::And => a & b,
+            OpKind::Or => a | b,
+            OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+            OpKind::Shr => a.wrapping_shr((b & 63) as u32),
+            OpKind::Min => a.min(b),
+            OpKind::Max => a.max(b),
+            OpKind::FMul => (((a as i128) * (b as i128)) >> 16) as i64,
+            OpKind::FAdd => a.wrapping_add(b),
+            OpKind::Load | OpKind::Store => {
+                debug_assert!(false, "eval_pure on memory op");
+                0
+            }
+        }
+    }
+
+    /// All op kinds, for exhaustive tests and random generation.
+    pub const ALL: [OpKind; 15] = [
+        OpKind::Mov,
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Xor,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::Min,
+        OpKind::Max,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::FMul,
+        OpKind::FAdd,
+    ];
+
+    /// Short mnemonic for the pretty printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Mov => "mov",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Xor => "xor",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::FMul => "fmul",
+            OpKind::FAdd => "fadd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_pure_wrapping_behaviour() {
+        assert_eq!(OpKind::Add.eval_pure(i64::MAX, 1), i64::MIN);
+        assert_eq!(OpKind::Sub.eval_pure(i64::MIN, 1), i64::MAX);
+        assert_eq!(OpKind::Mul.eval_pure(i64::MAX, 2), -2);
+    }
+
+    #[test]
+    fn eval_pure_shifts_mask_amount() {
+        assert_eq!(OpKind::Shl.eval_pure(1, 64), 1); // 64 & 63 == 0
+        assert_eq!(OpKind::Shl.eval_pure(1, 65), 2);
+        assert_eq!(OpKind::Shr.eval_pure(-8, 1), -4); // arithmetic shift
+    }
+
+    #[test]
+    fn eval_pure_minmax() {
+        assert_eq!(OpKind::Min.eval_pure(3, -5), -5);
+        assert_eq!(OpKind::Max.eval_pure(3, -5), 3);
+    }
+
+    #[test]
+    fn fmul_is_fixed_point() {
+        // 2.0 * 3.0 in 48.16 fixed point = 6.0
+        let two = 2i64 << 16;
+        let three = 3i64 << 16;
+        assert_eq!(OpKind::FMul.eval_pure(two, three), 6i64 << 16);
+    }
+
+    #[test]
+    fn every_op_has_positive_size_weight() {
+        for op in OpKind::ALL {
+            assert!(op.size_weight() >= 1, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn store_does_not_write_dst() {
+        for op in OpKind::ALL {
+            assert_eq!(op.writes_dst(), op != OpKind::Store, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn cost_classes_are_as_documented() {
+        assert_eq!(OpKind::Add.cost_class(), CostClass::IntAlu);
+        assert_eq!(OpKind::Mul.cost_class(), CostClass::IntMul);
+        assert_eq!(OpKind::Load.cost_class(), CostClass::Mem);
+        assert_eq!(OpKind::FMul.cost_class(), CostClass::Float);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg(3).into();
+        assert_eq!(o.reg(), Some(Reg(3)));
+        let i: Operand = 42i64.into();
+        assert_eq!(i.reg(), None);
+        assert_eq!(format!("{o} {i}"), "r3 #42");
+    }
+}

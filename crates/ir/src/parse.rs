@@ -1,0 +1,459 @@
+//! Parser for the [`crate::pretty`] text format.
+//!
+//! Together with the pretty printer this gives programs a stable
+//! serialized form: `parse_program(program_to_string(p)) == p` (verified
+//! by round-trip property tests). Used to dump and reload workloads, to
+//! write golden tests, and by the `custom_workload` example's file mode.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! program "NAME" (methods=N, entry=mE, heap=H)
+//! method mI "NAME" (params=P, regs=R, est_size=S)
+//!   OP rD <- A, B
+//!   call rD <- mC(A, ...) @csK        (or: call _ <- ...)
+//!   loop xT {
+//!     ...
+//!   }
+//!   if A (p=0.25) {
+//!     ...
+//!   } else {
+//!     ...
+//!   }
+//!   return A
+//! ```
+//!
+//! where operands are `rN` (register) or `#V` (immediate), and `est_size`
+//! is informational (recomputed, not trusted).
+
+use crate::method::{Method, MethodId};
+use crate::op::{OpKind, Operand, Reg};
+use crate::program::Program;
+use crate::stmt::{CallSiteId, CallStmt, OpStmt, Stmt};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.pos.min(self.lines.len()),
+            message: message.into(),
+        })
+    }
+
+    /// The next non-empty line, trimmed, without consuming it.
+    fn peek(&mut self) -> Option<&'a str> {
+        while self.pos < self.lines.len() && self.lines[self.pos].trim().is_empty() {
+            self.pos += 1;
+        }
+        self.lines.get(self.pos).map(|l| l.trim())
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        let line = self.peek()?;
+        self.pos += 1;
+        Some(line)
+    }
+}
+
+fn parse_quoted(s: &str) -> Option<(String, &str)> {
+    let rest = s.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+fn parse_u32_field(text: &str, key: &str) -> Option<u32> {
+    // `key` includes its separator, e.g. "entry=m" or "heap=".
+    let idx = text.find(key)?;
+    let after = &text[idx + key.len()..];
+    let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn parse_operand(s: &str) -> Option<Operand> {
+    let s = s.trim();
+    if let Some(v) = s.strip_prefix('#') {
+        return v.parse::<i64>().ok().map(Operand::Imm);
+    }
+    if let Some(r) = s.strip_prefix('r') {
+        return r.parse::<u16>().ok().map(|n| Operand::Reg(Reg(n)));
+    }
+    None
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    match parse_operand(s)? {
+        Operand::Reg(r) => Some(r),
+        Operand::Imm(_) => None,
+    }
+}
+
+fn mnemonic_to_op(m: &str) -> Option<OpKind> {
+    OpKind::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+/// Parses a whole program from the pretty-printer format.
+///
+/// # Errors
+/// Returns a [`ParseError`] naming the offending line; the parsed program
+/// is *not* validated — run [`crate::validate::validate`] if the input is
+/// untrusted.
+pub fn parse_program(text: &str) -> PResult<Program> {
+    let mut p = Parser {
+        lines: text.lines().collect(),
+        pos: 0,
+    };
+    let header = match p.next_line() {
+        Some(h) => h,
+        None => return p.err("empty input"),
+    };
+    let rest = match header.strip_prefix("program ") {
+        Some(r) => r,
+        None => return p.err("expected `program \"NAME\" (...)`"),
+    };
+    let (name, meta) = match parse_quoted(rest) {
+        Some(x) => x,
+        None => return p.err("expected quoted program name"),
+    };
+    let entry = match parse_u32_field(meta, "entry=m") {
+        Some(e) => MethodId(e),
+        None => return p.err("missing entry=mN"),
+    };
+    let heap_size = match parse_u32_field(meta, "heap=") {
+        Some(h) => h,
+        None => return p.err("missing heap=N"),
+    };
+
+    let mut methods = Vec::new();
+    while let Some(line) = p.peek() {
+        if line.starts_with("method ") {
+            methods.push(parse_method(&mut p)?);
+        } else {
+            return p.err(format!("unexpected line: {line}"));
+        }
+    }
+    Ok(Program {
+        name,
+        methods,
+        entry,
+        heap_size,
+    })
+}
+
+fn parse_method(p: &mut Parser<'_>) -> PResult<Method> {
+    let line = p.next_line().expect("peeked");
+    let rest = match line.strip_prefix("method m") {
+        Some(r) => r,
+        None => return p.err("expected method header"),
+    };
+    let id_digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let id = match id_digits.parse::<u32>() {
+        Ok(v) => MethodId(v),
+        Err(_) => return p.err("bad method id"),
+    };
+    let after_id = &rest[id_digits.len()..];
+    let (name, meta) = match parse_quoted(after_id.trim_start()) {
+        Some(x) => x,
+        None => return p.err("expected quoted method name"),
+    };
+    let n_params = match parse_u32_field(meta, "params=") {
+        Some(v) if v <= u32::from(u16::MAX) => v as u16,
+        _ => return p.err("missing/bad params="),
+    };
+    let n_regs = match parse_u32_field(meta, "regs=") {
+        Some(v) if v <= u32::from(u16::MAX) => v as u16,
+        _ => return p.err("missing/bad regs="),
+    };
+    let (body, terminator) = parse_block(p, &["return "])?;
+    let ret_text = match terminator {
+        Some(t) => t,
+        None => return p.err("method body ended without `return`"),
+    };
+    let ret = match parse_operand(ret_text.trim_start_matches("return ").trim()) {
+        Some(o) => o,
+        None => return p.err("bad return operand"),
+    };
+    Ok(Method {
+        id,
+        name,
+        n_params,
+        n_regs,
+        body,
+        ret,
+    })
+}
+
+/// Parses statements until one of `terminators` (line returned) or a `}` /
+/// `} else {` (handled by callers via the returned terminator line).
+fn parse_block<'a>(
+    p: &mut Parser<'a>,
+    terminators: &[&str],
+) -> PResult<(Vec<Stmt>, Option<&'a str>)> {
+    let mut out = Vec::new();
+    while let Some(line) = p.peek() {
+        if terminators.iter().any(|t| line.starts_with(t)) || line == "}" || line == "} else {" {
+            if terminators.iter().any(|t| line.starts_with(t)) {
+                p.pos += 1;
+                return Ok((out, Some(line)));
+            }
+            return Ok((out, None)); // caller consumes the brace
+        }
+        if line.starts_with("method ") || line.starts_with("program ") {
+            return Ok((out, None));
+        }
+        out.push(parse_stmt(p)?);
+    }
+    Ok((out, None))
+}
+
+fn parse_stmt(p: &mut Parser<'_>) -> PResult<Stmt> {
+    let line = p.next_line().expect("peeked by caller");
+    if let Some(rest) = line.strip_prefix("loop x") {
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let trips: u32 = match digits.parse() {
+            Ok(t) => t,
+            Err(_) => return p.err("bad loop trip count"),
+        };
+        if !rest[digits.len()..].trim_start().starts_with('{') {
+            return p.err("expected `{` after loop header");
+        }
+        let (body, _) = parse_block(p, &[])?;
+        match p.next_line() {
+            Some("}") => Ok(Stmt::Loop { trips, body }),
+            _ => p.err("expected `}` closing loop"),
+        }
+    } else if let Some(rest) = line.strip_prefix("if ") {
+        // `if A (p=0.25) {`
+        let open = match rest.find('(') {
+            Some(i) => i,
+            None => return p.err("expected `(p=..)` in if"),
+        };
+        let cond = match parse_operand(&rest[..open]) {
+            Some(c) => c,
+            None => return p.err("bad if condition operand"),
+        };
+        let close = match rest.find(')') {
+            Some(i) => i,
+            None => return p.err("unclosed probability"),
+        };
+        let prob_text = rest[open + 1..close].trim_start_matches("p=");
+        let prob_true: f64 = match prob_text.parse() {
+            Ok(v) => v,
+            Err(_) => return p.err("bad branch probability"),
+        };
+        let (then_b, _) = parse_block(p, &[])?;
+        let closer = p.next_line();
+        match closer {
+            Some("} else {") => {
+                let (else_b, _) = parse_block(p, &[])?;
+                match p.next_line() {
+                    Some("}") => Ok(Stmt::If {
+                        cond,
+                        prob_true,
+                        then_b,
+                        else_b,
+                    }),
+                    _ => p.err("expected `}` closing else"),
+                }
+            }
+            Some("}") => Ok(Stmt::If {
+                cond,
+                prob_true,
+                then_b,
+                else_b: Vec::new(),
+            }),
+            _ => p.err("expected `}` or `} else {` closing if"),
+        }
+    } else if let Some(rest) = line.strip_prefix("call ") {
+        // `call rD <- mC(args) @csK` or `call _ <- mC(args) @csK`
+        let arrow = match rest.find("<-") {
+            Some(i) => i,
+            None => return p.err("expected `<-` in call"),
+        };
+        let dst_text = rest[..arrow].trim();
+        let dst = if dst_text == "_" {
+            None
+        } else {
+            match parse_reg(dst_text) {
+                Some(r) => Some(r),
+                None => return p.err("bad call destination"),
+            }
+        };
+        let rest = rest[arrow + 2..].trim();
+        let rest = match rest.strip_prefix('m') {
+            Some(r) => r,
+            None => return p.err("expected callee `mN`"),
+        };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let callee = match digits.parse::<u32>() {
+            Ok(c) => MethodId(c),
+            Err(_) => return p.err("bad callee id"),
+        };
+        let rest = &rest[digits.len()..];
+        let open = match rest.find('(') {
+            Some(i) => i,
+            None => return p.err("expected `(` after callee"),
+        };
+        let close = match rest.find(')') {
+            Some(i) => i,
+            None => return p.err("unclosed argument list"),
+        };
+        let args_text = &rest[open + 1..close];
+        let mut args = Vec::new();
+        for a in args_text.split(',') {
+            let a = a.trim();
+            if a.is_empty() {
+                continue;
+            }
+            match parse_operand(a) {
+                Some(o) => args.push(o),
+                None => return p.err(format!("bad call argument `{a}`")),
+            }
+        }
+        let site_text = rest[close + 1..].trim();
+        let site_digits = match site_text.strip_prefix("@cs") {
+            Some(d) => d,
+            None => return p.err("expected `@csK` site id"),
+        };
+        let site = match site_digits.parse::<u32>() {
+            Ok(s) => CallSiteId(s),
+            Err(_) => return p.err("bad site id"),
+        };
+        Ok(Stmt::Call(CallStmt {
+            site,
+            callee,
+            args,
+            dst,
+        }))
+    } else {
+        // `OP rD <- A, B`
+        let mut parts = line.splitn(2, ' ');
+        let mnem = parts.next().unwrap_or("");
+        let op = match mnemonic_to_op(mnem) {
+            Some(o) => o,
+            None => return p.err(format!("unknown statement `{line}`")),
+        };
+        let rest = parts.next().unwrap_or("");
+        let arrow = match rest.find("<-") {
+            Some(i) => i,
+            None => return p.err("expected `<-` in op"),
+        };
+        let dst = match parse_reg(rest[..arrow].trim()) {
+            Some(r) => r,
+            None => return p.err("bad op destination"),
+        };
+        let operands = rest[arrow + 2..].trim();
+        let comma = match operands.find(',') {
+            Some(i) => i,
+            None => return p.err("expected two comma-separated operands"),
+        };
+        let a = match parse_operand(&operands[..comma]) {
+            Some(o) => o,
+            None => return p.err("bad first operand"),
+        };
+        let b = match parse_operand(&operands[comma + 1..]) {
+            Some(o) => o,
+            None => return p.err("bad second operand"),
+        };
+        Ok(Stmt::Op(OpStmt { op, dst, a, b }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::demo_program;
+    use crate::pretty::program_to_string;
+    use crate::testgen::{random_program, GenConfig};
+    use simrng::Rng;
+
+    #[test]
+    fn demo_program_round_trips() {
+        let p = demo_program();
+        let text = program_to_string(&p);
+        let q = parse_program(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn random_programs_round_trip() {
+        let mut rng = Rng::seed_from_u64(21);
+        for case in 0..40 {
+            let p = random_program(&mut rng, &GenConfig::default());
+            let text = program_to_string(&p);
+            let q = parse_program(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(p, q, "case {case}");
+        }
+    }
+
+    #[test]
+    fn branch_probabilities_survive_with_printed_precision() {
+        // The printer rounds p to 2 decimals; parse must accept it.
+        let text = "program \"t\" (methods=1, entry=m0, heap=8)\n\
+                    method m0 \"main\" (params=0, regs=2, est_size=0)\n\
+                    \u{20} if r0 (p=0.25) {\n\
+                    \u{20}   add r1 <- r0, #1\n\
+                    \u{20} }\n\
+                    \u{20} return r1\n";
+        let p = parse_program(text).unwrap();
+        match &p.methods[0].body[0] {
+            Stmt::If { prob_true, .. } => assert!((prob_true - 0.25).abs() < 1e-12),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "program \"t\" (methods=1, entry=m0, heap=8)\n\
+                    method m0 \"main\" (params=0, regs=1, est_size=0)\n\
+                    \u{20} frobnicate r0 <- r0, #1\n\
+                    \u{20} return r0\n";
+        let err = parse_program(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown statement"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("porgram \"x\"").is_err());
+        assert!(parse_program("program \"x\" (entry=q)").is_err());
+    }
+
+    #[test]
+    fn call_without_result_round_trips() {
+        let text = "program \"t\" (methods=2, entry=m1, heap=8)\n\
+                    method m0 \"f\" (params=0, regs=1, est_size=0)\n\
+                    \u{20} return #0\n\
+                    method m1 \"main\" (params=0, regs=1, est_size=0)\n\
+                    \u{20} call _ <- m0() @cs0\n\
+                    \u{20} return #0\n";
+        let p = parse_program(text).unwrap();
+        let text2 = program_to_string(&p);
+        let q = parse_program(&text2).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.methods[1].call_site_count(), 1);
+    }
+}

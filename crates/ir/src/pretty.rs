@@ -1,0 +1,122 @@
+//! Plain-text pretty printer for methods and programs.
+//!
+//! The format round-trips through [`crate::parse::parse_program`]
+//! (probabilities print via `f64`'s shortest-round-trip `Display`), so it
+//! doubles as the IR's serialized form.
+
+use std::fmt::Write as _;
+
+use crate::method::Method;
+use crate::program::Program;
+use crate::size::method_size;
+use crate::stmt::Stmt;
+
+/// Renders a method as indented text.
+#[must_use]
+pub fn method_to_string(m: &Method) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} \"{}\" (params={}, regs={}, est_size={})",
+        m.id,
+        m.name,
+        m.n_params,
+        m.n_regs,
+        method_size(m)
+    );
+    write_body(&mut out, &m.body, 1);
+    let _ = writeln!(out, "  return {}", m.ret);
+    out
+}
+
+/// Renders a whole program.
+#[must_use]
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program \"{}\" (methods={}, entry={}, heap={})",
+        p.name,
+        p.method_count(),
+        p.entry,
+        p.heap_size
+    );
+    for m in &p.methods {
+        out.push_str(&method_to_string(m));
+    }
+    out
+}
+
+fn write_body(out: &mut String, body: &[Stmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for stmt in body {
+        match stmt {
+            Stmt::Op(o) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} {} <- {}, {}",
+                    o.op.mnemonic(),
+                    o.dst,
+                    o.a,
+                    o.b
+                );
+            }
+            Stmt::Call(c) => {
+                let args: Vec<String> = c.args.iter().map(ToString::to_string).collect();
+                let dst = c.dst.map_or_else(|| "_".to_string(), |d| d.to_string());
+                let _ = writeln!(
+                    out,
+                    "{pad}call {} <- {}({}) @{}",
+                    dst,
+                    c.callee,
+                    args.join(", "),
+                    c.site
+                );
+            }
+            Stmt::Loop { trips, body } => {
+                let _ = writeln!(out, "{pad}loop x{trips} {{");
+                write_body(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::If {
+                cond,
+                prob_true,
+                then_b,
+                else_b,
+            } => {
+                let _ = writeln!(out, "{pad}if {cond} (p={prob_true}) {{");
+                write_body(out, then_b, indent + 1);
+                if else_b.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    write_body(out, else_b, indent + 1);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::demo_program;
+
+    #[test]
+    fn printer_mentions_every_method() {
+        let p = demo_program();
+        let text = program_to_string(&p);
+        assert!(text.contains("\"inc\""));
+        assert!(text.contains("\"main\""));
+        assert!(text.contains("loop x10"));
+        assert!(text.contains("call"));
+    }
+
+    #[test]
+    fn printer_shows_else_arm_only_when_present() {
+        let p = demo_program();
+        let text = program_to_string(&p);
+        assert!(!text.contains("else"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Whole programs: a method table, an entry point and a heap size.
+
+use crate::method::{Method, MethodId};
+use crate::stmt::{visit_body, Stmt};
+
+/// A whole program: the unit the JIT simulator compiles and runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (benchmark name in the workload suites).
+    pub name: String,
+    /// Method table; `methods[i].id == MethodId(i)`.
+    pub methods: Vec<Method>,
+    /// The entry method (the benchmark's `main`); invoked once per
+    /// benchmark iteration.
+    pub entry: MethodId,
+    /// Size of the shared heap array the `Load`/`Store` ops address
+    /// (addresses are wrapped modulo this). Must be non-zero.
+    pub heap_size: u32,
+}
+
+impl Program {
+    /// Looks up a method by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range (a validated program never does).
+    #[must_use]
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn method_mut(&mut self, id: MethodId) -> &mut Method {
+        &mut self.methods[id.index()]
+    }
+
+    /// Number of methods.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Total statement count over all methods.
+    #[must_use]
+    pub fn total_stmts(&self) -> usize {
+        self.methods.iter().map(Method::stmt_count).sum()
+    }
+
+    /// The number of distinct call sites in the program (syntactic, before
+    /// any inlining).
+    #[must_use]
+    pub fn call_site_count(&self) -> usize {
+        self.methods.iter().map(Method::call_site_count).sum()
+    }
+
+    /// The set of methods reachable from the entry point, in discovery
+    /// (BFS) order. Methods outside this set are never invoked and never
+    /// compiled — the JIT simulator compiles lazily, like a real VM.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<MethodId> {
+        let mut seen = vec![false; self.methods.len()];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        if self.entry.index() < self.methods.len() {
+            seen[self.entry.index()] = true;
+            queue.push_back(self.entry);
+        }
+        while let Some(m) = queue.pop_front() {
+            order.push(m);
+            visit_body(&self.methods[m.index()].body, &mut |s| {
+                if let Stmt::Call(c) = s {
+                    if c.callee.index() < self.methods.len() && !seen[c.callee.index()] {
+                        seen[c.callee.index()] = true;
+                        queue.push_back(c.callee);
+                    }
+                }
+            });
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Reg};
+    use crate::stmt::CallSiteId;
+
+    fn tiny() -> Program {
+        let m0 = Method {
+            id: MethodId(0),
+            name: "main".into(),
+            n_params: 0,
+            n_regs: 2,
+            body: vec![
+                Stmt::op(OpKind::Mov, Reg(0), 5i64, 0i64),
+                Stmt::call(
+                    CallSiteId(0),
+                    MethodId(1),
+                    vec![Reg(0).into()],
+                    Some(Reg(1)),
+                ),
+            ],
+            ret: Reg(1).into(),
+        };
+        let m1 = Method {
+            id: MethodId(1),
+            name: "inc".into(),
+            n_params: 1,
+            n_regs: 2,
+            body: vec![Stmt::op(OpKind::Add, Reg(1), Reg(0), 1i64)],
+            ret: Reg(1).into(),
+        };
+        let m2 = Method {
+            id: MethodId(2),
+            name: "dead".into(),
+            n_params: 0,
+            n_regs: 1,
+            body: vec![],
+            ret: 0i64.into(),
+        };
+        Program {
+            name: "tiny".into(),
+            methods: vec![m0, m1, m2],
+            entry: MethodId(0),
+            heap_size: 16,
+        }
+    }
+
+    #[test]
+    fn reachable_excludes_dead_methods() {
+        let p = tiny();
+        let r = p.reachable();
+        assert_eq!(r, vec![MethodId(0), MethodId(1)]);
+    }
+
+    #[test]
+    fn counts() {
+        let p = tiny();
+        assert_eq!(p.method_count(), 3);
+        assert_eq!(p.total_stmts(), 3);
+        assert_eq!(p.call_site_count(), 1);
+    }
+
+    #[test]
+    fn method_lookup_roundtrip() {
+        let p = tiny();
+        assert_eq!(p.method(MethodId(1)).name, "inc");
+    }
+}

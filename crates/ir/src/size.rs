@@ -1,0 +1,130 @@
+//! Static size estimation — the analog of Jikes RVM's "estimated number of
+//! machine instructions that will be generated for the method".
+//!
+//! Every threshold in the paper's heuristic (`CALLEE_MAX_SIZE`,
+//! `ALWAYS_INLINE_SIZE`, `CALLER_MAX_SIZE`, `HOT_CALLEE_MAX_SIZE`) compares
+//! against this estimate, so its calibration fixes the meaning of the
+//! parameter ranges in Table 1 of the paper. The weights below are chosen so
+//! that typical synthetic methods land in the same numeric bands as Jikes
+//! methods: accessors ≈ 2–6, small helpers ≈ 10–30, large generated methods
+//! in the hundreds to low thousands.
+
+use crate::method::Method;
+use crate::stmt::Stmt;
+
+/// Estimated machine instructions for the call sequence itself (spill,
+/// branch-and-link, frame setup): the fixed part of a call's expansion.
+pub const CALL_BASE_WEIGHT: u32 = 2;
+
+/// Per-argument marshalling cost of a call.
+pub const CALL_ARG_WEIGHT: u32 = 1;
+
+/// Cost of moving the return value into place when the result is used.
+pub const CALL_RET_WEIGHT: u32 = 1;
+
+/// Loop header overhead (init, test, back edge).
+pub const LOOP_WEIGHT: u32 = 2;
+
+/// Branch overhead (compare + conditional jump).
+pub const IF_WEIGHT: u32 = 2;
+
+/// Per-method prologue/epilogue instructions.
+pub const METHOD_OVERHEAD: u32 = 2;
+
+/// Estimated size of a single statement including everything nested in it.
+#[must_use]
+pub fn stmt_size(stmt: &Stmt) -> u32 {
+    match stmt {
+        Stmt::Op(o) => o.op.size_weight(),
+        Stmt::Call(c) => call_stmt_size(c.args.len(), c.dst.is_some()),
+        Stmt::Loop { body, .. } => LOOP_WEIGHT + body_size(body),
+        Stmt::If { then_b, else_b, .. } => IF_WEIGHT + body_size(then_b) + body_size(else_b),
+    }
+}
+
+/// Estimated expansion of a call statement left *not* inlined.
+#[must_use]
+pub fn call_stmt_size(n_args: usize, has_dst: bool) -> u32 {
+    CALL_BASE_WEIGHT + CALL_ARG_WEIGHT * n_args as u32 + if has_dst { CALL_RET_WEIGHT } else { 0 }
+}
+
+/// Estimated size of a statement list.
+#[must_use]
+pub fn body_size(body: &[Stmt]) -> u32 {
+    body.iter().map(stmt_size).sum()
+}
+
+/// Estimated size of a whole method (body + prologue/epilogue).
+///
+/// This is the `calleeSize` / `callerSize` quantity of the paper's Fig. 3.
+#[must_use]
+pub fn method_size(m: &Method) -> u32 {
+    METHOD_OVERHEAD + body_size(&m.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::MethodId;
+    use crate::op::{OpKind, Reg};
+    use crate::stmt::CallSiteId;
+
+    #[test]
+    fn op_sizes_accumulate() {
+        let body = vec![
+            Stmt::op(OpKind::Add, Reg(0), Reg(0), 1i64),  // 1
+            Stmt::op(OpKind::Load, Reg(1), Reg(0), 0i64), // 2
+        ];
+        assert_eq!(body_size(&body), 3);
+    }
+
+    #[test]
+    fn call_size_depends_on_arity_and_result() {
+        assert_eq!(call_stmt_size(0, false), 2);
+        assert_eq!(call_stmt_size(2, true), 2 + 2 + 1);
+        let c = Stmt::call(
+            CallSiteId(0),
+            MethodId(1),
+            vec![Reg(0).into()],
+            Some(Reg(1)),
+        );
+        assert_eq!(stmt_size(&c), 4);
+    }
+
+    #[test]
+    fn loop_size_counts_body_once() {
+        // Static size is independent of the trip count.
+        let mk = |trips| Stmt::Loop {
+            trips,
+            body: vec![Stmt::op(OpKind::Add, Reg(0), Reg(0), 1i64)],
+        };
+        assert_eq!(stmt_size(&mk(1)), stmt_size(&mk(1000)));
+        assert_eq!(stmt_size(&mk(5)), LOOP_WEIGHT + 1);
+    }
+
+    #[test]
+    fn if_size_counts_both_arms() {
+        let s = Stmt::If {
+            cond: Reg(0).into(),
+            prob_true: 0.5,
+            then_b: vec![Stmt::op(OpKind::Add, Reg(0), Reg(0), 1i64)],
+            else_b: vec![Stmt::op(OpKind::Mul, Reg(0), Reg(0), 2i64)],
+        };
+        assert_eq!(stmt_size(&s), IF_WEIGHT + 2);
+    }
+
+    #[test]
+    fn accessor_method_is_tiny() {
+        // A getter: one load + return. Must fall below typical
+        // ALWAYS_INLINE_SIZE values (default 11 in Jikes).
+        let m = Method {
+            id: MethodId(0),
+            name: "getX".into(),
+            n_params: 1,
+            n_regs: 2,
+            body: vec![Stmt::op(OpKind::Load, Reg(1), Reg(0), 0i64)],
+            ret: Reg(1).into(),
+        };
+        assert!(method_size(&m) < 11, "accessor size {}", method_size(&m));
+    }
+}

@@ -1,0 +1,166 @@
+//! Whole-program statistics: size distributions, call-graph shape, and
+//! dynamic-profile summaries.
+//!
+//! Used by the `experiments inspect` command and by the workload
+//! calibration tests to check that synthetic benchmarks land in the
+//! intended structural bands.
+
+use crate::callgraph::CallGraph;
+use crate::freq::analyze;
+use crate::program::Program;
+use crate::size::method_size;
+
+/// Percentile summary of a sample (computed by sorting; exact for our
+/// sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Minimum.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Computes percentiles of a non-empty sample.
+///
+/// Returns all-zero percentiles for an empty sample.
+#[must_use]
+pub fn percentiles(values: &[f64]) -> Percentiles {
+    if values.is_empty() {
+        return Percentiles {
+            min: 0.0,
+            p10: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+            mean: 0.0,
+        };
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let at =
+        |q: f64| sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+    Percentiles {
+        min: sorted[0],
+        p10: at(0.10),
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        max: *sorted.last().expect("non-empty"),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+    }
+}
+
+/// Structural and dynamic statistics of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramStats {
+    /// Method count.
+    pub n_methods: usize,
+    /// Methods reachable from the entry.
+    pub n_reachable: usize,
+    /// Syntactic call sites.
+    pub n_call_sites: usize,
+    /// Deduplicated call edges.
+    pub n_call_edges: usize,
+    /// Methods involved in recursion.
+    pub n_recursive: usize,
+    /// Estimated-size distribution over all methods.
+    pub sizes: Percentiles,
+    /// Share of methods with estimated size < 11 (the default
+    /// always-inline band).
+    pub tiny_fraction: f64,
+    /// Share of methods with estimated size ≤ 23 (the default
+    /// callee-max band).
+    pub inlinable_fraction: f64,
+    /// Total estimated size (size units).
+    pub total_size: u64,
+    /// Dynamic calls per entry invocation (from the frequency analysis).
+    pub dynamic_calls: f64,
+    /// Per-method entry-count distribution (reachable methods only).
+    pub entries: Percentiles,
+    /// Whether the frequency analysis converged.
+    pub freq_converged: bool,
+}
+
+/// Computes [`ProgramStats`].
+#[must_use]
+pub fn program_stats(program: &Program) -> ProgramStats {
+    let sizes_raw: Vec<f64> = program
+        .methods
+        .iter()
+        .map(|m| f64::from(method_size(m)))
+        .collect();
+    let graph = CallGraph::build(program);
+    let fa = analyze(program, 1.0);
+    let reachable = program.reachable();
+    let entries_raw: Vec<f64> = reachable.iter().map(|m| fa.entry_count(*m)).collect();
+    let n = program.methods.len().max(1) as f64;
+    ProgramStats {
+        n_methods: program.methods.len(),
+        n_reachable: reachable.len(),
+        n_call_sites: program.call_site_count(),
+        n_call_edges: graph.edge_count(),
+        n_recursive: graph.recursive_set().len(),
+        sizes: percentiles(&sizes_raw),
+        tiny_fraction: sizes_raw.iter().filter(|&&s| s < 11.0).count() as f64 / n,
+        inlinable_fraction: sizes_raw.iter().filter(|&&s| s <= 23.0).count() as f64 / n,
+        total_size: sizes_raw.iter().map(|&s| s as u64).sum(),
+        dynamic_calls: fa.total_dynamic_calls(),
+        entries: percentiles(&entries_raw),
+        freq_converged: fa.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::demo_program;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = percentiles(&v);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 100.0);
+        assert!((p.p50 - 50.0).abs() <= 1.0);
+        assert!((p.p90 - 90.0).abs() <= 1.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_empty_sample_are_zero() {
+        let p = percentiles(&[]);
+        assert_eq!(p.max, 0.0);
+        assert_eq!(p.mean, 0.0);
+    }
+
+    #[test]
+    fn demo_program_stats() {
+        let s = program_stats(&demo_program());
+        assert_eq!(s.n_methods, 2);
+        assert_eq!(s.n_reachable, 2);
+        assert_eq!(s.n_call_sites, 1);
+        assert_eq!(s.n_recursive, 0);
+        assert!(s.freq_converged);
+        assert!((s.dynamic_calls - 10.0).abs() < 1e-9);
+        assert!(s.tiny_fraction > 0.0, "inc is tiny");
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let s = program_stats(&demo_program());
+        assert!((0.0..=1.0).contains(&s.tiny_fraction));
+        assert!((0.0..=1.0).contains(&s.inlinable_fraction));
+        assert!(s.inlinable_fraction >= s.tiny_fraction);
+    }
+}

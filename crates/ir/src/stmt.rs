@@ -1,0 +1,272 @@
+//! The statement tree: the body of a method.
+
+use crate::method::MethodId;
+use crate::op::{OpKind, Operand, Reg};
+
+/// Identity of a call site.
+///
+/// Call-site ids are assigned at program-construction time and are **stable
+/// under inlining**: when the inliner splices a callee body into a caller,
+/// the copies of the callee's own call sites keep their original ids, so
+/// profile data (hotness) recorded against a site applies to every inlined
+/// copy — exactly how Jikes RVM's edge profile keys work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallSiteId(pub u32);
+
+impl std::fmt::Display for CallSiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cs{}", self.0)
+    }
+}
+
+/// A primitive operation statement: `dst = op(a, b)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpStmt {
+    /// Operation kind.
+    pub op: OpKind,
+    /// Destination register (ignored for `Store`).
+    pub dst: Reg,
+    /// First operand.
+    pub a: Operand,
+    /// Second operand (ignored for `Mov`).
+    pub b: Operand,
+}
+
+/// A call statement: `dst = callee(args…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStmt {
+    /// Stable call-site identity (see [`CallSiteId`]).
+    pub site: CallSiteId,
+    /// The invoked method.
+    pub callee: MethodId,
+    /// Actual arguments; length must equal the callee's `n_params`.
+    pub args: Vec<Operand>,
+    /// Where the return value goes, if used.
+    pub dst: Option<Reg>,
+}
+
+/// A statement: the IR is structured (no gotos), which keeps frequency
+/// analysis compositional and inlining a pure subtree substitution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A primitive operation.
+    Op(OpStmt),
+    /// A call site.
+    Call(CallStmt),
+    /// A counted loop: `body` executes exactly `trips` times.
+    Loop {
+        /// Static trip count (profile-known, as in trace-based JIT models).
+        trips: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A two-way branch. `cond` is evaluated by the interpreter (taken when
+    /// odd); `prob_true` is the *profile annotation* used by frequency
+    /// analysis — like a JIT's edge profile, it is an estimate and need not
+    /// match the concrete execution.
+    If {
+        /// Branch condition operand (semantics: taken iff value is odd).
+        cond: Operand,
+        /// Profile-estimated probability that the branch is taken, in
+        /// `[0, 1]`.
+        prob_true: f64,
+        /// Taken arm.
+        then_b: Vec<Stmt>,
+        /// Fall-through arm.
+        else_b: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for an op statement.
+    #[must_use]
+    pub fn op(op: OpKind, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Self {
+        Stmt::Op(OpStmt {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Convenience constructor for a call statement.
+    #[must_use]
+    pub fn call(site: CallSiteId, callee: MethodId, args: Vec<Operand>, dst: Option<Reg>) -> Self {
+        Stmt::Call(CallStmt {
+            site,
+            callee,
+            args,
+            dst,
+        })
+    }
+
+    /// Depth-first visit of this statement and all nested statements.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::Op(_) | Stmt::Call(_) => {}
+            Stmt::Loop { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                for s in then_b.iter().chain(else_b) {
+                    s.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Mutable depth-first visit.
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Stmt)) {
+        f(self);
+        match self {
+            Stmt::Op(_) | Stmt::Call(_) => {}
+            Stmt::Loop { body, .. } => {
+                for s in body {
+                    s.visit_mut(f);
+                }
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                for s in then_b.iter_mut().chain(else_b.iter_mut()) {
+                    s.visit_mut(f);
+                }
+            }
+        }
+    }
+
+    /// Maximum register index mentioned by this statement subtree, if any.
+    #[must_use]
+    pub fn max_reg(&self) -> Option<u16> {
+        let mut max: Option<u16> = None;
+        let mut bump = |r: Reg| {
+            max = Some(max.map_or(r.0, |m| m.max(r.0)));
+        };
+        self.visit(&mut |s| match s {
+            Stmt::Op(o) => {
+                bump(o.dst);
+                if let Some(r) = o.a.reg() {
+                    bump(r);
+                }
+                if let Some(r) = o.b.reg() {
+                    bump(r);
+                }
+            }
+            Stmt::Call(c) => {
+                if let Some(d) = c.dst {
+                    bump(d);
+                }
+                for a in &c.args {
+                    if let Some(r) = a.reg() {
+                        bump(r);
+                    }
+                }
+            }
+            Stmt::Loop { .. } => {}
+            Stmt::If { cond, .. } => {
+                if let Some(r) = cond.reg() {
+                    bump(r);
+                }
+            }
+        });
+        max
+    }
+}
+
+/// Iterates over every statement in a body (depth first).
+pub fn visit_body<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in body {
+        s.visit(f);
+    }
+}
+
+/// Counts all statements in a body, including nested ones.
+#[must_use]
+pub fn stmt_count(body: &[Stmt]) -> usize {
+    let mut n = 0;
+    visit_body(body, &mut |_| n += 1);
+    n
+}
+
+/// Collects the call statements in a body (depth first order).
+#[must_use]
+pub fn call_sites(body: &[Stmt]) -> Vec<&CallStmt> {
+    let mut out = Vec::new();
+    visit_body(body, &mut |s| {
+        if let Stmt::Call(c) = s {
+            out.push(c);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> Vec<Stmt> {
+        vec![
+            Stmt::op(OpKind::Add, Reg(2), Reg(0), Reg(1)),
+            Stmt::Loop {
+                trips: 3,
+                body: vec![
+                    Stmt::op(OpKind::Mul, Reg(3), Reg(2), 7i64),
+                    Stmt::call(
+                        CallSiteId(0),
+                        MethodId(1),
+                        vec![Reg(3).into()],
+                        Some(Reg(4)),
+                    ),
+                ],
+            },
+            Stmt::If {
+                cond: Operand::Reg(Reg(4)),
+                prob_true: 0.25,
+                then_b: vec![Stmt::op(OpKind::Xor, Reg(5), Reg(4), 1i64)],
+                else_b: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn stmt_count_includes_nested() {
+        assert_eq!(stmt_count(&sample_body()), 6);
+    }
+
+    #[test]
+    fn call_sites_found_in_order() {
+        let body = sample_body();
+        let calls = call_sites(&body);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].site, CallSiteId(0));
+        assert_eq!(calls[0].callee, MethodId(1));
+    }
+
+    #[test]
+    fn max_reg_spans_subtree() {
+        let body = sample_body();
+        let max = body.iter().filter_map(Stmt::max_reg).max();
+        assert_eq!(max, Some(5));
+    }
+
+    #[test]
+    fn visit_mut_can_rewrite() {
+        let mut body = sample_body();
+        for s in &mut body {
+            s.visit_mut(&mut |s| {
+                if let Stmt::Loop { trips, .. } = s {
+                    *trips = 10;
+                }
+            });
+        }
+        let mut seen = 0;
+        visit_body(&body, &mut |s| {
+            if let Stmt::Loop { trips, .. } = s {
+                assert_eq!(*trips, 10);
+                seen += 1;
+            }
+        });
+        assert_eq!(seen, 1);
+    }
+}

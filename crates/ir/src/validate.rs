@@ -1,0 +1,382 @@
+//! Structural validation of programs.
+//!
+//! A validated program upholds every invariant the interpreter, the inliner
+//! and the cost model rely on, so those components can index fearlessly.
+
+use std::collections::HashMap;
+
+use crate::method::MethodId;
+use crate::op::Operand;
+use crate::program::Program;
+use crate::stmt::{visit_body, CallSiteId, Stmt};
+
+/// A structural inconsistency in a [`Program`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The builder was finished without an entry point.
+    NoEntry,
+    /// `methods[i].id != MethodId(i)`.
+    MisnumberedMethod {
+        /// Index in the method table.
+        index: usize,
+        /// The id stored there.
+        found: MethodId,
+    },
+    /// The entry id is out of range.
+    EntryOutOfRange {
+        /// The offending entry id.
+        entry: MethodId,
+    },
+    /// The entry method takes parameters (it is invoked with none).
+    EntryHasParams {
+        /// The entry id.
+        entry: MethodId,
+        /// Its parameter count.
+        n_params: u16,
+    },
+    /// A call targets a method id outside the table.
+    BadCallee {
+        /// Method containing the call.
+        in_method: MethodId,
+        /// The missing callee.
+        callee: MethodId,
+    },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        /// Method containing the call.
+        in_method: MethodId,
+        /// The callee.
+        callee: MethodId,
+        /// Arguments at the site.
+        got: usize,
+        /// The callee's `n_params`.
+        want: usize,
+    },
+    /// A statement mentions a register outside the method frame.
+    RegOutOfRange {
+        /// The method.
+        in_method: MethodId,
+        /// The register index.
+        reg: u16,
+        /// The frame size.
+        n_regs: u16,
+    },
+    /// `n_params > n_regs`.
+    FrameTooSmall {
+        /// The method.
+        method: MethodId,
+    },
+    /// The same call-site id appears at two syntactic sites (only an error
+    /// for freshly *built* programs: the inliner clones callee bodies, so
+    /// post-inlining programs legitimately repeat site ids).
+    DuplicateSite {
+        /// The duplicated id.
+        site: CallSiteId,
+    },
+    /// A branch probability is outside `[0, 1]` or not finite.
+    BadProbability {
+        /// The method.
+        in_method: MethodId,
+        /// The offending value.
+        prob: f64,
+    },
+    /// The heap size is zero.
+    ZeroHeap,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NoEntry => write!(f, "no entry method set"),
+            ValidationError::MisnumberedMethod { index, found } => {
+                write!(f, "method at index {index} has id {found}")
+            }
+            ValidationError::EntryOutOfRange { entry } => {
+                write!(f, "entry {entry} out of range")
+            }
+            ValidationError::EntryHasParams { entry, n_params } => {
+                write!(f, "entry {entry} takes {n_params} params")
+            }
+            ValidationError::BadCallee { in_method, callee } => {
+                write!(f, "{in_method} calls nonexistent {callee}")
+            }
+            ValidationError::ArityMismatch {
+                in_method,
+                callee,
+                got,
+                want,
+            } => write!(
+                f,
+                "{in_method} calls {callee} with {got} args, expects {want}"
+            ),
+            ValidationError::RegOutOfRange {
+                in_method,
+                reg,
+                n_regs,
+            } => write!(f, "{in_method} uses r{reg} but frame has {n_regs}"),
+            ValidationError::FrameTooSmall { method } => {
+                write!(f, "{method}: n_params exceeds n_regs")
+            }
+            ValidationError::DuplicateSite { site } => {
+                write!(f, "call-site id {site} used at multiple sites")
+            }
+            ValidationError::BadProbability { in_method, prob } => {
+                write!(f, "{in_method} has branch probability {prob}")
+            }
+            ValidationError::ZeroHeap => write!(f, "heap_size is zero"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks that every call-site id occurs at most once syntactically.
+///
+/// This holds for freshly built programs (the builder hands out fresh ids)
+/// but NOT after inlining, which clones callee bodies together with their
+/// site ids so profile data keys keep working. [`validate`] therefore does
+/// not include this check; `ProgramBuilder::build` runs both.
+#[must_use]
+pub fn check_unique_sites(program: &Program) -> Vec<ValidationError> {
+    let mut sites_seen: HashMap<CallSiteId, u32> = HashMap::new();
+    for m in &program.methods {
+        visit_body(&m.body, &mut |s| {
+            if let Stmt::Call(c) = s {
+                *sites_seen.entry(c.site).or_insert(0) += 1;
+            }
+        });
+    }
+    let mut errors: Vec<ValidationError> = sites_seen
+        .into_iter()
+        .filter(|&(_, count)| count > 1)
+        .map(|(site, _)| ValidationError::DuplicateSite { site })
+        .collect();
+    errors.sort_by_key(|e| match e {
+        ValidationError::DuplicateSite { site } => site.0,
+        _ => 0,
+    });
+    errors
+}
+
+/// Validates a program's structure, returning every inconsistency found
+/// (empty = valid). Does not require call-site-id uniqueness — see
+/// [`check_unique_sites`].
+#[must_use]
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let n = program.methods.len();
+
+    if program.heap_size == 0 {
+        errors.push(ValidationError::ZeroHeap);
+    }
+    if program.entry.index() >= n {
+        errors.push(ValidationError::EntryOutOfRange {
+            entry: program.entry,
+        });
+    } else if program.methods[program.entry.index()].n_params != 0 {
+        // Entry may take parameters only if the harness supplies them; the
+        // benchmark runner invokes entries with no arguments, so flag it.
+        errors.push(ValidationError::EntryHasParams {
+            entry: program.entry,
+            n_params: program.methods[program.entry.index()].n_params,
+        });
+    }
+
+    for (i, m) in program.methods.iter().enumerate() {
+        if m.id.index() != i {
+            errors.push(ValidationError::MisnumberedMethod {
+                index: i,
+                found: m.id,
+            });
+        }
+        if m.n_params > m.n_regs {
+            errors.push(ValidationError::FrameTooSmall { method: m.id });
+        }
+        let check_reg = |errors: &mut Vec<ValidationError>, r: u16| {
+            if r >= m.n_regs {
+                errors.push(ValidationError::RegOutOfRange {
+                    in_method: m.id,
+                    reg: r,
+                    n_regs: m.n_regs,
+                });
+            }
+        };
+        let check_operand = |errors: &mut Vec<ValidationError>, o: Operand| {
+            if let Some(r) = o.reg() {
+                if r.0 >= m.n_regs {
+                    errors.push(ValidationError::RegOutOfRange {
+                        in_method: m.id,
+                        reg: r.0,
+                        n_regs: m.n_regs,
+                    });
+                }
+            }
+        };
+        check_operand(&mut errors, m.ret);
+        visit_body(&m.body, &mut |s| match s {
+            Stmt::Op(o) => {
+                check_reg(&mut errors, o.dst.0);
+                check_operand(&mut errors, o.a);
+                check_operand(&mut errors, o.b);
+            }
+            Stmt::Call(c) => {
+                if let Some(d) = c.dst {
+                    check_reg(&mut errors, d.0);
+                }
+                for a in &c.args {
+                    check_operand(&mut errors, *a);
+                }
+                if c.callee.index() >= n {
+                    errors.push(ValidationError::BadCallee {
+                        in_method: m.id,
+                        callee: c.callee,
+                    });
+                } else {
+                    let want = program.methods[c.callee.index()].n_params as usize;
+                    if c.args.len() != want {
+                        errors.push(ValidationError::ArityMismatch {
+                            in_method: m.id,
+                            callee: c.callee,
+                            got: c.args.len(),
+                            want,
+                        });
+                    }
+                }
+            }
+            Stmt::Loop { .. } => {}
+            Stmt::If {
+                cond, prob_true, ..
+            } => {
+                check_operand(&mut errors, *cond);
+                if !prob_true.is_finite() || !(0.0..=1.0).contains(prob_true) {
+                    errors.push(ValidationError::BadProbability {
+                        in_method: m.id,
+                        prob: *prob_true,
+                    });
+                }
+            }
+        });
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::op::{OpKind, Reg};
+
+    fn base() -> Program {
+        Program {
+            name: "v".into(),
+            methods: vec![Method {
+                id: MethodId(0),
+                name: "main".into(),
+                n_params: 0,
+                n_regs: 2,
+                body: vec![Stmt::op(OpKind::Add, Reg(1), Reg(0), 1i64)],
+                ret: Reg(1).into(),
+            }],
+            entry: MethodId(0),
+            heap_size: 8,
+        }
+    }
+
+    #[test]
+    fn valid_program_has_no_errors() {
+        assert!(validate(&base()).is_empty());
+    }
+
+    #[test]
+    fn detects_reg_out_of_range() {
+        let mut p = base();
+        p.methods[0]
+            .body
+            .push(Stmt::op(OpKind::Add, Reg(9), Reg(0), 0i64));
+        let errs = validate(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::RegOutOfRange { reg: 9, .. })));
+    }
+
+    #[test]
+    fn detects_bad_callee_and_arity() {
+        let mut p = base();
+        p.methods[0]
+            .body
+            .push(Stmt::call(CallSiteId(0), MethodId(9), vec![], None));
+        p.methods[0].body.push(Stmt::call(
+            CallSiteId(1),
+            MethodId(0),
+            vec![Reg(0).into()],
+            None,
+        ));
+        let errs = validate(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadCallee { .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::ArityMismatch {
+                got: 1,
+                want: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn detects_duplicate_sites() {
+        let mut p = base();
+        p.methods[0]
+            .body
+            .push(Stmt::call(CallSiteId(5), MethodId(0), vec![], None));
+        p.methods[0]
+            .body
+            .push(Stmt::call(CallSiteId(5), MethodId(0), vec![], None));
+        let errs = check_unique_sites(&p);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::DuplicateSite {
+                site: CallSiteId(5)
+            }
+        )));
+        assert!(validate(&p).is_empty(), "validate must tolerate duplicates");
+    }
+
+    #[test]
+    fn detects_bad_probability() {
+        let mut p = base();
+        p.methods[0].body.push(Stmt::If {
+            cond: Reg(0).into(),
+            prob_true: 1.5,
+            then_b: vec![],
+            else_b: vec![],
+        });
+        assert!(validate(&p)
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn detects_entry_with_params_and_zero_heap() {
+        let mut p = base();
+        p.methods[0].n_params = 1;
+        p.heap_size = 0;
+        let errs = validate(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::EntryHasParams { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::ZeroHeap)));
+    }
+
+    #[test]
+    fn detects_misnumbered_method() {
+        let mut p = base();
+        p.methods[0].id = MethodId(3);
+        assert!(validate(&p)
+            .iter()
+            .any(|e| matches!(e, ValidationError::MisnumberedMethod { .. })));
+    }
+}

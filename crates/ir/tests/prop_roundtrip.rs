@@ -1,0 +1,40 @@
+//! Property test: the pretty-printer/parser pair is a faithful
+//! serialization — print→parse is the identity on arbitrary programs.
+
+use proptest::prelude::*;
+
+use ir::parse::parse_program;
+use ir::pretty::program_to_string;
+use ir::testgen::{random_program, GenConfig};
+use simrng::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_is_identity(seed in any::<u64>(), n_methods in 1u32..14, branches in any::<bool>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cfg = GenConfig {
+            n_methods,
+            branches,
+            ..GenConfig::default()
+        };
+        let p = random_program(&mut rng, &cfg);
+        let text = program_to_string(&p);
+        let q = parse_program(&text).map_err(|e| {
+            TestCaseError::fail(format!("{e}\n--- text ---\n{text}"))
+        })?;
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parse_never_panics_on_mutilated_input(seed in any::<u64>(), cut in any::<prop::sample::Index>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = random_program(&mut rng, &GenConfig::default());
+        let text = program_to_string(&p);
+        // Truncate at an arbitrary char boundary: must error or parse, never panic.
+        let idx = cut.index(text.len().max(1));
+        let truncated = &text[..text.floor_char_boundary(idx)];
+        let _ = parse_program(truncated);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the JIT cost model, including the key
+//! cross-validation: on branch-free programs, the analytic frequency
+//! analysis must agree with the reference interpreter *exactly* —
+//! the cost model's dynamic counts aren't estimates there, they're ground
+//! truth.
+
+use proptest::prelude::*;
+
+use inliner::{HotSites, InlineParams};
+use ir::interp::{run, InterpLimits};
+use ir::testgen::{random_program, GenConfig};
+use jit::compile::{compile_all_baseline, compile_all_opt};
+use jit::exec::exec_cycles;
+use jit::{measure, AdaptConfig, ArchModel, Scenario};
+use simrng::Rng;
+
+fn branch_free_cfg() -> GenConfig {
+    GenConfig {
+        n_methods: 8,
+        max_block_stmts: 5,
+        max_nesting: 2,
+        max_trips: 4,
+        max_params: 2,
+        call_prob: 0.35,
+        block_prob: 0.2,
+        branches: false,
+    }
+}
+
+fn limits() -> InterpLimits {
+    InterpLimits {
+        fuel: 5_000_000,
+        max_depth: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch-free programs: analytic dynamic-call counts equal the
+    /// interpreter's, both before and after inlining.
+    #[test]
+    fn analytic_call_counts_match_interpreter(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = random_program(&mut rng, &branch_free_cfg());
+        let out = match run(&p, &[], &limits()) {
+            Ok(o) => o,
+            Err(_) => { prop_assume!(false); unreachable!() }
+        };
+        let fa = ir::freq::analyze(&p, 1.0);
+        prop_assert!(fa.converged);
+        prop_assert!(
+            (fa.total_dynamic_calls() - out.calls_executed as f64).abs() < 1e-6,
+            "analytic {} vs interpreted {}",
+            fa.total_dynamic_calls(),
+            out.calls_executed
+        );
+
+        // And the post-inlining state's analytic calls match the inlined
+        // program's interpreted calls.
+        let arch = ArchModel::pentium4();
+        let state = compile_all_opt(&p, &arch, &InlineParams::jikes_default(), &HotSites::new());
+        let inlined_out = run(&state.program, &[], &limits()).unwrap();
+        let breakdown = exec_cycles(&state, &arch);
+        prop_assert!(
+            (breakdown.dynamic_calls - inlined_out.calls_executed as f64).abs() < 1e-6,
+            "analytic {} vs interpreted {} after inlining",
+            breakdown.dynamic_calls,
+            inlined_out.calls_executed
+        );
+    }
+
+    /// Baseline-vs-opt structure on *branch-free* programs (where the
+    /// analytic profile is exact and the optimizer cannot re-weight
+    /// branch estimates): with the spill penalty neutralized, opt code is
+    /// at least `baseline_slowdown` faster per op (more when constant
+    /// folding deletes work), calls are identical, and the opt state's
+    /// total never exceeds the baseline state's.
+    #[test]
+    fn baseline_slowdown_bounds_hold_on_branch_free_programs(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = random_program(&mut rng, &branch_free_cfg());
+        let mut arch = ArchModel::powerpc_g4();
+        arch.spill_penalty = 0.0;
+        let base = exec_cycles(&compile_all_baseline(&p, &arch), &arch);
+        let opt = exec_cycles(
+            &compile_all_opt(&p, &arch, &InlineParams::disabled(), &HotSites::new()),
+            &arch,
+        );
+        prop_assume!(opt.op_cycles > 0.0);
+        // The optimizer only removes or folds work: the gap is at least
+        // the slowdown factor.
+        prop_assert!(
+            base.op_cycles / opt.op_cycles >= arch.baseline_slowdown - 1e-9,
+            "ratio {}",
+            base.op_cycles / opt.op_cycles
+        );
+        prop_assert!(base.total_cycles >= opt.total_cycles);
+        // Calls are never created or (dynamically) destroyed without
+        // inlining on branch-free programs.
+        prop_assert!((base.call_cycles - opt.call_cycles).abs() < 1e-6 * (1.0 + base.call_cycles));
+        prop_assert!((base.dynamic_calls - opt.dynamic_calls).abs() < 1e-9 * (1.0 + base.dynamic_calls));
+    }
+
+    /// Measurement sanity on arbitrary programs and parameter vectors:
+    /// totals decompose, nothing is negative, scenario invariants hold.
+    #[test]
+    fn measurement_invariants(
+        seed in any::<u64>(),
+        callee_max in 0u32..60,
+        always in 0u32..35,
+        depth in 0u32..16,
+        caller_max in 0u32..4100,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = random_program(&mut rng, &GenConfig::default());
+        let params = InlineParams {
+            callee_max_size: callee_max,
+            always_inline_size: always,
+            max_inline_depth: depth,
+            caller_max_size: caller_max,
+            hot_callee_max_size: 135,
+        };
+        let arch = ArchModel::pentium4();
+        let cfg = AdaptConfig::default();
+        for scenario in [Scenario::Opt, Scenario::Adapt] {
+            let m = measure(&p, scenario, &arch, &params, &cfg);
+            prop_assert!(m.total_cycles >= 0.0 && m.running_cycles >= 0.0);
+            prop_assert!(m.compile_cycles >= 0.0);
+            prop_assert!(
+                (m.compile_cycles - m.baseline_compile_cycles - m.opt_compile_cycles).abs() < 1e-6,
+                "compile decomposition"
+            );
+            prop_assert!(
+                (m.total_cycles - m.compile_cycles - m.first_iter_exec_cycles).abs()
+                    < 1e-6 * m.total_cycles.max(1.0),
+                "total decomposition"
+            );
+            prop_assert!(m.steady.icache_factor >= 1.0);
+            // The first iteration can never be faster than steady state.
+            prop_assert!(m.first_iter_exec_cycles >= m.running_cycles - 1e-9);
+        }
+        // Opt compiles everything it reaches; Adapt at most that.
+        let mo = measure(&p, Scenario::Opt, &arch, &params, &cfg);
+        let ma = measure(&p, Scenario::Adapt, &arch, &params, &cfg);
+        prop_assert!(ma.n_opt_methods <= mo.n_opt_methods);
+        prop_assert_eq!(
+            ma.n_opt_methods + ma.n_baseline_methods,
+            mo.n_opt_methods + mo.n_baseline_methods
+        );
+    }
+
+    /// Larger workloads cost more: scaling every loop in the entry method
+    /// can only increase execution cycles.
+    #[test]
+    fn cost_is_monotone_in_trip_counts(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = random_program(&mut rng, &GenConfig::default());
+        let mut scaled = p.clone();
+        let entry = scaled.entry;
+        for stmt in &mut scaled.method_mut(entry).body {
+            stmt.visit_mut(&mut |s| {
+                if let ir::Stmt::Loop { trips, .. } = s {
+                    *trips *= 2;
+                }
+            });
+        }
+        let arch = ArchModel::pentium4();
+        let base = exec_cycles(
+            &compile_all_baseline(&p, &arch),
+            &arch,
+        );
+        let more = exec_cycles(
+            &compile_all_baseline(&scaled, &arch),
+            &arch,
+        );
+        prop_assert!(more.total_cycles >= base.total_cycles - 1e-9);
+    }
+}

@@ -1,0 +1,456 @@
+//! Sampling distributions used by the workload generators and the GA.
+//!
+//! All distributions are plain-old-data structs with a `sample(&mut Rng)`
+//! method; construction validates parameters and returns `Result` so that
+//! workload specs fail loudly rather than producing silently degenerate
+//! programs.
+
+use crate::Rng;
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistError(pub String);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "distribution parameter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+fn err(msg: impl Into<String>) -> DistError {
+    DistError(msg.into())
+}
+
+/// Standard normal sampling via the Marsaglia polar method with a cached
+/// spare, exposed as `N(mean, std_dev)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev)`.
+    ///
+    /// # Errors
+    /// Fails if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(err("normal: non-finite parameter"));
+        }
+        if std_dev < 0.0 {
+            return Err(err("normal: negative std_dev"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        // Marsaglia polar method; we deliberately do not cache the spare so
+        // the sampler is stateless (important: distributions are shared
+        // immutably across threads in the GA evaluator).
+        loop {
+            let u = rng.f64_range(-1.0, 1.0);
+            let v = rng.f64_range(-1.0, 1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for method-size distributions: real Java method sizes are heavily
+/// right-skewed with a mass of tiny accessor methods and a long tail of
+/// large generated methods (parsers, state machines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal `N(mu, sigma)`.
+    ///
+    /// # Errors
+    /// Fails if `sigma` is negative or a parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Creates a log-normal from the desired *median* and a shape factor
+    /// `sigma`. `median = exp(mu)`, so `mu = ln(median)`.
+    ///
+    /// # Errors
+    /// Fails if `median <= 0` or `sigma < 0`.
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, DistError> {
+        if median.is_nan() || median <= 0.0 {
+            return Err(err("lognormal: median must be positive"));
+        }
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s > 0`.
+///
+/// Sampling uses the rejection-inversion method of Hörmann & Derflinger,
+/// which is O(1) per sample for any `n` and any `s > 0, s != 1` (the `s = 1`
+/// harmonic case is handled by a tiny epsilon shift).
+///
+/// Used for call-site hotness: a few call sites dominate dynamic call
+/// counts, which is what makes the adaptive scenario's hot-call-site test
+/// (`HOT_CALLEE_MAX_SIZE`) meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+    dense: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf over `1..=n` with exponent `s`.
+    ///
+    /// # Errors
+    /// Fails if `n == 0` or `s <= 0` or `s` is non-finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(err("zipf: n must be >= 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(err("zipf: exponent must be positive and finite"));
+        }
+        // The inversion formulas divide by (1 - s); nudge s away from 1.
+        let s = if (s - 1.0).abs() < 1e-9 {
+            1.0 + 1e-9
+        } else {
+            s
+        };
+        let h_x1 = Self::h_raw(1.5, s) - 1.0;
+        let h_n = Self::h_raw(n as f64 + 0.5, s);
+        let dense = 2.0 - Self::h_inv_raw(Self::h_raw(2.5, s) - (2.0f64).powf(-s), s);
+        Ok(Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            dense,
+        })
+    }
+
+    #[inline]
+    fn h_raw(x: f64, s: f64) -> f64 {
+        // H(x) = x^(1-s) / (1-s)
+        ((1.0 - s) * x.ln()).exp() / (1.0 - s)
+    }
+
+    #[inline]
+    fn h_inv_raw(x: f64, s: f64) -> f64 {
+        // H^{-1}(x) = ((1-s) x)^(1/(1-s))
+        (((1.0 - s) * x).ln() / (1.0 - s)).exp()
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv_raw(u, self.s);
+            let k = x.clamp(1.0, self.n as f64).round();
+            #[allow(clippy::float_cmp)]
+            let accept = {
+                let diff = Self::h_raw(k + 0.5, self.s) - (-(k.ln()) * self.s).exp();
+                k - x <= self.dense || u >= diff
+            };
+            if accept {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Discrete distribution over `0..weights.len()` proportional to the given
+/// non-negative weights, using Walker's alias method: O(n) setup, O(1)
+/// sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Builds the alias tables from `weights`.
+    ///
+    /// # Errors
+    /// Fails if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(err("categorical: empty weights"));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(err("categorical: weights must be finite and >= 0"));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(err("categorical: weights sum to zero"));
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the distribution has zero categories (never true for a
+    /// successfully constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.below(self.prob.len() as u64) as usize;
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Geometric-ish distribution: number of Bernoulli(p) failures before the
+/// first success, capped at `max`. Used for call-chain depth generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CappedGeometric {
+    p: f64,
+    max: u32,
+}
+
+impl CappedGeometric {
+    /// Creates a capped geometric with success probability `p` in `(0, 1]`.
+    ///
+    /// # Errors
+    /// Fails unless `0 < p <= 1`.
+    pub fn new(p: f64, max: u32) -> Result<Self, DistError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(err("geometric: p must be in (0, 1]"));
+        }
+        Ok(Self { p, max })
+    }
+
+    /// Draws one sample in `0..=max`.
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        let mut k = 0;
+        while k < self.max && !rng.chance(self.p) {
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Samples a positive integer from a log-normal, clamped to `[lo, hi]`.
+///
+/// This is the canonical "method size" draw in the workload generators.
+pub fn lognormal_int(rng: &mut Rng, dist: &LogNormal, lo: u32, hi: u32) -> u32 {
+    debug_assert!(lo <= hi);
+    let x = dist.sample(rng);
+    let clamped = x.clamp(f64::from(lo), f64::from(hi));
+    clamped.round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(0xdead_beef)
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_median_right() {
+        let d = LogNormal::from_median(20.0, 0.8).unwrap();
+        let mut r = rng();
+        let n = 40_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median / 20.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_median() {
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+        assert!(LogNormal::from_median(-2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let mut r = rng();
+        for _ in 0..5000 {
+            let k = z.sample(&mut r);
+            assert!((1..=50).contains(&k), "rank {k}");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(1000, 1.3).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let ones = (0..n).filter(|_| z.sample(&mut r) == 1).count();
+        let twos_plus = n - ones;
+        // With s = 1.3 rank 1 should hold a large share (~30%+).
+        assert!(ones * 2 > twos_plus / 2, "rank-1 count {ones}/{n}");
+    }
+
+    #[test]
+    fn zipf_n1_always_one() {
+        let z = Zipf::new(1, 2.0).unwrap();
+        let mut r = rng();
+        assert!((0..100).all(|_| z.sample(&mut r) == 1));
+    }
+
+    #[test]
+    fn zipf_handles_s_equal_one() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = z.sample(&mut r);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+        let mut r = rng();
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category sampled");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let c = Categorical::new(&[7.0]).unwrap();
+        let mut r = rng();
+        assert!((0..50).all(|_| c.sample(&mut r) == 0));
+    }
+
+    #[test]
+    fn categorical_rejects_degenerate() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(Categorical::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn capped_geometric_in_range() {
+        let g = CappedGeometric::new(0.3, 5).unwrap();
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(g.sample(&mut r) <= 5);
+        }
+    }
+
+    #[test]
+    fn capped_geometric_p1_is_zero() {
+        let g = CappedGeometric::new(1.0, 10).unwrap();
+        let mut r = rng();
+        assert!((0..100).all(|_| g.sample(&mut r) == 0));
+    }
+
+    #[test]
+    fn lognormal_int_clamps() {
+        let d = LogNormal::from_median(1000.0, 2.0).unwrap();
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = lognormal_int(&mut r, &d, 3, 50);
+            assert!((3..=50).contains(&v));
+        }
+    }
+}

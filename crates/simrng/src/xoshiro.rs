@@ -1,0 +1,329 @@
+//! The xoshiro256\*\* generator and its SplitMix64 seeder.
+//!
+//! xoshiro256\*\* is the recommendation of Blackman & Vigna for a
+//! general-purpose 64-bit generator: 256 bits of state, period 2^256 − 1,
+//! passes BigCrush, and is a handful of ALU ops per output. SplitMix64 is
+//! used only to expand a 64-bit seed into the initial 256-bit state (its
+//! outputs are equidistributed, so any `u64` seed — including 0 — yields a
+//! valid non-zero state).
+
+/// SplitMix64: a tiny 64-bit generator used for seeding.
+///
+/// Every call advances the state by a fixed odd constant and returns a
+/// bijective mix of it, so consecutive outputs are distinct and
+/// well-distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 generator from a raw seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace-wide deterministic RNG: xoshiro256\*\*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator from a single `u64` via SplitMix64 state
+    /// expansion, as recommended by the xoshiro authors.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Constructs the generator from a full 256-bit state.
+    ///
+    /// The state must not be all zeros (the all-zero state is a fixed point);
+    /// if it is, a fixed non-zero fallback state is substituted.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            Self::seed_from_u64(0)
+        } else {
+            Self { s }
+        }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 uniformly distributed bits (upper half of the
+    /// 64-bit output, which has the better statistical quality).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[inline]
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's multiply-shift rejection
+    /// method (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Fast path for powers of two.
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range_i64: lo > hi");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u128::from(u64::MAX) {
+            // Full i64 domain: any u64 reinterpreted works.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "range_usize: lo > hi");
+        lo + self.below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose on empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// The xoshiro256\*\* jump function: advances the state by 2^128 steps,
+    /// giving a stream independent of (non-overlapping with) the original
+    /// for any realistic consumption. Used to derive per-thread streams.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut s = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if j & (1u64 << b) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+
+    /// Returns a new generator 2^128 steps ahead, leaving `self` just past
+    /// the jump. Successive calls yield mutually independent streams.
+    #[must_use]
+    pub fn split(&mut self) -> Rng {
+        let child = self.clone();
+        self.jump();
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs for xoshiro256** seeded with SplitMix64(0), as
+    /// produced by the authors' C reference implementation.
+    #[test]
+    fn matches_reference_vector_seed0() {
+        let mut r = Rng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        // First four outputs of xoshiro256** with state from splitmix64(0).
+        assert_eq!(
+            got,
+            vec![
+                0x99ec_5f36_cb75_f2b4,
+                0xbf6e_1f78_4956_452a,
+                0x1a5f_849d_4933_e6e0,
+                0x6aa5_94f1_262d_2d2c,
+            ]
+        );
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // splitmix64 with seed 1234567 — values cross-checked against the
+        // public reference implementation.
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_eq!(a, 0xe220_a839_7b1d_cdaf);
+        assert_eq!(b, 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn below_is_in_range_and_hits_all_values() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_i64_inclusive_bounds() {
+        let mut r = Rng::seed_from_u64(10);
+        let (mut lo_hit, mut hi_hit) = (false, false);
+        for _ in 0..2000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_hit |= v == -3;
+            hi_hit |= v == 3;
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = Rng::seed_from_u64(12);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut parent = Rng::seed_from_u64(14);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_state_is_rejected() {
+        let mut r = Rng::from_state([0; 4]);
+        // Must not get stuck at zero.
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn determinism_across_clones() {
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seed_from_u64(15);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,603 @@
+//! The synthetic-program generator.
+//!
+//! Emits a layered Java-like program from a [`BenchmarkSpec`]:
+//!
+//! ```text
+//! main                    — driver loop, `driver_iters` trips
+//!   └─ phase_0..n         — phase work loops, `phase_trips` trips,
+//!                           calling popular layer-0 workers (hot sites)
+//!        └─ workers       — `n_layers` layers; layer l calls layers > l
+//!        │                  (straight-line or cold-branch sites) and
+//!        │                  accessors from compute-kernel loops (very hot
+//!        │                  sites)
+//!        └─ accessors     — tiny getter/setter-style leaves, the
+//!                           population the always-inline test targets
+//! ```
+//!
+//! Design constraints the structure enforces:
+//!
+//! * call-chain **amplification is bounded**: only accessor calls sit in
+//!   kernel loops, so worker-entry counts grow like `fanout^layers`, not
+//!   `(fanout × trips)^layers`, keeping per-iteration cycle counts in a
+//!   realistic range;
+//! * **hot-site spread**: phase→worker and kernel→accessor sites execute
+//!   thousands of times per iteration (hot under the adaptive profile),
+//!   worker→worker sites tens-to-hundreds (warm), cold-branch sites almost
+//!   never — so `HOT_CALLEE_MAX_SIZE` and the cold-code-bloat trade-off
+//!   both have something to act on;
+//! * **size bands**: accessors estimate below typical `ALWAYS_INLINE_SIZE`
+//!   values, workers mass around the `CALLEE_MAX_SIZE` range with a
+//!   log-normal tail of large generated methods.
+
+use simrng::dist::{lognormal_int, Categorical, LogNormal, Zipf};
+use simrng::{child_rng, Rng};
+
+use ir::builder::{MethodBuilder, ProgramBuilder};
+use ir::method::MethodId;
+use ir::op::{OpKind, Operand, Reg};
+use ir::program::Program;
+
+use crate::spec::BenchmarkSpec;
+
+/// Anchors live computation chains in an observable effect: xor-combines
+/// a few live registers and stores the result to the heap. Without this,
+/// the optimizing compiler's DCE would (correctly!) delete most of a
+/// generated body as dead code — real methods publish their results.
+fn publish(rng: &mut Rng, mb: &mut MethodBuilder, live: &[Reg]) {
+    let mut acc = *rng.choose(live);
+    for _ in 0..rng.range_usize(1, 2) {
+        let other = *rng.choose(live);
+        acc = mb.op(OpKind::Xor, acc, other);
+    }
+    let addr = *rng.choose(live);
+    mb.op_into(OpKind::Store, Reg(0), addr, acc);
+}
+
+/// Emits one op statement with a kind drawn from the benchmark mix.
+fn emit_op(rng: &mut Rng, mb: &mut MethodBuilder, mix: &Categorical, live: &mut Vec<Reg>) {
+    let kind = match mix.sample(rng) {
+        0 => *rng.choose(&[
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Xor,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Shl,
+            OpKind::Shr,
+            OpKind::Min,
+            OpKind::Max,
+        ]),
+        1 => OpKind::Mul,
+        2 => {
+            if rng.chance(0.55) {
+                OpKind::Load
+            } else {
+                OpKind::Store
+            }
+        }
+        _ => {
+            if rng.chance(0.6) {
+                OpKind::FMul
+            } else {
+                OpKind::FAdd
+            }
+        }
+    };
+    let a: Operand = (*rng.choose(live)).into();
+    let b: Operand = if rng.chance(0.7) {
+        (*rng.choose(live)).into()
+    } else {
+        rng.range_i64(1, 64).into()
+    };
+    let r = mb.op(kind, a, b);
+    live.push(r);
+    if live.len() > 16 {
+        live.remove(0);
+    }
+}
+
+/// Worker-layer assignment: contiguous slices, deepest layer last.
+fn layer_ranges(n_workers: u32, n_layers: u32) -> Vec<std::ops::Range<u32>> {
+    let n_layers = n_layers.clamp(1, n_workers.max(1));
+    let mut out = Vec::with_capacity(n_layers as usize);
+    let base = n_workers / n_layers;
+    let extra = n_workers % n_layers;
+    let mut start = 0;
+    for l in 0..n_layers {
+        let len = base + u32::from(l < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Generates the benchmark program for a spec, deterministically from
+/// `seed`.
+///
+/// # Panics
+/// Panics if the spec is degenerate (no workers) or the generated program
+/// fails validation — both indicate a bug in the spec tables, not user
+/// input.
+#[must_use]
+pub fn generate(spec: &BenchmarkSpec, seed: u64) -> Program {
+    assert!(
+        spec.n_workers >= spec.n_layers,
+        "spec {}: too few workers",
+        spec.name
+    );
+    let mut pb = ProgramBuilder::new(spec.name);
+    let mix = Categorical::new(&[spec.mix.alu, spec.mix.mul, spec.mix.mem, spec.mix.float])
+        .expect("op mix weights are valid");
+    let body_dist = LogNormal::from_median(spec.body_median_ops, spec.body_sigma)
+        .expect("body size distribution is valid");
+
+    // ---- ids ----
+    let accessor_ids: Vec<MethodId> = (0..spec.n_accessors).map(|_| pb.declare()).collect();
+    let worker_ids: Vec<MethodId> = (0..spec.n_workers).map(|_| pb.declare()).collect();
+    let phase_ids: Vec<MethodId> = (0..spec.n_phases).map(|_| pb.declare()).collect();
+    let layers = layer_ranges(spec.n_workers, spec.n_layers);
+
+    // Coverage assignments: every worker in layer l+1 is the *mandatory*
+    // target of exactly one worker in layer l (round-robin), every
+    // accessor of one worker, and every layer-0 worker of one phase — so
+    // the whole emitted population is reachable and therefore compiled,
+    // like a real program where all loaded code runs at least once.
+    let mut mandatory_next: Vec<Vec<u32>> = vec![Vec::new(); spec.n_workers as usize];
+    for l in 0..layers.len().saturating_sub(1) {
+        let callers: Vec<u32> = layers[l].clone().collect();
+        for (k, target) in layers[l + 1].clone().enumerate() {
+            mandatory_next[callers[k % callers.len()] as usize].push(target);
+        }
+    }
+    let mut mandatory_acc: Vec<Vec<usize>> = vec![Vec::new(); spec.n_workers as usize];
+    for (k, a) in (0..accessor_ids.len()).enumerate() {
+        mandatory_acc[k % spec.n_workers as usize].push(a);
+    }
+
+    // Popularity order per layer: a fixed random permutation; Zipf rank 1
+    // maps to the layer's most popular worker.
+    let mut pop_rng = child_rng(seed, "popularity");
+    let popularity: Vec<Vec<u32>> = layers
+        .iter()
+        .map(|r| {
+            let mut v: Vec<u32> = r.clone().collect();
+            pop_rng.shuffle(&mut v);
+            v
+        })
+        .collect();
+
+    // ---- accessors & helper chains ----
+    // Two sub-populations forming a size continuum:
+    //
+    // * ~50% plain getters (1–5 ops, ≈3–9 units) — squarely in the
+    //   always-inline band;
+    // * ~50% chained helpers (2–6 ops plus a call to the next accessor,
+    //   ≈9–16 units) — straddling typical `ALWAYS_INLINE_SIZE` values and
+    //   forming call chains several levels deep. These chains are what
+    //   `MAX_INLINE_DEPTH` cuts: a real Java `a().b().c()` utility
+    //   cascade.
+    let mut acc_rng = child_rng(seed, "accessors");
+    for (i, &id) in accessor_ids.iter().enumerate() {
+        let mut mb = MethodBuilder::new(format!("get{i}"), 1);
+        let p = mb.param(0);
+        let is_helper = i + 1 < accessor_ids.len() && acc_rng.chance(0.5);
+        let n_ops = if is_helper {
+            acc_rng.range_usize(2, 6)
+        } else {
+            acc_rng.range_usize(1, 5)
+        };
+        let mut r = match acc_rng.below(3) {
+            0 => mb.op(OpKind::Load, p, 0i64),
+            1 => mb.op(OpKind::Add, p, acc_rng.range_i64(1, 16)),
+            _ => {
+                let t = mb.op(OpKind::Load, p, 0i64);
+                mb.op(OpKind::And, t, 0xffffi64)
+            }
+        };
+        for _ in 1..n_ops {
+            let kind = *acc_rng.choose(&[
+                OpKind::Add,
+                OpKind::Xor,
+                OpKind::Shr,
+                OpKind::And,
+                OpKind::Max,
+            ]);
+            r = mb.op(kind, r, acc_rng.range_i64(1, 255));
+        }
+        if is_helper {
+            // Chain onward to the *next* accessor: consecutive helpers form
+            // multi-level utility cascades (runs of helpers are geometric,
+            // so chains up to 6–10 deep occur), which is what gives
+            // MAX_INLINE_DEPTH its long tail of effect.
+            let next = accessor_ids[i + 1];
+            let site = pb.fresh_site();
+            if let Some(v) = mb.call(site, next, vec![r.into()], true) {
+                r = v;
+            }
+        }
+        mb.ret(r);
+        pb.define(id, mb);
+    }
+
+    // ---- workers ----
+    let mut w_rng = child_rng(seed, "workers");
+    for (layer_idx, range) in layers.iter().enumerate() {
+        for w in range.clone() {
+            let mb = gen_worker(
+                spec,
+                &mut w_rng,
+                &mut pb,
+                &mix,
+                &body_dist,
+                layer_idx,
+                w,
+                &layers,
+                &popularity,
+                &worker_ids,
+                &accessor_ids,
+                &mandatory_next[w as usize],
+                &mandatory_acc[w as usize],
+            );
+            pb.define(worker_ids[w as usize], mb);
+        }
+    }
+
+    // ---- phases ----
+    let mut p_rng = child_rng(seed, "phases");
+    let layer0 = &popularity[0];
+    let phase_zipf = Zipf::new(layer0.len() as u64, spec.hot_skew).expect("zipf params valid");
+    for (pi, &pid) in phase_ids.iter().enumerate() {
+        let mut mb = MethodBuilder::new(format!("phase{pi}"), 1);
+        let mut live = vec![mb.param(0)];
+        // Phase state comes from the heap (the benchmark's input data).
+        let c = mb.op(OpKind::Load, p_rng.range_i64(1, 100), 0i64);
+        live.push(c);
+        for _ in 0..3 {
+            emit_op(&mut p_rng, &mut mb, &mix, &mut live);
+        }
+        // The phase work loop: hot calls into popular layer-0 workers.
+        let n_hot_calls = p_rng.range_usize(2, 4);
+        mb.begin_loop(spec.phase_trips);
+        for _ in 0..n_hot_calls {
+            let rank = phase_zipf.sample(&mut p_rng) as usize - 1;
+            let target = worker_ids[layer0[rank] as usize];
+            let site = pb.fresh_site();
+            let arg = *p_rng.choose(&live);
+            if let Some(r) = mb.call(site, target, vec![arg.into()], true) {
+                live.push(r);
+            }
+            emit_op(&mut p_rng, &mut mb, &mix, &mut live);
+        }
+        mb.end();
+        // A couple of cold setup calls outside the loop.
+        for _ in 0..p_rng.range_usize(1, 2) {
+            let rank = phase_zipf.sample(&mut p_rng) as usize - 1;
+            let target = worker_ids[layer0[rank] as usize];
+            let site = pb.fresh_site();
+            let arg = *p_rng.choose(&live);
+            mb.call(site, target, vec![arg.into()], false);
+        }
+        // Mandatory coverage: this phase's share of layer-0 workers, under
+        // a rarely-taken branch (start-up/error paths in a real program).
+        let cond = *p_rng.choose(&live);
+        let mut covered = false;
+        for (k, &w0) in layers[0].clone().collect::<Vec<u32>>().iter().enumerate() {
+            if k % phase_ids.len() != pi {
+                continue;
+            }
+            if !covered {
+                mb.begin_if(cond, 0.02);
+                covered = true;
+            }
+            let site = pb.fresh_site();
+            let arg = *p_rng.choose(&live);
+            mb.call(site, worker_ids[w0 as usize], vec![arg.into()], false);
+        }
+        if covered {
+            mb.end();
+        }
+        publish(&mut p_rng, &mut mb, &live);
+        let ret = *p_rng.choose(&live);
+        mb.ret(ret);
+        pb.define(pid, mb);
+    }
+
+    // ---- main ----
+    let mut main = MethodBuilder::new("main", 0);
+    let seed_reg = main.op(OpKind::Load, 17i64, 0i64);
+    main.begin_loop(spec.driver_iters);
+    for &pid in &phase_ids {
+        let site = pb.fresh_site();
+        main.call(site, pid, vec![seed_reg.into()], false);
+    }
+    main.end();
+    main.ret(seed_reg);
+    let main_id = pb.add(main);
+    pb.entry(main_id);
+
+    pb.build()
+        .unwrap_or_else(|e| panic!("benchmark {} failed validation: {e:?}", spec.name))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_worker(
+    spec: &BenchmarkSpec,
+    rng: &mut Rng,
+    pb: &mut ProgramBuilder,
+    mix: &Categorical,
+    body_dist: &LogNormal,
+    layer_idx: usize,
+    _w: u32,
+    layers: &[std::ops::Range<u32>],
+    popularity: &[Vec<u32>],
+    worker_ids: &[MethodId],
+    accessor_ids: &[MethodId],
+    mandatory_next: &[u32],
+    mandatory_acc: &[usize],
+) -> MethodBuilder {
+    // All workers take a single value parameter; call sites pass one
+    // argument (the uniform Java-ish "operate on this" convention keeps
+    // site/arity bookkeeping trivial for the generator).
+    let n_params = 1u16;
+    let mut mb = MethodBuilder::new(format!("w{layer_idx}_{_w}"), n_params);
+    let mut live: Vec<Reg> = (0..n_params).map(Reg).collect();
+    // Root the value chain in runtime data (a field read), not a literal:
+    // real Java methods compute on heap state, so the optimizing
+    // compiler's constant propagation must not collapse whole bodies.
+    let c = mb.op(OpKind::Load, mb.param(0), rng.range_i64(1, 1000));
+    live.push(c);
+
+    // Depth profile: upper layers hold the big orchestration methods and
+    // compute kernels; deeper layers are progressively smaller utility
+    // methods (string helpers, bounds checks, vector ops) — the
+    // amplification of call counts down the tree then lands on *small*
+    // callees, which is exactly the population inlining pays off for in
+    // real Java programs.
+    let depth_frac = if layers.len() > 1 {
+        layer_idx as f64 / (layers.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let size_scale = 1.0 - 0.75 * depth_frac;
+    let total_ops = ((f64::from(lognormal_int(rng, body_dist, 4, 600))) * size_scale)
+        .round()
+        .max(3.0) as u32;
+    let is_last_layer = layer_idx + 1 >= layers.len();
+    let has_kernel = rng.chance(spec.kernel_prob * (1.0 - 0.85 * depth_frac));
+
+    // Worker→worker fan-out (deeper layers only). Fan-out shrinks with
+    // depth — upper layers are orchestration hubs with many call sites,
+    // deep layers small utilities with one or two — and grows with body
+    // size (big generated methods call out a lot), which is what lets the
+    // heavy size tail produce the huge post-inlining callers that
+    // CALLER_MAX_SIZE exists to stop.
+    let n_calls = if is_last_layer {
+        0
+    } else {
+        let depth_fan = 1.0 - 0.55 * depth_frac;
+        let size_fan = (f64::from(total_ops) / spec.body_median_ops).sqrt();
+        let jitter = (rng.f64() + 0.5).min(1.5);
+        (spec.fanout_mean * depth_fan * size_fan * jitter).round() as usize
+    };
+
+    // First chunk of straight-line ops, anchored by a publish every
+    // handful of statements.
+    let head_ops = total_ops / 3;
+    for k in 0..head_ops {
+        emit_op(rng, &mut mb, mix, &mut live);
+        if k % 7 == 6 {
+            publish(rng, &mut mb, &live);
+        }
+    }
+
+    // Compute kernel: a hot loop dominated by arithmetic, with an
+    // occasional accessor call (a real kernel's field reads) — the op-to-
+    // call ratio inside kernels sets how much of the program's time
+    // inlining can possibly win back.
+    let kernel_ops = ((f64::from(total_ops)) * 0.5).round().max(8.0) as u32;
+    if has_kernel {
+        let trips = ((f64::from(spec.kernel_trips)) * (0.5 + rng.f64() * 1.5)).round() as u32;
+        let n_acc_calls = if accessor_ids.is_empty() || rng.chance(0.3) {
+            0
+        } else {
+            rng.range_usize(1, 3)
+        };
+        mb.begin_loop(trips.max(1));
+        for _ in 0..kernel_ops {
+            emit_op(rng, &mut mb, mix, &mut live);
+        }
+        for _ in 0..n_acc_calls {
+            let target = *rng.choose(accessor_ids);
+            let site = pb.fresh_site();
+            let arg = *rng.choose(&live);
+            if let Some(r) = mb.call(site, target, vec![arg.into()], true) {
+                live.push(r);
+            }
+        }
+        // Feed the kernel results back to memory.
+        publish(rng, &mut mb, &live);
+        mb.end();
+    }
+
+    // Last-layer utilities read a couple of fields through accessors, so
+    // even the leaves of the worker tree carry inlinable call sites.
+    if is_last_layer && !accessor_ids.is_empty() {
+        for _ in 0..rng.range_usize(1, 2) {
+            let target = *rng.choose(accessor_ids);
+            let site = pb.fresh_site();
+            let arg = *rng.choose(&live);
+            if let Some(r) = mb.call(site, target, vec![arg.into()], true) {
+                live.push(r);
+            }
+        }
+    }
+
+    // Mandatory accessor coverage: straight calls (cheap, often inlined).
+    for &a in mandatory_acc {
+        let site = pb.fresh_site();
+        let arg = *rng.choose(&live);
+        if let Some(r) = mb.call(site, accessor_ids[a], vec![arg.into()], true) {
+            live.push(r);
+        }
+    }
+
+    // Worker→worker calls: mandatory coverage targets first, then
+    // popularity-drawn extras; each site is straight-line, in a small
+    // loop (warm), or under a cold branch.
+    let mut targets: Vec<MethodId> = mandatory_next
+        .iter()
+        .map(|&w| worker_ids[w as usize])
+        .collect();
+    for _ in 0..n_calls {
+        // Target layer: usually the next one, sometimes deeper.
+        let max_skip = layers.len() - 1 - layer_idx;
+        let skip = 1 + (rng.below(3) as usize).min(max_skip.saturating_sub(1));
+        let target_layer = (layer_idx + skip).min(layers.len() - 1);
+        let pops = &popularity[target_layer];
+        let zipf = Zipf::new(pops.len() as u64, spec.hot_skew).expect("zipf valid");
+        let rank = zipf.sample(rng) as usize - 1;
+        targets.push(worker_ids[pops[rank] as usize]);
+    }
+    for target in targets {
+        let site = pb.fresh_site();
+        let arg = *rng.choose(&live);
+
+        if rng.chance(spec.call_in_loop_prob) {
+            // A warm call: repeated a couple of times.
+            let reps = rng.range_usize(2, 3) as u32;
+            mb.begin_loop(reps);
+            if let Some(r) = mb.call(site, target, vec![arg.into()], true) {
+                live.push(r);
+            }
+            mb.end();
+        } else if rng.chance(spec.cold_branch_prob) {
+            // A cold call: error/slow path that almost never runs.
+            let cond = *rng.choose(&live);
+            mb.begin_if(cond, 0.02);
+            mb.call(site, target, vec![arg.into()], false);
+            mb.end();
+        } else if let Some(r) = mb.call(site, target, vec![arg.into()], true) {
+            live.push(r);
+        }
+        emit_op(rng, &mut mb, mix, &mut live);
+    }
+
+    // Tail ops.
+    let used = head_ops + if has_kernel { kernel_ops } else { 0 };
+    for _ in used..total_ops.max(used) {
+        emit_op(rng, &mut mb, mix, &mut live);
+    }
+
+    // Publish results so the body's computation is observable (not DCE
+    // fodder), then return a live value.
+    publish(rng, &mut mb, &live);
+    let ret = *rng.choose(&live);
+    mb.ret(ret);
+    mb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{OpMix, Suite};
+    use ir::size::method_size;
+    use ir::validate::{check_unique_sites, validate};
+
+    fn small_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "unit-small",
+            description: "generator unit-test spec",
+            suite: Suite::SpecJvm98,
+            n_workers: 24,
+            n_accessors: 8,
+            n_layers: 4,
+            body_median_ops: 12.0,
+            body_sigma: 0.8,
+            fanout_mean: 1.6,
+            hot_skew: 1.2,
+            n_phases: 2,
+            driver_iters: 5,
+            phase_trips: 4,
+            kernel_prob: 0.4,
+            kernel_trips: 20,
+            call_in_loop_prob: 0.3,
+            cold_branch_prob: 0.25,
+            mix: OpMix::INT,
+        }
+    }
+
+    #[test]
+    fn generates_valid_unique_site_program() {
+        let p = generate(&small_spec(), 1);
+        assert!(validate(&p).is_empty());
+        assert!(check_unique_sites(&p).is_empty());
+        assert_eq!(p.method_count() as u32, small_spec().total_methods());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&small_spec(), 7);
+        let b = generate(&small_spec(), 7);
+        let c = generate(&small_spec(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn accessor_population_spans_the_always_inline_band() {
+        let p = generate(&small_spec(), 2);
+        // Accessors are the first n_accessors methods: plain getters sit
+        // below the default ALWAYS_INLINE_SIZE (11), chained helpers in the
+        // 11..=23 CALLEE_MAX band — none above it.
+        let sizes: Vec<u32> = p.methods.iter().take(8).map(method_size).collect();
+        assert!(sizes.iter().any(|&s| s < 11), "{sizes:?}");
+        assert!(sizes.iter().all(|&s| s <= 26), "{sizes:?}");
+    }
+
+    #[test]
+    fn whole_program_is_reachable_from_main() {
+        let p = generate(&small_spec(), 3);
+        let reachable = p.reachable().len();
+        // Mandatory-coverage assignments make the entire population live.
+        assert_eq!(
+            reachable,
+            p.method_count(),
+            "all emitted methods must be reachable"
+        );
+    }
+
+    #[test]
+    fn frequency_analysis_converges_on_generated_programs() {
+        let p = generate(&small_spec(), 4);
+        let fa = ir::freq::analyze(&p, 1.0);
+        assert!(fa.converged);
+        assert!(fa.total_dynamic_calls() > 0.0);
+    }
+
+    #[test]
+    fn layer_ranges_partition() {
+        let r = layer_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        let r1 = layer_ranges(5, 1);
+        assert_eq!(r1, vec![0..5]);
+        // More layers than workers: clamped.
+        let r2 = layer_ranges(2, 5);
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn small_program_is_interpretable() {
+        // Semantic sanity: the generated program runs under the reference
+        // interpreter (small spec keeps dynamic counts low).
+        let p = generate(&small_spec(), 5);
+        let out = ir::interp::run(
+            &p,
+            &[],
+            &ir::interp::InterpLimits {
+                fuel: 200_000_000,
+                max_depth: 128,
+            },
+        );
+        assert!(out.is_ok(), "{out:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The benchmark-shape specification: every knob of the synthetic program
+//! generator.
+
+/// Which suite a benchmark belongs to (the paper's train/test split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECjvm98 — the training suite (paper Table 2).
+    SpecJvm98,
+    /// DaCapo beta050224 subset + ipsixql + pseudojbb — the unseen test
+    /// suite (paper Table 3).
+    DaCapoJbb,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::SpecJvm98 => "SPECjvm98",
+            Suite::DaCapoJbb => "DaCapo+JBB",
+        })
+    }
+}
+
+/// Relative weights of the op kinds a benchmark's code is made of.
+///
+/// The four weights select between integer ALU, integer multiply, memory
+/// and fixed-point ("floating") operations; they let `compress` look like a
+/// byte-crunching kernel, `mpegaudio`/`raytrace` like FP codes, `db` like a
+/// pointer-chasing store, and so on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Weight of simple integer ops.
+    pub alu: f64,
+    /// Weight of integer multiplies.
+    pub mul: f64,
+    /// Weight of heap loads/stores.
+    pub mem: f64,
+    /// Weight of fixed-point arithmetic (the FP stand-in).
+    pub float: f64,
+}
+
+impl OpMix {
+    /// Integer-dominated code (parsers, rule engines).
+    pub const INT: OpMix = OpMix {
+        alu: 8.0,
+        mul: 1.0,
+        mem: 2.0,
+        float: 0.2,
+    };
+    /// Memory-dominated code (databases, XML stores).
+    pub const MEM: OpMix = OpMix {
+        alu: 4.0,
+        mul: 0.5,
+        mem: 6.0,
+        float: 0.2,
+    };
+    /// Floating-point kernels (signal processing, ray tracing).
+    pub const FLOAT: OpMix = OpMix {
+        alu: 3.0,
+        mul: 1.0,
+        mem: 2.0,
+        float: 6.0,
+    };
+    /// Byte-crunching compression loops.
+    pub const BYTES: OpMix = OpMix {
+        alu: 7.0,
+        mul: 1.5,
+        mem: 4.0,
+        float: 0.1,
+    };
+}
+
+/// Complete description of one synthetic benchmark.
+///
+/// Counts are calibrated so estimated method sizes land in the same numeric
+/// bands as Jikes RVM's estimates (accessors below `ALWAYS_INLINE_SIZE`,
+/// plenty of mass around `CALLEE_MAX_SIZE`/`HOT_CALLEE_MAX_SIZE`, a tail of
+/// large generated methods).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper's tables).
+    pub name: &'static str,
+    /// One-line description (from the paper's Table 2/3).
+    pub description: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// Number of *worker* methods (the library bulk; accessors, phase
+    /// drivers and `main` come on top).
+    pub n_workers: u32,
+    /// Number of tiny accessor/helper methods (Java getter/setter style —
+    /// the population the always-inline test exists for).
+    pub n_accessors: u32,
+    /// Worker layers: workers in layer `l` call layers `l+1..`; this sets
+    /// the available call-chain depth (what `MAX_INLINE_DEPTH` cuts).
+    pub n_layers: u32,
+    /// Median straight-line op statements per worker body.
+    pub body_median_ops: f64,
+    /// Log-normal shape of the body-size distribution (bigger = heavier
+    /// tail of large generated methods).
+    pub body_sigma: f64,
+    /// Mean call sites per worker.
+    pub fanout_mean: f64,
+    /// Zipf exponent of callee popularity inside a layer (bigger = fewer,
+    /// hotter callees — what makes the Fig. 4 hot-site test matter).
+    pub hot_skew: f64,
+    /// Number of top-level phase methods `main` drives.
+    pub n_phases: u32,
+    /// Trips of the driver loop in `main` (run length, phase invocations).
+    pub driver_iters: u32,
+    /// Trips of each phase's inner work loop.
+    pub phase_trips: u32,
+    /// Probability that a worker contains a compute-kernel loop.
+    pub kernel_prob: f64,
+    /// Trip count of worker kernel loops.
+    pub kernel_trips: u32,
+    /// Probability that a worker call site sits inside the worker's loop
+    /// (making it hot) rather than in straight-line or cold-branch code.
+    pub call_in_loop_prob: f64,
+    /// Probability that a non-loop call site hides under a rarely-taken
+    /// branch (cold call sites: inlining them buys nothing but code size).
+    pub cold_branch_prob: f64,
+    /// Instruction mix.
+    pub mix: OpMix,
+}
+
+impl BenchmarkSpec {
+    /// Total methods the generator will emit (workers + accessors +
+    /// phases + main).
+    #[must_use]
+    pub fn total_methods(&self) -> u32 {
+        self.n_workers + self.n_accessors + self.n_phases + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_methods_adds_up() {
+        let s = BenchmarkSpec {
+            name: "t",
+            description: "",
+            suite: Suite::SpecJvm98,
+            n_workers: 10,
+            n_accessors: 5,
+            n_layers: 3,
+            body_median_ops: 20.0,
+            body_sigma: 0.8,
+            fanout_mean: 2.0,
+            hot_skew: 1.1,
+            n_phases: 2,
+            driver_iters: 10,
+            phase_trips: 5,
+            kernel_prob: 0.3,
+            kernel_trips: 50,
+            call_in_loop_prob: 0.4,
+            cold_branch_prob: 0.2,
+            mix: OpMix::INT,
+        };
+        assert_eq!(s.total_methods(), 18);
+    }
+
+    #[test]
+    fn mixes_are_positive() {
+        for m in [OpMix::INT, OpMix::MEM, OpMix::FLOAT, OpMix::BYTES] {
+            assert!(m.alu > 0.0 && m.mul > 0.0 && m.mem > 0.0 && m.float > 0.0);
+        }
+    }
+}

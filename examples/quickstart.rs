@@ -1,0 +1,82 @@
+//! Quickstart: measure one benchmark under different inlining heuristics
+//! and scenarios, then see what the heuristic decided.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use inlinetune::prelude::*;
+
+fn main() {
+    // A synthetic stand-in for SPECjvm98's `db`, generated
+    // deterministically: same program every run, everywhere.
+    let bench = benchmark_by_name("db").expect("db is a known benchmark");
+    println!(
+        "benchmark `{}`: {} methods, {} call sites\n  ({})",
+        bench.name(),
+        bench.program.method_count(),
+        bench.program.call_site_count(),
+        bench.spec.description,
+    );
+
+    let arch = ArchModel::pentium4();
+    let cfg = AdaptConfig::default();
+
+    // Three heuristics: none, the Jikes RVM default, and the paper's
+    // x86 Opt:Tot tuned values.
+    let heuristics = [
+        ("no inlining", InlineParams::disabled()),
+        ("Jikes default", InlineParams::jikes_default()),
+        (
+            "paper Opt:Tot",
+            InlineParams {
+                callee_max_size: 10,
+                always_inline_size: 6,
+                max_inline_depth: 8,
+                caller_max_size: 2419,
+                hot_callee_max_size: 135,
+            },
+        ),
+    ];
+
+    for scenario in [Scenario::Opt, Scenario::Adapt] {
+        println!("\n--- scenario {scenario} ---");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            "heuristic", "running(ms)", "total(ms)", "compile(ms)", "inlined", "code"
+        );
+        for (name, params) in &heuristics {
+            let m = measure(&bench.program, scenario, &arch, params, &cfg);
+            println!(
+                "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>8} {:>8}",
+                name,
+                m.running_seconds(&arch) * 1e3,
+                m.total_seconds(&arch) * 1e3,
+                arch.cycles_to_seconds(m.compile_cycles) * 1e3,
+                m.inline_stats.inlined,
+                m.code_size,
+            );
+        }
+    }
+
+    // Inspect the decision record for the default heuristic under Opt.
+    let m = measure(
+        &bench.program,
+        Scenario::Opt,
+        &arch,
+        &InlineParams::jikes_default(),
+        &cfg,
+    );
+    let s = m.inline_stats;
+    println!(
+        "\ndefault-heuristic decisions under Opt: {} sites considered, {} inlined \
+         ({} via always-inline); rejected: {} too big, {} too deep, {} caller full, {} recursive",
+        s.considered,
+        s.inlined,
+        s.always_inlined,
+        s.rej_callee_size,
+        s.rej_depth,
+        s.rej_caller_size,
+        s.rej_recursive
+    );
+}

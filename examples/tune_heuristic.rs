@@ -1,0 +1,86 @@
+//! Tune an inlining heuristic with the genetic algorithm, exactly like
+//! the paper: train on SPECjvm98, then evaluate the tuned heuristic on
+//! the unseen DaCapo+JBB suite.
+//!
+//! ```sh
+//! cargo run --release --example tune_heuristic            # quick budget
+//! cargo run --release --example tune_heuristic -- 200     # 200 generations
+//! ```
+
+use inlinetune::prelude::*;
+
+fn main() {
+    let generations: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+
+    // The paper's headline cell: the Opt scenario tuned for total time on
+    // the Pentium-4 model (Table 4 column "Opt:Tot").
+    let task = TuningTask {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: ArchModel::pentium4(),
+    };
+
+    println!(
+        "training suite: SPECjvm98 (7 programs); goal: {}",
+        task.goal
+    );
+    let training = specjvm98();
+    let tuner = Tuner::new(task.clone(), training.clone(), AdaptConfig::default());
+
+    let started = std::time::Instant::now();
+    let outcome = tuner.tune(GaConfig {
+        pop_size: 20,
+        generations,
+        stagnation_limit: Some(25),
+        seed: 2005,
+        ..GaConfig::default()
+    });
+    println!(
+        "tuned in {:.1}s over {} distinct simulator evaluations ({} cache hits)",
+        started.elapsed().as_secs_f64(),
+        outcome.ga.evaluations,
+        outcome.ga.cache_hits,
+    );
+    println!(
+        "tuned params: {}  (fitness {:.4}: {:.1}% better than the default on the training geomean)",
+        outcome.params,
+        outcome.fitness,
+        100.0 * (1.0 - outcome.fitness),
+    );
+
+    // Convergence curve (one line per ~10 generations).
+    println!("\nconvergence:");
+    for g in outcome.ga.history.iter().step_by(10) {
+        println!("  gen {:>3}: best fitness {:.4}", g.index, g.best_fitness);
+    }
+
+    // The §5 methodology: evaluate on the unseen test suite.
+    for (label, suite) in [
+        ("SPECjvm98 (train)", &training),
+        ("DaCapo+JBB (test)", &dacapo_jbb()),
+    ] {
+        let eval = evaluate_suite(
+            suite,
+            task.scenario,
+            &task.arch,
+            &outcome.params,
+            &AdaptConfig::default(),
+        );
+        println!("\n{label}: tuned vs default (ratio < 1 is better)");
+        for b in &eval.benches {
+            println!(
+                "  {:<10} running {:.3}  total {:.3}",
+                b.name, b.running_ratio, b.total_ratio
+            );
+        }
+        println!(
+            "  => average: running -{:.0}%, total -{:.0}%",
+            eval.running_reduction_pct(),
+            eval.total_reduction_pct()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # inlinetune
+//!
+//! A from-scratch Rust reproduction of **“Automatic Tuning of Inlining
+//! Heuristics”** (John Cavazos & Michael F.P. O'Boyle, SC 2005): off-line
+//! genetic-algorithm tuning of a dynamic compiler's inlining heuristic,
+//! specialized per compilation scenario, optimization goal and target
+//! architecture.
+//!
+//! This crate is a facade re-exporting the workspace's sub-crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`simrng`] | `inlinetune-simrng` | deterministic PRNG + distributions |
+//! | [`ir`] | `inlinetune-ir` | bytecode-like IR, interpreter, size/frequency analysis |
+//! | [`inliner`] | `inlinetune-inline` | the Fig. 3/4 heuristics and the inlining transformation |
+//! | [`jit`] | `inlinetune-jit` | the VM simulator: compilers, adaptive system, scenarios |
+//! | [`workloads`] | `inlinetune-workloads` | synthetic SPECjvm98 / DaCapo+JBB suites |
+//! | [`ga`] | `inlinetune-ga` | the genetic-algorithm engine (ECJ analog) |
+//! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inlinetune::prelude::*;
+//!
+//! // Measure a benchmark under the Jikes default heuristic…
+//! let bench = workloads::benchmark_by_name("db").expect("known benchmark");
+//! let arch = ArchModel::pentium4();
+//! let cfg = AdaptConfig::default();
+//! let default = measure(&bench.program, Scenario::Opt, &arch,
+//!                       &InlineParams::jikes_default(), &cfg);
+//!
+//! // …and with inlining disabled: inlining should help running time.
+//! let off = measure(&bench.program, Scenario::Opt, &arch,
+//!                   &InlineParams::disabled(), &cfg);
+//! assert!(default.running_cycles < off.running_cycles);
+//! ```
+//!
+//! See the `examples/` directory for tuning runs and the `experiments`
+//! binary for the full paper reproduction.
+
+pub use ga;
+pub use inliner;
+pub use ir;
+pub use jit;
+pub use simrng;
+pub use tuner;
+pub use workloads;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use ga::{GaConfig, GeneticAlgorithm, Ranges};
+    pub use inliner::{InlineParams, ParamRanges};
+    pub use ir::{Method, MethodId, Program};
+    pub use jit::{measure, AdaptConfig, ArchModel, Measurement, Scenario};
+    pub use tuner::{evaluate_suite, paper_tasks, Goal, Tuner, TuningTask};
+    pub use workloads::{
+        self, all_benchmarks, benchmark_by_name, dacapo_jbb, specjvm98, Benchmark,
+    };
+}

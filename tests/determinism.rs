@@ -1,0 +1,69 @@
+//! Whole-pipeline determinism: the experiments are advertised as
+//! bit-reproducible; these tests pin that promise at every level.
+
+use inlinetune::prelude::*;
+
+#[test]
+fn suite_generation_is_bit_identical() {
+    let a = specjvm98();
+    let b = specjvm98();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.program, y.program, "{}", x.name());
+    }
+}
+
+#[test]
+fn measurements_are_bit_identical_across_repeats() {
+    let b = benchmark_by_name("javac").unwrap();
+    let arch = ArchModel::pentium4();
+    let cfg = AdaptConfig::default();
+    for scenario in [Scenario::Opt, Scenario::Adapt] {
+        let m1 = measure(
+            &b.program,
+            scenario,
+            &arch,
+            &InlineParams::jikes_default(),
+            &cfg,
+        );
+        let m2 = measure(
+            &b.program,
+            scenario,
+            &arch,
+            &InlineParams::jikes_default(),
+            &cfg,
+        );
+        // Full struct equality, including every f64 to the last bit.
+        assert_eq!(m1, m2, "{scenario}");
+        assert!(m1.total_cycles.to_bits() == m2.total_cycles.to_bits());
+    }
+}
+
+#[test]
+fn fitness_is_bit_identical_across_tuner_instances() {
+    let task = TuningTask {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: ArchModel::pentium4(),
+    };
+    let training = vec![
+        benchmark_by_name("db").unwrap(),
+        benchmark_by_name("jess").unwrap(),
+    ];
+    let t1 = Tuner::new(task.clone(), training.clone(), AdaptConfig::default());
+    let t2 = Tuner::new(task, training, AdaptConfig::default());
+    let p = InlineParams::from_genes(&[31, 9, 7, 512, 135]);
+    assert_eq!(t1.fitness(&p).to_bits(), t2.fitness(&p).to_bits());
+}
+
+#[test]
+fn serialized_programs_are_stable_text() {
+    // The pretty form is the IR's serialized format; it must be stable
+    // across generations of the same benchmark.
+    let a = ir::pretty::program_to_string(&benchmark_by_name("db").unwrap().program);
+    let b = ir::pretty::program_to_string(&benchmark_by_name("db").unwrap().program);
+    assert_eq!(a, b);
+    // And it reloads to the identical program.
+    let p = ir::parse::parse_program(&a).unwrap();
+    assert_eq!(p, benchmark_by_name("db").unwrap().program);
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration: tune on a training suite, apply to unseen
+//! programs — the full pipeline of the paper in miniature.
+
+use inlinetune::prelude::*;
+
+fn small_ga() -> GaConfig {
+    GaConfig {
+        pop_size: 10,
+        generations: 6,
+        stagnation_limit: None,
+        threads: 1,
+        seed: 31,
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn tune_then_evaluate_unseen_benchmark() {
+    let training = vec![
+        benchmark_by_name("db").unwrap(),
+        benchmark_by_name("compress").unwrap(),
+    ];
+    let task = TuningTask {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: ArchModel::pentium4(),
+    };
+    let tuner = Tuner::new(task.clone(), training, AdaptConfig::default());
+    let outcome = tuner.tune(small_ga());
+
+    // The tuned heuristic is valid and at least roughly competitive.
+    assert!(outcome.fitness <= 1.05, "fitness {}", outcome.fitness);
+    assert!(task.ranges().contains(&outcome.params.to_genes()));
+
+    // Apply to a program the tuner never saw.
+    let unseen = vec![benchmark_by_name("jess").unwrap()];
+    let eval = evaluate_suite(
+        &unseen,
+        task.scenario,
+        &task.arch,
+        &outcome.params,
+        &AdaptConfig::default(),
+    );
+    let ratio = eval.benches[0].total_ratio;
+    assert!(ratio.is_finite() && ratio > 0.0);
+}
+
+#[test]
+fn tuning_is_deterministic_given_seed() {
+    let training = vec![benchmark_by_name("db").unwrap()];
+    let task = TuningTask {
+        name: "Adapt".into(),
+        scenario: Scenario::Adapt,
+        goal: Goal::Balance,
+        arch: ArchModel::powerpc_g4(),
+    };
+    let a = Tuner::new(task.clone(), training.clone(), AdaptConfig::default()).tune(small_ga());
+    let b = Tuner::new(task, training, AdaptConfig::default()).tune(small_ga());
+    assert_eq!(a.params, b.params);
+    assert_eq!(a.fitness, b.fitness);
+    assert_eq!(a.ga.evaluations, b.ga.evaluations);
+}
+
+#[test]
+fn goals_produce_different_heuristics_or_tradeoffs() {
+    // Tuning for Total vs Running must not yield a heuristic that is
+    // worse on its own goal than the other goal's winner.
+    let training = vec![benchmark_by_name("jess").unwrap()];
+    let arch = ArchModel::pentium4();
+    let mk_task = |goal| TuningTask {
+        name: format!("Opt:{goal}"),
+        scenario: Scenario::Opt,
+        goal,
+        arch: arch.clone(),
+    };
+    let cfg = AdaptConfig::default();
+    let for_total = Tuner::new(mk_task(Goal::Total), training.clone(), cfg).tune(small_ga());
+    let for_running = Tuner::new(mk_task(Goal::Running), training.clone(), cfg).tune(small_ga());
+
+    let m =
+        |params: &InlineParams| measure(&training[0].program, Scenario::Opt, &arch, params, &cfg);
+    let (mt, mr) = (m(&for_total.params), m(&for_running.params));
+    // Each winner is at least as good on its own metric (tiny slack for
+    // the small search budget).
+    assert!(
+        mt.total_cycles <= mr.total_cycles * 1.02,
+        "{} vs {}",
+        mt.total_cycles,
+        mr.total_cycles
+    );
+    assert!(mr.running_cycles <= mt.running_cycles * 1.02);
+}
+
+#[test]
+fn prelude_exports_compile_and_work_together() {
+    // The doc-advertised flow, in one breath.
+    let b = benchmark_by_name("raytrace").unwrap();
+    let m = measure(
+        &b.program,
+        Scenario::Adapt,
+        &ArchModel::pentium4(),
+        &InlineParams::jikes_default(),
+        &AdaptConfig::default(),
+    );
+    assert!(m.total_cycles > m.running_cycles);
+    assert!(m.n_opt_methods + m.n_baseline_methods > 0);
+}

@@ -1,0 +1,107 @@
+//! Cross-crate semantic soundness: the compiled (inlined) form of real
+//! workload programs computes exactly what the original computes, for any
+//! heuristic the tuner might propose.
+
+use inlinetune::prelude::*;
+use ir::interp::{run, InterpLimits};
+use simrng::Rng;
+use workloads::{generate, BenchmarkSpec, OpMix, Suite};
+
+fn tiny_spec(seed_name: &'static str) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: seed_name,
+        description: "integration-test workload",
+        suite: Suite::SpecJvm98,
+        n_workers: 20,
+        n_accessors: 10,
+        n_layers: 4,
+        body_median_ops: 6.0,
+        body_sigma: 0.8,
+        fanout_mean: 1.6,
+        hot_skew: 1.2,
+        n_phases: 2,
+        driver_iters: 3,
+        phase_trips: 3,
+        kernel_prob: 0.4,
+        kernel_trips: 8,
+        call_in_loop_prob: 0.3,
+        cold_branch_prob: 0.25,
+        mix: OpMix::INT,
+    }
+}
+
+fn limits() -> InterpLimits {
+    InterpLimits {
+        fuel: 100_000_000,
+        max_depth: 128,
+    }
+}
+
+#[test]
+fn inlining_workload_programs_preserves_semantics_across_param_space() {
+    let mut rng = Rng::seed_from_u64(0x5eed);
+    for case in 0..12 {
+        let program = generate(&tiny_spec("sem-test"), 1000 + case);
+        let before = run(&program, &[], &limits()).expect("workload runs");
+        // A spread of parameter vectors across the search space, plus the
+        // two reference points.
+        let mut params_list = vec![InlineParams::jikes_default(), InlineParams::disabled()];
+        for _ in 0..4 {
+            params_list.push(InlineParams {
+                callee_max_size: rng.range_i64(0, 60) as u32,
+                always_inline_size: rng.range_i64(0, 35) as u32,
+                max_inline_depth: rng.range_i64(0, 15) as u32,
+                caller_max_size: rng.range_i64(0, 4000) as u32,
+                hot_callee_max_size: rng.range_i64(0, 400) as u32,
+            });
+        }
+        let all_ids: Vec<MethodId> = program.methods.iter().map(|m| m.id).collect();
+        for params in &params_list {
+            let (inlined, _) =
+                inliner::inline_program(&program, params, &inliner::HotSites::new(), &all_ids);
+            let after = run(&inlined, &[], &limits()).expect("inlined workload runs");
+            assert_eq!(before.value, after.value, "case {case}, params {params}");
+            assert_eq!(before.heap_digest, after.heap_digest, "case {case}");
+            assert_eq!(before.fuel_used, after.fuel_used, "case {case}");
+            assert!(after.calls_executed <= before.calls_executed);
+        }
+    }
+}
+
+#[test]
+fn adaptive_hot_site_inlining_also_preserves_semantics() {
+    let program = generate(&tiny_spec("sem-hot"), 77);
+    let before = run(&program, &[], &limits()).expect("runs");
+    // Use the real adaptive plan's hot sites.
+    let plan = jit::adaptive::plan(&program, &ArchModel::pentium4(), &AdaptConfig::default());
+    let all_ids: Vec<MethodId> = program.methods.iter().map(|m| m.id).collect();
+    let (inlined, stats) = inliner::inline_program(
+        &program,
+        &InlineParams::jikes_default(),
+        &plan.hot_sites,
+        &all_ids,
+    );
+    let after = run(&inlined, &[], &limits()).expect("inlined runs");
+    assert_eq!(before.value, after.value);
+    assert_eq!(before.heap_digest, after.heap_digest);
+    // The hot set should actually have been consulted.
+    let total_hot: u32 = stats.values().map(|s| s.hot_considered).sum();
+    assert!(total_hot > 0, "no hot sites were considered");
+}
+
+#[test]
+fn compiled_program_states_validate_structurally() {
+    let program = generate(&tiny_spec("sem-validate"), 5);
+    let arch = ArchModel::pentium4();
+    let state = jit::compile::compile_all_opt(
+        &program,
+        &arch,
+        &InlineParams::jikes_default(),
+        &inliner::HotSites::new(),
+    );
+    assert!(
+        ir::validate::validate(&state.program).is_empty(),
+        "{:?}",
+        ir::validate::validate(&state.program)
+    );
+}
