@@ -75,6 +75,11 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 /// Measures `params` against the default heuristic on every benchmark of a
 /// suite.
+///
+/// The default-heuristic measurements come from the process-wide
+/// [`crate::defaults`] cache: evaluating many parameter vectors on the
+/// same suite (or evaluating after a [`crate::Tuner`] already measured the
+/// defaults) measures the default exactly once per benchmark.
 #[must_use]
 pub fn evaluate_suite(
     suite: &[Benchmark],
@@ -83,18 +88,45 @@ pub fn evaluate_suite(
     params: &InlineParams,
     adapt_cfg: &AdaptConfig,
 ) -> SuiteEval {
-    let default_params = InlineParams::jikes_default();
+    let defaults: Vec<Measurement> =
+        crate::defaults::default_measurements(suite, scenario, arch, adapt_cfg)
+            .iter()
+            .map(|m| (**m).clone())
+            .collect();
+    evaluate_suite_with_defaults(suite, &defaults, scenario, arch, params, adapt_cfg)
+}
+
+/// Like [`evaluate_suite`], but against caller-provided default
+/// measurements (parallel to the suite order) — for callers that already
+/// hold them, e.g. via `Tuner::defaults`.
+///
+/// # Panics
+/// Panics if `defaults` is not parallel to `suite`.
+#[must_use]
+pub fn evaluate_suite_with_defaults(
+    suite: &[Benchmark],
+    defaults: &[Measurement],
+    scenario: Scenario,
+    arch: &ArchModel,
+    params: &InlineParams,
+    adapt_cfg: &AdaptConfig,
+) -> SuiteEval {
+    assert_eq!(
+        suite.len(),
+        defaults.len(),
+        "defaults must be parallel to the suite"
+    );
     let benches = suite
         .iter()
-        .map(|b| {
-            let default = measure(&b.program, scenario, arch, &default_params, adapt_cfg);
+        .zip(defaults)
+        .map(|(b, default)| {
             let tuned = measure(&b.program, scenario, arch, params, adapt_cfg);
             BenchEval {
                 name: b.name(),
                 running_ratio: tuned.running_cycles / default.running_cycles,
                 total_ratio: tuned.total_cycles / default.total_cycles,
                 tuned,
-                default,
+                default: default.clone(),
             }
         })
         .collect();

@@ -26,6 +26,7 @@
 //! [`inliner::InlineParams`] you bake into the "shipped" compiler; there
 //! is no runtime overhead.
 
+pub mod defaults;
 pub mod eval;
 pub mod fitness;
 pub mod goal;
@@ -33,7 +34,8 @@ pub mod multi_seed;
 pub mod per_program;
 pub mod tuner;
 
-pub use eval::{evaluate_suite, BenchEval, SuiteEval};
+pub use defaults::{default_measurement, default_measurements};
+pub use eval::{evaluate_suite, evaluate_suite_with_defaults, BenchEval, SuiteEval};
 pub use fitness::geometric_mean;
 pub use goal::Goal;
 pub use multi_seed::tune_multi_seed;

@@ -5,11 +5,14 @@
 //! the GA fitness function; [`Tuner::tune`] runs the genetic algorithm and
 //! returns the tuned [`InlineParams`].
 
-use ga::{GaConfig, GaResult, GeneticAlgorithm, Ranges};
+use std::sync::Arc;
+
+use ga::{GaConfig, GaResult, GaState, Ranges};
 use inliner::{InlineParams, ParamRanges};
 use jit::{measure, AdaptConfig, ArchModel, Measurement, Scenario};
 use workloads::Benchmark;
 
+use crate::defaults::default_measurements;
 use crate::fitness::geometric_mean;
 use crate::goal::Goal;
 
@@ -102,31 +105,26 @@ pub struct Tuner {
     training: Vec<Benchmark>,
     /// Per-benchmark measurement under the Jikes default heuristic — the
     /// normalization constants of the fitness function and the balance
-    /// factors.
-    defaults: Vec<Measurement>,
+    /// factors. Shared with every other consumer of the same cell through
+    /// the process-wide [`crate::defaults`] cache.
+    defaults: Vec<Arc<Measurement>>,
 }
 
 impl Tuner {
     /// Creates a tuner over a training suite (the paper trains on
     /// SPECjvm98: pass [`workloads::specjvm98()`]).
     ///
+    /// The default-heuristic measurements are fetched through the
+    /// process-wide [`crate::defaults`] cache, so constructing many tuners
+    /// over the same suite (or evaluating the suite afterwards) measures
+    /// the defaults only once.
+    ///
     /// # Panics
     /// Panics if the suite is empty.
     #[must_use]
     pub fn new(task: TuningTask, training: Vec<Benchmark>, adapt_cfg: AdaptConfig) -> Self {
         assert!(!training.is_empty(), "training suite must not be empty");
-        let defaults = training
-            .iter()
-            .map(|b| {
-                measure(
-                    &b.program,
-                    task.scenario,
-                    &task.arch,
-                    &InlineParams::jikes_default(),
-                    &adapt_cfg,
-                )
-            })
-            .collect();
+        let defaults = default_measurements(&training, task.scenario, &task.arch, &adapt_cfg);
         Self {
             task,
             adapt_cfg,
@@ -139,6 +137,13 @@ impl Tuner {
     #[must_use]
     pub fn task(&self) -> &TuningTask {
         &self.task
+    }
+
+    /// The default-heuristic measurements of the training suite (parallel
+    /// to the suite order).
+    #[must_use]
+    pub fn defaults(&self) -> &[Arc<Measurement>] {
+        &self.defaults
     }
 
     /// Fitness of a parameter vector: geometric mean over the training
@@ -166,12 +171,33 @@ impl Tuner {
         geometric_mean(&ratios)
     }
 
-    /// Runs the genetic algorithm (§3.1) and returns the tuned heuristic.
+    /// Seeds a resumable tuning run: a [`GaState`] over this task's Table 1
+    /// ranges. Drive it with [`Tuner::step`]; snapshot it between steps
+    /// for checkpointing (see `ga::GaSnapshot`).
     #[must_use]
-    pub fn tune(&self, ga_config: GaConfig) -> TuneOutcome {
-        let ranges = self.task.ranges();
-        let engine = GeneticAlgorithm::new(ranges, ga_config);
-        let ga = engine.run(|genes| self.fitness(&InlineParams::from_genes(genes)));
+    pub fn start(&self, ga_config: GaConfig) -> GaState {
+        GaState::new(self.task.ranges(), ga_config)
+    }
+
+    /// Advances a tuning run by exactly one generation. Returns `true`
+    /// once the search is complete (see `ga::GaState::step`).
+    pub fn step(&self, state: &mut GaState) -> bool {
+        state.step(|genes| self.fitness(&InlineParams::from_genes(genes)))
+    }
+
+    /// Packages a (finished or in-flight) run's best-so-far into a
+    /// [`TuneOutcome`].
+    ///
+    /// # Panics
+    /// Panics if no generation has completed yet (there is no best genome
+    /// to report).
+    #[must_use]
+    pub fn outcome(&self, state: &GaState) -> TuneOutcome {
+        assert!(
+            state.generation() > 0,
+            "no generations completed: nothing to report"
+        );
+        let ga = state.result();
         let params = InlineParams::from_genes(&ga.best_genome);
         TuneOutcome {
             task: self.task.clone(),
@@ -179,6 +205,16 @@ impl Tuner {
             fitness: ga.best_fitness,
             ga,
         }
+    }
+
+    /// Runs the genetic algorithm (§3.1) and returns the tuned heuristic.
+    /// A blocking loop over [`Tuner::start`] / [`Tuner::step`] — the
+    /// daemon's resumable path and this call share every instruction.
+    #[must_use]
+    pub fn tune(&self, ga_config: GaConfig) -> TuneOutcome {
+        let mut state = self.start(ga_config);
+        while !self.step(&mut state) {}
+        self.outcome(&state)
     }
 }
 
@@ -241,6 +277,34 @@ mod tests {
         // 80 evaluations the GA should find something at least as good.
         assert!(outcome.fitness <= 1.05, "fitness {}", outcome.fitness);
         assert!(t.task().ranges().contains(&outcome.params.to_genes()));
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_tune() {
+        let t = Tuner::new(task(), small_training(), AdaptConfig::default());
+        let cfg = GaConfig {
+            pop_size: 8,
+            generations: 8,
+            threads: 1,
+            stagnation_limit: None,
+            seed: 1234,
+            ..GaConfig::default()
+        };
+        let uninterrupted = t.tune(cfg.clone());
+
+        // Run three generations, snapshot (as the daemon checkpoints),
+        // "restart" from the snapshot and run to completion.
+        let mut state = t.start(cfg);
+        for _ in 0..3 {
+            assert!(!t.step(&mut state));
+        }
+        let mut resumed = GaState::restore(state.snapshot()).expect("valid snapshot");
+        while !t.step(&mut resumed) {}
+        let outcome = t.outcome(&resumed);
+        assert_eq!(outcome.params, uninterrupted.params);
+        assert_eq!(outcome.fitness.to_bits(), uninterrupted.fitness.to_bits());
+        assert_eq!(outcome.ga.evaluations, uninterrupted.ga.evaluations);
+        assert_eq!(outcome.ga.history, uninterrupted.ga.history);
     }
 
     #[test]

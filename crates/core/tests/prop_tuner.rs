@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the tuning pipeline's fitness function.
 
 use proptest::prelude::*;

@@ -1,9 +1,21 @@
 //! The generational GA engine with memoized, optionally parallel fitness
 //! evaluation.
+//!
+//! The engine comes in two shapes:
+//!
+//! * [`GeneticAlgorithm::run`] — the original blocking call: runs every
+//!   generation and returns a [`GaResult`];
+//! * [`GaState`] — the resumable form: [`GaState::step`] advances the
+//!   search exactly one generation, and [`GaState::snapshot`] /
+//!   [`GaState::restore`] round-trip the *entire* search state (population,
+//!   RNG, memo table, counters, history) through a plain-data
+//!   [`GaSnapshot`], so a long run can be checkpointed after every
+//!   generation and resumed — even in a different process — with
+//!   bit-identical results. `run` is a thin loop over `step`, so the two
+//!   shapes cannot drift apart.
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use simrng::Rng;
 
 use crate::genome::{Genome, Ranges};
@@ -21,6 +33,31 @@ pub enum CrossoverKind {
     /// A 50/50 mix of one-point and uniform per breeding pair.
     #[default]
     Mixed,
+}
+
+impl CrossoverKind {
+    /// Stable identifier (used by checkpoint files and the wire protocol).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossoverKind::OnePoint => "one-point",
+            CrossoverKind::TwoPoint => "two-point",
+            CrossoverKind::Uniform => "uniform",
+            CrossoverKind::Mixed => "mixed",
+        }
+    }
+
+    /// Parses the identifier produced by [`CrossoverKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "one-point" => Some(CrossoverKind::OnePoint),
+            "two-point" => Some(CrossoverKind::TwoPoint),
+            "uniform" => Some(CrossoverKind::Uniform),
+            "mixed" => Some(CrossoverKind::Mixed),
+            _ => None,
+        }
+    }
 }
 
 /// Engine configuration.
@@ -83,6 +120,19 @@ impl GaConfig {
             ..Self::default()
         }
     }
+
+    fn validate(&self) {
+        assert!(self.pop_size >= 2, "population must be at least 2");
+        assert!(
+            self.elitism < self.pop_size,
+            "elitism must leave room to breed"
+        );
+        assert!(self.threads >= 1, "need at least one evaluation thread");
+        assert!(
+            self.tournament_size >= 1,
+            "tournament size must be positive"
+        );
+    }
 }
 
 /// One generation's summary.
@@ -113,10 +163,409 @@ pub struct GaResult {
     pub cache_hits: usize,
 }
 
+/// A plain-data image of a [`GaState`] at a generation boundary.
+///
+/// Every field is public and made of std types so callers can serialize it
+/// in whatever format they like (the `tuned` daemon writes it as JSON).
+/// [`GaState::restore`] validates the image and rebuilds the live state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaSnapshot {
+    /// Per-gene inclusive bounds of the search space.
+    pub bounds: Vec<(i64, i64)>,
+    /// The engine configuration (including the seed).
+    pub config: GaConfig,
+    /// Raw xoshiro256** state of the breeding RNG.
+    pub rng_state: [u64; 4],
+    /// The current (not-yet-evaluated or just-bred) population.
+    pub population: Vec<Genome>,
+    /// The fitness memo table, sorted by genome for stable bytes.
+    pub cache: Vec<(Genome, f64)>,
+    /// Distinct genomes evaluated so far.
+    pub evaluations: usize,
+    /// Evaluations answered from the memo table so far.
+    pub cache_hits: usize,
+    /// Per-generation history so far.
+    pub history: Vec<Generation>,
+    /// Best genome so far.
+    pub best_genome: Genome,
+    /// Its fitness (`+inf` before the first generation completes).
+    pub best_fitness: f64,
+    /// Consecutive generations without improvement.
+    pub stagnant: usize,
+    /// Index of the next generation to run.
+    pub next_gen: usize,
+    /// Whether the run has finished.
+    pub done: bool,
+}
+
+/// A resumable in-flight GA search.
+///
+/// Create with [`GaState::new`] (or [`GeneticAlgorithm::start`]), advance
+/// with [`GaState::step`], and read the outcome with [`GaState::result`].
+/// The state is a pure function of the config seed and the number of steps
+/// taken: stepping is exactly the loop body of [`GeneticAlgorithm::run`].
+#[derive(Debug, Clone)]
+pub struct GaState {
+    ranges: Ranges,
+    config: GaConfig,
+    rng: Rng,
+    population: Vec<Genome>,
+    cache: HashMap<Genome, f64>,
+    evaluations: usize,
+    cache_hits: usize,
+    history: Vec<Generation>,
+    best_genome: Genome,
+    best_fitness: f64,
+    stagnant: usize,
+    next_gen: usize,
+    done: bool,
+}
+
+impl GaState {
+    /// Seeds a fresh search: draws the initial population from the config
+    /// seed. No fitness is evaluated until the first [`step`].
+    ///
+    /// [`step`]: GaState::step
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (see [`GeneticAlgorithm::new`]).
+    #[must_use]
+    pub fn new(ranges: Ranges, config: GaConfig) -> Self {
+        config.validate();
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let population: Vec<Genome> = (0..config.pop_size)
+            .map(|_| ranges.random(&mut rng))
+            .collect();
+        let best_genome = population[0].clone();
+        Self {
+            ranges,
+            config,
+            rng,
+            population,
+            cache: HashMap::new(),
+            evaluations: 0,
+            cache_hits: 0,
+            history: Vec::new(),
+            best_genome,
+            best_fitness: f64::INFINITY,
+            stagnant: 0,
+            next_gen: 0,
+            done: false,
+        }
+    }
+
+    /// Runs exactly one generation: evaluates the current population
+    /// (through the memo table, in parallel when configured), records
+    /// history, and — unless the run just finished — breeds the next
+    /// population. Returns `true` once the run is complete; further calls
+    /// are no-ops.
+    ///
+    /// `fitness` must be deterministic: results are memoized by genome.
+    /// Non-finite fitness values are treated as `+inf` (worst).
+    pub fn step<F>(&mut self, fitness: F) -> bool
+    where
+        F: Fn(&[i64]) -> f64 + Sync,
+    {
+        if self.done || self.next_gen >= self.config.generations {
+            self.done = true;
+            return true;
+        }
+        let scores = self.evaluate(&fitness);
+
+        // Track the best.
+        let mut improved = false;
+        for (genome, &score) in self.population.iter().zip(&scores) {
+            if score < self.best_fitness {
+                self.best_fitness = score;
+                self.best_genome = genome.clone();
+                improved = true;
+            }
+        }
+        let finite_mean = {
+            let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+            if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        };
+        self.history.push(Generation {
+            index: self.next_gen,
+            best_fitness: self.best_fitness,
+            best_genome: self.best_genome.clone(),
+            mean_fitness: finite_mean,
+        });
+
+        self.stagnant = if improved { 0 } else { self.stagnant + 1 };
+        let stagnated = self
+            .config
+            .stagnation_limit
+            .is_some_and(|limit| self.stagnant >= limit);
+        if stagnated || self.next_gen + 1 == self.config.generations {
+            self.done = true;
+            self.next_gen += 1;
+            return true;
+        }
+
+        self.breed(&scores);
+        self.next_gen += 1;
+        false
+    }
+
+    /// Breeds the next generation from the scored current one.
+    fn breed(&mut self, scores: &[f64]) {
+        let cfg = self.config.clone();
+        let mut order: Vec<usize> = (0..self.population.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+        let mut next: Vec<Genome> = Vec::with_capacity(cfg.pop_size);
+        for &i in order.iter().take(cfg.elitism) {
+            next.push(self.population[i].clone());
+        }
+        while next.len() < cfg.pop_size {
+            let pa = tournament(scores, cfg.tournament_size, &mut self.rng);
+            let pb = tournament(scores, cfg.tournament_size, &mut self.rng);
+            let (mut c, mut d) = if self.rng.chance(cfg.crossover_prob) {
+                let (x, y) = (&self.population[pa], &self.population[pb]);
+                match cfg.crossover_kind {
+                    CrossoverKind::OnePoint => one_point_crossover(x, y, &mut self.rng),
+                    CrossoverKind::TwoPoint => two_point_crossover(x, y, &mut self.rng),
+                    CrossoverKind::Uniform => uniform_crossover(x, y, &mut self.rng),
+                    CrossoverKind::Mixed => {
+                        if self.rng.chance(0.5) {
+                            uniform_crossover(x, y, &mut self.rng)
+                        } else {
+                            one_point_crossover(x, y, &mut self.rng)
+                        }
+                    }
+                }
+            } else {
+                (self.population[pa].clone(), self.population[pb].clone())
+            };
+            mutate(&mut c, &self.ranges, cfg.mutation_prob, &mut self.rng);
+            mutate(&mut d, &self.ranges, cfg.mutation_prob, &mut self.rng);
+            next.push(c);
+            if next.len() < cfg.pop_size {
+                next.push(d);
+            }
+        }
+        self.population = next;
+    }
+
+    /// Evaluates the current population through the memo table, farming
+    /// cache misses out to worker threads. Worker threads never consume
+    /// randomness, so parallel evaluation is bit-identical to sequential.
+    fn evaluate<F>(&mut self, fitness: &F) -> Vec<f64>
+    where
+        F: Fn(&[i64]) -> f64 + Sync,
+    {
+        // Split into hits and (deduplicated) misses.
+        let mut misses: Vec<Genome> = Vec::new();
+        {
+            let mut seen: HashMap<&Genome, ()> = HashMap::new();
+            for g in &self.population {
+                if self.cache.contains_key(g) {
+                    self.cache_hits += 1;
+                } else if seen.insert(g, ()).is_none() {
+                    misses.push(g.clone());
+                }
+            }
+        }
+        self.evaluations += misses.len();
+
+        let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
+        if self.config.threads <= 1 || misses.len() <= 1 {
+            for g in misses {
+                let v = sanitize(fitness(&g));
+                self.cache.insert(g, v);
+            }
+        } else {
+            let n_threads = self.config.threads.min(misses.len());
+            let chunk = misses.len().div_ceil(n_threads);
+            let scored: Vec<(Genome, f64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = misses
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|g| (g.clone(), sanitize(fitness(g))))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            });
+            self.cache.extend(scored);
+        }
+
+        self.population.iter().map(|g| self.cache[g]).collect()
+    }
+
+    /// Whether the run has finished (max generations, stagnation, or a
+    /// zero-generation config).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done || self.next_gen >= self.config.generations
+    }
+
+    /// Number of completed generations.
+    #[must_use]
+    pub fn generation(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The configuration this search runs under.
+    #[must_use]
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// The search-space bounds.
+    #[must_use]
+    pub fn ranges(&self) -> &Ranges {
+        &self.ranges
+    }
+
+    /// Best genome and fitness so far (`None` before the first generation).
+    #[must_use]
+    pub fn best(&self) -> Option<(&Genome, f64)> {
+        if self.history.is_empty() {
+            None
+        } else {
+            Some((&self.best_genome, self.best_fitness))
+        }
+    }
+
+    /// Per-generation history so far.
+    #[must_use]
+    pub fn history(&self) -> &[Generation] {
+        &self.history
+    }
+
+    /// Distinct genomes evaluated so far (cache misses).
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Evaluations answered from the memo table so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// The run's outcome so far, in the same shape [`GeneticAlgorithm::run`]
+    /// returns.
+    #[must_use]
+    pub fn result(&self) -> GaResult {
+        GaResult {
+            best_genome: self.best_genome.clone(),
+            best_fitness: self.best_fitness,
+            history: self.history.clone(),
+            evaluations: self.evaluations,
+            cache_hits: self.cache_hits,
+        }
+    }
+
+    /// A plain-data image of the complete search state. Restoring it with
+    /// [`GaState::restore`] and continuing yields bit-identical results to
+    /// never having snapshotted.
+    #[must_use]
+    pub fn snapshot(&self) -> GaSnapshot {
+        let mut cache: Vec<(Genome, f64)> =
+            self.cache.iter().map(|(g, &v)| (g.clone(), v)).collect();
+        cache.sort_by(|a, b| a.0.cmp(&b.0));
+        GaSnapshot {
+            bounds: self.ranges.iter().collect(),
+            config: self.config.clone(),
+            rng_state: self.rng.state(),
+            population: self.population.clone(),
+            cache,
+            evaluations: self.evaluations,
+            cache_hits: self.cache_hits,
+            history: self.history.clone(),
+            best_genome: self.best_genome.clone(),
+            best_fitness: self.best_fitness,
+            stagnant: self.stagnant,
+            next_gen: self.next_gen,
+            done: self.done,
+        }
+    }
+
+    /// Rebuilds a live state from a snapshot.
+    ///
+    /// # Errors
+    /// Returns a description of the problem when the image is internally
+    /// inconsistent (wrong population size, out-of-range genomes, history
+    /// longer than the generation counter).
+    pub fn restore(snapshot: GaSnapshot) -> Result<Self, String> {
+        let GaSnapshot {
+            bounds,
+            config,
+            rng_state,
+            population,
+            cache,
+            evaluations,
+            cache_hits,
+            history,
+            best_genome,
+            best_fitness,
+            stagnant,
+            next_gen,
+            done,
+        } = snapshot;
+        if bounds.is_empty() {
+            return Err("snapshot has no gene bounds".into());
+        }
+        if bounds.iter().any(|&(lo, hi)| lo > hi) {
+            return Err("snapshot has inverted gene bounds".into());
+        }
+        let ranges = Ranges::new(bounds);
+        config.validate();
+        if population.len() != config.pop_size {
+            return Err(format!(
+                "snapshot population has {} genomes, config says {}",
+                population.len(),
+                config.pop_size
+            ));
+        }
+        if let Some(g) = population.iter().find(|g| !ranges.contains(g)) {
+            return Err(format!("snapshot population genome {g:?} out of range"));
+        }
+        if history.len() > config.generations {
+            return Err(format!(
+                "snapshot history has {} generations, config allows {}",
+                history.len(),
+                config.generations
+            ));
+        }
+        Ok(Self {
+            ranges,
+            config,
+            rng: Rng::from_state(rng_state),
+            population,
+            cache: cache.into_iter().collect(),
+            evaluations,
+            cache_hits,
+            history,
+            best_genome,
+            best_fitness,
+            stagnant,
+            next_gen,
+            done,
+        })
+    }
+}
+
 /// The engine. Construct with ranges and a config, then [`run`] with a
-/// fitness function (lower is better).
+/// fitness function (lower is better), or [`start`] a resumable
+/// [`GaState`].
 ///
 /// [`run`]: GeneticAlgorithm::run
+/// [`start`]: GeneticAlgorithm::start
 #[derive(Debug)]
 pub struct GeneticAlgorithm {
     ranges: Ranges,
@@ -131,20 +580,17 @@ impl GeneticAlgorithm {
     /// larger than the population, zero threads).
     #[must_use]
     pub fn new(ranges: Ranges, config: GaConfig) -> Self {
-        assert!(config.pop_size >= 2, "population must be at least 2");
-        assert!(
-            config.elitism < config.pop_size,
-            "elitism must leave room to breed"
-        );
-        assert!(config.threads >= 1, "need at least one evaluation thread");
-        assert!(
-            config.tournament_size >= 1,
-            "tournament size must be positive"
-        );
+        config.validate();
         Self { ranges, config }
     }
 
-    /// Runs the GA, minimizing `fitness`.
+    /// Seeds a resumable search over this engine's ranges and config.
+    #[must_use]
+    pub fn start(&self) -> GaState {
+        GaState::new(self.ranges.clone(), self.config.clone())
+    }
+
+    /// Runs the GA to completion, minimizing `fitness`.
     ///
     /// `fitness` must be deterministic: results are memoized by genome.
     /// Non-finite fitness values are treated as `+inf` (worst).
@@ -152,163 +598,9 @@ impl GeneticAlgorithm {
     where
         F: Fn(&[i64]) -> f64 + Sync,
     {
-        let cfg = &self.config;
-        let mut rng = Rng::seed_from_u64(cfg.seed);
-        let cache: Mutex<HashMap<Genome, f64>> = Mutex::new(HashMap::new());
-        let mut evaluations = 0usize;
-        let mut cache_hits = 0usize;
-
-        let mut population: Vec<Genome> = (0..cfg.pop_size)
-            .map(|_| self.ranges.random(&mut rng))
-            .collect();
-
-        let mut history: Vec<Generation> = Vec::with_capacity(cfg.generations);
-        let mut best_genome = population[0].clone();
-        let mut best_fitness = f64::INFINITY;
-        let mut stagnant = 0usize;
-
-        for gen_index in 0..cfg.generations {
-            let scores = self.evaluate(
-                &population,
-                &fitness,
-                &cache,
-                &mut evaluations,
-                &mut cache_hits,
-            );
-
-            // Track the best.
-            let mut improved = false;
-            for (genome, &score) in population.iter().zip(&scores) {
-                if score < best_fitness {
-                    best_fitness = score;
-                    best_genome = genome.clone();
-                    improved = true;
-                }
-            }
-            let finite_mean = {
-                let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
-                if finite.is_empty() {
-                    f64::INFINITY
-                } else {
-                    finite.iter().sum::<f64>() / finite.len() as f64
-                }
-            };
-            history.push(Generation {
-                index: gen_index,
-                best_fitness,
-                best_genome: best_genome.clone(),
-                mean_fitness: finite_mean,
-            });
-
-            stagnant = if improved { 0 } else { stagnant + 1 };
-            if let Some(limit) = cfg.stagnation_limit {
-                if stagnant >= limit {
-                    break;
-                }
-            }
-            if gen_index + 1 == cfg.generations {
-                break;
-            }
-
-            // ---- breed the next generation ----
-            let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
-
-            let mut next: Vec<Genome> = Vec::with_capacity(cfg.pop_size);
-            for &i in order.iter().take(cfg.elitism) {
-                next.push(population[i].clone());
-            }
-            while next.len() < cfg.pop_size {
-                let pa = tournament(&scores, cfg.tournament_size, &mut rng);
-                let pb = tournament(&scores, cfg.tournament_size, &mut rng);
-                let (mut c, mut d) = if rng.chance(cfg.crossover_prob) {
-                    let (x, y) = (&population[pa], &population[pb]);
-                    match cfg.crossover_kind {
-                        CrossoverKind::OnePoint => one_point_crossover(x, y, &mut rng),
-                        CrossoverKind::TwoPoint => two_point_crossover(x, y, &mut rng),
-                        CrossoverKind::Uniform => uniform_crossover(x, y, &mut rng),
-                        CrossoverKind::Mixed => {
-                            if rng.chance(0.5) {
-                                uniform_crossover(x, y, &mut rng)
-                            } else {
-                                one_point_crossover(x, y, &mut rng)
-                            }
-                        }
-                    }
-                } else {
-                    (population[pa].clone(), population[pb].clone())
-                };
-                mutate(&mut c, &self.ranges, cfg.mutation_prob, &mut rng);
-                mutate(&mut d, &self.ranges, cfg.mutation_prob, &mut rng);
-                next.push(c);
-                if next.len() < cfg.pop_size {
-                    next.push(d);
-                }
-            }
-            population = next;
-        }
-
-        GaResult {
-            best_genome,
-            best_fitness,
-            history,
-            evaluations,
-            cache_hits,
-        }
-    }
-
-    /// Evaluates a population through the memo table, farming cache misses
-    /// out to worker threads.
-    fn evaluate<F>(
-        &self,
-        population: &[Genome],
-        fitness: &F,
-        cache: &Mutex<HashMap<Genome, f64>>,
-        evaluations: &mut usize,
-        cache_hits: &mut usize,
-    ) -> Vec<f64>
-    where
-        F: Fn(&[i64]) -> f64 + Sync,
-    {
-        // Split into hits and (deduplicated) misses.
-        let mut misses: Vec<&Genome> = Vec::new();
-        {
-            let cache = cache.lock();
-            let mut seen: HashMap<&Genome, ()> = HashMap::new();
-            for g in population {
-                if cache.contains_key(g) {
-                    *cache_hits += 1;
-                } else if seen.insert(g, ()).is_none() {
-                    misses.push(g);
-                }
-            }
-        }
-        *evaluations += misses.len();
-
-        let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
-        if self.config.threads <= 1 || misses.len() <= 1 {
-            let mut cache = cache.lock();
-            for g in misses {
-                let v = sanitize(fitness(g));
-                cache.insert(g.clone(), v);
-            }
-        } else {
-            let n_threads = self.config.threads.min(misses.len());
-            let chunk = misses.len().div_ceil(n_threads);
-            std::thread::scope(|scope| {
-                for part in misses.chunks(chunk) {
-                    scope.spawn(move || {
-                        for g in part {
-                            let v = sanitize(fitness(g));
-                            cache.lock().insert((*g).clone(), v);
-                        }
-                    });
-                }
-            });
-        }
-
-        let cache = cache.lock();
-        population.iter().map(|g| cache[g]).collect()
+        let mut state = self.start();
+        while !state.step(&fitness) {}
+        state.result()
     }
 }
 
@@ -480,5 +772,125 @@ mod tests {
                 ..GaConfig::default()
             },
         );
+    }
+
+    // ---- stepping / snapshot tests ----
+
+    fn step_cfg(generations: usize) -> GaConfig {
+        GaConfig {
+            pop_size: 12,
+            generations,
+            threads: 1,
+            seed: 404,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn stepped_run_matches_blocking_run() {
+        let target = vec![9, -9, 40, -40];
+        let f = sphere(&target);
+        let engine = GeneticAlgorithm::new(sphere_ranges(), step_cfg(35));
+        let blocking = engine.run(&f);
+
+        let mut state = engine.start();
+        let mut steps = 0;
+        while !state.step(&f) {
+            steps += 1;
+        }
+        let stepped = state.result();
+        assert_eq!(steps + 1, blocking.history.len());
+        assert_eq!(stepped.best_genome, blocking.best_genome);
+        assert_eq!(
+            stepped.best_fitness.to_bits(),
+            blocking.best_fitness.to_bits()
+        );
+        assert_eq!(stepped.history, blocking.history);
+        assert_eq!(stepped.evaluations, blocking.evaluations);
+        assert_eq!(stepped.cache_hits, blocking.cache_hits);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let target = vec![-3, 14, 15, 9];
+        let f = sphere(&target);
+        let engine = GeneticAlgorithm::new(sphere_ranges(), step_cfg(30));
+        let reference = engine.run(&f);
+
+        // Interrupt after every single generation: snapshot, restore,
+        // continue — as the daemon does across process restarts.
+        let mut state = engine.start();
+        loop {
+            let snap = state.snapshot();
+            state = GaState::restore(snap).expect("valid snapshot");
+            if state.step(&f) {
+                break;
+            }
+        }
+        let resumed = state.result();
+        assert_eq!(resumed.best_genome, reference.best_genome);
+        assert_eq!(
+            resumed.best_fitness.to_bits(),
+            reference.best_fitness.to_bits()
+        );
+        assert_eq!(resumed.history, reference.history);
+        assert_eq!(resumed.evaluations, reference.evaluations);
+        assert_eq!(resumed.cache_hits, reference.cache_hits);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_restore() {
+        let f = sphere(&[1, 2, 3, 4]);
+        let mut state = GaState::new(sphere_ranges(), step_cfg(10));
+        for _ in 0..4 {
+            assert!(!state.step(&f));
+        }
+        let snap = state.snapshot();
+        let restored = GaState::restore(snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.generation(), 4);
+        assert!(!restored.is_done());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_population() {
+        let mut snap = GaState::new(sphere_ranges(), step_cfg(5)).snapshot();
+        snap.population[0][0] = 10_000; // out of the (-100, 100) range
+        assert!(GaState::restore(snap).is_err());
+        let mut snap = GaState::new(sphere_ranges(), step_cfg(5)).snapshot();
+        snap.population.pop();
+        assert!(GaState::restore(snap).is_err());
+    }
+
+    #[test]
+    fn step_after_done_is_idempotent() {
+        let f = sphere(&[0, 0, 0, 0]);
+        let mut state = GaState::new(sphere_ranges(), step_cfg(3));
+        while !state.step(&f) {}
+        let before = state.result();
+        assert!(state.step(&f));
+        assert!(state.is_done());
+        assert_eq!(state.result(), before);
+    }
+
+    #[test]
+    fn best_is_none_before_first_step() {
+        let state = GaState::new(sphere_ranges(), step_cfg(3));
+        assert!(state.best().is_none());
+        assert_eq!(state.generation(), 0);
+    }
+
+    #[test]
+    fn crossover_kind_names_roundtrip() {
+        for kind in [
+            CrossoverKind::OnePoint,
+            CrossoverKind::TwoPoint,
+            CrossoverKind::Uniform,
+            CrossoverKind::Mixed,
+        ] {
+            assert_eq!(CrossoverKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CrossoverKind::from_name("nope"), None);
     }
 }

@@ -25,5 +25,7 @@ pub mod engine;
 pub mod genome;
 pub mod ops;
 
-pub use engine::{CrossoverKind, GaConfig, GaResult, Generation, GeneticAlgorithm};
+pub use engine::{
+    CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, Generation, GeneticAlgorithm,
+};
 pub use genome::{Genome, Ranges};

@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the GA engine: every genome the engine ever
 //! evaluates is in range, runs are deterministic, and the engine actually
 //! optimizes.

@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Randomized cross-check of the decision procedures against independent
 //! oracle transliterations of the paper's Fig. 3 and Fig. 4 pseudo-code,
 //! plus end-to-end checks that the *transformer* obeys the decisions it

@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: the inlining transformation is semantics-preserving
 //! and structurally sound on arbitrary random programs and arbitrary
 //! in-range parameter vectors.

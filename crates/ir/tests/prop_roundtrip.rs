@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property test: the pretty-printer/parser pair is a faithful
 //! serialization — print→parse is the identity on arbitrary programs.
 

@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the JIT cost model, including the key
 //! cross-validation: on branch-free programs, the analytic frequency
 //! analysis must agree with the reference interpreter *exactly* —

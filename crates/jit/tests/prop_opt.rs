@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the post-inlining optimizer: on arbitrary
 //! random programs, the prop→DCE pipeline preserves observable semantics
 //! (return value and heap) while never increasing size or semantic work.

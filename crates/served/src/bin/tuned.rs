@@ -1,0 +1,178 @@
+//! `tuned` — the tuning daemon and its command-line client.
+//!
+//! ```text
+//! tuned serve  [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue N]
+//! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
+//!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
+//!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
+//!              [--threads N] [--stagnation N]
+//! tuned status  [--addr HOST:PORT] --id N
+//! tuned watch   [--addr HOST:PORT] --id N
+//! tuned list    [--addr HOST:PORT]
+//! tuned cancel  [--addr HOST:PORT] --id N
+//! tuned metrics [--addr HOST:PORT]
+//! tuned shutdown [--addr HOST:PORT]
+//! ```
+//!
+//! `serve` prints `tuned listening on <addr>` once ready and also writes
+//! the address to `<dir>/addr`, so scripts that bind port 0 can discover
+//! the port.
+
+use std::process::ExitCode;
+
+use ga::GaConfig;
+use served::daemon::{Daemon, DaemonConfig};
+use served::job::{goal_by_name, scenario_by_name, JobSpec};
+use served::json::Json;
+use served::{Client, RunDir, Server};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: tuned <serve|submit|status|watch|list|cancel|metrics|shutdown> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "serve" => serve(&args[1..]),
+        "submit" => submit(&args[1..]),
+        "status" => with_id(&args[1..], |client, id| {
+            client.status(id).map(|j| println!("{}", j.to_text()))
+        }),
+        "watch" => with_id(&args[1..], |client, id| {
+            client
+                .watch(id, |j| println!("{}", j.to_text()))
+                .map(|_| ())
+        }),
+        "list" => with_client(&args[1..], |client| {
+            for j in client.list()? {
+                println!("{}", j.to_text());
+            }
+            Ok(())
+        }),
+        "cancel" => with_id(&args[1..], |client, id| {
+            client
+                .cancel(id)
+                .map(|was| println!("canceled (was {was})"))
+        }),
+        "metrics" => with_client(&args[1..], |client| {
+            client.metrics().map(|m| println!("{}", m.to_text()))
+        }),
+        "shutdown" => with_client(&args[1..], |client| {
+            client.shutdown().map(|()| println!("daemon stopped"))
+        }),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tuned: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--key value` flags out of an argument list.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .windows(2)
+            .rev()
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&'a str> {
+        self.args
+            .windows(2)
+            .filter(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+            .collect()
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad value for {key}: '{v}'")))
+            .transpose()
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let addr = flags.get("--addr").unwrap_or(DEFAULT_ADDR);
+    let dir = flags.get("--dir").unwrap_or("tuned-run");
+    let config = DaemonConfig {
+        workers: flags.parse("--workers")?.unwrap_or(2),
+        queue_capacity: flags.parse("--queue")?.unwrap_or(64),
+    };
+    let run_dir = RunDir::open(dir)?;
+    let daemon = Daemon::start(config, run_dir.clone())?;
+    let server = Server::bind(addr, daemon)?;
+    let bound = server.local_addr();
+    // Scripts bind port 0 and read the actual address from this file.
+    std::fs::write(run_dir.root().join("addr"), bound.to_string())
+        .map_err(|e| format!("cannot write addr file: {e}"))?;
+    println!("tuned listening on {bound}");
+    server.serve()
+}
+
+fn connect(args: &[String]) -> Result<Client, String> {
+    let flags = Flags { args };
+    Client::connect(flags.get("--addr").unwrap_or(DEFAULT_ADDR))
+}
+
+fn with_client(
+    args: &[String],
+    f: impl FnOnce(&mut Client) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut client = connect(args)?;
+    f(&mut client)
+}
+
+fn with_id(
+    args: &[String],
+    f: impl FnOnce(&mut Client, u64) -> Result<(), String>,
+) -> Result<(), String> {
+    let flags = Flags { args };
+    let id = flags.parse("--id")?.ok_or("missing --id")?;
+    let mut client = connect(args)?;
+    f(&mut client, id)
+}
+
+fn submit(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let base = GaConfig::default();
+    let spec = JobSpec {
+        name: flags.get("--name").unwrap_or("job").to_string(),
+        scenario: scenario_by_name(flags.get("--scenario").ok_or("missing --scenario")?)?,
+        goal: goal_by_name(flags.get("--goal").ok_or("missing --goal")?)?,
+        arch: flags.get("--arch").unwrap_or("x86-p4").to_string(),
+        suite: flags
+            .get_all("--bench")
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        ga: GaConfig {
+            pop_size: flags.parse("--pop")?.unwrap_or(base.pop_size),
+            generations: flags.parse("--gens")?.unwrap_or(base.generations),
+            seed: flags.parse("--seed")?.unwrap_or(base.seed),
+            threads: flags.parse("--threads")?.unwrap_or(1),
+            stagnation_limit: flags.parse("--stagnation")?,
+            ..base
+        },
+    };
+    // Validate locally (names, GA shape) before going on the wire.
+    let spec = JobSpec::from_json(&spec.to_json())?;
+    let mut client = connect(args)?;
+    let id = client.submit(&spec)?;
+    println!(
+        "{}",
+        Json::obj(vec![("id", Json::Int(id as i64))]).to_text()
+    );
+    Ok(())
+}

@@ -1,0 +1,523 @@
+//! Durable job state: per-generation checkpoints in a run directory.
+//!
+//! Layout under the daemon's `--dir`:
+//!
+//! ```text
+//! <dir>/jobs/<id>/spec.json        the JobSpec as submitted
+//! <dir>/jobs/<id>/checkpoint.json  GaSnapshot after the last generation
+//! <dir>/jobs/<id>/result.json      written once, when the job finishes
+//! <dir>/jobs/<id>/canceled         marker: don't resume this job
+//! ```
+//!
+//! Every write goes through a temp-file + `rename` pair, so a `SIGKILL`
+//! at any instant leaves either the previous complete checkpoint or the
+//! new complete one — never a torn file. That, plus the GA's bit-exact
+//! [`ga::GaSnapshot`] round-trip, is what makes kill-and-restart produce
+//! the same tuned parameters as an uninterrupted run.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ga::{GaConfig, GaSnapshot, Generation};
+use inliner::InlineParams;
+
+use crate::job::{ga_config_from_json, ga_config_to_json, JobSpec};
+use crate::json::{parse, u64_from_json, u64_to_json, Json};
+
+/// Encodes an `f64` that may be non-finite (JSON has no literal for
+/// those; `best_fitness` is `+inf` before the first generation).
+#[must_use]
+pub fn f64_to_json(x: f64) -> Json {
+    if x.is_finite() {
+        Json::Num(x)
+    } else if x.is_nan() {
+        Json::Str("nan".into())
+    } else if x > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+/// Decodes [`f64_to_json`]'s encoding.
+#[must_use]
+pub fn f64_from_json(v: &Json) -> Option<f64> {
+    match v {
+        Json::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => v.as_f64(),
+    }
+}
+
+fn genome_to_json(g: &[i64]) -> Json {
+    Json::Arr(g.iter().map(|&x| Json::Int(x)).collect())
+}
+
+fn genome_from_json(v: &Json) -> Option<Vec<i64>> {
+    v.as_arr()?.iter().map(Json::as_i64).collect()
+}
+
+/// Serializes a [`GaSnapshot`] deterministically (same state → same
+/// bytes: the memo table is already sorted by `GaState::snapshot`).
+#[must_use]
+pub fn snapshot_to_json(s: &GaSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "bounds",
+            Json::Arr(
+                s.bounds
+                    .iter()
+                    .map(|&(lo, hi)| Json::Arr(vec![Json::Int(lo), Json::Int(hi)]))
+                    .collect(),
+            ),
+        ),
+        ("config", ga_config_to_json(&s.config)),
+        (
+            "rng_state",
+            Json::Arr(s.rng_state.iter().map(|&w| u64_to_json(w)).collect()),
+        ),
+        (
+            "population",
+            Json::Arr(s.population.iter().map(|g| genome_to_json(g)).collect()),
+        ),
+        (
+            "cache",
+            Json::Arr(
+                s.cache
+                    .iter()
+                    .map(|(g, v)| Json::Arr(vec![genome_to_json(g), f64_to_json(*v)]))
+                    .collect(),
+            ),
+        ),
+        ("evaluations", Json::Int(s.evaluations as i64)),
+        ("cache_hits", Json::Int(s.cache_hits as i64)),
+        (
+            "history",
+            Json::Arr(
+                s.history
+                    .iter()
+                    .map(|gen| {
+                        Json::obj(vec![
+                            ("index", Json::Int(gen.index as i64)),
+                            ("best_fitness", f64_to_json(gen.best_fitness)),
+                            ("best_genome", genome_to_json(&gen.best_genome)),
+                            ("mean_fitness", f64_to_json(gen.mean_fitness)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("best_genome", genome_to_json(&s.best_genome)),
+        ("best_fitness", f64_to_json(s.best_fitness)),
+        ("stagnant", Json::Int(s.stagnant as i64)),
+        ("next_gen", Json::Int(s.next_gen as i64)),
+        ("done", Json::Bool(s.done)),
+    ])
+}
+
+/// Deserializes a snapshot. Structural validation only — semantic
+/// validation (population size, genome ranges) happens in
+/// `GaState::restore`.
+///
+/// # Errors
+/// Missing or mistyped fields.
+pub fn snapshot_from_json(v: &Json) -> Result<GaSnapshot, String> {
+    fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+        v.get(key)
+            .ok_or_else(|| format!("checkpoint missing '{key}'"))
+    }
+    let bounds = field(v, "bounds")?
+        .as_arr()
+        .ok_or("'bounds' must be an array")?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr()?;
+            Some((p.first()?.as_i64()?, p.get(1)?.as_i64()?))
+        })
+        .collect::<Option<Vec<(i64, i64)>>>()
+        .ok_or("'bounds' entries must be [lo, hi] integer pairs")?;
+    let config: GaConfig = ga_config_from_json(field(v, "config")?)?;
+    let rng_words = field(v, "rng_state")?
+        .as_arr()
+        .ok_or("'rng_state' must be an array")?
+        .iter()
+        .map(u64_from_json)
+        .collect::<Option<Vec<u64>>>()
+        .ok_or("'rng_state' words must be u64s")?;
+    let rng_state: [u64; 4] = rng_words
+        .try_into()
+        .map_err(|_| "'rng_state' must have exactly 4 words".to_string())?;
+    let population = field(v, "population")?
+        .as_arr()
+        .ok_or("'population' must be an array")?
+        .iter()
+        .map(genome_from_json)
+        .collect::<Option<Vec<_>>>()
+        .ok_or("'population' genomes must be integer arrays")?;
+    let cache = field(v, "cache")?
+        .as_arr()
+        .ok_or("'cache' must be an array")?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_arr()?;
+            Some((
+                genome_from_json(pair.first()?)?,
+                f64_from_json(pair.get(1)?)?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("'cache' entries must be [genome, fitness] pairs")?;
+    let history = field(v, "history")?
+        .as_arr()
+        .ok_or("'history' must be an array")?
+        .iter()
+        .map(|gen| {
+            Some(Generation {
+                index: gen.get("index")?.as_usize()?,
+                best_fitness: f64_from_json(gen.get("best_fitness")?)?,
+                best_genome: genome_from_json(gen.get("best_genome")?)?,
+                mean_fitness: f64_from_json(gen.get("mean_fitness")?)?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("'history' entries are malformed")?;
+    Ok(GaSnapshot {
+        bounds,
+        config,
+        rng_state,
+        population,
+        cache,
+        evaluations: field(v, "evaluations")?
+            .as_usize()
+            .ok_or("'evaluations' must be an integer")?,
+        cache_hits: field(v, "cache_hits")?
+            .as_usize()
+            .ok_or("'cache_hits' must be an integer")?,
+        history,
+        best_genome: genome_from_json(field(v, "best_genome")?)
+            .ok_or("'best_genome' must be an integer array")?,
+        best_fitness: f64_from_json(field(v, "best_fitness")?)
+            .ok_or("'best_fitness' must be a number")?,
+        stagnant: field(v, "stagnant")?
+            .as_usize()
+            .ok_or("'stagnant' must be an integer")?,
+        next_gen: field(v, "next_gen")?
+            .as_usize()
+            .ok_or("'next_gen' must be an integer")?,
+        done: field(v, "done")?
+            .as_bool()
+            .ok_or("'done' must be a boolean")?,
+    })
+}
+
+/// Serializes a finished job's deliverable: the tuned genes and fitness.
+#[must_use]
+pub fn result_to_json(params: &InlineParams, fitness: f64, generations: usize) -> Json {
+    Json::obj(vec![
+        ("genes", genome_to_json(&params.clone().to_genes())),
+        ("fitness", f64_to_json(fitness)),
+        ("generations", Json::Int(generations as i64)),
+    ])
+}
+
+/// Deserializes [`result_to_json`]'s encoding.
+///
+/// # Errors
+/// Missing or mistyped fields.
+pub fn result_from_json(v: &Json) -> Result<(InlineParams, f64, usize), String> {
+    let genes = v
+        .get("genes")
+        .and_then(genome_from_json)
+        .ok_or("result missing integer array 'genes'")?;
+    let fitness = v
+        .get("fitness")
+        .and_then(f64_from_json)
+        .ok_or("result missing number 'fitness'")?;
+    let generations = v
+        .get("generations")
+        .and_then(Json::as_usize)
+        .ok_or("result missing integer 'generations'")?;
+    Ok((InlineParams::from_genes(&genes), fitness, generations))
+}
+
+/// A daemon run directory: owns the `jobs/` tree and all atomic writes.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Opens (creating if needed) a run directory.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        fs::create_dir_all(root.join("jobs"))
+            .map_err(|e| format!("cannot create run dir {}: {e}", root.display()))?;
+        Ok(Self { root })
+    }
+
+    /// The directory root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory for one job.
+    #[must_use]
+    pub fn job_dir(&self, id: u64) -> PathBuf {
+        self.root.join("jobs").join(id.to_string())
+    }
+
+    /// Writes `text` to `<job dir>/<name>` atomically (temp + rename).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_atomic(&self, id: u64, name: &str, text: &str) -> Result<(), String> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let tmp = dir.join(format!(".{name}.tmp"));
+        let dst = dir.join(name);
+        let mut f = fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+        f.write_all(text.as_bytes())
+            .and_then(|()| f.sync_all())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        drop(f);
+        fs::rename(&tmp, &dst).map_err(|e| format!("rename to {}: {e}", dst.display()))
+    }
+
+    fn read(&self, id: u64, name: &str) -> Option<String> {
+        fs::read_to_string(self.job_dir(id).join(name)).ok()
+    }
+
+    /// Persists a job's spec (written once, at submit or recovery).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_spec(&self, id: u64, spec: &JobSpec) -> Result<(), String> {
+        self.write_atomic(id, "spec.json", &spec.to_json().to_text())
+    }
+
+    /// Loads a job's spec.
+    #[must_use]
+    pub fn load_spec(&self, id: u64) -> Option<Result<JobSpec, String>> {
+        self.read(id, "spec.json").map(|t| JobSpec::from_text(&t))
+    }
+
+    /// Persists the post-generation checkpoint atomically.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_checkpoint(&self, id: u64, snapshot: &GaSnapshot) -> Result<(), String> {
+        self.write_atomic(id, "checkpoint.json", &snapshot_to_json(snapshot).to_text())
+    }
+
+    /// Loads the last checkpoint, if one was written.
+    #[must_use]
+    pub fn load_checkpoint(&self, id: u64) -> Option<Result<GaSnapshot, String>> {
+        self.read(id, "checkpoint.json")
+            .map(|t| parse(&t).and_then(|v| snapshot_from_json(&v)))
+    }
+
+    /// Persists the final result.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_result(
+        &self,
+        id: u64,
+        params: &InlineParams,
+        fitness: f64,
+        generations: usize,
+    ) -> Result<(), String> {
+        self.write_atomic(
+            id,
+            "result.json",
+            &result_to_json(params, fitness, generations).to_text(),
+        )
+    }
+
+    /// Loads a finished job's result.
+    #[must_use]
+    pub fn load_result(&self, id: u64) -> Option<Result<(InlineParams, f64, usize), String>> {
+        self.read(id, "result.json")
+            .map(|t| parse(&t).and_then(|v| result_from_json(&v)))
+    }
+
+    /// Drops a tombstone so recovery won't requeue this job.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn mark_canceled(&self, id: u64) -> Result<(), String> {
+        self.write_atomic(id, "canceled", "")
+    }
+
+    /// Whether the job carries a cancellation tombstone.
+    #[must_use]
+    pub fn is_canceled(&self, id: u64) -> bool {
+        self.job_dir(id).join("canceled").exists()
+    }
+
+    /// Every job id with a directory on disk, ascending.
+    #[must_use]
+    pub fn job_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = fs::read_dir(self.root.join("jobs"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok()?.file_name().to_str()?.parse().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::{GaState, Ranges};
+    use jit::Scenario;
+    use tuner::Goal;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("served-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn stepped_snapshot() -> GaSnapshot {
+        let mut state = GaState::new(
+            Ranges::new(vec![(-50, 50); 5]),
+            GaConfig {
+                pop_size: 6,
+                generations: 10,
+                threads: 1,
+                seed: 7,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            state.step(|g| g.iter().map(|&x| (x * x) as f64).sum());
+        }
+        state.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_is_exact() {
+        let snap = stepped_snapshot();
+        let text = snapshot_to_json(&snap).to_text();
+        let back = snapshot_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        // Deterministic bytes: same snapshot, same serialization.
+        assert_eq!(snapshot_to_json(&back).to_text(), text);
+    }
+
+    #[test]
+    fn fresh_snapshot_with_infinite_fitness_roundtrips() {
+        let state = GaState::new(
+            Ranges::new(vec![(0, 9); 3]),
+            GaConfig {
+                pop_size: 4,
+                threads: 1,
+                ..GaConfig::default()
+            },
+        );
+        let snap = state.snapshot();
+        assert!(snap.best_fitness.is_infinite());
+        let text = snapshot_to_json(&snap).to_text();
+        let back = snapshot_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_explicitly() {
+        for (x, tag) in [
+            (f64::INFINITY, "inf"),
+            (f64::NEG_INFINITY, "-inf"),
+            (f64::NAN, "nan"),
+        ] {
+            let v = f64_to_json(x);
+            assert_eq!(v.as_str(), Some(tag));
+            let back = f64_from_json(&v).unwrap();
+            assert_eq!(back.is_nan(), x.is_nan());
+            if !x.is_nan() {
+                assert_eq!(back, x);
+            }
+        }
+        assert_eq!(f64_from_json(&Json::Num(2.5)), Some(2.5));
+    }
+
+    #[test]
+    fn run_dir_persists_and_recovers_state() {
+        let dir = tmp_dir("roundtrip");
+        let rd = RunDir::open(&dir).unwrap();
+        let spec = JobSpec {
+            name: "t".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: vec!["db".into()],
+            ga: GaConfig {
+                threads: 1,
+                ..GaConfig::default()
+            },
+        };
+        rd.save_spec(3, &spec).unwrap();
+        let snap = stepped_snapshot();
+        rd.save_checkpoint(3, &snap).unwrap();
+        assert_eq!(rd.load_spec(3).unwrap().unwrap(), spec);
+        assert_eq!(rd.load_checkpoint(3).unwrap().unwrap(), snap);
+        assert_eq!(rd.job_ids(), vec![3]);
+        assert!(!rd.is_canceled(3));
+        rd.mark_canceled(3).unwrap();
+        assert!(rd.is_canceled(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_roundtrips() {
+        let dir = tmp_dir("result");
+        let rd = RunDir::open(&dir).unwrap();
+        let params = InlineParams::jikes_default();
+        rd.save_result(9, &params, 0.875, 42).unwrap();
+        let (p, f, g) = rd.load_result(9).unwrap().unwrap();
+        assert_eq!(p, params);
+        assert_eq!(f.to_bits(), 0.875f64.to_bits());
+        assert_eq!(g, 42);
+        assert!(rd.load_result(8).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let dir = tmp_dir("atomic");
+        let rd = RunDir::open(&dir).unwrap();
+        rd.write_atomic(1, "x.json", "{}").unwrap();
+        let names: Vec<String> = fs::read_dir(rd.job_dir(1))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["x.json"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_panic() {
+        let dir = tmp_dir("corrupt");
+        let rd = RunDir::open(&dir).unwrap();
+        rd.write_atomic(2, "checkpoint.json", "{\"bounds\":7}")
+            .unwrap();
+        assert!(rd.load_checkpoint(2).unwrap().is_err());
+        rd.write_atomic(2, "checkpoint.json", "not json").unwrap();
+        assert!(rd.load_checkpoint(2).unwrap().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,627 @@
+//! The daemon core: a bounded job queue, a worker pool driving
+//! [`tuner::Tuner`] generation-by-generation, per-generation checkpoints,
+//! cancellation, graceful shutdown, and crash recovery.
+//!
+//! This is the paper's §3.1 GA search recast as a long-running service:
+//! each job is one (scenario, goal, architecture) tuning cell, and a
+//! worker advances it one generation at a time so the daemon can
+//! checkpoint, cancel, or shut down between generations without losing
+//! more than one generation of work.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ga::GaState;
+use inliner::InlineParams;
+use tuner::Tuner;
+
+use crate::checkpoint::RunDir;
+use crate::job::{JobSpec, JobState};
+use crate::metrics::{JobGauges, Metrics, MetricsSnapshot};
+
+/// Daemon tunables.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Maximum queued-but-not-running jobs; `submit` rejects beyond this.
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A job's externally visible record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job id (assigned at submit, stable across restarts).
+    pub id: u64,
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Generations completed so far.
+    pub generation: usize,
+    /// Best fitness so far (`None` until a generation completes).
+    pub best_fitness: Option<f64>,
+    /// The tuned parameters, once `Done`.
+    pub result: Option<(InlineParams, f64)>,
+    /// Failure message, if `Failed`.
+    pub error: Option<String>,
+}
+
+struct JobEntry {
+    record: JobRecord,
+    cancel: Arc<AtomicBool>,
+}
+
+struct JobTable {
+    jobs: HashMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+}
+
+struct Inner {
+    config: DaemonConfig,
+    run_dir: RunDir,
+    jobs: Mutex<JobTable>,
+    queue_cv: Condvar,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// The tuning daemon. Cheap to clone (an `Arc` around the shared state);
+/// the protocol server holds one clone per connection thread.
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Starts the daemon: opens the run directory, recovers any
+    /// incomplete jobs from a previous process, and spawns the worker
+    /// pool.
+    ///
+    /// # Errors
+    /// Propagates run-directory I/O errors.
+    pub fn start(config: DaemonConfig, run_dir: RunDir) -> Result<Self, String> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let inner = Arc::new(Inner {
+            config: config.clone(),
+            run_dir,
+            jobs: Mutex::new(JobTable {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+            }),
+            queue_cv: Condvar::new(),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let daemon = Self {
+            inner,
+            workers: Arc::new(Mutex::new(Vec::new())),
+        };
+        daemon.recover()?;
+        let mut pool = daemon.workers.lock().expect("worker pool poisoned");
+        for i in 0..config.workers {
+            let inner = Arc::clone(&daemon.inner);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("tuned-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        drop(pool);
+        Ok(daemon)
+    }
+
+    /// Replays the run directory: finished and canceled jobs become
+    /// terminal records; anything else is requeued (resuming from its
+    /// checkpoint when one exists).
+    fn recover(&self) -> Result<(), String> {
+        let inner = &self.inner;
+        let ids = inner.run_dir.job_ids();
+        let mut table = inner.jobs.lock().expect("job table poisoned");
+        for id in ids {
+            let Some(spec) = inner.run_dir.load_spec(id) else {
+                continue; // a job dir with no spec: nothing to resume
+            };
+            let spec = spec.map_err(|e| format!("job {id}: corrupt spec: {e}"))?;
+            let generation = inner
+                .run_dir
+                .load_checkpoint(id)
+                .and_then(Result::ok)
+                .map_or(0, |s| s.history.len());
+            let (state, result, requeue) = if let Some(res) = inner.run_dir.load_result(id) {
+                let (params, fitness, _) =
+                    res.map_err(|e| format!("job {id}: corrupt result: {e}"))?;
+                (JobState::Done, Some((params, fitness)), false)
+            } else if inner.run_dir.is_canceled(id) {
+                (JobState::Canceled, None, false)
+            } else {
+                (JobState::Queued, None, true)
+            };
+            let best_fitness = result.as_ref().map(|(_, f)| *f);
+            table.jobs.insert(
+                id,
+                JobEntry {
+                    record: JobRecord {
+                        id,
+                        spec,
+                        state,
+                        generation,
+                        best_fitness,
+                        result,
+                        error: None,
+                    },
+                    cancel: Arc::new(AtomicBool::new(false)),
+                },
+            );
+            if requeue {
+                table.queue.push_back(id);
+                Metrics::bump(&inner.metrics.jobs_recovered);
+            }
+            table.next_id = table.next_id.max(id + 1);
+        }
+        drop(table);
+        self.inner.queue_cv.notify_all();
+        Ok(())
+    }
+
+    /// Accepts a job: persists the spec, enqueues it, and returns its id.
+    ///
+    /// # Errors
+    /// Queue full, shutdown in progress, or run-directory I/O failure.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err("daemon is shutting down".into());
+        }
+        let mut table = inner.jobs.lock().expect("job table poisoned");
+        if table.queue.len() >= inner.config.queue_capacity {
+            return Err(format!(
+                "queue full ({} jobs waiting)",
+                inner.config.queue_capacity
+            ));
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        inner.run_dir.save_spec(id, &spec)?;
+        table.jobs.insert(
+            id,
+            JobEntry {
+                record: JobRecord {
+                    id,
+                    spec,
+                    state: JobState::Queued,
+                    generation: 0,
+                    best_fitness: None,
+                    result: None,
+                    error: None,
+                },
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        table.queue.push_back(id);
+        drop(table);
+        Metrics::bump(&inner.metrics.jobs_submitted);
+        inner.queue_cv.notify_one();
+        Ok(id)
+    }
+
+    /// One job's record.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<JobRecord> {
+        let table = self.inner.jobs.lock().expect("job table poisoned");
+        table.jobs.get(&id).map(|e| e.record.clone())
+    }
+
+    /// Every job's record, ascending by id.
+    #[must_use]
+    pub fn list(&self) -> Vec<JobRecord> {
+        let table = self.inner.jobs.lock().expect("job table poisoned");
+        let mut records: Vec<JobRecord> = table.jobs.values().map(|e| e.record.clone()).collect();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Cancels a job. Queued jobs die immediately; running jobs stop at
+    /// the next generation boundary. Returns the state the job was in.
+    ///
+    /// # Errors
+    /// Unknown id, or tombstone I/O failure.
+    pub fn cancel(&self, id: u64) -> Result<JobState, String> {
+        let inner = &self.inner;
+        let mut table = inner.jobs.lock().expect("job table poisoned");
+        let entry = table
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| format!("no job {id}"))?;
+        let was = entry.record.state;
+        match was {
+            JobState::Queued => {
+                entry.record.state = JobState::Canceled;
+                entry.cancel.store(true, Ordering::SeqCst);
+                table.queue.retain(|&qid| qid != id);
+                inner.run_dir.mark_canceled(id)?;
+            }
+            JobState::Running => {
+                // The worker notices at the generation boundary and
+                // writes the tombstone itself.
+                entry.cancel.store(true, Ordering::SeqCst);
+            }
+            _ => {} // already terminal: cancel is a no-op
+        }
+        Ok(was)
+    }
+
+    /// A point-in-time metrics reading (counters + job-table gauges).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut gauges = JobGauges::default();
+        {
+            let table = self.inner.jobs.lock().expect("job table poisoned");
+            for e in table.jobs.values() {
+                match e.record.state {
+                    JobState::Queued => gauges.queued += 1,
+                    JobState::Running => gauges.running += 1,
+                    JobState::Done => gauges.done += 1,
+                    JobState::Failed => gauges.failed += 1,
+                    JobState::Canceled => gauges.canceled += 1,
+                }
+            }
+        }
+        self.inner.metrics.snapshot(gauges)
+    }
+
+    /// The daemon's counter set (for the protocol layer to bump
+    /// connection/error counters).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stops accepting work, lets every running job
+    /// checkpoint at its current generation boundary, and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        let mut pool = self.workers.lock().expect("worker pool poisoned");
+        for handle in pool.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claims the next queued job id, blocking on the queue condvar. Returns
+/// `None` when the daemon is shutting down.
+fn claim_next(inner: &Inner) -> Option<(u64, JobSpec, Arc<AtomicBool>)> {
+    let mut table = inner.jobs.lock().expect("job table poisoned");
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        if let Some(id) = table.queue.pop_front() {
+            let entry = table.jobs.get_mut(&id).expect("queued job has an entry");
+            if entry.record.state != JobState::Queued {
+                continue; // canceled while queued
+            }
+            entry.record.state = JobState::Running;
+            return Some((id, entry.record.spec.clone(), Arc::clone(&entry.cancel)));
+        }
+        table = inner.queue_cv.wait(table).expect("job table poisoned");
+    }
+}
+
+fn set_failed(inner: &Inner, id: u64, msg: String) {
+    let mut table = inner.jobs.lock().expect("job table poisoned");
+    if let Some(e) = table.jobs.get_mut(&id) {
+        e.record.state = JobState::Failed;
+        e.record.error = Some(msg);
+    }
+}
+
+/// The worker loop: claim → build tuner → restore-or-start → step /
+/// checkpoint until done, canceled, or shutdown.
+fn worker_loop(inner: &Inner) {
+    while let Some((id, spec, cancel)) = claim_next(inner) {
+        if let Err(msg) = run_job(inner, id, &spec, &cancel) {
+            set_failed(inner, id, msg);
+        }
+    }
+}
+
+fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Result<(), String> {
+    let task = spec.task()?;
+    let training = spec.training()?;
+    let tuner = Tuner::new(task, training, spec.adapt_cfg());
+
+    // Resume from the checkpoint when one exists and is consistent with
+    // the spec; otherwise start fresh.
+    let mut state: GaState = match inner.run_dir.load_checkpoint(id) {
+        Some(Ok(snap)) => {
+            GaState::restore(snap).map_err(|e| format!("checkpoint rejected: {e}"))?
+        }
+        Some(Err(e)) => return Err(format!("corrupt checkpoint: {e}")),
+        None => tuner.start(spec.ga.clone()),
+    };
+
+    loop {
+        if cancel.load(Ordering::SeqCst) {
+            inner.run_dir.mark_canceled(id)?;
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Canceled;
+            }
+            return Ok(());
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Leave the job Queued on disk and in the table so the next
+            // process resumes it from the checkpoint just written.
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Queued;
+            }
+            return Ok(());
+        }
+
+        let evals_before = state.evaluations();
+        let hits_before = state.cache_hits();
+        let done = tuner.step(&mut state);
+        Metrics::bump(&inner.metrics.generations);
+        Metrics::add(
+            &inner.metrics.evaluations,
+            (state.evaluations() - evals_before) as u64,
+        );
+        Metrics::add(
+            &inner.metrics.cache_hits,
+            (state.cache_hits() - hits_before) as u64,
+        );
+
+        inner.run_dir.save_checkpoint(id, &state.snapshot())?;
+        Metrics::bump(&inner.metrics.checkpoints_written);
+
+        let best = state.best().map(|(_, f)| f);
+        {
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.generation = state.generation();
+                e.record.best_fitness = best;
+            }
+        }
+
+        if done {
+            let outcome = tuner.outcome(&state);
+            inner
+                .run_dir
+                .save_result(id, &outcome.params, outcome.fitness, state.generation())?;
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Done;
+                e.record.result = Some((outcome.params, outcome.fitness));
+                e.record.best_fitness = Some(outcome.fitness);
+            }
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+    use jit::Scenario;
+    use std::path::PathBuf;
+    use tuner::Goal;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("served-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: vec!["db".into()],
+            ga: GaConfig {
+                pop_size: 6,
+                generations: 3,
+                threads: 1,
+                seed,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    fn wait_terminal(d: &Daemon, id: u64) -> JobRecord {
+        for _ in 0..600 {
+            let r = d.status(id).expect("job exists");
+            if r.state.is_terminal() {
+                return r;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("job {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn runs_a_job_to_completion() {
+        let dir = tmp_dir("complete");
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d.submit(tiny_spec(1)).unwrap();
+        let r = wait_terminal(&d, id);
+        assert_eq!(r.state, JobState::Done);
+        assert_eq!(r.generation, 3);
+        let (params, fitness) = r.result.unwrap();
+        assert!(fitness.is_finite());
+        assert!(params.clone().to_genes().len() >= 5);
+        let snap = d.metrics_snapshot();
+        assert_eq!(snap.jobs.done, 1);
+        assert!(snap.generations >= 3);
+        assert!(snap.checkpoints_written >= 3);
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_result_matches_inprocess_tuner() {
+        let dir = tmp_dir("match");
+        let spec = tiny_spec(77);
+        let expected = Tuner::new(
+            spec.task().unwrap(),
+            spec.training().unwrap(),
+            spec.adapt_cfg(),
+        )
+        .tune(spec.ga.clone());
+
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d.submit(spec).unwrap();
+        let r = wait_terminal(&d, id);
+        let (params, fitness) = r.result.unwrap();
+        assert_eq!(params, expected.params);
+        assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_queued_job_never_runs() {
+        let dir = tmp_dir("cancel");
+        // One worker busy with a long job keeps the second job queued.
+        let d = Daemon::start(
+            DaemonConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+            RunDir::open(&dir).unwrap(),
+        )
+        .unwrap();
+        let long = JobSpec {
+            ga: GaConfig {
+                generations: 60,
+                ..tiny_spec(5).ga
+            },
+            ..tiny_spec(5)
+        };
+        let a = d.submit(long).unwrap();
+        let b = d.submit(tiny_spec(6)).unwrap();
+        let was = d.cancel(b).unwrap();
+        assert_eq!(was, JobState::Queued);
+        assert_eq!(d.status(b).unwrap().state, JobState::Canceled);
+        let _ = d.cancel(a); // running or queued; stop it for the join
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_capacity_rejects_excess() {
+        let dir = tmp_dir("capacity");
+        let d = Daemon::start(
+            DaemonConfig {
+                workers: 1,
+                queue_capacity: 1,
+            },
+            RunDir::open(&dir).unwrap(),
+        )
+        .unwrap();
+        // Fill: one running + one queued, the next must bounce. Submit
+        // fast enough that the worker can't drain — use long jobs.
+        let long = || JobSpec {
+            ga: GaConfig {
+                generations: 100,
+                ..tiny_spec(9).ga
+            },
+            ..tiny_spec(9)
+        };
+        let mut rejected = false;
+        for _ in 0..4 {
+            if d.submit(long()).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "queue never filled");
+        for r in d.list() {
+            let _ = d.cancel(r.id);
+        }
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_checkpoints_and_restart_resumes() {
+        let dir = tmp_dir("restart");
+        let spec = tiny_spec(31);
+        let expected = Tuner::new(
+            spec.task().unwrap(),
+            spec.training().unwrap(),
+            spec.adapt_cfg(),
+        )
+        .tune(spec.ga.clone());
+
+        // First daemon: submit and shut down almost immediately — the job
+        // parks at whatever generation it reached.
+        let d1 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d1.submit(spec).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        d1.shutdown();
+
+        // Second daemon: recovery requeues and finishes the job.
+        let d2 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let r = wait_terminal(&d2, id);
+        assert_eq!(r.state, JobState::Done);
+        let (params, fitness) = r.result.unwrap();
+        assert_eq!(params, expected.params);
+        assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+        d2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_skips_done_and_canceled_jobs() {
+        let dir = tmp_dir("skip");
+        let d1 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let done_id = d1.submit(tiny_spec(2)).unwrap();
+        wait_terminal(&d1, done_id);
+        let canceled_id = d1.submit(tiny_spec(3)).unwrap();
+        let _ = d1.cancel(canceled_id);
+        // Wait for the cancel (or a photo-finish completion) to land so
+        // the job is terminal on disk before the restart.
+        wait_terminal(&d1, canceled_id);
+        d1.shutdown();
+
+        let d2 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        assert_eq!(d2.status(done_id).unwrap().state, JobState::Done);
+        let st = d2.status(canceled_id).unwrap().state;
+        assert!(
+            st == JobState::Canceled || st == JobState::Done,
+            "canceled job must stay terminal after restart, got {st:?}"
+        );
+        assert_eq!(d2.metrics_snapshot().jobs_recovered, 0);
+        d2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

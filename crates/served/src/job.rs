@@ -1,0 +1,399 @@
+//! The job model: what a client submits and what the daemon tracks.
+//!
+//! A [`JobSpec`] names a tuning cell exactly like the paper's Table 4 —
+//! (scenario, goal, architecture) — plus the training suite and the
+//! [`GaConfig`] driving the search. Specs serialize to the hand-rolled
+//! [`crate::json`] form used both on the wire and in the run directory.
+
+use ga::{CrossoverKind, GaConfig};
+use jit::{AdaptConfig, ArchModel, Scenario};
+use tuner::{Goal, TuningTask};
+use workloads::{benchmark_by_name, specjvm98, Benchmark};
+
+use crate::json::{parse, u64_from_json, u64_to_json, Json};
+
+/// What a client submits: one tuning job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Display name, e.g. `"Opt:Tot"`.
+    pub name: String,
+    /// Compilation scenario.
+    pub scenario: Scenario,
+    /// Optimization goal.
+    pub goal: Goal,
+    /// Architecture preset name: `"x86-p4"` or `"ppc-g4"`.
+    pub arch: String,
+    /// Training-suite benchmark names; empty means the full SPECjvm98
+    /// suite (the paper's training set).
+    pub suite: Vec<String>,
+    /// GA configuration (the seed makes the whole job deterministic).
+    pub ga: GaConfig,
+}
+
+impl JobSpec {
+    /// Resolves the named architecture preset.
+    ///
+    /// # Errors
+    /// Unknown architecture name.
+    pub fn arch_model(&self) -> Result<ArchModel, String> {
+        arch_by_name(&self.arch)
+    }
+
+    /// Builds the [`TuningTask`] this spec describes.
+    ///
+    /// # Errors
+    /// Unknown architecture name.
+    pub fn task(&self) -> Result<TuningTask, String> {
+        Ok(TuningTask {
+            name: self.name.clone(),
+            scenario: self.scenario,
+            goal: self.goal,
+            arch: self.arch_model()?,
+        })
+    }
+
+    /// Materializes the training suite.
+    ///
+    /// # Errors
+    /// Unknown benchmark name, or an explicitly empty suite.
+    pub fn training(&self) -> Result<Vec<Benchmark>, String> {
+        if self.suite.is_empty() {
+            return Ok(specjvm98());
+        }
+        self.suite
+            .iter()
+            .map(|name| {
+                benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))
+            })
+            .collect()
+    }
+
+    /// The adaptive-system model configuration (fixed: it models the VM,
+    /// not the heuristic being tuned — see `jit::AdaptConfig`).
+    #[must_use]
+    pub fn adapt_cfg(&self) -> AdaptConfig {
+        AdaptConfig::default()
+    }
+
+    /// Serializes the spec.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("scenario", Json::Str(scenario_name(self.scenario).into())),
+            ("goal", Json::Str(self.goal.label().into())),
+            ("arch", Json::Str(self.arch.clone())),
+            (
+                "suite",
+                Json::Arr(self.suite.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            ("ga", ga_config_to_json(&self.ga)),
+        ])
+    }
+
+    /// Deserializes a spec and validates every referenced name, so a bad
+    /// submit fails at the protocol layer rather than on a worker.
+    ///
+    /// # Errors
+    /// Missing/mistyped fields or unknown scenario/goal/arch/benchmark
+    /// names.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("job needs a string 'name'")?
+            .to_string();
+        let scenario = scenario_by_name(
+            v.get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("job needs a string 'scenario'")?,
+        )?;
+        let goal = goal_by_name(
+            v.get("goal")
+                .and_then(Json::as_str)
+                .ok_or("job needs a string 'goal'")?,
+        )?;
+        let arch = v
+            .get("arch")
+            .and_then(Json::as_str)
+            .ok_or("job needs a string 'arch'")?
+            .to_string();
+        arch_by_name(&arch)?;
+        let suite = match v.get("suite") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(s) => s
+                .as_arr()
+                .ok_or("'suite' must be an array of benchmark names")?
+                .iter()
+                .map(|b| {
+                    b.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "suite entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        for b in &suite {
+            if benchmark_by_name(b).is_none() {
+                return Err(format!("unknown benchmark '{b}'"));
+            }
+        }
+        let ga = match v.get("ga") {
+            None | Some(Json::Null) => GaConfig::default(),
+            Some(g) => ga_config_from_json(g)?,
+        };
+        if ga.pop_size < 2 || ga.elitism >= ga.pop_size || ga.threads == 0 || ga.generations == 0 {
+            return Err("degenerate GA config (pop_size >= 2, elitism < pop_size, threads >= 1, generations >= 1)".into());
+        }
+        Ok(Self {
+            name,
+            scenario,
+            goal,
+            arch,
+            suite,
+            ga,
+        })
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    /// Propagates parse and validation errors.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        Self::from_json(&parse(text)?)
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue (also: recovered and waiting to resume).
+    Queued,
+    /// On a worker thread.
+    Running,
+    /// Finished; a result is available.
+    Done,
+    /// Errored out; see the job's `error` field.
+    Failed,
+    /// Canceled by request.
+    Canceled,
+}
+
+impl JobState {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// Whether the state is terminal.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+}
+
+/// Scenario wire names (`"opt"` / `"adapt"`).
+#[must_use]
+pub fn scenario_name(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Opt => "opt",
+        Scenario::Adapt => "adapt",
+    }
+}
+
+/// Parses a scenario wire name.
+///
+/// # Errors
+/// Unknown name.
+pub fn scenario_by_name(name: &str) -> Result<Scenario, String> {
+    match name {
+        "opt" | "Opt" => Ok(Scenario::Opt),
+        "adapt" | "Adapt" => Ok(Scenario::Adapt),
+        _ => Err(format!("unknown scenario '{name}' (use opt|adapt)")),
+    }
+}
+
+/// Parses a goal wire name (the paper's `Run`/`Tot`/`Bal` labels,
+/// case-insensitive).
+///
+/// # Errors
+/// Unknown name.
+pub fn goal_by_name(name: &str) -> Result<Goal, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "run" | "running" => Ok(Goal::Running),
+        "tot" | "total" => Ok(Goal::Total),
+        "bal" | "balance" => Ok(Goal::Balance),
+        _ => Err(format!("unknown goal '{name}' (use run|tot|bal)")),
+    }
+}
+
+/// Resolves an architecture preset by its `ArchModel::name`.
+///
+/// # Errors
+/// Unknown name.
+pub fn arch_by_name(name: &str) -> Result<ArchModel, String> {
+    match name {
+        "x86-p4" => Ok(ArchModel::pentium4()),
+        "ppc-g4" => Ok(ArchModel::powerpc_g4()),
+        _ => Err(format!("unknown arch '{name}' (use x86-p4|ppc-g4)")),
+    }
+}
+
+/// Serializes a [`GaConfig`].
+#[must_use]
+pub fn ga_config_to_json(c: &GaConfig) -> Json {
+    Json::obj(vec![
+        ("pop_size", Json::Int(c.pop_size as i64)),
+        ("generations", Json::Int(c.generations as i64)),
+        ("tournament_size", Json::Int(c.tournament_size as i64)),
+        ("crossover_prob", Json::Num(c.crossover_prob)),
+        ("crossover_kind", Json::Str(c.crossover_kind.name().into())),
+        ("mutation_prob", Json::Num(c.mutation_prob)),
+        ("elitism", Json::Int(c.elitism as i64)),
+        ("seed", u64_to_json(c.seed)),
+        (
+            "stagnation_limit",
+            c.stagnation_limit
+                .map_or(Json::Null, |l| Json::Int(l as i64)),
+        ),
+        ("threads", Json::Int(c.threads as i64)),
+    ])
+}
+
+/// Deserializes a [`GaConfig`]; absent fields take the defaults.
+///
+/// # Errors
+/// Mistyped fields.
+pub fn ga_config_from_json(v: &Json) -> Result<GaConfig, String> {
+    let d = GaConfig::default();
+    let get_usize = |key: &str, dflt: usize| -> Result<usize, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(dflt),
+            Some(x) => x.as_usize().ok_or(format!("'{key}' must be an integer")),
+        }
+    };
+    let get_f64 = |key: &str, dflt: f64| -> Result<f64, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(dflt),
+            Some(x) => x.as_f64().ok_or(format!("'{key}' must be a number")),
+        }
+    };
+    let crossover_kind = match v.get("crossover_kind") {
+        None | Some(Json::Null) => d.crossover_kind,
+        Some(x) => {
+            let name = x.as_str().ok_or("'crossover_kind' must be a string")?;
+            CrossoverKind::from_name(name)
+                .ok_or_else(|| format!("unknown crossover kind '{name}'"))?
+        }
+    };
+    let seed = match v.get("seed") {
+        None | Some(Json::Null) => d.seed,
+        Some(x) => u64_from_json(x).ok_or("'seed' must be a u64 (number or decimal string)")?,
+    };
+    let stagnation_limit = match v.get("stagnation_limit") {
+        None => d.stagnation_limit,
+        Some(Json::Null) => None,
+        Some(x) => Some(
+            x.as_usize()
+                .ok_or("'stagnation_limit' must be an integer or null")?,
+        ),
+    };
+    Ok(GaConfig {
+        pop_size: get_usize("pop_size", d.pop_size)?,
+        generations: get_usize("generations", d.generations)?,
+        tournament_size: get_usize("tournament_size", d.tournament_size)?,
+        crossover_prob: get_f64("crossover_prob", d.crossover_prob)?,
+        crossover_kind,
+        mutation_prob: get_f64("mutation_prob", d.mutation_prob)?,
+        elitism: get_usize("elitism", d.elitism)?,
+        seed,
+        stagnation_limit,
+        threads: get_usize("threads", 1)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: vec!["db".into(), "jess".into()],
+            ga: GaConfig {
+                pop_size: 8,
+                generations: 10,
+                threads: 1,
+                seed: u64::MAX - 3,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let s = spec();
+        let text = s.to_json().to_text();
+        let back = JobSpec::from_text(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn spec_defaults_apply() {
+        let s =
+            JobSpec::from_text(r#"{"name":"j","scenario":"adapt","goal":"bal","arch":"ppc-g4"}"#)
+                .unwrap();
+        assert!(s.suite.is_empty());
+        assert_eq!(s.training().unwrap().len(), specjvm98().len());
+        assert_eq!(s.ga.pop_size, GaConfig::default().pop_size);
+        assert_eq!(s.ga.threads, 1, "daemon jobs default to one eval thread");
+    }
+
+    #[test]
+    fn spec_rejects_unknown_names() {
+        for bad in [
+            r#"{"name":"j","scenario":"jitless","goal":"tot","arch":"x86-p4"}"#,
+            r#"{"name":"j","scenario":"opt","goal":"speed","arch":"x86-p4"}"#,
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"sparc"}"#,
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","suite":["nope"]}"#,
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","ga":{"pop_size":1}}"#,
+        ] {
+            assert!(JobSpec::from_text(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn spec_builds_task_and_training() {
+        let s = spec();
+        let task = s.task().unwrap();
+        assert_eq!(task.arch.name, "x86-p4");
+        assert_eq!(task.goal, Goal::Total);
+        let training = s.training().unwrap();
+        assert_eq!(training.len(), 2);
+        assert_eq!(training[0].name(), "db");
+    }
+
+    #[test]
+    fn job_state_names_are_stable() {
+        assert_eq!(JobState::Queued.name(), "queued");
+        assert!(JobState::Done.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn ga_seed_survives_u64_range() {
+        let s = spec();
+        let back = JobSpec::from_text(&s.to_json().to_text()).unwrap();
+        assert_eq!(back.ga.seed, u64::MAX - 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! `served` — the persistent tuning service behind the `tuned` binary.
+//!
+//! The paper tunes inlining heuristics with a genetic algorithm whose
+//! fitness function executes whole benchmarks (§3.1) — searches are
+//! hours-to-days long in the real system. This crate wraps the
+//! workspace's [`tuner::Tuner`] in the operational shell such a search
+//! needs:
+//!
+//! * [`daemon`] — a bounded job queue and a worker pool that drive the GA
+//!   **one generation at a time** via `ga::GaState`, with per-job
+//!   cancellation and graceful shutdown;
+//! * [`checkpoint`] — an atomic (temp-file + rename) checkpoint of the
+//!   complete search state after every generation, and crash recovery
+//!   that resumes incomplete jobs bit-identically after a `SIGKILL`;
+//! * [`server`] / [`client`] / [`proto`] — a line-delimited JSON protocol
+//!   over TCP (`submit`, `status`, `list`, `cancel`, `metrics`, `watch`,
+//!   `shutdown`) with defensive framing;
+//! * [`metrics`] — live counters: jobs by state, fitness evaluations,
+//!   memo-table hit rate, generations per second;
+//! * [`json`] — the hand-rolled JSON layer (the workspace builds with no
+//!   external crates; floats round-trip bit-exactly).
+//!
+//! Everything is plain `std`: threads, `Mutex`/`Condvar`, `TcpListener`.
+
+pub mod checkpoint;
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use checkpoint::RunDir;
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig, JobRecord};
+pub use job::{JobSpec, JobState};
+pub use metrics::{JobGauges, Metrics, MetricsSnapshot};
+pub use server::Server;

@@ -1,0 +1,176 @@
+//! Lightweight daemon observability: monotonic counters on atomics.
+//!
+//! Workers bump counters as they drive jobs; any number of protocol
+//! threads snapshot them without taking a lock. Gauges that derive from
+//! the job table (queued/running/done counts) are passed in at snapshot
+//! time by the daemon, which owns that table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The daemon's counter set. All counters are monotonic; relaxed ordering
+/// is fine because readers only want eventually-consistent totals.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Jobs accepted by `submit`.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs recovered from a run directory at startup.
+    pub jobs_recovered: AtomicU64,
+    /// GA generations completed across all jobs.
+    pub generations: AtomicU64,
+    /// Distinct fitness evaluations (GA memo-table misses) across all jobs.
+    pub evaluations: AtomicU64,
+    /// Fitness evaluations answered from GA memo tables.
+    pub cache_hits: AtomicU64,
+    /// Checkpoint files written.
+    pub checkpoints_written: AtomicU64,
+    /// Protocol connections accepted.
+    pub connections: AtomicU64,
+    /// Malformed / oversized / unparseable frames answered with an error.
+    pub protocol_errors: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; the generations/sec clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_recovered: AtomicU64::new(0),
+            generations: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of every counter, plus the job-table
+    /// gauges supplied by the caller.
+    #[must_use]
+    pub fn snapshot(&self, gauges: JobGauges) -> MetricsSnapshot {
+        let uptime = self.started.elapsed().as_secs_f64();
+        let generations = self.generations.load(Ordering::Relaxed);
+        let evaluations = self.evaluations.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let lookups = evaluations + cache_hits;
+        MetricsSnapshot {
+            uptime_secs: uptime,
+            jobs: gauges,
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_recovered: self.jobs_recovered.load(Ordering::Relaxed),
+            generations,
+            generations_per_sec: if uptime > 0.0 {
+                generations as f64 / uptime
+            } else {
+                0.0
+            },
+            evaluations,
+            cache_hits,
+            cache_hit_rate: if lookups > 0 {
+                cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time job counts by state, derived from the daemon's job table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobGauges {
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently on a worker.
+    pub running: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs that errored out.
+    pub failed: u64,
+    /// Jobs canceled by request.
+    pub canceled: u64,
+}
+
+/// One coherent reading of the daemon's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Job counts by state.
+    pub jobs: JobGauges,
+    /// Jobs accepted by `submit` since startup.
+    pub jobs_submitted: u64,
+    /// Jobs recovered from the run directory at startup.
+    pub jobs_recovered: u64,
+    /// GA generations completed.
+    pub generations: u64,
+    /// Generations per second of uptime.
+    pub generations_per_sec: f64,
+    /// Distinct fitness evaluations.
+    pub evaluations: u64,
+    /// Memoized fitness lookups.
+    pub cache_hits: u64,
+    /// `cache_hits / (cache_hits + evaluations)`, 0 when nothing ran yet.
+    pub cache_hit_rate: f64,
+    /// Checkpoint files written.
+    pub checkpoints_written: u64,
+    /// Protocol connections accepted.
+    pub connections: u64,
+    /// Frames answered with a protocol error.
+    pub protocol_errors: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_rates_derive() {
+        let m = Metrics::new();
+        Metrics::add(&m.evaluations, 30);
+        Metrics::add(&m.cache_hits, 10);
+        Metrics::bump(&m.generations);
+        Metrics::bump(&m.generations);
+        let s = m.snapshot(JobGauges {
+            queued: 1,
+            running: 2,
+            ..JobGauges::default()
+        });
+        assert_eq!(s.evaluations, 30);
+        assert_eq!(s.cache_hits, 10);
+        assert!((s.cache_hit_rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.generations, 2);
+        assert_eq!(s.jobs.queued, 1);
+        assert_eq!(s.jobs.running, 2);
+        assert!(s.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_rates() {
+        let s = Metrics::new().snapshot(JobGauges::default());
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.evaluations, 0);
+    }
+}

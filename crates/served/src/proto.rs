@@ -1,0 +1,263 @@
+//! The wire protocol: one JSON object per line, both directions.
+//!
+//! Requests are `{"cmd": "...", ...}`; responses are `{"ok": true, ...}`
+//! or `{"ok": false, "error": "..."}`. The framing layer is deliberately
+//! defensive: lines longer than [`MAX_FRAME_BYTES`] kill the connection
+//! (a client that sends them is broken or hostile), while merely
+//! malformed JSON gets an error response and the connection stays
+//! usable.
+
+use std::io::{BufRead, Write};
+
+use inliner::InlineParams;
+
+use crate::checkpoint::f64_to_json;
+use crate::daemon::JobRecord;
+use crate::json::{parse, Json};
+use crate::metrics::MetricsSnapshot;
+
+/// Longest request or response line the daemon will read, in bytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// What became of one attempt to read a frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded [`MAX_FRAME_BYTES`]; the caller must drop the
+    /// connection.
+    Oversized,
+    /// An I/O error (includes read timeouts on half-open connections).
+    Err(std::io::Error),
+}
+
+/// Reads one newline-delimited frame, enforcing the size cap *while
+/// reading* — a 100 MB line is rejected after 1 MiB, not buffered.
+pub fn read_frame(reader: &mut impl BufRead) -> Frame {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) => return Frame::Err(e),
+        };
+        if chunk.is_empty() {
+            return if line.is_empty() {
+                Frame::Eof
+            } else {
+                // Stream ended mid-line; treat the partial line as a frame.
+                match String::from_utf8(line) {
+                    Ok(s) => Frame::Line(s),
+                    Err(_) => Frame::Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "frame is not UTF-8",
+                    )),
+                }
+            };
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if line.len() + take > MAX_FRAME_BYTES + 1 {
+            reader.consume(take);
+            return Frame::Oversized;
+        }
+        line.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Frame::Line(s),
+                Err(_) => Frame::Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "frame is not UTF-8",
+                )),
+            };
+        }
+    }
+}
+
+/// Writes one response frame (a line of JSON).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_frame(writer: &mut impl Write, v: &Json) -> std::io::Result<()> {
+    let mut text = v.to_text();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// A success envelope with extra fields.
+#[must_use]
+pub fn ok_with(mut fields: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.append(&mut fields);
+    Json::obj(pairs)
+}
+
+/// An error envelope.
+#[must_use]
+pub fn err(message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// Parses a request line into `(cmd, body)`.
+///
+/// # Errors
+/// Malformed JSON or a missing `cmd` field.
+pub fn parse_request(line: &str) -> Result<(String, Json), String> {
+    let v = parse(line)?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string 'cmd' field")?
+        .to_string();
+    Ok((cmd, v))
+}
+
+/// Serializes tuned parameters as named genes (stable wire shape).
+#[must_use]
+pub fn params_to_json(params: &InlineParams) -> Json {
+    let genes = params.clone().to_genes();
+    Json::obj(vec![
+        (
+            "genes",
+            Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+        ),
+        ("callee_max_size", Json::Int(genes[0])),
+        ("always_inline_size", Json::Int(genes[1])),
+        ("max_inline_depth", Json::Int(genes[2])),
+        ("caller_max_size", Json::Int(genes[3])),
+        ("hot_callee_max_size", Json::Int(genes[4])),
+    ])
+}
+
+/// Serializes a job record for `status` / `list` / `watch` responses.
+#[must_use]
+pub fn record_to_json(r: &JobRecord) -> Json {
+    let mut pairs = vec![
+        ("id", Json::Int(r.id as i64)),
+        ("name", Json::Str(r.spec.name.clone())),
+        ("state", Json::Str(r.state.name().into())),
+        ("generation", Json::Int(r.generation as i64)),
+        (
+            "best_fitness",
+            r.best_fitness.map_or(Json::Null, f64_to_json),
+        ),
+    ];
+    if let Some((params, fitness)) = &r.result {
+        pairs.push((
+            "result",
+            Json::obj(vec![
+                ("params", params_to_json(params)),
+                ("fitness", f64_to_json(*fitness)),
+            ]),
+        ));
+    }
+    if let Some(e) = &r.error {
+        pairs.push(("error", Json::Str(e.clone())));
+    }
+    Json::obj(pairs)
+}
+
+/// Serializes a metrics snapshot.
+#[must_use]
+pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        ("uptime_secs", f64_to_json(m.uptime_secs)),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("queued", Json::Int(m.jobs.queued as i64)),
+                ("running", Json::Int(m.jobs.running as i64)),
+                ("done", Json::Int(m.jobs.done as i64)),
+                ("failed", Json::Int(m.jobs.failed as i64)),
+                ("canceled", Json::Int(m.jobs.canceled as i64)),
+            ]),
+        ),
+        ("jobs_submitted", Json::Int(m.jobs_submitted as i64)),
+        ("jobs_recovered", Json::Int(m.jobs_recovered as i64)),
+        ("generations", Json::Int(m.generations as i64)),
+        ("generations_per_sec", f64_to_json(m.generations_per_sec)),
+        ("evaluations", Json::Int(m.evaluations as i64)),
+        ("cache_hits", Json::Int(m.cache_hits as i64)),
+        ("cache_hit_rate", f64_to_json(m.cache_hit_rate)),
+        (
+            "checkpoints_written",
+            Json::Int(m.checkpoints_written as i64),
+        ),
+        ("connections", Json::Int(m.connections as i64)),
+        ("protocol_errors", Json::Int(m.protocol_errors as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn frames(input: &[u8]) -> Vec<Frame> {
+        let mut reader = BufReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let f = read_frame(&mut reader);
+            let eof = matches!(f, Frame::Eof);
+            out.push(f);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn reads_line_frames() {
+        let fs = frames(b"{\"cmd\":\"ping\"}\r\n{\"cmd\":\"list\"}\n");
+        assert!(matches!(&fs[0], Frame::Line(s) if s == "{\"cmd\":\"ping\"}"));
+        assert!(matches!(&fs[1], Frame::Line(s) if s == "{\"cmd\":\"list\"}"));
+        assert!(matches!(&fs[2], Frame::Eof));
+    }
+
+    #[test]
+    fn partial_final_line_still_delivered() {
+        let fs = frames(b"{\"cmd\":\"ping\"}");
+        assert!(matches!(&fs[0], Frame::Line(s) if s == "{\"cmd\":\"ping\"}"));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_not_buffered() {
+        let mut input = vec![b'x'; MAX_FRAME_BYTES * 3];
+        input.push(b'\n');
+        let mut reader = BufReader::new(&input[..]);
+        assert!(matches!(read_frame(&mut reader), Frame::Oversized));
+    }
+
+    #[test]
+    fn request_parsing_wants_cmd() {
+        assert!(parse_request("{\"cmd\":\"status\",\"id\":4}").is_ok());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"cmd\":7}").is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn envelopes_have_ok_flags() {
+        assert_eq!(ok_with(vec![]).get("ok"), Some(&Json::Bool(true)));
+        let e = err("boom");
+        assert_eq!(e.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(e.get("error").unwrap().as_str(), Some("boom"));
+    }
+
+    #[test]
+    fn params_json_names_every_gene() {
+        let v = params_to_json(&InlineParams::jikes_default());
+        assert_eq!(v.get("genes").unwrap().as_arr().unwrap().len(), 5);
+        assert!(v.get("callee_max_size").unwrap().as_i64().is_some());
+        assert!(v.get("hot_callee_max_size").unwrap().as_i64().is_some());
+    }
+}

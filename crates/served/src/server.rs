@@ -1,0 +1,235 @@
+//! The TCP front end: accepts connections and speaks the line-delimited
+//! JSON protocol against a [`Daemon`].
+//!
+//! One thread per connection; the accept loop polls a shutdown flag so
+//! `shutdown` requests (and daemon-side stops) unwind promptly. Every
+//! connection gets a read timeout, so a half-open peer can stall only its
+//! own thread, and only until the timeout fires.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+use crate::job::JobSpec;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{
+    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, write_frame, Frame,
+};
+
+/// How long a connection may sit idle (mid-read) before it is dropped.
+/// Generous enough for an interactive client, short enough that a
+/// half-open socket cannot pin a thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval of the nonblocking accept loop and of `watch`.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The protocol server. Owns the listener; serves until a `shutdown`
+/// request arrives or [`Server::stop_flag`] is raised.
+pub struct Server {
+    listener: TcpListener,
+    daemon: Daemon,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, daemon: Daemon) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            daemon,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Panics
+    /// Panics if the socket has no local address (cannot happen for a
+    /// bound listener).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A flag that makes [`Server::serve`] return when raised.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accepts and serves connections until stopped. Returns once the
+    /// stop flag is up; connection threads are detached and die with
+    /// their sockets.
+    ///
+    /// # Errors
+    /// Propagates listener configuration errors.
+    pub fn serve(&self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    Metrics::bump(&self.daemon.metrics().connections);
+                    let daemon = self.daemon.clone();
+                    let stop = Arc::clone(&self.stop);
+                    let _ = std::thread::Builder::new()
+                        .name("tuned-conn".into())
+                        .spawn(move || serve_connection(stream, &daemon, &stop));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match read_frame(&mut reader) {
+            Frame::Line(line) => line,
+            Frame::Eof => return,
+            Frame::Oversized => {
+                Metrics::bump(&daemon.metrics().protocol_errors);
+                let _ = write_frame(&mut writer, &err("frame exceeds 1 MiB; closing"));
+                return;
+            }
+            Frame::Err(_) => return, // timeout or broken pipe: drop it
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Ok((cmd, body)) => dispatch(&cmd, &body, daemon, &mut writer, stop),
+            Err(e) => {
+                Metrics::bump(&daemon.metrics().protocol_errors);
+                Some(err(e))
+            }
+        };
+        match response {
+            Some(v) => {
+                if write_frame(&mut writer, &v).is_err() {
+                    return;
+                }
+            }
+            None => return, // dispatch already streamed / wants the connection closed
+        }
+    }
+}
+
+/// Handles one request. Returns `Some(response)` for the normal
+/// one-frame case, or `None` when the handler streamed its own frames
+/// (or wants the connection torn down).
+fn dispatch(
+    cmd: &str,
+    body: &Json,
+    daemon: &Daemon,
+    writer: &mut impl std::io::Write,
+    stop: &AtomicBool,
+) -> Option<Json> {
+    match cmd {
+        "ping" => Some(ok_with(vec![("pong", Json::Bool(true))])),
+        "submit" => Some(match body.get("job") {
+            None => err("submit needs a 'job' object"),
+            Some(job) => match JobSpec::from_json(job).and_then(|spec| daemon.submit(spec)) {
+                Ok(id) => ok_with(vec![("id", Json::Int(id as i64))]),
+                Err(e) => err(e),
+            },
+        }),
+        "status" => Some(match job_id(body) {
+            Err(e) => err(e),
+            Ok(id) => daemon.status(id).map_or_else(
+                || err(format!("no job {id}")),
+                |r| ok_with(vec![("job", record_to_json(&r))]),
+            ),
+        }),
+        "list" => Some(ok_with(vec![(
+            "jobs",
+            Json::Arr(daemon.list().iter().map(record_to_json).collect()),
+        )])),
+        "cancel" => Some(match job_id(body).and_then(|id| daemon.cancel(id)) {
+            Ok(was) => ok_with(vec![("was", Json::Str(was.name().into()))]),
+            Err(e) => err(e),
+        }),
+        "metrics" => Some(ok_with(vec![(
+            "metrics",
+            metrics_to_json(&daemon.metrics_snapshot()),
+        )])),
+        "watch" => watch(body, daemon, writer, stop),
+        "shutdown" => {
+            // Acknowledge first — the daemon join below may take a while.
+            let _ = write_frame(writer, &ok_with(vec![]));
+            stop.store(true, Ordering::SeqCst);
+            daemon.shutdown();
+            None
+        }
+        other => {
+            Metrics::bump(&daemon.metrics().protocol_errors);
+            Some(err(format!("unknown cmd '{other}'")))
+        }
+    }
+}
+
+/// Streams one frame per job-record change until the job is terminal.
+fn watch(
+    body: &Json,
+    daemon: &Daemon,
+    writer: &mut impl std::io::Write,
+    stop: &AtomicBool,
+) -> Option<Json> {
+    let id = match job_id(body) {
+        Ok(id) => id,
+        Err(e) => return Some(err(e)),
+    };
+    let mut last: Option<(String, usize)> = None;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        let Some(r) = daemon.status(id) else {
+            return Some(err(format!("no job {id}")));
+        };
+        let key = (r.state.name().to_string(), r.generation);
+        if last.as_ref() != Some(&key) {
+            last = Some(key);
+            if write_frame(writer, &ok_with(vec![("job", record_to_json(&r))])).is_err() {
+                return None;
+            }
+        }
+        if r.state.is_terminal() {
+            return None;
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+fn job_id(body: &Json) -> Result<u64, String> {
+    body.get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "request needs a numeric 'id'".to_string())
+}

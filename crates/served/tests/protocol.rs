@@ -1,0 +1,275 @@
+//! Protocol robustness: malformed frames, oversized lines, and half-open
+//! connections must not wedge the daemon — and metrics stay live while
+//! jobs run concurrently.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ga::GaConfig;
+use jit::Scenario;
+use served::daemon::{Daemon, DaemonConfig};
+use served::job::JobSpec;
+use served::json::{parse, Json};
+use served::{Client, RunDir, Server};
+use tuner::Goal;
+
+struct TestServer {
+    addr: String,
+    daemon: Daemon,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    fn start(tag: &str, workers: usize) -> Self {
+        let dir = std::env::temp_dir().join(format!("tuned-proto-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let daemon = Daemon::start(
+            DaemonConfig {
+                workers,
+                queue_capacity: 16,
+            },
+            RunDir::open(&dir).unwrap(),
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", daemon.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let stop = server.stop_flag();
+        let handle = std::thread::spawn(move || {
+            server.serve().expect("serve");
+        });
+        Self {
+            addr,
+            daemon,
+            stop,
+            handle: Some(handle),
+            dir,
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        for r in self.daemon.list() {
+            let _ = self.daemon.cancel(r.id);
+        }
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn raw_request(stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    parse(resp.trim_end()).expect("daemon always answers with JSON")
+}
+
+fn job(seed: u64, generations: usize) -> JobSpec {
+    JobSpec {
+        name: format!("job-{seed}"),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into()],
+        ga: GaConfig {
+            pop_size: 6,
+            generations,
+            threads: 1,
+            seed,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+    }
+}
+
+#[test]
+fn malformed_frames_get_errors_and_the_connection_survives() {
+    let ts = TestServer::start("malformed", 1);
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    for bad in [
+        "this is not json",
+        "{\"no_cmd\":1}",
+        "{\"cmd\":42}",
+        "{\"cmd\":\"no-such-verb\"}",
+        "{\"cmd\":\"status\"}",
+        "{\"cmd\":\"submit\",\"job\":{\"name\":\"x\"}}",
+        "[1,2,3]",
+    ] {
+        let resp = raw_request(&mut stream, bad);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(false)),
+            "{bad} must be rejected"
+        );
+        assert!(resp.get("error").is_some());
+    }
+
+    // Same connection still serves good requests.
+    let resp = raw_request(&mut stream, "{\"cmd\":\"ping\"}");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+
+    // And the error counter saw every unparseable frame / unknown verb
+    // (well-formed requests with bad arguments are not protocol errors).
+    let m = ts.daemon.metrics_snapshot();
+    assert!(m.protocol_errors >= 5, "saw {} errors", m.protocol_errors);
+}
+
+#[test]
+fn oversized_line_closes_the_connection_without_buffering_it() {
+    let ts = TestServer::start("oversized", 1);
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // 4 MiB of garbage on one line: the server must reject after ~1 MiB
+    // and close, not accumulate the rest.
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut wrote_err = None;
+    for _ in 0..64 {
+        if let Err(e) = stream.write_all(&chunk) {
+            wrote_err = Some(e); // server already hung up mid-send: fine
+            break;
+        }
+    }
+    if wrote_err.is_none() {
+        let _ = stream.write_all(b"\n");
+    }
+    let mut resp = Vec::new();
+    let _ = stream.read_to_end(&mut resp); // server closes after the error frame
+    let text = String::from_utf8_lossy(&resp);
+    if !text.trim().is_empty() {
+        let v = parse(text.trim()).expect("error frame is JSON");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    // The daemon is still alive for everyone else.
+    let mut client = Client::connect(&ts.addr).unwrap();
+    assert!(client.list().unwrap().is_empty());
+}
+
+#[test]
+fn half_open_connections_do_not_wedge_the_daemon() {
+    let ts = TestServer::start("halfopen", 1);
+
+    // Open sockets that send nothing (and one that sends half a frame),
+    // then leave them dangling.
+    let idle: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(&ts.addr).unwrap())
+        .collect();
+    let mut partial = TcpStream::connect(&ts.addr).unwrap();
+    partial.write_all(b"{\"cmd\":\"stat").unwrap(); // no newline, ever
+
+    // The daemon still answers new connections promptly.
+    let start = Instant::now();
+    let mut client = Client::connect(&ts.addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let id = client.submit(&job(1, 2)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let j = client.status(id).unwrap();
+        if j.get("state").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck behind idle sockets");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "half-open peers delayed real work"
+    );
+    drop(partial);
+    drop(idle);
+}
+
+#[test]
+fn metrics_are_live_while_two_jobs_run_concurrently() {
+    let ts = TestServer::start("metrics", 2);
+    let mut client = Client::connect(&ts.addr).unwrap();
+    let a = client.submit(&job(10, 200)).unwrap();
+    let b = client.submit(&job(11, 200)).unwrap();
+
+    // Wait until both are on workers simultaneously.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let running = loop {
+        let m = client.metrics().unwrap();
+        let running = m
+            .get("jobs")
+            .and_then(|j| j.get("running"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        if running == 2 {
+            break running;
+        }
+        assert!(Instant::now() < deadline, "never saw 2 running jobs");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(running, 2);
+
+    // Counters advance while they run.
+    let g0 = |m: &Json, k: &str| m.get(k).and_then(Json::as_i64).unwrap_or(-1);
+    let m1 = client.metrics().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    // The generation counter bumps just before its checkpoint lands, so
+    // wait for both to advance.
+    let m2 = loop {
+        let m = client.metrics().unwrap();
+        if g0(&m, "generations") > g0(&m1, "generations") && g0(&m, "checkpoints_written") > 0 {
+            break m;
+        }
+        assert!(Instant::now() < deadline, "generation counter frozen");
+        std::thread::sleep(Duration::from_millis(30));
+    };
+    assert!(g0(&m2, "evaluations") > 0);
+    assert!(g0(&m2, "connections") >= 1);
+    assert_eq!(g0(&m2, "jobs_submitted"), 2);
+    let rate = m2.get("cache_hit_rate").and_then(Json::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&rate));
+
+    // Cancel both; they must land in `canceled` promptly.
+    assert_eq!(client.cancel(a).unwrap(), "running");
+    assert_eq!(client.cancel(b).unwrap(), "running");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let m = client.metrics().unwrap();
+        let canceled = m
+            .get("jobs")
+            .and_then(|j| j.get("canceled"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        if canceled == 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancel never landed");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn watch_streams_generations_then_terminates() {
+    let ts = TestServer::start("watch", 1);
+    let mut client = Client::connect(&ts.addr).unwrap();
+    let id = client.submit(&job(3, 3)).unwrap();
+
+    let mut watcher = Client::connect(&ts.addr).unwrap();
+    watcher.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut updates = 0;
+    let last = watcher.watch(id, |_| updates += 1).unwrap();
+    assert!(updates >= 2, "watch sent {updates} updates");
+    assert_eq!(last.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(last.get("generation").and_then(Json::as_i64), Some(3));
+}

@@ -1,0 +1,183 @@
+//! Kill-and-restart: SIGKILL the daemon mid-search, restart it over the
+//! same run directory, and require the finished job's tuned parameters
+//! to be bit-identical to an uninterrupted in-process run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ga::GaConfig;
+use jit::Scenario;
+use served::job::JobSpec;
+use served::json::Json;
+use served::Client;
+use tuner::{Goal, Tuner};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tuned-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn spawn_daemon(dir: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_tuned"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tuned")
+}
+
+/// Waits for the daemon to publish its (fresh) listening address.
+fn wait_addr(dir: &Path) -> String {
+    let path = dir.join("addr");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if let Ok(addr) = std::fs::read_to_string(&path) {
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("daemon never wrote {}", path.display());
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) if Instant::now() >= deadline => panic!("cannot connect: {e}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn job_spec() -> JobSpec {
+    JobSpec {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into(), "jess".into()],
+        ga: GaConfig {
+            pop_size: 8,
+            generations: 10,
+            threads: 1,
+            seed: 20_260_807,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+    }
+}
+
+fn state_of(job: &Json) -> String {
+    job.get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .into()
+}
+
+fn generation_of(job: &Json) -> i64 {
+    job.get("generation").and_then(Json::as_i64).unwrap_or(0)
+}
+
+#[test]
+fn sigkill_and_restart_produce_bit_identical_params() {
+    let dir = tmp_dir("bitident");
+    let spec = job_spec();
+
+    // The ground truth: the same job run uninterrupted, in-process.
+    let expected = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    )
+    .tune(spec.ga.clone());
+    let expected_genes = expected.params.to_genes();
+
+    // Daemon #1: submit, let it checkpoint a few generations, SIGKILL.
+    let mut child = spawn_daemon(&dir);
+    let addr = wait_addr(&dir);
+    let mut client = connect(&addr);
+    let id = client.submit(&spec).expect("submit");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let job = client.status(id).expect("status");
+        if generation_of(&job) >= 2 {
+            break;
+        }
+        assert_ne!(
+            state_of(&job),
+            "done",
+            "job finished before we could kill the daemon; slow the job down"
+        );
+        assert!(Instant::now() < deadline, "job never reached generation 2");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    // Daemon #2 over the same run dir: recovery must resume the job from
+    // its checkpoint and finish it.
+    std::fs::remove_file(dir.join("addr")).expect("drop stale addr file");
+    let mut child2 = spawn_daemon(&dir);
+    let addr2 = wait_addr(&dir);
+    let mut client2 = connect(&addr2);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let finished = loop {
+        let job = client2.status(id).expect("status after restart");
+        match state_of(&job).as_str() {
+            "done" => break job,
+            "failed" | "canceled" => panic!("job ended {:?}", job.to_text()),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let result = finished.get("result").expect("done job has a result");
+    let genes: Vec<i64> = result
+        .get("params")
+        .and_then(|p| p.get("genes"))
+        .and_then(Json::as_arr)
+        .expect("result carries genes")
+        .iter()
+        .map(|g| g.as_i64().unwrap())
+        .collect();
+    assert_eq!(
+        genes, expected_genes,
+        "kill-and-restart must not change the tuned parameters"
+    );
+    let fitness = result
+        .get("fitness")
+        .and_then(Json::as_f64)
+        .expect("result carries fitness");
+    assert_eq!(
+        fitness.to_bits(),
+        expected.fitness.to_bits(),
+        "kill-and-restart must not change the fitness bits"
+    );
+
+    // The restart actually recovered (rather than silently restarting
+    // from scratch): the metrics say so.
+    let metrics = client2.metrics().expect("metrics");
+    assert_eq!(
+        metrics.get("jobs_recovered").and_then(Json::as_i64),
+        Some(1),
+        "daemon #2 must have recovered the incomplete job"
+    );
+
+    let _ = client2.shutdown();
+    let _ = child2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -63,6 +63,13 @@ impl Rng {
         }
     }
 
+    /// The raw 256-bit state, for checkpointing. Feed it back through
+    /// [`Rng::from_state`] to resume the stream exactly where it left off.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Returns the next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

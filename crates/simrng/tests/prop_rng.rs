@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the RNG and distributions: range safety for
 //! arbitrary parameters, determinism, and stream independence.
 

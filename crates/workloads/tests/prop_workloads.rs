@@ -1,3 +1,7 @@
+// Gated: needs the crates.io `proptest` crate (see the `proptest`
+// feature note in this crate's Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the synthetic-benchmark generator: any
 //! reasonable spec must yield a valid, fully reachable, analyzable
 //! program, deterministically.

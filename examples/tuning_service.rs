@@ -1,0 +1,116 @@
+//! Drive the tuning service in-process: start a daemon, submit two jobs,
+//! stream one of them generation-by-generation, and show the checkpoint
+//! machinery surviving a daemon stop/start.
+//!
+//! ```sh
+//! cargo run --release --example tuning_service
+//! ```
+//!
+//! The same daemon is available as a standalone TCP service via the
+//! `tuned` binary (`tuned serve`, then `tuned submit/status/watch/...`);
+//! this example uses the library API directly so everything happens in
+//! one process.
+
+use inlinetune::prelude::*;
+use inlinetune::served::daemon::{Daemon, DaemonConfig};
+use inlinetune::served::job::{JobSpec, JobState};
+use inlinetune::served::RunDir;
+
+fn job(name: &str, goal: Goal, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        scenario: Scenario::Opt,
+        goal,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into(), "jess".into()],
+        ga: GaConfig {
+            pop_size: 10,
+            generations: 8,
+            threads: 1,
+            seed,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tuning-service-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: a daemon with two workers takes two jobs concurrently.
+    let daemon = Daemon::start(
+        DaemonConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+        RunDir::open(&dir).expect("run dir"),
+    )
+    .expect("daemon");
+    let a = daemon.submit(job("Opt:Tot", Goal::Total, 101)).unwrap();
+    let b = daemon.submit(job("Opt:Bal", Goal::Balance, 102)).unwrap();
+    println!("submitted jobs {a} and {b}");
+
+    // Stream job A generation by generation.
+    let mut last_gen = 0;
+    loop {
+        let r = daemon.status(a).expect("job exists");
+        if r.generation > last_gen {
+            last_gen = r.generation;
+            println!(
+                "  job {a} [{}] generation {:>2}, best fitness {:.4}",
+                r.spec.name,
+                r.generation,
+                r.best_fitness.unwrap_or(f64::INFINITY)
+            );
+        }
+        if r.state.is_terminal() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Stop the daemon mid-flight for job B (it may still be running) —
+    // then restart over the same directory. Recovery resumes B from its
+    // last checkpoint; the result is bit-identical to an uninterrupted
+    // run because the checkpoint captures the complete GA state.
+    daemon.shutdown();
+    println!("daemon stopped; restarting over {}", dir.display());
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        RunDir::open(&dir).expect("run dir"),
+    )
+    .expect("daemon restart");
+
+    for id in [a, b] {
+        let r = loop {
+            let r = daemon.status(id).expect("job exists");
+            if r.state.is_terminal() {
+                break r;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        assert_eq!(r.state, JobState::Done);
+        let (params, fitness) = r.result.expect("done job has a result");
+        println!(
+            "job {id} [{}] done after {} generations: fitness {:.4}, params {:?}",
+            r.spec.name,
+            r.generation,
+            fitness,
+            params.to_genes()
+        );
+    }
+
+    let m = daemon.metrics_snapshot();
+    println!(
+        "metrics: {} generations, {} evaluations, cache hit rate {:.0}%, {} checkpoints, {} job(s) recovered",
+        m.generations,
+        m.evaluations,
+        m.cache_hit_rate * 100.0,
+        m.checkpoints_written,
+        m.jobs_recovered
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

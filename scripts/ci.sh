@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI for inlinetune: format check, fully offline build + test, and an
+# end-to-end smoke run of the `tuned` daemon (submit a tiny Opt:Tot job
+# over localhost, watch it finish, pull metrics, shut down).
+#
+# The workspace must never need the network: `--offline` everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "== cargo test --offline"
+cargo test --workspace --offline --quiet
+
+echo "== tuned smoke run"
+TUNED=target/release/tuned
+RUN_DIR=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$RUN_DIR"' EXIT
+
+"$TUNED" serve --addr 127.0.0.1:0 --dir "$RUN_DIR" --workers 1 &
+DAEMON_PID=$!
+
+# The daemon publishes its OS-assigned port in <dir>/addr.
+for _ in $(seq 1 100); do
+  [ -s "$RUN_DIR/addr" ] && break
+  sleep 0.1
+done
+ADDR=$(cat "$RUN_DIR/addr")
+echo "daemon at $ADDR"
+
+SUBMIT=$("$TUNED" submit --addr "$ADDR" --name smoke --scenario opt --goal tot \
+  --bench db --pop 6 --gens 2 --seed 7 --threads 1)
+echo "submitted: $SUBMIT"
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+
+"$TUNED" watch --addr "$ADDR" --id "$ID" | tail -n 1 | grep -q '"state":"done"' \
+  || { echo "smoke job did not finish"; exit 1; }
+
+"$TUNED" metrics --addr "$ADDR" | grep -q '"generations":' \
+  || { echo "metrics missing counters"; exit 1; }
+
+"$TUNED" shutdown --addr "$ADDR"
+wait "$DAEMON_PID"
+echo "== CI OK"

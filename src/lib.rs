@@ -17,6 +17,7 @@
 //! | [`workloads`] | `inlinetune-workloads` | synthetic SPECjvm98 / DaCapo+JBB suites |
 //! | [`ga`] | `inlinetune-ga` | the genetic-algorithm engine (ECJ analog) |
 //! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
+//! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use ga;
 pub use inliner;
 pub use ir;
 pub use jit;
+pub use served;
 pub use simrng;
 pub use tuner;
 pub use workloads;
