@@ -1,0 +1,100 @@
+//! `evald` — a remote fitness-evaluation worker process.
+//!
+//! ```text
+//! evald [--addr HOST:PORT] [--addr-file PATH]
+//!       [--register DAEMON_ADDR] [--advertise HOST:PORT]
+//!       [--heartbeat-ms N]
+//!       [--chaos drop:P,delay:D] [--chaos-seed N]
+//! ```
+//!
+//! Binds the eval server (`--addr`, default `127.0.0.1:0` — an
+//! OS-assigned port), optionally writes the bound address to
+//! `--addr-file` (so scripts binding port 0 can discover it), and — when
+//! `--register` names a `tuned` daemon — announces itself there and
+//! heartbeats every `--heartbeat-ms` (default 1000). `--advertise`
+//! overrides the address sent to the daemon (needed when the daemon must
+//! dial back through a different interface). `--chaos` injects faults
+//! for integration testing; see `evald::chaos`.
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use evald::{spawn_registrar, Chaos, ChaosConfig, EvalWorker};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("evald: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--key value` flags out of an argument list (same convention as
+/// the `tuned` binary).
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .windows(2)
+            .rev()
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad value for {key}: '{v}'")))
+            .transpose()
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let addr = flags.get("--addr").unwrap_or("127.0.0.1:0");
+    let chaos_cfg = match flags.get("--chaos") {
+        Some(spec) => ChaosConfig::parse(spec)?,
+        None => ChaosConfig::default(),
+    };
+    let chaos_seed = flags.parse("--chaos-seed")?.unwrap_or(0u64);
+    if chaos_cfg.is_active() {
+        eprintln!("evald: chaos mode active: {chaos_cfg:?} (seed {chaos_seed})");
+    }
+
+    let worker = EvalWorker::bind(addr, Chaos::new(chaos_cfg, chaos_seed))?;
+    let bound = worker.local_addr();
+    if let Some(path) = flags.get("--addr-file") {
+        std::fs::write(path, bound.to_string())
+            .map_err(|e| format!("cannot write addr file {path}: {e}"))?;
+    }
+    println!("evald listening on {bound}");
+
+    let registrar = match flags.get("--register") {
+        Some(daemon_addr) => {
+            let advertise = flags
+                .get("--advertise")
+                .map_or_else(|| bound.to_string(), str::to_string);
+            let interval =
+                Duration::from_millis(flags.parse("--heartbeat-ms")?.unwrap_or(1000u64).max(10));
+            Some(spawn_registrar(
+                daemon_addr.to_string(),
+                advertise,
+                interval,
+                worker.stop_flag(),
+            ))
+        }
+        None => None,
+    };
+
+    let result = worker.serve();
+    worker.stop_flag().store(true, Ordering::SeqCst);
+    if let Some(handle) = registrar {
+        let _ = handle.join();
+    }
+    result
+}

@@ -1,0 +1,132 @@
+//! A per-process [`Tuner`] cache.
+//!
+//! Every dispatcher connection opens with a `task` handshake naming the
+//! job it will send evals for. Building a [`Tuner`] measures the
+//! default heuristic over the whole training suite — exactly the cost a
+//! worker should pay once per (scenario, goal, arch, suite) cell, not
+//! once per connection. The cache keys on the task-relevant part of the
+//! job spec (the GA config and display name are irrelevant to fitness),
+//! so reconnects, parallel connections, and even different jobs over
+//! the same cell all share one tuner.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use served::json::Json;
+use served::JobSpec;
+use tuner::Tuner;
+
+/// Shared, lazily populated map from task cell to [`Tuner`].
+#[derive(Default)]
+pub struct TunerCache {
+    map: Mutex<HashMap<String, Arc<Tuner>>>,
+}
+
+impl TunerCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key: the spec's JSON with the fitness-irrelevant fields
+    /// (`name`, `ga`) removed. Deterministic because [`Json::to_text`]
+    /// serializes object keys in insertion order.
+    fn key(spec: &JobSpec) -> String {
+        match spec.to_json() {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .into_iter()
+                    .filter(|(k, _)| k != "name" && k != "ga")
+                    .collect(),
+            )
+            .to_text(),
+            other => other.to_text(),
+        }
+    }
+
+    /// The tuner for a job's task cell, building (and caching) it on
+    /// first use. Holding the map lock across the build is deliberate:
+    /// concurrent connections for the same cell wait instead of
+    /// measuring the defaults twice.
+    ///
+    /// # Errors
+    /// Propagates spec validation errors (unknown benchmark / arch
+    /// names).
+    pub fn get(&self, spec: &JobSpec) -> Result<Arc<Tuner>, String> {
+        let key = Self::key(spec);
+        let mut map = self.map.lock().expect("tuner cache poisoned");
+        if let Some(t) = map.get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        let tuner = Arc::new(Tuner::new(spec.task()?, spec.training()?, spec.adapt_cfg()));
+        map.insert(key, Arc::clone(&tuner));
+        Ok(tuner)
+    }
+
+    /// How many distinct task cells have been built.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("tuner cache poisoned").len()
+    }
+
+    /// Whether no tuner has been built yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+    use jit::Scenario;
+    use tuner::Goal;
+
+    fn spec(name: &str, seed: u64, suite: &[&str]) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: suite.iter().map(|s| (*s).to_string()).collect(),
+            ga: GaConfig {
+                pop_size: 6,
+                generations: 2,
+                threads: 1,
+                seed,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn same_cell_shares_one_tuner() {
+        let cache = TunerCache::new();
+        let a = cache.get(&spec("a", 1, &["db"])).unwrap();
+        // Different name and GA config, same task cell.
+        let b = cache.get(&spec("b", 999, &["db"])).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_suites_get_different_tuners() {
+        let cache = TunerCache::new();
+        let a = cache.get(&spec("a", 1, &["db"])).unwrap();
+        let b = cache.get(&spec("a", 1, &["jess"])).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bad_suite_name_propagates() {
+        let cache = TunerCache::new();
+        // JobSpec::from_json validates names, but a hand-built spec can
+        // carry garbage — the cache must surface it, not panic.
+        assert!(cache.get(&spec("a", 1, &["no-such-benchmark"])).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Fault injection for the dispatcher's failure paths.
+//!
+//! Real worker fleets lose processes, stall on overloaded hosts, and
+//! drop TCP connections mid-request. The integration tests need those
+//! failures on demand and *reproducibly*, so chaos is driven by a seeded
+//! [`simrng::Rng`] rather than ambient entropy: the same
+//! `--chaos drop:0.25 --chaos-seed 7` run injects the same faults.
+//!
+//! Chaos only perturbs *delivery* (connections dropped, responses
+//! delayed) — never the fitness values themselves — so a chaotic run
+//! still produces bit-identical tuning results; it just takes longer.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use simrng::Rng;
+
+/// What faults to inject, parsed from `drop:P,delay:D` syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability (0..=1) of dropping the connection instead of
+    /// answering an `eval` request.
+    pub drop_prob: f64,
+    /// Fixed extra latency added before every `eval` response.
+    pub delay: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parses a spec like `drop:0.1,delay:50ms`. Each clause is
+    /// optional; durations accept `ms`, `s`, or a bare millisecond
+    /// count.
+    ///
+    /// # Errors
+    /// Unknown clause names, out-of-range probabilities, or unparseable
+    /// durations.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("chaos clause '{clause}' is not key:value"))?;
+            match key.trim() {
+                "drop" => {
+                    let p: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad drop probability '{value}'"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("drop probability {p} outside 0..=1"));
+                    }
+                    cfg.drop_prob = p;
+                }
+                "delay" => cfg.delay = parse_duration(value.trim())?,
+                other => return Err(format!("unknown chaos clause '{other}'")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether any fault is configured.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.delay > Duration::ZERO
+    }
+}
+
+/// Parses `50ms`, `2s`, or a bare number of milliseconds.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let (digits, scale_ms) = if let Some(d) = text.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1000u64)
+    } else {
+        (text, 1u64)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration '{text}'"))?;
+    Ok(Duration::from_millis(n * scale_ms))
+}
+
+/// A configured fault injector: call [`Chaos::delay`] and
+/// [`Chaos::should_drop`] around each response.
+#[derive(Debug)]
+pub struct Chaos {
+    cfg: ChaosConfig,
+    rng: Mutex<Rng>,
+}
+
+impl Chaos {
+    /// A fault injector over a seeded RNG (seed it from `--chaos-seed`
+    /// for reproducible test runs).
+    #[must_use]
+    pub fn new(cfg: ChaosConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: Mutex::new(Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A no-fault injector.
+    #[must_use]
+    pub fn inert() -> Self {
+        Self::new(ChaosConfig::default(), 0)
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Rolls the dice: should this request's connection be dropped?
+    #[must_use]
+    pub fn should_drop(&self) -> bool {
+        if self.cfg.drop_prob <= 0.0 {
+            return false;
+        }
+        self.rng
+            .lock()
+            .expect("chaos rng poisoned")
+            .chance(self.cfg.drop_prob)
+    }
+
+    /// Sleeps the configured injected latency (no-op when zero).
+    pub fn delay(&self) {
+        if self.cfg.delay > Duration::ZERO {
+            std::thread::sleep(self.cfg.delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let c = ChaosConfig::parse("drop:0.1,delay:50ms").unwrap();
+        assert!((c.drop_prob - 0.1).abs() < 1e-12);
+        assert_eq!(c.delay, Duration::from_millis(50));
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn parses_partial_and_empty_specs() {
+        assert_eq!(
+            ChaosConfig::parse("delay:2s").unwrap().delay,
+            Duration::from_secs(2)
+        );
+        assert_eq!(
+            ChaosConfig::parse("delay:75").unwrap().delay,
+            Duration::from_millis(75)
+        );
+        let none = ChaosConfig::parse("").unwrap();
+        assert_eq!(none, ChaosConfig::default());
+        assert!(!none.is_active());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "drop",
+            "drop:2.0",
+            "drop:-0.5",
+            "drop:x",
+            "delay:abcms",
+            "jitter:5",
+        ] {
+            assert!(ChaosConfig::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn drop_rolls_are_seed_deterministic() {
+        let cfg = ChaosConfig::parse("drop:0.5").unwrap();
+        let a = Chaos::new(cfg.clone(), 42);
+        let b = Chaos::new(cfg, 42);
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.should_drop()).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.should_drop()).collect();
+        assert_eq!(rolls_a, rolls_b);
+        assert!(rolls_a.iter().any(|&r| r), "p=0.5 over 64 rolls");
+        assert!(rolls_a.iter().any(|&r| !r));
+    }
+
+    #[test]
+    fn inert_chaos_never_drops() {
+        let c = Chaos::inert();
+        assert!((0..32).all(|_| !c.should_drop()));
+    }
+}

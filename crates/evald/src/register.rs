@@ -1,0 +1,163 @@
+//! The registrar thread: announces this worker to a `tuned` daemon and
+//! keeps heartbeating so the dispatcher's health checks see it.
+//!
+//! The loop is deliberately forgiving: any failure (daemon not up yet,
+//! daemon restarted, transient network error) drops the connection and
+//! retries on the next tick, re-sending `register` first — so a worker
+//! started before its daemon, or surviving a daemon restart, joins the
+//! pool as soon as one is listening. The daemon side is equally
+//! forgiving: a `heartbeat` from an unknown address auto-registers it.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use served::json::Json;
+use served::proto::{read_frame, write_frame, Frame};
+
+/// How long each connect / reply read may take before the tick is
+/// abandoned and retried.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Spawns the registrar thread. `daemon_addr` is the `tuned` protocol
+/// address; `advertise` is the `host:port` *this worker's eval server*
+/// listens on (what the daemon will dial back); `interval` is the
+/// heartbeat period. The thread exits promptly once `stop` is raised.
+#[must_use]
+pub fn spawn_registrar(
+    daemon_addr: String,
+    advertise: String,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("evald-registrar".into())
+        .spawn(move || registrar_loop(&daemon_addr, &advertise, interval, &stop))
+        .expect("cannot spawn registrar thread")
+}
+
+fn registrar_loop(daemon_addr: &str, advertise: &str, interval: Duration, stop: &AtomicBool) {
+    let mut conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> = None;
+    let mut registered = false;
+    while !stop.load(Ordering::SeqCst) {
+        if conn.is_none() {
+            registered = false;
+            conn = open(daemon_addr);
+        }
+        if let Some((reader, writer)) = conn.as_mut() {
+            let verb = if registered { "heartbeat" } else { "register" };
+            let req = Json::obj(vec![
+                ("cmd", Json::Str(verb.into())),
+                ("addr", Json::Str(advertise.into())),
+            ]);
+            let sent = write_frame(writer, &req).is_ok();
+            let acked = sent
+                && match read_frame(reader) {
+                    Frame::Line(line) => {
+                        served::json::parse(&line)
+                            .ok()
+                            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                            == Some(true)
+                    }
+                    _ => false,
+                };
+            if acked {
+                registered = true;
+            } else {
+                conn = None; // reconnect and re-register next tick
+            }
+        }
+        sleep_interruptibly(interval, stop);
+    }
+}
+
+fn open(daemon_addr: &str) -> Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    use std::net::ToSocketAddrs;
+    let sock = daemon_addr.to_socket_addrs().ok()?.next()?;
+    let stream = TcpStream::connect_timeout(&sock, IO_TIMEOUT).ok()?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok()?;
+    let write_half = stream.try_clone().ok()?;
+    Some((BufReader::new(stream), BufWriter::new(write_half)))
+}
+
+/// Sleeps up to `total`, waking early (in ≤50 ms) when `stop` is raised.
+fn sleep_interruptibly(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(50);
+    let mut left = total;
+    while left > Duration::ZERO && !stop.load(Ordering::SeqCst) {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use served::proto::parse_request;
+    use std::net::TcpListener;
+
+    /// A fake daemon that records the verbs it receives and always acks.
+    fn fake_daemon() -> (std::net::SocketAddr, std::sync::mpsc::Receiver<String>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let tx = tx.clone();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                loop {
+                    match read_frame(&mut reader) {
+                        Frame::Line(line) => {
+                            let (cmd, _) = parse_request(&line).unwrap();
+                            tx.send(cmd).unwrap();
+                            if write_frame(&mut writer, &served::proto::ok_with(vec![])).is_err() {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        });
+        (addr, rx)
+    }
+
+    #[test]
+    fn registers_then_heartbeats() {
+        let (addr, rx) = fake_daemon();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_registrar(
+            addr.to_string(),
+            "127.0.0.1:12345".into(),
+            Duration::from_millis(20),
+            Arc::clone(&stop),
+        );
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first, "register");
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(second, "heartbeat");
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn survives_a_daemon_that_is_not_up_yet() {
+        let stop = Arc::new(AtomicBool::new(false));
+        // Nothing listens on port 1; the loop must keep retrying quietly
+        // and exit cleanly when stopped.
+        let handle = spawn_registrar(
+            "127.0.0.1:1".into(),
+            "127.0.0.1:12345".into(),
+            Duration::from_millis(10),
+            Arc::clone(&stop),
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+}

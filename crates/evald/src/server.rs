@@ -1,0 +1,456 @@
+//! The eval RPC server: the worker-side half of the dispatch protocol.
+//!
+//! One thread per connection, same defensive framing as `tuned`
+//! (oversized frames kill the connection; malformed JSON gets an error
+//! envelope and the connection survives). A connection speaks:
+//!
+//! ```text
+//! → {"cmd":"task","job":{...JobSpec...}}    bind this connection to a cell
+//! ← {"ok":true}
+//! → {"cmd":"eval","id":7,"genes":[23,...]}  any number, pipelined
+//! ← {"ok":true,"id":7,"fitness":0.94...}
+//! ```
+//!
+//! plus `ping`, `metrics`, and `shutdown`. Fitness goes through
+//! [`tuner::Tuner::fitness`] — the identical pure `jit::measure` path
+//! the in-process daemon runs — which is what makes distributed runs
+//! bit-identical to local ones.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use inliner::InlineParams;
+use served::checkpoint::f64_to_json;
+use served::json::Json;
+use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
+use served::JobSpec;
+use tuner::Tuner;
+
+use crate::cache::TunerCache;
+use crate::chaos::Chaos;
+
+/// How long a connection may sit idle before its thread is reclaimed.
+/// The dispatcher opens a fresh connection per generation batch, so idle
+/// connections are stale ones.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval of the nonblocking accept loop.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The worker's own counters (served by its `metrics` verb).
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Eval requests answered.
+    pub evals: AtomicU64,
+    /// Connections dropped by chaos injection.
+    pub chaos_drops: AtomicU64,
+    /// Frames answered with an error envelope.
+    pub protocol_errors: AtomicU64,
+}
+
+/// The eval worker server. Owns the listener; serves until `shutdown`
+/// arrives or the stop flag is raised.
+pub struct EvalWorker {
+    listener: TcpListener,
+    cache: Arc<TunerCache>,
+    chaos: Arc<Chaos>,
+    counters: Arc<WorkerCounters>,
+    stop: Arc<AtomicBool>,
+}
+
+impl EvalWorker {
+    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, chaos: Chaos) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            cache: Arc::new(TunerCache::new()),
+            chaos: Arc::new(chaos),
+            counters: Arc::new(WorkerCounters::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Panics
+    /// Panics if the socket has no local address (cannot happen for a
+    /// bound listener).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A flag that makes [`EvalWorker::serve`] return when raised.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The worker's counters.
+    #[must_use]
+    pub fn counters(&self) -> Arc<WorkerCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Accepts and serves connections until stopped. Connection threads
+    /// are detached and die with their sockets.
+    ///
+    /// # Errors
+    /// Propagates listener configuration errors.
+    pub fn serve(&self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    served::Metrics::bump(&self.counters.connections);
+                    let cache = Arc::clone(&self.cache);
+                    let chaos = Arc::clone(&self.chaos);
+                    let counters = Arc::clone(&self.counters);
+                    let stop = Arc::clone(&self.stop);
+                    let _ = std::thread::Builder::new()
+                        .name("evald-conn".into())
+                        .spawn(move || serve_connection(stream, &cache, &chaos, &counters, &stop));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    cache: &TunerCache,
+    chaos: &Chaos,
+    counters: &WorkerCounters,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    // The cell this connection evaluates for, set by the `task` verb.
+    let mut tuner: Option<Arc<Tuner>> = None;
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match read_frame(&mut reader) {
+            Frame::Line(line) => line,
+            Frame::Eof => return,
+            Frame::Oversized => {
+                served::Metrics::bump(&counters.protocol_errors);
+                let _ = write_frame(&mut writer, &err("frame exceeds 1 MiB; closing"));
+                return;
+            }
+            Frame::Err(_) => return, // idle timeout or broken pipe
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Ok((cmd, body)) => match cmd.as_str() {
+                "ping" => ok_with(vec![("pong", Json::Bool(true))]),
+                "task" => match body.get("job") {
+                    None => err("task needs a 'job' object"),
+                    Some(job) => match JobSpec::from_json(job).and_then(|s| cache.get(&s)) {
+                        Ok(t) => {
+                            tuner = Some(t);
+                            ok_with(vec![])
+                        }
+                        Err(e) => err(e),
+                    },
+                },
+                "eval" => match eval(&body, tuner.as_deref(), chaos, counters) {
+                    Ok(v) => v,
+                    Err(Dropped) => return, // chaos: die without replying
+                },
+                "metrics" => ok_with(vec![(
+                    "metrics",
+                    Json::obj(vec![
+                        (
+                            "connections",
+                            Json::Int(counters.connections.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "evals",
+                            Json::Int(counters.evals.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "chaos_drops",
+                            Json::Int(counters.chaos_drops.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "protocol_errors",
+                            Json::Int(counters.protocol_errors.load(Ordering::Relaxed) as i64),
+                        ),
+                    ]),
+                )]),
+                "shutdown" => {
+                    let _ = write_frame(&mut writer, &ok_with(vec![]));
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                other => {
+                    served::Metrics::bump(&counters.protocol_errors);
+                    err(format!("unknown cmd '{other}'"))
+                }
+            },
+            Err(e) => {
+                served::Metrics::bump(&counters.protocol_errors);
+                err(e)
+            }
+        };
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Marker: chaos decided this connection dies without a reply.
+struct Dropped;
+
+/// Handles one `eval` request. Validates the genes against the task's
+/// ranges *before* constructing [`InlineParams`] (whose constructor
+/// panics on bad input — a remote peer must never be able to panic the
+/// worker).
+fn eval(
+    body: &Json,
+    tuner: Option<&Tuner>,
+    chaos: &Chaos,
+    counters: &WorkerCounters,
+) -> Result<Json, Dropped> {
+    let Some(tuner) = tuner else {
+        served::Metrics::bump(&counters.protocol_errors);
+        return Ok(err("no task set on this connection (send 'task' first)"));
+    };
+    let Some(id) = body.get("id").and_then(Json::as_usize) else {
+        served::Metrics::bump(&counters.protocol_errors);
+        return Ok(err("eval needs a numeric 'id'"));
+    };
+    let genes: Option<Vec<i64>> = body
+        .get("genes")
+        .and_then(Json::as_arr)
+        .and_then(|items| items.iter().map(Json::as_i64).collect());
+    let Some(genes) = genes else {
+        served::Metrics::bump(&counters.protocol_errors);
+        return Ok(err("eval needs an integer 'genes' array"));
+    };
+    if !tuner.task().ranges().contains(&genes) {
+        served::Metrics::bump(&counters.protocol_errors);
+        return Ok(err(format!("genes {genes:?} outside the task's ranges")));
+    }
+    if chaos.should_drop() {
+        served::Metrics::bump(&counters.chaos_drops);
+        return Err(Dropped);
+    }
+    chaos.delay();
+    let fitness = tuner.fitness(&InlineParams::from_genes(&genes));
+    served::Metrics::bump(&counters.evals);
+    Ok(ok_with(vec![
+        ("id", Json::Int(id as i64)),
+        ("fitness", f64_to_json(fitness)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+    use jit::Scenario;
+    use served::proto::read_frame;
+    use std::io::{BufRead, Write};
+    use tuner::Goal;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: vec!["db".into()],
+            ga: GaConfig {
+                pop_size: 6,
+                generations: 2,
+                threads: 1,
+                seed: 11,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    struct TestConn {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    }
+
+    impl TestConn {
+        fn open(addr: std::net::SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let write_half = stream.try_clone().unwrap();
+            Self {
+                reader: BufReader::new(stream),
+                writer: BufWriter::new(write_half),
+            }
+        }
+
+        fn roundtrip(&mut self, req: &Json) -> Json {
+            write_frame(&mut self.writer, req).unwrap();
+            match read_frame(&mut self.reader) {
+                Frame::Line(line) => served::json::parse(&line).unwrap(),
+                other => panic!("expected a response line, got {other:?}"),
+            }
+        }
+
+        fn raw(&mut self, text: &str) -> Json {
+            self.writer.write_all(text.as_bytes()).unwrap();
+            self.writer.write_all(b"\n").unwrap();
+            self.writer.flush().unwrap();
+            match read_frame(&mut self.reader) {
+                Frame::Line(line) => served::json::parse(&line).unwrap(),
+                other => panic!("expected a response line, got {other:?}"),
+            }
+        }
+    }
+
+    fn start_worker(chaos: Chaos) -> (std::net::SocketAddr, Arc<AtomicBool>) {
+        let worker = EvalWorker::bind("127.0.0.1:0", chaos).unwrap();
+        let addr = worker.local_addr();
+        let stop = worker.stop_flag();
+        std::thread::spawn(move || worker.serve().unwrap());
+        (addr, stop)
+    }
+
+    fn task_frame() -> Json {
+        Json::obj(vec![
+            ("cmd", Json::Str("task".into())),
+            ("job", spec().to_json()),
+        ])
+    }
+
+    fn eval_frame(id: i64, genes: &[i64]) -> Json {
+        Json::obj(vec![
+            ("cmd", Json::Str("eval".into())),
+            ("id", Json::Int(id)),
+            (
+                "genes",
+                Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn answers_evals_with_the_exact_local_fitness() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(addr);
+        assert_eq!(
+            conn.roundtrip(&task_frame()).get("ok"),
+            Some(&Json::Bool(true))
+        );
+
+        let s = spec();
+        let local = Tuner::new(s.task().unwrap(), s.training().unwrap(), s.adapt_cfg());
+        let genes = InlineParams::jikes_default().to_genes();
+        let expected = local.fitness(&InlineParams::from_genes(&genes));
+
+        let resp = conn.roundtrip(&eval_frame(3, &genes));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("id"), Some(&Json::Int(3)));
+        let got = served::checkpoint::f64_from_json(resp.get("fitness").unwrap()).unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits(), "bit-identical fitness");
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn eval_without_task_is_an_error_not_a_panic() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(addr);
+        let resp = conn.roundtrip(&eval_frame(0, &[1, 2, 3, 4, 5]));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn out_of_range_genes_are_rejected() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(addr);
+        conn.roundtrip(&task_frame());
+        // Wrong length and wildly out-of-range values: both must come
+        // back as error envelopes, and the connection must survive.
+        for genes in [vec![1i64, 2], vec![-999, -999, -999, -999, -999]] {
+            let resp = conn.roundtrip(&eval_frame(0, &genes));
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{genes:?}");
+        }
+        let ping = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("ping".into()))]));
+        assert_eq!(ping.get("ok"), Some(&Json::Bool(true)));
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn malformed_json_gets_an_error_and_the_connection_survives() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(addr);
+        let resp = conn.raw("this is not json");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let ping = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("ping".into()))]));
+        assert_eq!(ping.get("ok"), Some(&Json::Bool(true)));
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn chaos_drop_closes_the_connection_without_a_reply() {
+        let cfg = crate::chaos::ChaosConfig::parse("drop:1.0").unwrap();
+        let (addr, stop) = start_worker(Chaos::new(cfg, 1));
+        let mut conn = TestConn::open(addr);
+        conn.roundtrip(&task_frame());
+        let genes = InlineParams::jikes_default().to_genes();
+        write_frame(&mut conn.writer, &eval_frame(0, &genes)).unwrap();
+        // The worker must close without replying: EOF, not a frame.
+        match read_frame(&mut conn.reader) {
+            Frame::Eof => {}
+            other => panic!("expected EOF from a chaos drop, got {other:?}"),
+        }
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn metrics_and_shutdown_verbs_work() {
+        let (addr, _stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(addr);
+        conn.roundtrip(&task_frame());
+        let genes = InlineParams::jikes_default().to_genes();
+        conn.roundtrip(&eval_frame(0, &genes));
+        let m = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("metrics".into()))]));
+        assert_eq!(m.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(m.get("metrics").unwrap().get("evals"), Some(&Json::Int(1)));
+        let down = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("shutdown".into()))]));
+        assert_eq!(down.get("ok"), Some(&Json::Bool(true)));
+        // The accept loop winds down; a new connect may linger in the
+        // backlog, so just confirm the flag did its job via EOF here.
+        assert!(matches!(read_frame(&mut conn.reader), Frame::Eof));
+    }
+}

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use simrng::Rng;
 
+use crate::eval::{Evaluator, LocalEvaluator};
 use crate::genome::{Genome, Ranges};
 use crate::ops::{mutate, one_point_crossover, tournament, two_point_crossover, uniform_crossover};
 
@@ -266,11 +267,26 @@ impl GaState {
     where
         F: Fn(&[i64]) -> f64 + Sync,
     {
+        let threads = self.config.threads;
+        self.step_with(&LocalEvaluator::new(fitness, threads))
+    }
+
+    /// Like [`step`], but evaluates cache misses through an explicit
+    /// [`Evaluator`] backend instead of the config's local thread pool.
+    /// Because fitness is a pure function of the genome and results merge
+    /// into the memo table keyed by genome, every backend — local threads,
+    /// remote workers, anything — yields bit-identical runs.
+    ///
+    /// [`step`]: GaState::step
+    pub fn step_with<E>(&mut self, backend: &E) -> bool
+    where
+        E: Evaluator + ?Sized,
+    {
         if self.done || self.next_gen >= self.config.generations {
             self.done = true;
             return true;
         }
-        let scores = self.evaluate(&fitness);
+        let scores = self.evaluate(backend);
 
         // Track the best.
         let mut improved = false;
@@ -353,11 +369,16 @@ impl GaState {
     }
 
     /// Evaluates the current population through the memo table, farming
-    /// cache misses out to worker threads. Worker threads never consume
-    /// randomness, so parallel evaluation is bit-identical to sequential.
-    fn evaluate<F>(&mut self, fitness: &F) -> Vec<f64>
+    /// the deduplicated cache misses out to the backend. Backends never
+    /// consume engine randomness, so every backend (and thread count) is
+    /// bit-identical to sequential evaluation.
+    ///
+    /// # Panics
+    /// Panics if the backend returns the wrong number of scores — that is
+    /// a broken [`Evaluator`] contract, not a recoverable condition.
+    fn evaluate<E>(&mut self, backend: &E) -> Vec<f64>
     where
-        F: Fn(&[i64]) -> f64 + Sync,
+        E: Evaluator + ?Sized,
     {
         // Split into hits and (deduplicated) misses.
         let mut misses: Vec<Genome> = Vec::new();
@@ -373,33 +394,17 @@ impl GaState {
         }
         self.evaluations += misses.len();
 
+        let scores = backend.evaluate(&misses);
+        assert_eq!(
+            scores.len(),
+            misses.len(),
+            "evaluator returned {} scores for {} genomes",
+            scores.len(),
+            misses.len()
+        );
         let sanitize = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
-        if self.config.threads <= 1 || misses.len() <= 1 {
-            for g in misses {
-                let v = sanitize(fitness(&g));
-                self.cache.insert(g, v);
-            }
-        } else {
-            let n_threads = self.config.threads.min(misses.len());
-            let chunk = misses.len().div_ceil(n_threads);
-            let scored: Vec<(Genome, f64)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = misses
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            part.iter()
-                                .map(|g| (g.clone(), sanitize(fitness(g))))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
-            });
-            self.cache.extend(scored);
-        }
+        self.cache
+            .extend(misses.into_iter().zip(scores.into_iter().map(sanitize)));
 
         self.population.iter().map(|g| self.cache[g]).collect()
     }
@@ -421,6 +426,16 @@ impl GaState {
     #[must_use]
     pub fn config(&self) -> &GaConfig {
         &self.config
+    }
+
+    /// Re-plans the local evaluation thread count (clamped to ≥ 1).
+    ///
+    /// Thread count affects wall-clock only, never results, so a host may
+    /// freely adjust it on a restored search — the `tuned` daemon does,
+    /// to divide a machine-wide thread budget across concurrent jobs. The
+    /// new value is recorded in subsequent snapshots.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
     }
 
     /// The search-space bounds.
@@ -879,6 +894,69 @@ mod tests {
         let state = GaState::new(sphere_ranges(), step_cfg(3));
         assert!(state.best().is_none());
         assert_eq!(state.generation(), 0);
+    }
+
+    #[test]
+    fn step_with_custom_backend_matches_step() {
+        // A backend that evaluates through its own machinery (reversed
+        // iteration order, batch-at-once) must be indistinguishable from
+        // the plain closure path.
+        struct Reversed;
+        impl crate::eval::Evaluator for Reversed {
+            fn evaluate(&self, genomes: &[Genome]) -> Vec<f64> {
+                let mut scores: Vec<f64> = genomes
+                    .iter()
+                    .rev()
+                    .map(|g| g.iter().map(|&x| (x * x) as f64).sum())
+                    .collect();
+                scores.reverse();
+                scores
+            }
+        }
+        let f = |g: &[i64]| g.iter().map(|&x| (x * x) as f64).sum();
+        let mut a = GaState::new(sphere_ranges(), step_cfg(20));
+        let mut b = GaState::new(sphere_ranges(), step_cfg(20));
+        loop {
+            let da = a.step(f);
+            let db = b.step_with(&Reversed);
+            assert_eq!(da, db);
+            if da {
+                break;
+            }
+        }
+        assert_eq!(a.result(), b.result());
+        assert_eq!(
+            a.result().best_fitness.to_bits(),
+            b.result().best_fitness.to_bits()
+        );
+    }
+
+    #[test]
+    fn set_threads_changes_config_not_results() {
+        let f = sphere(&[1, 2, 3, 4]);
+        let mut a = GaState::new(sphere_ranges(), step_cfg(12));
+        let mut b = GaState::new(sphere_ranges(), step_cfg(12));
+        b.set_threads(0); // clamps to 1
+        assert_eq!(b.config().threads, 1);
+        b.set_threads(3);
+        assert_eq!(b.config().threads, 3);
+        while !a.step(&f) {}
+        while !b.step(&f) {}
+        assert_eq!(a.result(), b.result());
+        assert_eq!(b.snapshot().config.threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluator returned")]
+    fn short_score_vector_is_a_contract_violation() {
+        struct Broken;
+        impl crate::eval::Evaluator for Broken {
+            fn evaluate(&self, _genomes: &[Genome]) -> Vec<f64> {
+                Vec::new()
+            }
+        }
+        let mut state = GaState::new(sphere_ranges(), step_cfg(3));
+        let _ = state.step_with(&Broken);
     }
 
     #[test]

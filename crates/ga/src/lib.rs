@@ -13,7 +13,11 @@
 //!   populations re-propose the same genomes constantly; the simulator
 //!   evaluation is the expensive part) and optional **parallel
 //!   evaluation** across worker threads, plus per-generation history for
-//!   convergence analysis and early stopping on stagnation.
+//!   convergence analysis and early stopping on stagnation;
+//! * a pluggable [`eval`] backend seam: [`GaState::step_with`] evaluates a
+//!   generation through any [`Evaluator`] — the built-in
+//!   [`LocalEvaluator`] thread pool or a remote worker fleet (see the
+//!   `served` dispatch layer) — with bit-identical results either way.
 //!
 //! Fitness is *minimized* (the paper minimizes time metrics). Everything
 //! is deterministic given the seed: parallel evaluation never consumes
@@ -22,10 +26,12 @@
 //! [Luke, 2004]: https://cs.gmu.edu/~eclab/projects/ecj/
 
 pub mod engine;
+pub mod eval;
 pub mod genome;
 pub mod ops;
 
 pub use engine::{
     CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, Generation, GeneticAlgorithm,
 };
+pub use eval::{Evaluator, LocalEvaluator};
 pub use genome::{Genome, Ranges};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tuned serve  [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue N]
+//!              [--eval-threads N] [--worker HOST:PORT]...
 //! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
 //!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
 //!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
@@ -106,9 +107,17 @@ fn serve(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
     let addr = flags.get("--addr").unwrap_or(DEFAULT_ADDR);
     let dir = flags.get("--dir").unwrap_or("tuned-run");
+    let base = DaemonConfig::default();
     let config = DaemonConfig {
         workers: flags.parse("--workers")?.unwrap_or(2),
         queue_capacity: flags.parse("--queue")?.unwrap_or(64),
+        eval_threads: flags.parse("--eval-threads")?.unwrap_or(base.eval_threads),
+        eval_workers: flags
+            .get_all("--worker")
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        ..base
     };
     let run_dir = RunDir::open(dir)?;
     let daemon = Daemon::start(config, run_dir.clone())?;

@@ -18,6 +18,7 @@ use inliner::InlineParams;
 use tuner::Tuner;
 
 use crate::checkpoint::RunDir;
+use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
 use crate::job::{JobSpec, JobState};
 use crate::metrics::{JobGauges, Metrics, MetricsSnapshot};
 
@@ -28,6 +29,17 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Maximum queued-but-not-running jobs; `submit` rejects beyond this.
     pub queue_capacity: usize,
+    /// Total **local** evaluation threads shared by every concurrently
+    /// running job. Without this cap, W concurrent jobs each defaulting
+    /// to `available_parallelism()` GA threads oversubscribe the machine
+    /// W-fold; with it, each job leases a slice of the budget for its
+    /// lifetime (never less than one thread).
+    pub eval_threads: usize,
+    /// Statically configured `evald` worker addresses. Workers may also
+    /// join at runtime via the `register` verb.
+    pub eval_workers: Vec<String>,
+    /// Remote-dispatch tunables.
+    pub dispatch: DispatchConfig,
 }
 
 impl Default for DaemonConfig {
@@ -35,7 +47,51 @@ impl Default for DaemonConfig {
         Self {
             workers: 2,
             queue_capacity: 64,
+            eval_threads: std::thread::available_parallelism().map_or(1, usize::from),
+            eval_workers: Vec::new(),
+            dispatch: DispatchConfig::default(),
         }
+    }
+}
+
+/// The shared cap on local evaluation threads (see
+/// [`DaemonConfig::eval_threads`]). Leases are clamped, not queued: a job
+/// that arrives with the budget exhausted still gets one thread, so the
+/// worst case is `workers - 1` extra threads — not `workers × cores`.
+struct ThreadBudget {
+    total: usize,
+    used: Mutex<usize>,
+}
+
+/// A job's slice of the thread budget; returned to the pool on drop.
+struct ThreadLease<'a> {
+    budget: &'a ThreadBudget,
+    granted: usize,
+}
+
+impl ThreadBudget {
+    fn new(total: usize) -> Self {
+        Self {
+            total: total.max(1),
+            used: Mutex::new(0),
+        }
+    }
+
+    fn lease(&self, want: usize) -> ThreadLease<'_> {
+        let mut used = self.used.lock().expect("thread budget poisoned");
+        let granted = want.max(1).min(self.total.saturating_sub(*used)).max(1);
+        *used += granted;
+        ThreadLease {
+            budget: self,
+            granted,
+        }
+    }
+}
+
+impl Drop for ThreadLease<'_> {
+    fn drop(&mut self) {
+        let mut used = self.budget.used.lock().expect("thread budget poisoned");
+        *used = used.saturating_sub(self.granted);
     }
 }
 
@@ -76,6 +132,8 @@ struct Inner {
     queue_cv: Condvar,
     metrics: Metrics,
     shutdown: AtomicBool,
+    budget: ThreadBudget,
+    pool: WorkerPool,
 }
 
 /// The tuning daemon. Cheap to clone (an `Arc` around the shared state);
@@ -106,6 +164,8 @@ impl Daemon {
             queue_cv: Condvar::new(),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            budget: ThreadBudget::new(config.eval_threads),
+            pool: WorkerPool::with_workers(config.dispatch.clone(), &config.eval_workers),
         });
         let daemon = Self {
             inner,
@@ -292,6 +352,15 @@ impl Daemon {
         &self.inner.metrics
     }
 
+    /// The remote-evaluator worker pool (for the `register` / `heartbeat`
+    /// / `workers` verbs and metrics reporting). Sweeps stale heartbeats
+    /// before returning so callers always see current health.
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        self.inner.pool.sweep_stale(&self.inner.metrics);
+        &self.inner.pool
+    }
+
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
@@ -364,6 +433,19 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         None => tuner.start(spec.ga.clone()),
     };
 
+    // Lease this job's slice of the shared local-eval thread budget
+    // (thread count affects wall-clock only, never results, so clamping
+    // is safe — and so is re-planning after a restore).
+    let lease = inner.budget.lease(state.config().threads);
+    state.set_threads(lease.granted);
+
+    // The remote tier: when the pool has workers, each generation's
+    // cache misses fan out over them; the tuner's own fitness path is
+    // the fallback for anything no live worker answers.
+    let remote = RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
+        tuner.fitness(&InlineParams::from_genes(genes))
+    });
+
     loop {
         if cancel.load(Ordering::SeqCst) {
             inner.run_dir.mark_canceled(id)?;
@@ -385,7 +467,13 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
 
         let evals_before = state.evaluations();
         let hits_before = state.cache_hits();
-        let done = tuner.step(&mut state);
+        // Checked every generation so workers registering mid-job start
+        // taking load at the next generation boundary.
+        let done = if inner.pool.is_empty() {
+            tuner.step(&mut state)
+        } else {
+            state.step_with(&remote)
+        };
         Metrics::bump(&inner.metrics.generations);
         Metrics::add(
             &inner.metrics.evaluations,
@@ -468,6 +556,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_budget_clamps_and_releases() {
+        let b = ThreadBudget::new(4);
+        let l1 = b.lease(3);
+        assert_eq!(l1.granted, 3);
+        let l2 = b.lease(3);
+        assert_eq!(l2.granted, 1, "clamped to the remaining budget");
+        let l3 = b.lease(5);
+        assert_eq!(l3.granted, 1, "an exhausted budget still grants one");
+        drop(l1);
+        let l4 = b.lease(5);
+        assert_eq!(l4.granted, 2, "released threads are reusable");
+        drop(l2);
+        drop(l3);
+        drop(l4);
+        assert_eq!(b.lease(99).granted, 4);
+    }
+
+    #[test]
     fn runs_a_job_to_completion() {
         let dir = tmp_dir("complete");
         let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
@@ -515,6 +621,7 @@ mod tests {
             DaemonConfig {
                 workers: 1,
                 queue_capacity: 8,
+                ..DaemonConfig::default()
             },
             RunDir::open(&dir).unwrap(),
         )
@@ -543,6 +650,7 @@ mod tests {
             DaemonConfig {
                 workers: 1,
                 queue_capacity: 1,
+                ..DaemonConfig::default()
             },
             RunDir::open(&dir).unwrap(),
         )

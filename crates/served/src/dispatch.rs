@@ -1,0 +1,774 @@
+//! The remote-evaluation dispatch layer: a [`WorkerPool`] of `evald`
+//! processes and a [`RemoteEvaluator`] that fans a GA generation's
+//! cache-miss evaluations out over them.
+//!
+//! The paper's GA spends essentially all of its time in fitness
+//! measurement (§4 — hours of repeated benchmark runs per tuning cell),
+//! so this is the tier that scales horizontally. Design constraints:
+//!
+//! * **Bit-identical to local.** Fitness is a pure function of the genome
+//!   and results merge into the GA memo table keyed by genome, so the
+//!   assignment of genomes to workers — and any amount of retrying,
+//!   failover or local fallback — cannot change the search trajectory.
+//! * **Production robustness.** Per-request timeouts, capped exponential
+//!   backoff on reconnects, eviction of workers that send garbage
+//!   (malformed / oversized frames) or keep failing health checks,
+//!   re-dispatch of work orphaned by a dead worker, and bounded
+//!   outstanding-requests-per-worker backpressure
+//!   ([`DispatchConfig::max_inflight`]).
+//! * **Graceful degradation.** Genomes no live worker could answer are
+//!   evaluated through the caller-supplied local fallback, so a job
+//!   finishes even if every worker dies mid-generation.
+//!
+//! The wire conversation with one worker (line-delimited JSON, the same
+//! framing as the `tuned` protocol):
+//!
+//! ```text
+//! → {"cmd":"task","job":{...JobSpec...}}       once per connection
+//! ← {"ok":true}
+//! → {"cmd":"eval","id":7,"genes":[23,7,5,...]}  pipelined, ≤ max_inflight
+//! ← {"ok":true,"id":7,"fitness":0.9482...}
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ga::{Evaluator, Genome};
+
+use crate::checkpoint::f64_from_json;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{read_frame, write_frame, Frame};
+
+/// Dispatcher tunables.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// How long to wait for one eval response before declaring a timeout
+    /// and re-dispatching the outstanding work.
+    pub request_timeout: Duration,
+    /// First retry backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Consecutive transient failures (connect errors, timeouts, dropped
+    /// connections) before a worker is evicted from the pool.
+    pub max_consecutive_failures: u32,
+    /// Maximum eval requests in flight on one worker connection — the
+    /// backpressure bound. Higher values pipeline better over slow links;
+    /// lower values spread a small generation more evenly.
+    pub max_inflight: usize,
+    /// A registered (heartbeating) worker whose last heartbeat is older
+    /// than this is considered gone and evicted. Statically configured
+    /// workers are exempt — they never heartbeat.
+    pub stale_after: Duration,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_consecutive_failures: 3,
+            max_inflight: 8,
+            stale_after: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-worker monotonic counters (mirrored into the daemon-wide
+/// [`Metrics`] aggregates as they are bumped).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Eval requests written to this worker (including re-sends).
+    pub dispatched: AtomicU64,
+    /// Eval responses successfully received.
+    pub completed: AtomicU64,
+    /// Requests returned to the queue after a failure on this worker.
+    pub retries: AtomicU64,
+    /// Response waits that hit the request timeout.
+    pub timeouts: AtomicU64,
+    /// Times this worker was evicted from the live set.
+    pub evictions: AtomicU64,
+    /// Accumulated dispatch-to-response latency, microseconds.
+    pub rtt_micros: AtomicU64,
+}
+
+/// One worker endpoint and its health.
+#[derive(Debug)]
+pub struct Worker {
+    /// The `host:port` the worker's eval server listens on.
+    pub addr: String,
+    /// Whether the worker announced itself via `register` (and is
+    /// therefore expected to heartbeat) or came from static config.
+    pub registered: bool,
+    /// Counters.
+    pub stats: WorkerStats,
+    alive: AtomicBool,
+    last_seen: Mutex<Instant>,
+}
+
+impl Worker {
+    fn new(addr: String, registered: bool) -> Self {
+        Self {
+            addr,
+            registered,
+            stats: WorkerStats::default(),
+            alive: AtomicBool::new(true),
+            last_seen: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Whether the worker is currently in the live set.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Records proof of life (heartbeat received, or a response arrived).
+    pub fn touch(&self) {
+        *self.last_seen.lock().expect("worker clock poisoned") = Instant::now();
+    }
+
+    fn seen_within(&self, window: Duration) -> bool {
+        self.last_seen
+            .lock()
+            .expect("worker clock poisoned")
+            .elapsed()
+            <= window
+    }
+
+    /// Removes the worker from the live set, bumping eviction counters
+    /// exactly once per transition.
+    pub fn evict(&self, metrics: &Metrics) {
+        if self.alive.swap(false, Ordering::SeqCst) {
+            Metrics::bump(&self.stats.evictions);
+            Metrics::bump(&metrics.remote_evictions);
+        }
+    }
+
+    fn revive(&self) {
+        self.touch();
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// A plain-data copy of the worker's state for the `metrics` verb.
+    #[must_use]
+    pub fn snapshot(&self) -> WorkerSnapshot {
+        let completed = self.stats.completed.load(Ordering::Relaxed);
+        let rtt = self.stats.rtt_micros.load(Ordering::Relaxed);
+        WorkerSnapshot {
+            addr: self.addr.clone(),
+            alive: self.is_alive(),
+            registered: self.registered,
+            dispatched: self.stats.dispatched.load(Ordering::Relaxed),
+            completed,
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            mean_rtt_ms: if completed > 0 {
+                rtt as f64 / completed as f64 / 1000.0
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSnapshot {
+    /// Worker address.
+    pub addr: String,
+    /// Whether the worker is in the live set.
+    pub alive: bool,
+    /// Self-registered (heartbeating) vs. statically configured.
+    pub registered: bool,
+    /// Requests written to the worker.
+    pub dispatched: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Requests re-dispatched after a failure here.
+    pub retries: u64,
+    /// Request-timeout events.
+    pub timeouts: u64,
+    /// Eviction events.
+    pub evictions: u64,
+    /// Mean dispatch-to-response latency, milliseconds.
+    pub mean_rtt_ms: f64,
+}
+
+/// The shared registry of evaluator workers: static config entries plus
+/// anything that `register`ed at runtime.
+pub struct WorkerPool {
+    config: DispatchConfig,
+    workers: Mutex<Vec<Arc<Worker>>>,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new(config: DispatchConfig) -> Self {
+        Self {
+            config,
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A pool pre-seeded with statically configured worker addresses.
+    #[must_use]
+    pub fn with_workers(config: DispatchConfig, addrs: &[String]) -> Self {
+        let pool = Self::new(config);
+        for a in addrs {
+            pool.add(a, false);
+        }
+        pool
+    }
+
+    /// The dispatch tunables.
+    #[must_use]
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// Adds (or revives) a worker. Returns `true` if the address was new.
+    pub fn add(&self, addr: &str, registered: bool) -> bool {
+        let mut workers = self.workers.lock().expect("worker pool poisoned");
+        if let Some(w) = workers.iter().find(|w| w.addr == addr) {
+            w.revive();
+            return false;
+        }
+        workers.push(Arc::new(Worker::new(addr.to_string(), registered)));
+        true
+    }
+
+    /// Handles a `register` announcement from a worker process.
+    pub fn register(&self, addr: &str) -> bool {
+        self.add(addr, true)
+    }
+
+    /// Handles a heartbeat: refreshes (auto-registering an address the
+    /// pool has never seen, e.g. after a daemon restart).
+    pub fn heartbeat(&self, addr: &str) {
+        self.add(addr, true);
+    }
+
+    /// Whether the pool has no workers at all (live or dead).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers
+            .lock()
+            .expect("worker pool poisoned")
+            .is_empty()
+    }
+
+    /// Every worker, in registration order.
+    #[must_use]
+    pub fn all(&self) -> Vec<Arc<Worker>> {
+        self.workers.lock().expect("worker pool poisoned").clone()
+    }
+
+    /// The live workers.
+    #[must_use]
+    pub fn live(&self) -> Vec<Arc<Worker>> {
+        self.all().into_iter().filter(|w| w.is_alive()).collect()
+    }
+
+    /// Point-in-time counters for every worker.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.all().iter().map(|w| w.snapshot()).collect()
+    }
+
+    /// Health check: evicts registered workers whose heartbeat went
+    /// stale. Static workers are exempt (they never heartbeat; request
+    /// failures evict them instead).
+    pub fn sweep_stale(&self, metrics: &Metrics) {
+        for w in self.all() {
+            if w.registered && w.is_alive() && !w.seen_within(self.config.stale_after) {
+                w.evict(metrics);
+            }
+        }
+    }
+
+    /// Health check: pings evicted workers and revives any that answer —
+    /// a worker that restarts on the same address rejoins the pool
+    /// without re-registering.
+    pub fn probe_dead(&self) {
+        for w in self.all() {
+            if !w.is_alive() && ping(&w.addr, &self.config) {
+                w.revive();
+            }
+        }
+    }
+}
+
+/// Resolves `host:port` to a socket address.
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))
+}
+
+/// A quick liveness probe: connect and exchange a `ping`.
+fn ping(addr: &str, cfg: &DispatchConfig) -> bool {
+    let Ok(sock) = resolve(addr) else {
+        return false;
+    };
+    let Ok(stream) = TcpStream::connect_timeout(&sock, cfg.connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(cfg.connect_timeout));
+    let mut writer = BufWriter::new(&stream);
+    if write_frame(
+        &mut writer,
+        &Json::obj(vec![("cmd", Json::Str("ping".into()))]),
+    )
+    .is_err()
+    {
+        return false;
+    }
+    drop(writer);
+    let mut reader = BufReader::new(&stream);
+    match read_frame(&mut reader) {
+        Frame::Line(line) => {
+            crate::json::parse(&line)
+                .ok()
+                .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                == Some(true)
+        }
+        _ => false,
+    }
+}
+
+/// What one attempt to read an eval response produced.
+enum Recv {
+    /// `(request id, fitness)`.
+    Ok(usize, f64),
+    /// The read timed out; outstanding work should be re-dispatched.
+    Timeout,
+    /// The connection died (EOF or I/O error) — worker crash or restart.
+    Closed,
+    /// The worker sent garbage (malformed JSON, an oversized frame, an
+    /// error envelope, an unknown id): grounds for immediate eviction.
+    Violation,
+}
+
+/// One pipelined connection to a worker's eval server.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    /// Connects and performs the `task` handshake.
+    fn open(addr: &str, task: &Json, cfg: &DispatchConfig) -> Result<Self, String> {
+        let sock = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&sock, cfg.connect_timeout)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(cfg.request_timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut conn = Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        };
+        let hello = Json::obj(vec![
+            ("cmd", Json::Str("task".into())),
+            ("job", task.clone()),
+        ]);
+        write_frame(&mut conn.writer, &hello).map_err(|e| format!("task send: {e}"))?;
+        match read_frame(&mut conn.reader) {
+            Frame::Line(line) => {
+                let ok = crate::json::parse(&line)
+                    .ok()
+                    .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                    == Some(true);
+                if ok {
+                    Ok(conn)
+                } else {
+                    Err("task handshake rejected".into())
+                }
+            }
+            Frame::Eof => Err("connection closed during handshake".into()),
+            Frame::Oversized => Err("oversized handshake response".into()),
+            Frame::Err(e) => Err(format!("handshake read: {e}")),
+        }
+    }
+
+    /// Writes one eval request (flushes immediately — requests are tiny).
+    fn send_eval(&mut self, id: usize, genes: &[i64]) -> std::io::Result<()> {
+        let req = Json::obj(vec![
+            ("cmd", Json::Str("eval".into())),
+            ("id", Json::Int(id as i64)),
+            (
+                "genes",
+                Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+            ),
+        ]);
+        let mut text = req.to_text();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads one eval response.
+    fn recv(&mut self) -> Recv {
+        match read_frame(&mut self.reader) {
+            Frame::Line(line) => {
+                let Ok(v) = crate::json::parse(&line) else {
+                    return Recv::Violation;
+                };
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Recv::Violation;
+                }
+                match (
+                    v.get("id").and_then(Json::as_usize),
+                    v.get("fitness").and_then(f64_from_json),
+                ) {
+                    (Some(id), Some(fitness)) => Recv::Ok(id, fitness),
+                    _ => Recv::Violation,
+                }
+            }
+            Frame::Eof => Recv::Closed,
+            Frame::Oversized => Recv::Violation,
+            Frame::Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Recv::Timeout
+            }
+            Frame::Err(_) => Recv::Closed,
+        }
+    }
+}
+
+/// The shared state of one in-flight generation batch.
+struct Batch<'g> {
+    genomes: &'g [Genome],
+    /// Indices awaiting dispatch (re-dispatched work returns here).
+    queue: Mutex<VecDeque<usize>>,
+    /// `results[i]` is the fitness of `genomes[i]` once known.
+    results: Mutex<Vec<Option<f64>>>,
+    /// Unresolved genome count; worker threads exit when it hits zero.
+    remaining: AtomicUsize,
+}
+
+/// A [`ga::Evaluator`] that fans batches out over a [`WorkerPool`],
+/// falling back to a local fitness function for anything the pool could
+/// not answer.
+pub struct RemoteEvaluator<'a> {
+    pool: &'a WorkerPool,
+    task: Json,
+    metrics: &'a Metrics,
+    fallback: Box<dyn Fn(&[i64]) -> f64 + Sync + 'a>,
+}
+
+impl<'a> RemoteEvaluator<'a> {
+    /// Builds an evaluator for one job. `task` is the job-spec JSON sent
+    /// to each worker in the per-connection `task` handshake; `fallback`
+    /// is the local fitness path (must compute the same pure function the
+    /// workers do).
+    pub fn new(
+        pool: &'a WorkerPool,
+        task: Json,
+        metrics: &'a Metrics,
+        fallback: impl Fn(&[i64]) -> f64 + Sync + 'a,
+    ) -> Self {
+        Self {
+            pool,
+            task,
+            metrics,
+            fallback: Box::new(fallback),
+        }
+    }
+}
+
+impl Evaluator for RemoteEvaluator<'_> {
+    fn evaluate(&self, genomes: &[Genome]) -> Vec<f64> {
+        if genomes.is_empty() {
+            return Vec::new();
+        }
+        self.pool.sweep_stale(self.metrics);
+        self.pool.probe_dead();
+        let workers = self.pool.live();
+        let batch = Batch {
+            genomes,
+            queue: Mutex::new((0..genomes.len()).collect()),
+            results: Mutex::new(vec![None; genomes.len()]),
+            remaining: AtomicUsize::new(genomes.len()),
+        };
+        if !workers.is_empty() {
+            std::thread::scope(|scope| {
+                for w in &workers {
+                    let batch = &batch;
+                    scope.spawn(move || {
+                        drive_worker(w, batch, &self.task, self.pool.config(), self.metrics);
+                    });
+                }
+            });
+        }
+        let results = batch.results.into_inner().expect("batch results poisoned");
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    Metrics::bump(&self.metrics.remote_fallback_evals);
+                    (self.fallback)(&genomes[i])
+                })
+            })
+            .collect()
+    }
+}
+
+/// Returns claimed-but-unresolved indices to the queue and counts them as
+/// retries against this worker.
+fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics) {
+    if idxs.is_empty() {
+        return;
+    }
+    Metrics::add(&worker.stats.retries, idxs.len() as u64);
+    Metrics::add(&metrics.remote_retries, idxs.len() as u64);
+    let mut q = batch.queue.lock().expect("batch queue poisoned");
+    for &i in idxs {
+        q.push_back(i);
+    }
+}
+
+/// One worker's dispatch loop for one batch: claim up to `max_inflight`
+/// genomes, pipeline them over the connection, collect responses; on
+/// transient failure back off (exponentially, capped) and re-dispatch; on
+/// protocol violation or repeated failure, evict and exit. Every exit
+/// path returns outstanding work to the queue first.
+fn drive_worker(
+    worker: &Worker,
+    batch: &Batch,
+    task: &Json,
+    cfg: &DispatchConfig,
+    metrics: &Metrics,
+) {
+    let mut conn: Option<Conn> = None;
+    let mut consecutive: u32 = 0;
+    let mut backoff = cfg.backoff_base;
+    loop {
+        if batch.remaining.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Claim up to max_inflight indices (the backpressure bound).
+        let claimed: Vec<usize> = {
+            let mut q = batch.queue.lock().expect("batch queue poisoned");
+            let take = cfg.max_inflight.min(q.len());
+            q.drain(..take).collect()
+        };
+        if claimed.is_empty() {
+            // Everything is in flight on other workers; wait for either
+            // completion or a timeout re-dispatch.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+
+        // Transient-failure bookkeeping, shared by every retry path.
+        let mut transient = |conn: &mut Option<Conn>, pending: &[usize]| -> bool {
+            *conn = None;
+            requeue(batch, pending, worker, metrics);
+            consecutive += 1;
+            if consecutive >= cfg.max_consecutive_failures {
+                worker.evict(metrics);
+                return true; // exit the loop
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.backoff_cap);
+            false
+        };
+
+        // Ensure a connection (with the task handshake done).
+        if conn.is_none() {
+            match Conn::open(&worker.addr, task, cfg) {
+                Ok(c) => conn = Some(c),
+                Err(_) => {
+                    if transient(&mut conn, &claimed) {
+                        return;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // Pipeline the claimed requests.
+        let started = Instant::now();
+        let mut send_failed = false;
+        for &i in &claimed {
+            Metrics::bump(&worker.stats.dispatched);
+            Metrics::bump(&metrics.remote_dispatched);
+            if conn
+                .as_mut()
+                .expect("connection exists")
+                .send_eval(i, &batch.genomes[i])
+                .is_err()
+            {
+                send_failed = true;
+                break;
+            }
+        }
+        if send_failed {
+            if transient(&mut conn, &claimed) {
+                return;
+            }
+            continue;
+        }
+
+        // Collect the responses.
+        let mut pending = claimed;
+        while !pending.is_empty() {
+            match conn.as_mut().expect("connection exists").recv() {
+                Recv::Ok(id, fitness) => {
+                    let Some(pos) = pending.iter().position(|&i| i == id) else {
+                        // An id we never sent: protocol violation.
+                        worker.evict(metrics);
+                        requeue(batch, &pending, worker, metrics);
+                        return;
+                    };
+                    pending.swap_remove(pos);
+                    batch.results.lock().expect("batch results poisoned")[id] = Some(fitness);
+                    batch.remaining.fetch_sub(1, Ordering::SeqCst);
+                    Metrics::bump(&worker.stats.completed);
+                    Metrics::bump(&metrics.remote_completed);
+                    Metrics::add(
+                        &worker.stats.rtt_micros,
+                        started.elapsed().as_micros() as u64,
+                    );
+                    worker.touch();
+                }
+                Recv::Timeout => {
+                    Metrics::bump(&worker.stats.timeouts);
+                    Metrics::bump(&metrics.remote_timeouts);
+                    if transient(&mut conn, &pending) {
+                        return;
+                    }
+                    pending.clear();
+                }
+                Recv::Closed => {
+                    if transient(&mut conn, &pending) {
+                        return;
+                    }
+                    pending.clear();
+                }
+                Recv::Violation => {
+                    worker.evict(metrics);
+                    requeue(batch, &pending, worker, metrics);
+                    return;
+                }
+            }
+        }
+        if conn.is_some() {
+            // The whole claimed set succeeded: reset the failure window.
+            consecutive = 0;
+            backoff = cfg.backoff_base;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> DispatchConfig {
+        DispatchConfig {
+            connect_timeout: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(300),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            stale_after: Duration::from_millis(100),
+            ..DispatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn pool_add_register_heartbeat() {
+        let pool = WorkerPool::new(fast_cfg());
+        assert!(pool.is_empty());
+        assert!(pool.register("127.0.0.1:9"));
+        assert!(!pool.register("127.0.0.1:9"), "re-register is a refresh");
+        pool.heartbeat("127.0.0.1:10");
+        assert_eq!(pool.all().len(), 2);
+        assert_eq!(pool.live().len(), 2);
+        assert!(pool.all().iter().all(|w| w.registered));
+    }
+
+    #[test]
+    fn static_workers_are_not_swept() {
+        let metrics = Metrics::new();
+        let pool = WorkerPool::with_workers(fast_cfg(), &["127.0.0.1:9".into()]);
+        std::thread::sleep(Duration::from_millis(150));
+        pool.sweep_stale(&metrics);
+        assert_eq!(pool.live().len(), 1);
+    }
+
+    #[test]
+    fn stale_registered_worker_is_evicted_and_heartbeat_revives() {
+        let metrics = Metrics::new();
+        let pool = WorkerPool::new(fast_cfg());
+        pool.register("127.0.0.1:9");
+        std::thread::sleep(Duration::from_millis(150));
+        pool.sweep_stale(&metrics);
+        assert!(pool.live().is_empty());
+        assert_eq!(metrics.remote_evictions.load(Ordering::Relaxed), 1);
+        pool.heartbeat("127.0.0.1:9");
+        assert_eq!(pool.live().len(), 1);
+        assert_eq!(pool.all().len(), 1, "revival must not duplicate");
+    }
+
+    #[test]
+    fn eviction_counts_once_per_transition() {
+        let metrics = Metrics::new();
+        let w = Worker::new("x:1".into(), false);
+        w.evict(&metrics);
+        w.evict(&metrics);
+        assert_eq!(w.stats.evictions.load(Ordering::Relaxed), 1);
+        assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn worker_snapshot_derives_mean_rtt() {
+        let w = Worker::new("x:1".into(), true);
+        Metrics::add(&w.stats.completed, 4);
+        Metrics::add(&w.stats.rtt_micros, 8000);
+        let s = w.snapshot();
+        assert_eq!(s.addr, "x:1");
+        assert!(s.registered);
+        assert!((s.mean_rtt_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_pool_falls_back_to_local() {
+        let metrics = Metrics::new();
+        // A port nothing listens on: connect fails fast, worker evicts,
+        // and every genome lands on the fallback path.
+        let pool = WorkerPool::with_workers(fast_cfg(), &["127.0.0.1:1".into()]);
+        let eval = RemoteEvaluator::new(&pool, Json::Null, &metrics, |g| g[0] as f64 * 2.0);
+        let scores = eval.evaluate(&[vec![3], vec![5]]);
+        assert_eq!(scores, vec![6.0, 10.0]);
+        assert_eq!(metrics.remote_fallback_evals.load(Ordering::Relaxed), 2);
+        assert!(metrics.remote_evictions.load(Ordering::Relaxed) >= 1);
+        assert!(pool.live().is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let metrics = Metrics::new();
+        let pool = WorkerPool::new(fast_cfg());
+        let eval = RemoteEvaluator::new(&pool, Json::Null, &metrics, |_| 0.0);
+        assert!(eval.evaluate(&[]).is_empty());
+    }
+}

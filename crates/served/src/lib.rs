@@ -14,7 +14,13 @@
 //!   that resumes incomplete jobs bit-identically after a `SIGKILL`;
 //! * [`server`] / [`client`] / [`proto`] — a line-delimited JSON protocol
 //!   over TCP (`submit`, `status`, `list`, `cancel`, `metrics`, `watch`,
-//!   `shutdown`) with defensive framing;
+//!   `shutdown`, plus `register` / `heartbeat` / `workers` for the
+//!   remote-evaluator tier) with defensive framing;
+//! * [`dispatch`] — the distributed-evaluation tier: a [`WorkerPool`] of
+//!   `evald` processes and a [`RemoteEvaluator`] (a `ga::Evaluator`) that
+//!   fans generation batches out with timeouts, capped-exponential-backoff
+//!   retries, eviction of misbehaving workers, re-dispatch of orphaned
+//!   work, and a local fallback — bit-identical to in-process runs;
 //! * [`metrics`] — live counters: jobs by state, fitness evaluations,
 //!   memo-table hit rate, generations per second;
 //! * [`json`] — the hand-rolled JSON layer (the workspace builds with no
@@ -25,6 +31,7 @@
 pub mod checkpoint;
 pub mod client;
 pub mod daemon;
+pub mod dispatch;
 pub mod job;
 pub mod json;
 pub mod metrics;
@@ -34,6 +41,7 @@ pub mod server;
 pub use checkpoint::RunDir;
 pub use client::Client;
 pub use daemon::{Daemon, DaemonConfig, JobRecord};
+pub use dispatch::{DispatchConfig, RemoteEvaluator, Worker, WorkerPool, WorkerSnapshot};
 pub use job::{JobSpec, JobState};
 pub use metrics::{JobGauges, Metrics, MetricsSnapshot};
 pub use server::Server;

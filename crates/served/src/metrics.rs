@@ -29,6 +29,20 @@ pub struct Metrics {
     pub connections: AtomicU64,
     /// Malformed / oversized / unparseable frames answered with an error.
     pub protocol_errors: AtomicU64,
+    /// Eval requests written to remote workers (including re-sends).
+    pub remote_dispatched: AtomicU64,
+    /// Eval responses received from remote workers.
+    pub remote_completed: AtomicU64,
+    /// Eval requests re-dispatched after a worker failure.
+    pub remote_retries: AtomicU64,
+    /// Eval response waits that hit the request timeout.
+    pub remote_timeouts: AtomicU64,
+    /// Workers evicted from the pool (stale heartbeat, repeated failures,
+    /// or protocol violations).
+    pub remote_evictions: AtomicU64,
+    /// Evaluations that fell back to the local path because no live
+    /// worker answered.
+    pub remote_fallback_evals: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -51,6 +65,12 @@ impl Metrics {
             checkpoints_written: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            remote_dispatched: AtomicU64::new(0),
+            remote_completed: AtomicU64::new(0),
+            remote_retries: AtomicU64::new(0),
+            remote_timeouts: AtomicU64::new(0),
+            remote_evictions: AtomicU64::new(0),
+            remote_fallback_evals: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +114,12 @@ impl Metrics {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            remote_dispatched: self.remote_dispatched.load(Ordering::Relaxed),
+            remote_completed: self.remote_completed.load(Ordering::Relaxed),
+            remote_retries: self.remote_retries.load(Ordering::Relaxed),
+            remote_timeouts: self.remote_timeouts.load(Ordering::Relaxed),
+            remote_evictions: self.remote_evictions.load(Ordering::Relaxed),
+            remote_fallback_evals: self.remote_fallback_evals.load(Ordering::Relaxed),
         }
     }
 }
@@ -140,6 +166,18 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Frames answered with a protocol error.
     pub protocol_errors: u64,
+    /// Eval requests written to remote workers.
+    pub remote_dispatched: u64,
+    /// Eval responses received from remote workers.
+    pub remote_completed: u64,
+    /// Eval requests re-dispatched after worker failures.
+    pub remote_retries: u64,
+    /// Eval response timeouts.
+    pub remote_timeouts: u64,
+    /// Worker evictions.
+    pub remote_evictions: u64,
+    /// Evaluations answered by the local fallback path.
+    pub remote_fallback_evals: u64,
 }
 
 #[cfg(test)]

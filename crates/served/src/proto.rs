@@ -13,6 +13,7 @@ use inliner::InlineParams;
 
 use crate::checkpoint::f64_to_json;
 use crate::daemon::JobRecord;
+use crate::dispatch::WorkerSnapshot;
 use crate::json::{parse, Json};
 use crate::metrics::MetricsSnapshot;
 
@@ -194,6 +195,33 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ),
         ("connections", Json::Int(m.connections as i64)),
         ("protocol_errors", Json::Int(m.protocol_errors as i64)),
+        (
+            "remote",
+            Json::obj(vec![
+                ("dispatched", Json::Int(m.remote_dispatched as i64)),
+                ("completed", Json::Int(m.remote_completed as i64)),
+                ("retries", Json::Int(m.remote_retries as i64)),
+                ("timeouts", Json::Int(m.remote_timeouts as i64)),
+                ("evictions", Json::Int(m.remote_evictions as i64)),
+                ("fallback_evals", Json::Int(m.remote_fallback_evals as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// Serializes one worker's counters for the `metrics` / `workers` verbs.
+#[must_use]
+pub fn worker_to_json(w: &WorkerSnapshot) -> Json {
+    Json::obj(vec![
+        ("addr", Json::Str(w.addr.clone())),
+        ("alive", Json::Bool(w.alive)),
+        ("registered", Json::Bool(w.registered)),
+        ("dispatched", Json::Int(w.dispatched as i64)),
+        ("completed", Json::Int(w.completed as i64)),
+        ("retries", Json::Int(w.retries as i64)),
+        ("timeouts", Json::Int(w.timeouts as i64)),
+        ("evictions", Json::Int(w.evictions as i64)),
+        ("mean_rtt_ms", f64_to_json(w.mean_rtt_ms)),
     ])
 }
 

@@ -17,7 +17,8 @@ use crate::job::JobSpec;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{
-    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, write_frame, Frame,
+    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, worker_to_json,
+    write_frame, Frame,
 };
 
 /// How long a connection may sit idle (mid-read) before it is dropped.
@@ -176,9 +177,49 @@ fn dispatch(
             Ok(was) => ok_with(vec![("was", Json::Str(was.name().into()))]),
             Err(e) => err(e),
         }),
-        "metrics" => Some(ok_with(vec![(
-            "metrics",
-            metrics_to_json(&daemon.metrics_snapshot()),
+        "metrics" => {
+            // Per-worker counters ride inside the metrics object so every
+            // consumer of `client.metrics()` sees them.
+            let mut m = metrics_to_json(&daemon.metrics_snapshot());
+            if let Json::Obj(pairs) = &mut m {
+                pairs.push((
+                    "workers".into(),
+                    Json::Arr(
+                        daemon
+                            .pool()
+                            .snapshots()
+                            .iter()
+                            .map(worker_to_json)
+                            .collect(),
+                    ),
+                ));
+            }
+            Some(ok_with(vec![("metrics", m)]))
+        }
+        "register" => Some(match worker_addr(body) {
+            Err(e) => err(e),
+            Ok(addr) => {
+                let new = daemon.pool().register(&addr);
+                ok_with(vec![("new", Json::Bool(new))])
+            }
+        }),
+        "heartbeat" => Some(match worker_addr(body) {
+            Err(e) => err(e),
+            Ok(addr) => {
+                daemon.pool().heartbeat(&addr);
+                ok_with(vec![])
+            }
+        }),
+        "workers" => Some(ok_with(vec![(
+            "workers",
+            Json::Arr(
+                daemon
+                    .pool()
+                    .snapshots()
+                    .iter()
+                    .map(worker_to_json)
+                    .collect(),
+            ),
         )])),
         "watch" => watch(body, daemon, writer, stop),
         "shutdown" => {
@@ -217,7 +258,26 @@ fn watch(
         let key = (r.state.name().to_string(), r.generation);
         if last.as_ref() != Some(&key) {
             last = Some(key);
-            if write_frame(writer, &ok_with(vec![("job", record_to_json(&r))])).is_err() {
+            let mut fields = vec![("job", record_to_json(&r))];
+            // During a distributed run, surface the remote dispatch
+            // counters alongside each progress frame.
+            if !daemon.pool().is_empty() {
+                let m = daemon.metrics();
+                let load =
+                    |c: &std::sync::atomic::AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+                fields.push((
+                    "remote",
+                    Json::obj(vec![
+                        ("dispatched", load(&m.remote_dispatched)),
+                        ("completed", load(&m.remote_completed)),
+                        ("retries", load(&m.remote_retries)),
+                        ("timeouts", load(&m.remote_timeouts)),
+                        ("evictions", load(&m.remote_evictions)),
+                        ("fallback_evals", load(&m.remote_fallback_evals)),
+                    ]),
+                ));
+            }
+            if write_frame(writer, &ok_with(fields)).is_err() {
                 return None;
             }
         }
@@ -232,4 +292,16 @@ fn job_id(body: &Json) -> Result<u64, String> {
     body.get("id")
         .and_then(Json::as_u64)
         .ok_or_else(|| "request needs a numeric 'id'".to_string())
+}
+
+/// Extracts the `host:port` a worker announces itself under.
+fn worker_addr(body: &Json) -> Result<String, String> {
+    let addr = body
+        .get("addr")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string 'addr'")?;
+    if addr.is_empty() || !addr.contains(':') {
+        return Err(format!("'{addr}' is not a host:port address"));
+    }
+    Ok(addr.to_string())
 }

@@ -1,0 +1,286 @@
+//! Fault-injection tests for the remote dispatch layer, using in-test
+//! fake workers: an honest one that computes real fitness, plus workers
+//! that reply with garbage, oversized frames, or nothing at all.
+//!
+//! The standing invariant under test: no matter how workers misbehave,
+//! a generation completes and the run is **bit-identical** to the same
+//! seed evaluated locally — fitness is pure and the memo merge is keyed
+//! by genome, so delivery faults can only cost time, never correctness.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ga::GaConfig;
+use jit::Scenario;
+use served::checkpoint::f64_to_json;
+use served::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
+use served::json::Json;
+use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
+use served::{JobSpec, Metrics};
+use tuner::{Goal, Tuner};
+
+fn tiny_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into()],
+        ga: GaConfig {
+            pop_size: 6,
+            generations: 3,
+            threads: 1,
+            seed,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+    }
+}
+
+fn fast_cfg() -> DispatchConfig {
+    DispatchConfig {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(400),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        ..DispatchConfig::default()
+    }
+}
+
+/// How a fake worker treats `eval` requests.
+#[derive(Clone, Copy, PartialEq)]
+enum Behavior {
+    /// Computes real fitness through a [`Tuner`].
+    Honest,
+    /// Replies with a line that is not JSON.
+    Malformed,
+    /// Replies with a line longer than the 1 MiB frame cap.
+    Oversized,
+    /// Reads requests and never replies.
+    Silent,
+}
+
+/// Starts a fake worker; returns its address and a stop flag.
+fn fake_worker(behavior: Behavior, spec: &JobSpec) -> (SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake worker");
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let tuner = (behavior == Behavior::Honest).then(|| {
+        Tuner::new(
+            spec.task().unwrap(),
+            spec.training().unwrap(),
+            spec.adapt_cfg(),
+        )
+    });
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).unwrap();
+        while !flag.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => handle_conn(stream, behavior, tuner.as_ref(), &flag),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    (addr, stop)
+}
+
+fn handle_conn(stream: TcpStream, behavior: Behavior, tuner: Option<&Tuner>, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match read_frame(&mut reader) {
+            Frame::Line(line) => line,
+            Frame::Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle poll so the stop flag stays live
+            }
+            _ => return,
+        };
+        let Ok((cmd, body)) = parse_request(&line) else {
+            return;
+        };
+        let ok = match cmd.as_str() {
+            "task" | "ping" => write_frame(&mut writer, &ok_with(vec![])).is_ok(),
+            "eval" => match behavior {
+                Behavior::Honest => {
+                    let id = body.get("id").and_then(Json::as_i64).unwrap();
+                    let genes: Vec<i64> = body
+                        .get("genes")
+                        .and_then(Json::as_arr)
+                        .unwrap()
+                        .iter()
+                        .map(|g| g.as_i64().unwrap())
+                        .collect();
+                    let fitness = tuner
+                        .expect("honest worker has a tuner")
+                        .fitness(&inliner::InlineParams::from_genes(&genes));
+                    write_frame(
+                        &mut writer,
+                        &ok_with(vec![
+                            ("id", Json::Int(id)),
+                            ("fitness", f64_to_json(fitness)),
+                        ]),
+                    )
+                    .is_ok()
+                }
+                Behavior::Malformed => {
+                    writer.write_all(b"%%% not json %%%\n").is_ok() && writer.flush().is_ok()
+                }
+                Behavior::Oversized => {
+                    let mut big = vec![b'x'; 2 << 20];
+                    big.push(b'\n');
+                    writer.write_all(&big).is_ok() && writer.flush().is_ok()
+                }
+                Behavior::Silent => true, // say nothing, keep the socket open
+            },
+            _ => write_frame(&mut writer, &err("unexpected verb")).is_ok(),
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// Runs a full GA search through a [`RemoteEvaluator`] over `pool`.
+fn run_distributed(spec: &JobSpec, pool: &WorkerPool, metrics: &Metrics) -> (Vec<i64>, f64) {
+    let tuner = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    );
+    let remote = RemoteEvaluator::new(pool, spec.to_json(), metrics, |genes| {
+        tuner.fitness(&inliner::InlineParams::from_genes(genes))
+    });
+    let mut state = tuner.start(spec.ga.clone());
+    while !state.step_with(&remote) {}
+    let outcome = tuner.outcome(&state);
+    (outcome.params.to_genes(), outcome.fitness)
+}
+
+/// The same search, entirely local.
+fn run_local(spec: &JobSpec) -> (Vec<i64>, f64) {
+    let tuner = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    );
+    let outcome = tuner.tune(spec.ga.clone());
+    (outcome.params.to_genes(), outcome.fitness)
+}
+
+#[test]
+fn distributed_run_is_bit_identical_to_local() {
+    let spec = tiny_spec(1701);
+    let (w1, s1) = fake_worker(Behavior::Honest, &spec);
+    let (w2, s2) = fake_worker(Behavior::Honest, &spec);
+    let pool = WorkerPool::with_workers(fast_cfg(), &[w1.to_string(), w2.to_string()]);
+    let metrics = Metrics::new();
+
+    let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
+    let (local_genes, local_fitness) = run_local(&spec);
+    assert_eq!(genes, local_genes);
+    assert_eq!(fitness.to_bits(), local_fitness.to_bits());
+    assert!(
+        metrics.remote_completed.load(Ordering::Relaxed) > 0,
+        "evaluations must actually have gone over the wire"
+    );
+    assert_eq!(
+        metrics.remote_fallback_evals.load(Ordering::Relaxed),
+        0,
+        "healthy workers should answer everything"
+    );
+    s1.store(true, Ordering::SeqCst);
+    s2.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn malformed_responses_evict_the_worker_without_wedging_the_run() {
+    let spec = tiny_spec(42);
+    let (bad, sb) = fake_worker(Behavior::Malformed, &spec);
+    let (good, sg) = fake_worker(Behavior::Honest, &spec);
+    let pool = WorkerPool::with_workers(fast_cfg(), &[bad.to_string(), good.to_string()]);
+    let metrics = Metrics::new();
+
+    let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
+    let (local_genes, local_fitness) = run_local(&spec);
+    assert_eq!(genes, local_genes);
+    assert_eq!(fitness.to_bits(), local_fitness.to_bits());
+    assert!(
+        metrics.remote_evictions.load(Ordering::Relaxed) >= 1,
+        "garbage must get the worker evicted"
+    );
+    sb.store(true, Ordering::SeqCst);
+    sg.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn oversized_responses_evict_the_worker_without_wedging_the_run() {
+    let spec = tiny_spec(43);
+    let (bad, sb) = fake_worker(Behavior::Oversized, &spec);
+    let (good, sg) = fake_worker(Behavior::Honest, &spec);
+    let pool = WorkerPool::with_workers(fast_cfg(), &[bad.to_string(), good.to_string()]);
+    let metrics = Metrics::new();
+
+    let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
+    let (local_genes, local_fitness) = run_local(&spec);
+    assert_eq!(genes, local_genes);
+    assert_eq!(fitness.to_bits(), local_fitness.to_bits());
+    assert!(metrics.remote_evictions.load(Ordering::Relaxed) >= 1);
+    sb.store(true, Ordering::SeqCst);
+    sg.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn silent_worker_times_out_and_work_is_redispatched() {
+    let spec = tiny_spec(44);
+    let (mute, sm) = fake_worker(Behavior::Silent, &spec);
+    let (good, sg) = fake_worker(Behavior::Honest, &spec);
+    let pool = WorkerPool::with_workers(fast_cfg(), &[mute.to_string(), good.to_string()]);
+    let metrics = Metrics::new();
+
+    let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
+    let (local_genes, local_fitness) = run_local(&spec);
+    assert_eq!(genes, local_genes);
+    assert_eq!(fitness.to_bits(), local_fitness.to_bits());
+    assert!(
+        metrics.remote_timeouts.load(Ordering::Relaxed) >= 1,
+        "the silent worker must have timed out at least once"
+    );
+    assert!(
+        metrics.remote_retries.load(Ordering::Relaxed) >= 1,
+        "timed-out work must have been re-dispatched"
+    );
+    sm.store(true, Ordering::SeqCst);
+    sg.store(true, Ordering::SeqCst);
+}
+
+#[test]
+fn dead_pool_falls_back_to_local_and_still_matches() {
+    let spec = tiny_spec(45);
+    // Nothing listens here: every connect fails, the worker is evicted,
+    // and the whole generation lands on the fallback path.
+    let pool = WorkerPool::with_workers(fast_cfg(), &["127.0.0.1:1".to_string()]);
+    let metrics = Metrics::new();
+
+    let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
+    let (local_genes, local_fitness) = run_local(&spec);
+    assert_eq!(genes, local_genes);
+    assert_eq!(fitness.to_bits(), local_fitness.to_bits());
+    assert!(metrics.remote_fallback_evals.load(Ordering::Relaxed) > 0);
+}

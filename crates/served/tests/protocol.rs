@@ -31,6 +31,7 @@ impl TestServer {
             DaemonConfig {
                 workers,
                 queue_capacity: 16,
+                ..DaemonConfig::default()
             },
             RunDir::open(&dir).unwrap(),
         )

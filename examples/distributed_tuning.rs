@@ -1,0 +1,113 @@
+//! Distributed fitness evaluation, wired up in one process: two `evald`
+//! eval servers on background threads, a worker pool dispatching to
+//! them, and a GA search whose cache-miss evaluations go over TCP —
+//! then the proof that distribution changed nothing: the tuned
+//! parameters are bit-identical to a plain local run of the same seed.
+//!
+//! ```sh
+//! cargo run --release --example distributed_tuning
+//! ```
+//!
+//! The same topology runs across machines with the real binaries:
+//! `evald --addr HOST:PORT` per worker, then
+//! `tuned serve --worker HOST:PORT --worker HOST:PORT ...`.
+
+use std::sync::atomic::Ordering;
+
+use inlinetune::evald::{Chaos, EvalWorker};
+use inlinetune::prelude::*;
+use inlinetune::served::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
+use inlinetune::served::job::JobSpec;
+use inlinetune::served::Metrics;
+use inlinetune::{ga, jit, tuner};
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        name: "Opt:Tot".into(),
+        scenario: jit::Scenario::Opt,
+        goal: tuner::Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into(), "compress".into()],
+        ga: ga::GaConfig {
+            pop_size: 12,
+            generations: 6,
+            threads: 1,
+            seed,
+            stagnation_limit: None,
+            ..ga::GaConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let spec = spec(2005);
+
+    // Two eval workers, each on an OS-assigned port. In production these
+    // are separate `evald` processes on separate machines; the protocol
+    // is the same either way.
+    let mut addrs = Vec::new();
+    let mut stops = Vec::new();
+    for _ in 0..2 {
+        let worker = EvalWorker::bind("127.0.0.1:0", Chaos::inert()).expect("bind worker");
+        addrs.push(worker.local_addr().to_string());
+        stops.push(worker.stop_flag());
+        std::thread::spawn(move || worker.serve().expect("serve"));
+    }
+    println!("workers: {addrs:?}");
+
+    // The dispatch side: a pool over those addresses and a remote
+    // evaluator for this job. The fallback closure is the local fitness
+    // path — used only if every worker dies.
+    let pool = WorkerPool::with_workers(DispatchConfig::default(), &addrs);
+    let metrics = Metrics::new();
+    let tuning = Tuner::new(
+        spec.task().expect("task"),
+        spec.training().expect("training suite"),
+        spec.adapt_cfg(),
+    );
+    let remote = RemoteEvaluator::new(&pool, spec.to_json(), &metrics, |genes| {
+        tuning.fitness(&InlineParams::from_genes(genes))
+    });
+
+    // Drive the search one generation at a time through the remote
+    // evaluator. Only memo-table misses travel over the wire.
+    let mut state = tuning.start(spec.ga.clone());
+    while !state.step_with(&remote) {
+        let best = state.best().map_or(f64::INFINITY, |(_, f)| f);
+        println!(
+            "generation {:>2}: best fitness {best:.4}  (remote evals so far: {})",
+            state.generation(),
+            metrics.remote_completed.load(Ordering::Relaxed),
+        );
+    }
+    let distributed = tuning.outcome(&state);
+
+    // The invariant that makes all the retry/failover machinery safe:
+    // fitness is a pure function of the genome, so the distributed
+    // search equals the local search bit-for-bit.
+    let local = tuning.tune(spec.ga.clone());
+    assert_eq!(
+        distributed.params, local.params,
+        "distribution must not change the result"
+    );
+    assert_eq!(distributed.fitness.to_bits(), local.fitness.to_bits());
+
+    println!(
+        "\ntuned params (distributed == local): {:?}",
+        distributed.params
+    );
+    println!(
+        "fitness {:.4} vs default heuristic (lower is better)",
+        distributed.fitness
+    );
+    for w in pool.snapshots() {
+        println!(
+            "worker {}: {} dispatched, {} completed, mean rtt {:.2} ms",
+            w.addr, w.dispatched, w.completed, w.mean_rtt_ms
+        );
+    }
+
+    for stop in stops {
+        stop.store(true, Ordering::SeqCst);
+    }
+}

@@ -43,6 +43,7 @@ fn main() {
         DaemonConfig {
             workers: 2,
             queue_capacity: 8,
+            ..DaemonConfig::default()
         },
         RunDir::open(&dir).expect("run dir"),
     )

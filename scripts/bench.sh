@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Benchmarks distributed fitness evaluation: the same tuning job is run
+# twice — once through a lone `tuned` daemon evaluating locally, once
+# fanned out over two `evald` worker processes — and the throughput
+# numbers land in BENCH_evald.json together with a bit-identity check of
+# the tuned parameters (the two runs must produce the same genes).
+#
+# Knobs (environment): BENCH_POP (population), BENCH_GENS (generations),
+# BENCH_SEED. Defaults are small enough for a CI smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POP=${BENCH_POP:-8}
+GENS=${BENCH_GENS:-4}
+SEED=${BENCH_SEED:-7}
+OUT=${BENCH_OUT:-BENCH_evald.json}
+
+cargo build --workspace --release --offline >/dev/null
+
+TUNED=target/release/tuned
+EVALD=target/release/evald
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_file() { # path
+  for _ in $(seq 1 100); do [ -s "$1" ] && return 0; sleep 0.1; done
+  echo "bench: timed out waiting for $1" >&2
+  return 1
+}
+
+json_num() { # file, field -> first numeric value of "field"
+  sed -n "s/.*\"$2\":\(-\{0,1\}[0-9.][0-9.e+-]*\).*/\1/p" "$1" | head -n 1
+}
+
+run_case() { # name, extra `tuned serve` flags...
+  local name=$1
+  shift
+  local dir="$WORK/$name"
+  mkdir -p "$dir"
+  "$TUNED" serve --addr 127.0.0.1:0 --dir "$dir" --workers 1 "$@" \
+    >"$dir/serve.log" 2>&1 &
+  local pid=$!
+  PIDS+=("$pid")
+  wait_file "$dir/addr"
+  local addr
+  addr=$(cat "$dir/addr")
+
+  local submitted id
+  submitted=$("$TUNED" submit --addr "$addr" --name "bench-$name" \
+    --scenario opt --goal tot --bench db \
+    --pop "$POP" --gens "$GENS" --seed "$SEED" --threads 1)
+  id=$(printf '%s' "$submitted" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+
+  "$TUNED" watch --addr "$addr" --id "$id" >/dev/null
+  "$TUNED" status --addr "$addr" --id "$id" >"$dir/status.json"
+  "$TUNED" metrics --addr "$addr" >"$dir/metrics.json"
+  "$TUNED" shutdown --addr "$addr" >/dev/null
+  wait "$pid" 2>/dev/null || true
+
+  grep -q '"state":"done"' "$dir/status.json" \
+    || { echo "bench: $name job did not finish"; cat "$dir/status.json"; exit 1; }
+}
+
+echo "== bench: local (1 daemon, in-process evaluation)"
+run_case local
+
+echo "== bench: distributed (1 daemon + 2 evald workers)"
+for i in 1 2; do
+  "$EVALD" --addr 127.0.0.1:0 --addr-file "$WORK/worker$i.addr" \
+    >"$WORK/worker$i.log" 2>&1 &
+  PIDS+=("$!")
+  wait_file "$WORK/worker$i.addr"
+done
+run_case distributed \
+  --worker "$(cat "$WORK/worker1.addr")" \
+  --worker "$(cat "$WORK/worker2.addr")"
+
+genes() { # status file -> the tuned gene vector
+  sed -n 's/.*"genes":\[\([0-9,-]*\)\].*/\1/p' "$1" | head -n 1
+}
+
+LOCAL_GENES=$(genes "$WORK/local/status.json")
+DIST_GENES=$(genes "$WORK/distributed/status.json")
+IDENTICAL=false
+[ -n "$LOCAL_GENES" ] && [ "$LOCAL_GENES" = "$DIST_GENES" ] && IDENTICAL=true
+
+emit_case() { # name
+  local m="$WORK/$1/metrics.json"
+  local uptime evals gps hit_rate completed
+  uptime=$(json_num "$m" uptime_secs)
+  evals=$(json_num "$m" evaluations)
+  gps=$(json_num "$m" generations_per_sec)
+  hit_rate=$(json_num "$m" cache_hit_rate)
+  completed=$(sed -n 's/.*"remote":{[^}]*"completed":\([0-9]*\).*/\1/p' "$m" | head -n 1)
+  awk -v n="$1" -v up="$uptime" -v ev="$evals" -v gps="$gps" \
+      -v hit="$hit_rate" -v rc="${completed:-0}" 'BEGIN {
+    eps = (up > 0) ? ev / up : 0
+    printf "    \"%s\": {\n", n
+    printf "      \"generations_per_sec\": %.4f,\n", gps
+    printf "      \"evaluations\": %d,\n", ev
+    printf "      \"evaluations_per_sec\": %.4f,\n", eps
+    printf "      \"cache_hit_rate\": %.4f,\n", hit
+    printf "      \"remote_completed\": %d\n", rc
+    printf "    }"
+  }'
+}
+
+{
+  printf '{\n'
+  printf '  "bench": "evald distributed evaluation",\n'
+  printf '  "pop": %d,\n' "$POP"
+  printf '  "gens": %d,\n' "$GENS"
+  printf '  "seed": %d,\n' "$SEED"
+  printf '  "identical": %s,\n' "$IDENTICAL"
+  printf '  "cases": {\n'
+  emit_case local
+  printf ',\n'
+  emit_case distributed
+  printf '\n  }\n'
+  printf '}\n'
+} >"$OUT"
+
+echo "== bench: wrote $OUT"
+cat "$OUT"
+[ "$IDENTICAL" = true ] || { echo "bench: distributed result differs from local!"; exit 1; }

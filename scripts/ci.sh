@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI for inlinetune: format check, fully offline build + test, and an
+# CI for inlinetune: format check, fully offline build + test, an
 # end-to-end smoke run of the `tuned` daemon (submit a tiny Opt:Tot job
-# over localhost, watch it finish, pull metrics, shut down).
+# over localhost, watch it finish, pull metrics, shut down), and a
+# distributed-evaluation smoke via scripts/bench.sh (1 local vs
+# 2 evald workers, bit-identity enforced).
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -45,4 +47,10 @@ ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
 
 "$TUNED" shutdown --addr "$ADDR"
 wait "$DAEMON_PID"
+
+echo "== evald distributed-evaluation smoke (scripts/bench.sh)"
+BENCH_POP=6 BENCH_GENS=2 scripts/bench.sh >/dev/null
+grep -q '"identical": true' BENCH_evald.json \
+  || { echo "distributed run not bit-identical to local"; exit 1; }
+
 echo "== CI OK"

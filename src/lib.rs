@@ -17,7 +17,8 @@
 //! | [`workloads`] | `inlinetune-workloads` | synthetic SPECjvm98 / DaCapo+JBB suites |
 //! | [`ga`] | `inlinetune-ga` | the genetic-algorithm engine (ECJ analog) |
 //! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
-//! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol |
+//! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol, remote dispatch |
+//! | [`evald`] | `inlinetune-evald` | the remote fitness-evaluation worker: eval RPCs, heartbeats, chaos injection |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 //! See the `examples/` directory for tuning runs and the `experiments`
 //! binary for the full paper reproduction.
 
+pub use evald;
 pub use ga;
 pub use inliner;
 pub use ir;
