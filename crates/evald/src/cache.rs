@@ -48,20 +48,21 @@ impl TunerCache {
     /// The tuner for a job's task cell, building (and caching) it on
     /// first use. Holding the map lock across the build is deliberate:
     /// concurrent connections for the same cell wait instead of
-    /// measuring the defaults twice.
+    /// measuring the defaults twice. The boolean reports whether the
+    /// tuner was already cached (`true` = hit).
     ///
     /// # Errors
     /// Propagates spec validation errors (unknown benchmark / arch
     /// names).
-    pub fn get(&self, spec: &JobSpec) -> Result<Arc<Tuner>, String> {
+    pub fn get(&self, spec: &JobSpec) -> Result<(Arc<Tuner>, bool), String> {
         let key = Self::key(spec);
         let mut map = self.map.lock().expect("tuner cache poisoned");
         if let Some(t) = map.get(&key) {
-            return Ok(Arc::clone(t));
+            return Ok((Arc::clone(t), true));
         }
         let tuner = Arc::new(Tuner::new(spec.task()?, spec.training()?, spec.adapt_cfg()));
         map.insert(key, Arc::clone(&tuner));
-        Ok(tuner)
+        Ok((tuner, false))
     }
 
     /// How many distinct task cells have been built.
@@ -105,18 +106,20 @@ mod tests {
     #[test]
     fn same_cell_shares_one_tuner() {
         let cache = TunerCache::new();
-        let a = cache.get(&spec("a", 1, &["db"])).unwrap();
+        let (a, hit_a) = cache.get(&spec("a", 1, &["db"])).unwrap();
         // Different name and GA config, same task cell.
-        let b = cache.get(&spec("b", 999, &["db"])).unwrap();
+        let (b, hit_b) = cache.get(&spec("b", 999, &["db"])).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(!hit_a, "first build is a miss");
+        assert!(hit_b, "same cell is a hit");
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn different_suites_get_different_tuners() {
         let cache = TunerCache::new();
-        let a = cache.get(&spec("a", 1, &["db"])).unwrap();
-        let b = cache.get(&spec("a", 1, &["jess"])).unwrap();
+        let (a, _) = cache.get(&spec("a", 1, &["db"])).unwrap();
+        let (b, _) = cache.get(&spec("a", 1, &["jess"])).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
     }

@@ -60,21 +60,38 @@ pub struct EvalWorker {
     cache: Arc<TunerCache>,
     chaos: Arc<Chaos>,
     counters: Arc<WorkerCounters>,
+    obs: Arc<obs::Registry>,
     stop: Arc<AtomicBool>,
 }
 
 impl EvalWorker {
-    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    /// Binds to `addr` (use port 0 for an OS-assigned port). Records
+    /// into the process-wide [`obs::global`] registry.
     ///
     /// # Errors
     /// Propagates bind errors.
     pub fn bind(addr: &str, chaos: Chaos) -> Result<Self, String> {
+        Self::bind_with_obs(addr, chaos, Arc::clone(obs::global()))
+    }
+
+    /// Like [`EvalWorker::bind`], but records into `obs` — tests inject
+    /// a private registry (often with an [`obs::ManualClock`]) so
+    /// assertions are exact and unpolluted by other tests.
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind_with_obs(
+        addr: &str,
+        chaos: Chaos,
+        obs: Arc<obs::Registry>,
+    ) -> Result<Self, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Self {
             listener,
             cache: Arc::new(TunerCache::new()),
             chaos: Arc::new(chaos),
             counters: Arc::new(WorkerCounters::default()),
+            obs,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -116,13 +133,18 @@ impl EvalWorker {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     served::Metrics::bump(&self.counters.connections);
+                    self.obs.counter("evald_connections").inc();
                     let cache = Arc::clone(&self.cache);
                     let chaos = Arc::clone(&self.chaos);
                     let counters = Arc::clone(&self.counters);
+                    let reg = Arc::clone(&self.obs);
                     let stop = Arc::clone(&self.stop);
-                    let _ = std::thread::Builder::new()
-                        .name("evald-conn".into())
-                        .spawn(move || serve_connection(stream, &cache, &chaos, &counters, &stop));
+                    let _ =
+                        std::thread::Builder::new()
+                            .name("evald-conn".into())
+                            .spawn(move || {
+                                serve_connection(stream, &cache, &chaos, &counters, &reg, &stop);
+                            });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL);
@@ -139,6 +161,7 @@ fn serve_connection(
     cache: &TunerCache,
     chaos: &Chaos,
     counters: &WorkerCounters,
+    reg: &obs::Registry,
     stop: &AtomicBool,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
@@ -174,14 +197,20 @@ fn serve_connection(
                 "task" => match body.get("job") {
                     None => err("task needs a 'job' object"),
                     Some(job) => match JobSpec::from_json(job).and_then(|s| cache.get(&s)) {
-                        Ok(t) => {
+                        Ok((t, was_cached)) => {
+                            reg.counter(if was_cached {
+                                "evald_task_cache_hits"
+                            } else {
+                                "evald_task_cache_misses"
+                            })
+                            .inc();
                             tuner = Some(t);
                             ok_with(vec![])
                         }
                         Err(e) => err(e),
                     },
                 },
-                "eval" => match eval(&body, tuner.as_deref(), chaos, counters) {
+                "eval" => match eval(&body, tuner.as_deref(), chaos, counters, reg) {
                     Ok(v) => v,
                     Err(Dropped) => return, // chaos: die without replying
                 },
@@ -239,6 +268,7 @@ fn eval(
     tuner: Option<&Tuner>,
     chaos: &Chaos,
     counters: &WorkerCounters,
+    reg: &obs::Registry,
 ) -> Result<Json, Dropped> {
     let Some(tuner) = tuner else {
         served::Metrics::bump(&counters.protocol_errors);
@@ -262,11 +292,16 @@ fn eval(
     }
     if chaos.should_drop() {
         served::Metrics::bump(&counters.chaos_drops);
+        reg.counter("evald_chaos_drops").inc();
         return Err(Dropped);
     }
     chaos.delay();
+    let started = reg.now_micros();
     let fitness = tuner.fitness(&InlineParams::from_genes(&genes));
+    reg.histogram("evald_eval_micros")
+        .record(reg.now_micros().saturating_sub(started));
     served::Metrics::bump(&counters.evals);
+    reg.counter("evald_evals").inc();
     Ok(ok_with(vec![
         ("id", Json::Int(id as i64)),
         ("fitness", f64_to_json(fitness)),

@@ -15,6 +15,7 @@
 //!   shapes cannot drift apart.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use simrng::Rng;
 
@@ -149,6 +150,27 @@ pub struct Generation {
     pub mean_fitness: f64,
 }
 
+/// Where one generation's wall time went, as measured by the engine's
+/// observability registry (all zeros under a frozen `ManualClock`).
+/// Read the latest with [`GaState::last_timing`]; the `tuned` daemon
+/// forwards it in `watch` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenTiming {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Time in fitness evaluation (memo misses through the backend).
+    pub eval_micros: u64,
+    /// Time in best-tracking / history / stagnation bookkeeping.
+    pub select_micros: u64,
+    /// Time breeding the next population (0 on the final generation,
+    /// which does not breed).
+    pub breed_micros: u64,
+    /// Distinct genomes evaluated this generation (cache misses).
+    pub evaluations: usize,
+    /// Evaluations answered from the memo table this generation.
+    pub cache_hits: usize,
+}
+
 /// The outcome of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaResult {
@@ -220,6 +242,13 @@ pub struct GaState {
     stagnant: usize,
     next_gen: usize,
     done: bool,
+    /// Where timings and counters are recorded. Defaults to the shared
+    /// process registry; tests inject one built on a `ManualClock`.
+    /// Deliberately outside the snapshot: observability is not search
+    /// state, and restoring must stay byte-identical.
+    obs: Arc<obs::Registry>,
+    /// The most recent generation's timing breakdown.
+    last_timing: Option<GenTiming>,
 }
 
 impl GaState {
@@ -252,7 +281,23 @@ impl GaState {
             stagnant: 0,
             next_gen: 0,
             done: false,
+            obs: Arc::clone(obs::global()),
+            last_timing: None,
         }
+    }
+
+    /// Redirects this search's timings and counters to `registry`
+    /// (instead of the process-wide default). Recording never feeds back
+    /// into the search, so this cannot change results.
+    pub fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.obs = registry;
+    }
+
+    /// The last completed generation's timing breakdown (`None` before
+    /// the first step).
+    #[must_use]
+    pub fn last_timing(&self) -> Option<GenTiming> {
+        self.last_timing
     }
 
     /// Runs exactly one generation: evaluates the current population
@@ -286,46 +331,84 @@ impl GaState {
             self.done = true;
             return true;
         }
-        let scores = self.evaluate(backend);
+        let obs = Arc::clone(&self.obs);
+        let gen_index = self.next_gen;
+        let _gen_span = obs::span!(obs, "generation", gen = gen_index);
+        let (evals_before, hits_before) = (self.evaluations, self.cache_hits);
 
-        // Track the best.
-        let mut improved = false;
-        for (genome, &score) in self.population.iter().zip(&scores) {
-            if score < self.best_fitness {
-                self.best_fitness = score;
-                self.best_genome = genome.clone();
-                improved = true;
-            }
-        }
-        let finite_mean = {
-            let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
-            if finite.is_empty() {
-                f64::INFINITY
-            } else {
-                finite.iter().sum::<f64>() / finite.len() as f64
-            }
+        let eval_started = obs.now_micros();
+        let scores = {
+            let _span = obs.span("eval");
+            self.evaluate(backend)
         };
-        self.history.push(Generation {
-            index: self.next_gen,
-            best_fitness: self.best_fitness,
-            best_genome: self.best_genome.clone(),
-            mean_fitness: finite_mean,
-        });
+        let eval_micros = obs.now_micros().saturating_sub(eval_started);
 
-        self.stagnant = if improved { 0 } else { self.stagnant + 1 };
-        let stagnated = self
-            .config
-            .stagnation_limit
-            .is_some_and(|limit| self.stagnant >= limit);
-        if stagnated || self.next_gen + 1 == self.config.generations {
+        let select_started = obs.now_micros();
+        let stagnated = {
+            let _span = obs.span("select");
+            // Track the best.
+            let mut improved = false;
+            for (genome, &score) in self.population.iter().zip(&scores) {
+                if score < self.best_fitness {
+                    self.best_fitness = score;
+                    self.best_genome = genome.clone();
+                    improved = true;
+                }
+            }
+            let finite_mean = {
+                let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+                if finite.is_empty() {
+                    f64::INFINITY
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                }
+            };
+            self.history.push(Generation {
+                index: self.next_gen,
+                best_fitness: self.best_fitness,
+                best_genome: self.best_genome.clone(),
+                mean_fitness: finite_mean,
+            });
+
+            self.stagnant = if improved { 0 } else { self.stagnant + 1 };
+            self.config
+                .stagnation_limit
+                .is_some_and(|limit| self.stagnant >= limit)
+        };
+        let select_micros = obs.now_micros().saturating_sub(select_started);
+
+        let mut breed_micros = 0;
+        let finished = if stagnated || self.next_gen + 1 == self.config.generations {
             self.done = true;
-            self.next_gen += 1;
-            return true;
-        }
-
-        self.breed(&scores);
+            true
+        } else {
+            let breed_started = obs.now_micros();
+            {
+                let _span = obs.span("breed");
+                self.breed(&scores);
+            }
+            breed_micros = obs.now_micros().saturating_sub(breed_started);
+            false
+        };
         self.next_gen += 1;
-        false
+
+        obs.counter("ga_generations").inc();
+        obs.counter("ga_evaluations")
+            .add((self.evaluations - evals_before) as u64);
+        obs.counter("ga_cache_hits")
+            .add((self.cache_hits - hits_before) as u64);
+        obs.histogram("ga_eval_micros").record(eval_micros);
+        obs.histogram("ga_select_micros").record(select_micros);
+        obs.histogram("ga_breed_micros").record(breed_micros);
+        self.last_timing = Some(GenTiming {
+            generation: gen_index,
+            eval_micros,
+            select_micros,
+            breed_micros,
+            evaluations: self.evaluations - evals_before,
+            cache_hits: self.cache_hits - hits_before,
+        });
+        finished
     }
 
     /// Breeds the next generation from the scored current one.
@@ -571,6 +654,8 @@ impl GaState {
             stagnant,
             next_gen,
             done,
+            obs: Arc::clone(obs::global()),
+            last_timing: None,
         })
     }
 }
@@ -957,6 +1042,58 @@ mod tests {
         }
         let mut state = GaState::new(sphere_ranges(), step_cfg(3));
         let _ = state.step_with(&Broken);
+    }
+
+    #[test]
+    fn step_records_exact_obs_counters_under_manual_clock() {
+        let clock = Arc::new(obs::ManualClock::new());
+        let reg = Arc::new(obs::Registry::with_clock(clock));
+        let f = sphere(&[1, 2, 3, 4]);
+        let mut state = GaState::new(sphere_ranges(), step_cfg(5));
+        state.set_obs(Arc::clone(&reg));
+        assert!(state.last_timing().is_none());
+        while !state.step(&f) {}
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ga_generations"), 5);
+        assert_eq!(snap.counter("ga_evaluations"), state.evaluations() as u64);
+        assert_eq!(snap.counter("ga_cache_hits"), state.cache_hits() as u64);
+        // Frozen clock: every duration is exactly zero, so all five
+        // samples land in the first bucket and the sums are zero.
+        for name in ["ga_eval_micros", "ga_select_micros", "ga_breed_micros"] {
+            let h = snap.histogram(name).unwrap();
+            assert_eq!(h.total, 5, "{name}");
+            assert_eq!(h.counts[0], 5, "{name}");
+            assert_eq!(h.sum, 0, "{name}");
+            assert_eq!(h.max, 0, "{name}");
+        }
+        // The span hierarchy: one "generation" per step, with nested
+        // phases. The final generation does not breed.
+        let count = |p: &str| snap.spans.iter().filter(|s| s.path == p).count();
+        assert_eq!(count("generation"), 5);
+        assert_eq!(count("generation/eval"), 5);
+        assert_eq!(count("generation/select"), 5);
+        assert_eq!(count("generation/breed"), 4);
+        assert!(snap.spans.iter().any(|s| s.label == "generation gen=0"));
+
+        let t = state.last_timing().unwrap();
+        assert_eq!(t.generation, 4);
+        assert_eq!((t.eval_micros, t.select_micros, t.breed_micros), (0, 0, 0));
+    }
+
+    #[test]
+    fn obs_injection_does_not_change_results() {
+        let f = sphere(&[7, -7, 7, -7]);
+        let mut plain = GaState::new(sphere_ranges(), step_cfg(15));
+        let mut observed = GaState::new(sphere_ranges(), step_cfg(15));
+        observed.set_obs(Arc::new(obs::Registry::new()));
+        while !plain.step(&f) {}
+        while !observed.step(&f) {}
+        assert_eq!(plain.result(), observed.result());
+        assert_eq!(
+            plain.result().best_fitness.to_bits(),
+            observed.result().best_fitness.to_bits()
+        );
     }
 
     #[test]

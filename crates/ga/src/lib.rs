@@ -31,7 +31,7 @@ pub mod genome;
 pub mod ops;
 
 pub use engine::{
-    CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, Generation, GeneticAlgorithm,
+    CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, GenTiming, Generation, GeneticAlgorithm,
 };
 pub use eval::{Evaluator, LocalEvaluator};
 pub use genome::{Genome, Ranges};

@@ -87,6 +87,22 @@ impl Measurement {
     }
 }
 
+/// Runs `f`, recording its wall time into the global `hist` histogram
+/// when detailed observability is on. `detailed` is hoisted by the
+/// caller so the common (off) path costs one atomic load per
+/// [`measure`], not one per phase.
+fn timed<T>(detailed: bool, hist: &str, f: impl FnOnce() -> T) -> T {
+    if !detailed {
+        return f();
+    }
+    let reg = obs::global();
+    let started = reg.now_micros();
+    let out = f();
+    reg.histogram(hist)
+        .record(reg.now_micros().saturating_sub(started));
+    out
+}
+
 fn count_levels(state: &VmState) -> (usize, usize) {
     let opt = state
         .compiled
@@ -109,12 +125,18 @@ pub fn measure(
     params: &InlineParams,
     adapt_cfg: &AdaptConfig,
 ) -> Measurement {
+    // Cost-model timings are high-frequency (every fitness call measures
+    // every benchmark), so they only record under the registry's runtime
+    // `detailed` flag.
+    let detailed = obs::global().detailed();
     match scenario {
         Scenario::Opt => {
             // No profile exists under Opt: the hot-site set is empty and
             // only the Fig. 3 cascade applies.
-            let state = compile_all_opt(program, arch, params, &HotSites::new());
-            let steady = exec_cycles(&state, arch);
+            let state = timed(detailed, "jit_compile_micros", || {
+                compile_all_opt(program, arch, params, &HotSites::new())
+            });
+            let steady = timed(detailed, "jit_exec_micros", || exec_cycles(&state, arch));
             let opt_compile = state.total_compile_cycles();
             let (n_opt, n_base) = count_levels(&state);
             Measurement {
@@ -132,17 +154,22 @@ pub fn measure(
             }
         }
         Scenario::Adapt => {
-            let mut state = compile_all_baseline(program, arch);
+            let mut state = timed(detailed, "jit_compile_micros", || {
+                compile_all_baseline(program, arch)
+            });
             let baseline_compile = state.total_compile_cycles();
-            let baseline_exec = exec_cycles(&state, arch);
+            let baseline_exec = timed(detailed, "jit_exec_micros", || exec_cycles(&state, arch));
 
             let plan = plan(program, arch, adapt_cfg);
-            let mut opt_compile = 0.0;
-            for &m in &plan.hot_methods {
-                opt_compile +=
-                    opt_compile_into(&mut state, program, m, arch, params, &plan.hot_sites);
-            }
-            let steady = exec_cycles(&state, arch);
+            let opt_compile = timed(detailed, "jit_compile_micros", || {
+                let mut cycles = 0.0;
+                for &m in &plan.hot_methods {
+                    cycles +=
+                        opt_compile_into(&mut state, program, m, arch, params, &plan.hot_sites);
+                }
+                cycles
+            });
+            let steady = timed(detailed, "jit_exec_micros", || exec_cycles(&state, arch));
 
             // First iteration: the warm-up fraction runs at all-baseline
             // speed before recompilation lands, the rest at steady speed.

@@ -1,0 +1,112 @@
+//! Time sources for the registry.
+//!
+//! Every duration the registry records flows through a [`Clock`], so
+//! tests inject a [`ManualClock`] and assert *exact* histogram contents
+//! — no flaky "p99 under 50ms on a loaded CI box" thresholds — while
+//! production uses the monotonic [`WallClock`]. Nothing in this module
+//! (or the rest of the crate) touches the engine's RNG or otherwise
+//! feeds back into tuning results: observability reads time, it never
+//! makes decisions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + Sync {
+    /// Microseconds since an arbitrary (per-clock) epoch. Must never go
+    /// backwards.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: monotonic wall time, anchored at construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// A test clock that only moves when told to. With time frozen, every
+/// recorded duration is exactly zero — histogram assertions become
+/// equalities instead of tolerances.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute reading. Panics if that would move time
+    /// backwards (the [`Clock`] contract).
+    pub fn set(&self, micros: u64) {
+        let prev = self.now.swap(micros, Ordering::SeqCst);
+        assert!(prev <= micros, "ManualClock must not go backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(250);
+        assert_eq!(c.now_micros(), 250);
+        c.set(1000);
+        assert_eq!(c.now_micros(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new();
+        c.set(100);
+        c.set(50);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for histogram invariants.
+//!
+//! Gated behind the bare `proptest` cargo feature because the
+//! `proptest` crate is not vendored (this workspace builds offline with
+//! zero external dependencies). To run:
+//!
+//! ```text
+//! # on a networked machine:
+//! #   add `proptest = "1"` under [dev-dependencies] in crates/obs/Cargo.toml
+//! cargo test -p inlinetune-obs --features proptest
+//! ```
+//!
+//! Invariants under test:
+//!
+//! * bucket counts always sum to `total`, and the cumulative rendering
+//!   therefore ends at `total`;
+//! * quantiles are monotone in rank: `q(a) <= q(b)` whenever `a <= b`;
+//! * quantiles are bracketed by the observed extremes;
+//! * `merged(a, b)` equals recording the concatenated sample stream.
+
+#![cfg(feature = "proptest")]
+
+use obs::{Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> obs::HistSnapshot {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_total(samples in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let snap = record_all(&samples);
+        prop_assert_eq!(snap.counts.len(), NUM_BUCKETS);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.total, samples.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_rank(
+        samples in proptest::collection::vec(0u64..100_000_000, 1..200),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let snap = record_all(&samples);
+        prop_assert!(snap.quantile(lo) <= snap.quantile(hi));
+    }
+
+    #[test]
+    fn quantiles_are_bracketed_by_observed_extremes(
+        samples in proptest::collection::vec(0u64..100_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = record_all(&samples);
+        let max = *samples.iter().max().unwrap();
+        // A bucket quantile reports the bucket's upper bound (or the
+        // observed max for the overflow bucket), so it never exceeds the
+        // max's own bucket bound and never reports above the true max
+        // for the overflow case.
+        prop_assert!(snap.quantile(q) <= snap.quantile(1.0));
+        prop_assert!(snap.quantile(1.0) >= max.min(snap.max));
+        prop_assert_eq!(snap.max, max);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let merged = record_all(&a).merged(&record_all(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        let direct = record_all(&union);
+        // Sums may wrap identically on both sides (wrapping add), so
+        // whole-snapshot equality is the right comparison.
+        prop_assert_eq!(merged, direct);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! tuned serve  [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue N]
 //!              [--eval-threads N] [--worker HOST:PORT]...
+//!              [--metrics-listen HOST:PORT] [--obs-detail]
 //! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
 //!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
 //!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
@@ -12,12 +13,17 @@
 //! tuned list    [--addr HOST:PORT]
 //! tuned cancel  [--addr HOST:PORT] --id N
 //! tuned metrics [--addr HOST:PORT]
+//! tuned obs     [--addr HOST:PORT]
 //! tuned shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! `serve` prints `tuned listening on <addr>` once ready and also writes
 //! the address to `<dir>/addr`, so scripts that bind port 0 can discover
-//! the port.
+//! the port. With `--metrics-listen` it additionally serves a
+//! Prometheus-style `GET /metrics` endpoint and writes its address to
+//! `<dir>/metrics-addr`; `--obs-detail` turns on high-frequency cost-model
+//! timing histograms. `obs` dumps the daemon's full observability
+//! registry (counters, gauges, latency histograms, recent spans) as JSON.
 
 use std::process::ExitCode;
 
@@ -25,14 +31,16 @@ use ga::GaConfig;
 use served::daemon::{Daemon, DaemonConfig};
 use served::job::{goal_by_name, scenario_by_name, JobSpec};
 use served::json::Json;
-use served::{Client, RunDir, Server};
+use served::{Client, MetricsExporter, RunDir, Server};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: tuned <serve|submit|status|watch|list|cancel|metrics|shutdown> [flags]");
+        eprintln!(
+            "usage: tuned <serve|submit|status|watch|list|cancel|metrics|obs|shutdown> [flags]"
+        );
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
@@ -59,6 +67,9 @@ fn main() -> ExitCode {
         }),
         "metrics" => with_client(&args[1..], |client| {
             client.metrics().map(|m| println!("{}", m.to_text()))
+        }),
+        "obs" => with_client(&args[1..], |client| {
+            client.obs().map(|o| println!("{}", o.to_text()))
         }),
         "shutdown" => with_client(&args[1..], |client| {
             client.shutdown().map(|()| println!("daemon stopped"))
@@ -121,11 +132,31 @@ fn serve(args: &[String]) -> Result<(), String> {
     };
     let run_dir = RunDir::open(dir)?;
     let daemon = Daemon::start(config, run_dir.clone())?;
-    let server = Server::bind(addr, daemon)?;
+    if args.iter().any(|a| a == "--obs-detail") {
+        daemon.obs().set_detailed(true);
+    }
+    let server = Server::bind(addr, daemon.clone())?;
     let bound = server.local_addr();
     // Scripts bind port 0 and read the actual address from this file.
     std::fs::write(run_dir.root().join("addr"), bound.to_string())
         .map_err(|e| format!("cannot write addr file: {e}"))?;
+    if let Some(metrics_addr) = flags.get("--metrics-listen") {
+        let exporter = MetricsExporter::bind(metrics_addr, daemon)?;
+        let metrics_bound = exporter.local_addr();
+        std::fs::write(
+            run_dir.root().join("metrics-addr"),
+            metrics_bound.to_string(),
+        )
+        .map_err(|e| format!("cannot write metrics-addr file: {e}"))?;
+        println!("metrics on http://{metrics_bound}/metrics");
+        let _ = std::thread::Builder::new()
+            .name("tuned-metrics".into())
+            .spawn(move || {
+                if let Err(e) = exporter.serve() {
+                    eprintln!("tuned: metrics endpoint died: {e}");
+                }
+            });
+    }
     println!("tuned listening on {bound}");
     server.serve()
 }

@@ -143,6 +143,19 @@ impl Client {
             .ok_or_else(|| "metrics response missing 'metrics'".into())
     }
 
+    /// Fetches the full observability registry (counters, gauges,
+    /// histograms, recent spans) as JSON. Decode with
+    /// [`crate::proto::registry_from_json`].
+    ///
+    /// # Errors
+    /// Transport failure.
+    pub fn obs(&mut self) -> Result<Json, String> {
+        let resp = self.call(&Json::obj(vec![("cmd", Json::Str("obs".into()))]))?;
+        resp.get("obs")
+            .cloned()
+            .ok_or_else(|| "obs response missing 'obs'".into())
+    }
+
     /// Asks the daemon to shut down gracefully.
     ///
     /// # Errors

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use ga::GaState;
+use ga::{GaState, GenTiming};
 use inliner::InlineParams;
 use tuner::Tuner;
 
@@ -40,6 +40,10 @@ pub struct DaemonConfig {
     pub eval_workers: Vec<String>,
     /// Remote-dispatch tunables.
     pub dispatch: DispatchConfig,
+    /// The observability registry jobs and the dispatch layer record
+    /// into. Defaults to the shared process registry (wall clock); tests
+    /// inject one built on an `obs::ManualClock`.
+    pub obs: Arc<obs::Registry>,
 }
 
 impl Default for DaemonConfig {
@@ -50,6 +54,7 @@ impl Default for DaemonConfig {
             eval_threads: std::thread::available_parallelism().map_or(1, usize::from),
             eval_workers: Vec::new(),
             dispatch: DispatchConfig::default(),
+            obs: Arc::clone(obs::global()),
         }
     }
 }
@@ -112,6 +117,9 @@ pub struct JobRecord {
     pub result: Option<(InlineParams, f64)>,
     /// Failure message, if `Failed`.
     pub error: Option<String>,
+    /// The latest generation's timing breakdown (`None` until a
+    /// generation completes; not persisted across restarts).
+    pub timing: Option<GenTiming>,
 }
 
 struct JobEntry {
@@ -165,7 +173,12 @@ impl Daemon {
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             budget: ThreadBudget::new(config.eval_threads),
-            pool: WorkerPool::with_workers(config.dispatch.clone(), &config.eval_workers),
+            pool: {
+                let mut pool =
+                    WorkerPool::with_workers(config.dispatch.clone(), &config.eval_workers);
+                pool.set_obs(Arc::clone(&config.obs));
+                pool
+            },
         });
         let daemon = Self {
             inner,
@@ -224,6 +237,7 @@ impl Daemon {
                         best_fitness,
                         result,
                         error: None,
+                        timing: None,
                     },
                     cancel: Arc::new(AtomicBool::new(false)),
                 },
@@ -269,6 +283,7 @@ impl Daemon {
                     best_fitness: None,
                     result: None,
                     error: None,
+                    timing: None,
                 },
                 cancel: Arc::new(AtomicBool::new(false)),
             },
@@ -352,6 +367,13 @@ impl Daemon {
         &self.inner.metrics
     }
 
+    /// The observability registry (for the `obs` verb and the `/metrics`
+    /// exposition endpoint).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<obs::Registry> {
+        &self.inner.config.obs
+    }
+
     /// The remote-evaluator worker pool (for the `register` / `heartbeat`
     /// / `workers` verbs and metrics reporting). Sweeps stale heartbeats
     /// before returning so callers always see current health.
@@ -432,6 +454,7 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         Some(Err(e)) => return Err(format!("corrupt checkpoint: {e}")),
         None => tuner.start(spec.ga.clone()),
     };
+    state.set_obs(Arc::clone(&inner.config.obs));
 
     // Lease this job's slice of the shared local-eval thread budget
     // (thread count affects wall-clock only, never results, so clamping
@@ -493,6 +516,7 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             if let Some(e) = table.jobs.get_mut(&id) {
                 e.record.generation = state.generation();
                 e.record.best_fitness = best;
+                e.record.timing = state.last_timing();
             }
         }
 

@@ -33,7 +33,7 @@
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -83,22 +83,46 @@ impl Default for DispatchConfig {
     }
 }
 
-/// Per-worker monotonic counters (mirrored into the daemon-wide
+/// One worker's counter values (mirrored into the daemon-wide
 /// [`Metrics`] aggregates as they are bumped).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Eval requests written to this worker (including re-sends).
+    pub dispatched: u64,
+    /// Eval responses successfully received.
+    pub completed: u64,
+    /// Requests returned to the queue after a failure on this worker.
+    pub retries: u64,
+    /// Response waits that hit the request timeout.
+    pub timeouts: u64,
+    /// Times this worker was evicted from the live set.
+    pub evictions: u64,
+    /// Accumulated dispatch-to-response latency, microseconds.
+    pub rtt_micros: u64,
+}
+
+/// Per-worker monotonic counters behind one lock, so related fields
+/// (e.g. `completed` and `rtt_micros`) always move — and are read —
+/// together. Independent atomics here once let a `metrics` reply observe
+/// `completed` bumped but `rtt_micros` not yet, skewing the derived mean
+/// RTT; a locked [`WorkerStats::update`] makes every snapshot a
+/// consistent point in time.
 #[derive(Debug, Default)]
 pub struct WorkerStats {
-    /// Eval requests written to this worker (including re-sends).
-    pub dispatched: AtomicU64,
-    /// Eval responses successfully received.
-    pub completed: AtomicU64,
-    /// Requests returned to the queue after a failure on this worker.
-    pub retries: AtomicU64,
-    /// Response waits that hit the request timeout.
-    pub timeouts: AtomicU64,
-    /// Times this worker was evicted from the live set.
-    pub evictions: AtomicU64,
-    /// Accumulated dispatch-to-response latency, microseconds.
-    pub rtt_micros: AtomicU64,
+    inner: Mutex<WorkerCounters>,
+}
+
+impl WorkerStats {
+    /// Applies one atomic multi-field update.
+    pub fn update(&self, f: impl FnOnce(&mut WorkerCounters)) {
+        f(&mut self.inner.lock().expect("worker stats poisoned"));
+    }
+
+    /// A consistent point-in-time copy of every counter.
+    #[must_use]
+    pub fn read(&self) -> WorkerCounters {
+        *self.inner.lock().expect("worker stats poisoned")
+    }
 }
 
 /// One worker endpoint and its health.
@@ -116,7 +140,10 @@ pub struct Worker {
 }
 
 impl Worker {
-    fn new(addr: String, registered: bool) -> Self {
+    /// A standalone worker handle (pools build their own via
+    /// [`WorkerPool::add`]; tests exercise counter semantics directly).
+    #[must_use]
+    pub fn new(addr: String, registered: bool) -> Self {
         Self {
             addr,
             registered,
@@ -147,10 +174,15 @@ impl Worker {
 
     /// Removes the worker from the live set, bumping eviction counters
     /// exactly once per transition.
-    pub fn evict(&self, metrics: &Metrics) {
+    pub fn evict(&self, metrics: &Metrics, reg: &obs::Registry) {
         if self.alive.swap(false, Ordering::SeqCst) {
-            Metrics::bump(&self.stats.evictions);
+            self.stats.update(|s| s.evictions += 1);
             Metrics::bump(&metrics.remote_evictions);
+            reg.counter(&obs::labeled(
+                "dispatch_evictions",
+                &[("worker", &self.addr)],
+            ))
+            .inc();
         }
     }
 
@@ -160,21 +192,22 @@ impl Worker {
     }
 
     /// A plain-data copy of the worker's state for the `metrics` verb.
+    /// All counters come from **one** locked read, so derived values
+    /// (mean RTT) can never mix fields from different instants.
     #[must_use]
     pub fn snapshot(&self) -> WorkerSnapshot {
-        let completed = self.stats.completed.load(Ordering::Relaxed);
-        let rtt = self.stats.rtt_micros.load(Ordering::Relaxed);
+        let s = self.stats.read();
         WorkerSnapshot {
             addr: self.addr.clone(),
             alive: self.is_alive(),
             registered: self.registered,
-            dispatched: self.stats.dispatched.load(Ordering::Relaxed),
-            completed,
-            retries: self.stats.retries.load(Ordering::Relaxed),
-            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            mean_rtt_ms: if completed > 0 {
-                rtt as f64 / completed as f64 / 1000.0
+            dispatched: s.dispatched,
+            completed: s.completed,
+            retries: s.retries,
+            timeouts: s.timeouts,
+            evictions: s.evictions,
+            mean_rtt_ms: if s.completed > 0 {
+                s.rtt_micros as f64 / s.completed as f64 / 1000.0
             } else {
                 0.0
             },
@@ -210,16 +243,30 @@ pub struct WorkerSnapshot {
 pub struct WorkerPool {
     config: DispatchConfig,
     workers: Mutex<Vec<Arc<Worker>>>,
+    obs: Arc<obs::Registry>,
 }
 
 impl WorkerPool {
-    /// An empty pool.
+    /// An empty pool recording into the process-wide obs registry.
     #[must_use]
     pub fn new(config: DispatchConfig) -> Self {
         Self {
             config,
             workers: Mutex::new(Vec::new()),
+            obs: Arc::clone(obs::global()),
         }
+    }
+
+    /// Redirects the pool's latency histograms and event counters to
+    /// `registry` (tests inject one built on a `ManualClock`).
+    pub fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.obs = registry;
+    }
+
+    /// The registry this pool records into.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<obs::Registry> {
+        &self.obs
     }
 
     /// A pool pre-seeded with statically configured worker addresses.
@@ -293,7 +340,7 @@ impl WorkerPool {
     pub fn sweep_stale(&self, metrics: &Metrics) {
         for w in self.all() {
             if w.registered && w.is_alive() && !w.seen_within(self.config.stale_after) {
-                w.evict(metrics);
+                w.evict(metrics, &self.obs);
             }
         }
     }
@@ -513,7 +560,14 @@ impl Evaluator for RemoteEvaluator<'_> {
                 for w in &workers {
                     let batch = &batch;
                     scope.spawn(move || {
-                        drive_worker(w, batch, &self.task, self.pool.config(), self.metrics);
+                        drive_worker(
+                            w,
+                            batch,
+                            &self.task,
+                            self.pool.config(),
+                            self.metrics,
+                            self.pool.obs(),
+                        );
                     });
                 }
             });
@@ -525,6 +579,7 @@ impl Evaluator for RemoteEvaluator<'_> {
             .map(|(i, r)| {
                 r.unwrap_or_else(|| {
                     Metrics::bump(&self.metrics.remote_fallback_evals);
+                    self.pool.obs().counter("dispatch_fallback_evals").inc();
                     (self.fallback)(&genomes[i])
                 })
             })
@@ -534,12 +589,17 @@ impl Evaluator for RemoteEvaluator<'_> {
 
 /// Returns claimed-but-unresolved indices to the queue and counts them as
 /// retries against this worker.
-fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics) {
+fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics, reg: &obs::Registry) {
     if idxs.is_empty() {
         return;
     }
-    Metrics::add(&worker.stats.retries, idxs.len() as u64);
+    worker.stats.update(|s| s.retries += idxs.len() as u64);
     Metrics::add(&metrics.remote_retries, idxs.len() as u64);
+    reg.counter(&obs::labeled(
+        "dispatch_retries",
+        &[("worker", &worker.addr)],
+    ))
+    .add(idxs.len() as u64);
     let mut q = batch.queue.lock().expect("batch queue poisoned");
     for &i in idxs {
         q.push_back(i);
@@ -557,7 +617,11 @@ fn drive_worker(
     task: &Json,
     cfg: &DispatchConfig,
     metrics: &Metrics,
+    reg: &obs::Registry,
 ) {
+    let worker_label: [(&str, &str); 1] = [("worker", &worker.addr)];
+    let rpc_latency = reg.histogram(&obs::labeled("rpc_latency_micros", &worker_label));
+    let backoffs = reg.counter(&obs::labeled("dispatch_backoffs", &worker_label));
     let mut conn: Option<Conn> = None;
     let mut consecutive: u32 = 0;
     let mut backoff = cfg.backoff_base;
@@ -581,12 +645,13 @@ fn drive_worker(
         // Transient-failure bookkeeping, shared by every retry path.
         let mut transient = |conn: &mut Option<Conn>, pending: &[usize]| -> bool {
             *conn = None;
-            requeue(batch, pending, worker, metrics);
+            requeue(batch, pending, worker, metrics, reg);
             consecutive += 1;
             if consecutive >= cfg.max_consecutive_failures {
-                worker.evict(metrics);
+                worker.evict(metrics, reg);
                 return true; // exit the loop
             }
+            backoffs.inc();
             std::thread::sleep(backoff);
             backoff = (backoff * 2).min(cfg.backoff_cap);
             false
@@ -605,11 +670,12 @@ fn drive_worker(
             }
         }
 
-        // Pipeline the claimed requests.
-        let started = Instant::now();
+        // Pipeline the claimed requests. RTT reads the registry clock so
+        // deterministic tests (ManualClock) see exact latencies.
+        let started = reg.now_micros();
         let mut send_failed = false;
         for &i in &claimed {
-            Metrics::bump(&worker.stats.dispatched);
+            worker.stats.update(|s| s.dispatched += 1);
             Metrics::bump(&metrics.remote_dispatched);
             if conn
                 .as_mut()
@@ -635,24 +701,27 @@ fn drive_worker(
                 Recv::Ok(id, fitness) => {
                     let Some(pos) = pending.iter().position(|&i| i == id) else {
                         // An id we never sent: protocol violation.
-                        worker.evict(metrics);
-                        requeue(batch, &pending, worker, metrics);
+                        worker.evict(metrics, reg);
+                        requeue(batch, &pending, worker, metrics, reg);
                         return;
                     };
                     pending.swap_remove(pos);
                     batch.results.lock().expect("batch results poisoned")[id] = Some(fitness);
                     batch.remaining.fetch_sub(1, Ordering::SeqCst);
-                    Metrics::bump(&worker.stats.completed);
+                    let rtt = reg.now_micros().saturating_sub(started);
+                    worker.stats.update(|s| {
+                        s.completed += 1;
+                        s.rtt_micros += rtt;
+                    });
                     Metrics::bump(&metrics.remote_completed);
-                    Metrics::add(
-                        &worker.stats.rtt_micros,
-                        started.elapsed().as_micros() as u64,
-                    );
+                    rpc_latency.record(rtt);
                     worker.touch();
                 }
                 Recv::Timeout => {
-                    Metrics::bump(&worker.stats.timeouts);
+                    worker.stats.update(|s| s.timeouts += 1);
                     Metrics::bump(&metrics.remote_timeouts);
+                    reg.counter(&obs::labeled("dispatch_timeouts", &worker_label))
+                        .inc();
                     if transient(&mut conn, &pending) {
                         return;
                     }
@@ -665,8 +734,8 @@ fn drive_worker(
                     pending.clear();
                 }
                 Recv::Violation => {
-                    worker.evict(metrics);
-                    requeue(batch, &pending, worker, metrics);
+                    worker.evict(metrics, reg);
+                    requeue(batch, &pending, worker, metrics, reg);
                     return;
                 }
             }
@@ -732,18 +801,25 @@ mod tests {
     #[test]
     fn eviction_counts_once_per_transition() {
         let metrics = Metrics::new();
+        let reg = obs::Registry::new();
         let w = Worker::new("x:1".into(), false);
-        w.evict(&metrics);
-        w.evict(&metrics);
-        assert_eq!(w.stats.evictions.load(Ordering::Relaxed), 1);
+        w.evict(&metrics, &reg);
+        w.evict(&metrics, &reg);
+        assert_eq!(w.stats.read().evictions, 1);
+        assert_eq!(
+            reg.snapshot().counter("dispatch_evictions{worker=\"x:1\"}"),
+            1
+        );
         assert!(!w.is_alive());
     }
 
     #[test]
     fn worker_snapshot_derives_mean_rtt() {
         let w = Worker::new("x:1".into(), true);
-        Metrics::add(&w.stats.completed, 4);
-        Metrics::add(&w.stats.rtt_micros, 8000);
+        w.stats.update(|s| {
+            s.completed += 4;
+            s.rtt_micros += 8000;
+        });
         let s = w.snapshot();
         assert_eq!(s.addr, "x:1");
         assert!(s.registered);

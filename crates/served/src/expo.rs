@@ -1,0 +1,326 @@
+//! Prometheus-style text exposition over HTTP.
+//!
+//! A deliberately tiny HTTP/1.0 server: the only route is
+//! `GET /metrics`, which renders the daemon's observability registry
+//! (via [`obs::render_prometheus`]) plus a hand-written block of
+//! `tuned_*` series derived from the daemon's own
+//! [`MetricsSnapshot`]. Anything else is a 404. Requests are served
+//! inline on the accept thread — scrapes are rare and the response is
+//! a single buffered write, so there is nothing to parallelize.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+use crate::metrics::MetricsSnapshot;
+
+/// How long a scrape connection may sit idle before it is dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Poll interval of the nonblocking accept loop.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The `tuned_*` series derived from the daemon's counter snapshot, in
+/// Prometheus text format. Kept separate from the obs registry: these
+/// counters predate it and remain the source of truth for the
+/// `metrics` protocol verb.
+#[must_use]
+pub fn render_daemon_metrics(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, value: String| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "tuned_uptime_seconds",
+        "Seconds since the daemon started.",
+        format!("{:.3}", s.uptime_secs),
+    );
+    let jobs = [
+        ("queued", s.jobs.queued),
+        ("running", s.jobs.running),
+        ("done", s.jobs.done),
+        ("failed", s.jobs.failed),
+        ("canceled", s.jobs.canceled),
+    ];
+    out.push_str("# HELP tuned_jobs Jobs in the table by state.\n# TYPE tuned_jobs gauge\n");
+    for (state, n) in jobs {
+        out.push_str(&format!("tuned_jobs{{state=\"{state}\"}} {n}\n"));
+    }
+    let counters = [
+        (
+            "tuned_jobs_submitted_total",
+            "Jobs accepted by submit.",
+            s.jobs_submitted,
+        ),
+        (
+            "tuned_jobs_recovered_total",
+            "Jobs recovered at startup.",
+            s.jobs_recovered,
+        ),
+        (
+            "tuned_generations_total",
+            "GA generations completed.",
+            s.generations,
+        ),
+        (
+            "tuned_evaluations_total",
+            "Distinct fitness evaluations.",
+            s.evaluations,
+        ),
+        (
+            "tuned_cache_hits_total",
+            "Memoized fitness lookups.",
+            s.cache_hits,
+        ),
+        (
+            "tuned_checkpoints_written_total",
+            "Checkpoint files written.",
+            s.checkpoints_written,
+        ),
+        (
+            "tuned_connections_total",
+            "Protocol connections accepted.",
+            s.connections,
+        ),
+        (
+            "tuned_protocol_errors_total",
+            "Frames answered with an error.",
+            s.protocol_errors,
+        ),
+        (
+            "tuned_remote_dispatched_total",
+            "Eval requests sent to workers.",
+            s.remote_dispatched,
+        ),
+        (
+            "tuned_remote_completed_total",
+            "Eval responses from workers.",
+            s.remote_completed,
+        ),
+        (
+            "tuned_remote_retries_total",
+            "Evals re-dispatched after failures.",
+            s.remote_retries,
+        ),
+        (
+            "tuned_remote_timeouts_total",
+            "Eval response timeouts.",
+            s.remote_timeouts,
+        ),
+        (
+            "tuned_remote_evictions_total",
+            "Workers evicted from the pool.",
+            s.remote_evictions,
+        ),
+        (
+            "tuned_remote_fallback_evals_total",
+            "Evals served by the local fallback.",
+            s.remote_fallback_evals,
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    out
+}
+
+/// The full scrape body: obs registry first, daemon counters after.
+#[must_use]
+pub fn render_scrape(daemon: &Daemon) -> String {
+    let mut body = obs::render_prometheus(&daemon.obs().snapshot());
+    body.push_str(&render_daemon_metrics(&daemon.metrics_snapshot()));
+    body
+}
+
+/// The `/metrics` HTTP endpoint. Owns its listener; runs until the
+/// stop flag (shared with the daemon's protocol server, typically) is
+/// raised.
+pub struct MetricsExporter {
+    listener: TcpListener,
+    daemon: Daemon,
+    stop: Arc<AtomicBool>,
+}
+
+impl MetricsExporter {
+    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, daemon: Daemon) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot bind metrics {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            daemon,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Panics
+    /// Panics if the socket has no local address (cannot happen for a
+    /// bound listener).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A flag that makes [`MetricsExporter::serve`] return when raised.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accepts and answers scrapes until stopped.
+    ///
+    /// # Errors
+    /// Propagates listener configuration errors.
+    pub fn serve(&self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Scrape handling is quick; keep it on this thread.
+                    let _ = stream.set_nonblocking(false);
+                    serve_scrape(stream, &self.daemon);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(format!("metrics accept failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn serve_scrape(stream: TcpStream, daemon: &Daemon) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; we answer and close regardless of their content.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && path == "/metrics" {
+        let body = render_scrape(daemon);
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "only GET /metrics lives here\n";
+        format!(
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::RunDir;
+    use crate::daemon::DaemonConfig;
+    use crate::metrics::JobGauges;
+    use std::io::Read;
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn daemon_metrics_render_all_series() {
+        let s = MetricsSnapshot {
+            uptime_secs: 1.5,
+            jobs: JobGauges {
+                queued: 2,
+                ..JobGauges::default()
+            },
+            jobs_submitted: 3,
+            jobs_recovered: 0,
+            generations: 7,
+            generations_per_sec: 4.2,
+            evaluations: 40,
+            cache_hits: 10,
+            cache_hit_rate: 0.2,
+            checkpoints_written: 7,
+            connections: 1,
+            protocol_errors: 0,
+            remote_dispatched: 0,
+            remote_completed: 0,
+            remote_retries: 0,
+            remote_timeouts: 0,
+            remote_evictions: 0,
+            remote_fallback_evals: 0,
+        };
+        let text = render_daemon_metrics(&s);
+        assert!(text.contains("tuned_uptime_seconds 1.500\n"));
+        assert!(text.contains("tuned_jobs{state=\"queued\"} 2\n"));
+        assert!(text.contains("tuned_generations_total 7\n"));
+        assert!(text.contains("# TYPE tuned_evaluations_total counter\n"));
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_metrics_and_404s_the_rest() {
+        let dir = std::env::temp_dir().join(format!("expo-test-{}", std::process::id()));
+        let daemon = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        daemon.obs().counter("expo_test_counter").add(5);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", daemon.clone()).unwrap();
+        let addr = exporter.local_addr();
+        let stop = exporter.stop_flag();
+        let handle = std::thread::spawn(move || exporter.serve().unwrap());
+
+        let ok = http_get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("expo_test_counter 5\n"), "{ok}");
+        assert!(ok.contains("tuned_jobs{state=\"queued\"} 0\n"), "{ok}");
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

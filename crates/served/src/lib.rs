@@ -23,6 +23,9 @@
 //!   work, and a local fallback — bit-identical to in-process runs;
 //! * [`metrics`] — live counters: jobs by state, fitness evaluations,
 //!   memo-table hit rate, generations per second;
+//! * [`expo`] — a Prometheus-style text exposition of the `obs`
+//!   observability registry plus the daemon counters, served over a
+//!   tiny `GET /metrics` HTTP endpoint;
 //! * [`json`] — the hand-rolled JSON layer (the workspace builds with no
 //!   external crates; floats round-trip bit-exactly).
 //!
@@ -32,6 +35,7 @@ pub mod checkpoint;
 pub mod client;
 pub mod daemon;
 pub mod dispatch;
+pub mod expo;
 pub mod job;
 pub mod json;
 pub mod metrics;
@@ -42,6 +46,7 @@ pub use checkpoint::RunDir;
 pub use client::Client;
 pub use daemon::{Daemon, DaemonConfig, JobRecord};
 pub use dispatch::{DispatchConfig, RemoteEvaluator, Worker, WorkerPool, WorkerSnapshot};
+pub use expo::MetricsExporter;
 pub use job::{JobSpec, JobState};
 pub use metrics::{JobGauges, Metrics, MetricsSnapshot};
 pub use server::Server;

@@ -14,7 +14,7 @@ use inliner::InlineParams;
 use crate::checkpoint::f64_to_json;
 use crate::daemon::JobRecord;
 use crate::dispatch::WorkerSnapshot;
-use crate::json::{parse, Json};
+use crate::json::{parse, u64_from_json, u64_to_json, Json};
 use crate::metrics::MetricsSnapshot;
 
 /// Longest request or response line the daemon will read, in bytes.
@@ -164,7 +164,191 @@ pub fn record_to_json(r: &JobRecord) -> Json {
     if let Some(e) = &r.error {
         pairs.push(("error", Json::Str(e.clone())));
     }
+    if let Some(t) = &r.timing {
+        pairs.push((
+            "timing",
+            Json::obj(vec![
+                ("generation", Json::Int(t.generation as i64)),
+                ("eval_micros", u64_to_json(t.eval_micros)),
+                ("select_micros", u64_to_json(t.select_micros)),
+                ("breed_micros", u64_to_json(t.breed_micros)),
+                ("evaluations", Json::Int(t.evaluations as i64)),
+                ("cache_hits", Json::Int(t.cache_hits as i64)),
+            ]),
+        ));
+    }
     Json::obj(pairs)
+}
+
+fn hist_to_json(name: &str, h: &obs::HistSnapshot) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        (
+            "counts",
+            Json::Arr(h.counts.iter().map(|&c| u64_to_json(c)).collect()),
+        ),
+        ("total", u64_to_json(h.total)),
+        ("sum", u64_to_json(h.sum)),
+        ("max", u64_to_json(h.max)),
+        // Derived, for human consumers; `registry_from_json` recomputes.
+        ("p50", u64_to_json(h.p50())),
+        ("p95", u64_to_json(h.p95())),
+        ("p99", u64_to_json(h.p99())),
+    ])
+}
+
+/// Serializes an observability registry snapshot for the `obs` verb.
+/// `u64` values ride as decimal strings (`u64_to_json`) so nothing is
+/// clipped to the JSON integer range.
+#[must_use]
+pub fn registry_to_json(s: &obs::RegistrySnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::Obj(
+                s.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), u64_to_json(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                s.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Arr(
+                s.histograms
+                    .iter()
+                    .map(|(k, h)| hist_to_json(k, h))
+                    .collect(),
+            ),
+        ),
+        (
+            "spans",
+            Json::Arr(
+                s.spans
+                    .iter()
+                    .map(|sp| {
+                        Json::obj(vec![
+                            ("path", Json::Str(sp.path.clone())),
+                            ("label", Json::Str(sp.label.clone())),
+                            ("start_micros", u64_to_json(sp.start_micros)),
+                            ("dur_micros", u64_to_json(sp.dur_micros)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes what [`registry_to_json`] produced. Derived histogram fields
+/// (p50/p95/p99) are ignored — they recompute from the buckets.
+///
+/// # Errors
+/// Describes the first malformed field.
+pub fn registry_from_json(v: &Json) -> Result<obs::RegistrySnapshot, String> {
+    let counters = match v.get("counters") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, val)| {
+                u64_from_json(val)
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter '{k}' is not a u64"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("obs JSON needs a 'counters' object".into()),
+    };
+    let gauges = match v.get("gauges") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, val)| {
+                val.as_i64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("gauge '{k}' is not an integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("obs JSON needs a 'gauges' object".into()),
+    };
+    let histograms = v
+        .get("histograms")
+        .and_then(Json::as_arr)
+        .ok_or("obs JSON needs a 'histograms' array")?
+        .iter()
+        .map(|h| {
+            let name = h
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("histogram needs a 'name'")?
+                .to_string();
+            let counts = h
+                .get("counts")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram '{name}' needs a 'counts' array"))?
+                .iter()
+                .map(|c| u64_from_json(c).ok_or_else(|| format!("bad count in '{name}'")))
+                .collect::<Result<Vec<u64>, _>>()?;
+            if counts.len() != obs::NUM_BUCKETS {
+                return Err(format!(
+                    "histogram '{name}' has {} buckets, expected {}",
+                    counts.len(),
+                    obs::NUM_BUCKETS
+                ));
+            }
+            let field = |key: &str| {
+                h.get(key)
+                    .and_then(u64_from_json)
+                    .ok_or_else(|| format!("histogram '{name}' needs a u64 '{key}'"))
+            };
+            Ok((
+                name.clone(),
+                obs::HistSnapshot {
+                    counts,
+                    total: field("total")?,
+                    sum: field("sum")?,
+                    max: field("max")?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let spans = v
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("obs JSON needs a 'spans' array")?
+        .iter()
+        .map(|sp| {
+            let text = |key: &str| {
+                sp.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("span needs a string '{key}'"))
+            };
+            let micros = |key: &str| {
+                sp.get(key)
+                    .and_then(u64_from_json)
+                    .ok_or_else(|| format!("span needs a u64 '{key}'"))
+            };
+            Ok(obs::SpanRecord {
+                path: text("path")?,
+                label: text("label")?,
+                start_micros: micros("start_micros")?,
+                dur_micros: micros("dur_micros")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(obs::RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
+        spans,
+    })
 }
 
 /// Serializes a metrics snapshot.

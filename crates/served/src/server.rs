@@ -17,8 +17,8 @@ use crate::job::JobSpec;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{
-    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, worker_to_json,
-    write_frame, Frame,
+    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, registry_to_json,
+    worker_to_json, write_frame, Frame,
 };
 
 /// How long a connection may sit idle (mid-read) before it is dropped.
@@ -196,6 +196,10 @@ fn dispatch(
             }
             Some(ok_with(vec![("metrics", m)]))
         }
+        "obs" => Some(ok_with(vec![(
+            "obs",
+            registry_to_json(&daemon.obs().snapshot()),
+        )])),
         "register" => Some(match worker_addr(body) {
             Err(e) => err(e),
             Ok(addr) => {

@@ -1,0 +1,394 @@
+//! Deterministic observability: in-process `evald` workers with fault
+//! injection, every registry on an [`obs::ManualClock`], and **exact**
+//! assertions on counters and histogram buckets.
+//!
+//! Two properties make exactness possible where most metrics tests
+//! settle for `> 0`:
+//!
+//! * the dispatcher's failure handling is deterministic given a worker
+//!   that *always* fails — `max_consecutive_failures` failures of
+//!   `max_inflight` claims each produce a fixed number of retries,
+//!   backoffs and exactly one eviction;
+//! * a frozen manual clock makes every duration sample exactly zero, so
+//!   every histogram sample lands in bucket 0 and `sum == max == 0` no
+//!   matter how threads interleave.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use evald::{Chaos, ChaosConfig, EvalWorker};
+use ga::{Evaluator, GaConfig};
+use inliner::InlineParams;
+use jit::Scenario;
+use served::dispatch::{DispatchConfig, RemoteEvaluator, Worker, WorkerPool};
+use served::proto::{registry_from_json, registry_to_json};
+use served::{JobSpec, Metrics};
+use tuner::{Goal, Tuner};
+
+fn tiny_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        name: "Opt:Tot".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into()],
+        ga: GaConfig {
+            pop_size: 6,
+            generations: 3,
+            threads: 1,
+            seed,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+    }
+}
+
+fn fast_dispatch(max_inflight: usize) -> DispatchConfig {
+    DispatchConfig {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(800),
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(10),
+        max_consecutive_failures: 3,
+        max_inflight,
+        ..DispatchConfig::default()
+    }
+}
+
+fn manual_registry() -> Arc<obs::Registry> {
+    Arc::new(obs::Registry::with_clock(Arc::new(obs::ManualClock::new())))
+}
+
+/// An in-process worker recording into its own manual-clock registry.
+struct TestWorker {
+    addr: String,
+    reg: Arc<obs::Registry>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestWorker {
+    fn start(chaos: Chaos) -> Self {
+        let reg = manual_registry();
+        let worker = EvalWorker::bind_with_obs("127.0.0.1:0", chaos, Arc::clone(&reg)).unwrap();
+        let addr = worker.local_addr().to_string();
+        let stop = worker.stop_flag();
+        let handle = std::thread::spawn(move || worker.serve().unwrap());
+        Self {
+            addr,
+            reg,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for TestWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A pool over the given workers, recording into its own manual-clock
+/// registry.
+fn manual_pool(cfg: DispatchConfig, addrs: &[String]) -> (WorkerPool, Arc<obs::Registry>) {
+    let reg = manual_registry();
+    let mut pool = WorkerPool::with_workers(cfg, addrs);
+    pool.set_obs(Arc::clone(&reg));
+    (pool, reg)
+}
+
+/// Every histogram in the snapshot that saw samples must have recorded
+/// them all as exactly zero (frozen clock): all in bucket 0, zero sum,
+/// zero max.
+fn assert_all_samples_zero(snap: &obs::RegistrySnapshot) {
+    for (name, h) in &snap.histograms {
+        assert_eq!(h.counts[0], h.total, "{name}: all samples in bucket 0");
+        assert_eq!(h.sum, 0, "{name}: frozen clock records zero durations");
+        assert_eq!(h.max, 0, "{name}: frozen clock records zero max");
+    }
+}
+
+/// A worker with `drop:1.0` chaos answers its `task` handshake but kills
+/// every connection at the first `eval`. The dispatcher's reaction is
+/// fully deterministic, so every counter asserts an exact value:
+///
+/// * 3 connection attempts (`max_consecutive_failures`), each claiming
+///   all 4 genomes → `retries == 3 * 4 == 12`;
+/// * backoff after failures 1 and 2; the third failure evicts instead
+///   → `backoffs == 2`, `evictions == 1`;
+/// * nothing ever completes → `completed == 0`, the RPC latency
+///   histogram exists but is empty, and all 4 genomes fall back to the
+///   local path → `fallback_evals == 4`;
+/// * worker side: one tuner build (`misses == 1`) then two cache hits,
+///   and one chaos drop per connection → `drops == 3`.
+#[test]
+fn dead_dropping_worker_evicts_with_exact_counters() {
+    let chaos = Chaos::new(ChaosConfig::parse("drop:1.0").unwrap(), 1);
+    let worker = TestWorker::start(chaos);
+    let (pool, reg) = manual_pool(fast_dispatch(4), &[worker.addr.clone()]);
+    let metrics = Metrics::new();
+
+    let spec = tiny_spec(3001);
+    let genomes: Vec<Vec<i64>> = vec![InlineParams::jikes_default().to_genes(); 4];
+    let eval = RemoteEvaluator::new(&pool, spec.to_json(), &metrics, |g| g[0] as f64);
+    let scores = eval.evaluate(&genomes);
+    assert_eq!(scores.len(), 4, "every genome resolves via the fallback");
+
+    let label = |base: &str| obs::labeled(base, &[("worker", &worker.addr)]);
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(&label("dispatch_retries")), 12);
+    assert_eq!(snap.counter(&label("dispatch_evictions")), 1);
+    assert_eq!(snap.counter(&label("dispatch_backoffs")), 2);
+    assert_eq!(snap.counter(&label("dispatch_timeouts")), 0);
+    assert_eq!(snap.counter("dispatch_fallback_evals"), 4);
+    let rpc = snap
+        .histogram(&label("rpc_latency_micros"))
+        .expect("the latency histogram is created when dispatch starts");
+    assert_eq!(rpc.total, 0, "nothing ever completed");
+
+    let stats = pool.all()[0].stats.read();
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.retries, 12);
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(metrics.remote_retries.load(Ordering::Relaxed), 12);
+    assert_eq!(metrics.remote_evictions.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.remote_fallback_evals.load(Ordering::Relaxed), 4);
+    assert_eq!(metrics.remote_completed.load(Ordering::Relaxed), 0);
+
+    let wsnap = worker.reg.snapshot();
+    assert_eq!(wsnap.counter("evald_connections"), 3);
+    assert_eq!(wsnap.counter("evald_task_cache_misses"), 1);
+    assert_eq!(wsnap.counter("evald_task_cache_hits"), 2);
+    assert_eq!(wsnap.counter("evald_chaos_drops"), 3);
+    assert_eq!(wsnap.counter("evald_evals"), 0);
+}
+
+/// A healthy worker under manual clocks: the full GA run stays
+/// bit-identical to the local reference, every remote evaluation shows
+/// up in both sides' instruments, and every latency histogram asserts
+/// exact bucket contents.
+#[test]
+fn healthy_worker_run_is_bit_identical_with_exact_histograms() {
+    let worker = TestWorker::start(Chaos::inert());
+    let (pool, reg) = manual_pool(fast_dispatch(8), &[worker.addr.clone()]);
+    let metrics = Metrics::new();
+    let ga_reg = manual_registry();
+
+    let spec = tiny_spec(3002);
+    let tuner = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    );
+    let mut state = tuner.start(spec.ga.clone());
+    state.set_obs(Arc::clone(&ga_reg));
+    let remote = RemoteEvaluator::new(&pool, spec.to_json(), &metrics, |genes| {
+        tuner.fitness(&InlineParams::from_genes(genes))
+    });
+    while !state.step_with(&remote) {}
+    let outcome = tuner.outcome(&state);
+
+    // Bit-identity against the all-local reference run.
+    let local = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    )
+    .tune(spec.ga.clone());
+    assert_eq!(outcome.params.to_genes(), local.params.to_genes());
+    assert_eq!(outcome.fitness.to_bits(), local.fitness.to_bits());
+
+    // Every distinct evaluation went remote, none fell back, and the
+    // worker answered each exactly once.
+    let completed = metrics.remote_completed.load(Ordering::Relaxed);
+    assert_eq!(completed, state.evaluations() as u64);
+    assert_eq!(metrics.remote_fallback_evals.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.remote_retries.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.remote_evictions.load(Ordering::Relaxed), 0);
+    let stats = pool.all()[0].stats.read();
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.rtt_micros, 0, "frozen clock: zero RTT");
+
+    // Dispatcher side: one latency sample per completed eval, all zero.
+    let snap = reg.snapshot();
+    let rpc = snap
+        .histogram(&obs::labeled(
+            "rpc_latency_micros",
+            &[("worker", &worker.addr)],
+        ))
+        .unwrap();
+    assert_eq!(rpc.total, completed);
+    assert_all_samples_zero(&snap);
+
+    // Worker side: one timed eval per completed request, no drops.
+    let wsnap = worker.reg.snapshot();
+    assert_eq!(wsnap.counter("evald_evals"), completed);
+    assert_eq!(wsnap.counter("evald_chaos_drops"), 0);
+    let weval = wsnap.histogram("evald_eval_micros").unwrap();
+    assert_eq!(weval.total, completed);
+    assert_all_samples_zero(&wsnap);
+
+    // GA side: one generation span and per-phase histogram sample per
+    // step, all exactly zero under the manual clock.
+    let gsnap = ga_reg.snapshot();
+    let gens = spec.ga.generations as u64;
+    assert_eq!(gsnap.counter("ga_generations"), gens);
+    assert_eq!(gsnap.histogram("ga_eval_micros").unwrap().total, gens);
+    assert_all_samples_zero(&gsnap);
+    assert_eq!(
+        gsnap
+            .spans
+            .iter()
+            .filter(|s| s.path == "generation")
+            .count() as u64,
+        gens
+    );
+}
+
+/// Two workers — one dropping 30% of connections — still converge to the
+/// bit-identical result, per-worker completions add up to the batch
+/// totals, and the frozen clocks keep every histogram exact even though
+/// retry scheduling is nondeterministic.
+#[test]
+fn chaos_and_healthy_worker_pair_keeps_exact_accounting() {
+    let flaky = TestWorker::start(Chaos::new(ChaosConfig::parse("drop:0.3").unwrap(), 7));
+    let steady = TestWorker::start(Chaos::inert());
+    let (pool, reg) = manual_pool(fast_dispatch(2), &[flaky.addr.clone(), steady.addr.clone()]);
+    let metrics = Metrics::new();
+
+    let spec = tiny_spec(3003);
+    let tuner = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    );
+    let mut state = tuner.start(spec.ga.clone());
+    state.set_obs(manual_registry());
+    let remote = RemoteEvaluator::new(&pool, spec.to_json(), &metrics, |genes| {
+        tuner.fitness(&InlineParams::from_genes(genes))
+    });
+    while !state.step_with(&remote) {}
+    let outcome = tuner.outcome(&state);
+
+    let local = Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    )
+    .tune(spec.ga.clone());
+    assert_eq!(outcome.params.to_genes(), local.params.to_genes());
+    assert_eq!(outcome.fitness.to_bits(), local.fitness.to_bits());
+
+    // Remote completions plus local fallbacks cover every distinct
+    // evaluation exactly once (results merge by genome, so a retried
+    // request that eventually lands still counts once per response).
+    let completed = metrics.remote_completed.load(Ordering::Relaxed);
+    let per_worker: u64 = pool.all().iter().map(|w| w.stats.read().completed).sum();
+    assert_eq!(
+        per_worker, completed,
+        "worker counters account for every response"
+    );
+    assert_eq!(
+        completed + metrics.remote_fallback_evals.load(Ordering::Relaxed),
+        state.evaluations() as u64
+    );
+
+    // Exactness survives chaos: whatever got recorded is all-zero.
+    let snap = reg.snapshot();
+    let rpc_total: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(n, _)| n.starts_with("rpc_latency_micros"))
+        .map(|(_, h)| h.total)
+        .sum();
+    assert_eq!(rpc_total, completed);
+    assert_all_samples_zero(&snap);
+    assert_all_samples_zero(&flaky.reg.snapshot());
+    assert_all_samples_zero(&steady.reg.snapshot());
+}
+
+/// Hammers one worker's stats from many threads while a poller takes
+/// snapshots: because `completed` and `rtt_micros` move under one lock,
+/// every observed mean RTT must be *exactly* 1 ms — a torn read (the old
+/// per-field atomics) surfaces as a fractional mean.
+#[test]
+fn worker_stats_snapshot_is_internally_consistent_under_load() {
+    let w = Arc::new(Worker::new("x:1".into(), true));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let w = Arc::clone(&w);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    w.stats.update(|s| {
+                        s.completed += 1;
+                        s.rtt_micros += 1000;
+                    });
+                }
+            })
+        })
+        .collect();
+
+    let poller = {
+        let w = Arc::clone(&w);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut observed = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let s = w.snapshot();
+                if s.completed > 0 {
+                    assert_eq!(
+                        s.mean_rtt_ms, 1.0,
+                        "snapshot mixed counters from different instants: {s:?}"
+                    );
+                    observed += 1;
+                }
+            }
+            observed
+        })
+    };
+
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    assert!(
+        poller.join().unwrap() > 0,
+        "the poller must observe snapshots"
+    );
+    let s = w.stats.read();
+    assert_eq!(s.completed, 80_000);
+    assert_eq!(s.rtt_micros, 80_000_000);
+}
+
+/// The `obs` verb round-trips the registry through the wire JSON
+/// losslessly, including u64 values beyond the f64-safe integer range.
+#[test]
+fn obs_json_roundtrips_exactly() {
+    let reg = manual_registry();
+    reg.counter("big").add(u64::MAX - 3);
+    reg.counter(&obs::labeled("evals", &[("worker", "a:1")]))
+        .inc();
+    reg.gauge("temp").set(-42);
+    let h = reg.histogram("lat");
+    h.record(0);
+    h.record(150);
+    h.record(u64::MAX);
+    drop(obs::span!(reg, "phase", idx = 3));
+
+    let snap = reg.snapshot();
+    let json = registry_to_json(&snap);
+    // Through text, like the wire does it.
+    let text = json.to_text();
+    let parsed = served::json::parse(&text).unwrap();
+    let back = registry_from_json(&parsed).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back.counter("big"), u64::MAX - 3);
+    assert_eq!(back.histogram("lat").unwrap().max, u64::MAX);
+}

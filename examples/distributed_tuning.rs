@@ -70,15 +70,26 @@ fn main() {
     });
 
     // Drive the search one generation at a time through the remote
-    // evaluator. Only memo-table misses travel over the wire.
+    // evaluator. Only memo-table misses travel over the wire. Each
+    // generation's wall-time breakdown comes from the obs layer via
+    // `last_timing` — the same numbers `tuned` forwards in watch frames.
     let mut state = tuning.start(spec.ga.clone());
     while !state.step_with(&remote) {
         let best = state.best().map_or(f64::INFINITY, |(_, f)| f);
-        println!(
-            "generation {:>2}: best fitness {best:.4}  (remote evals so far: {})",
-            state.generation(),
-            metrics.remote_completed.load(Ordering::Relaxed),
-        );
+        let remote_evals = metrics.remote_completed.load(Ordering::Relaxed);
+        match state.last_timing() {
+            Some(t) => println!(
+                "generation {:>2}: best fitness {best:.4}  \
+                 eval {:>6}us ({} evals, {} cached)  breed {:>4}us  \
+                 (remote evals so far: {remote_evals})",
+                t.generation, t.eval_micros, t.evaluations, t.cache_hits, t.breed_micros,
+            ),
+            None => println!(
+                "generation {:>2}: best fitness {best:.4}  \
+                 (remote evals so far: {remote_evals})",
+                state.generation(),
+            ),
+        }
     }
     let distributed = tuning.outcome(&state);
 

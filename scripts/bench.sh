@@ -129,3 +129,95 @@ emit_case() { # name
 echo "== bench: wrote $OUT"
 cat "$OUT"
 [ "$IDENTICAL" = true ] || { echo "bench: distributed result differs from local!"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Observability overhead: the same deterministic tuning job, once with the
+# obs layer recording and once with it compiled out (`inlinetune-obs/off`),
+# must land within BENCH_OBS_MAX_PCT of each other and produce bit-identical
+# fitness.
+#
+# Methodology notes (the naive version of this benchmark is wrong):
+#   * The two builds' hot functions are byte-identical, but the extra obs
+#     code shifts their addresses, and code-placement alone swings wall
+#     time by 3-4% on this workload. `-align-all-functions=6` pins every
+#     function to a 64-byte boundary in BOTH builds, which collapses that
+#     layout bias below the noise floor.
+#   * Runs alternate between the variants and each side keeps its minimum,
+#     so slow drift (thermal, background load) hits both equally.
+#
+#   * Each process runs the job BENCH_OBS_REPS times and reports its
+#     in-process minimum (warm caches, settled CPU frequency), which is a
+#     much tighter estimator than one cold run per process.
+#
+# Knobs: BENCH_OBS_POP, BENCH_OBS_GENS, BENCH_OBS_RUNS (alternating pairs),
+# BENCH_OBS_REPS (in-process repetitions), BENCH_OBS_MAX_PCT, BENCH_OBS_OUT.
+
+OBS_POP=${BENCH_OBS_POP:-8}
+OBS_GENS=${BENCH_OBS_GENS:-2}
+OBS_RUNS=${BENCH_OBS_RUNS:-3}
+OBS_REPS=${BENCH_OBS_REPS:-6}
+OBS_MAX_PCT=${BENCH_OBS_MAX_PCT:-2.0}
+OBS_OUT=${BENCH_OBS_OUT:-BENCH_obs.json}
+OBS_RUSTFLAGS="-C llvm-args=-align-all-functions=6"
+
+echo "== bench: obs overhead (recording on vs. compiled out)"
+RUSTFLAGS="$OBS_RUSTFLAGS" CARGO_TARGET_DIR=target/bench-obs-on \
+  cargo build --release --offline --example obs_overhead >/dev/null
+RUSTFLAGS="$OBS_RUSTFLAGS" CARGO_TARGET_DIR=target/bench-obs-off \
+  cargo build --release --offline --features inlinetune-obs/off \
+  --example obs_overhead >/dev/null
+
+OBS_ON_BIN=target/bench-obs-on/release/examples/obs_overhead
+OBS_OFF_BIN=target/bench-obs-off/release/examples/obs_overhead
+
+obs_field() { # json-line, field -> value (numbers and quoted strings)
+  printf '%s' "$1" | sed -n "s/.*\"$2\":\"\{0,1\}\([a-z0-9]*\)\"\{0,1\}[,}].*/\1/p"
+}
+
+ON_MIN= OFF_MIN= ON_BITS= OFF_BITS=
+for _ in $(seq 1 "$OBS_RUNS"); do
+  on_line=$("$OBS_ON_BIN" "$OBS_POP" "$OBS_GENS" "$SEED" "$OBS_REPS")
+  off_line=$("$OBS_OFF_BIN" "$OBS_POP" "$OBS_GENS" "$SEED" "$OBS_REPS")
+  on_us=$(obs_field "$on_line" elapsed_micros)
+  off_us=$(obs_field "$off_line" elapsed_micros)
+  ON_BITS=$(obs_field "$on_line" fitness_bits)
+  OFF_BITS=$(obs_field "$off_line" fitness_bits)
+  [ "$(obs_field "$on_line" obs_compiled_out)" = false ] \
+    || { echo "bench: on-variant reports recording compiled out"; exit 1; }
+  [ "$(obs_field "$off_line" obs_compiled_out)" = true ] \
+    || { echo "bench: off-variant reports recording still live"; exit 1; }
+  if [ -z "$ON_MIN" ] || [ "$on_us" -lt "$ON_MIN" ]; then ON_MIN=$on_us; fi
+  if [ -z "$OFF_MIN" ] || [ "$off_us" -lt "$OFF_MIN" ]; then OFF_MIN=$off_us; fi
+  echo "   on ${on_us}us / off ${off_us}us"
+done
+
+[ "$ON_BITS" = "$OFF_BITS" ] && OBS_IDENTICAL=true || OBS_IDENTICAL=false
+
+OVERHEAD_PCT=$(awk -v on="$ON_MIN" -v off="$OFF_MIN" \
+  'BEGIN { printf "%.3f", (on - off) * 100.0 / off }')
+OVERHEAD_OK=$(awk -v pct="$OVERHEAD_PCT" -v max="$OBS_MAX_PCT" \
+  'BEGIN { print (pct < max) ? "true" : "false" }')
+
+{
+  printf '{\n'
+  printf '  "bench": "obs recording overhead",\n'
+  printf '  "pop": %d,\n' "$OBS_POP"
+  printf '  "gens": %d,\n' "$OBS_GENS"
+  printf '  "seed": %d,\n' "$SEED"
+  printf '  "runs": %d,\n' "$OBS_RUNS"
+  printf '  "reps_per_run": %d,\n' "$OBS_REPS"
+  printf '  "on_min_micros": %d,\n' "$ON_MIN"
+  printf '  "off_min_micros": %d,\n' "$OFF_MIN"
+  printf '  "overhead_pct": %s,\n' "$OVERHEAD_PCT"
+  printf '  "overhead_max_pct": %s,\n' "$OBS_MAX_PCT"
+  printf '  "overhead_ok": %s,\n' "$OVERHEAD_OK"
+  printf '  "fitness_identical": %s\n' "$OBS_IDENTICAL"
+  printf '}\n'
+} >"$OBS_OUT"
+
+echo "== bench: wrote $OBS_OUT"
+cat "$OBS_OUT"
+[ "$OBS_IDENTICAL" = true ] \
+  || { echo "bench: observability changed the tuned result!"; exit 1; }
+[ "$OVERHEAD_OK" = true ] \
+  || { echo "bench: obs overhead ${OVERHEAD_PCT}% exceeds ${OBS_MAX_PCT}%"; exit 1; }

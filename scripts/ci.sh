@@ -18,12 +18,29 @@ cargo build --workspace --release --offline
 echo "== cargo test --offline"
 cargo test --workspace --offline --quiet
 
+# The property-test suites (obs histogram invariants, registry JSON
+# round-trips) need the external `proptest` crate, which is not vendored:
+# they are gated behind a bare `proptest` cargo feature and skipped unless
+# a dev-dependency on proptest has been added (networked checkout).
+has_proptest_dep() { # manifest
+  awk '/^\[dev-dependencies\]/ { f = 1; next } /^\[/ { f = 0 } f && /^proptest *=/' \
+    "$1" | grep -q .
+}
+if has_proptest_dep crates/obs/Cargo.toml; then
+  echo "== cargo test --features proptest (property suites)"
+  cargo test -p inlinetune-obs --offline --quiet --features proptest
+  cargo test -p inlinetune-served --offline --quiet --features proptest
+else
+  echo "== property suites skipped (proptest crate not vendored)"
+fi
+
 echo "== tuned smoke run"
 TUNED=target/release/tuned
 RUN_DIR=$(mktemp -d)
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$RUN_DIR"' EXIT
 
-"$TUNED" serve --addr 127.0.0.1:0 --dir "$RUN_DIR" --workers 1 &
+"$TUNED" serve --addr 127.0.0.1:0 --dir "$RUN_DIR" --workers 1 \
+  --metrics-listen 127.0.0.1:0 &
 DAEMON_PID=$!
 
 # The daemon publishes its OS-assigned port in <dir>/addr.
@@ -45,12 +62,39 @@ ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
 "$TUNED" metrics --addr "$ADDR" | grep -q '"generations":' \
   || { echo "metrics missing counters"; exit 1; }
 
+"$TUNED" obs --addr "$ADDR" | grep -q '"counters"' \
+  || { echo "obs verb missing registry snapshot"; exit 1; }
+
+# Prometheus exposition: the daemon publishes the exporter's OS-assigned
+# port in <dir>/metrics-addr; scrape it with bash's /dev/tcp.
+for _ in $(seq 1 100); do
+  [ -s "$RUN_DIR/metrics-addr" ] && break
+  sleep 0.1
+done
+MADDR=$(cat "$RUN_DIR/metrics-addr")
+echo "metrics exporter at $MADDR"
+exec 3<>"/dev/tcp/${MADDR%:*}/${MADDR##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+SCRAPE=$(cat <&3)
+exec 3<&- 3>&-
+printf '%s' "$SCRAPE" | grep -q '^tuned_jobs{state="done"} 1' \
+  || { echo "scrape missing tuned_jobs gauge"; printf '%s\n' "$SCRAPE"; exit 1; }
+printf '%s' "$SCRAPE" | grep -q '^# TYPE ga_generations counter' \
+  || { echo "scrape missing obs registry counters"; exit 1; }
+
 "$TUNED" shutdown --addr "$ADDR"
 wait "$DAEMON_PID"
 
 echo "== evald distributed-evaluation smoke (scripts/bench.sh)"
-BENCH_POP=6 BENCH_GENS=2 scripts/bench.sh >/dev/null
+# Loose obs-overhead threshold here: CI machines are noisy and this is a
+# pipeline smoke; the tight 2% default applies to dedicated bench runs.
+BENCH_POP=6 BENCH_GENS=2 BENCH_OBS_RUNS=2 BENCH_OBS_REPS=3 \
+  BENCH_OBS_MAX_PCT=5.0 scripts/bench.sh >/dev/null
 grep -q '"identical": true' BENCH_evald.json \
   || { echo "distributed run not bit-identical to local"; exit 1; }
+grep -q '"fitness_identical": true' BENCH_obs.json \
+  || { echo "obs recording changed the tuned result"; exit 1; }
+grep -q '"overhead_ok": true' BENCH_obs.json \
+  || { echo "obs overhead above threshold"; cat BENCH_obs.json; exit 1; }
 
 echo "== CI OK"

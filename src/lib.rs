@@ -19,6 +19,7 @@
 //! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
 //! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol, remote dispatch |
 //! | [`evald`] | `inlinetune-evald` | the remote fitness-evaluation worker: eval RPCs, heartbeats, chaos injection |
+//! | [`obs`] | `inlinetune-obs` | observability: spans, latency histograms, counters, Prometheus exposition |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use ga;
 pub use inliner;
 pub use ir;
 pub use jit;
+pub use obs;
 pub use served;
 pub use simrng;
 pub use tuner;
