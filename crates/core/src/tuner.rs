@@ -216,6 +216,31 @@ impl Tuner {
         while !self.step(&mut state) {}
         self.outcome(&state)
     }
+
+    /// Seeds a resumable search under any named strategy spec (`"ga"`,
+    /// `"random"`, `"hillclimb"`, `"anneal"`, `"grid"`, `"race"`,
+    /// `"race:a+b+..."` — see `search::build`) over this task's Table 1
+    /// ranges. `"ga"` behind this seam is bit-identical to
+    /// [`Tuner::start`] with the same config.
+    pub fn start_strategy(
+        &self,
+        strategy: &str,
+        ga_config: GaConfig,
+    ) -> Result<Box<dyn search::Strategy>, String> {
+        search::build(strategy, self.task.ranges(), ga_config)
+    }
+
+    /// Advances a pluggable-strategy search by one ask/evaluate/tell
+    /// round, evaluating the batch locally on the strategy's configured
+    /// thread count. Returns `true` once the search is complete.
+    pub fn step_strategy(&self, strategy: &mut dyn search::Strategy) -> bool {
+        let threads = strategy.config().threads;
+        let backend = ga::LocalEvaluator::new(
+            |genes: &[i64]| self.fitness(&InlineParams::from_genes(genes)),
+            threads,
+        );
+        search::step_with(strategy, &backend)
+    }
 }
 
 #[cfg(test)]
@@ -313,5 +338,65 @@ mod tests {
         let disabled = t.fitness(&InlineParams::disabled());
         let default = t.fitness(&InlineParams::jikes_default());
         assert_ne!(disabled, default);
+    }
+
+    #[test]
+    fn ga_strategy_matches_plain_tune_bit_for_bit() {
+        let t = Tuner::new(
+            task(),
+            vec![benchmark_by_name("db").unwrap()],
+            AdaptConfig::default(),
+        );
+        let cfg = GaConfig {
+            pop_size: 8,
+            generations: 5,
+            threads: 1,
+            stagnation_limit: None,
+            seed: 77,
+            ..GaConfig::default()
+        };
+        let plain = t.tune(cfg.clone());
+        let mut strategy = t.start_strategy("ga", cfg).expect("known strategy");
+        while !t.step_strategy(strategy.as_mut()) {}
+        let (genome, fitness) = strategy.best().expect("searched");
+        assert_eq!(genome, plain.params.to_genes());
+        assert_eq!(fitness.to_bits(), plain.fitness.to_bits());
+    }
+
+    #[test]
+    fn race_strategy_runs_on_the_real_fitness() {
+        let t = Tuner::new(
+            task(),
+            vec![benchmark_by_name("db").unwrap()],
+            AdaptConfig::default(),
+        );
+        let cfg = GaConfig {
+            pop_size: 6,
+            generations: 4,
+            threads: 1,
+            stagnation_limit: None,
+            seed: 5,
+            ..GaConfig::default()
+        };
+        let mut strategy = t
+            .start_strategy("race:random+grid", cfg)
+            .expect("known strategy");
+        while !t.step_strategy(strategy.as_mut()) {}
+        let (genome, fitness) = strategy.best().expect("searched");
+        assert!(t.task().ranges().contains(&genome));
+        assert!(fitness.is_finite());
+        let standings = strategy.standings();
+        assert_eq!(standings.len(), 2);
+        assert!(standings.iter().all(|s| s.best_fitness.is_some()));
+    }
+
+    #[test]
+    fn unknown_strategy_is_a_structured_error() {
+        let t = Tuner::new(task(), small_training(), AdaptConfig::default());
+        let err = t
+            .start_strategy("gradient", GaConfig::default())
+            .err()
+            .expect("must reject");
+        assert!(err.contains("unknown strategy"), "{err}");
     }
 }

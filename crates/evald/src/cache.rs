@@ -30,14 +30,14 @@ impl TunerCache {
     }
 
     /// The cache key: the spec's JSON with the fitness-irrelevant fields
-    /// (`name`, `ga`) removed. Deterministic because [`Json::to_text`]
-    /// serializes object keys in insertion order.
+    /// (`name`, `ga`, `strategy`) removed. Deterministic because
+    /// [`Json::to_text`] serializes object keys in insertion order.
     fn key(spec: &JobSpec) -> String {
         match spec.to_json() {
             Json::Obj(pairs) => Json::Obj(
                 pairs
                     .into_iter()
-                    .filter(|(k, _)| k != "name" && k != "ga")
+                    .filter(|(k, _)| k != "name" && k != "ga" && k != "strategy")
                     .collect(),
             )
             .to_text(),
@@ -100,6 +100,7 @@ mod tests {
                 stagnation_limit: None,
                 ..GaConfig::default()
             },
+            strategy: "ga".into(),
         }
     }
 
@@ -110,6 +111,16 @@ mod tests {
         // Different name and GA config, same task cell.
         let (b, hit_b) = cache.get(&spec("b", 999, &["db"])).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        // A different search strategy over the same cell hits too: the
+        // optimizer is irrelevant to the fitness function.
+        let (c, hit_c) = cache
+            .get(&JobSpec {
+                strategy: "race".into(),
+                ..spec("c", 5, &["db"])
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        assert!(hit_c, "strategy must not split the cache cell");
         assert!(!hit_a, "first build is a miss");
         assert!(hit_b, "same cell is a hit");
         assert_eq!(cache.len(), 1);

@@ -332,6 +332,7 @@ mod tests {
                 stagnation_limit: None,
                 ..GaConfig::default()
             },
+            strategy: "ga".into(),
         }
     }
 

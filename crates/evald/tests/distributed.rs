@@ -43,6 +43,7 @@ fn tiny_spec(seed: u64) -> JobSpec {
             stagnation_limit: None,
             ..GaConfig::default()
         },
+        strategy: "ga".into(),
     }
 }
 

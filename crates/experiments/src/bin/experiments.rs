@@ -17,6 +17,7 @@
 //!   inspect           extension: benchmark-suite calibration statistics
 //!   dump NAME         extension: serialize a benchmark's IR to results/ir/
 //!   budget            extension: GA search-budget / operator study
+//!   strategies        extension: search-strategy comparison (all 5 cells)
 //!
 //! Options:
 //!   --out DIR         results directory              (default: results)
@@ -33,7 +34,8 @@ use std::process::ExitCode;
 
 use experiments::table::Table;
 use experiments::{
-    ablation, budget, fig1, fig10, fig2, figs, inspect, sweep, table1, table4, table5, Context,
+    ablation, budget, fig1, fig10, fig2, figs, inspect, strategies, sweep, table1, table4, table5,
+    Context,
 };
 
 struct Args {
@@ -269,6 +271,16 @@ fn run_budget(ctx: &Context) {
     );
 }
 
+fn run_strategies(ctx: &Context) {
+    let cells = strategies::run(ctx);
+    emit(
+        ctx,
+        "Strategy study: best fitness vs evaluations per search strategy (all 5 cells)",
+        "strategies.csv",
+        &strategies::to_table(&cells),
+    );
+}
+
 fn run_dump(ctx: &Context, name: Option<&str>) {
     let Some(name) = name else {
         eprintln!("usage: experiments dump <benchmark-name>");
@@ -323,7 +335,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
+            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
             return ExitCode::FAILURE;
         }
     };
@@ -346,6 +358,7 @@ fn main() -> ExitCode {
         "inspect" => run_inspect(&ctx),
         "dump" => run_dump(&ctx, args.operand.as_deref()),
         "budget" => run_budget(&ctx),
+        "strategies" => run_strategies(&ctx),
         "all" => {
             run_table1(&ctx);
             run_fig1(&ctx);

@@ -15,11 +15,13 @@
 //! GA budget, output directory) and renders through [`table`] (aligned
 //! console tables + CSV files under `results/`).
 //!
-//! Beyond the paper's artifacts, four extension commands:
+//! Beyond the paper's artifacts, five extension commands:
 //! [`ablation`] (cost-model mechanism knock-outs), [`sweep`]
 //! (per-parameter sensitivity, generalizing Fig. 2 to all five knobs),
-//! [`inspect`] (suite calibration statistics) and [`budget`] (GA search
-//! budget / operator study).
+//! [`inspect`] (suite calibration statistics), [`budget`] (GA search
+//! budget / operator study) and [`strategies`] (search-strategy
+//! comparison: every pluggable optimizer plus the racing portfolio on
+//! all five tuning cells).
 //!
 //! Tuned parameters are persisted to `results/tuned_params.csv` so that
 //! `experiments fig5` can reuse the `table4` tuning run instead of
@@ -33,6 +35,7 @@ pub mod fig10;
 pub mod fig2;
 pub mod figs;
 pub mod inspect;
+pub mod strategies;
 pub mod sweep;
 pub mod table;
 pub mod table1;

@@ -527,6 +527,23 @@ impl GaState {
         &self.ranges
     }
 
+    /// The current population, in breeding order. Together with
+    /// [`cached`](Self::cached) this lets an external driver predict
+    /// exactly which genomes the next [`step_with`](Self::step_with)
+    /// will send to its evaluator (population order, memoized genomes
+    /// skipped, duplicates once) — the `search` crate's ask/tell
+    /// adapter depends on that prediction being exact.
+    #[must_use]
+    pub fn population(&self) -> &[Genome] {
+        &self.population
+    }
+
+    /// The memoized fitness of a genome, if it has been evaluated.
+    #[must_use]
+    pub fn cached(&self, genome: &[i64]) -> Option<f64> {
+        self.cache.get(genome).copied()
+    }
+
     /// Best genome and fitness so far (`None` before the first generation).
     #[must_use]
     pub fn best(&self) -> Option<(&Genome, f64)> {

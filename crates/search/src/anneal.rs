@@ -1,0 +1,187 @@
+//! Simulated annealing with batch proposals and sequential Metropolis
+//! acceptance.
+//!
+//! Each round proposes `pop_size` neighbors of the current point (the
+//! GA's mutation operator again), evaluates the memo misses, then walks
+//! the batch in draw order accepting strictly-improving moves always and
+//! worsening moves with probability `exp(-delta / T)`. The temperature
+//! follows a geometric schedule indexed by budget progress, so the walk
+//! is exploratory early and greedy late — and, like everything else
+//! here, a pure function of the seed.
+
+use std::sync::Arc;
+
+use ga::ops::mutate;
+use ga::{GaConfig, Genome, Ranges};
+use simrng::Rng;
+
+use crate::core::{Core, CoreSnapshot};
+use crate::{Strategy, StrategySnapshot};
+
+/// Per-gene mutation probability for neighbor proposals.
+const NEIGHBOR_PROB: f64 = 0.4;
+
+/// Start temperature, in fitness units (fitness is a geometric mean of
+/// normalized metrics, so ~1.0; typical deltas are a few percent).
+const T_START: f64 = 0.1;
+
+/// Final temperature at budget exhaustion.
+const T_END: f64 = 1e-3;
+
+/// Batch-proposal simulated annealing.
+pub struct SimulatedAnnealing {
+    core: Core,
+    /// RNG state as of the last round boundary. Both the proposal draw
+    /// (in `ask`) and the acceptance draws (in `tell`) advance it, but
+    /// the advance commits only at `tell`.
+    rng_state: [u64; 4],
+    current: Option<(Genome, f64)>,
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    drawn: Vec<Genome>,
+    misses: Vec<Genome>,
+    rng_after: [u64; 4],
+}
+
+impl SimulatedAnnealing {
+    pub fn new(ranges: Ranges, config: GaConfig, label: &str) -> Result<Self, String> {
+        let seed = config.seed;
+        Ok(SimulatedAnnealing {
+            core: Core::new(ranges, config, label)?,
+            rng_state: Rng::seed_from_u64(seed).state(),
+            current: None,
+            pending: None,
+        })
+    }
+
+    pub fn restore(s: AnnealSnapshot, label: &str) -> Result<Self, String> {
+        let core = Core::restore(s.core, label)?;
+        if let Some((g, _)) = &s.current {
+            if !core.ranges.contains(g) {
+                return Err(format!("snapshot current genome {g:?} is out of bounds"));
+            }
+        }
+        Ok(SimulatedAnnealing {
+            core,
+            rng_state: s.rng_state,
+            current: s.current,
+            pending: None,
+        })
+    }
+
+    /// Temperature after `proposed` of `budget` proposals.
+    fn temperature(progress: f64) -> f64 {
+        T_START * (T_END / T_START).powf(progress.clamp(0.0, 1.0))
+    }
+}
+
+impl Strategy for SimulatedAnnealing {
+    fn kind(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn config(&self) -> &GaConfig {
+        &self.core.config
+    }
+
+    fn ask(&mut self) -> Vec<Genome> {
+        if self.core.done {
+            return Vec::new();
+        }
+        if self.pending.is_none() {
+            let mut rng = Rng::from_state(self.rng_state);
+            let n = self.core.batch_size();
+            let drawn: Vec<Genome> = match &self.current {
+                None => (0..n).map(|_| self.core.ranges.random(&mut rng)).collect(),
+                Some((c, _)) => (0..n)
+                    .map(|_| {
+                        let mut g = c.clone();
+                        mutate(&mut g, &self.core.ranges, NEIGHBOR_PROB, &mut rng);
+                        g
+                    })
+                    .collect(),
+            };
+            let misses = self.core.split(&drawn);
+            self.pending = Some(Pending {
+                drawn,
+                misses,
+                rng_after: rng.state(),
+            });
+        }
+        self.pending.as_ref().unwrap().misses.clone()
+    }
+
+    fn tell(&mut self, batch: &[Genome], scores: &[f64]) {
+        if self.core.done && self.pending.is_none() {
+            assert!(batch.is_empty(), "tell on a finished search");
+            return;
+        }
+        let p = self.pending.take().expect("tell before ask");
+        assert_eq!(batch, &p.misses[..], "tell batch must be what ask returned");
+        let proposed_before = self.core.proposed;
+        self.core.commit(&p.drawn, batch, scores);
+        let mut rng = Rng::from_state(p.rng_after);
+        match self.current.take() {
+            // First round: the chain starts at the best uniform draw.
+            None => self.current = self.core.round_best(&p.drawn),
+            Some((mut cg, mut cf)) => {
+                // The whole batch anneals at the round-start temperature;
+                // proposals were drawn around the round-start point.
+                let progress = proposed_before as f64 / self.core.budget() as f64;
+                let t = Self::temperature(progress);
+                for g in &p.drawn {
+                    let s = self.core.memo[g];
+                    let delta = s - cf;
+                    if delta < 0.0 || rng.chance((-delta / t).exp()) {
+                        cg = g.clone();
+                        cf = s;
+                    }
+                }
+                self.current = Some((cg, cf));
+            }
+        }
+        self.rng_state = rng.state();
+    }
+
+    fn is_done(&self) -> bool {
+        self.core.done
+    }
+
+    fn best(&self) -> Option<(Genome, f64)> {
+        self.core.best.clone()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.core.evaluations
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.core.cache_hits
+    }
+
+    fn rounds(&self) -> usize {
+        self.core.rounds
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot::Anneal(AnnealSnapshot {
+            core: self.core.snapshot(),
+            rng_state: self.rng_state,
+            current: self.current.clone(),
+        })
+    }
+
+    fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.core.obs = registry;
+    }
+}
+
+/// Checkpoint of a [`SimulatedAnnealing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealSnapshot {
+    pub core: CoreSnapshot,
+    pub rng_state: [u64; 4],
+    pub current: Option<(Genome, f64)>,
+}

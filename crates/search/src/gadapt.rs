@@ -1,0 +1,131 @@
+//! The existing GA engine behind the [`Strategy`] trait.
+//!
+//! The adapter must be *bit-identical* to driving `ga::GaState`
+//! directly: published experiment numbers depend on it. The engine's
+//! `step_with` already separates RNG-free evaluation from RNG-consuming
+//! breeding, so the adapter only has to (a) predict, in `ask`, exactly
+//! which genomes the engine's own memo-miss scan will request, and
+//! (b) replay the caller's scores through a fake evaluator in `tell`.
+//! The prediction mirrors `GaState`'s evaluation scan: population
+//! order, memoized genomes skipped, within-generation duplicates asked
+//! once. A debug assertion inside [`Replay`] keeps the two in lockstep.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ga::{Evaluator, GaConfig, GaState, GenTiming, Genome, Ranges};
+
+use crate::{Strategy, StrategySnapshot};
+
+/// `ga::GaState` adapted to the ask/tell protocol.
+pub struct Ga {
+    state: GaState,
+}
+
+impl Ga {
+    /// Seeds a fresh GA; panics on an invalid config, like `GaState::new`.
+    pub fn new(ranges: Ranges, config: GaConfig) -> Self {
+        Ga {
+            state: GaState::new(ranges, config),
+        }
+    }
+
+    /// Wraps an already-running engine (e.g. restored from a snapshot).
+    pub fn from_state(state: GaState) -> Self {
+        Ga { state }
+    }
+
+    /// The underlying engine, for callers that want its full history.
+    pub fn state(&self) -> &GaState {
+        &self.state
+    }
+}
+
+/// Hands the engine the scores the caller already computed, asserting
+/// the engine asks for exactly the batch `ask` predicted.
+struct Replay<'a> {
+    expected: &'a [Genome],
+    scores: &'a [f64],
+}
+
+impl Evaluator for Replay<'_> {
+    fn evaluate(&self, genomes: &[Genome]) -> Vec<f64> {
+        assert_eq!(
+            genomes, self.expected,
+            "Ga adapter drifted from the engine's own memo-miss selection"
+        );
+        self.scores.to_vec()
+    }
+}
+
+impl Strategy for Ga {
+    fn kind(&self) -> &'static str {
+        "ga"
+    }
+
+    fn config(&self) -> &GaConfig {
+        self.state.config()
+    }
+
+    fn ask(&mut self) -> Vec<Genome> {
+        if self.state.is_done() {
+            return Vec::new();
+        }
+        // Mirror of the engine's evaluation scan: population order,
+        // cached genomes skipped, duplicates asked once.
+        let mut seen: HashSet<&Genome> = HashSet::new();
+        let mut misses = Vec::new();
+        for g in self.state.population() {
+            if self.state.cached(g).is_some() {
+                continue;
+            }
+            if seen.insert(g) {
+                misses.push(g.clone());
+            }
+        }
+        misses
+    }
+
+    fn tell(&mut self, batch: &[Genome], scores: &[f64]) {
+        if self.state.is_done() {
+            assert!(batch.is_empty(), "tell on a finished GA");
+            return;
+        }
+        let _ = self.state.step_with(&Replay {
+            expected: batch,
+            scores,
+        });
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    fn best(&self) -> Option<(Genome, f64)> {
+        self.state.best().map(|(g, f)| (g.clone(), f))
+    }
+
+    fn evaluations(&self) -> usize {
+        self.state.evaluations()
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.state.cache_hits()
+    }
+
+    fn rounds(&self) -> usize {
+        self.state.generation()
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot::Ga(self.state.snapshot())
+    }
+
+    fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.state.set_obs(registry);
+    }
+
+    fn last_timing(&self) -> Option<GenTiming> {
+        self.state.last_timing()
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic coarse-to-fine grid refinement.
+//!
+//! Level 0 samples a 3-point lattice per gene (low, mid, high of the
+//! full range) and sweeps the full factorial in lexicographic order.
+//! When a level is exhausted, the window re-centers on the best genome
+//! seen so far and halves per gene, then the next lattice is swept —
+//! so the search spends its budget zooming into the best cell. No RNG
+//! at all: the trajectory is a pure function of the fitness surface.
+
+use std::sync::Arc;
+
+use ga::{GaConfig, Genome, Ranges};
+
+use crate::core::{Core, CoreSnapshot};
+use crate::{Strategy, StrategySnapshot};
+
+/// Coarse-to-fine factorial grid search.
+pub struct Grid {
+    core: Core,
+    /// Current per-gene sampling window, always inside the bounds.
+    window: Vec<(i64, i64)>,
+    /// Next factorial index to sweep within the current level.
+    cursor: usize,
+    /// Refinement depth (level 0 spans the full ranges).
+    level: usize,
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    drawn: Vec<Genome>,
+    misses: Vec<Genome>,
+    /// Factorial indices consumed by this round (cursor advance).
+    taken: usize,
+}
+
+impl Grid {
+    pub fn new(ranges: Ranges, config: GaConfig, label: &str) -> Result<Self, String> {
+        let window = ranges.iter().collect();
+        Ok(Grid {
+            core: Core::new(ranges, config, label)?,
+            window,
+            cursor: 0,
+            level: 0,
+            pending: None,
+        })
+    }
+
+    pub fn restore(s: GridSnapshot, label: &str) -> Result<Self, String> {
+        let core = Core::restore(s.core, label)?;
+        if s.window.len() != core.ranges.len() {
+            return Err("snapshot window arity does not match the bounds".into());
+        }
+        for (i, &(lo, hi)) in s.window.iter().enumerate() {
+            let (blo, bhi) = core.ranges.gene(i);
+            if lo > hi || lo < blo || hi > bhi {
+                return Err(format!("snapshot window {lo}..{hi} escapes gene {i}"));
+            }
+        }
+        let total = Self::lattice(&s.window).iter().map(Vec::len).product();
+        if s.cursor > total {
+            return Err("snapshot cursor is past the end of its lattice".into());
+        }
+        Ok(Grid {
+            core,
+            window: s.window,
+            cursor: s.cursor,
+            level: s.level,
+            pending: None,
+        })
+    }
+
+    /// The 3-point-per-gene sample lattice of a window (fewer points
+    /// where the window is narrower than 3 values).
+    fn lattice(window: &[(i64, i64)]) -> Vec<Vec<i64>> {
+        window
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut v = vec![lo, lo + (hi - lo) / 2, hi];
+                v.dedup();
+                v
+            })
+            .collect()
+    }
+
+    /// The `idx`-th lattice point, lexicographic with the first gene
+    /// most significant.
+    fn decode(lattice: &[Vec<i64>], mut idx: usize) -> Genome {
+        let mut g = vec![0; lattice.len()];
+        for (i, samples) in lattice.iter().enumerate().rev() {
+            g[i] = samples[idx % samples.len()];
+            idx /= samples.len();
+        }
+        g
+    }
+
+    /// Halves the window around the best genome; flips `done` once the
+    /// window has collapsed to a single point.
+    fn refine(&mut self) {
+        if self.window.iter().all(|&(lo, hi)| lo == hi) {
+            self.core.done = true;
+            return;
+        }
+        let center = self
+            .core
+            .best
+            .as_ref()
+            .expect("a completed grid level always has a best")
+            .0
+            .clone();
+        self.window = self
+            .window
+            .iter()
+            .zip(&center)
+            .enumerate()
+            .map(|(i, (&(lo, hi), &c))| {
+                let (blo, bhi) = self.core.ranges.gene(i);
+                let half = (hi - lo) / 4;
+                ((c - half).max(blo), (c + half).min(bhi))
+            })
+            .collect();
+        self.cursor = 0;
+        self.level += 1;
+    }
+}
+
+impl Strategy for Grid {
+    fn kind(&self) -> &'static str {
+        "grid"
+    }
+
+    fn config(&self) -> &GaConfig {
+        &self.core.config
+    }
+
+    fn ask(&mut self) -> Vec<Genome> {
+        if self.core.done {
+            return Vec::new();
+        }
+        if self.pending.is_none() {
+            let lattice = Self::lattice(&self.window);
+            let total: usize = lattice.iter().map(Vec::len).product();
+            let taken = self.core.batch_size().min(total - self.cursor);
+            let drawn: Vec<Genome> = (self.cursor..self.cursor + taken)
+                .map(|i| Self::decode(&lattice, i))
+                .collect();
+            let misses = self.core.split(&drawn);
+            self.pending = Some(Pending {
+                drawn,
+                misses,
+                taken,
+            });
+        }
+        self.pending.as_ref().unwrap().misses.clone()
+    }
+
+    fn tell(&mut self, batch: &[Genome], scores: &[f64]) {
+        if self.core.done && self.pending.is_none() {
+            assert!(batch.is_empty(), "tell on a finished search");
+            return;
+        }
+        let p = self.pending.take().expect("tell before ask");
+        assert_eq!(batch, &p.misses[..], "tell batch must be what ask returned");
+        self.core.commit(&p.drawn, batch, scores);
+        self.cursor += p.taken;
+        let total: usize = Self::lattice(&self.window).iter().map(Vec::len).product();
+        if !self.core.done && self.cursor >= total {
+            self.refine();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.core.done
+    }
+
+    fn best(&self) -> Option<(Genome, f64)> {
+        self.core.best.clone()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.core.evaluations
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.core.cache_hits
+    }
+
+    fn rounds(&self) -> usize {
+        self.core.rounds
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot::Grid(GridSnapshot {
+            core: self.core.snapshot(),
+            window: self.window.clone(),
+            cursor: self.cursor,
+            level: self.level,
+        })
+    }
+
+    fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.core.obs = registry;
+    }
+}
+
+/// Checkpoint of a [`Grid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSnapshot {
+    pub core: CoreSnapshot,
+    pub window: Vec<(i64, i64)>,
+    pub cursor: usize,
+    pub level: usize,
+}

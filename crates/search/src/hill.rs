@@ -1,0 +1,183 @@
+//! Restarting hill climb over the threshold cascade.
+//!
+//! Each round proposes a batch of neighbors of the current point,
+//! using the GA's own mutation operator (geometric scaling on large
+//! thresholds, ±small steps on small ones) as the neighborhood — the
+//! natural move set for a cascade whose genes span three orders of
+//! magnitude. Strict improvement moves the point; [`PATIENCE`] rounds
+//! without improvement trigger a restart from a fresh uniform draw.
+
+use std::sync::Arc;
+
+use ga::ops::mutate;
+use ga::{GaConfig, Genome, Ranges};
+use simrng::Rng;
+
+use crate::core::{Core, CoreSnapshot};
+use crate::{Strategy, StrategySnapshot};
+
+/// Per-gene mutation probability for neighbor proposals. Higher than
+/// the GA default so most neighbors actually differ from the current
+/// point (identical proposals are free memo hits, but spend budget).
+const NEIGHBOR_PROB: f64 = 0.4;
+
+/// Rounds without strict improvement before restarting from scratch.
+const PATIENCE: usize = 4;
+
+/// Restarting batch hill climb.
+pub struct HillClimb {
+    core: Core,
+    /// RNG state as of the last round boundary (committed at `tell`).
+    rng_state: [u64; 4],
+    current: Option<(Genome, f64)>,
+    stagnant: usize,
+    restarts: usize,
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    drawn: Vec<Genome>,
+    misses: Vec<Genome>,
+    rng_after: [u64; 4],
+}
+
+impl HillClimb {
+    pub fn new(ranges: Ranges, config: GaConfig, label: &str) -> Result<Self, String> {
+        let seed = config.seed;
+        Ok(HillClimb {
+            core: Core::new(ranges, config, label)?,
+            rng_state: Rng::seed_from_u64(seed).state(),
+            current: None,
+            stagnant: 0,
+            restarts: 0,
+            pending: None,
+        })
+    }
+
+    pub fn restore(s: HillSnapshot, label: &str) -> Result<Self, String> {
+        let core = Core::restore(s.core, label)?;
+        if let Some((g, _)) = &s.current {
+            if !core.ranges.contains(g) {
+                return Err(format!("snapshot current genome {g:?} is out of bounds"));
+            }
+        }
+        Ok(HillClimb {
+            core,
+            rng_state: s.rng_state,
+            current: s.current,
+            stagnant: s.stagnant,
+            restarts: s.restarts,
+            pending: None,
+        })
+    }
+}
+
+impl Strategy for HillClimb {
+    fn kind(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn config(&self) -> &GaConfig {
+        &self.core.config
+    }
+
+    fn ask(&mut self) -> Vec<Genome> {
+        if self.core.done {
+            return Vec::new();
+        }
+        if self.pending.is_none() {
+            let mut rng = Rng::from_state(self.rng_state);
+            let n = self.core.batch_size();
+            let drawn: Vec<Genome> = match &self.current {
+                // Fresh start (or post-restart): sample uniformly.
+                None => (0..n).map(|_| self.core.ranges.random(&mut rng)).collect(),
+                Some((c, _)) => (0..n)
+                    .map(|_| {
+                        let mut g = c.clone();
+                        mutate(&mut g, &self.core.ranges, NEIGHBOR_PROB, &mut rng);
+                        g
+                    })
+                    .collect(),
+            };
+            let misses = self.core.split(&drawn);
+            self.pending = Some(Pending {
+                drawn,
+                misses,
+                rng_after: rng.state(),
+            });
+        }
+        self.pending.as_ref().unwrap().misses.clone()
+    }
+
+    fn tell(&mut self, batch: &[Genome], scores: &[f64]) {
+        if self.core.done && self.pending.is_none() {
+            assert!(batch.is_empty(), "tell on a finished search");
+            return;
+        }
+        let p = self.pending.take().expect("tell before ask");
+        assert_eq!(batch, &p.misses[..], "tell batch must be what ask returned");
+        self.rng_state = p.rng_after;
+        self.core.commit(&p.drawn, batch, scores);
+        let round_best = self.core.round_best(&p.drawn);
+        match (&self.current, round_best) {
+            (_, None) => {}
+            (None, Some(found)) => self.current = Some(found),
+            (Some((_, cur)), Some((g, f))) if f < *cur => {
+                self.current = Some((g, f));
+                self.stagnant = 0;
+            }
+            (Some(_), Some(_)) => {
+                self.stagnant += 1;
+                if self.stagnant >= PATIENCE {
+                    self.current = None;
+                    self.stagnant = 0;
+                    self.restarts += 1;
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.core.done
+    }
+
+    fn best(&self) -> Option<(Genome, f64)> {
+        self.core.best.clone()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.core.evaluations
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.core.cache_hits
+    }
+
+    fn rounds(&self) -> usize {
+        self.core.rounds
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot::HillClimb(HillSnapshot {
+            core: self.core.snapshot(),
+            rng_state: self.rng_state,
+            current: self.current.clone(),
+            stagnant: self.stagnant,
+            restarts: self.restarts,
+        })
+    }
+
+    fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.core.obs = registry;
+    }
+}
+
+/// Checkpoint of a [`HillClimb`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HillSnapshot {
+    pub core: CoreSnapshot,
+    pub rng_state: [u64; 4],
+    pub current: Option<(Genome, f64)>,
+    pub stagnant: usize,
+    pub restarts: usize,
+}

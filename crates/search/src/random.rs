@@ -1,0 +1,125 @@
+//! Uniform random search — the baseline every other strategy has to
+//! beat for its extra machinery to be worth anything.
+
+use std::sync::Arc;
+
+use ga::{GaConfig, Genome, Ranges};
+use simrng::Rng;
+
+use crate::core::{Core, CoreSnapshot};
+use crate::{Strategy, StrategySnapshot};
+
+/// Draws `pop_size` uniform genomes per round until the proposal budget
+/// (`pop_size * generations`) is spent.
+pub struct RandomSearch {
+    core: Core,
+    /// RNG state as of the last round boundary. `ask` draws through a
+    /// scratch copy; the advance commits only at `tell`, which is what
+    /// makes `ask` repeatable and snapshots boundary-exact.
+    rng_state: [u64; 4],
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    drawn: Vec<Genome>,
+    misses: Vec<Genome>,
+    rng_after: [u64; 4],
+}
+
+impl RandomSearch {
+    pub fn new(ranges: Ranges, config: GaConfig, label: &str) -> Result<Self, String> {
+        let seed = config.seed;
+        Ok(RandomSearch {
+            core: Core::new(ranges, config, label)?,
+            rng_state: Rng::seed_from_u64(seed).state(),
+            pending: None,
+        })
+    }
+
+    pub fn restore(s: RandomSnapshot, label: &str) -> Result<Self, String> {
+        Ok(RandomSearch {
+            core: Core::restore(s.core, label)?,
+            rng_state: s.rng_state,
+            pending: None,
+        })
+    }
+}
+
+impl Strategy for RandomSearch {
+    fn kind(&self) -> &'static str {
+        "random"
+    }
+
+    fn config(&self) -> &GaConfig {
+        &self.core.config
+    }
+
+    fn ask(&mut self) -> Vec<Genome> {
+        if self.core.done {
+            return Vec::new();
+        }
+        if self.pending.is_none() {
+            let mut rng = Rng::from_state(self.rng_state);
+            let drawn: Vec<Genome> = (0..self.core.batch_size())
+                .map(|_| self.core.ranges.random(&mut rng))
+                .collect();
+            let misses = self.core.split(&drawn);
+            self.pending = Some(Pending {
+                drawn,
+                misses,
+                rng_after: rng.state(),
+            });
+        }
+        self.pending.as_ref().unwrap().misses.clone()
+    }
+
+    fn tell(&mut self, batch: &[Genome], scores: &[f64]) {
+        if self.core.done && self.pending.is_none() {
+            assert!(batch.is_empty(), "tell on a finished search");
+            return;
+        }
+        let p = self.pending.take().expect("tell before ask");
+        assert_eq!(batch, &p.misses[..], "tell batch must be what ask returned");
+        self.rng_state = p.rng_after;
+        self.core.commit(&p.drawn, batch, scores);
+    }
+
+    fn is_done(&self) -> bool {
+        self.core.done
+    }
+
+    fn best(&self) -> Option<(Genome, f64)> {
+        self.core.best.clone()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.core.evaluations
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.core.cache_hits
+    }
+
+    fn rounds(&self) -> usize {
+        self.core.rounds
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        StrategySnapshot::Random(RandomSnapshot {
+            core: self.core.snapshot(),
+            rng_state: self.rng_state,
+        })
+    }
+
+    fn set_obs(&mut self, registry: Arc<obs::Registry>) {
+        self.core.obs = registry;
+    }
+}
+
+/// Checkpoint of a [`RandomSearch`]; the RNG state is the last round
+/// boundary, mirroring `GaSnapshot`'s `rng_state`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSnapshot {
+    pub core: CoreSnapshot,
+    pub rng_state: [u64; 4],
+}

@@ -1,0 +1,120 @@
+//! Regression: the GA behind the `Strategy` trait must reproduce the
+//! legacy `ga::GaState` run *exactly* — same seed, same best genome,
+//! same per-generation fitness trace, same counters — so the search
+//! seam cannot silently change published experiment numbers.
+
+use ga::{GaConfig, GaState, LocalEvaluator, Ranges};
+use search::{restore, step_with, Strategy};
+
+/// The paper's Adapt-scenario bounds.
+fn paper_ranges() -> Ranges {
+    Ranges::new(vec![(1, 50), (1, 30), (1, 15), (1, 4000), (1, 400)])
+}
+
+/// A deterministic stand-in for the simulator's fitness surface, with
+/// interactions between genes so the GA's trajectory is non-trivial.
+fn fitness(g: &[i64]) -> f64 {
+    let (a, b, c, d, e) = (
+        g[0] as f64,
+        g[1] as f64,
+        g[2] as f64,
+        g[3] as f64,
+        g[4] as f64,
+    );
+    let size_term = ((a - 29.0) / 50.0).powi(2) + ((b - 17.0) / 30.0).powi(2);
+    let depth_term = ((c - 6.0) / 15.0).powi(2);
+    let cascade = ((d - 1500.0) / 4000.0).powi(2) * (1.0 + ((e - 150.0) / 400.0).abs());
+    (1.0 + size_term + depth_term + cascade).ln()
+}
+
+fn cfg(seed: u64, generations: usize) -> GaConfig {
+    GaConfig {
+        pop_size: 12,
+        generations,
+        threads: 1,
+        seed,
+        stagnation_limit: Some(8),
+        ..GaConfig::default()
+    }
+}
+
+#[test]
+fn adapter_reproduces_legacy_run_bit_for_bit() {
+    for seed in [0x6a11, 2005, 42] {
+        // The legacy path: GaState driven directly with a closure.
+        let mut legacy = GaState::new(paper_ranges(), cfg(seed, 40));
+        while !legacy.step(&fitness) {}
+
+        // The new path: the same engine behind ask/tell.
+        let mut adapted = search::build("ga", paper_ranges(), cfg(seed, 40)).unwrap();
+        let backend = LocalEvaluator::new(fitness, 1);
+        while !step_with(adapted.as_mut(), &backend) {}
+
+        // Same best genome, same fitness bits.
+        let (lg, lf) = legacy.best().expect("legacy best");
+        let (ag, af) = adapted.best().expect("adapted best");
+        assert_eq!(lg, &ag, "seed {seed}: best genome diverged");
+        assert_eq!(
+            lf.to_bits(),
+            af.to_bits(),
+            "seed {seed}: fitness bits diverged"
+        );
+
+        // Same fitness trace, generation by generation.
+        let legacy_trace: Vec<u64> = legacy
+            .history()
+            .iter()
+            .map(|g| g.best_fitness.to_bits())
+            .collect();
+        let adapted_snapshot = match adapted.snapshot() {
+            search::StrategySnapshot::Ga(s) => s,
+            other => panic!("ga adapter must snapshot as Ga, got {}", other.kind()),
+        };
+        let adapted_trace: Vec<u64> = adapted_snapshot
+            .history
+            .iter()
+            .map(|g| g.best_fitness.to_bits())
+            .collect();
+        assert_eq!(legacy_trace, adapted_trace, "seed {seed}: trace diverged");
+
+        // Same bookkeeping (memoization behaved identically).
+        assert_eq!(legacy.evaluations(), adapted.evaluations());
+        assert_eq!(legacy.cache_hits(), adapted.cache_hits());
+        assert_eq!(legacy.generation(), adapted.rounds());
+
+        // And the full snapshots agree, which covers population, RNG
+        // state, memo contents and stagnation bookkeeping at once.
+        assert_eq!(legacy.snapshot(), adapted_snapshot);
+    }
+}
+
+#[test]
+fn adapter_survives_snapshot_restore_mid_run_like_the_engine() {
+    let backend = LocalEvaluator::new(fitness, 1);
+    let mut uninterrupted = search::build("ga", paper_ranges(), cfg(7, 25)).unwrap();
+    let mut cycled = search::build("ga", paper_ranges(), cfg(7, 25)).unwrap();
+    while !uninterrupted.is_done() {
+        cycled = restore(cycled.snapshot()).expect("restore");
+        step_with(uninterrupted.as_mut(), &backend);
+        step_with(cycled.as_mut(), &backend);
+    }
+    assert!(cycled.is_done());
+    let (ug, uf) = uninterrupted.best().unwrap();
+    let (cg, cf) = cycled.best().unwrap();
+    assert_eq!(ug, cg);
+    assert_eq!(uf.to_bits(), cf.to_bits());
+}
+
+#[test]
+fn adapter_stops_early_on_stagnation_exactly_like_the_engine() {
+    // A flat surface stagnates immediately; both paths must stop at
+    // the same generation, well before the configured maximum.
+    let flat = |_: &[i64]| 1.0;
+    let mut legacy = GaState::new(paper_ranges(), cfg(9, 500));
+    while !legacy.step(&flat) {}
+    let mut adapted = search::build("ga", paper_ranges(), cfg(9, 500)).unwrap();
+    let backend = LocalEvaluator::new(flat, 1);
+    while !step_with(adapted.as_mut(), &backend) {}
+    assert!(legacy.generation() < 500, "stagnation limit never fired");
+    assert_eq!(legacy.generation(), adapted.rounds());
+}

@@ -11,9 +11,15 @@
 //!
 //! Every write goes through a temp-file + `rename` pair, so a `SIGKILL`
 //! at any instant leaves either the previous complete checkpoint or the
-//! new complete one — never a torn file. That, plus the GA's bit-exact
-//! [`ga::GaSnapshot`] round-trip, is what makes kill-and-restart produce
-//! the same tuned parameters as an uninterrupted run.
+//! new complete one — never a torn file. That, plus every strategy's
+//! bit-exact [`search::StrategySnapshot`] round-trip, is what makes
+//! kill-and-restart produce the same tuned parameters as an
+//! uninterrupted run.
+//!
+//! GA checkpoints keep the original untagged [`ga::GaSnapshot`] JSON
+//! shape, so run directories written before the `search` seam existed
+//! still recover. Every other strategy is tagged with a `"strategy"`
+//! key; a race nests its members' snapshots recursively.
 
 use std::fs;
 use std::io::Write as _;
@@ -21,6 +27,10 @@ use std::path::{Path, PathBuf};
 
 use ga::{GaConfig, GaSnapshot, Generation};
 use inliner::InlineParams;
+use search::{
+    AnnealSnapshot, CoreSnapshot, GridSnapshot, HillSnapshot, MemberSnapshot, RaceSnapshot,
+    RandomSnapshot, StrategySnapshot,
+};
 
 use crate::job::{ga_config_from_json, ga_config_to_json, JobSpec};
 use crate::json::{parse, u64_from_json, u64_to_json, Json};
@@ -60,6 +70,79 @@ fn genome_to_json(g: &[i64]) -> Json {
 
 fn genome_from_json(v: &Json) -> Option<Vec<i64>> {
     v.as_arr()?.iter().map(Json::as_i64).collect()
+}
+
+fn bounds_to_json(bounds: &[(i64, i64)]) -> Json {
+    Json::Arr(
+        bounds
+            .iter()
+            .map(|&(lo, hi)| Json::Arr(vec![Json::Int(lo), Json::Int(hi)]))
+            .collect(),
+    )
+}
+
+fn bounds_from_json(v: &Json) -> Option<Vec<(i64, i64)>> {
+    v.as_arr()?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_arr()?;
+            Some((p.first()?.as_i64()?, p.get(1)?.as_i64()?))
+        })
+        .collect()
+}
+
+fn memo_to_json(memo: &[(Vec<i64>, f64)]) -> Json {
+    Json::Arr(
+        memo.iter()
+            .map(|(g, v)| Json::Arr(vec![genome_to_json(g), f64_to_json(*v)]))
+            .collect(),
+    )
+}
+
+fn memo_from_json(v: &Json) -> Option<Vec<(Vec<i64>, f64)>> {
+    v.as_arr()?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_arr()?;
+            Some((
+                genome_from_json(pair.first()?)?,
+                f64_from_json(pair.get(1)?)?,
+            ))
+        })
+        .collect()
+}
+
+fn scored_opt_to_json(v: &Option<(Vec<i64>, f64)>) -> Json {
+    match v {
+        None => Json::Null,
+        Some((g, f)) => Json::Arr(vec![genome_to_json(g), f64_to_json(*f)]),
+    }
+}
+
+fn scored_opt_from_json(v: &Json) -> Option<Option<(Vec<i64>, f64)>> {
+    match v {
+        Json::Null => Some(None),
+        _ => {
+            let pair = v.as_arr()?;
+            Some(Some((
+                genome_from_json(pair.first()?)?,
+                f64_from_json(pair.get(1)?)?,
+            )))
+        }
+    }
+}
+
+fn rng_to_json(state: &[u64; 4]) -> Json {
+    Json::Arr(state.iter().map(|&w| u64_to_json(w)).collect())
+}
+
+fn rng_from_json(v: &Json) -> Option<[u64; 4]> {
+    let words = v
+        .as_arr()?
+        .iter()
+        .map(u64_from_json)
+        .collect::<Option<Vec<u64>>>()?;
+    words.try_into().ok()
 }
 
 /// Serializes a [`GaSnapshot`] deterministically (same state → same
@@ -215,6 +298,224 @@ pub fn snapshot_from_json(v: &Json) -> Result<GaSnapshot, String> {
     })
 }
 
+fn core_to_json(c: &CoreSnapshot) -> Json {
+    Json::obj(vec![
+        ("bounds", bounds_to_json(&c.bounds)),
+        ("config", ga_config_to_json(&c.config)),
+        ("memo", memo_to_json(&c.memo)),
+        ("proposed", Json::Int(c.proposed as i64)),
+        ("evaluations", Json::Int(c.evaluations as i64)),
+        ("cache_hits", Json::Int(c.cache_hits as i64)),
+        ("best", scored_opt_to_json(&c.best)),
+        ("rounds", Json::Int(c.rounds as i64)),
+        ("done", Json::Bool(c.done)),
+    ])
+}
+
+fn core_from_json(v: &Json) -> Result<CoreSnapshot, String> {
+    fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+        v.get(key)
+            .ok_or_else(|| format!("strategy checkpoint missing '{key}'"))
+    }
+    Ok(CoreSnapshot {
+        bounds: bounds_from_json(field(v, "bounds")?)
+            .ok_or("'bounds' entries must be [lo, hi] integer pairs")?,
+        config: ga_config_from_json(field(v, "config")?)?,
+        memo: memo_from_json(field(v, "memo")?)
+            .ok_or("'memo' entries must be [genome, fitness] pairs")?,
+        proposed: field(v, "proposed")?
+            .as_usize()
+            .ok_or("'proposed' must be an integer")?,
+        evaluations: field(v, "evaluations")?
+            .as_usize()
+            .ok_or("'evaluations' must be an integer")?,
+        cache_hits: field(v, "cache_hits")?
+            .as_usize()
+            .ok_or("'cache_hits' must be an integer")?,
+        best: scored_opt_from_json(field(v, "best")?)
+            .ok_or("'best' must be null or a [genome, fitness] pair")?,
+        rounds: field(v, "rounds")?
+            .as_usize()
+            .ok_or("'rounds' must be an integer")?,
+        done: field(v, "done")?
+            .as_bool()
+            .ok_or("'done' must be a boolean")?,
+    })
+}
+
+/// Serializes any strategy's checkpoint. GA snapshots keep the legacy
+/// untagged shape; everything else carries a `"strategy"` tag.
+#[must_use]
+pub fn strategy_snapshot_to_json(s: &StrategySnapshot) -> Json {
+    let tagged = |kind: &str, mut fields: Vec<(&str, Json)>| {
+        let mut all = vec![("strategy", Json::Str(kind.into()))];
+        all.append(&mut fields);
+        Json::obj(all)
+    };
+    match s {
+        StrategySnapshot::Ga(s) => snapshot_to_json(s),
+        StrategySnapshot::Random(s) => tagged(
+            "random",
+            vec![
+                ("core", core_to_json(&s.core)),
+                ("rng_state", rng_to_json(&s.rng_state)),
+            ],
+        ),
+        StrategySnapshot::HillClimb(s) => tagged(
+            "hillclimb",
+            vec![
+                ("core", core_to_json(&s.core)),
+                ("rng_state", rng_to_json(&s.rng_state)),
+                ("current", scored_opt_to_json(&s.current)),
+                ("stagnant", Json::Int(s.stagnant as i64)),
+                ("restarts", Json::Int(s.restarts as i64)),
+            ],
+        ),
+        StrategySnapshot::Anneal(s) => tagged(
+            "anneal",
+            vec![
+                ("core", core_to_json(&s.core)),
+                ("rng_state", rng_to_json(&s.rng_state)),
+                ("current", scored_opt_to_json(&s.current)),
+            ],
+        ),
+        StrategySnapshot::Grid(s) => tagged(
+            "grid",
+            vec![
+                ("core", core_to_json(&s.core)),
+                ("window", bounds_to_json(&s.window)),
+                ("cursor", Json::Int(s.cursor as i64)),
+                ("level", Json::Int(s.level as i64)),
+            ],
+        ),
+        StrategySnapshot::Race(s) => tagged(
+            "race",
+            vec![
+                ("config", ga_config_to_json(&s.config)),
+                ("bounds", bounds_to_json(&s.bounds)),
+                ("memo", memo_to_json(&s.memo)),
+                ("evaluations", Json::Int(s.evaluations as i64)),
+                ("shared_hits", Json::Int(s.shared_hits as i64)),
+                ("rounds", Json::Int(s.rounds as i64)),
+                ("done", Json::Bool(s.done)),
+                (
+                    "members",
+                    Json::Arr(
+                        s.members
+                            .iter()
+                            .map(|m| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(m.name.clone())),
+                                    ("eliminated", Json::Bool(m.eliminated)),
+                                    ("stale_rounds", Json::Int(m.stale_rounds as i64)),
+                                    ("snapshot", strategy_snapshot_to_json(&m.snapshot)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+    }
+}
+
+/// Deserializes [`strategy_snapshot_to_json`]'s encoding. An object
+/// without a `"strategy"` tag is a legacy GA checkpoint.
+///
+/// # Errors
+/// Missing/mistyped fields or an unknown strategy tag.
+pub fn strategy_snapshot_from_json(v: &Json) -> Result<StrategySnapshot, String> {
+    fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+        v.get(key)
+            .ok_or_else(|| format!("strategy checkpoint missing '{key}'"))
+    }
+    let Some(kind) = v.get("strategy") else {
+        return Ok(StrategySnapshot::Ga(snapshot_from_json(v)?));
+    };
+    let kind = kind.as_str().ok_or("'strategy' must be a string")?;
+    match kind {
+        "random" => Ok(StrategySnapshot::Random(RandomSnapshot {
+            core: core_from_json(field(v, "core")?)?,
+            rng_state: rng_from_json(field(v, "rng_state")?)
+                .ok_or("'rng_state' must have exactly 4 u64 words")?,
+        })),
+        "hillclimb" => Ok(StrategySnapshot::HillClimb(HillSnapshot {
+            core: core_from_json(field(v, "core")?)?,
+            rng_state: rng_from_json(field(v, "rng_state")?)
+                .ok_or("'rng_state' must have exactly 4 u64 words")?,
+            current: scored_opt_from_json(field(v, "current")?)
+                .ok_or("'current' must be null or a [genome, fitness] pair")?,
+            stagnant: field(v, "stagnant")?
+                .as_usize()
+                .ok_or("'stagnant' must be an integer")?,
+            restarts: field(v, "restarts")?
+                .as_usize()
+                .ok_or("'restarts' must be an integer")?,
+        })),
+        "anneal" => Ok(StrategySnapshot::Anneal(AnnealSnapshot {
+            core: core_from_json(field(v, "core")?)?,
+            rng_state: rng_from_json(field(v, "rng_state")?)
+                .ok_or("'rng_state' must have exactly 4 u64 words")?,
+            current: scored_opt_from_json(field(v, "current")?)
+                .ok_or("'current' must be null or a [genome, fitness] pair")?,
+        })),
+        "grid" => Ok(StrategySnapshot::Grid(GridSnapshot {
+            core: core_from_json(field(v, "core")?)?,
+            window: bounds_from_json(field(v, "window")?)
+                .ok_or("'window' entries must be [lo, hi] integer pairs")?,
+            cursor: field(v, "cursor")?
+                .as_usize()
+                .ok_or("'cursor' must be an integer")?,
+            level: field(v, "level")?
+                .as_usize()
+                .ok_or("'level' must be an integer")?,
+        })),
+        "race" => {
+            let members = field(v, "members")?
+                .as_arr()
+                .ok_or("'members' must be an array")?
+                .iter()
+                .map(|m| {
+                    Ok(MemberSnapshot {
+                        name: field(m, "name")?
+                            .as_str()
+                            .ok_or("member 'name' must be a string")?
+                            .to_string(),
+                        eliminated: field(m, "eliminated")?
+                            .as_bool()
+                            .ok_or("member 'eliminated' must be a boolean")?,
+                        stale_rounds: field(m, "stale_rounds")?
+                            .as_usize()
+                            .ok_or("member 'stale_rounds' must be an integer")?,
+                        snapshot: strategy_snapshot_from_json(field(m, "snapshot")?)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(StrategySnapshot::Race(RaceSnapshot {
+                config: ga_config_from_json(field(v, "config")?)?,
+                bounds: bounds_from_json(field(v, "bounds")?)
+                    .ok_or("'bounds' entries must be [lo, hi] integer pairs")?,
+                memo: memo_from_json(field(v, "memo")?)
+                    .ok_or("'memo' entries must be [genome, fitness] pairs")?,
+                evaluations: field(v, "evaluations")?
+                    .as_usize()
+                    .ok_or("'evaluations' must be an integer")?,
+                shared_hits: field(v, "shared_hits")?
+                    .as_usize()
+                    .ok_or("'shared_hits' must be an integer")?,
+                rounds: field(v, "rounds")?
+                    .as_usize()
+                    .ok_or("'rounds' must be an integer")?,
+                done: field(v, "done")?
+                    .as_bool()
+                    .ok_or("'done' must be a boolean")?,
+                members,
+            }))
+        }
+        other => Err(format!("unknown checkpoint strategy tag '{other}'")),
+    }
+}
+
 /// Serializes a finished job's deliverable: the tuned genes and fitness.
 #[must_use]
 pub fn result_to_json(params: &InlineParams, fitness: f64, generations: usize) -> Json {
@@ -310,19 +611,23 @@ impl RunDir {
         self.read(id, "spec.json").map(|t| JobSpec::from_text(&t))
     }
 
-    /// Persists the post-generation checkpoint atomically.
+    /// Persists the post-round checkpoint atomically.
     ///
     /// # Errors
     /// Propagates filesystem errors.
-    pub fn save_checkpoint(&self, id: u64, snapshot: &GaSnapshot) -> Result<(), String> {
-        self.write_atomic(id, "checkpoint.json", &snapshot_to_json(snapshot).to_text())
+    pub fn save_checkpoint(&self, id: u64, snapshot: &StrategySnapshot) -> Result<(), String> {
+        self.write_atomic(
+            id,
+            "checkpoint.json",
+            &strategy_snapshot_to_json(snapshot).to_text(),
+        )
     }
 
     /// Loads the last checkpoint, if one was written.
     #[must_use]
-    pub fn load_checkpoint(&self, id: u64) -> Option<Result<GaSnapshot, String>> {
+    pub fn load_checkpoint(&self, id: u64) -> Option<Result<StrategySnapshot, String>> {
         self.read(id, "checkpoint.json")
-            .map(|t| parse(&t).and_then(|v| snapshot_from_json(&v)))
+            .map(|t| parse(&t).and_then(|v| strategy_snapshot_from_json(&v)))
     }
 
     /// Persists the final result.
@@ -384,6 +689,7 @@ mod tests {
     use super::*;
     use ga::{GaState, Ranges};
     use jit::Scenario;
+    use search::Strategy as _;
     use tuner::Goal;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -469,9 +775,10 @@ mod tests {
                 threads: 1,
                 ..GaConfig::default()
             },
+            strategy: "ga".into(),
         };
         rd.save_spec(3, &spec).unwrap();
-        let snap = stepped_snapshot();
+        let snap = StrategySnapshot::Ga(stepped_snapshot());
         rd.save_checkpoint(3, &snap).unwrap();
         assert_eq!(rd.load_spec(3).unwrap().unwrap(), spec);
         assert_eq!(rd.load_checkpoint(3).unwrap().unwrap(), snap);
@@ -507,6 +814,74 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["x.json"]);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_strategy_snapshot_roundtrips_through_json() {
+        for spec in [
+            "ga",
+            "random",
+            "hillclimb",
+            "anneal",
+            "grid",
+            "race",
+            "race:anneal+grid",
+        ] {
+            let mut s = search::build(
+                spec,
+                Ranges::new(vec![(1, 40), (1, 20), (1, 300)]),
+                GaConfig {
+                    pop_size: 6,
+                    generations: 9,
+                    threads: 1,
+                    seed: 31,
+                    stagnation_limit: None,
+                    ..GaConfig::default()
+                },
+            )
+            .unwrap();
+            for _ in 0..4 {
+                if s.is_done() {
+                    break;
+                }
+                let batch = s.ask();
+                let scores: Vec<f64> = batch
+                    .iter()
+                    .map(|g| g.iter().map(|&x| x as f64).sum())
+                    .collect();
+                s.tell(&batch, &scores);
+            }
+            let snap = s.snapshot();
+            let text = strategy_snapshot_to_json(&snap).to_text();
+            let back = strategy_snapshot_from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back, snap, "{spec} snapshot JSON round-trip drifted");
+            // Deterministic bytes, and the restored strategy replays the
+            // exact next batch.
+            assert_eq!(strategy_snapshot_to_json(&back).to_text(), text);
+            let mut resumed = search::restore(back).unwrap();
+            assert_eq!(resumed.ask(), s.ask(), "{spec} resumed a different batch");
+        }
+    }
+
+    #[test]
+    fn untagged_checkpoint_loads_as_legacy_ga() {
+        let snap = stepped_snapshot();
+        let legacy_text = snapshot_to_json(&snap).to_text();
+        assert!(
+            !legacy_text.contains("\"strategy\""),
+            "GA checkpoints must keep the pre-seam shape"
+        );
+        match strategy_snapshot_from_json(&parse(&legacy_text).unwrap()).unwrap() {
+            StrategySnapshot::Ga(back) => assert_eq!(back, snap),
+            other => panic!("legacy checkpoint decoded as {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_tag_is_an_error() {
+        let v = parse(r#"{"strategy":"gradient"}"#).unwrap();
+        let err = strategy_snapshot_from_json(&v).unwrap_err();
+        assert!(err.contains("unknown checkpoint strategy tag"), "{err}");
     }
 
     #[test]

@@ -13,8 +13,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use ga::{GaState, GenTiming};
+use ga::{GenTiming, LocalEvaluator};
 use inliner::InlineParams;
+use search::{Standing, Strategy};
 use tuner::Tuner;
 
 use crate::checkpoint::RunDir;
@@ -120,6 +121,10 @@ pub struct JobRecord {
     /// The latest generation's timing breakdown (`None` until a
     /// generation completes; not persisted across restarts).
     pub timing: Option<GenTiming>,
+    /// Per-contender progress: one entry for a lone strategy, one per
+    /// member for a racing portfolio (not persisted across restarts;
+    /// repopulated once the resumed job completes a round).
+    pub standings: Vec<Standing>,
 }
 
 struct JobEntry {
@@ -215,7 +220,7 @@ impl Daemon {
                 .run_dir
                 .load_checkpoint(id)
                 .and_then(Result::ok)
-                .map_or(0, |s| s.history.len());
+                .map_or(0, |s| s.rounds());
             let (state, result, requeue) = if let Some(res) = inner.run_dir.load_result(id) {
                 let (params, fitness, _) =
                     res.map_err(|e| format!("job {id}: corrupt result: {e}"))?;
@@ -238,6 +243,7 @@ impl Daemon {
                         result,
                         error: None,
                         timing: None,
+                        standings: Vec::new(),
                     },
                     cancel: Arc::new(AtomicBool::new(false)),
                 },
@@ -284,6 +290,7 @@ impl Daemon {
                     result: None,
                     error: None,
                     timing: None,
+                    standings: Vec::new(),
                 },
                 cancel: Arc::new(AtomicBool::new(false)),
             },
@@ -446,25 +453,26 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
     let tuner = Tuner::new(task, training, spec.adapt_cfg());
 
     // Resume from the checkpoint when one exists and is consistent with
-    // the spec; otherwise start fresh.
-    let mut state: GaState = match inner.run_dir.load_checkpoint(id) {
-        Some(Ok(snap)) => {
-            GaState::restore(snap).map_err(|e| format!("checkpoint rejected: {e}"))?
-        }
+    // the spec; otherwise start fresh under the submitted strategy.
+    let mut strategy: Box<dyn Strategy> = match inner.run_dir.load_checkpoint(id) {
+        Some(Ok(snap)) => search::restore(snap).map_err(|e| format!("checkpoint rejected: {e}"))?,
         Some(Err(e)) => return Err(format!("corrupt checkpoint: {e}")),
-        None => tuner.start(spec.ga.clone()),
+        None => tuner.start_strategy(&spec.strategy, spec.ga.clone())?,
     };
-    state.set_obs(Arc::clone(&inner.config.obs));
+    strategy.set_obs(Arc::clone(&inner.config.obs));
 
     // Lease this job's slice of the shared local-eval thread budget
     // (thread count affects wall-clock only, never results, so clamping
     // is safe — and so is re-planning after a restore).
-    let lease = inner.budget.lease(state.config().threads);
-    state.set_threads(lease.granted);
+    let lease = inner.budget.lease(strategy.config().threads);
+    let local = LocalEvaluator::new(
+        |genes: &[i64]| tuner.fitness(&InlineParams::from_genes(genes)),
+        lease.granted,
+    );
 
-    // The remote tier: when the pool has workers, each generation's
-    // cache misses fan out over them; the tuner's own fitness path is
-    // the fallback for anything no live worker answers.
+    // The remote tier: when the pool has workers, each round's memo
+    // misses fan out over them; the tuner's own fitness path is the
+    // fallback for anything no live worker answers.
     let remote = RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
         tuner.fitness(&InlineParams::from_genes(genes))
     });
@@ -488,48 +496,54 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             return Ok(());
         }
 
-        let evals_before = state.evaluations();
-        let hits_before = state.cache_hits();
-        // Checked every generation so workers registering mid-job start
-        // taking load at the next generation boundary.
+        let evals_before = strategy.evaluations();
+        let hits_before = strategy.cache_hits();
+        // Checked every round so workers registering mid-job start
+        // taking load at the next round boundary. The backend never
+        // influences results (strategies are deterministic in their
+        // seed), so flipping tiers mid-job is safe.
         let done = if inner.pool.is_empty() {
-            tuner.step(&mut state)
+            search::step_with(strategy.as_mut(), &local)
         } else {
-            state.step_with(&remote)
+            search::step_with(strategy.as_mut(), &remote)
         };
         Metrics::bump(&inner.metrics.generations);
         Metrics::add(
             &inner.metrics.evaluations,
-            (state.evaluations() - evals_before) as u64,
+            (strategy.evaluations() - evals_before) as u64,
         );
         Metrics::add(
             &inner.metrics.cache_hits,
-            (state.cache_hits() - hits_before) as u64,
+            (strategy.cache_hits() - hits_before) as u64,
         );
 
-        inner.run_dir.save_checkpoint(id, &state.snapshot())?;
+        inner.run_dir.save_checkpoint(id, &strategy.snapshot())?;
         Metrics::bump(&inner.metrics.checkpoints_written);
 
-        let best = state.best().map(|(_, f)| f);
+        let best = strategy.best().map(|(_, f)| f);
         {
             let mut table = inner.jobs.lock().expect("job table poisoned");
             if let Some(e) = table.jobs.get_mut(&id) {
-                e.record.generation = state.generation();
+                e.record.generation = strategy.rounds();
                 e.record.best_fitness = best;
-                e.record.timing = state.last_timing();
+                e.record.timing = strategy.last_timing();
+                e.record.standings = strategy.standings();
             }
         }
 
         if done {
-            let outcome = tuner.outcome(&state);
+            let (genome, fitness) = strategy
+                .best()
+                .ok_or("strategy finished without evaluating anything")?;
+            let params = InlineParams::from_genes(&genome);
             inner
                 .run_dir
-                .save_result(id, &outcome.params, outcome.fitness, state.generation())?;
+                .save_result(id, &params, fitness, strategy.rounds())?;
             let mut table = inner.jobs.lock().expect("job table poisoned");
             if let Some(e) = table.jobs.get_mut(&id) {
                 e.record.state = JobState::Done;
-                e.record.result = Some((outcome.params, outcome.fitness));
-                e.record.best_fitness = Some(outcome.fitness);
+                e.record.result = Some((params, fitness));
+                e.record.best_fitness = Some(fitness);
             }
             return Ok(());
         }
@@ -565,6 +579,7 @@ mod tests {
                 stagnation_limit: None,
                 ..GaConfig::default()
             },
+            strategy: "ga".into(),
         }
     }
 
@@ -633,6 +648,52 @@ mod tests {
         let (params, fitness) = r.result.unwrap();
         assert_eq!(params, expected.params);
         assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runs_a_race_job_with_standings() {
+        let dir = tmp_dir("race");
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let spec = JobSpec {
+            strategy: "race:ga+random+grid".into(),
+            ..tiny_spec(11)
+        };
+        let id = d.submit(spec).unwrap();
+        let r = wait_terminal(&d, id);
+        assert_eq!(r.state, JobState::Done);
+        let (params, fitness) = r.result.unwrap();
+        assert!(fitness.is_finite());
+        assert!(params.clone().to_genes().len() >= 5);
+        assert_eq!(r.standings.len(), 3, "one standing per race member");
+        assert!(r.standings.iter().any(|s| s.name == "random"));
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_strategy_job_matches_inprocess_search() {
+        let dir = tmp_dir("strategy-match");
+        let spec = JobSpec {
+            strategy: "hillclimb".into(),
+            ..tiny_spec(23)
+        };
+        let t = Tuner::new(
+            spec.task().unwrap(),
+            spec.training().unwrap(),
+            spec.adapt_cfg(),
+        );
+        let mut expected = t.start_strategy(&spec.strategy, spec.ga.clone()).unwrap();
+        while !t.step_strategy(expected.as_mut()) {}
+        let (eg, ef) = expected.best().unwrap();
+
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d.submit(spec).unwrap();
+        let r = wait_terminal(&d, id);
+        let (params, fitness) = r.result.unwrap();
+        assert_eq!(params.to_genes(), eg);
+        assert_eq!(fitness.to_bits(), ef.to_bits());
         d.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -28,6 +28,10 @@ pub struct JobSpec {
     pub suite: Vec<String>,
     /// GA configuration (the seed makes the whole job deterministic).
     pub ga: GaConfig,
+    /// Search strategy spec (see [`search::build`]): `"ga"` (the
+    /// default), `"random"`, `"hillclimb"`, `"anneal"`, `"grid"`, or a
+    /// racing portfolio like `"race"` / `"race:ga+random+grid"`.
+    pub strategy: String,
 }
 
 impl JobSpec {
@@ -88,6 +92,7 @@ impl JobSpec {
                 Json::Arr(self.suite.iter().map(|s| Json::Str(s.clone())).collect()),
             ),
             ("ga", ga_config_to_json(&self.ga)),
+            ("strategy", Json::Str(self.strategy.clone())),
         ])
     }
 
@@ -144,6 +149,11 @@ impl JobSpec {
         if ga.pop_size < 2 || ga.elitism >= ga.pop_size || ga.threads == 0 || ga.generations == 0 {
             return Err("degenerate GA config (pop_size >= 2, elitism < pop_size, threads >= 1, generations >= 1)".into());
         }
+        let strategy = match v.get("strategy") {
+            None | Some(Json::Null) => "ga".to_string(),
+            Some(s) => s.as_str().ok_or("'strategy' must be a string")?.to_string(),
+        };
+        search::validate_spec(&strategy)?;
         Ok(Self {
             name,
             scenario,
@@ -151,6 +161,7 @@ impl JobSpec {
             arch,
             suite,
             ga,
+            strategy,
         })
     }
 
@@ -337,6 +348,7 @@ mod tests {
                 stagnation_limit: None,
                 ..GaConfig::default()
             },
+            strategy: "ga".into(),
         }
     }
 
@@ -357,6 +369,35 @@ mod tests {
         assert_eq!(s.training().unwrap().len(), specjvm98().len());
         assert_eq!(s.ga.pop_size, GaConfig::default().pop_size);
         assert_eq!(s.ga.threads, 1, "daemon jobs default to one eval thread");
+        assert_eq!(s.strategy, "ga", "absent strategy defaults to the GA");
+    }
+
+    #[test]
+    fn spec_accepts_known_strategies() {
+        for good in [
+            "ga",
+            "random",
+            "hillclimb",
+            "anneal",
+            "grid",
+            "race",
+            "race:ga+grid",
+        ] {
+            let text = format!(
+                r#"{{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","strategy":"{good}"}}"#
+            );
+            let s = JobSpec::from_text(&text).unwrap();
+            assert_eq!(s.strategy, good);
+        }
+    }
+
+    #[test]
+    fn spec_rejects_unknown_strategy() {
+        let err = JobSpec::from_text(
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","strategy":"gradient"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
     }
 
     #[test]

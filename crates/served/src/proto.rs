@@ -146,12 +146,34 @@ pub fn record_to_json(r: &JobRecord) -> Json {
         ("id", Json::Int(r.id as i64)),
         ("name", Json::Str(r.spec.name.clone())),
         ("state", Json::Str(r.state.name().into())),
+        ("strategy", Json::Str(r.spec.strategy.clone())),
         ("generation", Json::Int(r.generation as i64)),
         (
             "best_fitness",
             r.best_fitness.map_or(Json::Null, f64_to_json),
         ),
     ];
+    if r.standings.len() > 1 {
+        pairs.push((
+            "strategies",
+            Json::Arr(
+                r.standings
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::Str(s.name.clone())),
+                            (
+                                "best_fitness",
+                                s.best_fitness.map_or(Json::Null, f64_to_json),
+                            ),
+                            ("evaluations", Json::Int(s.evaluations as i64)),
+                            ("eliminated", Json::Bool(s.eliminated)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     if let Some((params, fitness)) = &r.result {
         pairs.push((
             "result",

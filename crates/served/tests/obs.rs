@@ -41,6 +41,7 @@ fn tiny_spec(seed: u64) -> JobSpec {
             stagnation_limit: None,
             ..GaConfig::default()
         },
+        strategy: "ga".into(),
     }
 }
 

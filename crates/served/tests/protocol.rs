@@ -90,6 +90,7 @@ fn job(seed: u64, generations: usize) -> JobSpec {
             stagnation_limit: None,
             ..GaConfig::default()
         },
+        strategy: "ga".into(),
     }
 }
 
@@ -127,6 +128,46 @@ fn malformed_frames_get_errors_and_the_connection_survives() {
     // (well-formed requests with bad arguments are not protocol errors).
     let m = ts.daemon.metrics_snapshot();
     assert!(m.protocol_errors >= 5, "saw {} errors", m.protocol_errors);
+}
+
+#[test]
+fn unknown_strategy_submit_gets_a_structured_error_frame() {
+    let ts = TestServer::start("bad-strategy", 1);
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let submit = |strategy: &str| {
+        format!(
+            "{{\"cmd\":\"submit\",\"job\":{{\"name\":\"j\",\"scenario\":\"opt\",\
+             \"goal\":\"tot\",\"arch\":\"x86-p4\",\"suite\":[\"db\"],\
+             \"strategy\":\"{strategy}\"}}}}"
+        )
+    };
+    for bad in ["gradient", "race:ga", "race:ga+bogus", ""] {
+        let resp = raw_request(&mut stream, &submit(bad));
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(false)),
+            "strategy '{bad}' must be rejected at submit"
+        );
+        let msg = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(
+            msg.contains("unknown strategy") || msg.contains("at least 2 members"),
+            "error frame should name the problem, got: {msg}"
+        );
+    }
+    assert!(
+        ts.daemon.list().is_empty(),
+        "a rejected submit must not enqueue a job"
+    );
+
+    // The connection survives, and a well-formed race spec is accepted.
+    let resp = raw_request(&mut stream, &submit("race:ga+random"));
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    let id = resp.get("id").and_then(Json::as_i64).unwrap() as u64;
+    let _ = ts.daemon.cancel(id);
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn spec(seed: u64) -> JobSpec {
             stagnation_limit: None,
             ..ga::GaConfig::default()
         },
+        strategy: "ga".into(),
     }
 }
 

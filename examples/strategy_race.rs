@@ -1,0 +1,98 @@
+//! Race three search strategies against each other through the tuning
+//! service and watch the standings live: start a daemon behind a TCP
+//! server, submit one `race:ga+random+hillclimb` job, and stream its
+//! watch frames — each frame carries a per-strategy best-so-far table.
+//!
+//! ```sh
+//! cargo run --release --example strategy_race
+//! ```
+//!
+//! The same race is available from the command line:
+//!
+//! ```sh
+//! tuned serve &
+//! tuned submit --name demo --scenario opt --goal tot --bench db \
+//!              --strategy race:ga+random+hillclimb
+//! tuned watch --id 1
+//! ```
+
+use inlinetune::prelude::*;
+use inlinetune::served::daemon::{Daemon, DaemonConfig};
+use inlinetune::served::job::JobSpec;
+use inlinetune::served::json::Json;
+use inlinetune::served::{Client, RunDir, Server};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("strategy-race-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        RunDir::open(&dir).expect("run dir"),
+    )
+    .expect("daemon");
+    let server = Server::bind("127.0.0.1:0", daemon.clone()).expect("bind");
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.serve().expect("serve"));
+    println!("tuning service on {addr}");
+
+    let spec = JobSpec {
+        name: "Opt:Tot race".into(),
+        scenario: Scenario::Opt,
+        goal: Goal::Total,
+        arch: "x86-p4".into(),
+        suite: vec!["db".into()],
+        ga: GaConfig {
+            pop_size: 10,
+            generations: 12,
+            threads: 1,
+            seed: 42,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+        strategy: "race:ga+random+hillclimb".into(),
+    };
+    let mut client = Client::connect(&addr).expect("connect");
+    let id = client.submit(&spec).expect("submit");
+    println!("submitted race job {id} ({})\n", spec.strategy);
+
+    // Every watch frame of a racing job carries a `strategies` array:
+    // one standing per portfolio member, updated each round.
+    let mut watcher = Client::connect(&addr).expect("connect watcher");
+    let last = watcher
+        .watch(id, |frame| {
+            let round = frame.get("generation").and_then(Json::as_i64).unwrap_or(0);
+            let Some(standings) = frame.get("strategies").and_then(Json::as_arr) else {
+                return;
+            };
+            print!("round {round:>2}: ");
+            for s in standings {
+                let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+                let evals = s.get("evaluations").and_then(Json::as_i64).unwrap_or(0);
+                match s.get("best_fitness").and_then(Json::as_f64) {
+                    Some(f) => print!("{name} {f:.4} ({evals} evals)  "),
+                    None => print!("{name} — ({evals} evals)  "),
+                }
+            }
+            println!();
+        })
+        .expect("watch");
+
+    let result = last.get("result").expect("done job has a result");
+    let fitness = result
+        .get("fitness")
+        .and_then(Json::as_f64)
+        .expect("fitness");
+    let genes: Vec<i64> = result
+        .get("params")
+        .and_then(|p| p.get("genes"))
+        .and_then(Json::as_arr)
+        .expect("genes")
+        .iter()
+        .filter_map(Json::as_i64)
+        .collect();
+    println!("\nrace winner: fitness {fitness:.4}, params {genes:?}");
+
+    let _ = client.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

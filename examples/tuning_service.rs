@@ -31,6 +31,7 @@ fn job(name: &str, goal: Goal, seed: u64) -> JobSpec {
             stagnation_limit: None,
             ..GaConfig::default()
         },
+        strategy: "ga".into(),
     }
 }
 

@@ -221,3 +221,90 @@ cat "$OBS_OUT"
   || { echo "bench: observability changed the tuned result!"; exit 1; }
 [ "$OVERHEAD_OK" = true ] \
   || { echo "bench: obs overhead ${OVERHEAD_PCT}% exceeds ${OBS_MAX_PCT}%"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Search-strategy shootout: every pluggable strategy plus the racing
+# portfolio runs the same Opt:Tot/db tuning cell under the same proposal
+# budget (pop × gens), one `tuned` job per strategy; the fitness each one
+# reaches lands in BENCH_search.json. A second daemon then runs a
+# portfolio with a duplicated deterministic member (`race:ga+grid+grid`):
+# the duplicate's probes must be answered from the race's shared memo,
+# so the `race_shared_hits` counter is required to be nonzero — the
+# cross-strategy cache demonstrably works.
+#
+# Knobs: BENCH_SEARCH_POP / BENCH_SEARCH_GENS (default: the evald bench's
+# POP/GENS), BENCH_SEARCH_OUT.
+
+SEARCH_POP=${BENCH_SEARCH_POP:-$POP}
+SEARCH_GENS=${BENCH_SEARCH_GENS:-$GENS}
+SEARCH_OUT=${BENCH_SEARCH_OUT:-BENCH_search.json}
+SEARCH_SPECS="ga random hillclimb anneal grid race:ga+random+hillclimb"
+
+echo "== bench: search strategies (budget ${SEARCH_POP}x${SEARCH_GENS} per strategy)"
+
+start_daemon() { # dir -> addr on stdout
+  mkdir -p "$1"
+  "$TUNED" serve --addr 127.0.0.1:0 --dir "$1" --workers 1 \
+    >"$1/serve.log" 2>&1 &
+  PIDS+=("$!")
+  wait_file "$1/addr"
+  cat "$1/addr"
+}
+
+run_strategy() { # addr, spec, status-file
+  local submitted id
+  submitted=$("$TUNED" submit --addr "$1" --name "bench-$2" \
+    --scenario opt --goal tot --bench db --strategy "$2" \
+    --pop "$SEARCH_POP" --gens "$SEARCH_GENS" --seed "$SEED" --threads 1)
+  id=$(printf '%s' "$submitted" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  "$TUNED" watch --addr "$1" --id "$id" >/dev/null
+  "$TUNED" status --addr "$1" --id "$id" >"$3"
+  grep -q '"state":"done"' "$3" \
+    || { echo "bench: strategy $2 did not finish"; cat "$3"; exit 1; }
+}
+
+SEARCH_DIR="$WORK/search"
+SEARCH_ADDR=$(start_daemon "$SEARCH_DIR")
+FITNESS_ROWS=""
+for spec in $SEARCH_SPECS; do
+  key=${spec%%:*} # "race:ga+random+hillclimb" reports as "race"
+  run_strategy "$SEARCH_ADDR" "$spec" "$SEARCH_DIR/$key.json"
+  fit=$(json_num "$SEARCH_DIR/$key.json" fitness)
+  [ -n "$fit" ] || { echo "bench: no fitness for $spec"; exit 1; }
+  echo "   $key: fitness $fit"
+  FITNESS_ROWS="$FITNESS_ROWS    \"$key\": $fit,\n"
+done
+"$TUNED" shutdown --addr "$SEARCH_ADDR" >/dev/null
+
+# The shared-memo check runs on its own daemon so the counter can only
+# come from this one portfolio.
+MEMO_DIR="$WORK/search-memo"
+MEMO_ADDR=$(start_daemon "$MEMO_DIR")
+MEMO_SPEC="race:ga+grid+grid"
+run_strategy "$MEMO_ADDR" "$MEMO_SPEC" "$MEMO_DIR/status.json"
+"$TUNED" obs --addr "$MEMO_ADDR" >"$MEMO_DIR/obs.json"
+"$TUNED" shutdown --addr "$MEMO_ADDR" >/dev/null
+SHARED_HITS=$(grep -o 'race_shared_hits[^:]*:"[0-9]*"' "$MEMO_DIR/obs.json" \
+  | sed 's/.*:"//; s/"//' | awk '{s += $1} END {print s + 0}')
+[ "$SHARED_HITS" -gt 0 ] && SHARED_OK=true || SHARED_OK=false
+
+{
+  printf '{\n'
+  printf '  "bench": "search strategy shootout",\n'
+  printf '  "pop": %d,\n' "$SEARCH_POP"
+  printf '  "gens": %d,\n' "$SEARCH_GENS"
+  printf '  "seed": %d,\n' "$SEED"
+  printf '  "budget": %d,\n' "$((SEARCH_POP * SEARCH_GENS))"
+  printf '  "fitness": {\n'
+  printf '%b' "$FITNESS_ROWS" | sed '$ s/,$//'
+  printf '  },\n'
+  printf '  "shared_memo_spec": "%s",\n' "$MEMO_SPEC"
+  printf '  "race_shared_hits": %d,\n' "$SHARED_HITS"
+  printf '  "shared_ok": %s\n' "$SHARED_OK"
+  printf '}\n'
+} >"$SEARCH_OUT"
+
+echo "== bench: wrote $SEARCH_OUT"
+cat "$SEARCH_OUT"
+[ "$SHARED_OK" = true ] \
+  || { echo "bench: racing portfolio never hit its shared memo!"; exit 1; }

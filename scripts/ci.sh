@@ -3,7 +3,8 @@
 # end-to-end smoke run of the `tuned` daemon (submit a tiny Opt:Tot job
 # over localhost, watch it finish, pull metrics, shut down), and a
 # distributed-evaluation smoke via scripts/bench.sh (1 local vs
-# 2 evald workers, bit-identity enforced).
+# 2 evald workers, bit-identity enforced; plus a search-strategy
+# shootout whose racing portfolio must hit its shared memo).
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -96,5 +97,9 @@ grep -q '"fitness_identical": true' BENCH_obs.json \
   || { echo "obs recording changed the tuned result"; exit 1; }
 grep -q '"overhead_ok": true' BENCH_obs.json \
   || { echo "obs overhead above threshold"; cat BENCH_obs.json; exit 1; }
+grep -q '"shared_ok": true' BENCH_search.json \
+  || { echo "racing portfolio never hit its shared memo"; cat BENCH_search.json; exit 1; }
+grep -q '"race":' BENCH_search.json \
+  || { echo "strategy shootout missing the portfolio row"; cat BENCH_search.json; exit 1; }
 
 echo "== CI OK"

@@ -16,6 +16,7 @@
 //! | [`jit`] | `inlinetune-jit` | the VM simulator: compilers, adaptive system, scenarios |
 //! | [`workloads`] | `inlinetune-workloads` | synthetic SPECjvm98 / DaCapo+JBB suites |
 //! | [`ga`] | `inlinetune-ga` | the genetic-algorithm engine (ECJ analog) |
+//! | [`search`] | `inlinetune-search` | pluggable search strategies + the racing portfolio |
 //! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
 //! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol, remote dispatch |
 //! | [`evald`] | `inlinetune-evald` | the remote fitness-evaluation worker: eval RPCs, heartbeats, chaos injection |
@@ -48,6 +49,7 @@ pub use inliner;
 pub use ir;
 pub use jit;
 pub use obs;
+pub use search;
 pub use served;
 pub use simrng;
 pub use tuner;
