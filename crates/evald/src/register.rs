@@ -9,7 +9,6 @@
 //! forgiving: a `heartbeat` from an unknown address auto-registers it.
 
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,15 +16,17 @@ use std::time::Duration;
 
 use served::json::Json;
 use served::proto::{read_frame, write_frame, Frame};
+use served::{NetStream, TcpTransport, Transport};
 
 /// How long each connect / reply read may take before the tick is
 /// abandoned and retried.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// Spawns the registrar thread. `daemon_addr` is the `tuned` protocol
-/// address; `advertise` is the `host:port` *this worker's eval server*
-/// listens on (what the daemon will dial back); `interval` is the
-/// heartbeat period. The thread exits promptly once `stop` is raised.
+/// Spawns the registrar thread over real TCP. `daemon_addr` is the
+/// `tuned` protocol address; `advertise` is the `host:port` *this
+/// worker's eval server* listens on (what the daemon will dial back);
+/// `interval` is the heartbeat period. The thread exits promptly once
+/// `stop` is raised.
 #[must_use]
 pub fn spawn_registrar(
     daemon_addr: String,
@@ -33,19 +34,47 @@ pub fn spawn_registrar(
     interval: Duration,
     stop: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
+    spawn_registrar_on(
+        TcpTransport::shared(),
+        daemon_addr,
+        advertise,
+        interval,
+        stop,
+    )
+}
+
+/// Like [`spawn_registrar`], over an explicit transport (the simulation
+/// harness passes a `sim::SimTransport`, putting the heartbeat cadence
+/// on the virtual clock).
+#[must_use]
+pub fn spawn_registrar_on(
+    transport: Arc<dyn Transport>,
+    daemon_addr: String,
+    advertise: String,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("evald-registrar".into())
-        .spawn(move || registrar_loop(&daemon_addr, &advertise, interval, &stop))
+        .spawn(move || registrar_loop(&*transport, &daemon_addr, &advertise, interval, &stop))
         .expect("cannot spawn registrar thread")
 }
 
-fn registrar_loop(daemon_addr: &str, advertise: &str, interval: Duration, stop: &AtomicBool) {
-    let mut conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> = None;
+type HalfPair = (BufReader<Box<dyn NetStream>>, BufWriter<Box<dyn NetStream>>);
+
+fn registrar_loop(
+    transport: &dyn Transport,
+    daemon_addr: &str,
+    advertise: &str,
+    interval: Duration,
+    stop: &AtomicBool,
+) {
+    let mut conn: Option<HalfPair> = None;
     let mut registered = false;
     while !stop.load(Ordering::SeqCst) {
         if conn.is_none() {
             registered = false;
-            conn = open(daemon_addr);
+            conn = open(transport, daemon_addr);
         }
         if let Some((reader, writer)) = conn.as_mut() {
             let verb = if registered { "heartbeat" } else { "register" };
@@ -70,26 +99,25 @@ fn registrar_loop(daemon_addr: &str, advertise: &str, interval: Duration, stop: 
                 conn = None; // reconnect and re-register next tick
             }
         }
-        sleep_interruptibly(interval, stop);
+        sleep_interruptibly(transport, interval, stop);
     }
 }
 
-fn open(daemon_addr: &str) -> Option<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
-    use std::net::ToSocketAddrs;
-    let sock = daemon_addr.to_socket_addrs().ok()?.next()?;
-    let stream = TcpStream::connect_timeout(&sock, IO_TIMEOUT).ok()?;
+fn open(transport: &dyn Transport, daemon_addr: &str) -> Option<HalfPair> {
+    let stream = transport.connect(daemon_addr, IO_TIMEOUT).ok()?;
     stream.set_read_timeout(Some(IO_TIMEOUT)).ok()?;
     let write_half = stream.try_clone().ok()?;
     Some((BufReader::new(stream), BufWriter::new(write_half)))
 }
 
-/// Sleeps up to `total`, waking early (in ≤50 ms) when `stop` is raised.
-fn sleep_interruptibly(total: Duration, stop: &AtomicBool) {
+/// Sleeps up to `total` on the transport clock, waking early (in ≤50 ms)
+/// when `stop` is raised.
+fn sleep_interruptibly(transport: &dyn Transport, total: Duration, stop: &AtomicBool) {
     let slice = Duration::from_millis(50);
     let mut left = total;
     while left > Duration::ZERO && !stop.load(Ordering::SeqCst) {
         let step = left.min(slice);
-        std::thread::sleep(step);
+        transport.sleep(step);
         left -= step;
     }
 }

@@ -17,7 +17,6 @@
 //! bit-identical to local ones.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,7 +25,7 @@ use inliner::InlineParams;
 use served::checkpoint::f64_to_json;
 use served::json::Json;
 use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
-use served::JobSpec;
+use served::{JobSpec, NetListener, NetStream, TcpTransport, Transport};
 use tuner::Tuner;
 
 use crate::cache::TunerCache;
@@ -37,7 +36,7 @@ use crate::chaos::Chaos;
 /// connections are stale ones.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Poll interval of the nonblocking accept loop.
+/// Poll interval of the accept loop.
 const POLL: Duration = Duration::from_millis(50);
 
 /// The worker's own counters (served by its `metrics` verb).
@@ -56,7 +55,8 @@ pub struct WorkerCounters {
 /// The eval worker server. Owns the listener; serves until `shutdown`
 /// arrives or the stop flag is raised.
 pub struct EvalWorker {
-    listener: TcpListener,
+    transport: Arc<dyn Transport>,
+    listener: Box<dyn NetListener>,
     cache: Arc<TunerCache>,
     chaos: Arc<Chaos>,
     counters: Arc<WorkerCounters>,
@@ -65,8 +65,8 @@ pub struct EvalWorker {
 }
 
 impl EvalWorker {
-    /// Binds to `addr` (use port 0 for an OS-assigned port). Records
-    /// into the process-wide [`obs::global`] registry.
+    /// Binds to `addr` over real TCP (use port 0 for an OS-assigned
+    /// port). Records into the process-wide [`obs::global`] registry.
     ///
     /// # Errors
     /// Propagates bind errors.
@@ -85,8 +85,25 @@ impl EvalWorker {
         chaos: Chaos,
         obs: Arc<obs::Registry>,
     ) -> Result<Self, String> {
-        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Self::bind_on(TcpTransport::shared(), addr, chaos, obs)
+    }
+
+    /// Binds to `addr` over `transport` (the simulation harness passes
+    /// a `sim::SimTransport`).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind_on(
+        transport: Arc<dyn Transport>,
+        addr: &str,
+        chaos: Chaos,
+        obs: Arc<obs::Registry>,
+    ) -> Result<Self, String> {
+        let listener = transport
+            .bind(addr)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Self {
+            transport,
             listener,
             cache: Arc::new(TunerCache::new()),
             chaos: Arc::new(chaos),
@@ -96,16 +113,10 @@ impl EvalWorker {
         })
     }
 
-    /// The bound address (useful after binding port 0).
-    ///
-    /// # Panics
-    /// Panics if the socket has no local address (cannot happen for a
-    /// bound listener).
+    /// The bound `host:port` (useful after binding port 0).
     #[must_use]
-    pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
     }
 
     /// A flag that makes [`EvalWorker::serve`] return when raised.
@@ -124,14 +135,11 @@ impl EvalWorker {
     /// are detached and die with their sockets.
     ///
     /// # Errors
-    /// Propagates listener configuration errors.
+    /// Propagates listener failures.
     pub fn serve(&self) -> Result<(), String> {
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
         while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            match self.listener.accept(POLL) {
+                Ok(Some(stream)) => {
                     served::Metrics::bump(&self.counters.connections);
                     self.obs.counter("evald_connections").inc();
                     let cache = Arc::clone(&self.cache);
@@ -139,16 +147,17 @@ impl EvalWorker {
                     let counters = Arc::clone(&self.counters);
                     let reg = Arc::clone(&self.obs);
                     let stop = Arc::clone(&self.stop);
+                    let transport = Arc::clone(&self.transport);
                     let _ =
                         std::thread::Builder::new()
                             .name("evald-conn".into())
                             .spawn(move || {
-                                serve_connection(stream, &cache, &chaos, &counters, &reg, &stop);
+                                serve_connection(
+                                    stream, &cache, &chaos, &counters, &reg, &stop, &transport,
+                                );
                             });
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
-                }
+                Ok(None) => {}
                 Err(e) => return Err(format!("accept failed: {e}")),
             }
         }
@@ -156,13 +165,15 @@ impl EvalWorker {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
-    stream: TcpStream,
+    stream: Box<dyn NetStream>,
     cache: &TunerCache,
     chaos: &Chaos,
     counters: &WorkerCounters,
     reg: &obs::Registry,
     stop: &AtomicBool,
+    transport: &Arc<dyn Transport>,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -196,7 +207,13 @@ fn serve_connection(
                 "ping" => ok_with(vec![("pong", Json::Bool(true))]),
                 "task" => match body.get("job") {
                     None => err("task needs a 'job' object"),
-                    Some(job) => match JobSpec::from_json(job).and_then(|s| cache.get(&s)) {
+                    // Constructing a Tuner on a cache miss is real CPU
+                    // work: hold the busy bracket so a simulated clock
+                    // cannot time the handshake out underneath it.
+                    Some(job) => match {
+                        let _busy = served::net::busy(&**transport);
+                        JobSpec::from_json(job).and_then(|s| cache.get(&s))
+                    } {
                         Ok((t, was_cached)) => {
                             reg.counter(if was_cached {
                                 "evald_task_cache_hits"
@@ -210,7 +227,7 @@ fn serve_connection(
                         Err(e) => err(e),
                     },
                 },
-                "eval" => match eval(&body, tuner.as_deref(), chaos, counters, reg) {
+                "eval" => match eval(&body, tuner.as_deref(), chaos, counters, reg, &**transport) {
                     Ok(v) => v,
                     Err(Dropped) => return, // chaos: die without replying
                 },
@@ -269,6 +286,7 @@ fn eval(
     chaos: &Chaos,
     counters: &WorkerCounters,
     reg: &obs::Registry,
+    transport: &dyn Transport,
 ) -> Result<Json, Dropped> {
     let Some(tuner) = tuner else {
         served::Metrics::bump(&counters.protocol_errors);
@@ -297,7 +315,13 @@ fn eval(
     }
     chaos.delay();
     let started = reg.now_micros();
-    let fitness = tuner.fitness(&InlineParams::from_genes(&genes));
+    // The measurement is real CPU work: hold the busy bracket so a
+    // simulated clock cannot advance the dispatcher's request deadline
+    // past us while we compute.
+    let fitness = {
+        let _busy = served::net::busy(transport);
+        tuner.fitness(&InlineParams::from_genes(&genes))
+    };
     reg.histogram("evald_eval_micros")
         .record(reg.now_micros().saturating_sub(started));
     served::Metrics::bump(&counters.evals);
@@ -314,7 +338,8 @@ mod tests {
     use ga::GaConfig;
     use jit::Scenario;
     use served::proto::read_frame;
-    use std::io::{BufRead, Write};
+    use std::io::Write;
+    use std::net::TcpStream;
     use tuner::Goal;
 
     fn spec() -> JobSpec {
@@ -342,7 +367,7 @@ mod tests {
     }
 
     impl TestConn {
-        fn open(addr: std::net::SocketAddr) -> Self {
+        fn open(addr: &str) -> Self {
             let stream = TcpStream::connect(addr).unwrap();
             stream
                 .set_read_timeout(Some(Duration::from_secs(10)))
@@ -373,7 +398,7 @@ mod tests {
         }
     }
 
-    fn start_worker(chaos: Chaos) -> (std::net::SocketAddr, Arc<AtomicBool>) {
+    fn start_worker(chaos: Chaos) -> (String, Arc<AtomicBool>) {
         let worker = EvalWorker::bind("127.0.0.1:0", chaos).unwrap();
         let addr = worker.local_addr();
         let stop = worker.stop_flag();
@@ -402,7 +427,7 @@ mod tests {
     #[test]
     fn answers_evals_with_the_exact_local_fitness() {
         let (addr, stop) = start_worker(Chaos::inert());
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         assert_eq!(
             conn.roundtrip(&task_frame()).get("ok"),
             Some(&Json::Bool(true))
@@ -424,7 +449,7 @@ mod tests {
     #[test]
     fn eval_without_task_is_an_error_not_a_panic() {
         let (addr, stop) = start_worker(Chaos::inert());
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         let resp = conn.roundtrip(&eval_frame(0, &[1, 2, 3, 4, 5]));
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         stop.store(true, Ordering::SeqCst);
@@ -433,7 +458,7 @@ mod tests {
     #[test]
     fn out_of_range_genes_are_rejected() {
         let (addr, stop) = start_worker(Chaos::inert());
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         conn.roundtrip(&task_frame());
         // Wrong length and wildly out-of-range values: both must come
         // back as error envelopes, and the connection must survive.
@@ -449,7 +474,7 @@ mod tests {
     #[test]
     fn malformed_json_gets_an_error_and_the_connection_survives() {
         let (addr, stop) = start_worker(Chaos::inert());
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         let resp = conn.raw("this is not json");
         assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         let ping = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("ping".into()))]));
@@ -461,7 +486,7 @@ mod tests {
     fn chaos_drop_closes_the_connection_without_a_reply() {
         let cfg = crate::chaos::ChaosConfig::parse("drop:1.0").unwrap();
         let (addr, stop) = start_worker(Chaos::new(cfg, 1));
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         conn.roundtrip(&task_frame());
         let genes = InlineParams::jikes_default().to_genes();
         write_frame(&mut conn.writer, &eval_frame(0, &genes)).unwrap();
@@ -476,7 +501,7 @@ mod tests {
     #[test]
     fn metrics_and_shutdown_verbs_work() {
         let (addr, _stop) = start_worker(Chaos::inert());
-        let mut conn = TestConn::open(addr);
+        let mut conn = TestConn::open(&addr);
         conn.roundtrip(&task_frame());
         let genes = InlineParams::jikes_default().to_genes();
         conn.roundtrip(&eval_frame(0, &genes));

@@ -11,7 +11,7 @@
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ga::GaConfig;
 use jit::Scenario;
@@ -26,6 +26,23 @@ fn tmp_dir(tag: &str) -> PathBuf {
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).unwrap();
     d
+}
+
+/// The wall-clock unit every deadline in this suite is a multiple of.
+/// This suite spawns real `evald` processes, so its bounds cannot ride
+/// the simulated clock (`crates/sim`) — but they *can* scale: set
+/// `SIM_TIMEOUT_MS` (default 1000) to stretch every bound on slow or
+/// heavily loaded CI machines instead of editing hard-coded counts.
+fn timeout_unit() -> Duration {
+    let ms = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+fn bound(units: u32) -> Duration {
+    timeout_unit() * units
 }
 
 fn tiny_spec(seed: u64) -> JobSpec {
@@ -103,7 +120,8 @@ impl Drop for WorkerProc {
 }
 
 fn wait_for_file(path: &std::path::Path) -> String {
-    for _ in 0..200 {
+    let deadline = Instant::now() + bound(5);
+    while Instant::now() < deadline {
         if let Ok(s) = std::fs::read_to_string(path) {
             if s.contains(':') {
                 return s.trim().to_string();
@@ -115,7 +133,8 @@ fn wait_for_file(path: &std::path::Path) -> String {
 }
 
 fn wait_terminal(d: &Daemon, id: u64) -> JobRecord {
-    for _ in 0..1200 {
+    let deadline = Instant::now() + bound(60);
+    while Instant::now() < deadline {
         let r = d.status(id).expect("job exists");
         if r.state.is_terminal() {
             return r;
@@ -215,7 +234,8 @@ fn sigkilled_worker_mid_generation_does_not_lose_the_job() {
 
     // Wait until evaluations are actually being dispatched, then SIGKILL
     // one worker mid-generation.
-    for _ in 0..400 {
+    let deadline = Instant::now() + bound(4);
+    while Instant::now() < deadline {
         if daemon.metrics_snapshot().remote_dispatched > 0 {
             break;
         }
@@ -279,7 +299,8 @@ fn worker_registers_over_the_wire_and_metrics_report_it() {
         "register-w",
         &["--register", &daemon_addr, "--heartbeat-ms", "100"],
     );
-    for _ in 0..200 {
+    let deadline = Instant::now() + bound(5);
+    while Instant::now() < deadline {
         if !daemon.pool().snapshots().is_empty() {
             break;
         }

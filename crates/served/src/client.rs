@@ -1,27 +1,41 @@
 //! A small blocking client for the `tuned` protocol.
 
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::job::JobSpec;
 use crate::json::Json;
+use crate::net::{NetStream, TcpTransport, Transport};
 use crate::proto::{read_frame, write_frame, Frame};
+
+/// How long a [`Client::connect`] attempt may take.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A connected client. One request/response at a time.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Box<dyn NetStream>>,
+    writer: BufWriter<Box<dyn NetStream>>,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon over real TCP.
     ///
     /// # Errors
     /// Connection failures.
     pub fn connect(addr: &str) -> Result<Self, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Self::connect_on(&TcpTransport::shared(), addr)
+    }
+
+    /// Connects to a daemon over `transport` (tests pass a
+    /// `sim::SimTransport`; production code uses [`Client::connect`]).
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect_on(transport: &Arc<dyn Transport>, addr: &str) -> Result<Self, String> {
+        let stream = transport
+            .connect(addr, CONNECT_TIMEOUT)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
         let _ = stream.set_nodelay(true);
         let write_half = stream
             .try_clone()

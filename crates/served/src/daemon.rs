@@ -22,6 +22,7 @@ use crate::checkpoint::RunDir;
 use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
 use crate::job::{JobSpec, JobState};
 use crate::metrics::{JobGauges, Metrics, MetricsSnapshot};
+use crate::net::{TcpTransport, Transport};
 
 /// Daemon tunables.
 #[derive(Debug, Clone)]
@@ -45,6 +46,9 @@ pub struct DaemonConfig {
     /// into. Defaults to the shared process registry (wall clock); tests
     /// inject one built on an `obs::ManualClock`.
     pub obs: Arc<obs::Registry>,
+    /// The network + clock the dispatch tier runs on. Defaults to real
+    /// TCP; the simulation harness injects a `sim::SimTransport`.
+    pub transport: Arc<dyn Transport>,
 }
 
 impl Default for DaemonConfig {
@@ -56,6 +60,7 @@ impl Default for DaemonConfig {
             eval_workers: Vec::new(),
             dispatch: DispatchConfig::default(),
             obs: Arc::clone(obs::global()),
+            transport: TcpTransport::shared(),
         }
     }
 }
@@ -182,6 +187,7 @@ impl Daemon {
                 let mut pool =
                     WorkerPool::with_workers(config.dispatch.clone(), &config.eval_workers);
                 pool.set_obs(Arc::clone(&config.obs));
+                pool.set_transport(Arc::clone(&config.transport));
                 pool
             },
         });
@@ -503,6 +509,9 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         // influences results (strategies are deterministic in their
         // seed), so flipping tiers mid-job is safe.
         let done = if inner.pool.is_empty() {
+            // Local evaluation is real compute: hold the busy bracket so
+            // a simulated clock cannot advance through it.
+            let _busy = crate::net::busy(&*inner.config.transport);
             search::step_with(strategy.as_mut(), &local)
         } else {
             search::step_with(strategy.as_mut(), &remote)

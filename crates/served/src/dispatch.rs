@@ -20,6 +20,11 @@
 //!   evaluated through the caller-supplied local fallback, so a job
 //!   finishes even if every worker dies mid-generation.
 //!
+//! Every socket, sleep, and clock read goes through the
+//! [`crate::net::Transport`] seam, so the identical dispatch logic runs
+//! on real TCP in production and on the simulated network (virtual
+//! clock, seeded faults) under `crates/sim`.
+//!
 //! The wire conversation with one worker (line-delimited JSON, the same
 //! framing as the `tuned` protocol):
 //!
@@ -32,22 +37,22 @@
 
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write as _};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ga::{Evaluator, Genome};
 
 use crate::checkpoint::f64_from_json;
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::net::{NetStream, TcpTransport, Transport};
 use crate::proto::{read_frame, write_frame, Frame};
 
 /// Dispatcher tunables.
 #[derive(Debug, Clone)]
 pub struct DispatchConfig {
-    /// TCP connect timeout per attempt.
+    /// Connect timeout per attempt.
     pub connect_timeout: Duration,
     /// How long to wait for one eval response before declaring a timeout
     /// and re-dispatching the outstanding work.
@@ -67,6 +72,15 @@ pub struct DispatchConfig {
     /// than this is considered gone and evicted. Statically configured
     /// workers are exempt — they never heartbeat.
     pub stale_after: Duration,
+    /// How long a dispatch thread with nothing left to claim dozes
+    /// before re-checking the queue (work re-appears there when another
+    /// worker times out and its claims are re-dispatched).
+    pub idle_poll: Duration,
+    /// **Test hook.** When `false`, work claimed by a failing worker is
+    /// silently dropped instead of returned to the queue — the exact
+    /// lost-work bug class the simulation sweep exists to catch. Never
+    /// disable outside a harness proving the harness.
+    pub redispatch: bool,
 }
 
 impl Default for DispatchConfig {
@@ -79,6 +93,8 @@ impl Default for DispatchConfig {
             max_consecutive_failures: 3,
             max_inflight: 8,
             stale_after: Duration::from_secs(10),
+            idle_poll: Duration::from_millis(2),
+            redispatch: true,
         }
     }
 }
@@ -125,7 +141,9 @@ impl WorkerStats {
     }
 }
 
-/// One worker endpoint and its health.
+/// One worker endpoint and its health. Liveness timestamps are
+/// transport-clock micros supplied by the pool, so a simulated run's
+/// staleness sweeps follow the virtual clock.
 #[derive(Debug)]
 pub struct Worker {
     /// The `host:port` the worker's eval server listens on.
@@ -136,7 +154,7 @@ pub struct Worker {
     /// Counters.
     pub stats: WorkerStats,
     alive: AtomicBool,
-    last_seen: Mutex<Instant>,
+    last_seen: AtomicU64,
 }
 
 impl Worker {
@@ -149,7 +167,7 @@ impl Worker {
             registered,
             stats: WorkerStats::default(),
             alive: AtomicBool::new(true),
-            last_seen: Mutex::new(Instant::now()),
+            last_seen: AtomicU64::new(0),
         }
     }
 
@@ -159,17 +177,15 @@ impl Worker {
         self.alive.load(Ordering::SeqCst)
     }
 
-    /// Records proof of life (heartbeat received, or a response arrived).
-    pub fn touch(&self) {
-        *self.last_seen.lock().expect("worker clock poisoned") = Instant::now();
+    /// Records proof of life (heartbeat received, or a response arrived)
+    /// at transport time `now` (micros).
+    pub fn touch_at(&self, now: u64) {
+        self.last_seen.fetch_max(now, Ordering::SeqCst);
     }
 
-    fn seen_within(&self, window: Duration) -> bool {
-        self.last_seen
-            .lock()
-            .expect("worker clock poisoned")
-            .elapsed()
-            <= window
+    fn seen_within(&self, now: u64, window: Duration) -> bool {
+        let age = now.saturating_sub(self.last_seen.load(Ordering::SeqCst));
+        age <= window.as_micros() as u64
     }
 
     /// Removes the worker from the live set, bumping eviction counters
@@ -186,8 +202,8 @@ impl Worker {
         }
     }
 
-    fn revive(&self) {
-        self.touch();
+    fn revive_at(&self, now: u64) {
+        self.touch_at(now);
         self.alive.store(true, Ordering::SeqCst);
     }
 
@@ -244,16 +260,19 @@ pub struct WorkerPool {
     config: DispatchConfig,
     workers: Mutex<Vec<Arc<Worker>>>,
     obs: Arc<obs::Registry>,
+    transport: Arc<dyn Transport>,
 }
 
 impl WorkerPool {
-    /// An empty pool recording into the process-wide obs registry.
+    /// An empty pool recording into the process-wide obs registry,
+    /// dialing over real TCP.
     #[must_use]
     pub fn new(config: DispatchConfig) -> Self {
         Self {
             config,
             workers: Mutex::new(Vec::new()),
             obs: Arc::clone(obs::global()),
+            transport: TcpTransport::shared(),
         }
     }
 
@@ -267,6 +286,18 @@ impl WorkerPool {
     #[must_use]
     pub fn obs(&self) -> &Arc<obs::Registry> {
         &self.obs
+    }
+
+    /// Redirects the pool's sockets, sleeps, and liveness clock to
+    /// `transport` (the sim harness injects its simulated network).
+    pub fn set_transport(&mut self, transport: Arc<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The transport this pool dials over.
+    #[must_use]
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// A pool pre-seeded with statically configured worker addresses.
@@ -287,12 +318,15 @@ impl WorkerPool {
 
     /// Adds (or revives) a worker. Returns `true` if the address was new.
     pub fn add(&self, addr: &str, registered: bool) -> bool {
+        let now = self.transport.now_micros();
         let mut workers = self.workers.lock().expect("worker pool poisoned");
         if let Some(w) = workers.iter().find(|w| w.addr == addr) {
-            w.revive();
+            w.revive_at(now);
             return false;
         }
-        workers.push(Arc::new(Worker::new(addr.to_string(), registered)));
+        let w = Worker::new(addr.to_string(), registered);
+        w.touch_at(now);
+        workers.push(Arc::new(w));
         true
     }
 
@@ -338,8 +372,9 @@ impl WorkerPool {
     /// stale. Static workers are exempt (they never heartbeat; request
     /// failures evict them instead).
     pub fn sweep_stale(&self, metrics: &Metrics) {
+        let now = self.transport.now_micros();
         for w in self.all() {
-            if w.registered && w.is_alive() && !w.seen_within(self.config.stale_after) {
+            if w.registered && w.is_alive() && !w.seen_within(now, self.config.stale_after) {
                 w.evict(metrics, &self.obs);
             }
         }
@@ -350,31 +385,23 @@ impl WorkerPool {
     /// without re-registering.
     pub fn probe_dead(&self) {
         for w in self.all() {
-            if !w.is_alive() && ping(&w.addr, &self.config) {
-                w.revive();
+            if !w.is_alive() && ping(&w.addr, &self.config, &*self.transport) {
+                w.revive_at(self.transport.now_micros());
             }
         }
     }
 }
 
-/// Resolves `host:port` to a socket address.
-fn resolve(addr: &str) -> Result<SocketAddr, String> {
-    addr.to_socket_addrs()
-        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
-        .next()
-        .ok_or_else(|| format!("{addr} resolves to nothing"))
-}
-
 /// A quick liveness probe: connect and exchange a `ping`.
-fn ping(addr: &str, cfg: &DispatchConfig) -> bool {
-    let Ok(sock) = resolve(addr) else {
-        return false;
-    };
-    let Ok(stream) = TcpStream::connect_timeout(&sock, cfg.connect_timeout) else {
+fn ping(addr: &str, cfg: &DispatchConfig, transport: &dyn Transport) -> bool {
+    let Ok(stream) = transport.connect(addr, cfg.connect_timeout) else {
         return false;
     };
     let _ = stream.set_read_timeout(Some(cfg.connect_timeout));
-    let mut writer = BufWriter::new(&stream);
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let mut writer = BufWriter::new(stream);
     if write_frame(
         &mut writer,
         &Json::obj(vec![("cmd", Json::Str("ping".into()))]),
@@ -384,7 +411,7 @@ fn ping(addr: &str, cfg: &DispatchConfig) -> bool {
         return false;
     }
     drop(writer);
-    let mut reader = BufReader::new(&stream);
+    let mut reader = BufReader::new(read_half);
     match read_frame(&mut reader) {
         Frame::Line(line) => {
             crate::json::parse(&line)
@@ -411,15 +438,20 @@ enum Recv {
 
 /// One pipelined connection to a worker's eval server.
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<Box<dyn NetStream>>,
+    writer: BufWriter<Box<dyn NetStream>>,
 }
 
 impl Conn {
     /// Connects and performs the `task` handshake.
-    fn open(addr: &str, task: &Json, cfg: &DispatchConfig) -> Result<Self, String> {
-        let sock = resolve(addr)?;
-        let stream = TcpStream::connect_timeout(&sock, cfg.connect_timeout)
+    fn open(
+        addr: &str,
+        task: &Json,
+        cfg: &DispatchConfig,
+        transport: &dyn Transport,
+    ) -> Result<Self, String> {
+        let stream = transport
+            .connect(addr, cfg.connect_timeout)
             .map_err(|e| format!("connect {addr}: {e}"))?;
         stream
             .set_read_timeout(Some(cfg.request_timeout))
@@ -567,6 +599,7 @@ impl Evaluator for RemoteEvaluator<'_> {
                             self.pool.config(),
                             self.metrics,
                             self.pool.obs(),
+                            self.pool.transport(),
                         );
                     });
                 }
@@ -580,6 +613,10 @@ impl Evaluator for RemoteEvaluator<'_> {
                 r.unwrap_or_else(|| {
                     Metrics::bump(&self.metrics.remote_fallback_evals);
                     self.pool.obs().counter("dispatch_fallback_evals").inc();
+                    // Fallback fitness is real compute: hold the busy
+                    // bracket so a simulated clock can't advance past
+                    // request deadlines elsewhere while we measure.
+                    let _busy = crate::net::busy(&**self.pool.transport());
                     (self.fallback)(&genomes[i])
                 })
             })
@@ -588,8 +625,17 @@ impl Evaluator for RemoteEvaluator<'_> {
 }
 
 /// Returns claimed-but-unresolved indices to the queue and counts them as
-/// retries against this worker.
-fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics, reg: &obs::Registry) {
+/// retries against this worker. With the [`DispatchConfig::redispatch`]
+/// test hook off, the work is dropped on the floor instead — the lost-work
+/// bug the simulation sweep must be able to catch.
+fn requeue(
+    batch: &Batch,
+    idxs: &[usize],
+    worker: &Worker,
+    cfg: &DispatchConfig,
+    metrics: &Metrics,
+    reg: &obs::Registry,
+) {
     if idxs.is_empty() {
         return;
     }
@@ -600,6 +646,9 @@ fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics, re
         &[("worker", &worker.addr)],
     ))
     .add(idxs.len() as u64);
+    if !cfg.redispatch {
+        return;
+    }
     let mut q = batch.queue.lock().expect("batch queue poisoned");
     for &i in idxs {
         q.push_back(i);
@@ -611,6 +660,7 @@ fn requeue(batch: &Batch, idxs: &[usize], worker: &Worker, metrics: &Metrics, re
 /// transient failure back off (exponentially, capped) and re-dispatch; on
 /// protocol violation or repeated failure, evict and exit. Every exit
 /// path returns outstanding work to the queue first.
+#[allow(clippy::too_many_lines)]
 fn drive_worker(
     worker: &Worker,
     batch: &Batch,
@@ -618,6 +668,7 @@ fn drive_worker(
     cfg: &DispatchConfig,
     metrics: &Metrics,
     reg: &obs::Registry,
+    transport: &Arc<dyn Transport>,
 ) {
     let worker_label: [(&str, &str); 1] = [("worker", &worker.addr)];
     let rpc_latency = reg.histogram(&obs::labeled("rpc_latency_micros", &worker_label));
@@ -638,28 +689,28 @@ fn drive_worker(
         if claimed.is_empty() {
             // Everything is in flight on other workers; wait for either
             // completion or a timeout re-dispatch.
-            std::thread::sleep(Duration::from_millis(2));
+            transport.sleep(cfg.idle_poll);
             continue;
         }
 
         // Transient-failure bookkeeping, shared by every retry path.
         let mut transient = |conn: &mut Option<Conn>, pending: &[usize]| -> bool {
             *conn = None;
-            requeue(batch, pending, worker, metrics, reg);
+            requeue(batch, pending, worker, cfg, metrics, reg);
             consecutive += 1;
             if consecutive >= cfg.max_consecutive_failures {
                 worker.evict(metrics, reg);
                 return true; // exit the loop
             }
             backoffs.inc();
-            std::thread::sleep(backoff);
+            transport.sleep(backoff);
             backoff = (backoff * 2).min(cfg.backoff_cap);
             false
         };
 
         // Ensure a connection (with the task handshake done).
         if conn.is_none() {
-            match Conn::open(&worker.addr, task, cfg) {
+            match Conn::open(&worker.addr, task, cfg, &**transport) {
                 Ok(c) => conn = Some(c),
                 Err(_) => {
                     if transient(&mut conn, &claimed) {
@@ -702,7 +753,7 @@ fn drive_worker(
                     let Some(pos) = pending.iter().position(|&i| i == id) else {
                         // An id we never sent: protocol violation.
                         worker.evict(metrics, reg);
-                        requeue(batch, &pending, worker, metrics, reg);
+                        requeue(batch, &pending, worker, cfg, metrics, reg);
                         return;
                     };
                     pending.swap_remove(pos);
@@ -715,7 +766,7 @@ fn drive_worker(
                     });
                     Metrics::bump(&metrics.remote_completed);
                     rpc_latency.record(rtt);
-                    worker.touch();
+                    worker.touch_at(transport.now_micros());
                 }
                 Recv::Timeout => {
                     worker.stats.update(|s| s.timeouts += 1);
@@ -735,7 +786,7 @@ fn drive_worker(
                 }
                 Recv::Violation => {
                     worker.evict(metrics, reg);
-                    requeue(batch, &pending, worker, metrics, reg);
+                    requeue(batch, &pending, worker, cfg, metrics, reg);
                     return;
                 }
             }
@@ -811,6 +862,17 @@ mod tests {
             1
         );
         assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn worker_liveness_follows_the_supplied_clock() {
+        let w = Worker::new("x:1".into(), true);
+        w.touch_at(1_000_000);
+        assert!(w.seen_within(1_050_000, Duration::from_millis(100)));
+        assert!(!w.seen_within(1_200_001, Duration::from_millis(100)));
+        // touch_at never moves the clock backwards.
+        w.touch_at(500_000);
+        assert!(w.seen_within(1_050_000, Duration::from_millis(100)));
     }
 
     #[test]

@@ -6,21 +6,24 @@
 //! `tuned_*` series derived from the daemon's own
 //! [`MetricsSnapshot`]. Anything else is a 404. Requests are served
 //! inline on the accept thread — scrapes are rare and the response is
-//! a single buffered write, so there is nothing to parallelize.
+//! a single buffered write, so there is nothing to parallelize. Like
+//! every other listener in the workspace, the socket comes from the
+//! [`Transport`] seam, so the exporter is scrapeable inside a simulated
+//! cluster too.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::daemon::Daemon;
 use crate::metrics::MetricsSnapshot;
+use crate::net::{NetListener, NetStream, TcpTransport, Transport};
 
 /// How long a scrape connection may sit idle before it is dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Poll interval of the nonblocking accept loop.
+/// Poll interval of the accept loop.
 const POLL: Duration = Duration::from_millis(50);
 
 /// The `tuned_*` series derived from the daemon's counter snapshot, in
@@ -143,19 +146,33 @@ pub fn render_scrape(daemon: &Daemon) -> String {
 /// stop flag (shared with the daemon's protocol server, typically) is
 /// raised.
 pub struct MetricsExporter {
-    listener: TcpListener,
+    listener: Box<dyn NetListener>,
     daemon: Daemon,
     stop: Arc<AtomicBool>,
 }
 
 impl MetricsExporter {
-    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    /// Binds to `addr` over real TCP (use port 0 for an OS-assigned
+    /// port).
     ///
     /// # Errors
     /// Propagates bind errors.
     pub fn bind(addr: &str, daemon: Daemon) -> Result<Self, String> {
-        let listener =
-            TcpListener::bind(addr).map_err(|e| format!("cannot bind metrics {addr}: {e}"))?;
+        Self::bind_on(&TcpTransport::shared(), addr, daemon)
+    }
+
+    /// Binds to `addr` over `transport`.
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind_on(
+        transport: &Arc<dyn Transport>,
+        addr: &str,
+        daemon: Daemon,
+    ) -> Result<Self, String> {
+        let listener = transport
+            .bind(addr)
+            .map_err(|e| format!("cannot bind metrics {addr}: {e}"))?;
         Ok(Self {
             listener,
             daemon,
@@ -163,16 +180,10 @@ impl MetricsExporter {
         })
     }
 
-    /// The bound address (useful after binding port 0).
-    ///
-    /// # Panics
-    /// Panics if the socket has no local address (cannot happen for a
-    /// bound listener).
+    /// The bound `host:port` (useful after binding port 0).
     #[must_use]
-    pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
     }
 
     /// A flag that makes [`MetricsExporter::serve`] return when raised.
@@ -184,21 +195,13 @@ impl MetricsExporter {
     /// Accepts and answers scrapes until stopped.
     ///
     /// # Errors
-    /// Propagates listener configuration errors.
+    /// Propagates listener failures.
     pub fn serve(&self) -> Result<(), String> {
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
         while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    // Scrape handling is quick; keep it on this thread.
-                    let _ = stream.set_nonblocking(false);
-                    serve_scrape(stream, &self.daemon);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
-                }
+            match self.listener.accept(POLL) {
+                // Scrape handling is quick; keep it on this thread.
+                Ok(Some(stream)) => serve_scrape(stream, &self.daemon),
+                Ok(None) => {}
                 Err(e) => return Err(format!("metrics accept failed: {e}")),
             }
         }
@@ -206,7 +209,7 @@ impl MetricsExporter {
     }
 }
 
-fn serve_scrape(stream: TcpStream, daemon: &Daemon) {
+fn serve_scrape(stream: Box<dyn NetStream>, daemon: &Daemon) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -255,8 +258,9 @@ mod tests {
     use crate::daemon::DaemonConfig;
     use crate::metrics::JobGauges;
     use std::io::Read;
+    use std::net::TcpStream;
 
-    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    fn http_get(addr: &str, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
             .set_read_timeout(Some(Duration::from_secs(10)))
@@ -309,13 +313,13 @@ mod tests {
         let stop = exporter.stop_flag();
         let handle = std::thread::spawn(move || exporter.serve().unwrap());
 
-        let ok = http_get(addr, "/metrics");
+        let ok = http_get(&addr, "/metrics");
         assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
         assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
         assert!(ok.contains("expo_test_counter 5\n"), "{ok}");
         assert!(ok.contains("tuned_jobs{state=\"queued\"} 0\n"), "{ok}");
 
-        let missing = http_get(addr, "/nope");
+        let missing = http_get(&addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
 
         stop.store(true, Ordering::SeqCst);

@@ -27,7 +27,11 @@
 //!   observability registry plus the daemon counters, served over a
 //!   tiny `GET /metrics` HTTP endpoint;
 //! * [`json`] — the hand-rolled JSON layer (the workspace builds with no
-//!   external crates; floats round-trip bit-exactly).
+//!   external crates; floats round-trip bit-exactly);
+//! * [`net`] — the transport seam: every socket and every sleep below
+//!   this crate goes through [`net::Transport`], so the whole cluster
+//!   runs identically on real TCP ([`net::TcpTransport`], the default)
+//!   or on the deterministic simulated network in `crates/sim`.
 //!
 //! Everything is plain `std`: threads, `Mutex`/`Condvar`, `TcpListener`.
 
@@ -39,6 +43,7 @@ pub mod expo;
 pub mod job;
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod proto;
 pub mod server;
 
@@ -49,4 +54,5 @@ pub use dispatch::{DispatchConfig, RemoteEvaluator, Worker, WorkerPool, WorkerSn
 pub use expo::MetricsExporter;
 pub use job::{JobSpec, JobState};
 pub use metrics::{JobGauges, Metrics, MetricsSnapshot};
+pub use net::{NetListener, NetStream, TcpTransport, Transport};
 pub use server::Server;

@@ -1,0 +1,257 @@
+//! The transport seam: every socket the daemon, dispatcher, exporter,
+//! and `evald` workers touch goes through the [`Transport`] trait, so
+//! the whole cluster can run either on real TCP ([`TcpTransport`], the
+//! default — byte-for-byte today's behavior) or on an in-process
+//! simulated network with a virtual clock (`sim::SimTransport`, in
+//! `crates/sim`).
+//!
+//! The seam deliberately bundles the **clock** with the network:
+//! `sleep` and `now_micros` live on [`Transport`] because a simulated
+//! network is only deterministic if every timeout, backoff, and poll
+//! interval advances the same virtual clock that delays and reorders
+//! messages. Production code paths never call `std::thread::sleep`
+//! directly below this seam — they call `transport.sleep(..)`, which
+//! for [`TcpTransport`] *is* `std::thread::sleep`.
+//!
+//! [`Transport::busy_begin`] / [`Transport::busy_end`] (no-ops on TCP)
+//! bracket real CPU work such as a fitness measurement: the simulated
+//! clock must not jump over a timeout deadline while a worker is
+//! legitimately computing, only while every thread is blocked.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bidirectional byte stream (one TCP connection or one simulated
+/// link). Framing on top is the caller's business, exactly as with
+/// `TcpStream`.
+pub trait NetStream: Read + Write + Send {
+    /// A second handle to the same stream (read half / write half).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn try_clone(&self) -> io::Result<Box<dyn NetStream>>;
+
+    /// Sets the read timeout (`None` = block forever). Reads that hit
+    /// the deadline fail with `WouldBlock` or `TimedOut`.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Disables Nagle's algorithm where that means something.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    fn set_nodelay(&self, _on: bool) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A listening endpoint.
+pub trait NetListener: Send + Sync {
+    /// The bound `host:port` (useful after binding port 0).
+    fn local_addr(&self) -> String;
+
+    /// Waits up to `poll` for one inbound connection. `Ok(None)` means
+    /// the poll interval elapsed quietly — callers loop, re-checking
+    /// their stop flags. `Err` means the listener itself is gone.
+    ///
+    /// # Errors
+    /// Propagates accept errors.
+    fn accept(&self, poll: Duration) -> io::Result<Option<Box<dyn NetStream>>>;
+}
+
+/// The network + clock a node runs on.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Connects to `addr` (a `host:port` string), bounded by `timeout`.
+    ///
+    /// # Errors
+    /// Resolution or connection failure.
+    fn connect(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn NetStream>>;
+
+    /// Binds a listener on `addr` (port 0 = pick a free port).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn NetListener>>;
+
+    /// Sleeps for `d` on this transport's clock.
+    fn sleep(&self, d: Duration);
+
+    /// The transport clock, in microseconds since an arbitrary origin.
+    fn now_micros(&self) -> u64;
+
+    /// Marks the calling thread as doing real CPU work (the simulated
+    /// clock must not advance past deadlines meanwhile). No-op on TCP.
+    fn busy_begin(&self) {}
+
+    /// Ends a [`Transport::busy_begin`] bracket.
+    fn busy_end(&self) {}
+}
+
+/// RAII bracket for [`Transport::busy_begin`] / [`Transport::busy_end`].
+pub struct BusyGuard<'a>(&'a dyn Transport);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.busy_end();
+    }
+}
+
+/// Brackets a stretch of real computation (e.g. one fitness
+/// measurement) so a simulated clock cannot time it out.
+pub fn busy(transport: &dyn Transport) -> BusyGuard<'_> {
+    transport.busy_begin();
+    BusyGuard(transport)
+}
+
+/// The production transport: real sockets, the real clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpTransport;
+
+impl TcpTransport {
+    /// The process-wide shared instance.
+    #[must_use]
+    pub fn shared() -> Arc<dyn Transport> {
+        static ONCE: std::sync::OnceLock<Arc<dyn Transport>> = std::sync::OnceLock::new();
+        Arc::clone(ONCE.get_or_init(|| Arc::new(TcpTransport)))
+    }
+}
+
+/// Resolves `host:port` to a socket address.
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{addr} resolves to nothing"),
+        )
+    })
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self, addr: &str, timeout: Duration) -> io::Result<Box<dyn NetStream>> {
+        let sock = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        Ok(Box::new(stream))
+    }
+
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn NetListener>> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking accept + a real sleep per quiet poll keeps the
+        // accept loops responsive to their stop flags.
+        listener.set_nonblocking(true)?;
+        Ok(Box::new(TcpNetListener { listener }))
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn now_micros(&self) -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+}
+
+impl NetStream for TcpStream {
+    fn try_clone(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(TcpStream::try_clone(self)?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        TcpStream::set_nodelay(self, on)
+    }
+}
+
+struct TcpNetListener {
+    listener: TcpListener,
+}
+
+impl NetListener for TcpNetListener {
+    fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+            .to_string()
+    }
+
+    fn accept(&self, poll: Duration) -> io::Result<Option<Box<dyn NetStream>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                // Some platforms hand accepted sockets the listener's
+                // nonblocking flag; connection handling wants blocking.
+                let _ = stream.set_nonblocking(false);
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn tcp_transport_round_trips_bytes() {
+        let t = TcpTransport;
+        let listener = t.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let client_thread = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut s = TcpTransport.connect(&addr, Duration::from_secs(5)).unwrap();
+                s.write_all(b"hello over the seam\n").unwrap();
+                s.flush().unwrap();
+            })
+        };
+        let stream = loop {
+            if let Some(s) = listener.accept(Duration::from_millis(5)).unwrap() {
+                break s;
+            }
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(line, "hello over the seam\n");
+        client_thread.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_nothing_fails() {
+        let t = TcpTransport;
+        assert!(t
+            .connect("127.0.0.1:1", Duration::from_millis(200))
+            .is_err());
+        assert!(t
+            .connect("not an address", Duration::from_millis(200))
+            .is_err());
+    }
+
+    #[test]
+    fn clock_and_sleep_move_forward() {
+        let t = TcpTransport;
+        let a = t.now_micros();
+        t.sleep(Duration::from_millis(2));
+        let b = t.now_micros();
+        assert!(b > a);
+        // The busy bracket is a no-op on TCP but must be callable.
+        let _g = busy(&t);
+    }
+}

@@ -1,13 +1,14 @@
-//! The TCP front end: accepts connections and speaks the line-delimited
-//! JSON protocol against a [`Daemon`].
+//! The protocol front end: accepts connections and speaks the
+//! line-delimited JSON protocol against a [`Daemon`].
 //!
 //! One thread per connection; the accept loop polls a shutdown flag so
 //! `shutdown` requests (and daemon-side stops) unwind promptly. Every
 //! connection gets a read timeout, so a half-open peer can stall only its
-//! own thread, and only until the timeout fires.
+//! own thread, and only until the timeout fires. All sockets and sleeps
+//! go through the [`Transport`] seam, so the same server runs unchanged
+//! on the simulated network.
 
 use std::io::{BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,6 +17,7 @@ use crate::daemon::Daemon;
 use crate::job::JobSpec;
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::net::{NetListener, NetStream, TcpTransport, Transport};
 use crate::proto::{
     err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, registry_to_json,
     worker_to_json, write_frame, Frame,
@@ -26,41 +28,52 @@ use crate::proto::{
 /// half-open socket cannot pin a thread forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Poll interval of the nonblocking accept loop and of `watch`.
+/// Poll interval of the accept loop and of `watch`.
 const POLL: Duration = Duration::from_millis(50);
 
 /// The protocol server. Owns the listener; serves until a `shutdown`
 /// request arrives or [`Server::stop_flag`] is raised.
 pub struct Server {
-    listener: TcpListener,
+    transport: Arc<dyn Transport>,
+    listener: Box<dyn NetListener>,
     daemon: Daemon,
     stop: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    /// Binds to `addr` over real TCP (use port 0 for an OS-assigned
+    /// port).
     ///
     /// # Errors
     /// Propagates bind errors.
     pub fn bind(addr: &str, daemon: Daemon) -> Result<Self, String> {
-        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Self::bind_on(TcpTransport::shared(), addr, daemon)
+    }
+
+    /// Binds to `addr` over `transport`.
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn bind_on(
+        transport: Arc<dyn Transport>,
+        addr: &str,
+        daemon: Daemon,
+    ) -> Result<Self, String> {
+        let listener = transport
+            .bind(addr)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Self {
+            transport,
             listener,
             daemon,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
 
-    /// The bound address (useful after binding port 0).
-    ///
-    /// # Panics
-    /// Panics if the socket has no local address (cannot happen for a
-    /// bound listener).
+    /// The bound `host:port` (useful after binding port 0).
     #[must_use]
-    pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
     }
 
     /// A flag that makes [`Server::serve`] return when raised.
@@ -74,24 +87,20 @@ impl Server {
     /// their sockets.
     ///
     /// # Errors
-    /// Propagates listener configuration errors.
+    /// Propagates listener failures.
     pub fn serve(&self) -> Result<(), String> {
-        self.listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
         while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
+            match self.listener.accept(POLL) {
+                Ok(Some(stream)) => {
                     Metrics::bump(&self.daemon.metrics().connections);
                     let daemon = self.daemon.clone();
                     let stop = Arc::clone(&self.stop);
+                    let transport = Arc::clone(&self.transport);
                     let _ = std::thread::Builder::new()
                         .name("tuned-conn".into())
-                        .spawn(move || serve_connection(stream, &daemon, &stop));
+                        .spawn(move || serve_connection(stream, &daemon, &stop, &transport));
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
-                }
+                Ok(None) => {}
                 Err(e) => return Err(format!("accept failed: {e}")),
             }
         }
@@ -99,7 +108,12 @@ impl Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
+fn serve_connection(
+    stream: Box<dyn NetStream>,
+    daemon: &Daemon,
+    stop: &AtomicBool,
+    transport: &Arc<dyn Transport>,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
@@ -126,7 +140,7 @@ fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &AtomicBool) {
             continue;
         }
         let response = match parse_request(&line) {
-            Ok((cmd, body)) => dispatch(&cmd, &body, daemon, &mut writer, stop),
+            Ok((cmd, body)) => dispatch(&cmd, &body, daemon, &mut writer, stop, transport),
             Err(e) => {
                 Metrics::bump(&daemon.metrics().protocol_errors);
                 Some(err(e))
@@ -152,6 +166,7 @@ fn dispatch(
     daemon: &Daemon,
     writer: &mut impl std::io::Write,
     stop: &AtomicBool,
+    transport: &Arc<dyn Transport>,
 ) -> Option<Json> {
     match cmd {
         "ping" => Some(ok_with(vec![("pong", Json::Bool(true))])),
@@ -225,7 +240,7 @@ fn dispatch(
                     .collect(),
             ),
         )])),
-        "watch" => watch(body, daemon, writer, stop),
+        "watch" => watch(body, daemon, writer, stop, transport),
         "shutdown" => {
             // Acknowledge first — the daemon join below may take a while.
             let _ = write_frame(writer, &ok_with(vec![]));
@@ -246,6 +261,7 @@ fn watch(
     daemon: &Daemon,
     writer: &mut impl std::io::Write,
     stop: &AtomicBool,
+    transport: &Arc<dyn Transport>,
 ) -> Option<Json> {
     let id = match job_id(body) {
         Ok(id) => id,
@@ -288,7 +304,7 @@ fn watch(
         if r.state.is_terminal() {
             return None;
         }
-        std::thread::sleep(POLL);
+        transport.sleep(POLL);
     }
 }
 

@@ -1,0 +1,186 @@
+//! Golden checkpoint fixtures: committed JSON bytes that every future
+//! build must keep loading.
+//!
+//! The round-trip tests in `src/checkpoint.rs` prove that *today's*
+//! serializer and deserializer agree with each other; they cannot catch
+//! a change that breaks both sides in lockstep. These fixtures are the
+//! bytes an *old* daemon actually wrote, frozen in the repo: run
+//! directories survive upgrades only if this suite stays green.
+//!
+//! Two shapes are pinned:
+//!
+//! * `legacy_ga_checkpoint.json` — the original untagged `GaSnapshot`
+//!   object from before the `search` strategy seam existed. No
+//!   `"strategy"` key; must decode as a GA checkpoint forever.
+//! * `tagged_race_checkpoint.json` — a `"strategy":"race"` snapshot
+//!   with nested member snapshots, the richest tagged shape.
+//!
+//! If the format changes *intentionally*, regenerate with
+//! `REGEN_FIXTURES=1 cargo test -p inlinetune-served --test
+//! checkpoint_compat` and make the migration story explicit in review —
+//! a changed fixture means old run directories need a compatibility
+//! path, not just new bytes.
+
+use std::path::PathBuf;
+
+use ga::{GaConfig, GaState, Ranges};
+use search::StrategySnapshot;
+use served::checkpoint::{strategy_snapshot_from_json, strategy_snapshot_to_json};
+use served::json::parse;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn tiny_cfg() -> GaConfig {
+    GaConfig {
+        pop_size: 6,
+        generations: 10,
+        threads: 1,
+        seed: 7,
+        stagnation_limit: None,
+        ..GaConfig::default()
+    }
+}
+
+fn toy_fitness(g: &[i64]) -> f64 {
+    g.iter().map(|&x| (x * x) as f64).sum()
+}
+
+/// The shape a pre-`search` daemon wrote: an untagged `GaSnapshot`.
+fn build_legacy_ga() -> StrategySnapshot {
+    let mut state = GaState::new(Ranges::new(vec![(-50, 50); 5]), tiny_cfg());
+    for _ in 0..3 {
+        state.step(toy_fitness);
+    }
+    StrategySnapshot::Ga(state.snapshot())
+}
+
+/// A mid-flight racing portfolio: tagged, with nested member snapshots.
+fn build_tagged_race() -> StrategySnapshot {
+    let mut s = search::build(
+        "race:ga+random+hillclimb",
+        Ranges::new(vec![(1, 40), (1, 20), (1, 300)]),
+        tiny_cfg(),
+    )
+    .expect("valid race spec");
+    for _ in 0..3 {
+        if s.is_done() {
+            break;
+        }
+        let batch = s.ask();
+        let scores: Vec<f64> = batch.iter().map(|g| toy_fitness(g)).collect();
+        s.tell(&batch, &scores);
+    }
+    s.snapshot()
+}
+
+/// Reads a committed fixture, regenerating it first when
+/// `REGEN_FIXTURES` is set (build functions are fully seeded, so
+/// regeneration is deterministic).
+fn fixture(name: &str, build: impl Fn() -> StrategySnapshot) -> String {
+    let path = fixture_path(name);
+    if std::env::var("REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, strategy_snapshot_to_json(&build()).to_text()).unwrap();
+    }
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with REGEN_FIXTURES=1",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn legacy_untagged_ga_fixture_still_loads() {
+    let text = fixture("legacy_ga_checkpoint.json", build_legacy_ga);
+    assert!(
+        !text.contains("\"strategy\""),
+        "the legacy fixture must stay untagged — that is the point of it"
+    );
+
+    let decoded = strategy_snapshot_from_json(&parse(&text).expect("fixture is valid JSON"))
+        .expect("legacy bytes must keep decoding");
+    let StrategySnapshot::Ga(ref snap) = decoded else {
+        panic!("untagged checkpoint decoded as '{}'", decoded.kind());
+    };
+    assert_eq!(snap.next_gen, 3, "fixture was frozen after 3 generations");
+    assert_eq!(snap.config.seed, 7);
+    assert_eq!(snap.population.len(), 6);
+
+    // The serializer still emits the exact legacy bytes: a pre-upgrade
+    // daemon reading a post-upgrade run dir sees the shape it expects.
+    assert_eq!(
+        strategy_snapshot_to_json(&decoded).to_text(),
+        text,
+        "re-serializing the legacy checkpoint changed its bytes"
+    );
+
+    // And the checkpoint is not just parseable but *resumable*.
+    let mut resumed = search::restore(decoded).expect("legacy checkpoint restores");
+    assert!(!resumed.is_done());
+    assert!(!resumed.ask().is_empty(), "resumed GA proposes no genomes");
+}
+
+#[test]
+fn tagged_race_fixture_still_loads() {
+    let text = fixture("tagged_race_checkpoint.json", build_tagged_race);
+    assert!(
+        text.contains("\"strategy\""),
+        "the race fixture must carry its strategy tag"
+    );
+
+    let decoded = strategy_snapshot_from_json(&parse(&text).expect("fixture is valid JSON"))
+        .expect("tagged bytes must keep decoding");
+    let StrategySnapshot::Race(ref race) = decoded else {
+        panic!("race checkpoint decoded as '{}'", decoded.kind());
+    };
+    let names: Vec<&str> = race.members.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, ["ga", "random", "hillclimb"]);
+    assert_eq!(race.rounds, 3, "fixture was frozen after 3 rounds");
+    assert!(!race.done);
+
+    assert_eq!(
+        strategy_snapshot_to_json(&decoded).to_text(),
+        text,
+        "re-serializing the race checkpoint changed its bytes"
+    );
+
+    let mut resumed = search::restore(decoded).expect("race checkpoint restores");
+    assert!(!resumed.is_done());
+    assert!(
+        !resumed.ask().is_empty(),
+        "resumed race proposes no genomes"
+    );
+}
+
+#[test]
+fn restored_fixtures_keep_searching_deterministically() {
+    // A restored checkpoint must not merely load: stepping it twice from
+    // the same bytes must propose the same genomes both times.
+    for (name, build) in [
+        (
+            "legacy_ga_checkpoint.json",
+            build_legacy_ga as fn() -> StrategySnapshot,
+        ),
+        ("tagged_race_checkpoint.json", build_tagged_race),
+    ] {
+        let text = fixture(name, build);
+        let step = |text: &str| -> Vec<Vec<i64>> {
+            let decoded = strategy_snapshot_from_json(&parse(text).unwrap()).unwrap();
+            let mut s = search::restore(decoded).unwrap();
+            let batch = s.ask();
+            let scores: Vec<f64> = batch.iter().map(|g| toy_fitness(g)).collect();
+            s.tell(&batch, &scores);
+            s.ask()
+        };
+        assert_eq!(
+            step(&text),
+            step(&text),
+            "{name}: two restores of the same bytes diverged"
+        );
+    }
+}

@@ -2,13 +2,17 @@
 //! fake workers: an honest one that computes real fitness, plus workers
 //! that reply with garbage, oversized frames, or nothing at all.
 //!
+//! The fakes live on `sim`'s simulated network: no real sockets, and —
+//! crucially — no real sleeps. The silent-worker scenario used to cost
+//! wall-clock request timeouts per generation; on the virtual clock the
+//! same timeouts resolve the instant the cluster goes idle.
+//!
 //! The standing invariant under test: no matter how workers misbehave,
 //! a generation completes and the run is **bit-identical** to the same
 //! seed evaluated locally — fitness is pure and the memo merge is keyed
 //! by genome, so delivery faults can only cost time, never correctness.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,7 +23,8 @@ use served::checkpoint::f64_to_json;
 use served::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
 use served::json::Json;
 use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
-use served::{JobSpec, Metrics};
+use served::{JobSpec, Metrics, NetStream, Transport};
+use sim::SimNet;
 use tuner::{Goal, Tuner};
 
 fn tiny_spec(seed: u64) -> JobSpec {
@@ -51,6 +56,13 @@ fn fast_cfg() -> DispatchConfig {
     }
 }
 
+/// A pool dialing out of the simulated daemon node.
+fn sim_pool(net: &Arc<SimNet>, addrs: &[String]) -> WorkerPool {
+    let mut pool = WorkerPool::with_workers(fast_cfg(), addrs);
+    pool.set_transport(net.transport("daemon"));
+    pool
+}
+
 /// How a fake worker treats `eval` requests.
 #[derive(Clone, Copy, PartialEq)]
 enum Behavior {
@@ -64,10 +76,19 @@ enum Behavior {
     Silent,
 }
 
-/// Starts a fake worker; returns its address and a stop flag.
-fn fake_worker(behavior: Behavior, spec: &JobSpec) -> (SocketAddr, Arc<AtomicBool>) {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake worker");
-    let addr = listener.local_addr().unwrap();
+/// Starts a fake worker on simulated node `node`; returns its address
+/// and a stop flag.
+fn fake_worker(
+    net: &Arc<SimNet>,
+    node: &str,
+    behavior: Behavior,
+    spec: &JobSpec,
+) -> (String, Arc<AtomicBool>) {
+    let transport = net.transport(node);
+    let listener = transport
+        .bind(&format!("{node}:7000"))
+        .expect("bind fake worker");
+    let addr = listener.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
     let tuner = (behavior == Behavior::Honest).then(|| {
@@ -78,13 +99,12 @@ fn fake_worker(behavior: Behavior, spec: &JobSpec) -> (SocketAddr, Arc<AtomicBoo
         )
     });
     std::thread::spawn(move || {
-        listener.set_nonblocking(true).unwrap();
         while !flag.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _)) => handle_conn(stream, behavior, tuner.as_ref(), &flag),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+            match listener.accept(Duration::from_millis(50)) {
+                Ok(Some(stream)) => {
+                    handle_conn(stream, behavior, tuner.as_ref(), &flag, &*transport);
                 }
+                Ok(None) => {}
                 Err(_) => return,
             }
         }
@@ -92,7 +112,13 @@ fn fake_worker(behavior: Behavior, spec: &JobSpec) -> (SocketAddr, Arc<AtomicBoo
     (addr, stop)
 }
 
-fn handle_conn(stream: TcpStream, behavior: Behavior, tuner: Option<&Tuner>, stop: &AtomicBool) {
+fn handle_conn(
+    stream: Box<dyn NetStream>,
+    behavior: Behavior,
+    tuner: Option<&Tuner>,
+    stop: &AtomicBool,
+    transport: &dyn Transport,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -128,9 +154,14 @@ fn handle_conn(stream: TcpStream, behavior: Behavior, tuner: Option<&Tuner>, sto
                         .iter()
                         .map(|g| g.as_i64().unwrap())
                         .collect();
-                    let fitness = tuner
-                        .expect("honest worker has a tuner")
-                        .fitness(&inliner::InlineParams::from_genes(&genes));
+                    // Real compute: hold the busy bracket so the virtual
+                    // clock cannot fire request deadlines while we work.
+                    let fitness = {
+                        let _busy = served::net::busy(transport);
+                        tuner
+                            .expect("honest worker has a tuner")
+                            .fitness(&inliner::InlineParams::from_genes(&genes))
+                    };
                     write_frame(
                         &mut writer,
                         &ok_with(vec![
@@ -187,10 +218,11 @@ fn run_local(spec: &JobSpec) -> (Vec<i64>, f64) {
 
 #[test]
 fn distributed_run_is_bit_identical_to_local() {
+    let net = SimNet::new(11);
     let spec = tiny_spec(1701);
-    let (w1, s1) = fake_worker(Behavior::Honest, &spec);
-    let (w2, s2) = fake_worker(Behavior::Honest, &spec);
-    let pool = WorkerPool::with_workers(fast_cfg(), &[w1.to_string(), w2.to_string()]);
+    let (w1, s1) = fake_worker(&net, "w0", Behavior::Honest, &spec);
+    let (w2, s2) = fake_worker(&net, "w1", Behavior::Honest, &spec);
+    let pool = sim_pool(&net, &[w1, w2]);
     let metrics = Metrics::new();
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
@@ -208,14 +240,16 @@ fn distributed_run_is_bit_identical_to_local() {
     );
     s1.store(true, Ordering::SeqCst);
     s2.store(true, Ordering::SeqCst);
+    net.shutdown();
 }
 
 #[test]
 fn malformed_responses_evict_the_worker_without_wedging_the_run() {
+    let net = SimNet::new(12);
     let spec = tiny_spec(42);
-    let (bad, sb) = fake_worker(Behavior::Malformed, &spec);
-    let (good, sg) = fake_worker(Behavior::Honest, &spec);
-    let pool = WorkerPool::with_workers(fast_cfg(), &[bad.to_string(), good.to_string()]);
+    let (bad, sb) = fake_worker(&net, "w0", Behavior::Malformed, &spec);
+    let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
+    let pool = sim_pool(&net, &[bad, good]);
     let metrics = Metrics::new();
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
@@ -228,14 +262,16 @@ fn malformed_responses_evict_the_worker_without_wedging_the_run() {
     );
     sb.store(true, Ordering::SeqCst);
     sg.store(true, Ordering::SeqCst);
+    net.shutdown();
 }
 
 #[test]
 fn oversized_responses_evict_the_worker_without_wedging_the_run() {
+    let net = SimNet::new(13);
     let spec = tiny_spec(43);
-    let (bad, sb) = fake_worker(Behavior::Oversized, &spec);
-    let (good, sg) = fake_worker(Behavior::Honest, &spec);
-    let pool = WorkerPool::with_workers(fast_cfg(), &[bad.to_string(), good.to_string()]);
+    let (bad, sb) = fake_worker(&net, "w0", Behavior::Oversized, &spec);
+    let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
+    let pool = sim_pool(&net, &[bad, good]);
     let metrics = Metrics::new();
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
@@ -245,14 +281,19 @@ fn oversized_responses_evict_the_worker_without_wedging_the_run() {
     assert!(metrics.remote_evictions.load(Ordering::Relaxed) >= 1);
     sb.store(true, Ordering::SeqCst);
     sg.store(true, Ordering::SeqCst);
+    net.shutdown();
 }
 
 #[test]
 fn silent_worker_times_out_and_work_is_redispatched() {
+    // On real sockets this test paid for every 400 ms request timeout in
+    // wall clock; on the virtual clock the timeouts fire the moment the
+    // cluster idles, so the whole scenario runs at compute speed.
+    let net = SimNet::new(14);
     let spec = tiny_spec(44);
-    let (mute, sm) = fake_worker(Behavior::Silent, &spec);
-    let (good, sg) = fake_worker(Behavior::Honest, &spec);
-    let pool = WorkerPool::with_workers(fast_cfg(), &[mute.to_string(), good.to_string()]);
+    let (mute, sm) = fake_worker(&net, "w0", Behavior::Silent, &spec);
+    let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
+    let pool = sim_pool(&net, &[mute, good]);
     let metrics = Metrics::new();
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
@@ -269,14 +310,16 @@ fn silent_worker_times_out_and_work_is_redispatched() {
     );
     sm.store(true, Ordering::SeqCst);
     sg.store(true, Ordering::SeqCst);
+    net.shutdown();
 }
 
 #[test]
 fn dead_pool_falls_back_to_local_and_still_matches() {
+    let net = SimNet::new(15);
     let spec = tiny_spec(45);
     // Nothing listens here: every connect fails, the worker is evicted,
     // and the whole generation lands on the fallback path.
-    let pool = WorkerPool::with_workers(fast_cfg(), &["127.0.0.1:1".to_string()]);
+    let pool = sim_pool(&net, &["ghost:7000".to_string()]);
     let metrics = Metrics::new();
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
@@ -284,4 +327,5 @@ fn dead_pool_falls_back_to_local_and_still_matches() {
     assert_eq!(genes, local_genes);
     assert_eq!(fitness.to_bits(), local_fitness.to_bits());
     assert!(metrics.remote_fallback_evals.load(Ordering::Relaxed) > 0);
+    net.shutdown();
 }

@@ -22,6 +22,23 @@ fn tmp_dir(tag: &str) -> PathBuf {
     d
 }
 
+/// The wall-clock unit every deadline in this suite is a multiple of.
+/// This suite drives real child processes, so its bounds cannot ride the
+/// simulated clock (`crates/sim`) — but they *can* scale: set
+/// `SIM_TIMEOUT_MS` (default 1000) to stretch every bound on slow or
+/// heavily loaded CI machines instead of editing hard-coded sleeps.
+fn timeout_unit() -> Duration {
+    let ms = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+fn bound(units: u32) -> Duration {
+    timeout_unit() * units
+}
+
 fn spawn_daemon(dir: &Path) -> Child {
     spawn_daemon_with_workers(dir, &[])
 }
@@ -84,7 +101,7 @@ impl Drop for TestEvalWorker {
 /// Waits for the daemon to publish its (fresh) listening address.
 fn wait_addr(dir: &Path) -> String {
     let path = dir.join("addr");
-    let deadline = Instant::now() + Duration::from_secs(30);
+    let deadline = Instant::now() + bound(30);
     while Instant::now() < deadline {
         if let Ok(addr) = std::fs::read_to_string(&path) {
             if !addr.is_empty() {
@@ -97,7 +114,7 @@ fn wait_addr(dir: &Path) -> String {
 }
 
 fn connect(addr: &str) -> Client {
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let deadline = Instant::now() + bound(10);
     loop {
         match Client::connect(addr) {
             Ok(c) => return c,
@@ -156,7 +173,7 @@ fn sigkill_and_restart_produce_bit_identical_params() {
     let addr = wait_addr(&dir);
     let mut client = connect(&addr);
     let id = client.submit(&spec).expect("submit");
-    let deadline = Instant::now() + Duration::from_secs(120);
+    let deadline = Instant::now() + bound(120);
     loop {
         let job = client.status(id).expect("status");
         if generation_of(&job) >= 2 {
@@ -179,7 +196,7 @@ fn sigkill_and_restart_produce_bit_identical_params() {
     let mut child2 = spawn_daemon(&dir);
     let addr2 = wait_addr(&dir);
     let mut client2 = connect(&addr2);
-    let deadline = Instant::now() + Duration::from_secs(300);
+    let deadline = Instant::now() + bound(300);
     let finished = loop {
         let job = client2.status(id).expect("status after restart");
         match state_of(&job).as_str() {
@@ -258,7 +275,7 @@ fn race_job_on_remote_workers_survives_sigkill_bit_identically() {
     let addr = wait_addr(&dir);
     let mut client = connect(&addr);
     let id = client.submit(&spec).expect("submit race");
-    let deadline = Instant::now() + Duration::from_secs(120);
+    let deadline = Instant::now() + bound(120);
     loop {
         let job = client.status(id).expect("status");
         if generation_of(&job) >= 2 {
@@ -291,7 +308,7 @@ fn race_job_on_remote_workers_survives_sigkill_bit_identically() {
     let mut child2 = spawn_daemon_with_workers(&dir, &worker_addrs);
     let addr2 = wait_addr(&dir);
     let mut client2 = connect(&addr2);
-    let deadline = Instant::now() + Duration::from_secs(300);
+    let deadline = Instant::now() + bound(300);
     let finished = loop {
         let job = client2.status(id).expect("status after restart");
         match state_of(&job).as_str() {

@@ -1,0 +1,183 @@
+//! `simtest` — the seed-sweep runner.
+//!
+//! ```text
+//! simtest --seeds 200 --base-seed 1 --out BENCH_sim.json   # CI sweep
+//! simtest --seed 42 --trace                                # replay one seed
+//! simtest --seeds 20 --broken                              # self-test: the
+//!     redispatch-disabled daemon must be caught (exit 0 iff >=1 seed fails)
+//! ```
+//!
+//! Exit status: 0 when the run's expectation holds (all seeds green, or
+//! — under `--broken` — at least one seed red), 1 otherwise. Every
+//! failing seed prints its fault trace and a one-command replay line.
+
+use std::time::Instant;
+
+use served::json::Json;
+use sim::sweep::{run_seed, run_sweep, Expected};
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    one_seed: Option<u64>,
+    out: Option<String>,
+    trace: bool,
+    broken: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 200,
+        base_seed: 1,
+        one_seed: None,
+        out: None,
+        trace: false,
+        broken: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--seeds" => args.seeds = num(&grab("--seeds")?)?,
+            "--base-seed" => args.base_seed = num(&grab("--base-seed")?)?,
+            "--seed" => args.one_seed = Some(num(&grab("--seed")?)?),
+            "--out" => args.out = Some(grab("--out")?),
+            "--trace" => args.trace = true,
+            "--broken" => args.broken = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: simtest [--seeds N] [--base-seed S] [--out FILE] \
+                     [--seed X [--trace]] [--broken]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simtest: {e}");
+            std::process::exit(2);
+        }
+    };
+    let redispatch = !args.broken;
+
+    // Single-seed replay mode.
+    if let Some(seed) = args.one_seed {
+        let started = Instant::now();
+        let report = run_seed(seed, &mut Expected::new(), redispatch);
+        println!(
+            "seed {seed}: {} ({} virtual ms, {:.2}s wall, faults drop/dup/delay/blackhole = {}/{}/{}/{})",
+            report.verdict.tag(),
+            report.virtual_ms,
+            started.elapsed().as_secs_f64(),
+            report.fault_counts.0,
+            report.fault_counts.1,
+            report.fault_counts.2,
+            report.fault_counts.3,
+        );
+        if args.trace || !report.verdict.is_ok() {
+            for line in &report.trace {
+                println!("  {line}");
+            }
+        }
+        std::process::exit(i32::from(!report.verdict.is_ok()));
+    }
+
+    // Sweep mode.
+    let started = Instant::now();
+    let report = run_sweep(args.base_seed, args.seeds, redispatch);
+    let wall = started.elapsed();
+    println!(
+        "swept {} seeds ({}..{}): {} passed, {} failed in {:.2}s wall / {:.1}s virtual",
+        report.seeds,
+        report.base_seed,
+        report.base_seed + report.seeds,
+        report.passed,
+        report.failures.len(),
+        wall.as_secs_f64(),
+        report.virtual_ms as f64 / 1000.0,
+    );
+    println!(
+        "faults injected: {} dropped, {} duplicated, {} delayed, {} blackholed",
+        report.fault_counts.0, report.fault_counts.1, report.fault_counts.2, report.fault_counts.3,
+    );
+    println!(
+        "worst scenario: seed {} at {} virtual ms",
+        report.worst_seed, report.worst_virtual_ms,
+    );
+    for f in &report.failures {
+        println!("\nseed {} FAILED: {:?}", f.seed, f.verdict);
+        for line in &f.trace {
+            println!("  {line}");
+        }
+        println!("  replay: scripts/replay.sh {}", f.seed);
+    }
+
+    if let Some(path) = &args.out {
+        let json = report_json(&report, wall.as_secs_f64(), args.broken);
+        if let Err(e) = std::fs::write(path, json.to_text() + "\n") {
+            eprintln!("simtest: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("summary written to {path}");
+    }
+
+    let caught = !report.failures.is_empty();
+    let ok = if args.broken {
+        // Self-test: a daemon that drops re-dispatched work MUST be
+        // caught by at least one seed, or the sweep has no teeth.
+        if caught {
+            println!("broken-build self-test: lost-work bug caught, as it must be");
+        } else {
+            println!("broken-build self-test FAILED: no seed caught the lost-work bug");
+        }
+        caught
+    } else {
+        !caught
+    };
+    std::process::exit(i32::from(!ok));
+}
+
+fn report_json(report: &sim::SweepReport, wall_secs: f64, broken: bool) -> Json {
+    Json::obj(vec![
+        ("bench", Json::Str("sim_sweep".into())),
+        ("base_seed", Json::Int(report.base_seed as i64)),
+        ("seeds", Json::Int(report.seeds as i64)),
+        ("passed", Json::Int(report.passed as i64)),
+        ("failed", Json::Int(report.failures.len() as i64)),
+        ("broken_mode", Json::Bool(broken)),
+        ("wall_secs", served::checkpoint::f64_to_json(wall_secs)),
+        ("virtual_ms", Json::Int(report.virtual_ms as i64)),
+        ("worst_virtual_ms", Json::Int(report.worst_virtual_ms as i64)),
+        ("worst_seed", Json::Int(report.worst_seed as i64)),
+        (
+            "faults",
+            Json::obj(vec![
+                ("dropped", Json::Int(report.fault_counts.0 as i64)),
+                ("duplicated", Json::Int(report.fault_counts.1 as i64)),
+                ("delayed", Json::Int(report.fault_counts.2 as i64)),
+                ("blackholed", Json::Int(report.fault_counts.3 as i64)),
+            ]),
+        ),
+        (
+            "failing_seeds",
+            Json::Arr(
+                report
+                    .failures
+                    .iter()
+                    .map(|f| Json::Int(f.seed as i64))
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,47 @@
+//! # sim — deterministic simulation of the whole tuning cluster
+//!
+//! Runs the `tuned` daemon, its protocol server, and a fleet of `evald`
+//! workers **in one process on a simulated network with a virtual
+//! clock**, then turns every kind of distributed-systems weather on
+//! them: dropped frames, duplicates, delays and reorders, one-way
+//! partitions (half-open connections), full partitions, worker crashes
+//! and restarts. Everything is derived from one `u64` seed, so a CI
+//! sweep covers hundreds of fault schedules in seconds and any failure
+//! replays with `simtest --seed N --trace`.
+//!
+//! The approach is FoundationDB-style simulation testing, scaled to
+//! this repo: the production code under test is the *real* dispatch,
+//! server, and worker code — the [`served::Transport`] seam swaps only
+//! the sockets and the clock. What the sweep asserts after every
+//! scenario:
+//!
+//! * **No lost jobs.** Every submitted job terminates inside a virtual
+//!   deadline.
+//! * **Checkpoints stay loadable.** Every checkpoint written under
+//!   faults restores through `search::restore`.
+//! * **Bit-identical results.** The faulty run's best genome and
+//!   fitness bits equal a fault-free in-process tune of the same spec —
+//!   faults may cost retries and failovers, never correctness.
+//!
+//! A note on what "deterministic" means here: *outcomes* are
+//! deterministic, not thread schedules. Fault verdicts are pure
+//! functions of `(seed, link, connection, frame)`, so a seed always
+//! injects the same faults; and because fitness is a pure function of
+//! the genome and results merge keyed by genome, the final answer is
+//! bit-stable no matter how the OS interleaves the threads in between.
+//!
+//! Layout:
+//! * [`net`] — [`SimNet`]/`SimTransport`: the simulated network and
+//!   virtual clock behind the [`served::Transport`] trait.
+//! * [`cluster`] — [`Cluster`]: boot a deployment, crash / partition /
+//!   heal / advance, check invariants.
+//! * [`sweep`] — seed-derived scenarios, the per-seed driver, and sweep
+//!   reports (`simtest` is a thin CLI over this).
+
+pub mod cluster;
+pub mod net;
+pub mod sweep;
+
+pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
+pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
+pub use sweep::{run_seed, run_sweep, Scenario, SeedReport, SweepReport, Verdict};

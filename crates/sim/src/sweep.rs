@@ -1,0 +1,377 @@
+//! The seed sweep: hundreds of randomized fault scenarios, each fully
+//! determined by one `u64`, each checked against the cluster
+//! invariants, all in seconds of wall clock (the network is simulated
+//! and the clock is virtual — only fitness evaluation costs real CPU).
+//!
+//! A scenario is *derived from its seed*, never stored: frame-level
+//! fault probabilities, an optional mid-run worker crash + restart, an
+//! optional temporary partition, and the GA seed of the job itself all
+//! come out of [`simrng::child_rng`] streams rooted at the scenario
+//! seed. Re-running a failing seed therefore replays the identical
+//! schedule — `simtest --seed N --trace` is the whole reproduction
+//! recipe.
+//!
+//! The fault-free ground truth ([`Cluster::expected`]) is cached per GA
+//! seed: scenarios draw their GA seed from a small pool, so a 200-seed
+//! sweep pays for only a handful of in-process reference runs.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use simrng::child_rng;
+
+use crate::cluster::{Cluster, ClusterConfig, Outcome};
+use crate::net::FaultPlan;
+
+/// Virtual-time budget per scenario before a job counts as hung. Far
+/// beyond anything a healthy run needs (worst observed healthy runs
+/// finish in well under ten virtual seconds even through crash +
+/// partition schedules).
+pub const SCENARIO_DEADLINE: Duration = Duration::from_secs(60);
+
+/// GA seeds scenarios draw from (small on purpose — see the module docs
+/// on ground-truth caching).
+const GA_SEEDS: [u64; 4] = [1, 7, 23, 77];
+
+/// One timed fault event in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Crash worker `0` at this virtual time.
+    Crash {
+        /// Virtual ms after job submission.
+        at_ms: u64,
+    },
+    /// Restart the crashed worker.
+    Restart {
+        /// Virtual ms after job submission.
+        at_ms: u64,
+    },
+    /// Partition worker `1` (or `0` if only one) from the daemon.
+    Partition {
+        /// Virtual ms after job submission.
+        at_ms: u64,
+    },
+    /// Heal the partition.
+    Heal {
+        /// Virtual ms after job submission.
+        at_ms: u64,
+    },
+}
+
+impl Event {
+    fn at_ms(self) -> u64 {
+        match self {
+            Event::Crash { at_ms }
+            | Event::Restart { at_ms }
+            | Event::Partition { at_ms }
+            | Event::Heal { at_ms } => at_ms,
+        }
+    }
+}
+
+/// A fully derived scenario (everything [`run_seed`] will do).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The root seed.
+    pub seed: u64,
+    /// Frame-level faults on every daemon↔worker link.
+    pub plan: FaultPlan,
+    /// Timed crash/partition events, ascending by time.
+    pub events: Vec<Event>,
+    /// The job's GA seed (picks the search trajectory).
+    pub ga_seed: u64,
+    /// Workers in the cluster.
+    pub workers: usize,
+}
+
+impl Scenario {
+    /// Derives the scenario a seed denotes. Pure: same seed, same
+    /// scenario, on every machine and every run.
+    #[must_use]
+    pub fn derive(seed: u64) -> Self {
+        let mut rng = child_rng(seed, "sim/scenario");
+        let plan = FaultPlan {
+            drop_p: rng.f64() * 0.12,
+            dup_p: rng.f64() * 0.04,
+            delay_p: rng.f64() * 0.35,
+            delay_max_micros: 1_000 + rng.below(25_000),
+        };
+        let mut events = Vec::new();
+        if rng.chance(0.5) {
+            let crash_at = 40 + rng.below(220);
+            let restart_at = crash_at + 40 + rng.below(180);
+            events.push(Event::Crash { at_ms: crash_at });
+            events.push(Event::Restart { at_ms: restart_at });
+        }
+        if rng.chance(0.35) {
+            let cut_at = 20 + rng.below(260);
+            let heal_at = cut_at + 30 + rng.below(200);
+            events.push(Event::Partition { at_ms: cut_at });
+            events.push(Event::Heal { at_ms: heal_at });
+        }
+        events.sort_by_key(|e| e.at_ms());
+        Self {
+            seed,
+            plan,
+            events,
+            ga_seed: *rng.choose(&GA_SEEDS),
+            workers: 2,
+        }
+    }
+}
+
+/// What one scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// All invariants held.
+    Ok,
+    /// The job finished but its result diverged from the fault-free
+    /// ground truth (the bit-identity invariant broke).
+    Mismatch {
+        /// What the cluster produced vs. what the tuner produces
+        /// fault-free.
+        detail: String,
+    },
+    /// The job ended `failed`/`canceled`, or a checkpoint would not
+    /// load.
+    Broken {
+        /// The failure message.
+        detail: String,
+    },
+    /// The job never terminated inside the virtual deadline.
+    Hang {
+        /// Virtual ms waited.
+        waited_ms: u64,
+    },
+}
+
+impl Verdict {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Ok)
+    }
+
+    /// A short machine-friendly tag.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Mismatch { .. } => "mismatch",
+            Verdict::Broken { .. } => "broken",
+            Verdict::Hang { .. } => "hang",
+        }
+    }
+}
+
+/// One scenario's full report.
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// The invariant verdict.
+    pub verdict: Verdict,
+    /// Virtual ms from submission to terminal state (or to giving up).
+    pub virtual_ms: u64,
+    /// Fault-trace lines (drops, dups, delays, blackholes, crash marks).
+    /// Only populated for failing seeds — passing traces are noise.
+    pub trace: Vec<String>,
+    /// Frames dropped / duplicated / delayed / blackholed.
+    pub fault_counts: (u64, u64, u64, u64),
+}
+
+/// Expected-result cache shared across a sweep (keyed by GA seed).
+pub type Expected = HashMap<u64, (Vec<i64>, u64)>;
+
+/// Runs one scenario seed against a cluster and checks every invariant.
+/// `expected` caches fault-free ground truths across calls;
+/// `redispatch = false` runs the intentionally-broken daemon (the sweep
+/// self-test expects it to get caught).
+#[must_use]
+pub fn run_seed(seed: u64, expected: &mut Expected, redispatch: bool) -> SeedReport {
+    let scenario = Scenario::derive(seed);
+    match run_scenario(&scenario, expected, redispatch) {
+        Ok(report) => report,
+        Err(e) => SeedReport {
+            seed,
+            verdict: Verdict::Broken { detail: e },
+            virtual_ms: 0,
+            trace: Vec::new(),
+            fault_counts: (0, 0, 0, 0),
+        },
+    }
+}
+
+fn run_scenario(
+    scenario: &Scenario,
+    expected: &mut Expected,
+    redispatch: bool,
+) -> Result<SeedReport, String> {
+    let spec = Cluster::spec(scenario.ga_seed);
+    let (want_genes, want_bits) = expected
+        .entry(scenario.ga_seed)
+        .or_insert_with(|| {
+            let (g, f) = Cluster::expected(&spec).expect("reference tune of a valid spec");
+            (g, f.to_bits())
+        })
+        .clone();
+
+    let cluster = Cluster::boot(&ClusterConfig {
+        seed: scenario.seed,
+        workers: scenario.workers,
+        plan: scenario.plan,
+        redispatch,
+    })?;
+    let started_ms = cluster.now_ms();
+    let id = cluster.submit(&spec)?;
+
+    // Fire timed events as the virtual clock passes them. The partition
+    // targets the *last* worker so crash (worker 0) and partition
+    // schedules compose without stepping on each other.
+    let mut pending = scenario.events.clone();
+    let part_target = scenario.workers.saturating_sub(1);
+    let outcome = cluster.wait(id, SCENARIO_DEADLINE, |now_ms| {
+        while pending
+            .first()
+            .is_some_and(|e| now_ms.saturating_sub(started_ms) >= e.at_ms())
+        {
+            match pending.remove(0) {
+                Event::Crash { .. } => cluster.crash_worker(0),
+                Event::Restart { .. } => {
+                    let _ = cluster.restart_worker(0);
+                }
+                Event::Partition { .. } => cluster.partition_worker(part_target),
+                Event::Heal { .. } => cluster.heal_worker(part_target),
+            }
+        }
+    });
+    let virtual_ms = cluster.now_ms() - started_ms;
+    let counts = count_faults(&cluster);
+
+    let verdict = match &outcome {
+        Outcome::Hang { waited_ms } => {
+            let waited_ms = *waited_ms;
+            let trace = trace_lines(&cluster);
+            cluster.abandon();
+            return Ok(SeedReport {
+                seed: scenario.seed,
+                verdict: Verdict::Hang { waited_ms },
+                virtual_ms,
+                trace,
+                fault_counts: counts,
+            });
+        }
+        Outcome::Failed(msg) => Verdict::Broken {
+            detail: msg.clone(),
+        },
+        Outcome::Done { genes, fitness, .. } => {
+            if *genes != want_genes || fitness.to_bits() != want_bits {
+                Verdict::Mismatch {
+                    detail: format!(
+                        "got {genes:?} @ {fitness}, fault-free tune gives {want_genes:?} @ {}",
+                        f64::from_bits(want_bits)
+                    ),
+                }
+            } else if let Err(e) = cluster.checkpoints_loadable() {
+                Verdict::Broken { detail: e }
+            } else {
+                Verdict::Ok
+            }
+        }
+    };
+
+    let trace = if verdict.is_ok() {
+        Vec::new()
+    } else {
+        trace_lines(&cluster)
+    };
+    cluster.shutdown();
+    Ok(SeedReport {
+        seed: scenario.seed,
+        verdict,
+        virtual_ms,
+        trace,
+        fault_counts: counts,
+    })
+}
+
+fn trace_lines(cluster: &Cluster) -> Vec<String> {
+    cluster
+        .net()
+        .trace()
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+fn count_faults(cluster: &Cluster) -> (u64, u64, u64, u64) {
+    use crate::net::TraceEvent;
+    let mut c = (0, 0, 0, 0);
+    for e in cluster.net().trace() {
+        match e {
+            TraceEvent::Drop { .. } => c.0 += 1,
+            TraceEvent::Dup { .. } => c.1 += 1,
+            TraceEvent::Delay { .. } => c.2 += 1,
+            TraceEvent::Partitioned { .. } => c.3 += 1,
+            TraceEvent::Note { .. } => {}
+        }
+    }
+    c
+}
+
+/// A whole sweep's summary.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// First seed swept.
+    pub base_seed: u64,
+    /// Seeds swept (`base_seed..base_seed + seeds`).
+    pub seeds: u64,
+    /// Seeds on which every invariant held.
+    pub passed: u64,
+    /// Failing reports (empty on a green sweep).
+    pub failures: Vec<SeedReport>,
+    /// Total frames dropped / duplicated / delayed / blackholed across
+    /// the sweep — evidence the schedules actually exercised faults.
+    pub fault_counts: (u64, u64, u64, u64),
+    /// Accumulated virtual milliseconds simulated.
+    pub virtual_ms: u64,
+    /// The slowest single scenario, in virtual ms — the sweep's
+    /// worst-case distance from the [`SCENARIO_DEADLINE`] hang cutoff.
+    pub worst_virtual_ms: u64,
+    /// The seed of that slowest scenario.
+    pub worst_seed: u64,
+}
+
+/// Sweeps `seeds` consecutive scenario seeds starting at `base_seed`.
+#[must_use]
+pub fn run_sweep(base_seed: u64, seeds: u64, redispatch: bool) -> SweepReport {
+    let mut expected = Expected::new();
+    let mut report = SweepReport {
+        base_seed,
+        seeds,
+        passed: 0,
+        failures: Vec::new(),
+        fault_counts: (0, 0, 0, 0),
+        virtual_ms: 0,
+        worst_virtual_ms: 0,
+        worst_seed: base_seed,
+    };
+    for seed in base_seed..base_seed + seeds {
+        let r = run_seed(seed, &mut expected, redispatch);
+        report.fault_counts.0 += r.fault_counts.0;
+        report.fault_counts.1 += r.fault_counts.1;
+        report.fault_counts.2 += r.fault_counts.2;
+        report.fault_counts.3 += r.fault_counts.3;
+        report.virtual_ms += r.virtual_ms;
+        if r.virtual_ms > report.worst_virtual_ms {
+            report.worst_virtual_ms = r.virtual_ms;
+            report.worst_seed = seed;
+        }
+        if r.verdict.is_ok() {
+            report.passed += 1;
+        } else {
+            report.failures.push(r);
+        }
+    }
+    report
+}

@@ -1,0 +1,137 @@
+//! End-to-end simulation tests: the acceptance gates of the harness.
+//!
+//! * Same seed, repeated executions → bit-identical final results.
+//! * A seeded drop/partition/crash schedule that kills a worker
+//!   mid-generation still converges to the exact fault-free genome.
+//! * A daemon with re-dispatch disabled (lost work on retry) is caught
+//!   by the sweep within a handful of seeds.
+//! * Checkpoints written under faults stay loadable.
+
+use std::time::Duration;
+
+use sim::sweep::Expected;
+use sim::{run_seed, run_sweep, Cluster, ClusterConfig, FaultPlan, Outcome};
+
+#[test]
+fn same_seed_is_bit_identical_across_executions() {
+    // Thread interleaving may vary retry counts between executions, but
+    // the *outcome* must not move: both runs have to reproduce the
+    // fault-free ground truth bit-for-bit (genome and fitness bits are
+    // compared inside run_seed).
+    for run in 0..2 {
+        let report = run_seed(3, &mut Expected::new(), true);
+        assert!(
+            report.verdict.is_ok(),
+            "run {run} of seed 3 diverged: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn crash_partition_and_frame_faults_converge_to_the_fault_free_result() {
+    let cluster = Cluster::boot(&ClusterConfig {
+        seed: 42,
+        workers: 2,
+        plan: FaultPlan {
+            drop_p: 0.08,
+            dup_p: 0.02,
+            delay_p: 0.30,
+            delay_max_micros: 15_000,
+        },
+        redispatch: true,
+    })
+    .expect("cluster boots");
+
+    let spec = Cluster::spec(7);
+    let (want_genes, want_fitness) = Cluster::expected(&spec).expect("reference tune");
+    let id = cluster.submit(&spec).expect("submit");
+
+    // Kill worker 0 mid-generation, cut worker 1 off for a window, then
+    // let both come back — the job must ride it out on retries,
+    // failover, and the local fallback.
+    let mut fired = [false; 4];
+    let outcome = cluster.wait(id, Duration::from_secs(60), |now_ms| {
+        let mut fire = |slot: usize, at: u64| {
+            let due = now_ms >= at && !fired[slot];
+            if due {
+                fired[slot] = true;
+            }
+            due
+        };
+        if fire(0, 60) {
+            cluster.crash_worker(0);
+        }
+        if fire(1, 90) {
+            cluster.partition_worker(1);
+        }
+        if fire(2, 180) {
+            cluster.heal_worker(1);
+        }
+        if fire(3, 220) {
+            cluster.restart_worker(0).expect("worker restarts");
+        }
+    });
+
+    let Outcome::Done {
+        genes,
+        fitness,
+        generations,
+    } = outcome
+    else {
+        panic!("job did not finish under faults: {outcome:?}");
+    };
+    assert_eq!(genes, want_genes, "fault schedule changed the genome");
+    assert_eq!(
+        fitness.to_bits(),
+        want_fitness.to_bits(),
+        "fault schedule changed the fitness bits"
+    );
+    assert_eq!(generations, 3);
+    let loaded = cluster.checkpoints_loadable().expect("checkpoints load");
+    assert!(loaded >= 1, "expected at least one loadable checkpoint");
+    assert!(
+        fired.iter().all(|f| *f),
+        "scenario too short to fire every fault event: {fired:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn sweep_catches_a_daemon_that_loses_redispatched_work() {
+    // The intentionally-broken build: DispatchConfig::redispatch = false
+    // silently drops work claimed by a failing worker. With frame drops
+    // in the schedule, some seed must hang on the lost genome.
+    let report = run_sweep(9, 4, false);
+    assert!(
+        !report.failures.is_empty(),
+        "no seed caught the lost-work bug — the sweep has no teeth"
+    );
+    for f in &report.failures {
+        assert!(
+            !f.trace.is_empty(),
+            "failing seed {} carries no fault trace to replay from",
+            f.seed
+        );
+    }
+}
+
+#[test]
+fn clean_sweep_over_healthy_daemon_passes_and_injects_faults() {
+    let report = run_sweep(1, 6, true);
+    assert_eq!(
+        report.passed,
+        6,
+        "healthy daemon failed seeds: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.seed, f.verdict.tag()))
+            .collect::<Vec<_>>()
+    );
+    let (drops, dups, delays, _) = report.fault_counts;
+    assert!(
+        drops + dups + delays > 0,
+        "sweep injected no faults at all — the schedules are inert"
+    );
+}

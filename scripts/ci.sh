@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI for inlinetune: format check, fully offline build + test, an
 # end-to-end smoke run of the `tuned` daemon (submit a tiny Opt:Tot job
-# over localhost, watch it finish, pull metrics, shut down), and a
+# over localhost, watch it finish, pull metrics, shut down), a
 # distributed-evaluation smoke via scripts/bench.sh (1 local vs
 # 2 evald workers, bit-identity enforced; plus a search-strategy
-# shootout whose racing portfolio must hit its shared memo).
+# shootout whose racing portfolio must hit its shared memo), and a
+# deterministic-simulation sweep: 200 seeded fault schedules over the
+# simulated cluster (crates/sim), every seed required to reproduce the
+# fault-free result bit-for-bit. Failing seeds replay with
+# scripts/replay.sh <seed>.
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -101,5 +105,17 @@ grep -q '"shared_ok": true' BENCH_search.json \
   || { echo "racing portfolio never hit its shared memo"; cat BENCH_search.json; exit 1; }
 grep -q '"race":' BENCH_search.json \
   || { echo "strategy shootout missing the portfolio row"; cat BENCH_search.json; exit 1; }
+
+echo "== sim sweep (200 seeded fault schedules on the virtual clock)"
+# Fixed base seed so CI failures reproduce exactly: replay any failing
+# seed it prints with `scripts/replay.sh <seed>`.
+target/release/simtest --seeds "${SIM_SWEEP_SEEDS:-200}" --base-seed 1 \
+  --out BENCH_sim.json
+grep -q '"failed":0' BENCH_sim.json \
+  || { echo "sim sweep caught failing seeds"; cat BENCH_sim.json; exit 1; }
+# The sweep must prove it has teeth: a build that loses re-dispatched
+# work has to be caught by at least one seed.
+target/release/simtest --broken --seeds 12 --base-seed 9 >/dev/null \
+  || { echo "broken-build self-test: no seed caught the lost work"; exit 1; }
 
 echo "== CI OK"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Replay one failing simulation seed with its full fault trace.
+#
+#   scripts/replay.sh 1442              # replay seed 1442
+#   scripts/replay.sh 1442 --broken     # ...against the redispatch-off build
+#
+# The sweep (`simtest --seeds N`, run by scripts/ci.sh) prints a
+# `replay: scripts/replay.sh <seed>` line for every failing seed. The
+# whole scenario — fault plan, crash/partition timeline, GA seed — is
+# derived from that one integer, so this reproduces the exact failure:
+# same frames dropped, same virtual timestamps, same verdict.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 1 ]; then
+  echo "usage: scripts/replay.sh <seed> [--broken]" >&2
+  exit 2
+fi
+SEED=$1
+shift
+
+cargo build --release --offline -p inlinetune-sim --bin simtest >/dev/null
+exec target/release/simtest --seed "$SEED" --trace "$@"
