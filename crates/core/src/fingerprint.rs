@@ -1,0 +1,170 @@
+//! Workload fingerprints: the store's notion of *which cell* a
+//! measurement belongs to and *how similar* two cells' workloads are.
+//!
+//! The fingerprint has two halves with different jobs:
+//!
+//! * the **cell digest** is exact identity — scenario, goal,
+//!   architecture and the training suite's benchmark names *in
+//!   evaluation order* (the geometric mean accumulates in suite order,
+//!   and the store promises bit-exact replay, so order is identity);
+//! * the **feature vector** is similarity — [`stored::FEATURES`]
+//!   structural/dynamic statistics of the training programs, plus the
+//!   scenario/goal coordinates, over which the warm-start strategy
+//!   ranks prior cells by Euclidean distance. Count-like features are
+//!   log-compressed so "ten times more call sites" reads as a constant
+//!   shift, not a cliff.
+//!
+//! Everything here is a pure function of the task and suite:
+//! fingerprints computed on different machines, processes or days agree
+//! bit-for-bit.
+
+use ir::stats::program_stats;
+use jit::Scenario;
+use stored::{digest_parts, Fingerprint, FEATURES};
+use workloads::Benchmark;
+
+use crate::goal::Goal;
+use crate::tuner::TuningTask;
+
+fn scenario_tag(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Opt => "opt",
+        Scenario::Adapt => "adapt",
+    }
+}
+
+/// The fingerprint of one tuning cell: `task` × `training` suite.
+#[must_use]
+pub fn cell_fingerprint(task: &TuningTask, training: &[Benchmark]) -> Fingerprint {
+    let mut parts: Vec<&str> = vec![
+        scenario_tag(task.scenario),
+        task.goal.label(),
+        task.arch.name,
+    ];
+    for b in training {
+        parts.push(b.name());
+    }
+    let cell_digest = digest_parts(&parts);
+
+    // Suite-aggregate shape: means over the benchmarks' program stats.
+    let n = training.len().max(1) as f64;
+    let mut methods = 0.0;
+    let mut sites = 0.0;
+    let mut size = 0.0;
+    let mut calls = 0.0;
+    let mut inlinable = 0.0;
+    let mut recursive = 0.0;
+    for b in training {
+        let s = program_stats(&b.program);
+        methods += ((1 + s.n_methods) as f64).ln();
+        sites += ((1 + s.n_call_sites) as f64).ln();
+        size += ((1 + s.total_size) as f64).ln();
+        calls += (1.0 + s.dynamic_calls).ln();
+        inlinable += s.inlinable_fraction;
+        recursive += s.n_recursive as f64 / s.n_methods.max(1) as f64;
+    }
+    let features = vec![
+        (1.0 + n).ln(),
+        methods / n,
+        sites / n,
+        size / n,
+        calls / n,
+        inlinable / n,
+        recursive / n,
+        // The objective's coordinates: cells tuned under another
+        // scenario/goal are similar but not interchangeable, so they
+        // rank behind same-objective cells at equal workload shape.
+        match task.scenario {
+            Scenario::Opt => 0.0,
+            Scenario::Adapt => 1.0,
+        } + match task.goal {
+            Goal::Running => 0.0,
+            Goal::Total => 0.25,
+            Goal::Balance => 0.5,
+        },
+    ];
+    debug_assert_eq!(features.len(), FEATURES);
+
+    Fingerprint {
+        cell_digest,
+        arch: task.arch.name.to_string(),
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::paper_tasks;
+    use workloads::benchmark_by_name;
+
+    fn suite(names: &[&str]) -> Vec<Benchmark> {
+        names
+            .iter()
+            .map(|n| benchmark_by_name(n).expect("known benchmark"))
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let task = &paper_tasks()[0];
+        let a = cell_fingerprint(task, &suite(&["db", "jess"]));
+        let b = cell_fingerprint(task, &suite(&["db", "jess"]));
+        assert_eq!(a.cell_digest, b.cell_digest);
+        let bits = |fs: &[f64]| fs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.features), bits(&b.features));
+    }
+
+    #[test]
+    fn every_coordinate_of_the_cell_splits_the_digest() {
+        let tasks = paper_tasks();
+        let db = suite(&["db"]);
+        let base = cell_fingerprint(&tasks[1], &db); // Opt:Bal x86
+        let digests: Vec<u64> = tasks
+            .iter()
+            .map(|t| cell_fingerprint(t, &db).cell_digest)
+            .collect();
+        // The five paper cells (differing in scenario, goal or arch) are
+        // five distinct cells.
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), tasks.len());
+
+        // Workload and its order are part of identity too.
+        assert_ne!(
+            base.cell_digest,
+            cell_fingerprint(&tasks[1], &suite(&["jess"])).cell_digest
+        );
+        assert_ne!(
+            cell_fingerprint(&tasks[1], &suite(&["db", "jess"])).cell_digest,
+            cell_fingerprint(&tasks[1], &suite(&["jess", "db"])).cell_digest
+        );
+    }
+
+    #[test]
+    fn similar_workloads_are_nearer_than_dissimilar_ones() {
+        let task = &paper_tasks()[0];
+        let a = cell_fingerprint(task, &suite(&["db", "jess", "javac"]));
+        let b = cell_fingerprint(task, &suite(&["db", "jess", "jack"]));
+        let c = cell_fingerprint(task, &suite(&["raytrace"]));
+        assert!(
+            a.distance2(&b) < a.distance2(&c),
+            "a 2/3-overlapping suite must rank nearer than a disjoint one"
+        );
+    }
+
+    #[test]
+    fn same_workload_other_objective_is_close_but_distinct() {
+        let tasks = paper_tasks();
+        let db = suite(&["db"]);
+        let bal = cell_fingerprint(&tasks[1], &db); // Opt:Bal
+        let tot = cell_fingerprint(&tasks[2], &db); // Opt:Tot
+        assert_ne!(bal.cell_digest, tot.cell_digest);
+        assert!(bal.distance2(&tot) > 0.0);
+        assert!(
+            bal.distance2(&tot) < 1.0,
+            "objective shift is a nudge, not a cliff"
+        );
+    }
+}

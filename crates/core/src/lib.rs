@@ -28,6 +28,7 @@
 
 pub mod defaults;
 pub mod eval;
+pub mod fingerprint;
 pub mod fitness;
 pub mod goal;
 pub mod multi_seed;
@@ -36,6 +37,7 @@ pub mod tuner;
 
 pub use defaults::{default_measurement, default_measurements};
 pub use eval::{evaluate_suite, evaluate_suite_with_defaults, BenchEval, SuiteEval};
+pub use fingerprint::cell_fingerprint;
 pub use fitness::geometric_mean;
 pub use goal::Goal;
 pub use multi_seed::tune_multi_seed;

@@ -108,6 +108,9 @@ pub struct Tuner {
     /// factors. Shared with every other consumer of the same cell through
     /// the process-wide [`crate::defaults`] cache.
     defaults: Vec<Arc<Measurement>>,
+    /// The cell's store fingerprint, computed on first use (only store
+    /// traffic needs it).
+    fingerprint: std::sync::OnceLock<stored::Fingerprint>,
 }
 
 impl Tuner {
@@ -130,7 +133,17 @@ impl Tuner {
             adapt_cfg,
             training,
             defaults,
+            fingerprint: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The cell's fingerprint for the fitness store: exact identity
+    /// plus the workload-shape features warm-start transfer ranks by.
+    /// Computed once per tuner, on first use.
+    #[must_use]
+    pub fn fingerprint(&self) -> &stored::Fingerprint {
+        self.fingerprint
+            .get_or_init(|| crate::fingerprint::cell_fingerprint(&self.task, &self.training))
     }
 
     /// The task being tuned.

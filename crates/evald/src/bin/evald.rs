@@ -3,7 +3,7 @@
 //! ```text
 //! evald [--addr HOST:PORT] [--addr-file PATH]
 //!       [--register DAEMON_ADDR] [--advertise HOST:PORT]
-//!       [--heartbeat-ms N]
+//!       [--heartbeat-ms N] [--store DAEMON_ADDR]
 //!       [--chaos drop:P,delay:D] [--chaos-seed N]
 //! ```
 //!
@@ -13,14 +13,17 @@
 //! `--register` names a `tuned` daemon — announces itself there and
 //! heartbeats every `--heartbeat-ms` (default 1000). `--advertise`
 //! overrides the address sent to the daemon (needed when the daemon must
-//! dial back through a different interface). `--chaos` injects faults
+//! dial back through a different interface). `--store` points at a
+//! `tuned` daemon whose persistent fitness store this worker should
+//! consult before measuring (and report fresh measurements back to);
+//! usually the same address as `--register`. `--chaos` injects faults
 //! for integration testing; see `evald::chaos`.
 
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use evald::{spawn_registrar, Chaos, ChaosConfig, EvalWorker};
+use evald::{spawn_registrar, Chaos, ChaosConfig, EvalWorker, StoreClient};
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -66,7 +69,13 @@ fn run(args: &[String]) -> Result<(), String> {
         eprintln!("evald: chaos mode active: {chaos_cfg:?} (seed {chaos_seed})");
     }
 
-    let worker = EvalWorker::bind(addr, Chaos::new(chaos_cfg, chaos_seed))?;
+    let store = flags.get("--store").map(|daemon_addr| {
+        std::sync::Arc::new(StoreClient::connect(
+            daemon_addr,
+            std::sync::Arc::clone(obs::global()),
+        ))
+    });
+    let worker = EvalWorker::bind(addr, Chaos::new(chaos_cfg, chaos_seed))?.with_store(store);
     let bound = worker.local_addr();
     if let Some(path) = flags.get("--addr-file") {
         std::fs::write(path, bound.to_string())

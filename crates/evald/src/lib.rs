@@ -17,6 +17,10 @@
 //! * [`register`] — the registrar thread: announces the worker to a
 //!   `tuned` daemon and heartbeats so the dispatcher's health checks see
 //!   it (re-registering automatically after a daemon restart);
+//! * [`storec`] — a read-through/write-behind client for the daemon's
+//!   persistent fitness store (`--store ADDR`): the worker asks the
+//!   cluster whether a genome was already measured before burning CPU
+//!   on it, and reports fresh measurements back asynchronously;
 //! * [`chaos`] — fault injection for integration tests
 //!   (`--chaos drop:0.1,delay:50ms`): probabilistically drop connections
 //!   mid-request and delay responses, driven by a seeded RNG so test
@@ -28,8 +32,10 @@ pub mod cache;
 pub mod chaos;
 pub mod register;
 pub mod server;
+pub mod storec;
 
 pub use cache::TunerCache;
 pub use chaos::{Chaos, ChaosConfig};
 pub use register::spawn_registrar;
 pub use server::EvalWorker;
+pub use storec::StoreClient;

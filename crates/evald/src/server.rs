@@ -30,6 +30,7 @@ use tuner::Tuner;
 
 use crate::cache::TunerCache;
 use crate::chaos::Chaos;
+use crate::storec::StoreClient;
 
 /// How long a connection may sit idle before its thread is reclaimed.
 /// The dispatcher opens a fresh connection per generation batch, so idle
@@ -61,6 +62,7 @@ pub struct EvalWorker {
     chaos: Arc<Chaos>,
     counters: Arc<WorkerCounters>,
     obs: Arc<obs::Registry>,
+    store: Option<Arc<StoreClient>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -109,8 +111,18 @@ impl EvalWorker {
             chaos: Arc::new(chaos),
             counters: Arc::new(WorkerCounters::default()),
             obs,
+            store: None,
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Attaches a persistent-fitness-store client: evals check the
+    /// cluster's store before measuring and report fresh measurements
+    /// back (write-behind). `None` leaves the worker store-free.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<Arc<StoreClient>>) -> Self {
+        self.store = store;
+        self
     }
 
     /// The bound `host:port` (useful after binding port 0).
@@ -148,12 +160,20 @@ impl EvalWorker {
                     let reg = Arc::clone(&self.obs);
                     let stop = Arc::clone(&self.stop);
                     let transport = Arc::clone(&self.transport);
+                    let store = self.store.clone();
                     let _ =
                         std::thread::Builder::new()
                             .name("evald-conn".into())
                             .spawn(move || {
                                 serve_connection(
-                                    stream, &cache, &chaos, &counters, &reg, &stop, &transport,
+                                    stream,
+                                    &cache,
+                                    &chaos,
+                                    &counters,
+                                    &reg,
+                                    &stop,
+                                    &transport,
+                                    store.as_deref(),
                                 );
                             });
                 }
@@ -174,6 +194,7 @@ fn serve_connection(
     reg: &obs::Registry,
     stop: &AtomicBool,
     transport: &Arc<dyn Transport>,
+    store: Option<&StoreClient>,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -183,7 +204,8 @@ fn serve_connection(
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
     // The cell this connection evaluates for, set by the `task` verb.
-    let mut tuner: Option<Arc<Tuner>> = None;
+    // The spec rides along so store lookups can name the cell.
+    let mut task: Option<(Arc<Tuner>, JobSpec)> = None;
 
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -212,22 +234,30 @@ fn serve_connection(
                     // cannot time the handshake out underneath it.
                     Some(job) => match {
                         let _busy = served::net::busy(&**transport);
-                        JobSpec::from_json(job).and_then(|s| cache.get(&s))
+                        JobSpec::from_json(job).and_then(|s| cache.get(&s).map(|hit| (s, hit)))
                     } {
-                        Ok((t, was_cached)) => {
+                        Ok((s, (t, was_cached))) => {
                             reg.counter(if was_cached {
                                 "evald_task_cache_hits"
                             } else {
                                 "evald_task_cache_misses"
                             })
                             .inc();
-                            tuner = Some(t);
+                            task = Some((t, s));
                             ok_with(vec![])
                         }
                         Err(e) => err(e),
                     },
                 },
-                "eval" => match eval(&body, tuner.as_deref(), chaos, counters, reg, &**transport) {
+                "eval" => match eval(
+                    &body,
+                    task.as_ref(),
+                    chaos,
+                    counters,
+                    reg,
+                    &**transport,
+                    store,
+                ) {
                     Ok(v) => v,
                     Err(Dropped) => return, // chaos: die without replying
                 },
@@ -280,15 +310,17 @@ struct Dropped;
 /// ranges *before* constructing [`InlineParams`] (whose constructor
 /// panics on bad input — a remote peer must never be able to panic the
 /// worker).
+#[allow(clippy::too_many_arguments)]
 fn eval(
     body: &Json,
-    tuner: Option<&Tuner>,
+    task: Option<&(Arc<Tuner>, JobSpec)>,
     chaos: &Chaos,
     counters: &WorkerCounters,
     reg: &obs::Registry,
     transport: &dyn Transport,
+    store: Option<&StoreClient>,
 ) -> Result<Json, Dropped> {
-    let Some(tuner) = tuner else {
+    let Some((tuner, spec)) = task else {
         served::Metrics::bump(&counters.protocol_errors);
         return Ok(err("no task set on this connection (send 'task' first)"));
     };
@@ -314,6 +346,21 @@ fn eval(
         return Err(Dropped);
     }
     chaos.delay();
+    // Another worker (or a past run) may already have measured this
+    // genome: one short store lookup is far cheaper than a benchmark
+    // run, and a stored fitness is bit-identical to a fresh one.
+    if let Some(hit) = store.and_then(|s| s.get(spec, &genes)) {
+        reg.counter("evald_store_hits").inc();
+        served::Metrics::bump(&counters.evals);
+        reg.counter("evald_evals").inc();
+        return Ok(ok_with(vec![
+            ("id", Json::Int(id as i64)),
+            ("fitness", f64_to_json(hit)),
+        ]));
+    }
+    if store.is_some() {
+        reg.counter("evald_store_misses").inc();
+    }
     let started = reg.now_micros();
     // The measurement is real CPU work: hold the busy bracket so a
     // simulated clock cannot advance the dispatcher's request deadline
@@ -324,6 +371,9 @@ fn eval(
     };
     reg.histogram("evald_eval_micros")
         .record(reg.now_micros().saturating_sub(started));
+    if let Some(s) = store {
+        s.put(spec, &genes, fitness);
+    }
     served::Metrics::bump(&counters.evals);
     reg.counter("evald_evals").inc();
     Ok(ok_with(vec![
@@ -496,6 +546,65 @@ mod tests {
             other => panic!("expected EOF from a chaos drop, got {other:?}"),
         }
         stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn store_backed_worker_serves_repeat_genomes_from_the_store() {
+        // A real `tuned` server with a store, for the worker to lean on.
+        let dir = std::env::temp_dir().join(format!("evald-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let daemon = served::Daemon::start(
+            served::DaemonConfig {
+                workers: 1,
+                store: Some(Arc::new(stored::Store::open(dir.join("store")).unwrap())),
+                ..served::DaemonConfig::default()
+            },
+            served::RunDir::open(&dir).unwrap(),
+        )
+        .unwrap();
+        let server = served::Server::bind("127.0.0.1:0", daemon.clone()).unwrap();
+        let daemon_addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.serve().expect("serve"));
+
+        let reg = Arc::new(obs::Registry::new());
+        let store = Arc::new(crate::StoreClient::connect(&daemon_addr, Arc::clone(&reg)));
+        let worker = EvalWorker::bind_with_obs("127.0.0.1:0", Chaos::inert(), Arc::clone(&reg))
+            .unwrap()
+            .with_store(Some(Arc::clone(&store)));
+        let addr = worker.local_addr();
+        let stop = worker.stop_flag();
+        std::thread::spawn(move || worker.serve().unwrap());
+
+        let mut conn = TestConn::open(&addr);
+        conn.roundtrip(&task_frame());
+        let genes = InlineParams::jikes_default().to_genes();
+
+        // First eval: a store miss, measured locally, put written behind.
+        let first = conn.roundtrip(&eval_frame(0, &genes));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(reg.counter("evald_store_misses").get(), 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.pending_puts() > 0 {
+            assert!(std::time::Instant::now() < deadline, "put never drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(reg.counter("store_client_puts").get(), 1);
+
+        // Second eval of the same genome: answered from the store,
+        // bit-identical to the measured fitness.
+        let second = conn.roundtrip(&eval_frame(1, &genes));
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(reg.counter("evald_store_hits").get(), 1);
+        assert_eq!(
+            first.get("fitness"),
+            second.get("fitness"),
+            "stored fitness must be bit-identical"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! A worker-side client for the daemon's persistent fitness store.
+//!
+//! Evaluating a genome runs whole benchmarks; asking the daemon whether
+//! the cluster has *already* measured it is one short RPC. The client
+//! therefore consults the store before the worker burns CPU
+//! (read-through) and reports fresh measurements back on a background
+//! thread (write-behind), so the eval path never blocks on store I/O
+//! beyond that single bounded lookup.
+//!
+//! The store is an accelerator, never a dependency: every failure
+//! degrades to "no store". Lookups return `None` on any transport or
+//! protocol error, queued puts are dropped (and counted) when the queue
+//! is full or the daemon is unreachable, and after
+//! [`MAX_CONSECUTIVE_FAILURES`] straight lookup errors the client stops
+//! dialing entirely — a worker pointed at a dead daemon must not pay a
+//! connect timeout per evaluation. One later success (the drain thread
+//! reconnecting) re-arms lookups.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use served::{Client, JobSpec, TcpTransport, Transport};
+
+/// How long one store lookup may take before the eval path gives up on
+/// it and measures locally.
+const GET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Write-behind queue depth. Puts beyond this are dropped (and counted
+/// as `store_client_put_drops`) — losing a cache write is always safe.
+const PUT_QUEUE: usize = 256;
+
+/// Consecutive lookup failures after which the client stops dialing.
+const MAX_CONSECUTIVE_FAILURES: u32 = 3;
+
+/// One queued write-behind record.
+struct Put {
+    spec: JobSpec,
+    genes: Vec<i64>,
+    fitness: f64,
+}
+
+/// State shared between the eval path, the drain thread, and tests.
+struct Shared {
+    transport: Arc<dyn Transport>,
+    addr: String,
+    obs: Arc<obs::Registry>,
+    /// Lookup connection (eval path); rebuilt lazily after errors.
+    conn: Mutex<Option<Client>>,
+    /// Consecutive failures; at [`MAX_CONSECUTIVE_FAILURES`] the client
+    /// goes dormant until some call succeeds again.
+    failures: AtomicU32,
+    /// Puts enqueued but not yet attempted (tests poll this to zero).
+    pending: AtomicU64,
+}
+
+impl Shared {
+    /// A fresh connection with the lookup timeout applied, or `None`.
+    fn dial(&self) -> Option<Client> {
+        let mut c = Client::connect_on(&self.transport, &self.addr).ok()?;
+        c.set_timeout(Some(GET_TIMEOUT)).ok()?;
+        Some(c)
+    }
+
+    fn dormant(&self) -> bool {
+        self.failures.load(Ordering::Relaxed) >= MAX_CONSECUTIVE_FAILURES
+    }
+
+    fn note_failure(&self) {
+        self.obs.counter("store_client_errors").inc();
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A handle to the daemon's fitness store. Cheap to clone via `Arc`;
+/// dropping the last handle flushes and joins the write-behind thread.
+pub struct StoreClient {
+    shared: Arc<Shared>,
+    /// `Some` until drop; taking it closes the queue so the drain
+    /// thread can exit.
+    tx: Option<SyncSender<Put>>,
+    drain: Option<JoinHandle<()>>,
+}
+
+impl StoreClient {
+    /// A client for the store behind the `tuned` daemon at `addr`, over
+    /// real TCP. Does not dial until the first call.
+    #[must_use]
+    pub fn connect(addr: &str, obs: Arc<obs::Registry>) -> Self {
+        Self::connect_on(TcpTransport::shared(), addr, obs)
+    }
+
+    /// Like [`StoreClient::connect`], over an injected transport.
+    #[must_use]
+    pub fn connect_on(transport: Arc<dyn Transport>, addr: &str, obs: Arc<obs::Registry>) -> Self {
+        let shared = Arc::new(Shared {
+            transport,
+            addr: addr.to_string(),
+            obs,
+            conn: Mutex::new(None),
+            failures: AtomicU32::new(0),
+            pending: AtomicU64::new(0),
+        });
+        let (tx, rx) = sync_channel(PUT_QUEUE);
+        let worker = Arc::clone(&shared);
+        let drain = std::thread::Builder::new()
+            .name("store-drain".into())
+            .spawn(move || drain_puts(&worker, &rx))
+            .ok();
+        Self {
+            shared,
+            tx: Some(tx),
+            drain,
+        }
+    }
+
+    /// The stored fitness for `genes` in the cell `spec` defines, or
+    /// `None` on a miss *or any failure* — callers fall back to
+    /// measuring, so the two are deliberately indistinguishable.
+    #[must_use]
+    pub fn get(&self, spec: &JobSpec, genes: &[i64]) -> Option<f64> {
+        let shared = &self.shared;
+        if shared.dormant() {
+            return None;
+        }
+        let mut slot = shared.conn.lock().expect("store conn poisoned");
+        if slot.is_none() {
+            *slot = shared.dial();
+            if slot.is_none() {
+                shared.note_failure();
+                return None;
+            }
+        }
+        let conn = slot.as_mut().expect("connection just established");
+        match conn.store_get(spec, genes) {
+            Ok(found) => {
+                shared.note_success();
+                shared
+                    .obs
+                    .counter(if found.is_some() {
+                        "store_client_hits"
+                    } else {
+                        "store_client_misses"
+                    })
+                    .inc();
+                found
+            }
+            Err(_) => {
+                *slot = None; // poisoned protocol state; redial next time
+                shared.note_failure();
+                None
+            }
+        }
+    }
+
+    /// Queues one fresh measurement for write-behind. Never blocks;
+    /// drops (and counts) the record if the queue is full.
+    pub fn put(&self, spec: &JobSpec, genes: &[i64], fitness: f64) {
+        let msg = Put {
+            spec: spec.clone(),
+            genes: genes.to_vec(),
+            fitness,
+        };
+        let Some(tx) = &self.tx else { return };
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                self.shared.obs.counter("store_client_put_drops").inc();
+            }
+        }
+    }
+
+    /// Puts enqueued but not yet attempted. Tests poll this to zero
+    /// before asserting on daemon-side state.
+    #[must_use]
+    pub fn pending_puts(&self) -> u64 {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for StoreClient {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; the drain loop exits
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The write-behind loop: owns its own connection so puts never contend
+/// with the eval path's lookups.
+fn drain_puts(shared: &Shared, rx: &Receiver<Put>) {
+    let mut conn: Option<Client> = None;
+    while let Ok(put) = rx.recv() {
+        if conn.is_none() {
+            conn = shared.dial();
+        }
+        let sent = conn
+            .as_mut()
+            .is_some_and(|c| c.store_put(&put.spec, &put.genes, put.fitness).is_ok());
+        if sent {
+            shared.note_success();
+            shared.obs.counter("store_client_puts").inc();
+        } else {
+            conn = None;
+            shared.note_failure();
+            shared.obs.counter("store_client_put_drops").inc();
+        }
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::GaConfig;
+    use jit::Scenario;
+    use served::daemon::{Daemon, DaemonConfig};
+    use served::{RunDir, Server};
+    use std::time::Instant;
+    use tuner::Goal;
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            name: "Opt:Tot".into(),
+            scenario: Scenario::Opt,
+            goal: Goal::Total,
+            arch: "x86-p4".into(),
+            suite: vec!["db".into()],
+            ga: GaConfig {
+                pop_size: 6,
+                generations: 2,
+                threads: 1,
+                seed,
+                stagnation_limit: None,
+                ..GaConfig::default()
+            },
+            strategy: "ga".into(),
+        }
+    }
+
+    /// A `tuned` server with a fresh store, on an OS-assigned port.
+    fn start_daemon(tag: &str) -> (String, Daemon, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("storec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = stored::Store::open(dir.join("store")).unwrap();
+        let daemon = Daemon::start(
+            DaemonConfig {
+                workers: 1,
+                store: Some(Arc::new(store)),
+                ..DaemonConfig::default()
+            },
+            RunDir::open(&dir).unwrap(),
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", daemon.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.serve().expect("serve"));
+        (addr, daemon, dir)
+    }
+
+    fn wait_drained(client: &StoreClient) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.pending_puts() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "write-behind queue never drained"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn put_is_written_behind_and_get_reads_it_back_bit_exactly() {
+        let (addr, daemon, dir) = start_daemon("rt");
+        let obs = Arc::new(obs::Registry::new());
+        let client = StoreClient::connect(&addr, Arc::clone(&obs));
+        let s = spec(1);
+        let genes = vec![23, 13, 5, 9, 4];
+
+        assert_eq!(client.get(&s, &genes), None, "empty store misses");
+        let fitness = 1.0625f64;
+        client.put(&s, &genes, fitness);
+        wait_drained(&client);
+
+        let got = client.get(&s, &genes).expect("stored record found");
+        assert_eq!(got.to_bits(), fitness.to_bits(), "bit-exact round trip");
+        assert_eq!(obs.counter("store_client_puts").get(), 1);
+        assert_eq!(obs.counter("store_client_hits").get(), 1);
+        assert_eq!(obs.counter("store_client_misses").get(), 1);
+        assert_eq!(obs.counter("store_client_errors").get(), 0);
+
+        drop(client);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreachable_daemon_degrades_to_none_and_goes_dormant() {
+        // A bound-then-dropped listener gives an address nothing serves.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+
+        let obs = Arc::new(obs::Registry::new());
+        let client = StoreClient::connect(&addr, Arc::clone(&obs));
+        let s = spec(2);
+        for _ in 0..MAX_CONSECUTIVE_FAILURES + 2 {
+            assert_eq!(client.get(&s, &[23, 13, 5, 9, 4]), None);
+        }
+        // Dormancy caps the damage: dials stop at the failure limit.
+        assert_eq!(
+            obs.counter("store_client_errors").get(),
+            u64::from(MAX_CONSECUTIVE_FAILURES)
+        );
+        client.put(&s, &[23, 13, 5, 9, 4], 1.0);
+        wait_drained(&client);
+        assert_eq!(obs.counter("store_client_puts").get(), 0);
+        assert!(obs.counter("store_client_put_drops").get() >= 1);
+    }
+}

@@ -18,6 +18,7 @@
 //!   dump NAME         extension: serialize a benchmark's IR to results/ir/
 //!   budget            extension: GA search-budget / operator study
 //!   strategies        extension: search-strategy comparison (all 5 cells)
+//!   warmstart         extension: cold vs store-seeded tuning (all 5 cells)
 //!
 //! Options:
 //!   --out DIR         results directory              (default: results)
@@ -35,7 +36,7 @@ use std::process::ExitCode;
 use experiments::table::Table;
 use experiments::{
     ablation, budget, fig1, fig10, fig2, figs, inspect, strategies, sweep, table1, table4, table5,
-    Context,
+    warmstart, Context,
 };
 
 struct Args {
@@ -281,6 +282,21 @@ fn run_strategies(ctx: &Context) {
     );
 }
 
+fn run_warmstart(ctx: &Context) {
+    let cells = warmstart::run(ctx);
+    emit(
+        ctx,
+        "Warm-start study: evaluations to the cold target, cold vs store-seeded (leave-one-out)",
+        "warmstart.csv",
+        &warmstart::to_table(&cells),
+    );
+    println!(
+        "warm start won {} of {} cells (strictly fewer evaluations to the cold target)",
+        warmstart::wins(&cells),
+        cells.len()
+    );
+}
+
 fn run_dump(ctx: &Context, name: Option<&str>) {
     let Some(name) = name else {
         eprintln!("usage: experiments dump <benchmark-name>");
@@ -335,7 +351,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
+            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|warmstart|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
             return ExitCode::FAILURE;
         }
     };
@@ -359,6 +375,7 @@ fn main() -> ExitCode {
         "dump" => run_dump(&ctx, args.operand.as_deref()),
         "budget" => run_budget(&ctx),
         "strategies" => run_strategies(&ctx),
+        "warmstart" => run_warmstart(&ctx),
         "all" => {
             run_table1(&ctx);
             run_fig1(&ctx);

@@ -15,13 +15,15 @@
 //! GA budget, output directory) and renders through [`table`] (aligned
 //! console tables + CSV files under `results/`).
 //!
-//! Beyond the paper's artifacts, five extension commands:
+//! Beyond the paper's artifacts, six extension commands:
 //! [`ablation`] (cost-model mechanism knock-outs), [`sweep`]
 //! (per-parameter sensitivity, generalizing Fig. 2 to all five knobs),
 //! [`inspect`] (suite calibration statistics), [`budget`] (GA search
-//! budget / operator study) and [`strategies`] (search-strategy
+//! budget / operator study), [`strategies`] (search-strategy
 //! comparison: every pluggable optimizer plus the racing portfolio on
-//! all five tuning cells).
+//! all five tuning cells) and [`warmstart`] (cold vs store-seeded
+//! transfer tuning: leave-one-out over the five cells, counting
+//! evaluations-to-target).
 //!
 //! Tuned parameters are persisted to `results/tuned_params.csv` so that
 //! `experiments fig5` can reuse the `table4` tuning run instead of
@@ -41,5 +43,6 @@ pub mod table;
 pub mod table1;
 pub mod table4;
 pub mod table5;
+pub mod warmstart;
 
 pub use context::Context;

@@ -261,11 +261,39 @@ impl GaState {
     /// Panics on degenerate configs (see [`GeneticAlgorithm::new`]).
     #[must_use]
     pub fn new(ranges: Ranges, config: GaConfig) -> Self {
+        Self::with_seeds(ranges, config, &[])
+    }
+
+    /// Seeds a fresh search whose initial population starts from
+    /// `seeds` (warm start): seeds with the right gene count are
+    /// clamped into range, deduplicated, and truncated to the
+    /// population size; the remainder is drawn from the config seed
+    /// exactly as [`GaState::new`] would draw it. With no seeds this
+    /// *is* `new`, bit for bit — the cold-start fallback costs nothing.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (see [`GeneticAlgorithm::new`]).
+    #[must_use]
+    pub fn with_seeds(ranges: Ranges, config: GaConfig, seeds: &[Genome]) -> Self {
         config.validate();
         let mut rng = Rng::seed_from_u64(config.seed);
-        let population: Vec<Genome> = (0..config.pop_size)
-            .map(|_| ranges.random(&mut rng))
-            .collect();
+        let mut population: Vec<Genome> = Vec::with_capacity(config.pop_size);
+        for s in seeds {
+            if s.len() != ranges.len() {
+                continue;
+            }
+            let mut g = s.clone();
+            ranges.clamp(&mut g);
+            if !population.contains(&g) {
+                population.push(g);
+                if population.len() == config.pop_size {
+                    break;
+                }
+            }
+        }
+        while population.len() < config.pop_size {
+            population.push(ranges.random(&mut rng));
+        }
         let best_genome = population[0].clone();
         Self {
             ranges,
@@ -1111,6 +1139,56 @@ mod tests {
             plain.result().best_fitness.to_bits(),
             observed.result().best_fitness.to_bits()
         );
+    }
+
+    #[test]
+    fn with_seeds_and_no_seeds_is_exactly_new() {
+        let f = sphere(&[7, -7, 7, -7]);
+        let mut cold = GaState::new(sphere_ranges(), step_cfg(21));
+        let mut warm = GaState::with_seeds(sphere_ranges(), step_cfg(21), &[]);
+        assert_eq!(cold.snapshot(), warm.snapshot());
+        while !cold.step(&f) {}
+        while !warm.step(&f) {}
+        assert_eq!(
+            cold.result().best_fitness.to_bits(),
+            warm.result().best_fitness.to_bits()
+        );
+    }
+
+    #[test]
+    fn seeds_are_planted_clamped_and_deduped() {
+        let ranges = sphere_ranges();
+        let lo_hi = ranges.gene(0);
+        let seeds = vec![
+            vec![1, 2, 3, 4],
+            vec![1, 2, 3, 4],              // duplicate: dropped
+            vec![lo_hi.1 + 1000, 0, 0, 0], // out of range: clamped
+            vec![1, 2],                    // wrong arity: skipped
+        ];
+        let state = GaState::with_seeds(ranges.clone(), step_cfg(3), &seeds);
+        let pop = state.population();
+        assert_eq!(pop[0], vec![1, 2, 3, 4]);
+        assert_eq!(pop[1], vec![lo_hi.1, 0, 0, 0]);
+        assert_ne!(pop[2], vec![1, 2, 3, 4], "duplicate seed was planted twice");
+        assert_eq!(pop.len(), state.config().pop_size);
+        for g in pop {
+            assert!(ranges.contains(g));
+        }
+    }
+
+    #[test]
+    fn seeded_run_is_deterministic_in_config_seed_and_seeds() {
+        let f = sphere(&[5, 5, -5, -5]);
+        let seeds = vec![vec![5, 5, -5, -5], vec![0, 0, 0, 0]];
+        let run = || {
+            let mut s = GaState::with_seeds(sphere_ranges(), step_cfg(9), &seeds);
+            while !s.step(&f) {}
+            (s.result().best_genome.clone(), s.result().best_fitness)
+        };
+        let (g1, f1) = run();
+        let (g2, f2) = run();
+        assert_eq!(g1, g2);
+        assert_eq!(f1.to_bits(), f2.to_bits());
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! askable: a [`Strategy`] is anything that proposes genome batches
 //! ([`Strategy::ask`]), learns their fitness ([`Strategy::tell`]), and
 //! can be checkpointed mid-search ([`Strategy::snapshot`] /
-//! [`restore`]). Five engines implement it:
+//! [`restore`]). Six engines implement it:
 //!
 //! * [`Ga`] — the existing `ga` crate adapted behind the trait,
 //!   bit-identical to driving `ga::GaState` directly with the same seed;
+//! * [`WarmStart`] — the same GA, but its initial population can be
+//!   seeded from a persistent fitness store's best prior genomes
+//!   ([`Strategy::seed_population`]); unseeded it *is* `ga`, bit for bit;
 //! * [`RandomSearch`] — uniform draws over the threshold cascade;
 //! * [`HillClimb`] — restarting local search whose neighborhood is the
 //!   GA's own mutation operator (geometric steps on the cascade);
@@ -73,6 +76,7 @@ mod grid;
 mod hill;
 mod race;
 mod random;
+mod warmstart;
 
 pub use anneal::SimulatedAnnealing;
 pub use core::CoreSnapshot;
@@ -81,6 +85,7 @@ pub use grid::{Grid, GridSnapshot};
 pub use hill::{HillClimb, HillSnapshot};
 pub use race::{MemberSnapshot, Race, RaceSnapshot};
 pub use random::RandomSearch;
+pub use warmstart::{WarmStart, WarmstartSnapshot};
 
 /// Snapshot of a [`SimulatedAnnealing`] strategy.
 pub type AnnealSnapshot = anneal::AnnealSnapshot;
@@ -88,7 +93,7 @@ pub type AnnealSnapshot = anneal::AnnealSnapshot;
 pub type RandomSnapshot = random::RandomSnapshot;
 
 /// The strategy kinds accepted on their own or as race members.
-pub const KINDS: [&str; 5] = ["ga", "random", "hillclimb", "anneal", "grid"];
+pub const KINDS: [&str; 6] = ["ga", "random", "hillclimb", "anneal", "grid", "warmstart"];
 
 /// The members a bare `race` spec races (a spread of search styles:
 /// population-based, pure exploration, pure exploitation).
@@ -106,6 +111,14 @@ pub trait Strategy: Send {
 
     /// The config the strategy was built from (seed, batch size, budget).
     fn config(&self) -> &GaConfig;
+
+    /// Plants warm-start seeds into the strategy's initial state,
+    /// returning how many were actually accepted. Only meaningful
+    /// *before the first round*; the default is a no-op — today only
+    /// [`WarmStart`] (and a [`Race`] containing one) uses seeds.
+    fn seed_population(&mut self, _seeds: &[Genome]) -> usize {
+        0
+    }
 
     /// The genomes to evaluate next: this round's proposals minus
     /// everything the strategy's memo already answers. Repeatable until
@@ -183,6 +196,7 @@ pub enum StrategySnapshot {
     HillClimb(HillSnapshot),
     Anneal(AnnealSnapshot),
     Grid(GridSnapshot),
+    Warmstart(WarmstartSnapshot),
     Race(RaceSnapshot),
 }
 
@@ -195,6 +209,7 @@ impl StrategySnapshot {
             StrategySnapshot::HillClimb(_) => "hillclimb",
             StrategySnapshot::Anneal(_) => "anneal",
             StrategySnapshot::Grid(_) => "grid",
+            StrategySnapshot::Warmstart(_) => "warmstart",
             StrategySnapshot::Race(_) => "race",
         }
     }
@@ -208,6 +223,7 @@ impl StrategySnapshot {
             StrategySnapshot::HillClimb(s) => s.core.rounds,
             StrategySnapshot::Anneal(s) => s.core.rounds,
             StrategySnapshot::Grid(s) => s.core.rounds,
+            StrategySnapshot::Warmstart(s) => s.ga.history.len(),
             StrategySnapshot::Race(s) => s.rounds,
         }
     }
@@ -216,7 +232,7 @@ impl StrategySnapshot {
 fn unknown(name: &str) -> String {
     format!(
         "unknown strategy '{name}' (known: ga, random, hillclimb, anneal, grid, \
-         race, race:<a>+<b>[+<c>...])"
+         warmstart, race, race:<a>+<b>[+<c>...])"
     )
 }
 
@@ -276,6 +292,7 @@ pub(crate) fn build_single(
         "hillclimb" => Box::new(HillClimb::new(ranges, config, label)?),
         "anneal" => Box::new(SimulatedAnnealing::new(ranges, config, label)?),
         "grid" => Box::new(Grid::new(ranges, config, label)?),
+        "warmstart" => Box::new(WarmStart::new(ranges, config)),
         other => return Err(unknown(other)),
     })
 }
@@ -309,6 +326,7 @@ pub(crate) fn restore_labeled(
             let label = label.unwrap_or("grid");
             Box::new(Grid::restore(s, label)?)
         }
+        StrategySnapshot::Warmstart(s) => Box::new(WarmStart::restore(s)?),
         StrategySnapshot::Race(s) => {
             if label.is_some() {
                 return Err("a race cannot be a race member".into());
@@ -379,9 +397,11 @@ mod tests {
             "hillclimb",
             "anneal",
             "grid",
+            "warmstart",
             "race",
             "race:anneal+grid",
             "race:grid+grid",
+            "race:warmstart+random",
         ]
     }
 
@@ -528,9 +548,24 @@ mod tests {
             parse_spec("race:anneal+grid+ga").unwrap(),
             vec!["anneal", "grid", "ga"]
         );
+        assert_eq!(parse_spec("warmstart").unwrap(), vec!["warmstart"]);
         for bad in ["", "gradient", "race:", "race:ga", "race:ga+bogus", "Race"] {
             assert!(validate_spec(bad).is_err(), "'{bad}' should be rejected");
         }
+    }
+
+    #[test]
+    fn race_forwards_seeds_to_its_warmstart_member() {
+        let mut s = build("race:warmstart+random", ranges(), cfg(19)).unwrap();
+        let seed = vec![7, 11, 3, 120];
+        assert_eq!(s.seed_population(&[seed.clone()]), 1);
+        assert!(
+            s.ask().contains(&seed),
+            "the warmstart member's seed must surface in the race's union ask"
+        );
+        // Members without seeding semantics simply decline.
+        let mut plain = build("race:grid+grid", ranges(), cfg(19)).unwrap();
+        assert_eq!(plain.seed_population(&[seed]), 0);
     }
 
     #[test]

@@ -202,6 +202,17 @@ impl Strategy for Race {
         &self.config
     }
 
+    fn seed_population(&mut self, seeds: &[Genome]) -> usize {
+        // Forward to every member; only those with seeding semantics
+        // (warmstart) accept any. Must run before the first ask so the
+        // pending round can't go stale.
+        assert!(self.pending.is_none(), "seed_population during a round");
+        self.members
+            .iter_mut()
+            .map(|m| m.strategy.seed_population(seeds))
+            .sum()
+    }
+
     fn ask(&mut self) -> Vec<Genome> {
         if self.done {
             return Vec::new();

@@ -3,6 +3,7 @@
 //! ```text
 //! tuned serve  [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue N]
 //!              [--eval-threads N] [--worker HOST:PORT]...
+//!              [--store-path DIR]
 //!              [--metrics-listen HOST:PORT] [--obs-detail]
 //! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
 //!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
@@ -15,6 +16,7 @@
 //! tuned cancel  [--addr HOST:PORT] --id N
 //! tuned metrics [--addr HOST:PORT]
 //! tuned obs     [--addr HOST:PORT]
+//! tuned store   [--addr HOST:PORT] stats|compact
 //! tuned shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -23,10 +25,16 @@
 //! the port. With `--metrics-listen` it additionally serves a
 //! Prometheus-style `GET /metrics` endpoint and writes its address to
 //! `<dir>/metrics-addr`; `--obs-detail` turns on high-frequency cost-model
-//! timing histograms. `obs` dumps the daemon's full observability
-//! registry (counters, gauges, latency histograms, recent spans) as JSON.
+//! timing histograms. `--store-path` opens (creating if absent) the
+//! persistent fitness store at DIR: every evaluation is remembered
+//! across restarts, repeat genomes are served from disk, and new jobs
+//! warm-start from the best genomes of related past runs. `obs` dumps
+//! the daemon's full observability registry (counters, gauges, latency
+//! histograms, recent spans) as JSON. `store stats` / `store compact`
+//! inspect and fold the running daemon's store.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ga::GaConfig;
 use served::daemon::{Daemon, DaemonConfig};
@@ -40,7 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tuned <serve|submit|status|watch|list|cancel|metrics|obs|shutdown> [flags]"
+            "usage: tuned <serve|submit|status|watch|list|cancel|metrics|obs|store|shutdown> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -72,6 +80,7 @@ fn main() -> ExitCode {
         "obs" => with_client(&args[1..], |client| {
             client.obs().map(|o| println!("{}", o.to_text()))
         }),
+        "store" => store(&args[1..]),
         "shutdown" => with_client(&args[1..], |client| {
             client.shutdown().map(|()| println!("daemon stopped"))
         }),
@@ -120,6 +129,22 @@ fn serve(args: &[String]) -> Result<(), String> {
     let addr = flags.get("--addr").unwrap_or(DEFAULT_ADDR);
     let dir = flags.get("--dir").unwrap_or("tuned-run");
     let base = DaemonConfig::default();
+    // The store records its own counters (hits, appends, compactions);
+    // open it against the daemon's registry so `tuned obs` sees them.
+    let store = flags
+        .get("--store-path")
+        .map(|path| {
+            stored::Store::open_with(
+                path,
+                stored::StoreOptions {
+                    obs: Arc::clone(&base.obs),
+                    ..stored::StoreOptions::default()
+                },
+            )
+            .map(Arc::new)
+            .map_err(|e| format!("cannot open store at {path}: {e}"))
+        })
+        .transpose()?;
     let config = DaemonConfig {
         workers: flags.parse("--workers")?.unwrap_or(2),
         queue_capacity: flags.parse("--queue")?.unwrap_or(64),
@@ -129,6 +154,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             .into_iter()
             .map(str::to_string)
             .collect(),
+        store,
         ..base
     };
     let run_dir = RunDir::open(dir)?;
@@ -183,6 +209,22 @@ fn with_id(
     let id = flags.parse("--id")?.ok_or("missing --id")?;
     let mut client = connect(args)?;
     f(&mut client, id)
+}
+
+fn store(args: &[String]) -> Result<(), String> {
+    let op = args
+        .iter()
+        .find(|a| a.as_str() == "stats" || a.as_str() == "compact")
+        .cloned()
+        .ok_or("store needs an operation: stats|compact")?;
+    with_client(args, |client| {
+        let out = match op.as_str() {
+            "stats" => client.store_stats()?,
+            _ => client.store_compact()?,
+        };
+        println!("{}", out.to_text());
+        Ok(())
+    })
 }
 
 fn submit(args: &[String]) -> Result<(), String> {

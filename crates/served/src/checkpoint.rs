@@ -29,7 +29,7 @@ use ga::{GaConfig, GaSnapshot, Generation};
 use inliner::InlineParams;
 use search::{
     AnnealSnapshot, CoreSnapshot, GridSnapshot, HillSnapshot, MemberSnapshot, RaceSnapshot,
-    RandomSnapshot, StrategySnapshot,
+    RandomSnapshot, StrategySnapshot, WarmstartSnapshot,
 };
 
 use crate::job::{ga_config_from_json, ga_config_to_json, JobSpec};
@@ -68,7 +68,7 @@ fn genome_to_json(g: &[i64]) -> Json {
     Json::Arr(g.iter().map(|&x| Json::Int(x)).collect())
 }
 
-fn genome_from_json(v: &Json) -> Option<Vec<i64>> {
+pub(crate) fn genome_from_json(v: &Json) -> Option<Vec<i64>> {
     v.as_arr()?.iter().map(Json::as_i64).collect()
 }
 
@@ -388,6 +388,16 @@ pub fn strategy_snapshot_to_json(s: &StrategySnapshot) -> Json {
                 ("level", Json::Int(s.level as i64)),
             ],
         ),
+        StrategySnapshot::Warmstart(s) => tagged(
+            "warmstart",
+            vec![
+                (
+                    "seeds",
+                    Json::Arr(s.seeds.iter().map(|g| genome_to_json(g)).collect()),
+                ),
+                ("ga", snapshot_to_json(&s.ga)),
+            ],
+        ),
         StrategySnapshot::Race(s) => tagged(
             "race",
             vec![
@@ -469,6 +479,16 @@ pub fn strategy_snapshot_from_json(v: &Json) -> Result<StrategySnapshot, String>
             level: field(v, "level")?
                 .as_usize()
                 .ok_or("'level' must be an integer")?,
+        })),
+        "warmstart" => Ok(StrategySnapshot::Warmstart(WarmstartSnapshot {
+            seeds: field(v, "seeds")?
+                .as_arr()
+                .ok_or("'seeds' must be an array")?
+                .iter()
+                .map(genome_from_json)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("'seeds' entries must be integer genomes")?,
+            ga: snapshot_from_json(field(v, "ga")?)?,
         })),
         "race" => {
             let members = field(v, "members")?
@@ -824,8 +844,10 @@ mod tests {
             "hillclimb",
             "anneal",
             "grid",
+            "warmstart",
             "race",
             "race:anneal+grid",
+            "race:warmstart+random",
         ] {
             let mut s = search::build(
                 spec,
@@ -861,6 +883,44 @@ mod tests {
             let mut resumed = search::restore(back).unwrap();
             assert_eq!(resumed.ask(), s.ask(), "{spec} resumed a different batch");
         }
+    }
+
+    #[test]
+    fn warmstart_checkpoint_carries_its_seeds() {
+        let ranges = Ranges::new(vec![(1, 40), (1, 20), (1, 300)]);
+        let cfg = GaConfig {
+            pop_size: 6,
+            generations: 9,
+            threads: 1,
+            seed: 31,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        };
+        let mut s = search::build("warmstart", ranges, cfg).unwrap();
+        assert_eq!(s.seed_population(&[vec![3, 7, 150], vec![40, 20, 300]]), 2);
+        let batch = s.ask();
+        let scores: Vec<f64> = batch
+            .iter()
+            .map(|g| g.iter().map(|&x| x as f64).sum())
+            .collect();
+        s.tell(&batch, &scores);
+        let snap = s.snapshot();
+        let text = strategy_snapshot_to_json(&snap).to_text();
+        assert!(
+            text.contains("\"strategy\":\"warmstart\"")
+                || text.contains("\"strategy\": \"warmstart\"")
+        );
+        let back = strategy_snapshot_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        match &back {
+            StrategySnapshot::Warmstart(w) => {
+                assert_eq!(w.seeds, vec![vec![3, 7, 150], vec![40, 20, 300]]);
+            }
+            other => panic!("decoded as {}", other.kind()),
+        }
+        // The restored run continues bit-identically from the seeded state.
+        let mut resumed = search::restore(back).unwrap();
+        assert_eq!(resumed.ask(), s.ask());
     }
 
     #[test]

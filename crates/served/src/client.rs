@@ -170,6 +170,81 @@ impl Client {
             .ok_or_else(|| "obs response missing 'obs'".into())
     }
 
+    /// Fetches the persistent fitness store's stats object.
+    ///
+    /// # Errors
+    /// Transport failure or no store configured.
+    pub fn store_stats(&mut self) -> Result<Json, String> {
+        let resp = self.call(&Json::obj(vec![
+            ("cmd", Json::Str("store".into())),
+            ("op", Json::Str("stats".into())),
+        ]))?;
+        resp.get("stats")
+            .cloned()
+            .ok_or_else(|| "store response missing 'stats'".into())
+    }
+
+    /// Triggers a store compaction; returns the compaction report.
+    ///
+    /// # Errors
+    /// Transport failure, no store configured, or compaction I/O error.
+    pub fn store_compact(&mut self) -> Result<Json, String> {
+        let resp = self.call(&Json::obj(vec![
+            ("cmd", Json::Str("store".into())),
+            ("op", Json::Str("compact".into())),
+        ]))?;
+        resp.get("compaction")
+            .cloned()
+            .ok_or_else(|| "store response missing 'compaction'".into())
+    }
+
+    /// Looks up one genome's stored fitness for the cell `spec` defines.
+    ///
+    /// # Errors
+    /// Transport failure or no store configured.
+    pub fn store_get(&mut self, spec: &JobSpec, genes: &[i64]) -> Result<Option<f64>, String> {
+        let resp = self.call(&Json::obj(vec![
+            ("cmd", Json::Str("store".into())),
+            ("op", Json::Str("get".into())),
+            ("job", spec.to_json()),
+            (
+                "genes",
+                Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+            ),
+        ]))?;
+        if resp.get("found").and_then(Json::as_bool) != Some(true) {
+            return Ok(None);
+        }
+        resp.get("fitness")
+            .and_then(crate::checkpoint::f64_from_json)
+            .map(Some)
+            .ok_or_else(|| "store get response missing 'fitness'".into())
+    }
+
+    /// Records one genome's fitness for the cell `spec` defines;
+    /// returns whether the record was fresh (false = already present).
+    ///
+    /// # Errors
+    /// Transport failure, no store configured, or append I/O error.
+    pub fn store_put(
+        &mut self,
+        spec: &JobSpec,
+        genes: &[i64],
+        fitness: f64,
+    ) -> Result<bool, String> {
+        let resp = self.call(&Json::obj(vec![
+            ("cmd", Json::Str("store".into())),
+            ("op", Json::Str("put".into())),
+            ("job", spec.to_json()),
+            (
+                "genes",
+                Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+            ),
+            ("fitness", crate::checkpoint::f64_to_json(fitness)),
+        ]))?;
+        Ok(resp.get("fresh").and_then(Json::as_bool) == Some(true))
+    }
+
     /// Asks the daemon to shut down gracefully.
     ///
     /// # Errors

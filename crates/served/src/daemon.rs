@@ -20,6 +20,7 @@ use tuner::Tuner;
 
 use crate::checkpoint::RunDir;
 use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
+use crate::fitstore::StoreTier;
 use crate::job::{JobSpec, JobState};
 use crate::metrics::{JobGauges, Metrics, MetricsSnapshot};
 use crate::net::{TcpTransport, Transport};
@@ -49,6 +50,12 @@ pub struct DaemonConfig {
     /// The network + clock the dispatch tier runs on. Defaults to real
     /// TCP; the simulation harness injects a `sim::SimTransport`.
     pub transport: Arc<dyn Transport>,
+    /// The cluster-wide persistent fitness store (`--store-path`).
+    /// When set, every job reads evaluations through it, writes fresh
+    /// scores behind it, and warm-starts seedable strategies from the
+    /// best genomes of prior jobs on similar workloads. `None` (the
+    /// default) disables persistence entirely.
+    pub store: Option<Arc<stored::Store>>,
 }
 
 impl Default for DaemonConfig {
@@ -61,6 +68,7 @@ impl Default for DaemonConfig {
             dispatch: DispatchConfig::default(),
             obs: Arc::clone(obs::global()),
             transport: TcpTransport::shared(),
+            store: None,
         }
     }
 }
@@ -396,6 +404,13 @@ impl Daemon {
         &self.inner.pool
     }
 
+    /// The persistent fitness store, when one is configured (for the
+    /// `store` protocol verbs).
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<stored::Store>> {
+        self.inner.config.store.as_ref()
+    }
+
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
@@ -459,29 +474,61 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
     let tuner = Tuner::new(task, training, spec.adapt_cfg());
 
     // Resume from the checkpoint when one exists and is consistent with
-    // the spec; otherwise start fresh under the submitted strategy.
+    // the spec; otherwise start fresh under the submitted strategy —
+    // warm-started from the store's best prior genomes when both a store
+    // and a seedable strategy are configured. Resumed jobs never re-seed:
+    // the seeded population is already inside their checkpoint.
     let mut strategy: Box<dyn Strategy> = match inner.run_dir.load_checkpoint(id) {
         Some(Ok(snap)) => search::restore(snap).map_err(|e| format!("checkpoint rejected: {e}"))?,
         Some(Err(e)) => return Err(format!("corrupt checkpoint: {e}")),
-        None => tuner.start_strategy(&spec.strategy, spec.ga.clone())?,
+        None => {
+            let mut fresh = tuner.start_strategy(&spec.strategy, spec.ga.clone())?;
+            if let Some(store) = &inner.config.store {
+                let seeds = store.warm_seeds(tuner.fingerprint(), fresh.config().pop_size);
+                let planted = fresh.seed_population(&seeds);
+                if planted > 0 {
+                    inner
+                        .config
+                        .obs
+                        .counter("store_warm_seeds")
+                        .add(planted as u64);
+                }
+            }
+            fresh
+        }
     };
     strategy.set_obs(Arc::clone(&inner.config.obs));
+
+    // The store tier (pass-through when no store is configured): reads
+    // answer from disk bit-exactly, fresh scores are appended. Hits and
+    // misses produce identical bits, so the tier never changes results.
+    let store_cell = inner
+        .config
+        .store
+        .as_ref()
+        .map(|s| (Arc::clone(s), tuner.fingerprint().clone()));
 
     // Lease this job's slice of the shared local-eval thread budget
     // (thread count affects wall-clock only, never results, so clamping
     // is safe — and so is re-planning after a restore).
     let lease = inner.budget.lease(strategy.config().threads);
-    let local = LocalEvaluator::new(
-        |genes: &[i64]| tuner.fitness(&InlineParams::from_genes(genes)),
-        lease.granted,
+    let local = StoreTier::new(
+        store_cell.clone(),
+        LocalEvaluator::new(
+            |genes: &[i64]| tuner.fitness(&InlineParams::from_genes(genes)),
+            lease.granted,
+        ),
     );
 
     // The remote tier: when the pool has workers, each round's memo
     // misses fan out over them; the tuner's own fitness path is the
     // fallback for anything no live worker answers.
-    let remote = RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
-        tuner.fitness(&InlineParams::from_genes(genes))
-    });
+    let remote = StoreTier::new(
+        store_cell,
+        RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
+            tuner.fitness(&InlineParams::from_genes(genes))
+        }),
+    );
 
     loop {
         if cancel.load(Ordering::SeqCst) {
@@ -703,6 +750,81 @@ mod tests {
         let (params, fitness) = r.result.unwrap();
         assert_eq!(params.to_genes(), eg);
         assert_eq!(fitness.to_bits(), ef.to_bits());
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_tier_preserves_results_and_feeds_warmstart() {
+        let dir = tmp_dir("store");
+        let store_dir = dir.join("store");
+
+        // Reference: the same job without any store.
+        let expected = {
+            let spec = tiny_spec(55);
+            Tuner::new(
+                spec.task().unwrap(),
+                spec.training().unwrap(),
+                spec.adapt_cfg(),
+            )
+            .tune(spec.ga.clone())
+        };
+
+        let obs = Arc::new(obs::Registry::new());
+        let store = stored::Store::open_with(
+            &store_dir,
+            stored::StoreOptions {
+                obs: Arc::clone(&obs),
+                ..stored::StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let d = Daemon::start(
+            DaemonConfig {
+                store: Some(Arc::new(store)),
+                obs: Arc::clone(&obs),
+                ..DaemonConfig::default()
+            },
+            RunDir::open(dir.join("run1")).unwrap(),
+        )
+        .unwrap();
+
+        // First run populates the store and must match the store-free
+        // result bit for bit.
+        let id = d.submit(tiny_spec(55)).unwrap();
+        let r = wait_terminal(&d, id);
+        let (params, fitness) = r.result.unwrap();
+        assert_eq!(params, expected.params);
+        assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+
+        // A second identical job is answered largely from the store.
+        let misses_before = obs.snapshot().counter("store_misses");
+        let id2 = d.submit(tiny_spec(55)).unwrap();
+        let r2 = wait_terminal(&d, id2);
+        let (params2, fitness2) = r2.result.unwrap();
+        assert_eq!(params2, expected.params);
+        assert_eq!(fitness2.to_bits(), expected.fitness.to_bits());
+        let snap = obs.snapshot();
+        assert!(snap.counter("store_hits") > 0, "rerun must hit the store");
+        assert_eq!(
+            snap.counter("store_misses"),
+            misses_before,
+            "an identical rerun should be fully store-served"
+        );
+
+        // A warmstart job on the same cell is seeded from the store.
+        let id3 = d
+            .submit(JobSpec {
+                strategy: "warmstart".into(),
+                ..tiny_spec(56)
+            })
+            .unwrap();
+        let r3 = wait_terminal(&d, id3);
+        assert_eq!(r3.state, JobState::Done);
+        assert!(
+            obs.snapshot().counter("store_warm_seeds") > 0,
+            "the warmstart job must be seeded from prior records"
+        );
         d.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -40,6 +40,7 @@ pub mod client;
 pub mod daemon;
 pub mod dispatch;
 pub mod expo;
+pub mod fitstore;
 pub mod job;
 pub mod json;
 pub mod metrics;

@@ -240,6 +240,7 @@ fn dispatch(
                     .collect(),
             ),
         )])),
+        "store" => Some(store_verb(body, daemon)),
         "watch" => watch(body, daemon, writer, stop, transport),
         "shutdown" => {
             // Acknowledge first — the daemon join below may take a while.
@@ -306,6 +307,97 @@ fn watch(
         }
         transport.sleep(POLL);
     }
+}
+
+/// The `store` verbs: `stats`, `compact`, and genome-level `get`/`put`
+/// so remote `evald` workers (and operators) share the daemon's
+/// persistent fitness store. `get`/`put` address records by the job
+/// spec — the server derives the cell fingerprint, so clients never
+/// handle digests.
+fn store_verb(body: &Json, daemon: &Daemon) -> Json {
+    let Some(store) = daemon.store() else {
+        return err("no store configured (start tuned with --store-path)");
+    };
+    let op = body.get("op").and_then(Json::as_str).unwrap_or("stats");
+    match op {
+        "stats" => {
+            let s = store.stats();
+            ok_with(vec![(
+                "stats",
+                Json::obj(vec![
+                    ("records", Json::Int(s.records as i64)),
+                    ("cells", Json::Int(s.cells as i64)),
+                    ("wal_records", Json::Int(s.wal_records as i64)),
+                    ("segments", Json::Int(s.segments as i64)),
+                    ("appends", Json::Int(s.appends as i64)),
+                    ("hits", Json::Int(s.hits as i64)),
+                    ("misses", Json::Int(s.misses as i64)),
+                    ("compactions", Json::Int(s.compactions as i64)),
+                    (
+                        "recovered_torn_bytes",
+                        Json::Int(s.recovered_torn_bytes as i64),
+                    ),
+                ]),
+            )])
+        }
+        "compact" => match store.compact() {
+            Ok(r) => ok_with(vec![(
+                "compaction",
+                Json::obj(vec![
+                    ("records", Json::Int(r.records as i64)),
+                    ("folded_segments", Json::Int(r.folded_segments as i64)),
+                ]),
+            )]),
+            Err(e) => err(e),
+        },
+        "get" | "put" => {
+            let fp = match store_fingerprint(body) {
+                Ok(fp) => fp,
+                Err(e) => return err(e),
+            };
+            let Some(genes) = body
+                .get("genes")
+                .and_then(crate::checkpoint::genome_from_json)
+            else {
+                return err("store get/put needs an integer array 'genes'");
+            };
+            if op == "get" {
+                return match store.get(fp.cell_digest, &genes) {
+                    Some(fitness) => ok_with(vec![
+                        ("found", Json::Bool(true)),
+                        ("fitness", crate::checkpoint::f64_to_json(fitness)),
+                    ]),
+                    None => ok_with(vec![("found", Json::Bool(false))]),
+                };
+            }
+            let Some(fitness) = body
+                .get("fitness")
+                .and_then(crate::checkpoint::f64_from_json)
+            else {
+                return err("store put needs a 'fitness' number");
+            };
+            match store.append(&stored::Record {
+                fingerprint: fp,
+                genome: genes,
+                fitness,
+            }) {
+                Ok(fresh) => ok_with(vec![("fresh", Json::Bool(fresh))]),
+                Err(e) => err(e),
+            }
+        }
+        other => err(format!(
+            "unknown store op '{other}' (known: stats, compact, get, put)"
+        )),
+    }
+}
+
+/// Derives the cell fingerprint of the job spec in `body.job`.
+fn store_fingerprint(body: &Json) -> Result<stored::Fingerprint, String> {
+    let job = body
+        .get("job")
+        .ok_or("store get/put needs a 'job' object")?;
+    let spec = JobSpec::from_json(job)?;
+    Ok(tuner::cell_fingerprint(&spec.task()?, &spec.training()?))
 }
 
 fn job_id(body: &Json) -> Result<u64, String> {

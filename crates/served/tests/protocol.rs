@@ -25,12 +25,26 @@ struct TestServer {
 
 impl TestServer {
     fn start(tag: &str, workers: usize) -> Self {
+        Self::start_configured(tag, workers, false)
+    }
+
+    /// Like [`TestServer::start`], with the persistent fitness store
+    /// enabled under the run directory.
+    fn start_with_store(tag: &str, workers: usize) -> Self {
+        Self::start_configured(tag, workers, true)
+    }
+
+    fn start_configured(tag: &str, workers: usize, with_store: bool) -> Self {
         let dir = std::env::temp_dir().join(format!("tuned-proto-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
+        let store = with_store.then(|| {
+            std::sync::Arc::new(stored::Store::open(dir.join("store")).expect("open store"))
+        });
         let daemon = Daemon::start(
             DaemonConfig {
                 workers,
                 queue_capacity: 16,
+                store,
                 ..DaemonConfig::default()
             },
             RunDir::open(&dir).unwrap(),
@@ -314,4 +328,61 @@ fn watch_streams_generations_then_terminates() {
     assert!(updates >= 2, "watch sent {updates} updates");
     assert_eq!(last.get("state").and_then(Json::as_str), Some("done"));
     assert_eq!(last.get("generation").and_then(Json::as_i64), Some(3));
+}
+
+#[test]
+fn store_verbs_roundtrip_over_the_wire() {
+    let ts = TestServer::start_with_store("store", 1);
+    let mut c = Client::connect(&ts.addr).unwrap();
+    let spec = job(61, 3);
+    let genes = vec![25, 15, 8, 4, 9];
+
+    // Empty store: get misses, stats are zero.
+    assert_eq!(c.store_get(&spec, &genes).unwrap(), None);
+    let stats = c.store_stats().unwrap();
+    assert_eq!(stats.get("records"), Some(&Json::Int(0)));
+
+    // Put, then read the exact bits back.
+    let fitness = 0.876_543_210_987_f64;
+    assert!(c.store_put(&spec, &genes, fitness).unwrap());
+    assert!(!c.store_put(&spec, &genes, fitness).unwrap(), "duplicate");
+    let got = c.store_get(&spec, &genes).unwrap().expect("present");
+    assert_eq!(got.to_bits(), fitness.to_bits());
+
+    // Another cell (different goal) does not see the record.
+    let other = JobSpec {
+        goal: Goal::Running,
+        ..job(61, 3)
+    };
+    assert_eq!(c.store_get(&other, &genes).unwrap(), None);
+
+    // Compaction folds the wal and the record survives.
+    let report = c.store_compact().unwrap();
+    assert_eq!(report.get("records"), Some(&Json::Int(1)));
+    assert_eq!(
+        c.store_get(&spec, &genes).unwrap().map(f64::to_bits),
+        Some(fitness.to_bits())
+    );
+    let stats = c.store_stats().unwrap();
+    assert_eq!(stats.get("records"), Some(&Json::Int(1)));
+    assert_eq!(stats.get("segments"), Some(&Json::Int(1)));
+    assert_eq!(stats.get("wal_records"), Some(&Json::Int(0)));
+
+    // Bad op is a structured error, connection survives.
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let resp = raw_request(&mut stream, "{\"cmd\":\"store\",\"op\":\"drop\"}");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+}
+
+#[test]
+fn store_verbs_without_a_store_are_structured_errors() {
+    let ts = TestServer::start("storeless", 1);
+    let mut c = Client::connect(&ts.addr).unwrap();
+    let e = c.store_stats().unwrap_err();
+    assert!(e.contains("no store configured"), "{e}");
+    let e = c.store_get(&job(1, 3), &[1, 2, 3, 4, 5]).unwrap_err();
+    assert!(e.contains("no store configured"), "{e}");
 }

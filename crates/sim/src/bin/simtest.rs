@@ -3,9 +3,16 @@
 //! ```text
 //! simtest --seeds 200 --base-seed 1 --out BENCH_sim.json   # CI sweep
 //! simtest --seed 42 --trace                                # replay one seed
+//! simtest --store-seed 7                                   # replay one store
+//!     crash/recovery scenario
 //! simtest --seeds 20 --broken                              # self-test: the
 //!     redispatch-disabled daemon must be caught (exit 0 iff >=1 seed fails)
 //! ```
+//!
+//! Sweep mode also runs `--store-seeds N` (default 60) persistent-store
+//! crash/recovery scenarios: each kills a store mid-append (seeded torn
+//! wal tails, compactions straddling the kill) and proves every
+//! acknowledged record survives bit-exactly.
 //!
 //! Exit status: 0 when the run's expectation holds (all seeds green, or
 //! — under `--broken` — at least one seed red), 1 otherwise. Every
@@ -14,12 +21,14 @@
 use std::time::Instant;
 
 use served::json::Json;
-use sim::sweep::{run_seed, run_sweep, Expected};
+use sim::sweep::{run_seed, run_store_seed, run_store_sweep, run_sweep, Expected};
 
 struct Args {
     seeds: u64,
     base_seed: u64,
+    store_seeds: u64,
     one_seed: Option<u64>,
+    one_store_seed: Option<u64>,
     out: Option<String>,
     trace: bool,
     broken: bool,
@@ -29,7 +38,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seeds: 200,
         base_seed: 1,
+        store_seeds: 60,
         one_seed: None,
+        one_store_seed: None,
         out: None,
         trace: false,
         broken: false,
@@ -40,14 +51,16 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--seeds" => args.seeds = num(&grab("--seeds")?)?,
             "--base-seed" => args.base_seed = num(&grab("--base-seed")?)?,
+            "--store-seeds" => args.store_seeds = num(&grab("--store-seeds")?)?,
             "--seed" => args.one_seed = Some(num(&grab("--seed")?)?),
+            "--store-seed" => args.one_store_seed = Some(num(&grab("--store-seed")?)?),
             "--out" => args.out = Some(grab("--out")?),
             "--trace" => args.trace = true,
             "--broken" => args.broken = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: simtest [--seeds N] [--base-seed S] [--out FILE] \
-                     [--seed X [--trace]] [--broken]"
+                    "usage: simtest [--seeds N] [--base-seed S] [--store-seeds N] [--out FILE] \
+                     [--seed X [--trace]] [--store-seed X] [--broken]"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +83,21 @@ fn main() {
         }
     };
     let redispatch = !args.broken;
+
+    // Single store-scenario replay mode.
+    if let Some(seed) = args.one_store_seed {
+        let report = run_store_seed(seed);
+        println!(
+            "store seed {seed}: {} ({} records, {} torn bytes)",
+            if report.is_ok() { "ok" } else { "FAILED" },
+            report.records,
+            report.torn_bytes,
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        std::process::exit(i32::from(!report.is_ok()));
+    }
 
     // Single-seed replay mode.
     if let Some(seed) = args.one_seed {
@@ -123,8 +151,40 @@ fn main() {
         println!("  replay: scripts/replay.sh {}", f.seed);
     }
 
+    // The store crash/recovery sweep (skipped under --broken: that mode
+    // self-tests the redispatch invariant only).
+    let store_report = if args.broken || args.store_seeds == 0 {
+        None
+    } else {
+        let started = Instant::now();
+        let r = run_store_sweep(args.base_seed, args.store_seeds);
+        println!(
+            "store sweep: {} seeds, {} passed, {} failed in {:.2}s \
+             ({} records, {} scenarios with torn wal tails)",
+            r.seeds,
+            r.passed,
+            r.failures.len(),
+            started.elapsed().as_secs_f64(),
+            r.records,
+            r.torn_scenarios,
+        );
+        for f in &r.failures {
+            println!("\nstore seed {} FAILED:", f.seed);
+            for line in &f.failures {
+                println!("  {line}");
+            }
+            println!("  replay: simtest --store-seed {}", f.seed);
+        }
+        Some(r)
+    };
+
     if let Some(path) = &args.out {
-        let json = report_json(&report, wall.as_secs_f64(), args.broken);
+        let json = report_json(
+            &report,
+            store_report.as_ref(),
+            wall.as_secs_f64(),
+            args.broken,
+        );
         if let Err(e) = std::fs::write(path, json.to_text() + "\n") {
             eprintln!("simtest: cannot write {path}: {e}");
             std::process::exit(2);
@@ -133,6 +193,7 @@ fn main() {
     }
 
     let caught = !report.failures.is_empty();
+    let store_ok = store_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let ok = if args.broken {
         // Self-test: a daemon that drops re-dispatched work MUST be
         // caught by at least one seed, or the sweep has no teeth.
@@ -143,13 +204,18 @@ fn main() {
         }
         caught
     } else {
-        !caught
+        !caught && store_ok
     };
     std::process::exit(i32::from(!ok));
 }
 
-fn report_json(report: &sim::SweepReport, wall_secs: f64, broken: bool) -> Json {
-    Json::obj(vec![
+fn report_json(
+    report: &sim::SweepReport,
+    store: Option<&sim::StoreSweepReport>,
+    wall_secs: f64,
+    broken: bool,
+) -> Json {
+    let mut fields = vec![
         ("bench", Json::Str("sim_sweep".into())),
         ("base_seed", Json::Int(report.base_seed as i64)),
         ("seeds", Json::Int(report.seeds as i64)),
@@ -158,7 +224,10 @@ fn report_json(report: &sim::SweepReport, wall_secs: f64, broken: bool) -> Json 
         ("broken_mode", Json::Bool(broken)),
         ("wall_secs", served::checkpoint::f64_to_json(wall_secs)),
         ("virtual_ms", Json::Int(report.virtual_ms as i64)),
-        ("worst_virtual_ms", Json::Int(report.worst_virtual_ms as i64)),
+        (
+            "worst_virtual_ms",
+            Json::Int(report.worst_virtual_ms as i64),
+        ),
         ("worst_seed", Json::Int(report.worst_seed as i64)),
         (
             "faults",
@@ -179,5 +248,24 @@ fn report_json(report: &sim::SweepReport, wall_secs: f64, broken: bool) -> Json 
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(s) = store {
+        fields.extend([
+            ("store_seeds", Json::Int(s.seeds as i64)),
+            ("store_passed", Json::Int(s.passed as i64)),
+            ("store_failed", Json::Int(s.failures.len() as i64)),
+            ("store_records", Json::Int(s.records as i64)),
+            ("store_torn_scenarios", Json::Int(s.torn_scenarios as i64)),
+            (
+                "store_failing_seeds",
+                Json::Arr(
+                    s.failures
+                        .iter()
+                        .map(|f| Json::Int(f.seed as i64))
+                        .collect(),
+                ),
+            ),
+        ]);
+    }
+    Json::obj(fields)
 }

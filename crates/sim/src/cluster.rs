@@ -169,6 +169,14 @@ impl Cluster {
                 },
                 obs: Arc::new(obs::Registry::new()),
                 transport: net.transport("daemon"),
+                // Every simulated deployment runs with the persistent
+                // fitness store enabled: invariant 3 (bit-identical
+                // results under faults) then also proves the store tier
+                // never perturbs a distributed trajectory.
+                store: Some(Arc::new(
+                    stored::Store::open(run_root.join("store"))
+                        .map_err(|e| format!("store: {e}"))?,
+                )),
             },
             RunDir::open(&run_root).map_err(|e| format!("run dir: {e}"))?,
         )?;

@@ -36,7 +36,10 @@
 //! * [`cluster`] — [`Cluster`]: boot a deployment, crash / partition /
 //!   heal / advance, check invariants.
 //! * [`sweep`] — seed-derived scenarios, the per-seed driver, and sweep
-//!   reports (`simtest` is a thin CLI over this).
+//!   reports (`simtest` is a thin CLI over this). Includes the
+//!   persistent-store crash/recovery sweep ([`run_store_sweep`]): kill a
+//!   store mid-append under seeded torn-tail schedules and prove no
+//!   acknowledged record is lost or corrupted.
 
 pub mod cluster;
 pub mod net;
@@ -44,4 +47,7 @@ pub mod sweep;
 
 pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
 pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
-pub use sweep::{run_seed, run_sweep, Scenario, SeedReport, SweepReport, Verdict};
+pub use sweep::{
+    run_seed, run_store_seed, run_store_sweep, run_sweep, Scenario, SeedReport, StoreScenario,
+    StoreSeedReport, StoreSweepReport, SweepReport, Verdict,
+};

@@ -342,6 +342,313 @@ pub struct SweepReport {
     pub worst_seed: u64,
 }
 
+// ---------------------------------------------------------------------
+// Store crash/recovery sweep
+// ---------------------------------------------------------------------
+
+/// One persistent-store crash/recovery scenario, fully derived from its
+/// seed: a write session killed mid-append (an optionally torn record
+/// tail on the wal), a recovery session that must serve every
+/// acknowledged record bit-exactly, and a third open proving recovery
+/// is idempotent.
+#[derive(Debug, Clone)]
+pub struct StoreScenario {
+    /// The root seed.
+    pub seed: u64,
+    /// Records appended across both write sessions.
+    pub records: usize,
+    /// Records acknowledged before the kill.
+    pub kill_after: usize,
+    /// Distinct tuning cells the records spread over.
+    pub cells: usize,
+    /// Wal records per background compaction (0 disables it).
+    pub compact_threshold: usize,
+    /// Whether session one compacts explicitly before the kill.
+    pub compact_before_kill: bool,
+    /// Whether session two compacts after recovering.
+    pub compact_after_restart: bool,
+    /// Where the in-flight record's write is cut, as a fraction of its
+    /// encoded length. `None` = the process died between appends (a
+    /// clean tail).
+    pub torn_frac: Option<f64>,
+}
+
+impl StoreScenario {
+    /// Derives the scenario a seed denotes. Pure, like
+    /// [`Scenario::derive`].
+    #[must_use]
+    pub fn derive(seed: u64) -> Self {
+        let mut rng = child_rng(seed, "sim/store");
+        let records = 12 + rng.below(36) as usize;
+        Self {
+            seed,
+            records,
+            kill_after: 1 + rng.below(records as u64 - 1) as usize,
+            cells: 1 + rng.below(3) as usize,
+            compact_threshold: 4 + rng.below(12) as usize,
+            compact_before_kill: rng.chance(0.4),
+            compact_after_restart: rng.chance(0.5),
+            torn_frac: rng.chance(0.8).then(|| rng.f64()),
+        }
+    }
+}
+
+/// One store scenario's report. Green iff `failures` is empty.
+#[derive(Debug, Clone)]
+pub struct StoreSeedReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Broken invariants, in the order they were caught.
+    pub failures: Vec<String>,
+    /// Distinct record keys the scenario acknowledged.
+    pub records: usize,
+    /// Bytes of torn tail the kill left on the wal.
+    pub torn_bytes: u64,
+}
+
+impl StoreSeedReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs one store crash/recovery scenario in a scratch directory under
+/// the system temp dir (removed afterwards).
+#[must_use]
+pub fn run_store_seed(seed: u64) -> StoreSeedReport {
+    let dir = std::env::temp_dir().join(format!("simstore-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_store_scenario(&StoreScenario::derive(seed), &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// The deterministic record plan of a store scenario: `records` entries
+/// over `cells` fingerprints, with deliberate duplicate keys (carrying
+/// *different* fitness values) to exercise first-write-wins across the
+/// crash boundary.
+fn store_plan(sc: &StoreScenario) -> Vec<stored::Record> {
+    let mut rng = child_rng(sc.seed, "sim/store/records");
+    let fingerprints: Vec<stored::Fingerprint> = (0..sc.cells)
+        .map(|c| stored::Fingerprint {
+            cell_digest: stored::digest_parts(&["simstore", &c.to_string(), &sc.seed.to_string()]),
+            arch: if c % 2 == 0 { "x86-p4" } else { "ppc-g4" }.to_string(),
+            features: (0..stored::FEATURES).map(|_| rng.f64() * 8.0).collect(),
+        })
+        .collect();
+    let mut plan: Vec<stored::Record> = Vec::with_capacity(sc.records + 1);
+    // One extra record: the one "in flight" when the kill lands.
+    for _ in 0..=sc.records {
+        let rec = if !plan.is_empty() && rng.chance(0.15) {
+            // A duplicate key with a conflicting fitness: the store must
+            // keep serving the first acknowledged value.
+            let prev = rng.choose(&plan).clone();
+            stored::Record {
+                fitness: rng.f64() * 4.0,
+                ..prev
+            }
+        } else {
+            stored::Record {
+                fingerprint: rng.choose(&fingerprints).clone(),
+                genome: (0..5).map(|_| rng.below(100) as i64).collect(),
+                fitness: rng.f64() * 4.0,
+            }
+        };
+        plan.push(rec);
+    }
+    plan
+}
+
+fn store_options(sc: &StoreScenario) -> stored::StoreOptions {
+    stored::StoreOptions {
+        compact_threshold: sc.compact_threshold,
+        obs: std::sync::Arc::new(obs::Registry::new()),
+    }
+}
+
+/// Acknowledged ground truth: first write wins per key, keyed exactly
+/// like [`stored::Record::key`] resolves lookups.
+type Acked = HashMap<(u64, Vec<i64>), f64>;
+
+fn check_served(store: &stored::Store, acked: &Acked, when: &str, failures: &mut Vec<String>) {
+    for ((cell, genome), want) in acked {
+        match store.get(*cell, genome) {
+            Some(got) if got.to_bits() == want.to_bits() => {}
+            Some(got) => failures.push(format!(
+                "{when}: key ({cell:#x}, {genome:?}) served {got} (bits {:#x}), acked {want} (bits {:#x})",
+                got.to_bits(),
+                want.to_bits()
+            )),
+            None => failures.push(format!(
+                "{when}: acked record ({cell:#x}, {genome:?}) lost"
+            )),
+        }
+    }
+    let stats = store.stats();
+    if stats.records != acked.len() {
+        failures.push(format!(
+            "{when}: store indexes {} records, {} were acknowledged",
+            stats.records,
+            acked.len()
+        ));
+    }
+}
+
+fn run_store_scenario(sc: &StoreScenario, dir: &std::path::Path) -> StoreSeedReport {
+    let mut failures = Vec::new();
+    let plan = store_plan(sc);
+    let mut acked = Acked::new();
+
+    // Session one: append until the kill point, then die. `drop` joins
+    // the compactor, which is the right model — the torn bytes below
+    // stand in for the append that was *in flight* when the process was
+    // killed, which by the ack contract is the only write that may be
+    // lost.
+    match stored::Store::open_with(dir, store_options(sc)) {
+        Err(e) => failures.push(format!("first open: {e}")),
+        Ok(store) => {
+            for rec in &plan[..sc.kill_after] {
+                let dup = acked.contains_key(&(rec.fingerprint.cell_digest, rec.genome.clone()));
+                match store.append(rec) {
+                    Ok(fresh) => {
+                        if fresh == dup {
+                            failures.push(format!(
+                                "append said fresh={fresh} for {} key {:?}",
+                                if dup { "duplicate" } else { "new" },
+                                rec.genome
+                            ));
+                        }
+                        acked
+                            .entry((rec.fingerprint.cell_digest, rec.genome.clone()))
+                            .or_insert(rec.fitness);
+                    }
+                    Err(e) => failures.push(format!("append: {e}")),
+                }
+            }
+            if sc.compact_before_kill {
+                if let Err(e) = store.compact() {
+                    failures.push(format!("pre-kill compact: {e}"));
+                }
+            }
+        }
+    }
+
+    // The kill: a strict prefix of the in-flight record's encoding lands
+    // on the wal tail.
+    let mut torn_bytes = 0u64;
+    if let Some(frac) = sc.torn_frac {
+        let encoded = stored::encode_record(&plan[sc.kill_after]);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = 1 + ((frac * (encoded.len() - 2) as f64) as usize).min(encoded.len() - 2);
+        torn_bytes = cut as u64;
+        let tail = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.seg"))
+            .and_then(|mut f| std::io::Write::write_all(&mut f, &encoded[..cut]));
+        if let Err(e) = tail {
+            failures.push(format!("injecting torn tail: {e}"));
+        }
+    }
+
+    // Session two: recovery. Every acknowledged record must be served
+    // bit-exactly, the torn tail must be measured and truncated, and the
+    // remaining appends must land on the recovered wal.
+    match stored::Store::open_with(dir, store_options(sc)) {
+        Err(e) => failures.push(format!("recovery open: {e}")),
+        Ok(store) => {
+            let recovered = store.stats().recovered_torn_bytes;
+            if recovered != torn_bytes {
+                failures.push(format!(
+                    "recovery truncated {recovered} bytes, kill tore {torn_bytes}"
+                ));
+            }
+            check_served(&store, &acked, "after recovery", &mut failures);
+            for rec in &plan[sc.kill_after..sc.records] {
+                match store.append(rec) {
+                    Ok(_) => {
+                        acked
+                            .entry((rec.fingerprint.cell_digest, rec.genome.clone()))
+                            .or_insert(rec.fitness);
+                    }
+                    Err(e) => failures.push(format!("post-recovery append: {e}")),
+                }
+            }
+            if sc.compact_after_restart {
+                if let Err(e) = store.compact() {
+                    failures.push(format!("post-recovery compact: {e}"));
+                }
+            }
+            check_served(&store, &acked, "after restart writes", &mut failures);
+        }
+    }
+
+    // Session three: recovery must be idempotent — a clean reopen serves
+    // the same records and finds nothing left to truncate.
+    match stored::Store::open_with(dir, store_options(sc)) {
+        Err(e) => failures.push(format!("third open: {e}")),
+        Ok(store) => {
+            let recovered = store.stats().recovered_torn_bytes;
+            if recovered != 0 {
+                failures.push(format!(
+                    "clean reopen truncated {recovered} bytes; recovery was not idempotent"
+                ));
+            }
+            check_served(&store, &acked, "after clean reopen", &mut failures);
+        }
+    }
+
+    StoreSeedReport {
+        seed: sc.seed,
+        failures,
+        records: acked.len(),
+        torn_bytes,
+    }
+}
+
+/// A store sweep's summary.
+#[derive(Debug, Clone)]
+pub struct StoreSweepReport {
+    /// First seed swept.
+    pub base_seed: u64,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Seeds on which every invariant held.
+    pub passed: u64,
+    /// Failing reports (empty on a green sweep).
+    pub failures: Vec<StoreSeedReport>,
+    /// Distinct acknowledged records across the sweep.
+    pub records: u64,
+    /// Scenarios whose kill actually tore the wal — evidence the sweep
+    /// exercised the recovery path, not just clean restarts.
+    pub torn_scenarios: u64,
+}
+
+/// Sweeps `seeds` consecutive store crash/recovery seeds.
+#[must_use]
+pub fn run_store_sweep(base_seed: u64, seeds: u64) -> StoreSweepReport {
+    let mut report = StoreSweepReport {
+        base_seed,
+        seeds,
+        passed: 0,
+        failures: Vec::new(),
+        records: 0,
+        torn_scenarios: 0,
+    };
+    for seed in base_seed..base_seed + seeds {
+        let r = run_store_seed(seed);
+        report.records += r.records as u64;
+        report.torn_scenarios += u64::from(r.torn_bytes > 0);
+        if r.is_ok() {
+            report.passed += 1;
+        } else {
+            report.failures.push(r);
+        }
+    }
+    report
+}
+
 /// Sweeps `seeds` consecutive scenario seeds starting at `base_seed`.
 #[must_use]
 pub fn run_sweep(base_seed: u64, seeds: u64, redispatch: bool) -> SweepReport {

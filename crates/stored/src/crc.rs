@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum guarding
+//! every record payload.
+//!
+//! Hand-rolled because the store must stay dependency-free: the table is
+//! built once at compile time, and the byte-at-a-time loop is fast
+//! enough for record-sized inputs (tens to hundreds of bytes) that a
+//! slice-by-8 variant would be pure complexity.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `bytes` (standard init/final XOR of `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let a = b"fitness record".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

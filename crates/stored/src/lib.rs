@@ -1,0 +1,43 @@
+//! `stored` — the cluster's persistent fitness memory.
+//!
+//! The paper tunes every cell from a cold start, and the daemon's
+//! in-process memo dies with the process: every job re-pays
+//! evaluations the cluster has already done. This crate is the fix — a
+//! content-addressed, append-only store mapping
+//! `(genome digest × workload fingerprint × arch)` to measurement
+//! records, durable across restarts and shared by every job and every
+//! `evald` worker through the `tuned` protocol's `store` verbs.
+//!
+//! Three properties carry the design:
+//!
+//! * **Bit-exact replay.** Fitness is a pure function of the record
+//!   key, and downstream determinism contracts ("distributed runs are
+//!   bit-identical to single-process") extend to the store: fitness and
+//!   features are stored as raw IEEE-754 bits, so a hit returns exactly
+//!   the double the simulator produced.
+//! * **Crash safety without a commit protocol.** Records are
+//!   length-prefixed and CRC-checksummed ([`segment`]); appends flush
+//!   before acknowledging; recovery truncates the wal's torn tail and
+//!   hard-fails on corruption in immutable segments. No record that was
+//!   acknowledged can be lost, and no corrupt bytes can be served.
+//! * **Full-tuple keys.** A measurement is addressed by cell *and*
+//!   genome ([`Record::key`]): the same genome measured on another
+//!   workload, goal, scenario or architecture is a different record,
+//!   so sharing the store cluster-wide cannot alias cells.
+//!
+//! On top sits transfer tuning: [`Store::warm_seeds`] ranks prior cells
+//! by fingerprint distance and returns their best genomes, which the
+//! `warmstart` search strategy plants into its initial population.
+
+mod crc;
+mod record;
+mod segment;
+mod store;
+
+pub use crc::crc32;
+pub use record::{digest_parts, genome_digest, Fingerprint, Record, RecordKey, FEATURES};
+pub use segment::{
+    decode_payload, encode_payload, encode_record, header, read_segment, scan_bytes,
+    write_sorted_segment, Scan, SegmentKind, FRAME_LEN, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use store::{CompactionReport, Store, StoreOptions, StoreStats};

@@ -1,0 +1,160 @@
+//! The store's unit of content: one fitness measurement, addressed by
+//! `(genome digest × workload fingerprint × arch)`.
+//!
+//! A measurement is only meaningful relative to the exact cell it was
+//! taken in — same genome, different training suite or target machine,
+//! different fitness. The [`Fingerprint`] therefore carries both an
+//! exact *cell digest* (hash of scenario, goal, arch, and the suite in
+//! evaluation order — evaluation order matters because the geometric
+//! mean is accumulated in it, and the store promises bit-exact replay)
+//! and a small *feature vector* summarizing the workload's shape, which
+//! the warm-start strategy uses for nearest-neighbour transfer across
+//! cells.
+
+/// How many workload features a fingerprint carries. Fixed so the byte
+/// format stays stable; see `tuner::cell_fingerprint` for what each
+/// slot means.
+pub const FEATURES: usize = 8;
+
+/// Identity of one tuning cell plus its workload shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Exact cell identity: FNV-1a over scenario, goal, arch and the
+    /// suite's benchmark names in evaluation order.
+    pub cell_digest: u64,
+    /// Target architecture name (kept readable for stats/debugging; it
+    /// is already folded into `cell_digest`).
+    pub arch: String,
+    /// Workload shape, [`FEATURES`] values; Euclidean distance over
+    /// these ranks cells for warm-start transfer.
+    pub features: Vec<f64>,
+}
+
+impl Fingerprint {
+    /// Squared Euclidean distance between two feature vectors (missing
+    /// slots, from a future shorter fingerprint, count as zero).
+    #[must_use]
+    pub fn distance2(&self, other: &Fingerprint) -> f64 {
+        let n = self.features.len().max(other.features.len());
+        (0..n)
+            .map(|i| {
+                let a = self.features.get(i).copied().unwrap_or(0.0);
+                let b = other.features.get(i).copied().unwrap_or(0.0);
+                (a - b) * (a - b)
+            })
+            .sum()
+    }
+}
+
+/// One measurement record: a genome's fitness in one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The cell the measurement was taken in.
+    pub fingerprint: Fingerprint,
+    /// The evaluated genome (the threshold cascade's gene vector).
+    pub genome: Vec<i64>,
+    /// The measured fitness, stored and replayed bit-exactly.
+    pub fitness: f64,
+}
+
+/// The content address of a record: cell digest × genome digest. Two
+/// measurements with the same key are the same measurement (fitness is
+/// a pure function of the key).
+pub type RecordKey = (u64, u64);
+
+impl Record {
+    /// The record's content address.
+    #[must_use]
+    pub fn key(&self) -> RecordKey {
+        (self.fingerprint.cell_digest, genome_digest(&self.genome))
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a digest of a genome (little-endian gene bytes, length-prefixed
+/// so `[1, 2]` and `[1, 2, 0]` cannot collide trivially).
+#[must_use]
+pub fn genome_digest(genome: &[i64]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(genome.len() as u64).to_le_bytes());
+    for &g in genome {
+        h = fnv1a(h, &g.to_le_bytes());
+    }
+    h
+}
+
+/// FNV-1a digest of a sequence of string parts, each length-prefixed so
+/// part boundaries are unambiguous (`["ab","c"]` ≠ `["a","bc"]`).
+#[must_use]
+pub fn digest_parts(parts: &[&str]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(parts.len() as u64).to_le_bytes());
+    for p in parts {
+        h = fnv1a(h, &(p.len() as u64).to_le_bytes());
+        h = fnv1a(h, p.as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_boundary_sensitive() {
+        assert_eq!(genome_digest(&[1, 2, 3]), genome_digest(&[1, 2, 3]));
+        assert_ne!(genome_digest(&[1, 2]), genome_digest(&[1, 2, 0]));
+        assert_ne!(digest_parts(&["ab", "c"]), digest_parts(&["a", "bc"]));
+        assert_ne!(digest_parts(&["x"]), digest_parts(&["x", ""]));
+    }
+
+    #[test]
+    fn key_separates_cells_with_the_same_genome() {
+        // The cache-key regression: one genome measured on two cells
+        // (different arch here) must produce two distinct addresses.
+        let fp = |arch: &str| Fingerprint {
+            cell_digest: digest_parts(&["opt", "total", arch, "db"]),
+            arch: arch.into(),
+            features: vec![1.0; FEATURES],
+        };
+        let genome = vec![25, 15, 8, 200, 135];
+        let a = Record {
+            fingerprint: fp("x86-p4"),
+            genome: genome.clone(),
+            fitness: 0.9,
+        };
+        let b = Record {
+            fingerprint: fp("ppc-g4"),
+            genome,
+            fitness: 1.1,
+        };
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key().1, b.key().1, "genome digest is shared");
+    }
+
+    #[test]
+    fn distance_is_zero_on_self_and_symmetric() {
+        let a = Fingerprint {
+            cell_digest: 1,
+            arch: "x".into(),
+            features: vec![1.0, 2.0, 3.0],
+        };
+        let b = Fingerprint {
+            cell_digest: 2,
+            arch: "y".into(),
+            features: vec![1.0, 2.5, 3.0],
+        };
+        assert_eq!(a.distance2(&a), 0.0);
+        assert_eq!(a.distance2(&b), b.distance2(&a));
+        assert!(a.distance2(&b) > 0.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! The on-disk segment format: a fixed header followed by
+//! length-prefixed, CRC-checksummed records.
+//!
+//! ```text
+//! header  : "STOR" | u8 version (=1) | u8 kind (0=wal, 1=sorted) | u16 0
+//! record  : u32 payload_len | u32 crc32(payload) | payload
+//! payload : u64 cell_digest
+//!         | u8  arch_len  | arch bytes (UTF-8)
+//!         | u8  n_features| n × u64 f64-bits
+//!         | u16 n_genes   | n × i64
+//!         | u64 fitness f64-bits
+//! ```
+//!
+//! All integers little-endian. Fitness and features are raw IEEE-754
+//! bits, never text: the store's contract is bit-exact replay.
+//!
+//! Recovery semantics differ by segment kind. A **wal** is the active
+//! append target, so a crash mid-append legitimately leaves a torn
+//! tail; [`read_segment`] in recovering mode returns the records up to
+//! the first undecodable byte plus the offset to truncate the file to.
+//! A **sorted** segment is immutable — it was fully written, synced and
+//! renamed into place — so any decode failure there is real corruption
+//! and becomes a hard error rather than silent data loss.
+
+use std::io::{Read, Write};
+
+use crate::crc::crc32;
+use crate::record::{Fingerprint, Record};
+
+/// Segment header magic.
+pub const MAGIC: [u8; 4] = *b"STOR";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Bytes of framing before each payload (length + checksum).
+pub const FRAME_LEN: usize = 8;
+/// Upper bound on one payload, far above any real record; a length
+/// field beyond it is treated as garbage framing.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// What a segment file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Active append log; torn tails are expected and truncated.
+    Wal,
+    /// Immutable compaction output, sorted by record key.
+    Sorted,
+}
+
+impl SegmentKind {
+    fn byte(self) -> u8 {
+        match self {
+            SegmentKind::Wal => 0,
+            SegmentKind::Sorted => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(SegmentKind::Wal),
+            1 => Some(SegmentKind::Sorted),
+            _ => None,
+        }
+    }
+}
+
+/// The 8-byte header for a segment of `kind`.
+#[must_use]
+pub fn header(kind: SegmentKind) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4] = VERSION;
+    h[5] = kind.byte();
+    h
+}
+
+/// Serializes one record payload (no framing).
+#[must_use]
+pub fn encode_payload(rec: &Record) -> Vec<u8> {
+    let fp = &rec.fingerprint;
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&fp.cell_digest.to_le_bytes());
+    let arch = fp.arch.as_bytes();
+    assert!(arch.len() <= u8::MAX as usize, "arch name too long");
+    out.push(arch.len() as u8);
+    out.extend_from_slice(arch);
+    assert!(fp.features.len() <= u8::MAX as usize, "too many features");
+    out.push(fp.features.len() as u8);
+    for &f in &fp.features {
+        out.extend_from_slice(&f.to_bits().to_le_bytes());
+    }
+    assert!(rec.genome.len() <= u16::MAX as usize, "genome too long");
+    out.extend_from_slice(&(rec.genome.len() as u16).to_le_bytes());
+    for &g in &rec.genome {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    out.extend_from_slice(&rec.fitness.to_bits().to_le_bytes());
+    out
+}
+
+/// Serializes one record with framing (length + checksum + payload).
+#[must_use]
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let payload = encode_payload(rec);
+    let mut out = Vec::with_capacity(FRAME_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A little-endian cursor over a payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err("payload truncated".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserializes one payload produced by [`encode_payload`].
+///
+/// # Errors
+/// Describes the first structural problem (truncation, bad UTF-8,
+/// trailing bytes); the caller decides whether that is a torn tail or
+/// corruption.
+pub fn decode_payload(payload: &[u8]) -> Result<Record, String> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let cell_digest = c.u64()?;
+    let arch_len = c.u8()? as usize;
+    let arch = std::str::from_utf8(c.take(arch_len)?)
+        .map_err(|_| "arch is not UTF-8".to_string())?
+        .to_string();
+    let n_features = c.u8()? as usize;
+    let mut features = Vec::with_capacity(n_features);
+    for _ in 0..n_features {
+        features.push(f64::from_bits(c.u64()?));
+    }
+    let n_genes = c.u16()? as usize;
+    let mut genome = Vec::with_capacity(n_genes);
+    for _ in 0..n_genes {
+        genome.push(c.i64()?);
+    }
+    let fitness = f64::from_bits(c.u64()?);
+    if c.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after record",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(Record {
+        fingerprint: Fingerprint {
+            cell_digest,
+            arch,
+            features,
+        },
+        genome,
+        fitness,
+    })
+}
+
+/// The outcome of scanning a segment's bytes.
+pub struct Scan {
+    /// Every record that decoded and passed its checksum, in file order.
+    pub records: Vec<Record>,
+    /// Byte offset of the end of the last good record (the length to
+    /// truncate a torn wal to). Equals the file length iff `torn` is
+    /// false.
+    pub valid_len: usize,
+    /// Whether the scan stopped before end-of-file, and why.
+    pub torn: Option<String>,
+}
+
+/// Scans segment bytes (header included) into records.
+///
+/// In recovering mode (`kind == Wal`) a decode failure ends the scan:
+/// the records so far plus the truncation offset come back in [`Scan`].
+/// For `Sorted` segments any failure is an error.
+///
+/// # Errors
+/// Bad header (any kind), or any decode failure in a sorted segment.
+pub fn scan_bytes(bytes: &[u8], kind: SegmentKind) -> Result<Scan, String> {
+    if bytes.len() < HEADER_LEN {
+        // A wal torn inside its own header holds no records at all.
+        if kind == SegmentKind::Wal {
+            return Ok(Scan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: Some("torn header".into()),
+            });
+        }
+        return Err("segment shorter than its header".into());
+    }
+    if bytes[..4] != MAGIC {
+        return Err("bad segment magic".into());
+    }
+    if bytes[4] != VERSION {
+        return Err(format!("unsupported segment version {}", bytes[4]));
+    }
+    match SegmentKind::from_byte(bytes[5]) {
+        Some(k) if k == kind => {}
+        Some(_) => return Err("segment kind mismatch".into()),
+        None => return Err("unknown segment kind".into()),
+    }
+
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        if pos == bytes.len() {
+            return Ok(Scan {
+                records,
+                valid_len: pos,
+                torn: None,
+            });
+        }
+        let fail = |pos: usize, records: Vec<Record>, why: String| {
+            if kind == SegmentKind::Wal {
+                Ok(Scan {
+                    records,
+                    valid_len: pos,
+                    torn: Some(why),
+                })
+            } else {
+                Err(format!("corrupt sorted segment at byte {pos}: {why}"))
+            }
+        };
+        if pos + FRAME_LEN > bytes.len() {
+            return fail(pos, records, "torn frame".into());
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return fail(pos, records, format!("implausible record length {len}"));
+        }
+        let want = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + FRAME_LEN;
+        let end = start + len as usize;
+        if end > bytes.len() {
+            return fail(pos, records, "torn payload".into());
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != want {
+            return fail(pos, records, "checksum mismatch".into());
+        }
+        match decode_payload(payload) {
+            Ok(r) => records.push(r),
+            Err(e) => return fail(pos, records, e),
+        }
+        pos = end;
+    }
+}
+
+/// Reads and scans a segment file.
+///
+/// # Errors
+/// I/O errors, or the [`scan_bytes`] failures for its kind.
+pub fn read_segment(path: &std::path::Path, kind: SegmentKind) -> Result<Scan, String> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    scan_bytes(&bytes, kind).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes a complete sorted segment (header + records) to `path` via a
+/// temp file + rename, syncing before the rename so the renamed file is
+/// durable and never half-written.
+///
+/// # Errors
+/// I/O errors.
+pub fn write_sorted_segment(path: &std::path::Path, records: &[Record]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| format!("cannot write {}: {e}", tmp.display());
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(&header(SegmentKind::Sorted)).map_err(io)?;
+    let mut buf = Vec::new();
+    for r in records {
+        buf.extend_from_slice(&encode_record(r));
+    }
+    f.write_all(&buf).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FEATURES;
+
+    fn rec(cell: u64, genes: &[i64], fitness: f64) -> Record {
+        Record {
+            fingerprint: Fingerprint {
+                cell_digest: cell,
+                arch: "x86-p4".into(),
+                features: (0..FEATURES).map(|i| i as f64 * 0.5).collect(),
+            },
+            genome: genes.to_vec(),
+            fitness,
+        }
+    }
+
+    fn wal_bytes(records: &[Record]) -> Vec<u8> {
+        let mut b = header(SegmentKind::Wal).to_vec();
+        for r in records {
+            b.extend_from_slice(&encode_record(r));
+        }
+        b
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        for fitness in [0.87, f64::INFINITY, -0.0, 1.0 + f64::EPSILON] {
+            let r = rec(42, &[25, 15, 8, 200, 135], fitness);
+            let out = decode_payload(&encode_payload(&r)).unwrap();
+            assert_eq!(out.genome, r.genome);
+            assert_eq!(out.fitness.to_bits(), r.fitness.to_bits());
+            assert_eq!(out.fingerprint, r.fingerprint);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_recovers_the_prefix() {
+        let records = vec![
+            rec(1, &[1, 2, 3], 0.5),
+            rec(2, &[4, 5, 6], 1.5),
+            rec(3, &[7], 2.5),
+        ];
+        let bytes = wal_bytes(&records);
+        let ends: Vec<usize> = {
+            let mut pos = HEADER_LEN;
+            records
+                .iter()
+                .map(|r| {
+                    pos += encode_record(r).len();
+                    pos
+                })
+                .collect()
+        };
+        for cut in 0..bytes.len() {
+            let scan = scan_bytes(&bytes[..cut], SegmentKind::Wal).unwrap();
+            // Exactly the records whose bytes fully precede the cut.
+            let want = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(scan.records.len(), want, "cut at {cut}");
+            assert_eq!(scan.records[..], records[..want], "cut at {cut}");
+            if cut < bytes.len() {
+                assert!(scan.torn.is_some() || scan.valid_len == cut);
+            }
+            // valid_len always points at a record boundary (or 0).
+            assert!(
+                scan.valid_len == 0
+                    || ends.contains(&scan.valid_len)
+                    || scan.valid_len == HEADER_LEN
+            );
+        }
+        let full = scan_bytes(&bytes, SegmentKind::Wal).unwrap();
+        assert!(full.torn.is_none());
+        assert_eq!(full.valid_len, bytes.len());
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_the_checksum() {
+        let bytes = wal_bytes(&[rec(1, &[9, 9, 9], 3.0)]);
+        for i in HEADER_LEN + FRAME_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let scan = scan_bytes(&bad, SegmentKind::Wal).unwrap();
+            assert!(scan.records.is_empty(), "flip at byte {i} went unnoticed");
+            assert!(scan.torn.is_some());
+        }
+    }
+
+    #[test]
+    fn sorted_segments_refuse_corruption_instead_of_truncating() {
+        let records = vec![rec(1, &[1], 0.5), rec(2, &[2], 1.5)];
+        let dir = std::env::temp_dir().join(format!("stored-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-000001.seg");
+        write_sorted_segment(&path, &records).unwrap();
+        let scan = read_segment(&path, SegmentKind::Sorted).unwrap();
+        assert_eq!(scan.records, records);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes.truncate(n - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_segment(&path, SegmentKind::Sorted).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected() {
+        let bytes = wal_bytes(&[]);
+        assert!(scan_bytes(&bytes, SegmentKind::Sorted).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(scan_bytes(&bad, SegmentKind::Wal).is_err());
+        let mut vers = bytes;
+        vers[4] = 9;
+        assert!(scan_bytes(&vers, SegmentKind::Wal).is_err());
+    }
+}

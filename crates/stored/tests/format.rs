@@ -1,0 +1,138 @@
+//! Golden segment fixtures: committed bytes that every future build
+//! must keep reading.
+//!
+//! The round-trip tests in `src/segment.rs` prove today's encoder and
+//! decoder agree with each other; they cannot catch a change that
+//! breaks both sides in lockstep. This fixture is a segment an *old*
+//! build actually wrote, frozen in the repo: store directories survive
+//! upgrades only while this suite stays green.
+//!
+//! If the format changes *intentionally*, bump `segment::VERSION`, add
+//! a decoding path for version 1, and regenerate with
+//! `REGEN_FIXTURES=1 cargo test -p inlinetune-stored --test format` —
+//! a changed fixture means existing store directories need a migration
+//! story, not just new bytes.
+
+use std::path::PathBuf;
+
+use stored::{encode_record, header, scan_bytes, Fingerprint, Record, SegmentKind, FEATURES};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The frozen records: fixed digests and genomes, plus fitness values
+/// chosen to exercise the bit-exactness contract (a subnormal-ish
+/// mantissa, an infinity, a negative zero).
+fn golden_records() -> Vec<Record> {
+    let fp = |cell: u64, arch: &str, scale: f64| Fingerprint {
+        cell_digest: cell,
+        arch: arch.into(),
+        features: (0..FEATURES).map(|i| i as f64 * scale).collect(),
+    };
+    vec![
+        Record {
+            fingerprint: fp(0x1122_3344_5566_7788, "x86-p4", 0.5),
+            genome: vec![25, 15, 8, 200, 135],
+            fitness: 0.8671875,
+        },
+        Record {
+            fingerprint: fp(0x1122_3344_5566_7788, "x86-p4", 0.5),
+            genome: vec![1, 1, 1, 1, 135],
+            fitness: f64::INFINITY,
+        },
+        Record {
+            fingerprint: fp(0xAABB_CCDD_EEFF_0011, "ppc-g4", 0.25),
+            genome: vec![50, 30, 15, 400, 135, -7],
+            fitness: -0.0,
+        },
+    ]
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let mut bytes = header(SegmentKind::Wal).to_vec();
+    for r in &golden_records() {
+        bytes.extend_from_slice(&encode_record(r));
+    }
+    bytes
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var("REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, golden_bytes()).unwrap();
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with REGEN_FIXTURES=1",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn v1_segment_bytes_still_decode() {
+    let bytes = fixture("segment_v1.seg");
+    let scan = scan_bytes(&bytes, SegmentKind::Wal).expect("frozen bytes must keep scanning");
+    assert!(scan.torn.is_none(), "fixture has no torn tail");
+
+    let want = golden_records();
+    assert_eq!(scan.records.len(), want.len());
+    for (got, want) in scan.records.iter().zip(&want) {
+        assert_eq!(got.genome, want.genome);
+        assert_eq!(got.fingerprint.cell_digest, want.fingerprint.cell_digest);
+        assert_eq!(got.fingerprint.arch, want.fingerprint.arch);
+        assert_eq!(
+            got.fitness.to_bits(),
+            want.fitness.to_bits(),
+            "fitness must replay bit-exactly"
+        );
+        let bits = |fs: &[f64]| fs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&got.fingerprint.features),
+            bits(&want.fingerprint.features)
+        );
+    }
+}
+
+#[test]
+fn todays_encoder_still_writes_the_frozen_bytes() {
+    // Byte-stability both ways: a new store writing the same records
+    // produces a segment an old build can read, byte for byte.
+    assert_eq!(
+        golden_bytes(),
+        fixture("segment_v1.seg"),
+        "the segment byte format drifted; see the module docs before re-blessing"
+    );
+}
+
+#[test]
+fn a_store_opened_on_the_fixture_serves_the_records() {
+    let dir = std::env::temp_dir().join(format!("stored-fixture-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("wal.seg"), fixture("segment_v1.seg")).unwrap();
+
+    let store = stored::Store::open_with(
+        &dir,
+        stored::StoreOptions {
+            compact_threshold: 0,
+            ..stored::StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let want = golden_records();
+    assert_eq!(store.stats().records, want.len());
+    for r in &want {
+        assert_eq!(
+            store
+                .get(r.fingerprint.cell_digest, &r.genome)
+                .map(f64::to_bits),
+            Some(r.fitness.to_bits())
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -308,3 +308,26 @@ echo "== bench: wrote $SEARCH_OUT"
 cat "$SEARCH_OUT"
 [ "$SHARED_OK" = true ] \
   || { echo "bench: racing portfolio never hit its shared memo!"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Persistent fitness store: durable append / lookup throughput plus the
+# warm-start payoff. `store_bench` tunes one cell cold, rebuilds a store
+# from the cold run's evaluation log, re-tunes warm-started under the
+# identical budget, and asserts warm start reaches the cold target in no
+# more evaluations (`warm_ok`). Every append flushes before acking, so
+# append_per_sec is the durable path, not a page-cache mirage.
+#
+# Knobs: BENCH_STORE_RECORDS, BENCH_STORE_OUT.
+
+STORE_RECORDS=${BENCH_STORE_RECORDS:-2000}
+STORE_OUT=${BENCH_STORE_OUT:-BENCH_store.json}
+
+echo "== bench: persistent fitness store (${STORE_RECORDS} records)"
+cargo build --release --offline --example store_bench >/dev/null
+target/release/examples/store_bench "$STORE_RECORDS" "$POP" "$GENS" "$SEED" \
+  >"$STORE_OUT"
+
+echo "== bench: wrote $STORE_OUT"
+cat "$STORE_OUT"
+grep -q '"warm_ok":true' "$STORE_OUT" \
+  || { echo "bench: warm start needed more evaluations than cold!"; exit 1; }

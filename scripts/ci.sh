@@ -4,11 +4,13 @@
 # over localhost, watch it finish, pull metrics, shut down), a
 # distributed-evaluation smoke via scripts/bench.sh (1 local vs
 # 2 evald workers, bit-identity enforced; plus a search-strategy
-# shootout whose racing portfolio must hit its shared memo), and a
-# deterministic-simulation sweep: 200 seeded fault schedules over the
-# simulated cluster (crates/sim), every seed required to reproduce the
-# fault-free result bit-for-bit. Failing seeds replay with
-# scripts/replay.sh <seed>.
+# shootout whose racing portfolio must hit its shared memo, and a
+# persistent-store bench whose warm start must match cold in no more
+# evaluations), and a deterministic-simulation sweep: 200 seeded fault
+# schedules over the simulated cluster (crates/sim) plus seeded
+# kill-mid-append store crash/recovery scenarios, every seed required
+# to reproduce the fault-free result bit-for-bit. Failing seeds replay
+# with scripts/replay.sh <seed> / simtest --store-seed <seed>.
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -105,6 +107,8 @@ grep -q '"shared_ok": true' BENCH_search.json \
   || { echo "racing portfolio never hit its shared memo"; cat BENCH_search.json; exit 1; }
 grep -q '"race":' BENCH_search.json \
   || { echo "strategy shootout missing the portfolio row"; cat BENCH_search.json; exit 1; }
+grep -q '"warm_ok":true' BENCH_store.json \
+  || { echo "store warm start needed more evals than cold"; cat BENCH_store.json; exit 1; }
 
 echo "== sim sweep (200 seeded fault schedules on the virtual clock)"
 # Fixed base seed so CI failures reproduce exactly: replay any failing
@@ -113,6 +117,11 @@ target/release/simtest --seeds "${SIM_SWEEP_SEEDS:-200}" --base-seed 1 \
   --out BENCH_sim.json
 grep -q '"failed":0' BENCH_sim.json \
   || { echo "sim sweep caught failing seeds"; cat BENCH_sim.json; exit 1; }
+# The sweep's store stage: seeded kill-mid-append crash/recovery
+# scenarios (torn wal tails, compactions straddling the kill); every
+# acknowledged record must survive bit-exactly.
+grep -q '"store_failed":0' BENCH_sim.json \
+  || { echo "store crash/recovery sweep lost acked records"; cat BENCH_sim.json; exit 1; }
 # The sweep must prove it has teeth: a build that loses re-dispatched
 # work has to be caught by at least one seed.
 target/release/simtest --broken --seeds 12 --base-seed 9 >/dev/null \

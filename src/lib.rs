@@ -21,6 +21,7 @@
 //! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol, remote dispatch |
 //! | [`evald`] | `inlinetune-evald` | the remote fitness-evaluation worker: eval RPCs, heartbeats, chaos injection |
 //! | [`obs`] | `inlinetune-obs` | observability: spans, latency histograms, counters, Prometheus exposition |
+//! | [`stored`] | `inlinetune-stored` | persistent fitness store: crash-safe segments, warm-start seeds |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use obs;
 pub use search;
 pub use served;
 pub use simrng;
+pub use stored;
 pub use tuner;
 pub use workloads;
 
