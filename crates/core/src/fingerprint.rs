@@ -89,6 +89,7 @@ pub fn cell_fingerprint(task: &TuningTask, training: &[Benchmark]) -> Fingerprin
         cell_digest,
         arch: task.arch.name.to_string(),
         features,
+        problem: "inline".to_string(),
     }
 }
 

@@ -1,28 +1,29 @@
-//! A per-process [`Tuner`] cache.
+//! A per-process [`Problem`] cache.
 //!
 //! Every dispatcher connection opens with a `task` handshake naming the
-//! job it will send evals for. Building a [`Tuner`] measures the
-//! default heuristic over the whole training suite — exactly the cost a
-//! worker should pay once per (scenario, goal, arch, suite) cell, not
-//! once per connection. The cache keys on the task-relevant part of the
-//! job spec (the GA config and display name are irrelevant to fitness),
-//! so reconnects, parallel connections, and even different jobs over
-//! the same cell all share one tuner.
+//! job it will send evals for. Building a [`Problem`] measures its
+//! default configuration over the whole training suite — exactly the
+//! cost a worker should pay once per (problem, scenario, goal, arch,
+//! suite) cell, not once per connection. The cache keys on the
+//! fitness-relevant part of the job spec (the GA config and display
+//! name are irrelevant to fitness), so reconnects, parallel
+//! connections, and even different jobs over the same cell all share
+//! one problem instance.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use problems::Problem;
 use served::json::Json;
 use served::JobSpec;
-use tuner::Tuner;
 
-/// Shared, lazily populated map from task cell to [`Tuner`].
+/// Shared, lazily populated map from task cell to [`Problem`].
 #[derive(Default)]
-pub struct TunerCache {
-    map: Mutex<HashMap<String, Arc<Tuner>>>,
+pub struct ProblemCache {
+    map: Mutex<HashMap<String, Arc<dyn Problem>>>,
 }
 
-impl TunerCache {
+impl ProblemCache {
     /// An empty cache.
     #[must_use]
     pub fn new() -> Self {
@@ -30,7 +31,9 @@ impl TunerCache {
     }
 
     /// The cache key: the spec's JSON with the fitness-irrelevant fields
-    /// (`name`, `ga`, `strategy`) removed. Deterministic because
+    /// (`name`, `ga`, `strategy`) removed. The `problem` field stays —
+    /// a `flags` job over a cell must never share an instance with an
+    /// `inline` job over the same cell. Deterministic because
     /// [`Json::to_text`] serializes object keys in insertion order.
     fn key(spec: &JobSpec) -> String {
         match spec.to_json() {
@@ -45,33 +48,33 @@ impl TunerCache {
         }
     }
 
-    /// The tuner for a job's task cell, building (and caching) it on
+    /// The problem for a job's task cell, building (and caching) it on
     /// first use. Holding the map lock across the build is deliberate:
     /// concurrent connections for the same cell wait instead of
     /// measuring the defaults twice. The boolean reports whether the
-    /// tuner was already cached (`true` = hit).
+    /// problem was already cached (`true` = hit).
     ///
     /// # Errors
-    /// Propagates spec validation errors (unknown benchmark / arch
-    /// names).
-    pub fn get(&self, spec: &JobSpec) -> Result<(Arc<Tuner>, bool), String> {
+    /// Propagates spec validation errors (unknown benchmark / arch /
+    /// problem names).
+    pub fn get(&self, spec: &JobSpec) -> Result<(Arc<dyn Problem>, bool), String> {
         let key = Self::key(spec);
-        let mut map = self.map.lock().expect("tuner cache poisoned");
-        if let Some(t) = map.get(&key) {
-            return Ok((Arc::clone(t), true));
+        let mut map = self.map.lock().expect("problem cache poisoned");
+        if let Some(p) = map.get(&key) {
+            return Ok((Arc::clone(p), true));
         }
-        let tuner = Arc::new(Tuner::new(spec.task()?, spec.training()?, spec.adapt_cfg()));
-        map.insert(key, Arc::clone(&tuner));
-        Ok((tuner, false))
+        let problem = spec.build_problem()?;
+        map.insert(key, Arc::clone(&problem));
+        Ok((problem, false))
     }
 
     /// How many distinct task cells have been built.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("tuner cache poisoned").len()
+        self.map.lock().expect("problem cache poisoned").len()
     }
 
-    /// Whether no tuner has been built yet.
+    /// Whether no problem has been built yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -101,12 +104,13 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            problem: "inline".into(),
         }
     }
 
     #[test]
-    fn same_cell_shares_one_tuner() {
-        let cache = TunerCache::new();
+    fn same_cell_shares_one_problem() {
+        let cache = ProblemCache::new();
         let (a, hit_a) = cache.get(&spec("a", 1, &["db"])).unwrap();
         // Different name and GA config, same task cell.
         let (b, hit_b) = cache.get(&spec("b", 999, &["db"])).unwrap();
@@ -127,8 +131,25 @@ mod tests {
     }
 
     #[test]
-    fn different_suites_get_different_tuners() {
-        let cache = TunerCache::new();
+    fn different_problems_over_one_cell_get_different_instances() {
+        let cache = ProblemCache::new();
+        let (a, _) = cache.get(&spec("a", 1, &["db"])).unwrap();
+        let (b, hit_b) = cache
+            .get(&JobSpec {
+                problem: "dss".into(),
+                ..spec("a", 1, &["db"])
+            })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!hit_b, "problem id must split the cache cell");
+        assert_eq!(a.id(), "inline");
+        assert_eq!(b.id(), "dss");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn different_suites_get_different_problems() {
+        let cache = ProblemCache::new();
         let (a, _) = cache.get(&spec("a", 1, &["db"])).unwrap();
         let (b, _) = cache.get(&spec("a", 1, &["jess"])).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
@@ -137,7 +158,7 @@ mod tests {
 
     #[test]
     fn bad_suite_name_propagates() {
-        let cache = TunerCache::new();
+        let cache = ProblemCache::new();
         // JobSpec::from_json validates names, but a hand-built spec can
         // carry garbage — the cache must surface it, not panic.
         assert!(cache.get(&spec("a", 1, &["no-such-benchmark"])).is_err());

@@ -34,7 +34,7 @@ pub mod register;
 pub mod server;
 pub mod storec;
 
-pub use cache::TunerCache;
+pub use cache::ProblemCache;
 pub use chaos::{Chaos, ChaosConfig};
 pub use register::spawn_registrar;
 pub use server::EvalWorker;

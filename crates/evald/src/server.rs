@@ -12,23 +12,23 @@
 //! ```
 //!
 //! plus `ping`, `metrics`, and `shutdown`. Fitness goes through
-//! [`tuner::Tuner::fitness`] — the identical pure `jit::measure` path
-//! the in-process daemon runs — which is what makes distributed runs
-//! bit-identical to local ones.
+//! [`problems::Problem::fitness`] — the identical pure measurement
+//! path the in-process daemon runs — which is what makes distributed
+//! runs bit-identical to local ones. The job spec names the problem, so
+//! one worker serves `inline`, `flags` and `dss` evals side by side.
 
 use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use inliner::InlineParams;
+use problems::Problem;
 use served::checkpoint::f64_to_json;
 use served::json::Json;
 use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
 use served::{JobSpec, NetListener, NetStream, TcpTransport, Transport};
-use tuner::Tuner;
 
-use crate::cache::TunerCache;
+use crate::cache::ProblemCache;
 use crate::chaos::Chaos;
 use crate::storec::StoreClient;
 
@@ -58,7 +58,7 @@ pub struct WorkerCounters {
 pub struct EvalWorker {
     transport: Arc<dyn Transport>,
     listener: Box<dyn NetListener>,
-    cache: Arc<TunerCache>,
+    cache: Arc<ProblemCache>,
     chaos: Arc<Chaos>,
     counters: Arc<WorkerCounters>,
     obs: Arc<obs::Registry>,
@@ -107,7 +107,7 @@ impl EvalWorker {
         Ok(Self {
             transport,
             listener,
-            cache: Arc::new(TunerCache::new()),
+            cache: Arc::new(ProblemCache::new()),
             chaos: Arc::new(chaos),
             counters: Arc::new(WorkerCounters::default()),
             obs,
@@ -188,7 +188,7 @@ impl EvalWorker {
 #[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: Box<dyn NetStream>,
-    cache: &TunerCache,
+    cache: &ProblemCache,
     chaos: &Chaos,
     counters: &WorkerCounters,
     reg: &obs::Registry,
@@ -205,7 +205,7 @@ fn serve_connection(
     let mut writer = BufWriter::new(write_half);
     // The cell this connection evaluates for, set by the `task` verb.
     // The spec rides along so store lookups can name the cell.
-    let mut task: Option<(Arc<Tuner>, JobSpec)> = None;
+    let mut task: Option<(Arc<dyn Problem>, JobSpec)> = None;
 
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -229,7 +229,7 @@ fn serve_connection(
                 "ping" => ok_with(vec![("pong", Json::Bool(true))]),
                 "task" => match body.get("job") {
                     None => err("task needs a 'job' object"),
-                    // Constructing a Tuner on a cache miss is real CPU
+                    // Constructing a Problem on a cache miss is real CPU
                     // work: hold the busy bracket so a simulated clock
                     // cannot time the handshake out underneath it.
                     Some(job) => match {
@@ -306,21 +306,21 @@ fn serve_connection(
 /// Marker: chaos decided this connection dies without a reply.
 struct Dropped;
 
-/// Handles one `eval` request. Validates the genes against the task's
-/// ranges *before* constructing [`InlineParams`] (whose constructor
-/// panics on bad input — a remote peer must never be able to panic the
-/// worker).
+/// Handles one `eval` request. Validates the genes against the
+/// problem's space *before* evaluating — a remote peer must never be
+/// able to panic the worker (problem decoders may assert on arity), and
+/// an out-of-space genome would poison the shared fitness store.
 #[allow(clippy::too_many_arguments)]
 fn eval(
     body: &Json,
-    task: Option<&(Arc<Tuner>, JobSpec)>,
+    task: Option<&(Arc<dyn Problem>, JobSpec)>,
     chaos: &Chaos,
     counters: &WorkerCounters,
     reg: &obs::Registry,
     transport: &dyn Transport,
     store: Option<&StoreClient>,
 ) -> Result<Json, Dropped> {
-    let Some((tuner, spec)) = task else {
+    let Some((problem, spec)) = task else {
         served::Metrics::bump(&counters.protocol_errors);
         return Ok(err("no task set on this connection (send 'task' first)"));
     };
@@ -336,9 +336,12 @@ fn eval(
         served::Metrics::bump(&counters.protocol_errors);
         return Ok(err("eval needs an integer 'genes' array"));
     };
-    if !tuner.task().ranges().contains(&genes) {
+    if !problem.space().contains(&genes) {
         served::Metrics::bump(&counters.protocol_errors);
-        return Ok(err(format!("genes {genes:?} outside the task's ranges")));
+        return Ok(err(format!(
+            "genes {genes:?} outside problem '{}'s space",
+            problem.id()
+        )));
     }
     if chaos.should_drop() {
         served::Metrics::bump(&counters.chaos_drops);
@@ -367,7 +370,7 @@ fn eval(
     // past us while we compute.
     let fitness = {
         let _busy = served::net::busy(transport);
-        tuner.fitness(&InlineParams::from_genes(&genes))
+        problem.fitness(&genes)
     };
     reg.histogram("evald_eval_micros")
         .record(reg.now_micros().saturating_sub(started));
@@ -386,11 +389,12 @@ fn eval(
 mod tests {
     use super::*;
     use ga::GaConfig;
+    use inliner::InlineParams;
     use jit::Scenario;
     use served::proto::read_frame;
     use std::io::Write;
     use std::net::TcpStream;
-    use tuner::Goal;
+    use tuner::{Goal, Tuner};
 
     fn spec() -> JobSpec {
         JobSpec {
@@ -408,6 +412,7 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            problem: "inline".into(),
         }
     }
 
@@ -493,6 +498,37 @@ mod tests {
         assert_eq!(resp.get("id"), Some(&Json::Int(3)));
         let got = served::checkpoint::f64_from_json(resp.get("fitness").unwrap()).unwrap();
         assert_eq!(got.to_bits(), expected.to_bits(), "bit-identical fitness");
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn one_worker_serves_every_problem_side_by_side() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        for &problem in problems::KNOWN {
+            let s = JobSpec {
+                problem: problem.into(),
+                ..spec()
+            };
+            let p = s.build_problem().unwrap();
+            let genes = p.space().random(&mut simrng::Rng::seed_from_u64(7));
+            let expected = p.fitness(&genes);
+
+            let mut conn = TestConn::open(&addr);
+            let bind = conn.roundtrip(&Json::obj(vec![
+                ("cmd", Json::Str("task".into())),
+                ("job", s.to_json()),
+            ]));
+            assert_eq!(bind.get("ok"), Some(&Json::Bool(true)), "{problem}");
+            let resp = conn.roundtrip(&eval_frame(1, &genes));
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{problem}");
+            let got = served::checkpoint::f64_from_json(resp.get("fitness").unwrap()).unwrap();
+            assert_eq!(got.to_bits(), expected.to_bits(), "{problem} fitness bits");
+
+            // A genome of the wrong arity for *this* problem bounces.
+            let wrong = vec![0i64; genes.len() + 1];
+            let bad = conn.roundtrip(&eval_frame(2, &wrong));
+            assert_eq!(bad.get("ok"), Some(&Json::Bool(false)), "{problem}");
+        }
         stop.store(true, Ordering::SeqCst);
     }
 

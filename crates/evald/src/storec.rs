@@ -244,6 +244,7 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            problem: "inline".into(),
         }
     }
 

@@ -61,6 +61,7 @@ fn tiny_spec(seed: u64) -> JobSpec {
             ..GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 
@@ -156,12 +157,12 @@ fn local_result(spec: &JobSpec) -> (Vec<i64>, f64) {
 }
 
 fn assert_matches_local(record: &JobRecord, spec: &JobSpec) {
-    let (params, fitness) = record
+    let (genes, fitness) = record
         .result
         .as_ref()
         .unwrap_or_else(|| panic!("job should be Done, got {:?}", record.error));
     let (local_genes, local_fitness) = local_result(spec);
-    assert_eq!(params.to_genes(), local_genes, "tuned params must match");
+    assert_eq!(genes, &local_genes, "tuned genes must match");
     assert_eq!(
         fitness.to_bits(),
         local_fitness.to_bits(),

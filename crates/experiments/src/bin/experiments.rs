@@ -18,6 +18,7 @@
 //!   dump NAME         extension: serialize a benchmark's IR to results/ir/
 //!   budget            extension: GA search-budget / operator study
 //!   strategies        extension: search-strategy comparison (all 5 cells)
+//!   problems          extension: new tuning domains (flags, dss) x strategies
 //!   warmstart         extension: cold vs store-seeded tuning (all 5 cells)
 //!
 //! Options:
@@ -35,8 +36,8 @@ use std::process::ExitCode;
 
 use experiments::table::Table;
 use experiments::{
-    ablation, budget, fig1, fig10, fig2, figs, inspect, strategies, sweep, table1, table4, table5,
-    warmstart, Context,
+    ablation, budget, fig1, fig10, fig2, figs, inspect, problems, strategies, sweep, table1,
+    table4, table5, warmstart, Context,
 };
 
 struct Args {
@@ -282,6 +283,16 @@ fn run_strategies(ctx: &Context) {
     );
 }
 
+fn run_problems(ctx: &Context) {
+    let cells = problems::run(ctx);
+    emit(
+        ctx,
+        "Problems study: new tuning domains (flags, dss) under every strategy (Opt:Tot, x86)",
+        "problems.csv",
+        &problems::to_table(&cells),
+    );
+}
+
 fn run_warmstart(ctx: &Context) {
     let cells = warmstart::run(ctx);
     emit(
@@ -351,7 +362,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|warmstart|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
+            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|problems|warmstart|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
             return ExitCode::FAILURE;
         }
     };
@@ -375,6 +386,7 @@ fn main() -> ExitCode {
         "dump" => run_dump(&ctx, args.operand.as_deref()),
         "budget" => run_budget(&ctx),
         "strategies" => run_strategies(&ctx),
+        "problems" => run_problems(&ctx),
         "warmstart" => run_warmstart(&ctx),
         "all" => {
             run_table1(&ctx);

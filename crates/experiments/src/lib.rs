@@ -37,6 +37,7 @@ pub mod fig10;
 pub mod fig2;
 pub mod figs;
 pub mod inspect;
+pub mod problems;
 pub mod strategies;
 pub mod sweep;
 pub mod table;

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use simrng::Rng;
 
 use crate::eval::{Evaluator, LocalEvaluator};
-use crate::genome::{Genome, Ranges};
+use crate::genome::{GeneKind, Genome, Ranges};
 use crate::ops::{mutate, one_point_crossover, tournament, two_point_crossover, uniform_crossover};
 
 /// Which recombination operator breeding uses.
@@ -195,6 +195,8 @@ pub struct GaResult {
 pub struct GaSnapshot {
     /// Per-gene inclusive bounds of the search space.
     pub bounds: Vec<(i64, i64)>,
+    /// Per-gene kinds (same length as `bounds`).
+    pub kinds: Vec<GeneKind>,
     /// The engine configuration (including the seed).
     pub config: GaConfig,
     /// Raw xoshiro256** state of the breeding RNG.
@@ -623,6 +625,7 @@ impl GaState {
         cache.sort_by(|a, b| a.0.cmp(&b.0));
         GaSnapshot {
             bounds: self.ranges.iter().collect(),
+            kinds: self.ranges.kinds().to_vec(),
             config: self.config.clone(),
             rng_state: self.rng.state(),
             population: self.population.clone(),
@@ -647,6 +650,7 @@ impl GaState {
     pub fn restore(snapshot: GaSnapshot) -> Result<Self, String> {
         let GaSnapshot {
             bounds,
+            kinds,
             config,
             rng_state,
             population,
@@ -666,7 +670,14 @@ impl GaState {
         if bounds.iter().any(|&(lo, hi)| lo > hi) {
             return Err("snapshot has inverted gene bounds".into());
         }
-        let ranges = Ranges::new(bounds);
+        if kinds.len() != bounds.len() {
+            return Err(format!(
+                "snapshot has {} gene kinds for {} bounds",
+                kinds.len(),
+                bounds.len()
+            ));
+        }
+        let ranges = Ranges::with_kinds(bounds, kinds);
         config.validate();
         if population.len() != config.pop_size {
             return Err(format!(
@@ -1189,6 +1200,28 @@ mod tests {
         let (g2, f2) = run();
         assert_eq!(g1, g2);
         assert_eq!(f1.to_bits(), f2.to_bits());
+    }
+
+    #[test]
+    fn snapshot_carries_gene_kinds_through_restore() {
+        let ranges = Ranges::with_kinds(
+            vec![(0, 3), (0, 1), (1, 50), (1, 400)],
+            vec![GeneKind::Cat, GeneKind::Bool, GeneKind::Int, GeneKind::Int],
+        );
+        let f = |g: &[i64]| g.iter().map(|&x| x as f64).sum();
+        let mut state = GaState::new(ranges.clone(), step_cfg(6));
+        for _ in 0..2 {
+            assert!(!state.step(f));
+        }
+        let snap = state.snapshot();
+        assert_eq!(snap.kinds, ranges.kinds());
+        let restored = GaState::restore(snap.clone()).unwrap();
+        assert_eq!(restored.ranges().kinds(), ranges.kinds());
+        assert_eq!(restored.snapshot(), snap);
+
+        let mut bad = snap;
+        bad.kinds.pop();
+        assert!(GaState::restore(bad).is_err());
     }
 
     #[test]

@@ -5,24 +5,86 @@ use simrng::Rng;
 /// A fixed-length integer genome.
 pub type Genome = Vec<i64>;
 
-/// Inclusive per-gene bounds.
+/// What a gene's integer value *means*, which dictates which mutation
+/// moves are sound:
+///
+/// * [`GeneKind::Int`] — an ordered magnitude (a threshold, a size): the
+///   geometric-step mutation applies, neighbouring values are similar.
+/// * [`GeneKind::Bool`] — a 0/1 toggle: the only sensible move is a
+///   re-draw.
+/// * [`GeneKind::Cat`] — an unordered categorical choice (an enum tag):
+///   value 2 is no "closer" to 3 than to 0, so mutation must re-sample
+///   uniformly and never interpolate or step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeneKind {
+    /// Ordered integer magnitude (the default; the inlining thresholds).
+    #[default]
+    Int,
+    /// Boolean toggle encoded as 0/1.
+    Bool,
+    /// Unordered categorical choice over `lo..=hi`.
+    Cat,
+}
+
+impl GeneKind {
+    /// One-character code used in compact serializations.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            GeneKind::Int => 'i',
+            GeneKind::Bool => 'b',
+            GeneKind::Cat => 'c',
+        }
+    }
+
+    /// Inverse of [`GeneKind::code`].
+    #[must_use]
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'i' => Some(GeneKind::Int),
+            'b' => Some(GeneKind::Bool),
+            'c' => Some(GeneKind::Cat),
+            _ => None,
+        }
+    }
+}
+
+/// Inclusive per-gene bounds, plus each gene's [`GeneKind`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ranges {
     bounds: Vec<(i64, i64)>,
+    kinds: Vec<GeneKind>,
 }
 
 impl Ranges {
-    /// Creates ranges from inclusive `(lo, hi)` pairs.
+    /// Creates all-[`GeneKind::Int`] ranges from inclusive `(lo, hi)`
+    /// pairs.
     ///
     /// # Panics
     /// Panics if any `lo > hi` or the list is empty.
     #[must_use]
     pub fn new(bounds: Vec<(i64, i64)>) -> Self {
+        let kinds = vec![GeneKind::Int; bounds.len()];
+        Self::with_kinds(bounds, kinds)
+    }
+
+    /// Creates ranges with explicit per-gene kinds.
+    ///
+    /// # Panics
+    /// Panics if any `lo > hi`, the list is empty, or `kinds` has a
+    /// different length than `bounds`.
+    #[must_use]
+    pub fn with_kinds(bounds: Vec<(i64, i64)>, kinds: Vec<GeneKind>) -> Self {
         assert!(!bounds.is_empty(), "ranges must have at least one gene");
+        assert_eq!(
+            bounds.len(),
+            kinds.len(),
+            "kinds must match bounds in length"
+        );
         for (i, &(lo, hi)) in bounds.iter().enumerate() {
             assert!(lo <= hi, "gene {i}: lo {lo} > hi {hi}");
         }
-        Self { bounds }
+        Self { bounds, kinds }
     }
 
     /// Number of genes.
@@ -41,6 +103,18 @@ impl Ranges {
     #[must_use]
     pub fn gene(&self, i: usize) -> (i64, i64) {
         self.bounds[i]
+    }
+
+    /// The kind of gene `i`.
+    #[must_use]
+    pub fn kind(&self, i: usize) -> GeneKind {
+        self.kinds[i]
+    }
+
+    /// All gene kinds, in gene order.
+    #[must_use]
+    pub fn kinds(&self) -> &[GeneKind] {
+        &self.kinds
     }
 
     /// Iterates over all bounds.
@@ -141,5 +215,37 @@ mod tests {
     #[should_panic(expected = "lo 5 > hi 2")]
     fn inverted_range_panics() {
         let _ = Ranges::new(vec![(5, 2)]);
+    }
+
+    #[test]
+    fn new_defaults_every_gene_to_int() {
+        let r = ranges();
+        assert!(r.kinds().iter().all(|&k| k == GeneKind::Int));
+        assert_eq!(r.kinds().len(), r.len());
+    }
+
+    #[test]
+    fn with_kinds_carries_kinds_through() {
+        let r = Ranges::with_kinds(
+            vec![(0, 3), (0, 1), (1, 50)],
+            vec![GeneKind::Cat, GeneKind::Bool, GeneKind::Int],
+        );
+        assert_eq!(r.kind(0), GeneKind::Cat);
+        assert_eq!(r.kind(1), GeneKind::Bool);
+        assert_eq!(r.kind(2), GeneKind::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "kinds must match bounds")]
+    fn mismatched_kinds_length_panics() {
+        let _ = Ranges::with_kinds(vec![(0, 1), (0, 1)], vec![GeneKind::Bool]);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [GeneKind::Int, GeneKind::Bool, GeneKind::Cat] {
+            assert_eq!(GeneKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(GeneKind::from_code('x'), None);
     }
 }

@@ -34,4 +34,4 @@ pub use engine::{
     CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, GenTiming, Generation, GeneticAlgorithm,
 };
 pub use eval::{Evaluator, LocalEvaluator};
-pub use genome::{Genome, Ranges};
+pub use genome::{GeneKind, Genome, Ranges};

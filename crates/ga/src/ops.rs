@@ -2,7 +2,7 @@
 
 use simrng::Rng;
 
-use crate::genome::{Genome, Ranges};
+use crate::genome::{GeneKind, Genome, Ranges};
 
 /// Tournament selection: picks `size` individuals uniformly and returns
 /// the index of the fittest (lowest fitness). `size = 1` degenerates to
@@ -74,14 +74,22 @@ pub fn uniform_crossover(a: &Genome, b: &Genome, rng: &mut Rng) -> (Genome, Geno
 
 /// Mutates each gene independently with probability `per_gene_prob`.
 ///
-/// Half of the mutations are *resets* (uniform redraw over the gene's
-/// range — global exploration), half are *geometric steps* (multiply or
-/// nudge the current value — local refinement, important for wide ranges
-/// like `CALLER_MAX_SIZE`'s 1..4000 where uniform resets alone rarely
-/// sample small values).
+/// For [`GeneKind::Int`] genes, half of the mutations are *resets*
+/// (uniform redraw over the gene's range — global exploration), half are
+/// *geometric steps* (multiply or nudge the current value — local
+/// refinement, important for wide ranges like `CALLER_MAX_SIZE`'s 1..4000
+/// where uniform resets alone rarely sample small values).
+///
+/// [`GeneKind::Bool`] and [`GeneKind::Cat`] genes have no magnitude
+/// order, so stepping would invent structure that is not there: they are
+/// always re-drawn uniformly, never interpolated.
 pub fn mutate(genome: &mut Genome, ranges: &Ranges, per_gene_prob: f64, rng: &mut Rng) {
     for (i, gene) in genome.iter_mut().enumerate() {
         if !rng.chance(per_gene_prob) {
+            continue;
+        }
+        if ranges.kind(i) != GeneKind::Int {
+            *gene = ranges.random_gene(i, rng);
             continue;
         }
         let (lo, hi) = ranges.gene(i);
@@ -197,6 +205,45 @@ mod tests {
             }
         }
         assert!(changed.iter().all(|&c| c), "{changed:?}");
+    }
+
+    #[test]
+    fn categorical_and_bool_genes_redraw_uniformly() {
+        let ranges = Ranges::with_kinds(
+            vec![(0, 4), (0, 1), (1, 4000)],
+            vec![GeneKind::Cat, GeneKind::Bool, GeneKind::Int],
+        );
+        let mut rng = Rng::seed_from_u64(12);
+        let mut seen_cat = [false; 5];
+        for _ in 0..400 {
+            let mut g = vec![2, 0, 2000];
+            mutate(&mut g, &ranges, 1.0, &mut rng);
+            assert!(ranges.contains(&g), "{g:?}");
+            seen_cat[g[0] as usize] = true;
+        }
+        // A uniform redraw reaches every category, including ones far
+        // from the current value — a stepping mutation would not.
+        assert!(seen_cat.iter().all(|&s| s), "{seen_cat:?}");
+    }
+
+    #[test]
+    fn int_gene_mutation_is_rng_identical_with_and_without_kinds() {
+        // The kind-aware path must not perturb the RNG stream for all-Int
+        // ranges: this is what keeps inlining runs bit-identical across
+        // the problem-generic refactor.
+        let bounds = vec![(1, 50), (1, 30), (1, 15), (1, 4000), (1, 400)];
+        let plain = Ranges::new(bounds.clone());
+        let kinded = Ranges::with_kinds(bounds, vec![GeneKind::Int; 5]);
+        let mut rng_a = Rng::seed_from_u64(13);
+        let mut rng_b = Rng::seed_from_u64(13);
+        for _ in 0..100 {
+            let mut a = plain.random(&mut rng_a);
+            let mut b = kinded.random(&mut rng_b);
+            assert_eq!(a, b);
+            mutate(&mut a, &plain, 0.3, &mut rng_a);
+            mutate(&mut b, &kinded, 0.3, &mut rng_b);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use ga::{GaConfig, Genome, Ranges};
+use ga::{GaConfig, GeneKind, Genome, Ranges};
 
 /// Mutable search bookkeeping embedded by every non-GA strategy.
 pub(crate) struct Core {
@@ -143,6 +143,7 @@ impl Core {
         memo.sort_by(|a, b| a.0.cmp(&b.0));
         CoreSnapshot {
             bounds: self.ranges.iter().collect(),
+            kinds: self.ranges.kinds().to_vec(),
             config: self.config.clone(),
             memo,
             proposed: self.proposed,
@@ -164,7 +165,14 @@ impl Core {
         if s.config.pop_size == 0 || s.config.generations == 0 {
             return Err("snapshot config has a zero pop_size or generations".into());
         }
-        let ranges = Ranges::new(s.bounds);
+        if s.kinds.len() != s.bounds.len() {
+            return Err(format!(
+                "snapshot has {} gene kinds for {} bounds",
+                s.kinds.len(),
+                s.bounds.len()
+            ));
+        }
+        let ranges = Ranges::with_kinds(s.bounds, s.kinds);
         for (g, _) in s.memo.iter().chain(s.best.iter()) {
             if !ranges.contains(g) {
                 return Err(format!("snapshot genome {g:?} is out of bounds"));
@@ -192,6 +200,7 @@ impl Core {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreSnapshot {
     pub bounds: Vec<(i64, i64)>,
+    pub kinds: Vec<GeneKind>,
     pub config: GaConfig,
     pub memo: Vec<(Genome, f64)>,
     pub proposed: usize,

@@ -18,7 +18,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use ga::{GaConfig, Genome, Ranges};
+use ga::{GaConfig, GeneKind, Genome, Ranges};
 use simrng::child_seed;
 
 use crate::{restore_labeled, Standing, Strategy, StrategySnapshot};
@@ -117,7 +117,14 @@ impl Race {
         if s.members.len() < 2 {
             return Err("race snapshot has fewer than 2 members".into());
         }
-        let ranges = Ranges::new(s.bounds);
+        if s.kinds.len() != s.bounds.len() {
+            return Err(format!(
+                "race snapshot has {} gene kinds for {} bounds",
+                s.kinds.len(),
+                s.bounds.len()
+            ));
+        }
+        let ranges = Ranges::with_kinds(s.bounds, s.kinds);
         let mut members = Vec::with_capacity(s.members.len());
         for m in s.members {
             let strategy = restore_labeled(m.snapshot, Some(&m.name))?;
@@ -320,6 +327,7 @@ impl Strategy for Race {
         StrategySnapshot::Race(RaceSnapshot {
             config: self.config.clone(),
             bounds: self.ranges.iter().collect(),
+            kinds: self.ranges.kinds().to_vec(),
             memo,
             evaluations: self.evaluations,
             shared_hits: self.shared_hits,
@@ -364,6 +372,7 @@ impl Strategy for Race {
 pub struct RaceSnapshot {
     pub config: GaConfig,
     pub bounds: Vec<(i64, i64)>,
+    pub kinds: Vec<GeneKind>,
     pub memo: Vec<(Genome, f64)>,
     pub evaluations: usize,
     pub shared_hits: usize,

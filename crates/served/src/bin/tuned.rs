@@ -7,6 +7,7 @@
 //!              [--metrics-listen HOST:PORT] [--obs-detail]
 //! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
 //!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
+//!              [--problem inline|flags|dss]
 //!              [--strategy ga|random|hillclimb|anneal|grid|race|race:A+B[+C...]]
 //!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
 //!              [--threads N] [--stagnation N]
@@ -249,6 +250,7 @@ fn submit(args: &[String]) -> Result<(), String> {
             ..base
         },
         strategy: flags.get("--strategy").unwrap_or("ga").to_string(),
+        problem: flags.get("--problem").unwrap_or("inline").to_string(),
     };
     // Validate locally (names, GA shape) before going on the wire.
     let spec = JobSpec::from_json(&spec.to_json())?;

@@ -25,8 +25,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use ga::{GaConfig, GaSnapshot, Generation};
-use inliner::InlineParams;
+use ga::{GaConfig, GaSnapshot, GeneKind, Generation};
 use search::{
     AnnealSnapshot, CoreSnapshot, GridSnapshot, HillSnapshot, MemberSnapshot, RaceSnapshot,
     RandomSnapshot, StrategySnapshot, WarmstartSnapshot,
@@ -91,6 +90,32 @@ fn bounds_from_json(v: &Json) -> Option<Vec<(i64, i64)>> {
         .collect()
 }
 
+/// Gene kinds as a compact code string (`"ibc…"`, one char per gene), or
+/// `None` when every gene is the default [`GeneKind::Int`] — the field is
+/// omitted then, so pre-kinds checkpoints keep their exact bytes and
+/// legacy files (which never carry it) decode to all-Int.
+fn kinds_field(kinds: &[GeneKind]) -> Option<Json> {
+    if kinds.iter().all(|&k| k == GeneKind::Int) {
+        None
+    } else {
+        Some(Json::Str(kinds.iter().map(|k| k.code()).collect()))
+    }
+}
+
+fn kinds_from_json(v: Option<&Json>, n_genes: usize) -> Result<Vec<GeneKind>, String> {
+    match v {
+        None => Ok(vec![GeneKind::Int; n_genes]),
+        Some(v) => {
+            let s = v.as_str().ok_or("'kinds' must be a string of kind codes")?;
+            s.chars()
+                .map(|c| {
+                    GeneKind::from_code(c).ok_or_else(|| format!("unknown gene kind code '{c}'"))
+                })
+                .collect()
+        }
+    }
+}
+
 fn memo_to_json(memo: &[(Vec<i64>, f64)]) -> Json {
     Json::Arr(
         memo.iter()
@@ -149,16 +174,19 @@ fn rng_from_json(v: &Json) -> Option<[u64; 4]> {
 /// bytes: the memo table is already sorted by `GaState::snapshot`).
 #[must_use]
 pub fn snapshot_to_json(s: &GaSnapshot) -> Json {
-    Json::obj(vec![
-        (
-            "bounds",
-            Json::Arr(
-                s.bounds
-                    .iter()
-                    .map(|&(lo, hi)| Json::Arr(vec![Json::Int(lo), Json::Int(hi)]))
-                    .collect(),
-            ),
+    let mut fields = vec![(
+        "bounds",
+        Json::Arr(
+            s.bounds
+                .iter()
+                .map(|&(lo, hi)| Json::Arr(vec![Json::Int(lo), Json::Int(hi)]))
+                .collect(),
         ),
+    )];
+    if let Some(k) = kinds_field(&s.kinds) {
+        fields.push(("kinds", k));
+    }
+    fields.extend(vec![
         ("config", ga_config_to_json(&s.config)),
         (
             "rng_state",
@@ -200,7 +228,8 @@ pub fn snapshot_to_json(s: &GaSnapshot) -> Json {
         ("stagnant", Json::Int(s.stagnant as i64)),
         ("next_gen", Json::Int(s.next_gen as i64)),
         ("done", Json::Bool(s.done)),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 /// Deserializes a snapshot. Structural validation only — semantic
@@ -224,6 +253,7 @@ pub fn snapshot_from_json(v: &Json) -> Result<GaSnapshot, String> {
         })
         .collect::<Option<Vec<(i64, i64)>>>()
         .ok_or("'bounds' entries must be [lo, hi] integer pairs")?;
+    let kinds = kinds_from_json(v.get("kinds"), bounds.len())?;
     let config: GaConfig = ga_config_from_json(field(v, "config")?)?;
     let rng_words = field(v, "rng_state")?
         .as_arr()
@@ -271,6 +301,7 @@ pub fn snapshot_from_json(v: &Json) -> Result<GaSnapshot, String> {
         .ok_or("'history' entries are malformed")?;
     Ok(GaSnapshot {
         bounds,
+        kinds,
         config,
         rng_state,
         population,
@@ -299,8 +330,11 @@ pub fn snapshot_from_json(v: &Json) -> Result<GaSnapshot, String> {
 }
 
 fn core_to_json(c: &CoreSnapshot) -> Json {
-    Json::obj(vec![
-        ("bounds", bounds_to_json(&c.bounds)),
+    let mut fields = vec![("bounds", bounds_to_json(&c.bounds))];
+    if let Some(k) = kinds_field(&c.kinds) {
+        fields.push(("kinds", k));
+    }
+    fields.extend(vec![
         ("config", ga_config_to_json(&c.config)),
         ("memo", memo_to_json(&c.memo)),
         ("proposed", Json::Int(c.proposed as i64)),
@@ -309,7 +343,8 @@ fn core_to_json(c: &CoreSnapshot) -> Json {
         ("best", scored_opt_to_json(&c.best)),
         ("rounds", Json::Int(c.rounds as i64)),
         ("done", Json::Bool(c.done)),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 fn core_from_json(v: &Json) -> Result<CoreSnapshot, String> {
@@ -317,9 +352,12 @@ fn core_from_json(v: &Json) -> Result<CoreSnapshot, String> {
         v.get(key)
             .ok_or_else(|| format!("strategy checkpoint missing '{key}'"))
     }
+    let bounds = bounds_from_json(field(v, "bounds")?)
+        .ok_or("'bounds' entries must be [lo, hi] integer pairs")?;
+    let kinds = kinds_from_json(v.get("kinds"), bounds.len())?;
     Ok(CoreSnapshot {
-        bounds: bounds_from_json(field(v, "bounds")?)
-            .ok_or("'bounds' entries must be [lo, hi] integer pairs")?,
+        bounds,
+        kinds,
         config: ga_config_from_json(field(v, "config")?)?,
         memo: memo_from_json(field(v, "memo")?)
             .ok_or("'memo' entries must be [genome, fitness] pairs")?,
@@ -398,11 +436,15 @@ pub fn strategy_snapshot_to_json(s: &StrategySnapshot) -> Json {
                 ("ga", snapshot_to_json(&s.ga)),
             ],
         ),
-        StrategySnapshot::Race(s) => tagged(
-            "race",
-            vec![
+        StrategySnapshot::Race(s) => {
+            let mut fields = vec![
                 ("config", ga_config_to_json(&s.config)),
                 ("bounds", bounds_to_json(&s.bounds)),
+            ];
+            if let Some(k) = kinds_field(&s.kinds) {
+                fields.push(("kinds", k));
+            }
+            fields.extend(vec![
                 ("memo", memo_to_json(&s.memo)),
                 ("evaluations", Json::Int(s.evaluations as i64)),
                 ("shared_hits", Json::Int(s.shared_hits as i64)),
@@ -424,8 +466,9 @@ pub fn strategy_snapshot_to_json(s: &StrategySnapshot) -> Json {
                             .collect(),
                     ),
                 ),
-            ],
-        ),
+            ]);
+            tagged("race", fields)
+        }
     }
 }
 
@@ -511,10 +554,13 @@ pub fn strategy_snapshot_from_json(v: &Json) -> Result<StrategySnapshot, String>
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?;
+            let bounds = bounds_from_json(field(v, "bounds")?)
+                .ok_or("'bounds' entries must be [lo, hi] integer pairs")?;
+            let kinds = kinds_from_json(v.get("kinds"), bounds.len())?;
             Ok(StrategySnapshot::Race(RaceSnapshot {
                 config: ga_config_from_json(field(v, "config")?)?,
-                bounds: bounds_from_json(field(v, "bounds")?)
-                    .ok_or("'bounds' entries must be [lo, hi] integer pairs")?,
+                bounds,
+                kinds,
                 memo: memo_from_json(field(v, "memo")?)
                     .ok_or("'memo' entries must be [genome, fitness] pairs")?,
                 evaluations: field(v, "evaluations")?
@@ -536,11 +582,13 @@ pub fn strategy_snapshot_from_json(v: &Json) -> Result<StrategySnapshot, String>
     }
 }
 
-/// Serializes a finished job's deliverable: the tuned genes and fitness.
+/// Serializes a finished job's deliverable: the tuned genome and
+/// fitness. The on-disk shape has always been genes-based, so results
+/// written by pre-problems daemons load unchanged.
 #[must_use]
-pub fn result_to_json(params: &InlineParams, fitness: f64, generations: usize) -> Json {
+pub fn result_to_json(genes: &[i64], fitness: f64, generations: usize) -> Json {
     Json::obj(vec![
-        ("genes", genome_to_json(&params.clone().to_genes())),
+        ("genes", genome_to_json(genes)),
         ("fitness", f64_to_json(fitness)),
         ("generations", Json::Int(generations as i64)),
     ])
@@ -550,7 +598,7 @@ pub fn result_to_json(params: &InlineParams, fitness: f64, generations: usize) -
 ///
 /// # Errors
 /// Missing or mistyped fields.
-pub fn result_from_json(v: &Json) -> Result<(InlineParams, f64, usize), String> {
+pub fn result_from_json(v: &Json) -> Result<(Vec<i64>, f64, usize), String> {
     let genes = v
         .get("genes")
         .and_then(genome_from_json)
@@ -563,7 +611,7 @@ pub fn result_from_json(v: &Json) -> Result<(InlineParams, f64, usize), String> 
         .get("generations")
         .and_then(Json::as_usize)
         .ok_or("result missing integer 'generations'")?;
-    Ok((InlineParams::from_genes(&genes), fitness, generations))
+    Ok((genes, fitness, generations))
 }
 
 /// A daemon run directory: owns the `jobs/` tree and all atomic writes.
@@ -657,20 +705,20 @@ impl RunDir {
     pub fn save_result(
         &self,
         id: u64,
-        params: &InlineParams,
+        genes: &[i64],
         fitness: f64,
         generations: usize,
     ) -> Result<(), String> {
         self.write_atomic(
             id,
             "result.json",
-            &result_to_json(params, fitness, generations).to_text(),
+            &result_to_json(genes, fitness, generations).to_text(),
         )
     }
 
     /// Loads a finished job's result.
     #[must_use]
-    pub fn load_result(&self, id: u64) -> Option<Result<(InlineParams, f64, usize), String>> {
+    pub fn load_result(&self, id: u64) -> Option<Result<(Vec<i64>, f64, usize), String>> {
         self.read(id, "result.json")
             .map(|t| parse(&t).and_then(|v| result_from_json(&v)))
     }
@@ -709,7 +757,6 @@ mod tests {
     use super::*;
     use ga::{GaState, Ranges};
     use jit::Scenario;
-    use search::Strategy as _;
     use tuner::Goal;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -790,6 +837,7 @@ mod tests {
             scenario: Scenario::Opt,
             goal: Goal::Total,
             arch: "x86-p4".into(),
+            problem: "inline".into(),
             suite: vec!["db".into()],
             ga: GaConfig {
                 threads: 1,
@@ -813,13 +861,26 @@ mod tests {
     fn result_roundtrips() {
         let dir = tmp_dir("result");
         let rd = RunDir::open(&dir).unwrap();
-        let params = InlineParams::jikes_default();
-        rd.save_result(9, &params, 0.875, 42).unwrap();
-        let (p, f, g) = rd.load_result(9).unwrap().unwrap();
-        assert_eq!(p, params);
+        let genes = inliner::InlineParams::jikes_default().to_genes();
+        rd.save_result(9, &genes, 0.875, 42).unwrap();
+        let (g, f, n) = rd.load_result(9).unwrap().unwrap();
+        assert_eq!(g, genes);
         assert_eq!(f.to_bits(), 0.875f64.to_bits());
-        assert_eq!(g, 42);
+        assert_eq!(n, 42);
         assert!(rd.load_result(8).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_accepts_non_inline_genome_lengths() {
+        // Results are genome-shaped, not InlineParams-shaped: a dss job's
+        // 8-gene winner persists and loads as-is.
+        let dir = tmp_dir("result-dss");
+        let rd = RunDir::open(&dir).unwrap();
+        let genes: Vec<i64> = vec![0, 1, 2, 3, 4, 0, 1, 2];
+        rd.save_result(4, &genes, 0.5, 7).unwrap();
+        let (g, _, _) = rd.load_result(4).unwrap().unwrap();
+        assert_eq!(g, genes);
         let _ = fs::remove_dir_all(&dir);
     }
 

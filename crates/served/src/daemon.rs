@@ -14,9 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ga::{GenTiming, LocalEvaluator};
-use inliner::InlineParams;
 use search::{Standing, Strategy};
-use tuner::Tuner;
 
 use crate::checkpoint::RunDir;
 use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
@@ -127,8 +125,10 @@ pub struct JobRecord {
     pub generation: usize,
     /// Best fitness so far (`None` until a generation completes).
     pub best_fitness: Option<f64>,
-    /// The tuned parameters, once `Done`.
-    pub result: Option<(InlineParams, f64)>,
+    /// The tuned genome and its fitness, once `Done`. Decode it with the
+    /// job's problem (`problems::build(&spec.problem, …).describe(…)`);
+    /// for inlining jobs it is an `InlineParams` genome.
+    pub result: Option<(Vec<i64>, f64)>,
     /// Failure message, if `Failed`.
     pub error: Option<String>,
     /// The latest generation's timing breakdown (`None` until a
@@ -236,9 +236,9 @@ impl Daemon {
                 .and_then(Result::ok)
                 .map_or(0, |s| s.rounds());
             let (state, result, requeue) = if let Some(res) = inner.run_dir.load_result(id) {
-                let (params, fitness, _) =
+                let (genes, fitness, _) =
                     res.map_err(|e| format!("job {id}: corrupt result: {e}"))?;
-                (JobState::Done, Some((params, fitness)), false)
+                (JobState::Done, Some((genes, fitness)), false)
             } else if inner.run_dir.is_canceled(id) {
                 (JobState::Canceled, None, false)
             } else {
@@ -469,9 +469,11 @@ fn worker_loop(inner: &Inner) {
 }
 
 fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Result<(), String> {
-    let task = spec.task()?;
-    let training = spec.training()?;
-    let tuner = Tuner::new(task, training, spec.adapt_cfg());
+    // Everything below this line is problem-generic: the strategy
+    // searches the problem's gene space, evaluators call the problem's
+    // fitness, and the store keys by the problem's tagged fingerprint.
+    // One daemon therefore tunes heterogeneous problems over one pool.
+    let problem = spec.build_problem()?;
 
     // Resume from the checkpoint when one exists and is consistent with
     // the spec; otherwise start fresh under the submitted strategy —
@@ -482,9 +484,12 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         Some(Ok(snap)) => search::restore(snap).map_err(|e| format!("checkpoint rejected: {e}"))?,
         Some(Err(e)) => return Err(format!("corrupt checkpoint: {e}")),
         None => {
-            let mut fresh = tuner.start_strategy(&spec.strategy, spec.ga.clone())?;
+            let mut fresh =
+                search::build(&spec.strategy, problem.space().clone(), spec.ga.clone())?;
             if let Some(store) = &inner.config.store {
-                let seeds = store.warm_seeds(tuner.fingerprint(), fresh.config().pop_size);
+                // warm_seeds only returns same-problem cells, so a dss
+                // job never inherits an inlining genome.
+                let seeds = store.warm_seeds(problem.fingerprint(), fresh.config().pop_size);
                 let planted = fresh.seed_population(&seeds);
                 if planted > 0 {
                     inner
@@ -506,7 +511,7 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         .config
         .store
         .as_ref()
-        .map(|s| (Arc::clone(s), tuner.fingerprint().clone()));
+        .map(|s| (Arc::clone(s), problem.fingerprint().clone()));
 
     // Lease this job's slice of the shared local-eval thread budget
     // (thread count affects wall-clock only, never results, so clamping
@@ -514,19 +519,16 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
     let lease = inner.budget.lease(strategy.config().threads);
     let local = StoreTier::new(
         store_cell.clone(),
-        LocalEvaluator::new(
-            |genes: &[i64]| tuner.fitness(&InlineParams::from_genes(genes)),
-            lease.granted,
-        ),
+        LocalEvaluator::new(|genes: &[i64]| problem.fitness(genes), lease.granted),
     );
 
     // The remote tier: when the pool has workers, each round's memo
-    // misses fan out over them; the tuner's own fitness path is the
+    // misses fan out over them; the problem's own fitness path is the
     // fallback for anything no live worker answers.
     let remote = StoreTier::new(
         store_cell,
         RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
-            tuner.fitness(&InlineParams::from_genes(genes))
+            problem.fitness(genes)
         }),
     );
 
@@ -591,14 +593,13 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             let (genome, fitness) = strategy
                 .best()
                 .ok_or("strategy finished without evaluating anything")?;
-            let params = InlineParams::from_genes(&genome);
             inner
                 .run_dir
-                .save_result(id, &params, fitness, strategy.rounds())?;
+                .save_result(id, &genome, fitness, strategy.rounds())?;
             let mut table = inner.jobs.lock().expect("job table poisoned");
             if let Some(e) = table.jobs.get_mut(&id) {
                 e.record.state = JobState::Done;
-                e.record.result = Some((params, fitness));
+                e.record.result = Some((genome, fitness));
                 e.record.best_fitness = Some(fitness);
             }
             return Ok(());
@@ -612,7 +613,7 @@ mod tests {
     use ga::GaConfig;
     use jit::Scenario;
     use std::path::PathBuf;
-    use tuner::Goal;
+    use tuner::{Goal, Tuner};
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("served-daemon-{tag}-{}", std::process::id()));
@@ -626,6 +627,7 @@ mod tests {
             scenario: Scenario::Opt,
             goal: Goal::Total,
             arch: "x86-p4".into(),
+            problem: "inline".into(),
             suite: vec!["db".into()],
             ga: GaConfig {
                 pop_size: 6,
@@ -676,9 +678,9 @@ mod tests {
         let r = wait_terminal(&d, id);
         assert_eq!(r.state, JobState::Done);
         assert_eq!(r.generation, 3);
-        let (params, fitness) = r.result.unwrap();
+        let (genes, fitness) = r.result.unwrap();
         assert!(fitness.is_finite());
-        assert!(params.clone().to_genes().len() >= 5);
+        assert_eq!(genes.len(), 5);
         let snap = d.metrics_snapshot();
         assert_eq!(snap.jobs.done, 1);
         assert!(snap.generations >= 3);
@@ -701,8 +703,8 @@ mod tests {
         let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
         let id = d.submit(spec).unwrap();
         let r = wait_terminal(&d, id);
-        let (params, fitness) = r.result.unwrap();
-        assert_eq!(params, expected.params);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, expected.params.to_genes());
         assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
         d.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
@@ -719,9 +721,9 @@ mod tests {
         let id = d.submit(spec).unwrap();
         let r = wait_terminal(&d, id);
         assert_eq!(r.state, JobState::Done);
-        let (params, fitness) = r.result.unwrap();
+        let (genes, fitness) = r.result.unwrap();
         assert!(fitness.is_finite());
-        assert!(params.clone().to_genes().len() >= 5);
+        assert_eq!(genes.len(), 5);
         assert_eq!(r.standings.len(), 3, "one standing per race member");
         assert!(r.standings.iter().any(|s| s.name == "random"));
         d.shutdown();
@@ -747,8 +749,8 @@ mod tests {
         let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
         let id = d.submit(spec).unwrap();
         let r = wait_terminal(&d, id);
-        let (params, fitness) = r.result.unwrap();
-        assert_eq!(params.to_genes(), eg);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, eg);
         assert_eq!(fitness.to_bits(), ef.to_bits());
         d.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
@@ -793,16 +795,16 @@ mod tests {
         // result bit for bit.
         let id = d.submit(tiny_spec(55)).unwrap();
         let r = wait_terminal(&d, id);
-        let (params, fitness) = r.result.unwrap();
-        assert_eq!(params, expected.params);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, expected.params.to_genes());
         assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
 
         // A second identical job is answered largely from the store.
         let misses_before = obs.snapshot().counter("store_misses");
         let id2 = d.submit(tiny_spec(55)).unwrap();
         let r2 = wait_terminal(&d, id2);
-        let (params2, fitness2) = r2.result.unwrap();
-        assert_eq!(params2, expected.params);
+        let (genes2, fitness2) = r2.result.unwrap();
+        assert_eq!(genes2, expected.params.to_genes());
         assert_eq!(fitness2.to_bits(), expected.fitness.to_bits());
         let snap = obs.snapshot();
         assert!(snap.counter("store_hits") > 0, "rerun must hit the store");
@@ -825,6 +827,46 @@ mod tests {
             obs.snapshot().counter("store_warm_seeds") > 0,
             "the warmstart job must be seeded from prior records"
         );
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_daemon_tunes_heterogeneous_problems() {
+        // The tentpole scenario: inlining, flags and dss jobs in one
+        // queue, one worker pool — and each daemon result bit-matches an
+        // in-process search over the same problem.
+        let dir = tmp_dir("hetero");
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let mut ids = Vec::new();
+        for problem in problems::KNOWN {
+            let spec = JobSpec {
+                problem: (*problem).to_string(),
+                ..tiny_spec(91)
+            };
+            ids.push((problem, d.submit(spec).unwrap()));
+        }
+        for (problem, id) in ids {
+            let r = wait_terminal(&d, id);
+            assert_eq!(r.state, JobState::Done, "{problem}: {:?}", r.error);
+            let (genes, fitness) = r.result.unwrap();
+            assert!(fitness.is_finite());
+
+            let spec = JobSpec {
+                problem: (*problem).to_string(),
+                ..tiny_spec(91)
+            };
+            let p = spec.build_problem().unwrap();
+            assert_eq!(genes.len(), p.space().len(), "{problem} genome arity");
+            assert!(p.space().contains(&genes), "{problem} result out of space");
+            let mut expected =
+                search::build(&spec.strategy, p.space().clone(), spec.ga.clone()).unwrap();
+            let backend = LocalEvaluator::new(|g: &[i64]| p.fitness(g), 1);
+            while !search::step_with(expected.as_mut(), &backend) {}
+            let (eg, ef) = expected.best().unwrap();
+            assert_eq!(genes, eg, "{problem} drifted from in-process search");
+            assert_eq!(fitness.to_bits(), ef.to_bits(), "{problem} fitness bits");
+        }
         d.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -917,8 +959,8 @@ mod tests {
         let d2 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
         let r = wait_terminal(&d2, id);
         assert_eq!(r.state, JobState::Done);
-        let (params, fitness) = r.result.unwrap();
-        assert_eq!(params, expected.params);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, expected.params.to_genes());
         assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
         d2.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

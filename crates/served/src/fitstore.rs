@@ -84,6 +84,7 @@ mod tests {
             cell_digest: cell,
             arch: "x86-p4".into(),
             features: vec![0.0; stored::FEATURES],
+            problem: "inline".into(),
         }
     }
 

@@ -23,6 +23,10 @@ pub struct JobSpec {
     pub goal: Goal,
     /// Architecture preset name: `"x86-p4"` or `"ppc-g4"`.
     pub arch: String,
+    /// Problem id (see [`problems::KNOWN`]): `"inline"` (the default,
+    /// and what every pre-problems spec deserializes to), `"flags"`, or
+    /// `"dss"`.
+    pub problem: String,
     /// Training-suite benchmark names; empty means the full SPECjvm98
     /// suite (the paper's training set).
     pub suite: Vec<String>,
@@ -79,6 +83,19 @@ impl JobSpec {
         AdaptConfig::default()
     }
 
+    /// Materializes the problem this spec tunes.
+    ///
+    /// # Errors
+    /// Unknown problem/arch/benchmark names.
+    pub fn build_problem(&self) -> Result<std::sync::Arc<dyn problems::Problem>, String> {
+        problems::build(
+            &self.problem,
+            &self.task()?,
+            &self.training()?,
+            self.adapt_cfg(),
+        )
+    }
+
     /// Serializes the spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -87,6 +104,7 @@ impl JobSpec {
             ("scenario", Json::Str(scenario_name(self.scenario).into())),
             ("goal", Json::Str(self.goal.label().into())),
             ("arch", Json::Str(self.arch.clone())),
+            ("problem", Json::Str(self.problem.clone())),
             (
                 "suite",
                 Json::Arr(self.suite.iter().map(|s| Json::Str(s.clone())).collect()),
@@ -124,6 +142,18 @@ impl JobSpec {
             .ok_or("job needs a string 'arch'")?
             .to_string();
         arch_by_name(&arch)?;
+        // Specs written before the problems subsystem carry no "problem"
+        // key; they are inlining jobs by definition.
+        let problem = match v.get("problem") {
+            None | Some(Json::Null) => "inline".to_string(),
+            Some(p) => p.as_str().ok_or("'problem' must be a string")?.to_string(),
+        };
+        if !problems::is_known(&problem) {
+            return Err(format!(
+                "unknown problem '{problem}' (use {})",
+                problems::KNOWN.join("|")
+            ));
+        }
         let suite = match v.get("suite") {
             None | Some(Json::Null) => Vec::new(),
             Some(s) => s
@@ -159,6 +189,7 @@ impl JobSpec {
             scenario,
             goal,
             arch,
+            problem,
             suite,
             ga,
             strategy,
@@ -339,6 +370,7 @@ mod tests {
             scenario: Scenario::Opt,
             goal: Goal::Total,
             arch: "x86-p4".into(),
+            problem: "inline".into(),
             suite: vec!["db".into(), "jess".into()],
             ga: GaConfig {
                 pop_size: 8,
@@ -370,6 +402,29 @@ mod tests {
         assert_eq!(s.ga.pop_size, GaConfig::default().pop_size);
         assert_eq!(s.ga.threads, 1, "daemon jobs default to one eval thread");
         assert_eq!(s.strategy, "ga", "absent strategy defaults to the GA");
+        assert_eq!(s.problem, "inline", "pre-problems specs are inlining jobs");
+    }
+
+    #[test]
+    fn spec_accepts_every_known_problem() {
+        for id in problems::KNOWN {
+            let text = format!(
+                r#"{{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","problem":"{id}"}}"#
+            );
+            let s = JobSpec::from_text(&text).unwrap();
+            assert_eq!(&s.problem, id);
+            let p = s.build_problem().unwrap();
+            assert_eq!(&p.id(), id);
+        }
+    }
+
+    #[test]
+    fn spec_rejects_unknown_problem() {
+        let err = JobSpec::from_text(
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","problem":"gradient"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown problem"), "{err}");
     }
 
     #[test]

@@ -9,8 +9,6 @@
 
 use std::io::{BufRead, Write};
 
-use inliner::InlineParams;
-
 use crate::checkpoint::f64_to_json;
 use crate::daemon::JobRecord;
 use crate::dispatch::WorkerSnapshot;
@@ -122,21 +120,24 @@ pub fn parse_request(line: &str) -> Result<(String, Json), String> {
     Ok((cmd, v))
 }
 
-/// Serializes tuned parameters as named genes (stable wire shape).
+/// Serializes a tuned genome as its raw gene vector plus — for the
+/// inlining problem, whose five genes have stable public names — one
+/// named field per gene (the pre-problems wire shape, kept so existing
+/// consumers of `result.params.callee_max_size` never notice).
 #[must_use]
-pub fn params_to_json(params: &InlineParams) -> Json {
-    let genes = params.clone().to_genes();
-    Json::obj(vec![
-        (
-            "genes",
-            Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
-        ),
-        ("callee_max_size", Json::Int(genes[0])),
-        ("always_inline_size", Json::Int(genes[1])),
-        ("max_inline_depth", Json::Int(genes[2])),
-        ("caller_max_size", Json::Int(genes[3])),
-        ("hot_callee_max_size", Json::Int(genes[4])),
-    ])
+pub fn genome_to_json(problem: &str, genes: &[i64]) -> Json {
+    let mut pairs = vec![(
+        "genes",
+        Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
+    )];
+    if problem == "inline" && genes.len() == inliner::PARAM_NAMES.len() {
+        pairs.push(("callee_max_size", Json::Int(genes[0])));
+        pairs.push(("always_inline_size", Json::Int(genes[1])));
+        pairs.push(("max_inline_depth", Json::Int(genes[2])));
+        pairs.push(("caller_max_size", Json::Int(genes[3])));
+        pairs.push(("hot_callee_max_size", Json::Int(genes[4])));
+    }
+    Json::obj(pairs)
 }
 
 /// Serializes a job record for `status` / `list` / `watch` responses.
@@ -146,6 +147,7 @@ pub fn record_to_json(r: &JobRecord) -> Json {
         ("id", Json::Int(r.id as i64)),
         ("name", Json::Str(r.spec.name.clone())),
         ("state", Json::Str(r.state.name().into())),
+        ("problem", Json::Str(r.spec.problem.clone())),
         ("strategy", Json::Str(r.spec.strategy.clone())),
         ("generation", Json::Int(r.generation as i64)),
         (
@@ -174,11 +176,11 @@ pub fn record_to_json(r: &JobRecord) -> Json {
             ),
         ));
     }
-    if let Some((params, fitness)) = &r.result {
+    if let Some((genes, fitness)) = &r.result {
         pairs.push((
             "result",
             Json::obj(vec![
-                ("params", params_to_json(params)),
+                ("params", genome_to_json(&r.spec.problem, genes)),
                 ("fitness", f64_to_json(*fitness)),
             ]),
         ));
@@ -434,6 +436,7 @@ pub fn worker_to_json(w: &WorkerSnapshot) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inliner::InlineParams;
     use std::io::BufReader;
 
     fn frames(input: &[u8]) -> Vec<Frame> {
@@ -488,10 +491,17 @@ mod tests {
     }
 
     #[test]
-    fn params_json_names_every_gene() {
-        let v = params_to_json(&InlineParams::jikes_default());
+    fn inline_genomes_keep_their_named_gene_fields() {
+        let v = genome_to_json("inline", &InlineParams::jikes_default().to_genes());
         assert_eq!(v.get("genes").unwrap().as_arr().unwrap().len(), 5);
         assert!(v.get("callee_max_size").unwrap().as_i64().is_some());
         assert!(v.get("hot_callee_max_size").unwrap().as_i64().is_some());
+    }
+
+    #[test]
+    fn other_problems_get_raw_genes_only() {
+        let v = genome_to_json("dss", &[0, 2, 1, 4, 3, 0, 0, 2]);
+        assert_eq!(v.get("genes").unwrap().as_arr().unwrap().len(), 8);
+        assert!(v.get("callee_max_size").is_none());
     }
 }

@@ -391,13 +391,15 @@ fn store_verb(body: &Json, daemon: &Daemon) -> Json {
     }
 }
 
-/// Derives the cell fingerprint of the job spec in `body.job`.
+/// Derives the cell fingerprint of the job spec in `body.job` —
+/// problem-tagged, so `evald` write-backs for a `flags` job can never
+/// land in (or read from) an inlining cell.
 fn store_fingerprint(body: &Json) -> Result<stored::Fingerprint, String> {
     let job = body
         .get("job")
         .ok_or("store get/put needs a 'job' object")?;
     let spec = JobSpec::from_json(job)?;
-    Ok(tuner::cell_fingerprint(&spec.task()?, &spec.training()?))
+    problems::fingerprint(&spec.problem, &spec.task()?, &spec.training()?)
 }
 
 fn job_id(body: &Json) -> Result<u64, String> {

@@ -7,13 +7,17 @@
 //! bytes an *old* daemon actually wrote, frozen in the repo: run
 //! directories survive upgrades only if this suite stays green.
 //!
-//! Two shapes are pinned:
+//! Three shapes are pinned:
 //!
 //! * `legacy_ga_checkpoint.json` — the original untagged `GaSnapshot`
 //!   object from before the `search` strategy seam existed. No
 //!   `"strategy"` key; must decode as a GA checkpoint forever.
 //! * `tagged_race_checkpoint.json` — a `"strategy":"race"` snapshot
 //!   with nested member snapshots, the richest tagged shape.
+//! * `legacy_job_spec.json` — a pre-problems `spec.json` with no
+//!   `"problem"` key; must load (and recover through a full daemon
+//!   restart) as an inlining job forever, with the compatibility
+//!   handled entirely in the loader.
 //!
 //! If the format changes *intentionally*, regenerate with
 //! `REGEN_FIXTURES=1 cargo test -p inlinetune-served --test
@@ -155,6 +159,72 @@ fn tagged_race_fixture_still_loads() {
         !resumed.ask().is_empty(),
         "resumed race proposes no genomes"
     );
+}
+
+#[test]
+fn legacy_spec_without_a_problem_key_loads_as_an_inlining_job() {
+    let text = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
+    assert!(
+        !text.contains("\"problem\""),
+        "the legacy fixture must stay problem-less — that is the point of it"
+    );
+    let spec = served::JobSpec::from_text(&text).expect("legacy spec bytes must keep loading");
+    assert_eq!(spec.problem, "inline");
+    assert_eq!(spec.build_problem().unwrap().id(), "inline");
+    // Today's serializer tags the problem explicitly, and the tagged
+    // bytes decode back to the same spec.
+    let reserialized = spec.to_json().to_text();
+    assert!(reserialized.contains("\"problem\":\"inline\""));
+    assert_eq!(served::JobSpec::from_text(&reserialized).unwrap(), spec);
+}
+
+#[test]
+fn legacy_run_dir_recovers_as_an_inlining_job_bit_identically() {
+    // A run directory as a pre-problems daemon left it: spec.json with
+    // no "problem" key, job interrupted before any result was written.
+    let dir = std::env::temp_dir().join(format!("ckpt-compat-legacy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let legacy = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
+    std::fs::create_dir_all(dir.join("jobs/1")).unwrap();
+    std::fs::write(dir.join("jobs/1/spec.json"), &legacy).unwrap();
+
+    let run_dir = served::RunDir::open(&dir).unwrap();
+    let daemon = served::Daemon::start(
+        served::DaemonConfig {
+            workers: 1,
+            ..served::DaemonConfig::default()
+        },
+        run_dir,
+    )
+    .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let record = loop {
+        let r = daemon.status(1).expect("recovered job must be tracked");
+        if r.state.is_terminal() {
+            break r;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "legacy job never finished"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    daemon.shutdown();
+
+    assert_eq!(record.spec.problem, "inline");
+    let (genes, fitness) = record.result.expect("legacy job must complete");
+    // Same trajectory the pre-problems daemon would have produced: the
+    // direct Tuner path over the same spec.
+    let spec = served::JobSpec::from_text(&legacy).unwrap();
+    let outcome = tuner::Tuner::new(
+        spec.task().unwrap(),
+        spec.training().unwrap(),
+        spec.adapt_cfg(),
+    )
+    .tune(spec.ga.clone());
+    assert_eq!(genes, outcome.params.to_genes());
+    assert_eq!(fitness.to_bits(), outcome.fitness.to_bits());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -42,6 +42,7 @@ fn tiny_spec(seed: u64) -> JobSpec {
             ..GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 

@@ -105,6 +105,7 @@ fn job(seed: u64, generations: usize) -> JobSpec {
             ..GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 

@@ -140,6 +140,7 @@ fn job_spec() -> JobSpec {
             ..GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 

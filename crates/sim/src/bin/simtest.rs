@@ -5,14 +5,19 @@
 //! simtest --seed 42 --trace                                # replay one seed
 //! simtest --store-seed 7                                   # replay one store
 //!     crash/recovery scenario
+//! simtest --mixed-seed 4                                   # replay one
+//!     mixed-problem scenario
 //! simtest --seeds 20 --broken                              # self-test: the
 //!     redispatch-disabled daemon must be caught (exit 0 iff >=1 seed fails)
 //! ```
 //!
-//! Sweep mode also runs `--store-seeds N` (default 60) persistent-store
-//! crash/recovery scenarios: each kills a store mid-append (seeded torn
-//! wal tails, compactions straddling the kill) and proves every
-//! acknowledged record survives bit-exactly.
+//! Sweep mode also runs `--mixed-seeds N` (default 8) mixed-problem
+//! scenarios — an `inline`, a `flags` and a `dss` job queued together
+//! on one daemon per seed, proving a heterogeneous backlog loses no
+//! job under faults — and `--store-seeds N` (default 60)
+//! persistent-store crash/recovery scenarios: each kills a store
+//! mid-append (seeded torn wal tails, compactions straddling the kill)
+//! and proves every acknowledged record survives bit-exactly.
 //!
 //! Exit status: 0 when the run's expectation holds (all seeds green, or
 //! — under `--broken` — at least one seed red), 1 otherwise. Every
@@ -21,14 +26,16 @@
 use std::time::Instant;
 
 use served::json::Json;
-use sim::sweep::{run_seed, run_store_seed, run_store_sweep, run_sweep, Expected};
+use sim::sweep::{run_mixed_seed, run_seed, run_store_seed, run_store_sweep, run_sweep, Expected};
 
 struct Args {
     seeds: u64,
     base_seed: u64,
     store_seeds: u64,
+    mixed_seeds: u64,
     one_seed: Option<u64>,
     one_store_seed: Option<u64>,
+    one_mixed_seed: Option<u64>,
     out: Option<String>,
     trace: bool,
     broken: bool,
@@ -39,8 +46,10 @@ fn parse_args() -> Result<Args, String> {
         seeds: 200,
         base_seed: 1,
         store_seeds: 60,
+        mixed_seeds: 8,
         one_seed: None,
         one_store_seed: None,
+        one_mixed_seed: None,
         out: None,
         trace: false,
         broken: false,
@@ -52,15 +61,18 @@ fn parse_args() -> Result<Args, String> {
             "--seeds" => args.seeds = num(&grab("--seeds")?)?,
             "--base-seed" => args.base_seed = num(&grab("--base-seed")?)?,
             "--store-seeds" => args.store_seeds = num(&grab("--store-seeds")?)?,
+            "--mixed-seeds" => args.mixed_seeds = num(&grab("--mixed-seeds")?)?,
             "--seed" => args.one_seed = Some(num(&grab("--seed")?)?),
             "--store-seed" => args.one_store_seed = Some(num(&grab("--store-seed")?)?),
+            "--mixed-seed" => args.one_mixed_seed = Some(num(&grab("--mixed-seed")?)?),
             "--out" => args.out = Some(grab("--out")?),
             "--trace" => args.trace = true,
             "--broken" => args.broken = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: simtest [--seeds N] [--base-seed S] [--store-seeds N] [--out FILE] \
-                     [--seed X [--trace]] [--store-seed X] [--broken]"
+                    "usage: simtest [--seeds N] [--base-seed S] [--store-seeds N] \
+                     [--mixed-seeds N] [--out FILE] [--seed X [--trace]] [--store-seed X] \
+                     [--mixed-seed X] [--broken]"
                 );
                 std::process::exit(0);
             }
@@ -95,6 +107,26 @@ fn main() {
         );
         for f in &report.failures {
             println!("  {f}");
+        }
+        std::process::exit(i32::from(!report.is_ok()));
+    }
+
+    // Single mixed-problem scenario replay mode.
+    if let Some(seed) = args.one_mixed_seed {
+        let report = run_mixed_seed(seed, &mut Expected::new());
+        println!(
+            "mixed seed {seed}: {} ({} virtual ms, ga seed {})",
+            if report.is_ok() { "ok" } else { "FAILED" },
+            report.virtual_ms,
+            report.ga_seed,
+        );
+        for (problem, v) in &report.verdicts {
+            println!("  {problem}: {}", v.tag());
+        }
+        if args.trace || !report.is_ok() {
+            for line in &report.trace {
+                println!("  {line}");
+            }
         }
         std::process::exit(i32::from(!report.is_ok()));
     }
@@ -151,6 +183,37 @@ fn main() {
         println!("  replay: scripts/replay.sh {}", f.seed);
     }
 
+    // The mixed-problem sweep (skipped under --broken: that mode
+    // self-tests the redispatch invariant only).
+    let mixed_report = if args.broken || args.mixed_seeds == 0 {
+        None
+    } else {
+        let started = Instant::now();
+        let r = sim::run_mixed_sweep(args.base_seed, args.mixed_seeds);
+        println!(
+            "mixed sweep: {} seeds x {} problems, {} passed, {} failed in {:.2}s \
+             ({} jobs done, {:.1}s virtual)",
+            r.seeds,
+            sim::MIXED_PROBLEMS.len(),
+            r.passed,
+            r.failures.len(),
+            started.elapsed().as_secs_f64(),
+            r.jobs_done,
+            r.virtual_ms as f64 / 1000.0,
+        );
+        for f in &r.failures {
+            println!("\nmixed seed {} FAILED:", f.seed);
+            for (problem, v) in &f.verdicts {
+                println!("  {problem}: {v:?}");
+            }
+            for line in &f.trace {
+                println!("  {line}");
+            }
+            println!("  replay: simtest --mixed-seed {}", f.seed);
+        }
+        Some(r)
+    };
+
     // The store crash/recovery sweep (skipped under --broken: that mode
     // self-tests the redispatch invariant only).
     let store_report = if args.broken || args.store_seeds == 0 {
@@ -181,6 +244,7 @@ fn main() {
     if let Some(path) = &args.out {
         let json = report_json(
             &report,
+            mixed_report.as_ref(),
             store_report.as_ref(),
             wall.as_secs_f64(),
             args.broken,
@@ -194,6 +258,7 @@ fn main() {
 
     let caught = !report.failures.is_empty();
     let store_ok = store_report.as_ref().is_none_or(|r| r.failures.is_empty());
+    let mixed_ok = mixed_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let ok = if args.broken {
         // Self-test: a daemon that drops re-dispatched work MUST be
         // caught by at least one seed, or the sweep has no teeth.
@@ -204,13 +269,14 @@ fn main() {
         }
         caught
     } else {
-        !caught && store_ok
+        !caught && store_ok && mixed_ok
     };
     std::process::exit(i32::from(!ok));
 }
 
 fn report_json(
     report: &sim::SweepReport,
+    mixed: Option<&sim::MixedSweepReport>,
     store: Option<&sim::StoreSweepReport>,
     wall_secs: f64,
     broken: bool,
@@ -249,6 +315,23 @@ fn report_json(
             ),
         ),
     ];
+    if let Some(m) = mixed {
+        fields.extend([
+            ("mixed_seeds", Json::Int(m.seeds as i64)),
+            ("mixed_passed", Json::Int(m.passed as i64)),
+            ("mixed_failed", Json::Int(m.failures.len() as i64)),
+            ("mixed_jobs_done", Json::Int(m.jobs_done as i64)),
+            (
+                "mixed_failing_seeds",
+                Json::Arr(
+                    m.failures
+                        .iter()
+                        .map(|f| Json::Int(f.seed as i64))
+                        .collect(),
+                ),
+            ),
+        ]);
+    }
     if let Some(s) = store {
         fields.extend([
             ("store_seeds", Json::Int(s.seeds as i64)),

@@ -9,9 +9,10 @@
 //! 2. **Checkpoints stay loadable** — whatever the fault schedule did,
 //!    every checkpoint on disk restores through [`search::restore`].
 //! 3. **Bit-identical results** — the faulty run's best genome and
-//!    fitness bits equal a fault-free in-process [`tuner::Tuner::tune`]
-//!    of the same spec. Faults may change *timing* (retries, failovers,
-//!    fallbacks) but never *results*; any divergence is a real bug.
+//!    fitness bits equal a fault-free in-process run of the same
+//!    strategy over the same [`problems::Problem`]. Faults may change
+//!    *timing* (retries, failovers, fallbacks) but never *results*; any
+//!    divergence is a real bug.
 //!
 //! A hung cluster is **abandoned, not joined**: [`Cluster::abandon`]
 //! raises every stop flag and shuts the net down (simulated sleeps
@@ -31,7 +32,7 @@ use jit::Scenario;
 use served::checkpoint::RunDir;
 use served::dispatch::DispatchConfig;
 use served::{Client, Daemon, DaemonConfig, JobSpec, Server};
-use tuner::{Goal, Tuner};
+use tuner::Goal;
 
 use crate::net::{unique_suffix, FaultPlan, SimNet};
 
@@ -222,8 +223,15 @@ impl Cluster {
     /// generations. `ga_seed` picks the search trajectory.
     #[must_use]
     pub fn spec(ga_seed: u64) -> JobSpec {
+        Self::spec_for("inline", ga_seed)
+    }
+
+    /// Like [`Cluster::spec`], but tuning an arbitrary problem — mixed
+    /// sweeps submit `inline`, `flags` and `dss` jobs to one daemon.
+    #[must_use]
+    pub fn spec_for(problem: &str, ga_seed: u64) -> JobSpec {
         JobSpec {
-            name: format!("sim-{ga_seed}"),
+            name: format!("sim-{problem}-{ga_seed}"),
             scenario: Scenario::Opt,
             goal: Goal::Total,
             arch: "x86-p4".into(),
@@ -237,19 +245,27 @@ impl Cluster {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            problem: problem.into(),
         }
     }
 
-    /// The fault-free ground truth for a spec: an in-process
-    /// [`Tuner::tune`] with the same GA config (what the daemon's result
-    /// must bit-match, faults or no faults).
+    /// The fault-free ground truth for a spec: an in-process run of the
+    /// same strategy over the same problem (what the daemon's result
+    /// must bit-match, faults or no faults). For `inline` specs this is
+    /// exactly [`Tuner::tune`]'s trajectory — the problem wrapper is
+    /// bit-identical to the direct tuner path (test-enforced in the
+    /// `problems` crate).
     ///
     /// # Errors
     /// Invalid spec.
     pub fn expected(spec: &JobSpec) -> Result<(Vec<i64>, f64), String> {
-        let outcome =
-            Tuner::new(spec.task()?, spec.training()?, spec.adapt_cfg()).tune(spec.ga.clone());
-        Ok((outcome.params.to_genes(), outcome.fitness))
+        let problem = spec.build_problem()?;
+        let mut strategy = search::build(&spec.strategy, problem.space().clone(), spec.ga.clone())?;
+        let backend = ga::LocalEvaluator::new(|genes: &[i64]| problem.fitness(genes), 1);
+        while !search::step_with(strategy.as_mut(), &backend) {}
+        strategy
+            .best()
+            .ok_or_else(|| "in-process search finished without a best".into())
     }
 
     /// Submits a job through the protocol (a control-node client over
@@ -307,9 +323,9 @@ impl Cluster {
             return Outcome::Failed(format!("job {id} vanished from the daemon"));
         };
         if state == "done" {
-            if let Some((params, fitness)) = record.result {
+            if let Some((genes, fitness)) = record.result {
                 return Outcome::Done {
-                    genes: params.to_genes(),
+                    genes,
                     fitness,
                     generations: record.generation as u64,
                 };

@@ -39,7 +39,10 @@
 //!   reports (`simtest` is a thin CLI over this). Includes the
 //!   persistent-store crash/recovery sweep ([`run_store_sweep`]): kill a
 //!   store mid-append under seeded torn-tail schedules and prove no
-//!   acknowledged record is lost or corrupted.
+//!   acknowledged record is lost or corrupted. Also the mixed-problem
+//!   sweep ([`run_mixed_sweep`]): one `inline`, one `flags` and one
+//!   `dss` job queued on a single daemon per scenario, proving a
+//!   heterogeneous backlog loses no job under the same fault weather.
 
 pub mod cluster;
 pub mod net;
@@ -48,6 +51,7 @@ pub mod sweep;
 pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
 pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
 pub use sweep::{
-    run_seed, run_store_seed, run_store_sweep, run_sweep, Scenario, SeedReport, StoreScenario,
-    StoreSeedReport, StoreSweepReport, SweepReport, Verdict,
+    run_mixed_seed, run_mixed_sweep, run_seed, run_store_seed, run_store_sweep, run_sweep,
+    MixedSeedReport, MixedSweepReport, Scenario, SeedReport, StoreScenario, StoreSeedReport,
+    StoreSweepReport, SweepReport, Verdict, MIXED_PROBLEMS,
 };

@@ -180,8 +180,11 @@ pub struct SeedReport {
     pub fault_counts: (u64, u64, u64, u64),
 }
 
-/// Expected-result cache shared across a sweep (keyed by GA seed).
-pub type Expected = HashMap<u64, (Vec<i64>, u64)>;
+/// Expected-result cache shared across a sweep, keyed by
+/// `(problem id, GA seed)` — mixed sweeps tune three problems over the
+/// same GA-seed pool, and each (problem, seed) cell has its own
+/// fault-free trajectory.
+pub type Expected = HashMap<(String, u64), (Vec<i64>, u64)>;
 
 /// Runs one scenario seed against a cluster and checks every invariant.
 /// `expected` caches fault-free ground truths across calls;
@@ -209,7 +212,7 @@ fn run_scenario(
 ) -> Result<SeedReport, String> {
     let spec = Cluster::spec(scenario.ga_seed);
     let (want_genes, want_bits) = expected
-        .entry(scenario.ga_seed)
+        .entry((spec.problem.clone(), scenario.ga_seed))
         .or_insert_with(|| {
             let (g, f) = Cluster::expected(&spec).expect("reference tune of a valid spec");
             (g, f.to_bits())
@@ -343,6 +346,246 @@ pub struct SweepReport {
 }
 
 // ---------------------------------------------------------------------
+// Mixed-problem sweep
+// ---------------------------------------------------------------------
+
+/// The problem ids a mixed scenario submits — one job per id, all to
+/// the same daemon over the same worker pool (every id in
+/// [`problems::KNOWN`], spelled out so a new domain is an explicit
+/// sweep decision, not a silent cost increase).
+pub const MIXED_PROBLEMS: [&str; 3] = ["inline", "flags", "dss"];
+
+/// One mixed-problem scenario's report: the verdict each job earned, in
+/// submission order, plus the shared fault trace when any failed.
+///
+/// The invariant here is **no lost jobs**: a daemon holding a
+/// heterogeneous backlog — an inlining job, a flag-selection job and a
+/// data-structure job queued together — must drive *every* one of them
+/// to `done` with its bit-exact fault-free result, through the same
+/// crash/partition/frame-fault schedule the single-job sweep runs.
+#[derive(Debug, Clone)]
+pub struct MixedSeedReport {
+    /// The scenario seed (schedules derive from it exactly like
+    /// [`Scenario::derive`] — the mixed sweep reuses that derivation).
+    pub seed: u64,
+    /// The GA seed every job in the scenario uses.
+    pub ga_seed: u64,
+    /// Per-job verdicts, `(problem id, verdict)`, in submission order.
+    /// A checkpoint-audit failure appends an extra `("checkpoints", _)`
+    /// entry.
+    pub verdicts: Vec<(&'static str, Verdict)>,
+    /// Virtual ms from first submission to the last job's terminal
+    /// state (or to giving up).
+    pub virtual_ms: u64,
+    /// Fault-trace lines; only populated for failing seeds.
+    pub trace: Vec<String>,
+}
+
+impl MixedSeedReport {
+    /// Whether every job completed with its fault-free result.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        !self.verdicts.is_empty() && self.verdicts.iter().all(|(_, v)| v.is_ok())
+    }
+}
+
+fn mixed_broken(seed: u64, ga_seed: u64, detail: &str) -> MixedSeedReport {
+    MixedSeedReport {
+        seed,
+        ga_seed,
+        verdicts: MIXED_PROBLEMS
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    Verdict::Broken {
+                        detail: detail.to_string(),
+                    },
+                )
+            })
+            .collect(),
+        virtual_ms: 0,
+        trace: Vec::new(),
+    }
+}
+
+/// Runs one mixed-problem scenario: derives the fault schedule from
+/// `seed`, submits one job per [`MIXED_PROBLEMS`] entry to a single
+/// daemon *before any of them completes*, fires the timed fault events
+/// while the backlog drains, and checks every job against its own
+/// fault-free ground truth. `expected` caches ground truths across
+/// calls, keyed by `(problem, ga_seed)`.
+#[must_use]
+pub fn run_mixed_seed(seed: u64, expected: &mut Expected) -> MixedSeedReport {
+    let scenario = Scenario::derive(seed);
+    let mut want = Vec::with_capacity(MIXED_PROBLEMS.len());
+    for problem in MIXED_PROBLEMS {
+        let spec = Cluster::spec_for(problem, scenario.ga_seed);
+        let (genes, bits) = expected
+            .entry((problem.to_string(), scenario.ga_seed))
+            .or_insert_with(|| {
+                let (g, f) = Cluster::expected(&spec).expect("reference tune of a valid spec");
+                (g, f.to_bits())
+            })
+            .clone();
+        want.push((spec, genes, bits));
+    }
+
+    let cluster = match Cluster::boot(&ClusterConfig {
+        seed: scenario.seed,
+        workers: scenario.workers,
+        plan: scenario.plan,
+        redispatch: true,
+    }) {
+        Ok(c) => c,
+        Err(e) => return mixed_broken(seed, scenario.ga_seed, &format!("boot: {e}")),
+    };
+    let started_ms = cluster.now_ms();
+
+    // Submit the whole heterogeneous backlog up front: with one job
+    // worker, the daemon holds two queued problems while tuning the
+    // first — exactly the mixed-queue shape the invariant is about.
+    let mut ids = Vec::with_capacity(want.len());
+    for (spec, _, _) in &want {
+        match cluster.submit(spec) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                cluster.abandon();
+                return mixed_broken(seed, scenario.ga_seed, &format!("submit: {e}"));
+            }
+        }
+    }
+
+    // Drain the backlog job by job, firing timed events as the virtual
+    // clock passes them (they land during whichever job is running —
+    // the schedule does not care which problem it interrupts).
+    let mut pending = scenario.events.clone();
+    let part_target = scenario.workers.saturating_sub(1);
+    let mut verdicts = Vec::with_capacity(want.len() + 1);
+    let mut hung = false;
+    for (i, id) in ids.iter().enumerate() {
+        let problem = MIXED_PROBLEMS[i];
+        if hung {
+            verdicts.push((
+                problem,
+                Verdict::Broken {
+                    detail: "not waited: an earlier job hung".into(),
+                },
+            ));
+            continue;
+        }
+        let outcome = cluster.wait(*id, SCENARIO_DEADLINE, |now_ms| {
+            while pending
+                .first()
+                .is_some_and(|e| now_ms.saturating_sub(started_ms) >= e.at_ms())
+            {
+                match pending.remove(0) {
+                    Event::Crash { .. } => cluster.crash_worker(0),
+                    Event::Restart { .. } => {
+                        let _ = cluster.restart_worker(0);
+                    }
+                    Event::Partition { .. } => cluster.partition_worker(part_target),
+                    Event::Heal { .. } => cluster.heal_worker(part_target),
+                }
+            }
+        });
+        let (_, want_genes, want_bits) = &want[i];
+        let verdict = match outcome {
+            Outcome::Hang { waited_ms } => {
+                hung = true;
+                Verdict::Hang { waited_ms }
+            }
+            Outcome::Failed(msg) => Verdict::Broken { detail: msg },
+            Outcome::Done { genes, fitness, .. } => {
+                if genes != *want_genes || fitness.to_bits() != *want_bits {
+                    Verdict::Mismatch {
+                        detail: format!(
+                            "{problem}: got {genes:?} @ {fitness}, fault-free tune gives \
+                             {want_genes:?} @ {}",
+                            f64::from_bits(*want_bits)
+                        ),
+                    }
+                } else {
+                    Verdict::Ok
+                }
+            }
+        };
+        verdicts.push((problem, verdict));
+    }
+    if !hung {
+        if let Err(e) = cluster.checkpoints_loadable() {
+            verdicts.push(("checkpoints", Verdict::Broken { detail: e }));
+        }
+    }
+
+    let virtual_ms = cluster.now_ms() - started_ms;
+    let failing = hung || verdicts.iter().any(|(_, v)| !v.is_ok());
+    let trace = if failing {
+        trace_lines(&cluster)
+    } else {
+        Vec::new()
+    };
+    if hung {
+        cluster.abandon();
+    } else {
+        cluster.shutdown();
+    }
+    MixedSeedReport {
+        seed,
+        ga_seed: scenario.ga_seed,
+        verdicts,
+        virtual_ms,
+        trace,
+    }
+}
+
+/// A mixed-problem sweep's summary.
+#[derive(Debug, Clone)]
+pub struct MixedSweepReport {
+    /// First seed swept.
+    pub base_seed: u64,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Seeds on which every job completed with its fault-free result.
+    pub passed: u64,
+    /// Failing reports (empty on a green sweep).
+    pub failures: Vec<MixedSeedReport>,
+    /// Jobs driven to their bit-exact result across the sweep.
+    pub jobs_done: u64,
+    /// Accumulated virtual milliseconds simulated.
+    pub virtual_ms: u64,
+}
+
+/// Sweeps `seeds` consecutive mixed-problem scenario seeds. Ground
+/// truths are cached across the sweep: scenarios draw their GA seed
+/// from the same small pool as the single-job sweep, so the whole
+/// sweep pays for at most `MIXED_PROBLEMS.len() × GA_SEEDS.len()`
+/// reference runs.
+#[must_use]
+pub fn run_mixed_sweep(base_seed: u64, seeds: u64) -> MixedSweepReport {
+    let mut expected = Expected::new();
+    let mut report = MixedSweepReport {
+        base_seed,
+        seeds,
+        passed: 0,
+        failures: Vec::new(),
+        jobs_done: 0,
+        virtual_ms: 0,
+    };
+    for seed in base_seed..base_seed + seeds {
+        let r = run_mixed_seed(seed, &mut expected);
+        report.virtual_ms += r.virtual_ms;
+        report.jobs_done += r.verdicts.iter().filter(|(_, v)| v.is_ok()).count() as u64;
+        if r.is_ok() {
+            report.passed += 1;
+        } else {
+            report.failures.push(r);
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
 // Store crash/recovery sweep
 // ---------------------------------------------------------------------
 
@@ -436,6 +679,9 @@ fn store_plan(sc: &StoreScenario) -> Vec<stored::Record> {
             cell_digest: stored::digest_parts(&["simstore", &c.to_string(), &sc.seed.to_string()]),
             arch: if c % 2 == 0 { "x86-p4" } else { "ppc-g4" }.to_string(),
             features: (0..stored::FEATURES).map(|_| rng.f64() * 8.0).collect(),
+            // Mix tagged and untagged records so the crash sweep also
+            // covers the optional problem-tag encoding.
+            problem: ["inline", "flags", "dss"][c % 3].to_string(),
         })
         .collect();
     let mut plan: Vec<stored::Record> = Vec::with_capacity(sc.records + 1);

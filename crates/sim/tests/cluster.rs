@@ -117,6 +117,29 @@ fn sweep_catches_a_daemon_that_loses_redispatched_work() {
 }
 
 #[test]
+fn mixed_problem_backlog_loses_no_job_and_stays_bit_identical() {
+    // One daemon, three queued jobs — inline, flags, dss — per seed,
+    // under the same seeded fault weather as the single-job sweep.
+    // Every job must reach `done` with its own fault-free result.
+    let report = sim::run_mixed_sweep(1, 3);
+    assert_eq!(
+        report.passed,
+        3,
+        "mixed-problem backlog lost or corrupted jobs: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.seed, f.verdicts.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.jobs_done,
+        3 * sim::MIXED_PROBLEMS.len() as u64,
+        "every submitted job must land, none dropped from the queue"
+    );
+}
+
+#[test]
 fn store_crash_recovery_sweep_passes_and_exercises_torn_tails() {
     let report = sim::run_store_sweep(1, 16);
     assert_eq!(

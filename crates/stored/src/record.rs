@@ -28,6 +28,11 @@ pub struct Fingerprint {
     /// Workload shape, [`FEATURES`] values; Euclidean distance over
     /// these ranks cells for warm-start transfer.
     pub features: Vec<f64>,
+    /// The optimization problem the cell belongs to (`"inline"`,
+    /// `"flags"`, `"dss"`, …). Genomes from different problems mean
+    /// different things, so warm-start transfer never crosses problems.
+    /// Records written before problems existed decode as `"inline"`.
+    pub problem: String,
 }
 
 impl Fingerprint {
@@ -125,6 +130,7 @@ mod tests {
             cell_digest: digest_parts(&["opt", "total", arch, "db"]),
             arch: arch.into(),
             features: vec![1.0; FEATURES],
+            problem: "inline".into(),
         };
         let genome = vec![25, 15, 8, 200, 135];
         let a = Record {
@@ -147,11 +153,13 @@ mod tests {
             cell_digest: 1,
             arch: "x".into(),
             features: vec![1.0, 2.0, 3.0],
+            problem: "inline".into(),
         };
         let b = Fingerprint {
             cell_digest: 2,
             arch: "y".into(),
             features: vec![1.0, 2.5, 3.0],
+            problem: "inline".into(),
         };
         assert_eq!(a.distance2(&a), 0.0);
         assert_eq!(a.distance2(&b), b.distance2(&a));

@@ -9,10 +9,17 @@
 //!         | u8  n_features| n × u64 f64-bits
 //!         | u16 n_genes   | n × i64
 //!         | u64 fitness f64-bits
+//!         [ u8 problem_len | problem bytes (UTF-8) ]   — only if ≠ "inline"
 //! ```
 //!
 //! All integers little-endian. Fitness and features are raw IEEE-754
 //! bits, never text: the store's contract is bit-exact replay.
+//!
+//! The trailing problem tag is optional for back-compat: records
+//! written before the problems subsystem end right after the fitness,
+//! and decode as problem `"inline"`. Inline records still encode
+//! without the tag, so their bytes (and segment checksums) are
+//! unchanged.
 //!
 //! Recovery semantics differ by segment kind. A **wal** is the active
 //! append target, so a crash mid-append legitimately leaves a torn
@@ -96,6 +103,13 @@ pub fn encode_payload(rec: &Record) -> Vec<u8> {
         out.extend_from_slice(&g.to_le_bytes());
     }
     out.extend_from_slice(&rec.fitness.to_bits().to_le_bytes());
+    if fp.problem != "inline" {
+        let problem = fp.problem.as_bytes();
+        assert!(problem.len() <= u8::MAX as usize, "problem id too long");
+        assert!(!problem.is_empty(), "problem id must not be empty");
+        out.push(problem.len() as u8);
+        out.extend_from_slice(problem);
+    }
     out
 }
 
@@ -170,6 +184,16 @@ pub fn decode_payload(payload: &[u8]) -> Result<Record, String> {
         genome.push(c.i64()?);
     }
     let fitness = f64::from_bits(c.u64()?);
+    // Pre-problems records end right after the fitness; they are
+    // inlining records by definition.
+    let problem = if c.pos == payload.len() {
+        "inline".to_string()
+    } else {
+        let problem_len = c.u8()? as usize;
+        std::str::from_utf8(c.take(problem_len)?)
+            .map_err(|_| "problem id is not UTF-8".to_string())?
+            .to_string()
+    };
     if c.pos != payload.len() {
         return Err(format!(
             "{} trailing bytes after record",
@@ -181,6 +205,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Record, String> {
             cell_digest,
             arch,
             features,
+            problem,
         },
         genome,
         fitness,
@@ -321,6 +346,7 @@ mod tests {
                 cell_digest: cell,
                 arch: "x86-p4".into(),
                 features: (0..FEATURES).map(|i| i as f64 * 0.5).collect(),
+                problem: "inline".into(),
             },
             genome: genes.to_vec(),
             fitness,
@@ -344,6 +370,30 @@ mod tests {
             assert_eq!(out.fitness.to_bits(), r.fitness.to_bits());
             assert_eq!(out.fingerprint, r.fingerprint);
         }
+    }
+
+    #[test]
+    fn problem_tag_round_trips_and_inline_stays_untagged() {
+        // Inline records must keep the pre-problems byte layout: the
+        // payload ends right after the fitness.
+        let inline = rec(7, &[1, 2, 3], 0.5);
+        let payload = encode_payload(&inline);
+        assert_eq!(
+            payload.len(),
+            8 + 1 + "x86-p4".len() + 1 + FEATURES * 8 + 2 + 3 * 8 + 8,
+            "inline payload grew a tag"
+        );
+        assert_eq!(decode_payload(&payload).unwrap(), inline);
+
+        // Non-inline records carry the tag and round-trip it.
+        let mut flags = rec(7, &[1, 2, 3], 0.5);
+        flags.fingerprint.problem = "flags".into();
+        let tagged = encode_payload(&flags);
+        assert_eq!(tagged.len(), payload.len() + 1 + "flags".len());
+        assert_eq!(decode_payload(&tagged).unwrap(), flags);
+
+        // A truncated tag is a decode error, not a silent "inline".
+        assert!(decode_payload(&tagged[..tagged.len() - 1]).is_err());
     }
 
     #[test]

@@ -368,14 +368,21 @@ impl Store {
     /// ranked by fingerprint distance (ties by cell digest, so the
     /// result is a pure function of store contents), and the best
     /// genomes of the nearest cells are interleaved — nearest cell's
-    /// best first — until `k` distinct genomes are collected. Empty
-    /// when the store has no measurements: the caller falls back to a
+    /// best first — until `k` distinct genomes are collected. Only
+    /// cells of the *same problem* as the target are considered:
+    /// genomes from a different problem mean different things, so
+    /// cross-problem transfer would seed garbage. Empty when the store
+    /// has no measurements for the problem: the caller falls back to a
     /// cold start.
     #[must_use]
     pub fn warm_seeds(&self, target: &Fingerprint, k: usize) -> Vec<Vec<i64>> {
         let per_cell: Vec<Vec<(Vec<i64>, f64)>> = {
             let inner = self.shared.inner.lock().expect("store poisoned");
-            let mut cells: Vec<(&u64, &CellEntry)> = inner.cells.iter().collect();
+            let mut cells: Vec<(&u64, &CellEntry)> = inner
+                .cells
+                .iter()
+                .filter(|(_, c)| c.fingerprint.problem == target.problem)
+                .collect();
             cells.sort_by(|(da, a), (db, b)| {
                 let xa = a.fingerprint.distance2(target);
                 let xb = b.fingerprint.distance2(target);

@@ -31,6 +31,9 @@ fn golden_records() -> Vec<Record> {
         cell_digest: cell,
         arch: arch.into(),
         features: (0..FEATURES).map(|i| i as f64 * scale).collect(),
+        // The fixture predates the problems subsystem; inline records
+        // encode with no problem tag, so the frozen bytes are unchanged.
+        problem: "inline".into(),
     };
     vec![
         Record {
@@ -85,6 +88,10 @@ fn v1_segment_bytes_still_decode() {
         assert_eq!(got.genome, want.genome);
         assert_eq!(got.fingerprint.cell_digest, want.fingerprint.cell_digest);
         assert_eq!(got.fingerprint.arch, want.fingerprint.arch);
+        assert_eq!(
+            got.fingerprint.problem, "inline",
+            "pre-problems records must decode as the inlining problem"
+        );
         assert_eq!(
             got.fitness.to_bits(),
             want.fitness.to_bits(),

@@ -25,11 +25,14 @@ fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
         any::<u64>(),
         "[a-z0-9-]{1,12}",
         proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), 0..=8),
+        // Exercise both the untagged ("inline") and tagged encodings.
+        prop_oneof![Just("inline".to_string()), "[a-z]{1,10}"],
     )
-        .prop_map(|(cell_digest, arch, features)| Fingerprint {
+        .prop_map(|(cell_digest, arch, features, problem)| Fingerprint {
             cell_digest,
             arch,
             features,
+            problem,
         })
 }
 
@@ -54,6 +57,7 @@ fn same(a: &Record, b: &Record) -> bool {
         && a.fitness.to_bits() == b.fitness.to_bits()
         && a.fingerprint.cell_digest == b.fingerprint.cell_digest
         && a.fingerprint.arch == b.fingerprint.arch
+        && a.fingerprint.problem == b.fingerprint.problem
         && bits(&a.fingerprint.features) == bits(&b.fingerprint.features)
 }
 

@@ -26,6 +26,7 @@ fn fp(scenario: &str, goal: &str, arch: &str, suite: &[&str]) -> Fingerprint {
         features: (0..FEATURES)
             .map(|i| (i + suite.len()) as f64 * 0.25)
             .collect(),
+        problem: "inline".into(),
     }
 }
 
@@ -239,11 +240,13 @@ fn warm_seeds_rank_nearest_cells_first_and_dedup() {
         cell_digest: 1,
         arch: "x86-p4".into(),
         features: vec![1.0, 1.0],
+        problem: "inline".into(),
     };
     let far = Fingerprint {
         cell_digest: 2,
         arch: "x86-p4".into(),
         features: vec![10.0, 10.0],
+        problem: "inline".into(),
     };
     // near's best is [1,1] (fitness 0.1); far's best is [5,5] (0.05).
     store.append(&rec(&near, &[1, 1], 0.1)).unwrap();
@@ -255,6 +258,7 @@ fn warm_seeds_rank_nearest_cells_first_and_dedup() {
         cell_digest: 99,
         arch: "x86-p4".into(),
         features: vec![1.1, 1.1],
+        problem: "inline".into(),
     };
     let seeds = store.warm_seeds(&target, 10);
     // Interleaved by rank depth, nearest cell first, duplicates dropped.
@@ -265,6 +269,50 @@ fn warm_seeds_rank_nearest_cells_first_and_dedup() {
     assert!(empty.warm_seeds(&target, 4).is_empty());
     std::fs::remove_dir_all(store.dir()).ok();
     std::fs::remove_dir_all(empty.dir()).ok();
+}
+
+#[test]
+fn warm_seeds_never_cross_problems() {
+    // Cross-problem transfer regression: a flags genome means nothing
+    // to an inlining search (and vice versa), no matter how close the
+    // workload fingerprints look. Here the *other* problem's cell is
+    // feature-identical to the target and holds the better fitness —
+    // it must still be invisible.
+    let dir = temp_dir("cross-problem");
+    let store = Store::open_with(&dir, no_compact()).unwrap();
+    let cell = |digest: u64, problem: &str| Fingerprint {
+        cell_digest: digest,
+        arch: "x86-p4".into(),
+        features: vec![1.0, 1.0],
+        problem: problem.into(),
+    };
+    store
+        .append(&rec(&cell(1, "flags"), &[0, 1, 1, 1, 1], 0.05))
+        .unwrap();
+    store
+        .append(&rec(&cell(2, "inline"), &[25, 15, 8, 200, 135], 0.9))
+        .unwrap();
+
+    let inline_target = cell(99, "inline");
+    assert_eq!(
+        store.warm_seeds(&inline_target, 10),
+        vec![vec![25, 15, 8, 200, 135]],
+        "an inline search was seeded with a foreign problem's genome"
+    );
+    let flags_target = cell(99, "flags");
+    assert_eq!(
+        store.warm_seeds(&flags_target, 10),
+        vec![vec![0, 1, 1, 1, 1]]
+    );
+    // No cells of the problem at all → cold start, not a borrowed seed.
+    assert!(store.warm_seeds(&cell(99, "dss"), 10).is_empty());
+
+    // Both problems' records survive a reopen with their tags intact.
+    drop(store);
+    let store = Store::open_with(&dir, no_compact()).unwrap();
+    assert_eq!(store.warm_seeds(&inline_target, 10).len(), 1);
+    assert_eq!(store.warm_seeds(&flags_target, 10).len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -37,6 +37,7 @@ fn spec(seed: u64) -> JobSpec {
             ..ga::GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 

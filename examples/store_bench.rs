@@ -74,6 +74,7 @@ fn main() {
             cell_digest: digest_parts(&["store-bench", &c.to_string()]),
             arch: "x86-p4".into(),
             features: (0..FEATURES).map(|f| (c * FEATURES + f) as f64).collect(),
+            problem: "inline".into(),
         })
         .collect();
     let plan: Vec<Record> = (0..records)

@@ -51,6 +51,7 @@ fn main() {
             ..GaConfig::default()
         },
         strategy: "race:ga+random+hillclimb".into(),
+        problem: "inline".into(),
     };
     let mut client = Client::connect(&addr).expect("connect");
     let id = client.submit(&spec).expect("submit");

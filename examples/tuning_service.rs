@@ -32,6 +32,7 @@ fn job(name: &str, goal: Goal, seed: u64) -> JobSpec {
             ..GaConfig::default()
         },
         strategy: "ga".into(),
+        problem: "inline".into(),
     }
 }
 
@@ -93,13 +94,10 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(20));
         };
         assert_eq!(r.state, JobState::Done);
-        let (params, fitness) = r.result.expect("done job has a result");
+        let (genes, fitness) = r.result.expect("done job has a result");
         println!(
-            "job {id} [{}] done after {} generations: fitness {:.4}, params {:?}",
-            r.spec.name,
-            r.generation,
-            fitness,
-            params.to_genes()
+            "job {id} [{}] done after {} generations: fitness {:.4}, genes {genes:?}",
+            r.spec.name, r.generation, fitness,
         );
     }
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI for inlinetune: format check, fully offline build + test, an
 # end-to-end smoke run of the `tuned` daemon (submit a tiny Opt:Tot job
-# over localhost, watch it finish, pull metrics, shut down), a
+# over localhost, watch it finish, pull metrics, then smoke-tune the
+# flags and dss problem domains through the same daemon and prove they
+# reload from the run directory after a restart), a
 # distributed-evaluation smoke via scripts/bench.sh (1 local vs
 # 2 evald workers, bit-identity enforced; plus a search-strategy
 # shootout whose racing portfolio must hit its shared memo, and a
@@ -37,6 +39,7 @@ if has_proptest_dep crates/obs/Cargo.toml; then
   echo "== cargo test --features proptest (property suites)"
   cargo test -p inlinetune-obs --offline --quiet --features proptest
   cargo test -p inlinetune-served --offline --quiet --features proptest
+  cargo test -p inlinetune-problems --offline --quiet --features proptest
 else
   echo "== property suites skipped (proptest crate not vendored)"
 fi
@@ -89,6 +92,45 @@ printf '%s' "$SCRAPE" | grep -q '^tuned_jobs{state="done"} 1' \
 printf '%s' "$SCRAPE" | grep -q '^# TYPE ga_generations counter' \
   || { echo "scrape missing obs registry counters"; exit 1; }
 
+# Smoke-tune each non-inlining problem domain through the same daemon:
+# one flags job, one dss job, both must converge over the same worker
+# pool that just tuned the inlining smoke job.
+declare -A PROBLEM_IDS
+for PROBLEM in flags dss; do
+  SUBMIT=$("$TUNED" submit --addr "$ADDR" --name "smoke-$PROBLEM" \
+    --scenario opt --goal tot --bench db --problem "$PROBLEM" \
+    --pop 6 --gens 2 --seed 7 --threads 1)
+  echo "submitted $PROBLEM: $SUBMIT"
+  PID_NUM=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  PROBLEM_IDS[$PROBLEM]=$PID_NUM
+  LAST=$("$TUNED" watch --addr "$ADDR" --id "$PID_NUM" | tail -n 1)
+  printf '%s' "$LAST" | grep -q '"state":"done"' \
+    || { echo "$PROBLEM smoke job did not finish"; exit 1; }
+  printf '%s' "$LAST" | grep -q "\"problem\":\"$PROBLEM\"" \
+    || { echo "$PROBLEM job lost its problem tag on the wire"; exit 1; }
+done
+
+"$TUNED" shutdown --addr "$ADDR"
+wait "$DAEMON_PID"
+
+# Checkpoint reload: restart the daemon on the same run directory; the
+# flags and dss jobs must come back from their on-disk specs/results as
+# finished jobs with their problem tags intact.
+rm -f "$RUN_DIR/addr"
+"$TUNED" serve --addr 127.0.0.1:0 --dir "$RUN_DIR" --workers 1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$RUN_DIR/addr" ] && break
+  sleep 0.1
+done
+ADDR=$(cat "$RUN_DIR/addr")
+for PROBLEM in flags dss; do
+  STATUS=$("$TUNED" status --addr "$ADDR" --id "${PROBLEM_IDS[$PROBLEM]}")
+  printf '%s' "$STATUS" | grep -q '"state":"done"' \
+    || { echo "$PROBLEM job did not reload as done"; echo "$STATUS"; exit 1; }
+  printf '%s' "$STATUS" | grep -q "\"problem\":\"$PROBLEM\"" \
+    || { echo "$PROBLEM job reloaded without its problem tag"; echo "$STATUS"; exit 1; }
+done
 "$TUNED" shutdown --addr "$ADDR"
 wait "$DAEMON_PID"
 
@@ -114,9 +156,14 @@ echo "== sim sweep (200 seeded fault schedules on the virtual clock)"
 # Fixed base seed so CI failures reproduce exactly: replay any failing
 # seed it prints with `scripts/replay.sh <seed>`.
 target/release/simtest --seeds "${SIM_SWEEP_SEEDS:-200}" --base-seed 1 \
-  --out BENCH_sim.json
+  --mixed-seeds "${SIM_MIXED_SEEDS:-8}" --out BENCH_sim.json
 grep -q '"failed":0' BENCH_sim.json \
   || { echo "sim sweep caught failing seeds"; cat BENCH_sim.json; exit 1; }
+# The sweep's mixed-problem stage: per seed, an inline + a flags + a
+# dss job queued on one daemon under the same fault schedule; no job
+# may be lost and every result must bit-match its fault-free tune.
+grep -q '"mixed_failed":0' BENCH_sim.json \
+  || { echo "mixed-problem sweep lost or corrupted jobs"; cat BENCH_sim.json; exit 1; }
 # The sweep's store stage: seeded kill-mid-append crash/recovery
 # scenarios (torn wal tails, compactions straddling the kill); every
 # acknowledged record must survive bit-exactly.

@@ -18,6 +18,7 @@
 //! | [`ga`] | `inlinetune-ga` | the genetic-algorithm engine (ECJ analog) |
 //! | [`search`] | `inlinetune-search` | pluggable search strategies + the racing portfolio |
 //! | [`tuner`] | `inlinetune-core` | the paper's contribution: the off-line tuning pipeline |
+//! | [`problems`] | `inlinetune-problems` | the problem-generic seam: inlining, compiler flags, data-structure selection |
 //! | [`served`] | `inlinetune-served` | the `tuned` daemon: job queue, checkpoint/resume, wire protocol, remote dispatch |
 //! | [`evald`] | `inlinetune-evald` | the remote fitness-evaluation worker: eval RPCs, heartbeats, chaos injection |
 //! | [`obs`] | `inlinetune-obs` | observability: spans, latency histograms, counters, Prometheus exposition |
@@ -50,6 +51,7 @@ pub use inliner;
 pub use ir;
 pub use jit;
 pub use obs;
+pub use problems;
 pub use search;
 pub use served;
 pub use simrng;
