@@ -9,9 +9,15 @@
 //! ← {"ok":true}
 //! → {"cmd":"eval","id":7,"genes":[23,...]}  any number, pipelined
 //! ← {"ok":true,"id":7,"fitness":0.94...}
+//! → {"cmd":"eval_batch","id":"1","evals":[{"id":0,"genes":[...]},...]}
+//! ← {"ok":true,"id":"1","results":[{"id":0,"fitness":...},
+//!        {"id":3,"error":"..."}]}           one frame per whole batch
 //! ```
 //!
-//! plus `ping`, `metrics`, and `shutdown`. Fitness goes through
+//! plus `ping`, `metrics`, and `shutdown`. `eval_batch` carries a whole
+//! generation's worth of genomes in one round-trip with per-item
+//! results (partial-failure semantics: a bad genome yields an error
+//! entry, not a failed envelope). Fitness goes through
 //! [`problems::Problem::fitness`] — the identical pure measurement
 //! path the in-process daemon runs — which is what makes distributed
 //! runs bit-identical to local ones. The job spec names the problem, so
@@ -25,7 +31,10 @@ use std::time::Duration;
 use problems::Problem;
 use served::checkpoint::f64_to_json;
 use served::json::Json;
-use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
+use served::proto::{
+    err, eval_batch_response, ok_with, parse_eval_batch_request, parse_request, read_frame,
+    write_frame, EvalOutcome, Frame,
+};
 use served::{JobSpec, NetListener, NetStream, TcpTransport, Transport};
 
 use crate::cache::ProblemCache;
@@ -261,6 +270,18 @@ fn serve_connection(
                     Ok(v) => v,
                     Err(Dropped) => return, // chaos: die without replying
                 },
+                "eval_batch" => match eval_batch(
+                    &body,
+                    task.as_ref(),
+                    chaos,
+                    counters,
+                    reg,
+                    &**transport,
+                    store,
+                ) {
+                    Ok(v) => v,
+                    Err(Dropped) => return, // chaos: die mid-batch, no reply
+                },
                 "metrics" => ok_with(vec![(
                     "metrics",
                     Json::obj(vec![
@@ -336,9 +357,77 @@ fn eval(
         served::Metrics::bump(&counters.protocol_errors);
         return Ok(err("eval needs an integer 'genes' array"));
     };
-    if !problem.space().contains(&genes) {
+    match measure(
+        &genes, problem, spec, chaos, counters, reg, transport, store,
+    )? {
+        Ok(fitness) => Ok(ok_with(vec![
+            ("id", Json::Int(id as i64)),
+            ("fitness", f64_to_json(fitness)),
+        ])),
+        Err(e) => Ok(err(e)),
+    }
+}
+
+/// Handles one `eval_batch` request: every item is measured through the
+/// same path as a single `eval`, and per-item failures come back as
+/// `{"id":N,"error":...}` entries instead of failing the envelope —
+/// partial-failure semantics at batch granularity. A chaos drop kills
+/// the connection mid-batch without a reply, exactly like the
+/// single-eval verb, so the dispatcher re-dispatches the whole
+/// unanswered remainder.
+#[allow(clippy::too_many_arguments)]
+fn eval_batch(
+    body: &Json,
+    task: Option<&(Arc<dyn Problem>, JobSpec)>,
+    chaos: &Chaos,
+    counters: &WorkerCounters,
+    reg: &obs::Registry,
+    transport: &dyn Transport,
+    store: Option<&StoreClient>,
+) -> Result<Json, Dropped> {
+    let Some((problem, spec)) = task else {
         served::Metrics::bump(&counters.protocol_errors);
-        return Ok(err(format!(
+        return Ok(err("no task set on this connection (send 'task' first)"));
+    };
+    let (batch_id, evals) = match parse_eval_batch_request(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            served::Metrics::bump(&counters.protocol_errors);
+            return Ok(err(e));
+        }
+    };
+    let mut results = Vec::with_capacity(evals.len());
+    for req in &evals {
+        let outcome = match measure(
+            &req.genes, problem, spec, chaos, counters, reg, transport, store,
+        )? {
+            Ok(fitness) => EvalOutcome::Fitness(fitness),
+            Err(e) => EvalOutcome::Error(e),
+        };
+        results.push((req.id, outcome));
+    }
+    reg.histogram("evald_batch_size").record(evals.len() as u64);
+    Ok(eval_batch_response(batch_id, &results))
+}
+
+/// Measures one genome: space validation, chaos injection, store
+/// read-through/write-behind, and the busy-bracketed fitness call —
+/// shared verbatim by the `eval` and `eval_batch` verbs so both speak
+/// the identical pure measurement path.
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    genes: &[i64],
+    problem: &Arc<dyn Problem>,
+    spec: &JobSpec,
+    chaos: &Chaos,
+    counters: &WorkerCounters,
+    reg: &obs::Registry,
+    transport: &dyn Transport,
+    store: Option<&StoreClient>,
+) -> Result<Result<f64, String>, Dropped> {
+    if !problem.space().contains(genes) {
+        served::Metrics::bump(&counters.protocol_errors);
+        return Ok(Err(format!(
             "genes {genes:?} outside problem '{}'s space",
             problem.id()
         )));
@@ -352,14 +441,11 @@ fn eval(
     // Another worker (or a past run) may already have measured this
     // genome: one short store lookup is far cheaper than a benchmark
     // run, and a stored fitness is bit-identical to a fresh one.
-    if let Some(hit) = store.and_then(|s| s.get(spec, &genes)) {
+    if let Some(hit) = store.and_then(|s| s.get(spec, genes)) {
         reg.counter("evald_store_hits").inc();
         served::Metrics::bump(&counters.evals);
         reg.counter("evald_evals").inc();
-        return Ok(ok_with(vec![
-            ("id", Json::Int(id as i64)),
-            ("fitness", f64_to_json(hit)),
-        ]));
+        return Ok(Ok(hit));
     }
     if store.is_some() {
         reg.counter("evald_store_misses").inc();
@@ -370,19 +456,16 @@ fn eval(
     // past us while we compute.
     let fitness = {
         let _busy = served::net::busy(transport);
-        problem.fitness(&genes)
+        problem.fitness(genes)
     };
     reg.histogram("evald_eval_micros")
         .record(reg.now_micros().saturating_sub(started));
     if let Some(s) = store {
-        s.put(spec, &genes, fitness);
+        s.put(spec, genes, fitness);
     }
     served::Metrics::bump(&counters.evals);
     reg.counter("evald_evals").inc();
-    Ok(ok_with(vec![
-        ("id", Json::Int(id as i64)),
-        ("fitness", f64_to_json(fitness)),
-    ]))
+    Ok(Ok(fitness))
 }
 
 #[cfg(test)]
@@ -529,6 +612,89 @@ mod tests {
             let bad = conn.roundtrip(&eval_frame(2, &wrong));
             assert_eq!(bad.get("ok"), Some(&Json::Bool(false)), "{problem}");
         }
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    fn eval_batch_frame(batch_id: u64, items: &[(usize, Vec<i64>)]) -> Json {
+        let evals: Vec<served::proto::EvalRequest> = items
+            .iter()
+            .map(|(id, genes)| served::proto::EvalRequest {
+                id: *id,
+                genes: genes.clone(),
+            })
+            .collect();
+        served::proto::eval_batch_request(batch_id, &evals)
+    }
+
+    #[test]
+    fn eval_batch_answers_every_item_bit_identically_in_one_frame() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(&addr);
+        conn.roundtrip(&task_frame());
+
+        let s = spec();
+        let p = s.build_problem().unwrap();
+        let mut rng = simrng::Rng::seed_from_u64(3);
+        let genomes: Vec<Vec<i64>> = (0..5).map(|_| p.space().random(&mut rng)).collect();
+
+        let resp = conn.roundtrip(&eval_batch_frame(
+            42,
+            &genomes
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (i, g.clone()))
+                .collect::<Vec<_>>(),
+        ));
+        let (batch_id, results) = served::proto::parse_eval_batch_response(&resp).unwrap();
+        assert_eq!(batch_id, 42, "batch id must echo");
+        assert_eq!(results.len(), genomes.len());
+        for (id, outcome) in &results {
+            let expected = p.fitness(&genomes[*id]);
+            match outcome {
+                served::proto::EvalOutcome::Fitness(f) => {
+                    assert_eq!(f.to_bits(), expected.to_bits(), "genome {id}");
+                }
+                served::proto::EvalOutcome::Error(e) => panic!("genome {id} errored: {e}"),
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn eval_batch_reports_bad_items_without_failing_the_envelope() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(&addr);
+        conn.roundtrip(&task_frame());
+        let good = InlineParams::jikes_default().to_genes();
+        let resp = conn.roundtrip(&eval_batch_frame(
+            1,
+            &[(0, good.clone()), (1, vec![-999, -999]), (2, good.clone())],
+        ));
+        let (_, results) = served::proto::parse_eval_batch_response(&resp).unwrap();
+        assert!(
+            matches!(results[0].1, served::proto::EvalOutcome::Fitness(_)),
+            "good item before the bad one must still be measured"
+        );
+        assert!(
+            matches!(results[1].1, served::proto::EvalOutcome::Error(_)),
+            "out-of-space genes become a per-item error"
+        );
+        assert!(
+            matches!(results[2].1, served::proto::EvalOutcome::Fitness(_)),
+            "good item after the bad one must still be measured"
+        );
+        // The connection survives a partial failure.
+        let ping = conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("ping".into()))]));
+        assert_eq!(ping.get("ok"), Some(&Json::Bool(true)));
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn eval_batch_without_task_is_an_error_not_a_panic() {
+        let (addr, stop) = start_worker(Chaos::inert());
+        let mut conn = TestConn::open(&addr);
+        let resp = conn.roundtrip(&eval_batch_frame(0, &[(0, vec![1, 2, 3, 4, 5])]));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
         stop.store(true, Ordering::SeqCst);
     }
 

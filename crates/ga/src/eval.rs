@@ -24,6 +24,40 @@ pub trait Evaluator: Sync {
     fn evaluate(&self, genomes: &[Genome]) -> Vec<f64>;
 }
 
+/// A batch of fitness scores that may still be in flight.
+///
+/// Returned by [`PipelinedEvaluator::begin`]; [`wait`](PendingScores::wait)
+/// blocks until every score is known and consumes the handle — a batch
+/// is begun once and collected once.
+pub trait PendingScores {
+    /// Blocks until the whole batch is scored; `result[i]` scores the
+    /// `genomes[i]` passed to `begin`.
+    fn wait(self: Box<Self>) -> Vec<f64>;
+}
+
+/// Scores already in hand — the trivial [`PendingScores`], used by
+/// backends whose evaluation is synchronous.
+pub struct ReadyScores(pub Vec<f64>);
+
+impl PendingScores for ReadyScores {
+    fn wait(self: Box<Self>) -> Vec<f64> {
+        self.0
+    }
+}
+
+/// An [`Evaluator`] that can split evaluation into a non-blocking
+/// `begin` and a blocking `wait`, so a driver can overlap useful work
+/// (proposing the next generation, persisting a checkpoint) with
+/// in-flight evaluations. Purity rules are identical to
+/// [`Evaluator::evaluate`]; `begin` + `wait` must return the same bits
+/// `evaluate` would.
+pub trait PipelinedEvaluator: Evaluator {
+    /// Starts evaluating `genomes` and returns a handle to collect the
+    /// scores. Backends without real asynchrony may evaluate eagerly
+    /// and hand back [`ReadyScores`].
+    fn begin<'s>(&'s self, genomes: &[Genome]) -> Box<dyn PendingScores + 's>;
+}
+
 /// The in-process backend: a fitness function fanned out over scoped
 /// worker threads (the engine's original evaluation path, verbatim).
 ///
@@ -74,6 +108,15 @@ where
     }
 }
 
+impl<F> PipelinedEvaluator for LocalEvaluator<F>
+where
+    F: Fn(&[i64]) -> f64 + Sync,
+{
+    fn begin<'s>(&'s self, genomes: &[Genome]) -> Box<dyn PendingScores + 's> {
+        Box::new(ReadyScores(self.evaluate(genomes)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +156,17 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let gs = genomes(2);
         assert_eq!(LocalEvaluator::new(f, 0).evaluate(&gs).len(), 2);
+    }
+
+    #[test]
+    fn begin_then_wait_matches_evaluate_bit_for_bit() {
+        let gs = genomes(9);
+        let eval = LocalEvaluator::new(f, 3);
+        let direct = eval.evaluate(&gs);
+        let pipelined = eval.begin(&gs).wait();
+        assert_eq!(direct.len(), pipelined.len());
+        for (a, b) in direct.iter().zip(&pipelined) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

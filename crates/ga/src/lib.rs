@@ -33,5 +33,5 @@ pub mod ops;
 pub use engine::{
     CrossoverKind, GaConfig, GaResult, GaSnapshot, GaState, GenTiming, Generation, GeneticAlgorithm,
 };
-pub use eval::{Evaluator, LocalEvaluator};
+pub use eval::{Evaluator, LocalEvaluator, PendingScores, PipelinedEvaluator, ReadyScores};
 pub use genome::{GeneKind, Genome, Ranges};

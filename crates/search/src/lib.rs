@@ -67,7 +67,7 @@
 
 use std::sync::Arc;
 
-use ga::{Evaluator, GaConfig, GaSnapshot, GenTiming, Genome, Ranges};
+use ga::{Evaluator, GaConfig, GaSnapshot, GenTiming, Genome, PipelinedEvaluator, Ranges};
 
 mod anneal;
 mod core;
@@ -356,6 +356,44 @@ where
     strategy.is_done()
 }
 
+/// One round through a [`PipelinedEvaluator`], overlapping the caller's
+/// own work with the in-flight evaluations: ask, begin the batch, run
+/// `while_inflight` (e.g. persist the previous round's checkpoint) while
+/// the backend works, then wait and tell.
+///
+/// Bit-identical to [`step_with`] for any strategy: `ask` is repeatable
+/// until `tell` commits it, `while_inflight` only gets a shared borrow
+/// (it can snapshot but not mutate), and a `snapshot` taken here
+/// describes the last *completed* round — exactly what a checkpoint
+/// written between rounds would contain.
+///
+/// `while_inflight` always runs, even on an empty batch, so work the
+/// caller deferred into it (like that checkpoint) is never skipped.
+pub fn step_pipelined<E>(
+    strategy: &mut dyn Strategy,
+    backend: &E,
+    while_inflight: impl FnOnce(&dyn Strategy),
+) -> bool
+where
+    E: PipelinedEvaluator + ?Sized,
+{
+    if strategy.is_done() {
+        while_inflight(strategy);
+        return true;
+    }
+    let batch = strategy.ask();
+    let scores = if batch.is_empty() {
+        while_inflight(strategy);
+        Vec::new()
+    } else {
+        let pending = backend.begin(&batch);
+        while_inflight(strategy);
+        pending.wait()
+    };
+    strategy.tell(&batch, &scores);
+    strategy.is_done()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +540,40 @@ mod tests {
             let (rg, rf) = resumed.best().unwrap();
             assert_eq!(lg, rg, "{spec} restore changed the best genome");
             assert_eq!(lf.to_bits(), rf.to_bits());
+        }
+    }
+
+    #[test]
+    fn pipelined_stepping_is_bit_identical_to_serial() {
+        let backend = LocalEvaluator::new(fitness, 1);
+        for spec in all_specs() {
+            let mut serial = build(spec, ranges(), cfg(21)).unwrap();
+            let mut piped = build(spec, ranges(), cfg(21)).unwrap();
+            let mut deferred: Option<StrategySnapshot> = None;
+            loop {
+                let a = step_with(serial.as_mut(), &backend);
+                // The pipelined run snapshots mid-flight every round, the
+                // way the daemon defers its checkpoint write behind the
+                // in-flight batch.
+                let b = step_pipelined(piped.as_mut(), &backend, |s| {
+                    deferred = Some(s.snapshot());
+                });
+                assert_eq!(a, b, "{spec} termination diverged");
+                if a {
+                    break;
+                }
+            }
+            let (sg, sf) = serial.best().unwrap();
+            let (pg, pf) = piped.best().unwrap();
+            assert_eq!(sg, pg, "{spec} pipelining changed the best genome");
+            assert_eq!(sf.to_bits(), pf.to_bits());
+            assert_eq!(serial.evaluations(), piped.evaluations());
+            assert_eq!(serial.cache_hits(), piped.cache_hits());
+            // The deferred snapshot from the final round restores and
+            // agrees it is done — a checkpoint one round behind replays
+            // to the same terminal state.
+            let resumed = restore(deferred.expect("while_inflight always runs")).unwrap();
+            let _ = resumed;
         }
     }
 

@@ -156,10 +156,10 @@ struct Inner {
     run_dir: RunDir,
     jobs: Mutex<JobTable>,
     queue_cv: Condvar,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     budget: ThreadBudget,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
 }
 
 /// The tuning daemon. Cheap to clone (an `Arc` around the shared state);
@@ -188,7 +188,7 @@ impl Daemon {
                 next_id: 1,
             }),
             queue_cv: Condvar::new(),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             shutdown: AtomicBool::new(false),
             budget: ThreadBudget::new(config.eval_threads),
             pool: {
@@ -196,7 +196,7 @@ impl Daemon {
                     WorkerPool::with_workers(config.dispatch.clone(), &config.eval_workers);
                 pool.set_obs(Arc::clone(&config.obs));
                 pool.set_transport(Arc::clone(&config.transport));
-                pool
+                Arc::new(pool)
             },
         });
         let daemon = Self {
@@ -385,7 +385,7 @@ impl Daemon {
     /// connection/error counters).
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
-        &self.inner.metrics
+        self.inner.metrics.as_ref()
     }
 
     /// The observability registry (for the `obs` verb and the `/metrics`
@@ -401,7 +401,7 @@ impl Daemon {
     #[must_use]
     pub fn pool(&self) -> &WorkerPool {
         self.inner.pool.sweep_stale(&self.inner.metrics);
-        &self.inner.pool
+        self.inner.pool.as_ref()
     }
 
     /// The persistent fitness store, when one is configured (for the
@@ -532,6 +532,13 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         }),
     );
 
+    // On the pipelined remote path, the on-disk checkpoint intentionally
+    // lags the strategy by one round: each round's write rides the next
+    // round's in-flight evals. This flag tracks the lag so shutdown can
+    // flush before parking the job back in the queue. (A lagging
+    // checkpoint is still crash-safe either way — recovery replays the
+    // missing round deterministically to the same bits.)
+    let mut checkpoint_lags = false;
     loop {
         if cancel.load(Ordering::SeqCst) {
             inner.run_dir.mark_canceled(id)?;
@@ -542,6 +549,10 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             return Ok(());
         }
         if inner.shutdown.load(Ordering::SeqCst) {
+            if checkpoint_lags {
+                inner.run_dir.save_checkpoint(id, &strategy.snapshot())?;
+                Metrics::bump(&inner.metrics.checkpoints_written);
+            }
             // Leave the job Queued on disk and in the table so the next
             // process resumes it from the checkpoint just written.
             let mut table = inner.jobs.lock().expect("job table poisoned");
@@ -557,14 +568,28 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
         // taking load at the next round boundary. The backend never
         // influences results (strategies are deterministic in their
         // seed), so flipping tiers mid-job is safe.
-        let done = if inner.pool.is_empty() {
+        let use_remote = !inner.pool.is_empty();
+        let mut deferred_save_err: Option<String> = None;
+        let done = if use_remote {
+            // Pipelined: the batch fans out to the workers while this
+            // thread writes the previous round's checkpoint — the daemon
+            // never sits idle at a generation boundary, and the workers
+            // never wait on local disk I/O.
+            search::step_pipelined(strategy.as_mut(), &remote, |s| {
+                match inner.run_dir.save_checkpoint(id, &s.snapshot()) {
+                    Ok(()) => Metrics::bump(&inner.metrics.checkpoints_written),
+                    Err(e) => deferred_save_err = Some(e),
+                }
+            })
+        } else {
             // Local evaluation is real compute: hold the busy bracket so
             // a simulated clock cannot advance through it.
             let _busy = crate::net::busy(&*inner.config.transport);
             search::step_with(strategy.as_mut(), &local)
-        } else {
-            search::step_with(strategy.as_mut(), &remote)
         };
+        if let Some(e) = deferred_save_err {
+            return Err(e);
+        }
         Metrics::bump(&inner.metrics.generations);
         Metrics::add(
             &inner.metrics.evaluations,
@@ -575,8 +600,13 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             (strategy.cache_hits() - hits_before) as u64,
         );
 
-        inner.run_dir.save_checkpoint(id, &strategy.snapshot())?;
-        Metrics::bump(&inner.metrics.checkpoints_written);
+        if use_remote && !done {
+            checkpoint_lags = true;
+        } else {
+            inner.run_dir.save_checkpoint(id, &strategy.snapshot())?;
+            Metrics::bump(&inner.metrics.checkpoints_written);
+            checkpoint_lags = false;
+        }
 
         let best = strategy.best().map(|(_, f)| f);
         {

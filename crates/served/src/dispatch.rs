@@ -9,13 +9,22 @@
 //! * **Bit-identical to local.** Fitness is a pure function of the genome
 //!   and results merge into the GA memo table keyed by genome, so the
 //!   assignment of genomes to workers — and any amount of retrying,
-//!   failover or local fallback — cannot change the search trajectory.
-//! * **Production robustness.** Per-request timeouts, capped exponential
+//!   failover, batching or local fallback — cannot change the search
+//!   trajectory.
+//! * **Production robustness.** Per-batch timeouts, capped exponential
 //!   backoff on reconnects, eviction of workers that send garbage
-//!   (malformed / oversized frames) or keep failing health checks,
-//!   re-dispatch of work orphaned by a dead worker, and bounded
-//!   outstanding-requests-per-worker backpressure
+//!   (malformed / oversized frames, unknown or duplicate ids, per-item
+//!   errors) or keep failing health checks, re-dispatch of work orphaned
+//!   by a dead worker at batch granularity, and bounded
+//!   outstanding-work-per-worker backpressure
 //!   ([`DispatchConfig::max_inflight`]).
+//! * **One round-trip per batch.** All genomes claimed by a worker ride
+//!   in a single `eval_batch` frame and come back in a single response
+//!   frame with per-genome results, so the link RTT is paid once per
+//!   batch instead of once per genome. Batch size adapts to the link: a
+//!   per-worker RTT model ([`Worker::batch_target`]) claims small
+//!   batches on fast links (better load balance across workers) and
+//!   large batches when the round-trip dominates the per-eval cost.
 //! * **Graceful degradation.** Genomes no live worker could answer are
 //!   evaluated through the caller-supplied local fallback, so a job
 //!   finishes even if every worker dies mid-generation.
@@ -31,31 +40,44 @@
 //! ```text
 //! → {"cmd":"task","job":{...JobSpec...}}       once per connection
 //! ← {"ok":true}
-//! → {"cmd":"eval","id":7,"genes":[23,7,5,...]}  pipelined, ≤ max_inflight
-//! ← {"ok":true,"id":7,"fitness":0.9482...}
+//! → {"cmd":"eval_batch","id":"1",
+//!    "evals":[{"id":0,"genes":[23,...]},...]}  one frame per batch
+//! ← {"ok":true,"id":"1",
+//!    "results":[{"id":0,"fitness":0.94...},
+//!               {"id":3,"error":"..."}]}       per-genome outcomes
 //! ```
+//!
+//! Partial-failure semantics: delivered fitness entries are committed
+//! (they are real measurements of a pure function); a per-item error,
+//! an unknown or duplicate id, or a batch-id mismatch evicts the worker
+//! and re-queues whatever it had not answered; a timeout or connection
+//! death re-queues the whole unanswered remainder as a transient
+//! failure. Either way no genome is lost and none is committed twice —
+//! [`BatchLedger`] enforces exactly-once resolution.
 
-use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use ga::{Evaluator, Genome};
+use ga::{Evaluator, Genome, PendingScores, PipelinedEvaluator, ReadyScores};
 
-use crate::checkpoint::f64_from_json;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::net::{NetStream, TcpTransport, Transport};
-use crate::proto::{read_frame, write_frame, Frame};
+use crate::proto::{
+    eval_batch_request, parse_eval_batch_response, read_frame, write_frame, EvalOutcome,
+    EvalRequest, Frame,
+};
 
 /// Dispatcher tunables.
 #[derive(Debug, Clone)]
 pub struct DispatchConfig {
     /// Connect timeout per attempt.
     pub connect_timeout: Duration,
-    /// How long to wait for one eval response before declaring a timeout
-    /// and re-dispatching the outstanding work.
+    /// How long to wait for one eval's worth of response before declaring
+    /// a timeout; a batch of `n` gets `n ×` this as its read deadline.
     pub request_timeout: Duration,
     /// First retry backoff; doubles per consecutive failure.
     pub backoff_base: Duration,
@@ -64,9 +86,10 @@ pub struct DispatchConfig {
     /// Consecutive transient failures (connect errors, timeouts, dropped
     /// connections) before a worker is evicted from the pool.
     pub max_consecutive_failures: u32,
-    /// Maximum eval requests in flight on one worker connection — the
-    /// backpressure bound. Higher values pipeline better over slow links;
-    /// lower values spread a small generation more evenly.
+    /// Maximum genomes outstanding on one worker connection — the
+    /// backpressure bound and the adaptive batch-size ceiling. Higher
+    /// values amortize the round-trip better over slow links; lower
+    /// values spread a small generation more evenly.
     pub max_inflight: usize,
     /// A registered (heartbeating) worker whose last heartbeat is older
     /// than this is considered gone and evicted. Statically configured
@@ -105,15 +128,17 @@ impl Default for DispatchConfig {
 pub struct WorkerCounters {
     /// Eval requests written to this worker (including re-sends).
     pub dispatched: u64,
-    /// Eval responses successfully received.
+    /// Eval results successfully received.
     pub completed: u64,
     /// Requests returned to the queue after a failure on this worker.
     pub retries: u64,
-    /// Response waits that hit the request timeout.
+    /// Batch waits that hit the read deadline.
     pub timeouts: u64,
     /// Times this worker was evicted from the live set.
     pub evictions: u64,
-    /// Accumulated dispatch-to-response latency, microseconds.
+    /// Accumulated batch round-trip latency, microseconds. One batch
+    /// contributes its RTT once, so `rtt_micros / completed` is the
+    /// amortized per-eval latency.
     pub rtt_micros: u64,
 }
 
@@ -141,6 +166,71 @@ impl WorkerStats {
     }
 }
 
+/// The per-worker RTT model behind adaptive batch sizing. Two EWMAs:
+/// the fixed per-round-trip overhead (estimated from the `task`
+/// handshake, which does no evaluation work) and the per-item
+/// evaluation cost (estimated from completed batches). The target batch
+/// size is the smallest batch whose useful work amortizes the overhead
+/// [`AMORTIZE`]-fold — so a localhost link with millisecond evals claims
+/// one genome at a time (perfect load balance across workers), while a
+/// high-latency link claims up to `max_inflight` (the round-trip is
+/// paid once either way).
+#[derive(Debug, Default)]
+struct BatchTuner {
+    /// EWMA of the fixed per-RPC overhead (micros); 0 until a handshake
+    /// has been timed.
+    overhead_micros: f64,
+    /// EWMA of the per-item evaluation cost (micros).
+    item_micros: f64,
+    /// Whether any completed batch has primed `item_micros`. Unprimed,
+    /// the target stays at `max_inflight` — the pre-adaptive behavior.
+    primed: bool,
+}
+
+/// EWMA smoothing factor for the RTT model: new observations count 40%.
+const EWMA_ALPHA: f64 = 0.4;
+
+/// Target ratio of per-batch evaluation work to fixed RPC overhead: a
+/// batch should carry at least this many overheads' worth of work.
+const AMORTIZE: f64 = 8.0;
+
+impl BatchTuner {
+    fn note_handshake(&mut self, rtt_micros: u64) {
+        let r = rtt_micros as f64;
+        self.overhead_micros = if self.overhead_micros == 0.0 {
+            r
+        } else {
+            EWMA_ALPHA * r + (1.0 - EWMA_ALPHA) * self.overhead_micros
+        };
+    }
+
+    fn note_batch(&mut self, len: u64, rtt_micros: u64) {
+        if len == 0 {
+            return;
+        }
+        let per_item = ((rtt_micros as f64 - self.overhead_micros) / len as f64).max(1.0);
+        self.item_micros = if self.primed {
+            EWMA_ALPHA * per_item + (1.0 - EWMA_ALPHA) * self.item_micros
+        } else {
+            per_item
+        };
+        self.primed = true;
+    }
+
+    fn target(&self, max_inflight: usize) -> usize {
+        let cap = max_inflight.max(1);
+        if !self.primed {
+            return cap;
+        }
+        let ideal = (AMORTIZE * self.overhead_micros / self.item_micros).ceil();
+        if !ideal.is_finite() {
+            return cap;
+        }
+        // f64→usize casts saturate, so huge ideals clamp to `cap`.
+        (ideal as usize).clamp(1, cap)
+    }
+}
+
 /// One worker endpoint and its health. Liveness timestamps are
 /// transport-clock micros supplied by the pool, so a simulated run's
 /// staleness sweeps follow the virtual clock.
@@ -155,6 +245,7 @@ pub struct Worker {
     pub stats: WorkerStats,
     alive: AtomicBool,
     last_seen: AtomicU64,
+    tuner: Mutex<BatchTuner>,
 }
 
 impl Worker {
@@ -168,6 +259,7 @@ impl Worker {
             stats: WorkerStats::default(),
             alive: AtomicBool::new(true),
             last_seen: AtomicU64::new(0),
+            tuner: Mutex::new(BatchTuner::default()),
         }
     }
 
@@ -207,6 +299,36 @@ impl Worker {
         self.alive.store(true, Ordering::SeqCst);
     }
 
+    /// Feeds the RTT model a timed `task` handshake (a round-trip that
+    /// does no evaluation work — the fixed per-RPC overhead).
+    pub fn note_handshake_rtt(&self, rtt_micros: u64) {
+        self.tuner
+            .lock()
+            .expect("batch tuner poisoned")
+            .note_handshake(rtt_micros);
+    }
+
+    /// Feeds the RTT model one completed batch of `len` evals that took
+    /// `rtt_micros` end to end.
+    pub fn note_batch_rtt(&self, len: u64, rtt_micros: u64) {
+        self.tuner
+            .lock()
+            .expect("batch tuner poisoned")
+            .note_batch(len, rtt_micros);
+    }
+
+    /// The adaptive batch size for this worker: always within
+    /// `[1, max_inflight]` (treating `max_inflight == 0` as 1), and
+    /// exactly `max_inflight` until the first completed batch primes
+    /// the RTT model.
+    #[must_use]
+    pub fn batch_target(&self, max_inflight: usize) -> usize {
+        self.tuner
+            .lock()
+            .expect("batch tuner poisoned")
+            .target(max_inflight)
+    }
+
     /// A plain-data copy of the worker's state for the `metrics` verb.
     /// All counters come from **one** locked read, so derived values
     /// (mean RTT) can never mix fields from different instants.
@@ -242,15 +364,16 @@ pub struct WorkerSnapshot {
     pub registered: bool,
     /// Requests written to the worker.
     pub dispatched: u64,
-    /// Responses received.
+    /// Results received.
     pub completed: u64,
     /// Requests re-dispatched after a failure here.
     pub retries: u64,
-    /// Request-timeout events.
+    /// Batch-timeout events.
     pub timeouts: u64,
     /// Eviction events.
     pub evictions: u64,
-    /// Mean dispatch-to-response latency, milliseconds.
+    /// Mean per-eval latency (batch RTT amortized over its evals),
+    /// milliseconds.
     pub mean_rtt_ms: f64,
 }
 
@@ -423,23 +546,30 @@ fn ping(addr: &str, cfg: &DispatchConfig, transport: &dyn Transport) -> bool {
     }
 }
 
-/// What one attempt to read an eval response produced.
-enum Recv {
-    /// `(request id, fitness)`.
-    Ok(usize, f64),
-    /// The read timed out; outstanding work should be re-dispatched.
+/// What one attempt to read an `eval_batch` response produced.
+enum RecvBatch {
+    /// A parsed response: `(batch id, per-item outcomes)`.
+    Ok(u64, Vec<(usize, EvalOutcome)>),
+    /// The read hit the batch deadline; outstanding work should be
+    /// re-dispatched.
     Timeout,
     /// The connection died (EOF or I/O error) — worker crash or restart.
     Closed,
     /// The worker sent garbage (malformed JSON, an oversized frame, an
-    /// error envelope, an unknown id): grounds for immediate eviction.
+    /// error envelope): grounds for immediate eviction.
     Violation,
 }
 
-/// One pipelined connection to a worker's eval server.
+/// One connection to a worker's eval server.
 struct Conn {
     reader: BufReader<Box<dyn NetStream>>,
     writer: BufWriter<Box<dyn NetStream>>,
+    /// Batch ids already used on this connection. Monotonic over the
+    /// connection's whole life — which, with the warm per-job cache,
+    /// spans generations — so a duplicated response to an old batch
+    /// still sitting in the stream is recognizably stale (id below the
+    /// current batch) instead of colliding with a fresh batch's id.
+    seq: u64,
 }
 
 impl Conn {
@@ -461,6 +591,7 @@ impl Conn {
         let mut conn = Self {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
+            seq: 0,
         };
         let hello = Json::obj(vec![
             ("cmd", Json::Str("task".into())),
@@ -485,72 +616,150 @@ impl Conn {
         }
     }
 
-    /// Writes one eval request (flushes immediately — requests are tiny).
-    fn send_eval(&mut self, id: usize, genes: &[i64]) -> std::io::Result<()> {
-        let req = Json::obj(vec![
-            ("cmd", Json::Str("eval".into())),
-            ("id", Json::Int(id as i64)),
-            (
-                "genes",
-                Json::Arr(genes.iter().map(|&g| Json::Int(g)).collect()),
-            ),
-        ]);
-        let mut text = req.to_text();
-        text.push('\n');
-        self.writer.write_all(text.as_bytes())?;
-        self.writer.flush()
+    /// Stretches the read deadline to cover a whole batch: `n` evals get
+    /// `n ×` the single-request timeout.
+    fn set_batch_deadline(&self, cfg: &DispatchConfig, n: usize) {
+        let deadline = cfg.request_timeout.saturating_mul(n.max(1) as u32);
+        let _ = self.reader.get_ref().set_read_timeout(Some(deadline));
     }
 
-    /// Reads one eval response.
-    fn recv(&mut self) -> Recv {
+    /// Writes one `eval_batch` request frame under the connection's next
+    /// batch id, and returns that id for matching the response.
+    fn send_batch(&mut self, evals: &[EvalRequest]) -> std::io::Result<u64> {
+        self.seq += 1;
+        write_frame(&mut self.writer, &eval_batch_request(self.seq, evals))?;
+        Ok(self.seq)
+    }
+
+    /// Reads one `eval_batch` response frame. `transport` brackets the
+    /// parse as busy (a no-op on TCP): the blocking read itself must
+    /// stay unbracketed — it is what virtual time advances *through* —
+    /// but once the frame is in hand, decoding it is dispatcher compute
+    /// a simulated clock must not jump over.
+    fn recv_batch(&mut self, transport: &dyn Transport) -> RecvBatch {
         match read_frame(&mut self.reader) {
             Frame::Line(line) => {
+                let _busy = crate::net::busy(transport);
                 let Ok(v) = crate::json::parse(&line) else {
-                    return Recv::Violation;
+                    return RecvBatch::Violation;
                 };
-                if v.get("ok").and_then(Json::as_bool) != Some(true) {
-                    return Recv::Violation;
-                }
-                match (
-                    v.get("id").and_then(Json::as_usize),
-                    v.get("fitness").and_then(f64_from_json),
-                ) {
-                    (Some(id), Some(fitness)) => Recv::Ok(id, fitness),
-                    _ => Recv::Violation,
+                match parse_eval_batch_response(&v) {
+                    Ok((id, results)) => RecvBatch::Ok(id, results),
+                    Err(_) => RecvBatch::Violation,
                 }
             }
-            Frame::Eof => Recv::Closed,
-            Frame::Oversized => Recv::Violation,
+            Frame::Eof => RecvBatch::Closed,
+            Frame::Oversized => RecvBatch::Violation,
             Frame::Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                Recv::Timeout
+                RecvBatch::Timeout
             }
-            Frame::Err(_) => Recv::Closed,
+            Frame::Err(_) => RecvBatch::Closed,
         }
     }
 }
 
-/// The shared state of one in-flight generation batch.
-struct Batch<'g> {
-    genomes: &'g [Genome],
+/// The exactly-once bookkeeping for one generation's worth of
+/// evaluations: a queue of genome indices awaiting dispatch, a result
+/// slot per genome, and the unresolved count. Public so the dispatch
+/// property suite can drive arbitrary claim / re-queue / resolve
+/// interleavings against the no-loss / no-double-commit invariants the
+/// worker threads rely on.
+pub struct BatchLedger {
     /// Indices awaiting dispatch (re-dispatched work returns here).
     queue: Mutex<VecDeque<usize>>,
-    /// `results[i]` is the fitness of `genomes[i]` once known.
+    /// `results[i]` is the fitness of genome `i` once known.
     results: Mutex<Vec<Option<f64>>>,
     /// Unresolved genome count; worker threads exit when it hits zero.
     remaining: AtomicUsize,
+    /// Transport-clock micros when the generation was enqueued (feeds
+    /// the batch fill-time histogram).
+    enqueued_at: u64,
+}
+
+impl BatchLedger {
+    /// A ledger for `n` genomes, all awaiting dispatch.
+    #[must_use]
+    pub fn new(n: usize, enqueued_at: u64) -> Self {
+        Self {
+            queue: Mutex::new((0..n).collect()),
+            results: Mutex::new(vec![None; n]),
+            remaining: AtomicUsize::new(n),
+            enqueued_at,
+        }
+    }
+
+    /// Claims up to `max` queued indices for one batch RPC.
+    #[must_use]
+    pub fn claim(&self, max: usize) -> Vec<usize> {
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        let take = max.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Returns indices to the queue for another worker to claim.
+    pub fn requeue(&self, idxs: &[usize]) {
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        for &i in idxs {
+            q.push_back(i);
+        }
+    }
+
+    /// Commits one result. Returns `false` — and changes nothing — if
+    /// the slot was already resolved, so a duplicated or re-dispatched
+    /// answer can never double-commit or double-decrement.
+    pub fn resolve(&self, idx: usize, fitness: f64) -> bool {
+        let mut r = self.results.lock().expect("batch results poisoned");
+        if r[idx].is_some() {
+            return false;
+        }
+        r[idx] = Some(fitness);
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Unresolved genome count.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// When the generation was enqueued (transport micros).
+    #[must_use]
+    pub fn enqueued_at(&self) -> u64 {
+        self.enqueued_at
+    }
+
+    /// Consumes the ledger; `results[i]` is `None` for any genome no
+    /// worker answered (the caller falls back to local evaluation).
+    #[must_use]
+    pub fn into_results(self) -> Vec<Option<f64>> {
+        self.results.into_inner().expect("batch results poisoned")
+    }
 }
 
 /// A [`ga::Evaluator`] that fans batches out over a [`WorkerPool`],
 /// falling back to a local fitness function for anything the pool could
-/// not answer.
+/// not answer. Also a [`ga::PipelinedEvaluator`]: `begin` runs the
+/// dispatch fan-out on a coordinator thread so the caller can overlap
+/// its own work (proposing the next generation, writing a checkpoint)
+/// with the in-flight round-trips.
 pub struct RemoteEvaluator<'a> {
-    pool: &'a WorkerPool,
+    pool: Arc<WorkerPool>,
     task: Json,
-    metrics: &'a Metrics,
+    metrics: Arc<Metrics>,
     fallback: Box<dyn Fn(&[i64]) -> f64 + Sync + 'a>,
+    /// Warm connections carried across generations, keyed by worker
+    /// address. A fresh connect plus `task` handshake per generation
+    /// once dominated small-generation round-trips (the listener's
+    /// accept poll alone added tens of milliseconds); reusing the
+    /// task-bound connection makes the steady-state dispatch cost one
+    /// batch round-trip. Scoped per evaluator — and therefore per job —
+    /// so a connection's task binding always matches the batches sent
+    /// on it. Dropped (closing the sockets) with the evaluator.
+    conns: Arc<Mutex<HashMap<String, Conn>>>,
 }
 
 impl<'a> RemoteEvaluator<'a> {
@@ -559,68 +768,130 @@ impl<'a> RemoteEvaluator<'a> {
     /// is the local fitness path (must compute the same pure function the
     /// workers do).
     pub fn new(
-        pool: &'a WorkerPool,
+        pool: &Arc<WorkerPool>,
         task: Json,
-        metrics: &'a Metrics,
+        metrics: &Arc<Metrics>,
         fallback: impl Fn(&[i64]) -> f64 + Sync + 'a,
     ) -> Self {
         Self {
-            pool,
+            pool: Arc::clone(pool),
             task,
-            metrics,
+            metrics: Arc::clone(metrics),
             fallback: Box::new(fallback),
+            conns: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 }
 
-impl Evaluator for RemoteEvaluator<'_> {
-    fn evaluate(&self, genomes: &[Genome]) -> Vec<f64> {
-        if genomes.is_empty() {
-            return Vec::new();
-        }
-        self.pool.sweep_stale(self.metrics);
-        self.pool.probe_dead();
-        let workers = self.pool.live();
-        let batch = Batch {
-            genomes,
-            queue: Mutex::new((0..genomes.len()).collect()),
-            results: Mutex::new(vec![None; genomes.len()]),
-            remaining: AtomicUsize::new(genomes.len()),
+/// Runs one generation's dispatch fan-out to completion: one scoped
+/// worker thread per live pool member, all claiming from one
+/// [`BatchLedger`]. Returns the per-genome results (`None` where no
+/// worker answered).
+fn dispatch_generation(
+    pool: &WorkerPool,
+    task: &Json,
+    metrics: &Metrics,
+    genomes: &[Genome],
+    conns: &Mutex<HashMap<String, Conn>>,
+) -> Vec<Option<f64>> {
+    pool.sweep_stale(metrics);
+    pool.probe_dead();
+    let workers = pool.live();
+    let ledger = BatchLedger::new(genomes.len(), pool.transport().now_micros());
+    if !workers.is_empty() {
+        std::thread::scope(|scope| {
+            for w in &workers {
+                let ledger = &ledger;
+                // Each worker's warm connection (if last generation kept
+                // one) rides into its driver and back out on healthy exit.
+                let cached = conns.lock().expect("conn cache poisoned").remove(&w.addr);
+                scope.spawn(move || {
+                    let kept = drive_worker(
+                        w,
+                        ledger,
+                        genomes,
+                        task,
+                        pool.config(),
+                        metrics,
+                        pool.obs(),
+                        pool.transport(),
+                        cached,
+                    );
+                    if let Some(c) = kept {
+                        conns
+                            .lock()
+                            .expect("conn cache poisoned")
+                            .insert(w.addr.clone(), c);
+                    }
+                });
+            }
+        });
+    }
+    ledger.into_results()
+}
+
+/// The handle for one in-flight generation: joins the coordinator
+/// thread, then fills any unanswered slot through the local fallback.
+struct PendingRemote<'e, 'a> {
+    eval: &'e RemoteEvaluator<'a>,
+    genomes: Arc<Vec<Genome>>,
+    handle: std::thread::JoinHandle<Vec<Option<f64>>>,
+}
+
+impl PendingScores for PendingRemote<'_, '_> {
+    fn wait(self: Box<Self>) -> Vec<f64> {
+        let results = match self.handle.join() {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
         };
-        if !workers.is_empty() {
-            std::thread::scope(|scope| {
-                for w in &workers {
-                    let batch = &batch;
-                    scope.spawn(move || {
-                        drive_worker(
-                            w,
-                            batch,
-                            &self.task,
-                            self.pool.config(),
-                            self.metrics,
-                            self.pool.obs(),
-                            self.pool.transport(),
-                        );
-                    });
-                }
-            });
-        }
-        let results = batch.results.into_inner().expect("batch results poisoned");
         results
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
                 r.unwrap_or_else(|| {
-                    Metrics::bump(&self.metrics.remote_fallback_evals);
-                    self.pool.obs().counter("dispatch_fallback_evals").inc();
+                    Metrics::bump(&self.eval.metrics.remote_fallback_evals);
+                    self.eval
+                        .pool
+                        .obs()
+                        .counter("dispatch_fallback_evals")
+                        .inc();
                     // Fallback fitness is real compute: hold the busy
                     // bracket so a simulated clock can't advance past
                     // request deadlines elsewhere while we measure.
-                    let _busy = crate::net::busy(&**self.pool.transport());
-                    (self.fallback)(&genomes[i])
+                    let _busy = crate::net::busy(&**self.eval.pool.transport());
+                    (self.eval.fallback)(&self.genomes[i])
                 })
             })
             .collect()
+    }
+}
+
+impl Evaluator for RemoteEvaluator<'_> {
+    fn evaluate(&self, genomes: &[Genome]) -> Vec<f64> {
+        self.begin(genomes).wait()
+    }
+}
+
+impl PipelinedEvaluator for RemoteEvaluator<'_> {
+    fn begin<'s>(&'s self, genomes: &[Genome]) -> Box<dyn PendingScores + 's> {
+        if genomes.is_empty() {
+            return Box::new(ReadyScores(Vec::new()));
+        }
+        let genomes = Arc::new(genomes.to_vec());
+        let pool = Arc::clone(&self.pool);
+        let task = self.task.clone();
+        let metrics = Arc::clone(&self.metrics);
+        let conns = Arc::clone(&self.conns);
+        let thread_genomes = Arc::clone(&genomes);
+        let handle = std::thread::Builder::new()
+            .name("dispatch-coordinator".into())
+            .spawn(move || dispatch_generation(&pool, &task, &metrics, &thread_genomes, &conns))
+            .expect("spawn dispatch coordinator");
+        Box::new(PendingRemote {
+            eval: self,
+            genomes,
+            handle,
+        })
     }
 }
 
@@ -629,7 +900,7 @@ impl Evaluator for RemoteEvaluator<'_> {
 /// test hook off, the work is dropped on the floor instead — the lost-work
 /// bug the simulation sweep must be able to catch.
 fn requeue(
-    batch: &Batch,
+    ledger: &BatchLedger,
     idxs: &[usize],
     worker: &Worker,
     cfg: &DispatchConfig,
@@ -649,54 +920,106 @@ fn requeue(
     if !cfg.redispatch {
         return;
     }
-    let mut q = batch.queue.lock().expect("batch queue poisoned");
-    for &i in idxs {
-        q.push_back(i);
-    }
+    ledger.requeue(idxs);
 }
 
-/// One worker's dispatch loop for one batch: claim up to `max_inflight`
-/// genomes, pipeline them over the connection, collect responses; on
-/// transient failure back off (exponentially, capped) and re-dispatch; on
-/// protocol violation or repeated failure, evict and exit. Every exit
-/// path returns outstanding work to the queue first.
-#[allow(clippy::too_many_lines)]
+/// One worker's dispatch loop for one generation: claim up to the
+/// adaptive batch target, send the whole claim as one `eval_batch`
+/// frame, commit the per-genome results from the single response; on
+/// transient failure (timeout, dead connection) back off exponentially
+/// (capped) and re-dispatch; on protocol violation (garbage, batch-id
+/// mismatch, unknown/duplicate ids, per-item errors) evict and exit.
+/// Every exit path returns outstanding work to the queue first, and
+/// records the worker's pipeline occupancy (percent of wall time spent
+/// with a batch on the wire) on the way out.
+///
+/// `cached` is the worker's warm connection from the previous
+/// generation, if any; a healthy exit hands the live connection back
+/// for the next one. Failure and eviction paths return `None` — the
+/// socket is dropped and the next generation reconnects.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn drive_worker(
     worker: &Worker,
-    batch: &Batch,
+    ledger: &BatchLedger,
+    genomes: &[Genome],
     task: &Json,
     cfg: &DispatchConfig,
     metrics: &Metrics,
     reg: &obs::Registry,
     transport: &Arc<dyn Transport>,
-) {
+    cached: Option<Conn>,
+) -> Option<Conn> {
+    let started_at = reg.now_micros();
+    let mut busy_micros: u64 = 0;
+    let kept = drive_worker_inner(
+        worker,
+        ledger,
+        genomes,
+        task,
+        cfg,
+        metrics,
+        reg,
+        transport,
+        cached,
+        &mut busy_micros,
+    );
+    // Pipeline occupancy: the share of this worker's wall time spent
+    // with a batch actually on the wire. Low occupancy means the worker
+    // idled — e.g. one greedy peer drained the queue. Skipped when a
+    // frozen test clock makes the window zero-width.
+    let elapsed = reg.now_micros().saturating_sub(started_at);
+    if elapsed > 0 {
+        reg.histogram(&obs::labeled(
+            "dispatch_pipeline_occupancy_pct",
+            &[("worker", &worker.addr)],
+        ))
+        .record(busy_micros.saturating_mul(100) / elapsed);
+    }
+    kept
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn drive_worker_inner(
+    worker: &Worker,
+    ledger: &BatchLedger,
+    genomes: &[Genome],
+    task: &Json,
+    cfg: &DispatchConfig,
+    metrics: &Metrics,
+    reg: &obs::Registry,
+    transport: &Arc<dyn Transport>,
+    cached: Option<Conn>,
+    busy_micros: &mut u64,
+) -> Option<Conn> {
     let worker_label: [(&str, &str); 1] = [("worker", &worker.addr)];
     let rpc_latency = reg.histogram(&obs::labeled("rpc_latency_micros", &worker_label));
+    let batch_sizes = reg.histogram(&obs::labeled("dispatch_batch_size", &worker_label));
+    let batch_fill = reg.histogram(&obs::labeled("dispatch_batch_fill_micros", &worker_label));
     let backoffs = reg.counter(&obs::labeled("dispatch_backoffs", &worker_label));
-    let mut conn: Option<Conn> = None;
+    let stale_batches = reg.counter(&obs::labeled("dispatch_stale_batches", &worker_label));
+    let mut conn: Option<Conn> = cached;
     let mut consecutive: u32 = 0;
     let mut backoff = cfg.backoff_base;
     loop {
-        if batch.remaining.load(Ordering::SeqCst) == 0 {
-            return;
+        if ledger.remaining() == 0 {
+            return conn;
         }
-        // Claim up to max_inflight indices (the backpressure bound).
-        let claimed: Vec<usize> = {
-            let mut q = batch.queue.lock().expect("batch queue poisoned");
-            let take = cfg.max_inflight.min(q.len());
-            q.drain(..take).collect()
-        };
+        // Claim up to the adaptive batch target (≤ max_inflight, the
+        // backpressure bound).
+        let claimed = ledger.claim(worker.batch_target(cfg.max_inflight));
         if claimed.is_empty() {
             // Everything is in flight on other workers; wait for either
             // completion or a timeout re-dispatch.
             transport.sleep(cfg.idle_poll);
             continue;
         }
+        // How long this work sat queued before a worker picked it up.
+        batch_fill.record(reg.now_micros().saturating_sub(ledger.enqueued_at()));
 
         // Transient-failure bookkeeping, shared by every retry path.
         let mut transient = |conn: &mut Option<Conn>, pending: &[usize]| -> bool {
             *conn = None;
-            requeue(batch, pending, worker, cfg, metrics, reg);
+            requeue(ledger, pending, worker, cfg, metrics, reg);
             consecutive += 1;
             if consecutive >= cfg.max_consecutive_failures {
                 worker.evict(metrics, reg);
@@ -708,93 +1031,156 @@ fn drive_worker(
             false
         };
 
-        // Ensure a connection (with the task handshake done).
+        // Ensure a connection (with the task handshake done). The timed
+        // handshake doubles as the RTT model's overhead probe.
         if conn.is_none() {
+            let handshake_started = reg.now_micros();
             match Conn::open(&worker.addr, task, cfg, &**transport) {
-                Ok(c) => conn = Some(c),
+                Ok(c) => {
+                    worker.note_handshake_rtt(reg.now_micros().saturating_sub(handshake_started));
+                    conn = Some(c);
+                }
                 Err(_) => {
                     if transient(&mut conn, &claimed) {
-                        return;
+                        return None;
                     }
                     continue;
                 }
             }
         }
 
-        // Pipeline the claimed requests. RTT reads the registry clock so
-        // deterministic tests (ManualClock) see exact latencies.
-        let started = reg.now_micros();
-        let mut send_failed = false;
-        for &i in &claimed {
-            worker.stats.update(|s| s.dispatched += 1);
-            Metrics::bump(&metrics.remote_dispatched);
-            if conn
-                .as_mut()
-                .expect("connection exists")
-                .send_eval(i, &batch.genomes[i])
-                .is_err()
-            {
-                send_failed = true;
-                break;
+        // One frame out, one frame back, for the whole claim. RTT reads
+        // the registry clock so deterministic tests (ManualClock) see
+        // exact latencies.
+        let started;
+        let sent = {
+            // Serializing and writing the frame is dispatcher compute:
+            // hold the transport's busy bracket (a no-op on TCP) so a
+            // simulated clock cannot advance while this thread is
+            // runnable but descheduled by a loaded host.
+            let _busy = crate::net::busy(&**transport);
+            let evals: Vec<EvalRequest> = claimed
+                .iter()
+                .map(|&i| EvalRequest {
+                    id: i,
+                    genes: genomes[i].clone(),
+                })
+                .collect();
+            worker
+                .stats
+                .update(|s| s.dispatched += claimed.len() as u64);
+            Metrics::add(&metrics.remote_dispatched, claimed.len() as u64);
+            Metrics::bump(&metrics.remote_batches);
+            started = reg.now_micros();
+            conn.as_mut().expect("connection exists").send_batch(&evals)
+        };
+        let expected = match sent {
+            Ok(id) => id,
+            Err(_) => {
+                if transient(&mut conn, &claimed) {
+                    return None;
+                }
+                continue;
             }
-        }
-        if send_failed {
-            if transient(&mut conn, &claimed) {
-                return;
-            }
-            continue;
-        }
+        };
 
-        // Collect the responses.
+        let live = conn.as_mut().expect("connection exists");
+        live.set_batch_deadline(cfg, claimed.len());
         let mut pending = claimed;
-        while !pending.is_empty() {
-            match conn.as_mut().expect("connection exists").recv() {
-                Recv::Ok(id, fitness) => {
-                    let Some(pos) = pending.iter().position(|&i| i == id) else {
-                        // An id we never sent: protocol violation.
-                        worker.evict(metrics, reg);
-                        requeue(batch, &pending, worker, cfg, metrics, reg);
-                        return;
-                    };
-                    pending.swap_remove(pos);
-                    batch.results.lock().expect("batch results poisoned")[id] = Some(fitness);
-                    batch.remaining.fetch_sub(1, Ordering::SeqCst);
-                    let rtt = reg.now_micros().saturating_sub(started);
+        // A warm connection can carry a straggler: a link-level
+        // duplicate of a response to an *earlier* batch, delivered after
+        // that batch already committed. Its id is below `expected`
+        // (ids are monotonic per connection), so discard it and keep
+        // reading for the current batch — it is the network's fault,
+        // not the worker's.
+        let received = loop {
+            let r = live.recv_batch(&**transport);
+            if let RecvBatch::Ok(id, _) = &r {
+                if *id < expected {
+                    stale_batches.inc();
+                    continue;
+                }
+            }
+            break r;
+        };
+        match received {
+            RecvBatch::Ok(batch_id, results) => {
+                // Committing results is compute too: same bracket, so
+                // the commit-to-next-claim stretch adds no virtual time.
+                let _busy = crate::net::busy(&**transport);
+                let rtt = reg.now_micros().saturating_sub(started);
+                *busy_micros += rtt;
+                // Commit delivered fitnesses first — they are real
+                // measurements of a pure function and stand regardless
+                // of what else the response got wrong.
+                let mut violation = batch_id != expected;
+                let mut delivered: u64 = 0;
+                if !violation {
+                    for (id, outcome) in results {
+                        let Some(pos) = pending.iter().position(|&i| i == id) else {
+                            // An id we never sent (or already answered
+                            // in this batch): protocol violation.
+                            violation = true;
+                            break;
+                        };
+                        match outcome {
+                            EvalOutcome::Fitness(fitness) => {
+                                pending.swap_remove(pos);
+                                if ledger.resolve(id, fitness) {
+                                    delivered += 1;
+                                    Metrics::bump(&metrics.remote_completed);
+                                }
+                            }
+                            EvalOutcome::Error(_) => {
+                                // The worker could not evaluate a genome
+                                // every healthy worker can: evict, and
+                                // leave the item pending for re-dispatch.
+                                violation = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if delivered > 0 {
+                    rpc_latency.record(rtt);
+                    batch_sizes.record(delivered);
                     worker.stats.update(|s| {
-                        s.completed += 1;
+                        s.completed += delivered;
                         s.rtt_micros += rtt;
                     });
-                    Metrics::bump(&metrics.remote_completed);
-                    rpc_latency.record(rtt);
+                    worker.note_batch_rtt(delivered, rtt);
                     worker.touch_at(transport.now_micros());
                 }
-                Recv::Timeout => {
-                    worker.stats.update(|s| s.timeouts += 1);
-                    Metrics::bump(&metrics.remote_timeouts);
-                    reg.counter(&obs::labeled("dispatch_timeouts", &worker_label))
-                        .inc();
-                    if transient(&mut conn, &pending) {
-                        return;
-                    }
-                    pending.clear();
-                }
-                Recv::Closed => {
-                    if transient(&mut conn, &pending) {
-                        return;
-                    }
-                    pending.clear();
-                }
-                Recv::Violation => {
+                if violation || !pending.is_empty() {
+                    // A batch-id mismatch, a bogus id, a per-item error,
+                    // or silently omitted answers: this worker cannot be
+                    // trusted with re-sends.
                     worker.evict(metrics, reg);
-                    requeue(batch, &pending, worker, cfg, metrics, reg);
-                    return;
+                    requeue(ledger, &pending, worker, cfg, metrics, reg);
+                    return None;
+                }
+                consecutive = 0;
+                backoff = cfg.backoff_base;
+            }
+            RecvBatch::Timeout => {
+                worker.stats.update(|s| s.timeouts += 1);
+                Metrics::bump(&metrics.remote_timeouts);
+                reg.counter(&obs::labeled("dispatch_timeouts", &worker_label))
+                    .inc();
+                if transient(&mut conn, &pending) {
+                    return None;
                 }
             }
-        }
-        if conn.is_some() {
-            // The whole claimed set succeeded: reset the failure window.
-            consecutive = 0;
-            backoff = cfg.backoff_base;
+            RecvBatch::Closed => {
+                if transient(&mut conn, &pending) {
+                    return None;
+                }
+            }
+            RecvBatch::Violation => {
+                worker.evict(metrics, reg);
+                requeue(ledger, &pending, worker, cfg, metrics, reg);
+                return None;
+            }
         }
     }
 }
@@ -889,11 +1275,87 @@ mod tests {
     }
 
     #[test]
+    fn unprimed_batch_target_is_max_inflight() {
+        let w = Worker::new("x:1".into(), false);
+        assert_eq!(w.batch_target(8), 8);
+        assert_eq!(w.batch_target(1), 1);
+        assert_eq!(w.batch_target(0), 1, "zero max_inflight clamps to one");
+    }
+
+    #[test]
+    fn fast_link_with_slow_evals_shrinks_batches_to_one() {
+        // Localhost-shaped: ~100µs round-trip overhead, ~30ms per eval.
+        // One eval amortizes the overhead 300-fold already, so the
+        // target drops to 1 and the queue load-balances per genome.
+        let w = Worker::new("x:1".into(), false);
+        w.note_handshake_rtt(100);
+        w.note_batch_rtt(8, 100 + 8 * 30_000);
+        assert_eq!(w.batch_target(8), 1);
+    }
+
+    #[test]
+    fn slow_link_with_fast_evals_grows_batches_to_the_cap() {
+        // WAN-shaped: 200ms round trips, microsecond evals. The
+        // overhead dominates, so batches grow to max_inflight.
+        let w = Worker::new("x:1".into(), false);
+        w.note_handshake_rtt(200_000);
+        w.note_batch_rtt(8, 200_000 + 8 * 50);
+        assert_eq!(w.batch_target(8), 8);
+        assert_eq!(w.batch_target(64), 64);
+    }
+
+    #[test]
+    fn batch_target_stays_within_bounds_as_the_model_moves() {
+        let w = Worker::new("x:1".into(), false);
+        for (hs, len, rtt) in [
+            (0u64, 1u64, 0u64),
+            (u64::MAX, 1, u64::MAX),
+            (50, 8, 40),
+            (1_000_000, 4, 3),
+            (3, 64, 9_000_000),
+        ] {
+            w.note_handshake_rtt(hs);
+            w.note_batch_rtt(len, rtt);
+            for max_inflight in [0usize, 1, 2, 8, 1024] {
+                let t = w.batch_target(max_inflight);
+                assert!(t >= 1, "target {t} below 1");
+                assert!(
+                    t <= max_inflight.max(1),
+                    "target {t} above cap {max_inflight}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_resolve_is_exactly_once() {
+        let ledger = BatchLedger::new(3, 0);
+        assert_eq!(ledger.remaining(), 3);
+        assert!(ledger.resolve(1, 0.5));
+        assert!(!ledger.resolve(1, 9.9), "double-commit must be refused");
+        assert_eq!(ledger.remaining(), 2);
+        let claimed = ledger.claim(8);
+        assert_eq!(claimed, vec![0, 1, 2]);
+        ledger.requeue(&[0, 2]);
+        assert_eq!(ledger.claim(1), vec![0]);
+        assert!(ledger.resolve(0, 1.0));
+        assert!(ledger.resolve(2, 2.0));
+        assert_eq!(ledger.remaining(), 0);
+        let results = ledger.into_results();
+        assert_eq!(results[0], Some(1.0));
+        assert_eq!(results[1], Some(0.5), "first commit wins");
+        assert_eq!(results[2], Some(2.0));
+    }
+
+    #[test]
     fn unreachable_pool_falls_back_to_local() {
-        let metrics = Metrics::new();
+        let metrics = Arc::new(Metrics::new());
         // A port nothing listens on: connect fails fast, worker evicts,
         // and every genome lands on the fallback path.
-        let pool = WorkerPool::with_workers(fast_cfg(), &["127.0.0.1:1".into()]);
+        let pool = Arc::new(WorkerPool::with_workers(
+            fast_cfg(),
+            &["127.0.0.1:1".into()],
+        ));
         let eval = RemoteEvaluator::new(&pool, Json::Null, &metrics, |g| g[0] as f64 * 2.0);
         let scores = eval.evaluate(&[vec![3], vec![5]]);
         assert_eq!(scores, vec![6.0, 10.0]);
@@ -904,9 +1366,10 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        let metrics = Metrics::new();
-        let pool = WorkerPool::new(fast_cfg());
+        let metrics = Arc::new(Metrics::new());
+        let pool = Arc::new(WorkerPool::new(fast_cfg()));
         let eval = RemoteEvaluator::new(&pool, Json::Null, &metrics, |_| 0.0);
         assert!(eval.evaluate(&[]).is_empty());
+        assert!(eval.begin(&[]).wait().is_empty());
     }
 }

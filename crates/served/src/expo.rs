@@ -101,6 +101,11 @@ pub fn render_daemon_metrics(s: &MetricsSnapshot) -> String {
             s.remote_dispatched,
         ),
         (
+            "tuned_remote_batches_total",
+            "Batched eval frames sent to workers.",
+            s.remote_batches,
+        ),
+        (
             "tuned_remote_completed_total",
             "Eval responses from workers.",
             s.remote_completed,
@@ -290,6 +295,7 @@ mod tests {
             connections: 1,
             protocol_errors: 0,
             remote_dispatched: 0,
+            remote_batches: 0,
             remote_completed: 0,
             remote_retries: 0,
             remote_timeouts: 0,

@@ -13,7 +13,7 @@
 //! With no store configured the tier is a transparent pass-through, so
 //! the daemon builds it unconditionally.
 
-use ga::{Evaluator, Genome};
+use ga::{Evaluator, Genome, PendingScores, PipelinedEvaluator};
 use std::sync::Arc;
 use stored::{Fingerprint, Record, Store};
 
@@ -63,6 +63,69 @@ impl<E: Evaluator> Evaluator for StoreTier<E> {
             }
         }
         out
+    }
+}
+
+/// The in-flight handle for a pipelined [`StoreTier`] batch: store hits
+/// are already in `out`, the misses ride the inner backend's pending
+/// handle, and `wait` merges and writes behind — the same sequence
+/// [`StoreTier::evaluate`] runs synchronously.
+struct StorePending<'s, E> {
+    tier: &'s StoreTier<E>,
+    out: Vec<f64>,
+    miss_at: Vec<usize>,
+    misses: Vec<Genome>,
+    pending: Box<dyn PendingScores + 's>,
+}
+
+impl<E: Evaluator> PendingScores for StorePending<'_, E> {
+    fn wait(self: Box<Self>) -> Vec<f64> {
+        let Self {
+            tier,
+            mut out,
+            miss_at,
+            misses,
+            pending,
+        } = *self;
+        let scores = pending.wait();
+        let (store, fp) = tier.tier.as_ref().expect("pending batch implies a store");
+        for (slot, (genome, &fitness)) in miss_at.into_iter().zip(misses.iter().zip(&scores)) {
+            out[slot] = fitness;
+            let _ = store.append(&Record {
+                fingerprint: fp.clone(),
+                genome: genome.clone(),
+                fitness,
+            });
+        }
+        out
+    }
+}
+
+impl<E: PipelinedEvaluator> PipelinedEvaluator for StoreTier<E> {
+    fn begin<'s>(&'s self, genomes: &[Genome]) -> Box<dyn PendingScores + 's> {
+        let Some((store, fp)) = &self.tier else {
+            return self.inner.begin(genomes);
+        };
+        let mut out = vec![f64::NAN; genomes.len()];
+        let mut miss_at = Vec::new();
+        let mut misses = Vec::new();
+        for (i, g) in genomes.iter().enumerate() {
+            match store.get(fp.cell_digest, g) {
+                Some(fitness) => out[i] = fitness,
+                None => {
+                    miss_at.push(i);
+                    misses.push(g.clone());
+                }
+            }
+        }
+        let pending = self.inner.begin(&misses);
+        Box::new(StorePending {
+            tier: self,
+            out,
+            miss_at,
+            misses,
+            pending,
+        })
     }
 }
 
@@ -118,6 +181,28 @@ mod tests {
         assert_eq!(second[0].to_bits(), first[1].to_bits());
         assert_eq!(second[1].to_bits(), first[0].to_bits());
         assert_eq!(second[2], 4.0);
+        drop(tier);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_tier_matches_synchronous_bit_for_bit() {
+        let dir = tmp_dir("pipe");
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let inner = LocalEvaluator::new(|g: &[i64]| g[0] as f64 * 0.25 + 0.1, 1);
+        let tier = StoreTier::new(Some((Arc::clone(&store), fp(3))), inner);
+        let genomes = [vec![1], vec![2], vec![3]];
+        // First pass via begin/wait populates the store.
+        let piped = tier.begin(&genomes).wait();
+        // Second pass mixes hits with a fresh miss; both paths agree.
+        let mixed = [vec![2], vec![9], vec![1]];
+        let a = tier.begin(&mixed).wait();
+        let b = tier.evaluate(&mixed);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(piped[1].to_bits(), a[0].to_bits(), "hit must be bit-exact");
         drop(tier);
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);

@@ -31,6 +31,9 @@ pub struct Metrics {
     pub protocol_errors: AtomicU64,
     /// Eval requests written to remote workers (including re-sends).
     pub remote_dispatched: AtomicU64,
+    /// `eval_batch` frames written to remote workers (each carries one or
+    /// more eval requests).
+    pub remote_batches: AtomicU64,
     /// Eval responses received from remote workers.
     pub remote_completed: AtomicU64,
     /// Eval requests re-dispatched after a worker failure.
@@ -66,6 +69,7 @@ impl Metrics {
             connections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             remote_dispatched: AtomicU64::new(0),
+            remote_batches: AtomicU64::new(0),
             remote_completed: AtomicU64::new(0),
             remote_retries: AtomicU64::new(0),
             remote_timeouts: AtomicU64::new(0),
@@ -115,6 +119,7 @@ impl Metrics {
             connections: self.connections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             remote_dispatched: self.remote_dispatched.load(Ordering::Relaxed),
+            remote_batches: self.remote_batches.load(Ordering::Relaxed),
             remote_completed: self.remote_completed.load(Ordering::Relaxed),
             remote_retries: self.remote_retries.load(Ordering::Relaxed),
             remote_timeouts: self.remote_timeouts.load(Ordering::Relaxed),
@@ -168,6 +173,8 @@ pub struct MetricsSnapshot {
     pub protocol_errors: u64,
     /// Eval requests written to remote workers.
     pub remote_dispatched: u64,
+    /// `eval_batch` frames written to remote workers.
+    pub remote_batches: u64,
     /// Eval responses received from remote workers.
     pub remote_completed: u64,
     /// Eval requests re-dispatched after worker failures.

@@ -185,18 +185,32 @@ impl NetListener for TcpNetListener {
     }
 
     fn accept(&self, poll: Duration) -> io::Result<Option<Box<dyn NetStream>>> {
-        match self.listener.accept() {
-            Ok((stream, _)) => {
-                // Some platforms hand accepted sockets the listener's
-                // nonblocking flag; connection handling wants blocking.
-                let _ = stream.set_nonblocking(false);
-                Ok(Some(Box::new(stream)))
+        // Poll in short slices: a connect landing mid-window is picked
+        // up within ~2 ms instead of waiting out the whole `poll`
+        // (sleeping it in one piece once added up to 50 ms of accept
+        // latency per dispatcher connection). Callers still get their
+        // full `poll` of quiet time between `None` returns, so their
+        // shutdown-flag checks keep the same pace.
+        const SLICE: Duration = Duration::from_millis(2);
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Some platforms hand accepted sockets the listener's
+                    // nonblocking flag; connection handling wants blocking.
+                    let _ = stream.set_nonblocking(false);
+                    return Ok(Some(Box::new(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if waited >= poll {
+                        return Ok(None);
+                    }
+                    let step = SLICE.min(poll - waited);
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(poll);
-                Ok(None)
-            }
-            Err(e) => Err(e),
         }
     }
 }

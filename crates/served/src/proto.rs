@@ -9,7 +9,7 @@
 
 use std::io::{BufRead, Write};
 
-use crate::checkpoint::f64_to_json;
+use crate::checkpoint::{f64_from_json, f64_to_json};
 use crate::daemon::JobRecord;
 use crate::dispatch::WorkerSnapshot;
 use crate::json::{parse, u64_from_json, u64_to_json, Json};
@@ -118,6 +118,163 @@ pub fn parse_request(line: &str) -> Result<(String, Json), String> {
         .ok_or("request needs a string 'cmd' field")?
         .to_string();
     Ok((cmd, v))
+}
+
+/// One genome inside an `eval_batch` request: the dispatcher's index
+/// into the generation plus the raw gene vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalRequest {
+    /// Caller-chosen id; echoed back verbatim in the matching result.
+    pub id: usize,
+    /// The genome to score.
+    pub genes: Vec<i64>,
+}
+
+/// One genome's outcome inside an `eval_batch` response. The batch
+/// envelope itself can succeed while individual items fail — that is
+/// the partial-failure seam: a worker reports what it could measure and
+/// names what it could not, instead of poisoning the whole round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutcome {
+    /// A bit-exact fitness measurement.
+    Fitness(f64),
+    /// This item could not be evaluated (e.g. genes outside the
+    /// problem's space); the batch's other results still stand.
+    Error(String),
+}
+
+/// Builds an `eval_batch` request frame: one round-trip carrying a whole
+/// generation's worth of evals for one worker.
+///
+/// ```text
+/// {"cmd":"eval_batch","id":"3","evals":[{"id":0,"genes":[23,...]},...]}
+/// ```
+///
+/// The batch `id` is echoed in the response so a dispatcher can detect
+/// stale or duplicated frames from an earlier batch on the same
+/// connection.
+#[must_use]
+pub fn eval_batch_request(batch_id: u64, evals: &[EvalRequest]) -> Json {
+    Json::obj(vec![
+        ("cmd", Json::Str("eval_batch".into())),
+        ("id", u64_to_json(batch_id)),
+        (
+            "evals",
+            Json::Arr(
+                evals
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("id", Json::Int(e.id as i64)),
+                            (
+                                "genes",
+                                Json::Arr(e.genes.iter().map(|&g| Json::Int(g)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses the body of an `eval_batch` request into `(batch_id, evals)`.
+///
+/// # Errors
+/// Describes the first malformed field.
+pub fn parse_eval_batch_request(body: &Json) -> Result<(u64, Vec<EvalRequest>), String> {
+    let batch_id = body
+        .get("id")
+        .and_then(u64_from_json)
+        .ok_or("eval_batch needs a numeric 'id'")?;
+    let items = body
+        .get("evals")
+        .and_then(Json::as_arr)
+        .ok_or("eval_batch needs an 'evals' array")?;
+    let evals = items
+        .iter()
+        .map(|item| {
+            let id = item
+                .get("id")
+                .and_then(Json::as_usize)
+                .ok_or("eval_batch item needs a numeric 'id'")?;
+            let genes: Vec<i64> = item
+                .get("genes")
+                .and_then(Json::as_arr)
+                .and_then(|gs| gs.iter().map(Json::as_i64).collect())
+                .ok_or("eval_batch item needs an integer 'genes' array")?;
+            Ok(EvalRequest { id, genes })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((batch_id, evals))
+}
+
+/// Builds an `eval_batch` response envelope: the echoed batch id plus
+/// one result object per item — `{"id":N,"fitness":...}` for successes,
+/// `{"id":N,"error":"..."}` for per-item failures.
+#[must_use]
+pub fn eval_batch_response(batch_id: u64, results: &[(usize, EvalOutcome)]) -> Json {
+    ok_with(vec![
+        ("id", u64_to_json(batch_id)),
+        (
+            "results",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(id, outcome)| {
+                        Json::obj(vec![
+                            ("id", Json::Int(*id as i64)),
+                            match outcome {
+                                EvalOutcome::Fitness(f) => ("fitness", f64_to_json(*f)),
+                                EvalOutcome::Error(e) => ("error", Json::Str(e.clone())),
+                            },
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a full `eval_batch` response frame into
+/// `(batch_id, per-item outcomes)`. Fitness values decode bit-exactly.
+///
+/// # Errors
+/// A `{"ok":false}` envelope or any malformed field — the caller should
+/// treat either as a protocol violation by the worker.
+pub fn parse_eval_batch_response(v: &Json) -> Result<(u64, Vec<(usize, EvalOutcome)>), String> {
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        let detail = v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("missing ok flag");
+        return Err(format!("eval_batch rejected: {detail}"));
+    }
+    let batch_id = v
+        .get("id")
+        .and_then(u64_from_json)
+        .ok_or("eval_batch response needs a numeric 'id'")?;
+    let items = v
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("eval_batch response needs a 'results' array")?;
+    let results = items
+        .iter()
+        .map(|item| {
+            let id = item
+                .get("id")
+                .and_then(Json::as_usize)
+                .ok_or("eval_batch result needs a numeric 'id'")?;
+            if let Some(f) = item.get("fitness").and_then(f64_from_json) {
+                return Ok((id, EvalOutcome::Fitness(f)));
+            }
+            if let Some(e) = item.get("error").and_then(Json::as_str) {
+                return Ok((id, EvalOutcome::Error(e.to_string())));
+            }
+            Err("eval_batch result needs 'fitness' or 'error'".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((batch_id, results))
 }
 
 /// Serializes a tuned genome as its raw gene vector plus — for the
@@ -407,6 +564,7 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
             "remote",
             Json::obj(vec![
                 ("dispatched", Json::Int(m.remote_dispatched as i64)),
+                ("batches", Json::Int(m.remote_batches as i64)),
                 ("completed", Json::Int(m.remote_completed as i64)),
                 ("retries", Json::Int(m.remote_retries as i64)),
                 ("timeouts", Json::Int(m.remote_timeouts as i64)),
@@ -488,6 +646,70 @@ mod tests {
         let e = err("boom");
         assert_eq!(e.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(e.get("error").unwrap().as_str(), Some("boom"));
+    }
+
+    #[test]
+    fn eval_batch_request_round_trips_losslessly() {
+        let evals = vec![
+            EvalRequest {
+                id: 0,
+                genes: vec![i64::MIN, -1, 0, 1, i64::MAX],
+            },
+            EvalRequest {
+                id: 7,
+                genes: vec![],
+            },
+            EvalRequest {
+                id: 3,
+                genes: vec![42; 64],
+            },
+        ];
+        let frame = eval_batch_request(u64::MAX, &evals);
+        // Through the actual wire bytes, not just the Json tree.
+        let parsed = crate::json::parse(&frame.to_text()).unwrap();
+        assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("eval_batch"));
+        let (id, back) = parse_eval_batch_request(&parsed).unwrap();
+        assert_eq!(id, u64::MAX);
+        assert_eq!(back, evals);
+    }
+
+    #[test]
+    fn eval_batch_response_round_trips_bit_exact_fitness() {
+        let results = vec![
+            (0usize, EvalOutcome::Fitness(0.1 + 0.2)),
+            (2, EvalOutcome::Error("genes outside space".into())),
+            (1, EvalOutcome::Fitness(f64::INFINITY)),
+            (5, EvalOutcome::Fitness(-0.0)),
+        ];
+        let frame = eval_batch_response(9, &results);
+        let parsed = crate::json::parse(&frame.to_text()).unwrap();
+        let (id, back) = parse_eval_batch_response(&parsed).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back.len(), results.len());
+        for ((ia, oa), (ib, ob)) in results.iter().zip(&back) {
+            assert_eq!(ia, ib);
+            match (oa, ob) {
+                (EvalOutcome::Fitness(a), EvalOutcome::Fitness(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fitness must survive bit-exactly");
+                }
+                (EvalOutcome::Error(a), EvalOutcome::Error(b)) => assert_eq!(a, b),
+                other => panic!("outcome kind changed in flight: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_error_envelope_is_a_parse_error() {
+        assert!(parse_eval_batch_response(&err("no task")).is_err());
+        assert!(parse_eval_batch_response(&ok_with(vec![])).is_err());
+        let missing_outcome = ok_with(vec![
+            ("id", crate::json::u64_to_json(1)),
+            (
+                "results",
+                Json::Arr(vec![Json::obj(vec![("id", Json::Int(0))])]),
+            ),
+        ]);
+        assert!(parse_eval_batch_response(&missing_outcome).is_err());
     }
 
     #[test]

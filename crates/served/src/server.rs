@@ -290,6 +290,7 @@ fn watch(
                     "remote",
                     Json::obj(vec![
                         ("dispatched", load(&m.remote_dispatched)),
+                        ("batches", load(&m.remote_batches)),
                         ("completed", load(&m.remote_completed)),
                         ("retries", load(&m.remote_retries)),
                         ("timeouts", load(&m.remote_timeouts)),

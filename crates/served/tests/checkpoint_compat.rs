@@ -197,7 +197,13 @@ fn legacy_run_dir_recovers_as_an_inlining_job_bit_identically() {
         run_dir,
     )
     .unwrap();
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    // Wall-clock bound (this drives a real daemon, not the sim clock);
+    // scales with `SIM_TIMEOUT_MS` per the convention in restart.rs.
+    let unit = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000u64);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(unit * 120);
     let record = loop {
         let r = daemon.status(1).expect("recovered job must be tracked");
         if r.state.is_terminal() {

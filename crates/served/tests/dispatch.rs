@@ -19,10 +19,11 @@ use std::time::Duration;
 
 use ga::GaConfig;
 use jit::Scenario;
-use served::checkpoint::f64_to_json;
 use served::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
-use served::json::Json;
-use served::proto::{err, ok_with, parse_request, read_frame, write_frame, Frame};
+use served::proto::{
+    err, eval_batch_response, ok_with, parse_eval_batch_request, parse_request, read_frame,
+    write_frame, EvalOutcome, Frame,
+};
 use served::{JobSpec, Metrics, NetStream, Transport};
 use sim::SimNet;
 use tuner::{Goal, Tuner};
@@ -58,13 +59,13 @@ fn fast_cfg() -> DispatchConfig {
 }
 
 /// A pool dialing out of the simulated daemon node.
-fn sim_pool(net: &Arc<SimNet>, addrs: &[String]) -> WorkerPool {
+fn sim_pool(net: &Arc<SimNet>, addrs: &[String]) -> Arc<WorkerPool> {
     let mut pool = WorkerPool::with_workers(fast_cfg(), addrs);
     pool.set_transport(net.transport("daemon"));
-    pool
+    Arc::new(pool)
 }
 
-/// How a fake worker treats `eval` requests.
+/// How a fake worker treats `eval_batch` requests.
 #[derive(Clone, Copy, PartialEq)]
 enum Behavior {
     /// Computes real fitness through a [`Tuner`].
@@ -145,32 +146,24 @@ fn handle_conn(
         };
         let ok = match cmd.as_str() {
             "task" | "ping" => write_frame(&mut writer, &ok_with(vec![])).is_ok(),
-            "eval" => match behavior {
+            "eval_batch" => match behavior {
                 Behavior::Honest => {
-                    let id = body.get("id").and_then(Json::as_i64).unwrap();
-                    let genes: Vec<i64> = body
-                        .get("genes")
-                        .and_then(Json::as_arr)
-                        .unwrap()
-                        .iter()
-                        .map(|g| g.as_i64().unwrap())
-                        .collect();
+                    let (batch_id, evals) = parse_eval_batch_request(&body).unwrap();
                     // Real compute: hold the busy bracket so the virtual
                     // clock cannot fire request deadlines while we work.
-                    let fitness = {
+                    let results: Vec<(usize, EvalOutcome)> = {
                         let _busy = served::net::busy(transport);
-                        tuner
-                            .expect("honest worker has a tuner")
-                            .fitness(&inliner::InlineParams::from_genes(&genes))
+                        let t = tuner.expect("honest worker has a tuner");
+                        evals
+                            .iter()
+                            .map(|e| {
+                                let fitness =
+                                    t.fitness(&inliner::InlineParams::from_genes(&e.genes));
+                                (e.id, EvalOutcome::Fitness(fitness))
+                            })
+                            .collect()
                     };
-                    write_frame(
-                        &mut writer,
-                        &ok_with(vec![
-                            ("id", Json::Int(id)),
-                            ("fitness", f64_to_json(fitness)),
-                        ]),
-                    )
-                    .is_ok()
+                    write_frame(&mut writer, &eval_batch_response(batch_id, &results)).is_ok()
                 }
                 Behavior::Malformed => {
                     writer.write_all(b"%%% not json %%%\n").is_ok() && writer.flush().is_ok()
@@ -191,7 +184,11 @@ fn handle_conn(
 }
 
 /// Runs a full GA search through a [`RemoteEvaluator`] over `pool`.
-fn run_distributed(spec: &JobSpec, pool: &WorkerPool, metrics: &Metrics) -> (Vec<i64>, f64) {
+fn run_distributed(
+    spec: &JobSpec,
+    pool: &Arc<WorkerPool>,
+    metrics: &Arc<Metrics>,
+) -> (Vec<i64>, f64) {
     let tuner = Tuner::new(
         spec.task().unwrap(),
         spec.training().unwrap(),
@@ -224,7 +221,7 @@ fn distributed_run_is_bit_identical_to_local() {
     let (w1, s1) = fake_worker(&net, "w0", Behavior::Honest, &spec);
     let (w2, s2) = fake_worker(&net, "w1", Behavior::Honest, &spec);
     let pool = sim_pool(&net, &[w1, w2]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
     let (local_genes, local_fitness) = run_local(&spec);
@@ -251,7 +248,7 @@ fn malformed_responses_evict_the_worker_without_wedging_the_run() {
     let (bad, sb) = fake_worker(&net, "w0", Behavior::Malformed, &spec);
     let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
     let pool = sim_pool(&net, &[bad, good]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
     let (local_genes, local_fitness) = run_local(&spec);
@@ -273,7 +270,7 @@ fn oversized_responses_evict_the_worker_without_wedging_the_run() {
     let (bad, sb) = fake_worker(&net, "w0", Behavior::Oversized, &spec);
     let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
     let pool = sim_pool(&net, &[bad, good]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
     let (local_genes, local_fitness) = run_local(&spec);
@@ -295,7 +292,7 @@ fn silent_worker_times_out_and_work_is_redispatched() {
     let (mute, sm) = fake_worker(&net, "w0", Behavior::Silent, &spec);
     let (good, sg) = fake_worker(&net, "w1", Behavior::Honest, &spec);
     let pool = sim_pool(&net, &[mute, good]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
     let (local_genes, local_fitness) = run_local(&spec);
@@ -321,7 +318,7 @@ fn dead_pool_falls_back_to_local_and_still_matches() {
     // Nothing listens here: every connect fails, the worker is evicted,
     // and the whole generation lands on the fallback path.
     let pool = sim_pool(&net, &["ghost:7000".to_string()]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let (genes, fitness) = run_distributed(&spec, &pool, &metrics);
     let (local_genes, local_fitness) = run_local(&spec);

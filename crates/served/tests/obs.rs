@@ -97,18 +97,22 @@ impl Drop for TestWorker {
 
 /// A pool over the given workers, recording into its own manual-clock
 /// registry.
-fn manual_pool(cfg: DispatchConfig, addrs: &[String]) -> (WorkerPool, Arc<obs::Registry>) {
+fn manual_pool(cfg: DispatchConfig, addrs: &[String]) -> (Arc<WorkerPool>, Arc<obs::Registry>) {
     let reg = manual_registry();
     let mut pool = WorkerPool::with_workers(cfg, addrs);
     pool.set_obs(Arc::clone(&reg));
-    (pool, reg)
+    (Arc::new(pool), reg)
 }
 
-/// Every histogram in the snapshot that saw samples must have recorded
-/// them all as exactly zero (frozen clock): all in bucket 0, zero sum,
-/// zero max.
+/// Every **duration** histogram in the snapshot must have recorded all
+/// its samples as exactly zero (frozen clock): all in bucket 0, zero
+/// sum, zero max. Count-valued histograms (batch sizes) are exempt —
+/// their samples are sizes, not clock reads.
 fn assert_all_samples_zero(snap: &obs::RegistrySnapshot) {
     for (name, h) in &snap.histograms {
+        if !name.contains("_micros") {
+            continue;
+        }
         assert_eq!(h.counts[0], h.total, "{name}: all samples in bucket 0");
         assert_eq!(h.sum, 0, "{name}: frozen clock records zero durations");
         assert_eq!(h.max, 0, "{name}: frozen clock records zero max");
@@ -133,7 +137,7 @@ fn dead_dropping_worker_evicts_with_exact_counters() {
     let chaos = Chaos::new(ChaosConfig::parse("drop:1.0").unwrap(), 1);
     let worker = TestWorker::start(chaos);
     let (pool, reg) = manual_pool(fast_dispatch(4), &[worker.addr.clone()]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let spec = tiny_spec(3001);
     let genomes: Vec<Vec<i64>> = vec![InlineParams::jikes_default().to_genes(); 4];
@@ -178,7 +182,7 @@ fn dead_dropping_worker_evicts_with_exact_counters() {
 fn healthy_worker_run_is_bit_identical_with_exact_histograms() {
     let worker = TestWorker::start(Chaos::inert());
     let (pool, reg) = manual_pool(fast_dispatch(8), &[worker.addr.clone()]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
     let ga_reg = manual_registry();
 
     let spec = tiny_spec(3002);
@@ -216,7 +220,9 @@ fn healthy_worker_run_is_bit_identical_with_exact_histograms() {
     assert_eq!(stats.completed, completed);
     assert_eq!(stats.rtt_micros, 0, "frozen clock: zero RTT");
 
-    // Dispatcher side: one latency sample per completed eval, all zero.
+    // Dispatcher side: one latency sample per *batch* round-trip (not
+    // per eval — batching is the point), and the batch-size histogram
+    // accounts for every completed eval exactly once.
     let snap = reg.snapshot();
     let rpc = snap
         .histogram(&obs::labeled(
@@ -224,7 +230,21 @@ fn healthy_worker_run_is_bit_identical_with_exact_histograms() {
             &[("worker", &worker.addr)],
         ))
         .unwrap();
-    assert_eq!(rpc.total, completed);
+    let batches = metrics.remote_batches.load(Ordering::Relaxed);
+    assert!(batches > 0, "a distributed run must send batches");
+    assert_eq!(rpc.total, batches, "one latency sample per batch");
+    assert!(
+        rpc.total <= completed,
+        "batching can only reduce round-trips"
+    );
+    let sizes = snap
+        .histogram(&obs::labeled(
+            "dispatch_batch_size",
+            &[("worker", &worker.addr)],
+        ))
+        .unwrap();
+    assert_eq!(sizes.sum, completed, "batch sizes sum to completed evals");
+    assert_eq!(sizes.total, rpc.total, "one size sample per batch");
     assert_all_samples_zero(&snap);
 
     // Worker side: one timed eval per completed request, no drops.
@@ -261,7 +281,7 @@ fn chaos_and_healthy_worker_pair_keeps_exact_accounting() {
     let flaky = TestWorker::start(Chaos::new(ChaosConfig::parse("drop:0.3").unwrap(), 7));
     let steady = TestWorker::start(Chaos::inert());
     let (pool, reg) = manual_pool(fast_dispatch(2), &[flaky.addr.clone(), steady.addr.clone()]);
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
 
     let spec = tiny_spec(3003);
     let tuner = Tuner::new(
@@ -300,7 +320,10 @@ fn chaos_and_healthy_worker_pair_keeps_exact_accounting() {
         state.evaluations() as u64
     );
 
-    // Exactness survives chaos: whatever got recorded is all-zero.
+    // Exactness survives chaos: every completed eval is accounted for by
+    // exactly one batch-size sample's worth of size, every successful
+    // batch left exactly one latency sample, and whatever durations got
+    // recorded are all-zero.
     let snap = reg.snapshot();
     let rpc_total: u64 = snap
         .histograms
@@ -308,7 +331,20 @@ fn chaos_and_healthy_worker_pair_keeps_exact_accounting() {
         .filter(|(n, _)| n.starts_with("rpc_latency_micros"))
         .map(|(_, h)| h.total)
         .sum();
-    assert_eq!(rpc_total, completed);
+    let (size_samples, size_sum) = snap
+        .histograms
+        .iter()
+        .filter(|(n, _)| n.starts_with("dispatch_batch_size"))
+        .fold((0u64, 0u64), |(t, s), (_, h)| (t + h.total, s + h.sum));
+    assert_eq!(size_sum, completed, "batch sizes sum to completed evals");
+    assert_eq!(
+        size_samples, rpc_total,
+        "one size sample per answered batch"
+    );
+    assert!(
+        rpc_total <= metrics.remote_batches.load(Ordering::Relaxed),
+        "chaos-killed batches send but never produce a latency sample"
+    );
     assert_all_samples_zero(&snap);
     assert_all_samples_zero(&flaky.reg.snapshot());
     assert_all_samples_zero(&steady.reg.snapshot());

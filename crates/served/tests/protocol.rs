@@ -15,6 +15,24 @@ use served::json::{parse, Json};
 use served::{Client, RunDir, Server};
 use tuner::Goal;
 
+/// The wall-clock unit every deadline in this suite is a multiple of.
+/// These tests exercise a real daemon over real sockets, so their
+/// bounds cannot ride the simulated clock (`crates/sim`) — but they
+/// *can* scale: set `SIM_TIMEOUT_MS` (default 1000) to stretch every
+/// bound on slow or heavily loaded CI machines instead of editing
+/// hard-coded deadlines.
+fn timeout_unit() -> Duration {
+    let ms = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+fn bound(units: u32) -> Duration {
+    timeout_unit() * units
+}
+
 struct TestServer {
     addr: String,
     daemon: Daemon,
@@ -236,7 +254,7 @@ fn half_open_connections_do_not_wedge_the_daemon() {
     let mut client = Client::connect(&ts.addr).unwrap();
     client.set_timeout(Some(Duration::from_secs(10))).unwrap();
     let id = client.submit(&job(1, 2)).unwrap();
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let deadline = Instant::now() + bound(60);
     loop {
         let j = client.status(id).unwrap();
         if j.get("state").and_then(Json::as_str) == Some("done") {
@@ -246,7 +264,7 @@ fn half_open_connections_do_not_wedge_the_daemon() {
         std::thread::sleep(Duration::from_millis(30));
     }
     assert!(
-        start.elapsed() < Duration::from_secs(60),
+        start.elapsed() < bound(60),
         "half-open peers delayed real work"
     );
     drop(partial);
@@ -261,7 +279,7 @@ fn metrics_are_live_while_two_jobs_run_concurrently() {
     let b = client.submit(&job(11, 200)).unwrap();
 
     // Wait until both are on workers simultaneously.
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let deadline = Instant::now() + bound(60);
     let running = loop {
         let m = client.metrics().unwrap();
         let running = m
@@ -280,7 +298,7 @@ fn metrics_are_live_while_two_jobs_run_concurrently() {
     // Counters advance while they run.
     let g0 = |m: &Json, k: &str| m.get(k).and_then(Json::as_i64).unwrap_or(-1);
     let m1 = client.metrics().unwrap();
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let deadline = Instant::now() + bound(60);
     // The generation counter bumps just before its checkpoint lands, so
     // wait for both to advance.
     let m2 = loop {
@@ -300,7 +318,7 @@ fn metrics_are_live_while_two_jobs_run_concurrently() {
     // Cancel both; they must land in `canceled` promptly.
     assert_eq!(client.cancel(a).unwrap(), "running");
     assert_eq!(client.cancel(b).unwrap(), "running");
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let deadline = Instant::now() + bound(60);
     loop {
         let m = client.metrics().unwrap();
         let canceled = m
@@ -323,7 +341,7 @@ fn watch_streams_generations_then_terminates() {
     let id = client.submit(&job(3, 3)).unwrap();
 
     let mut watcher = Client::connect(&ts.addr).unwrap();
-    watcher.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    watcher.set_timeout(Some(bound(120))).unwrap();
     let mut updates = 0;
     let last = watcher.watch(id, |_| updates += 1).unwrap();
     assert!(updates >= 2, "watch sent {updates} updates");

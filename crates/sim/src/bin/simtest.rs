@@ -9,6 +9,10 @@
 //!     mixed-problem scenario
 //! simtest --seeds 20 --broken                              # self-test: the
 //!     redispatch-disabled daemon must be caught (exit 0 iff >=1 seed fails)
+//! simtest --scale                                          # throughput-scaling
+//!     suite: virtual 1/2/4/8/16/50-worker fleet, prints the matrix and
+//!     "scale_ok: true|false" (exit 0 iff ok)
+//! simtest --scale --scale-workers 2,16                     # CI fast profile
 //! ```
 //!
 //! Sweep mode also runs `--mixed-seeds N` (default 8) mixed-problem
@@ -39,6 +43,8 @@ struct Args {
     out: Option<String>,
     trace: bool,
     broken: bool,
+    scale: bool,
+    scale_workers: Vec<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         trace: false,
         broken: false,
+        scale: false,
+        scale_workers: sim::WORKER_COUNTS.to_vec(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,11 +76,18 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(grab("--out")?),
             "--trace" => args.trace = true,
             "--broken" => args.broken = true,
+            "--scale" => args.scale = true,
+            "--scale-workers" => {
+                args.scale_workers = grab("--scale-workers")?
+                    .split(',')
+                    .map(|w| num(w).map(|n| n as usize))
+                    .collect::<Result<_, _>>()?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: simtest [--seeds N] [--base-seed S] [--store-seeds N] \
                      [--mixed-seeds N] [--out FILE] [--seed X [--trace]] [--store-seed X] \
-                     [--mixed-seed X] [--broken]"
+                     [--mixed-seed X] [--broken] [--scale [--scale-workers 1,2,...]]"
                 );
                 std::process::exit(0);
             }
@@ -95,6 +110,57 @@ fn main() {
         }
     };
     let redispatch = !args.broken;
+
+    // Throughput-scaling suite mode.
+    if args.scale {
+        let started = Instant::now();
+        let suite = sim::run_scale_suite(args.base_seed, &args.scale_workers);
+        let serial = sim::scale::serial_evals_per_sec(sim::scale::EVAL_COST);
+        println!(
+            "scaling sweep (seed {}, serial baseline {serial:.2} evals/vsec):",
+            args.base_seed
+        );
+        for r in &suite.sweep {
+            println!(
+                "  {:>3} workers: {:>7.2} evals/vsec  efficiency {:.3}  \
+                 ({} evals, {} batches, {} fallback, bit_identical {}, lossless {})",
+                r.workers,
+                r.evals_per_sec,
+                r.efficiency,
+                r.evaluations,
+                r.batches,
+                r.fallback_evals,
+                r.bit_identical,
+                r.lossless,
+            );
+        }
+        for (label, r) in &suite.faulted {
+            println!(
+                "  fault {label:>13} ({} workers): {:>7.2} evals/vsec  \
+                 ({} remote, {} fallback, bit_identical {}, lossless {})",
+                r.workers,
+                r.evals_per_sec,
+                r.remote_evals,
+                r.fallback_evals,
+                r.bit_identical,
+                r.lossless,
+            );
+        }
+        let ok = suite.ok();
+        println!(
+            "scale_ok: {ok} ({:.2}s wall)",
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(path) = &args.out {
+            let json = scale_json(&suite, args.base_seed, started.elapsed().as_secs_f64());
+            if let Err(e) = std::fs::write(path, json.to_text() + "\n") {
+                eprintln!("simtest: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("summary written to {path}");
+        }
+        std::process::exit(i32::from(!ok));
+    }
 
     // Single store-scenario replay mode.
     if let Some(seed) = args.one_store_seed {
@@ -272,6 +338,59 @@ fn main() {
         !caught && store_ok && mixed_ok
     };
     std::process::exit(i32::from(!ok));
+}
+
+fn scale_report_json(r: &sim::ScaleReport) -> Json {
+    Json::obj(vec![
+        ("workers", Json::Int(r.workers as i64)),
+        ("evaluations", Json::Int(r.evaluations as i64)),
+        ("elapsed_virtual_us", Json::Int(r.elapsed_micros as i64)),
+        (
+            "evals_per_vsec",
+            served::checkpoint::f64_to_json(r.evals_per_sec),
+        ),
+        ("efficiency", served::checkpoint::f64_to_json(r.efficiency)),
+        ("remote_evals", Json::Int(r.remote_evals as i64)),
+        ("fallback_evals", Json::Int(r.fallback_evals as i64)),
+        ("batches", Json::Int(r.batches as i64)),
+        ("bit_identical", Json::Bool(r.bit_identical)),
+        ("lossless", Json::Bool(r.lossless)),
+    ])
+}
+
+fn scale_json(suite: &sim::ScaleSuite, seed: u64, wall_secs: f64) -> Json {
+    Json::obj(vec![
+        ("bench", Json::Str("sim_scale".into())),
+        ("seed", Json::Int(seed as i64)),
+        (
+            "serial_evals_per_vsec",
+            served::checkpoint::f64_to_json(sim::scale::serial_evals_per_sec(
+                sim::scale::EVAL_COST,
+            )),
+        ),
+        (
+            "sweep",
+            Json::Arr(suite.sweep.iter().map(scale_report_json).collect()),
+        ),
+        (
+            "faulted",
+            Json::Arr(
+                suite
+                    .faulted
+                    .iter()
+                    .map(|(label, r)| {
+                        let Json::Obj(mut fields) = scale_report_json(r) else {
+                            unreachable!("scale_report_json returns an object");
+                        };
+                        fields.insert(0, ("fault".into(), Json::Str(label.clone())));
+                        Json::Obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+        ("scale_ok", Json::Bool(suite.ok())),
+        ("wall_secs", served::checkpoint::f64_to_json(wall_secs)),
+    ])
 }
 
 fn report_json(

@@ -35,6 +35,11 @@
 //!   virtual clock behind the [`served::Transport`] trait.
 //! * [`cluster`] — [`Cluster`]: boot a deployment, crash / partition /
 //!   heal / advance, check invariants.
+//! * [`scale`] — the throughput-scaling suite: a virtual 1–50-worker
+//!   fleet of synthetic eval servers proving the batched, pipelined
+//!   dispatcher beats serial at 2 workers and holds ≥ 70 % parallel
+//!   efficiency at 16, while staying exactly-once and bit-identical
+//!   under seeded fault sweeps.
 //! * [`sweep`] — seed-derived scenarios, the per-seed driver, and sweep
 //!   reports (`simtest` is a thin CLI over this). Includes the
 //!   persistent-store crash/recovery sweep ([`run_store_sweep`]): kill a
@@ -46,10 +51,15 @@
 
 pub mod cluster;
 pub mod net;
+pub mod scale;
 pub mod sweep;
 
 pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
 pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
+pub use scale::{
+    run_scale, run_scale_suite, run_scale_to, ScaleConfig, ScaleReport, ScaleSuite,
+    MEASURE_ATTEMPTS, MIN_EFFICIENCY_AT_16, WORKER_COUNTS,
+};
 pub use sweep::{
     run_mixed_seed, run_mixed_sweep, run_seed, run_store_seed, run_store_sweep, run_sweep,
     MixedSeedReport, MixedSweepReport, Scenario, SeedReport, StoreScenario, StoreSeedReport,

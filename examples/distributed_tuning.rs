@@ -13,6 +13,7 @@
 //! `tuned serve --worker HOST:PORT --worker HOST:PORT ...`.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use inlinetune::evald::{Chaos, EvalWorker};
 use inlinetune::prelude::*;
@@ -60,8 +61,8 @@ fn main() {
     // The dispatch side: a pool over those addresses and a remote
     // evaluator for this job. The fallback closure is the local fitness
     // path — used only if every worker dies.
-    let pool = WorkerPool::with_workers(DispatchConfig::default(), &addrs);
-    let metrics = Metrics::new();
+    let pool = Arc::new(WorkerPool::with_workers(DispatchConfig::default(), &addrs));
+    let metrics = Arc::new(Metrics::new());
     let tuning = Tuner::new(
         spec.task().expect("task"),
         spec.training().expect("training suite"),

@@ -5,15 +5,42 @@
 # numbers land in BENCH_evald.json together with a bit-identity check of
 # the tuned parameters (the two runs must produce the same genes).
 #
+# Steady-state methodology: each case first runs a small warmup job
+# (priming the daemon's code paths and, in the distributed case, the
+# workers' problem caches — the one-off problem build used to be charged
+# to the measured run), then times the measured job wall-to-wall from
+# submit to the terminal watch frame. Throughput is the measured job's
+# evaluations over that wall time, not over daemon uptime — uptime
+# counts boot and idle and once diluted both numbers toward a wash. The
+# default budget (16x64) is the steady-state floor where per-generation
+# dispatch cost, not setup, is what's being measured.
+#
+# The throughput gate adapts to the host:
+#   * >= 2 usable cores: the batched/pipelined dispatcher must make the
+#     distributed case *strictly beat* local evals/sec at 2 workers.
+#   * single-core host (CI containers pinned to one CPU): two worker
+#     processes cannot physically out-compute one — every eval
+#     serializes on the same core, so "distributed beats local" is not
+#     measurable here; the virtual-clock scaling suite (BENCH_scale.json,
+#     `simtest --scale`) is the scaling proof. What IS measurable — and
+#     what regressed in the one-RPC-per-genome days — is dispatch
+#     overhead: distributed must hold >= BENCH_MIN_SINGLECORE_RATIO of
+#     local throughput (the old per-genome dispatch and a 50ms accept
+#     stall both land far below it).
+# Either way the script exits nonzero when its gate fails.
+#
 # Knobs (environment): BENCH_POP (population), BENCH_GENS (generations),
-# BENCH_SEED. Defaults are small enough for a CI smoke run.
+# BENCH_SEED, BENCH_MIN_SINGLECORE_RATIO. Defaults are small enough for
+# a CI smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-POP=${BENCH_POP:-8}
-GENS=${BENCH_GENS:-4}
+POP=${BENCH_POP:-16}
+GENS=${BENCH_GENS:-64}
 SEED=${BENCH_SEED:-7}
 OUT=${BENCH_OUT:-BENCH_evald.json}
+MIN_RATIO=${BENCH_MIN_SINGLECORE_RATIO:-0.70}
+CORES=$(nproc 2>/dev/null || echo 1)
 
 cargo build --workspace --release --offline >/dev/null
 
@@ -38,7 +65,17 @@ json_num() { # file, field -> first numeric value of "field"
   sed -n "s/.*\"$2\":\(-\{0,1\}[0-9.][0-9.e+-]*\).*/\1/p" "$1" | head -n 1
 }
 
-run_case() { # name, extra `tuned serve` flags...
+submit_and_watch() { # addr, job name, pop, gens, seed
+  local submitted id
+  submitted=$("$TUNED" submit --addr "$1" --name "$2" \
+    --scenario opt --goal tot --bench db \
+    --pop "$3" --gens "$4" --seed "$5" --threads 1)
+  id=$(printf '%s' "$submitted" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  "$TUNED" watch --addr "$1" --id "$id" >/dev/null
+  printf '%s' "$id"
+}
+
+run_case() { # name, extra `tuned` serve flags...
   local name=$1
   shift
   local dir="$WORK/$name"
@@ -51,13 +88,19 @@ run_case() { # name, extra `tuned serve` flags...
   local addr
   addr=$(cat "$dir/addr")
 
-  local submitted id
-  submitted=$("$TUNED" submit --addr "$addr" --name "bench-$name" \
-    --scenario opt --goal tot --bench db \
-    --pop "$POP" --gens "$GENS" --seed "$SEED" --threads 1)
-  id=$(printf '%s' "$submitted" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  # Warmup: primes the daemon and (distributed) the workers' problem
+  # caches so the measured job sees steady state, not one-off builds.
+  # Identical for both cases — the fitness memo it leaves behind is the
+  # same on each side, preserving the bit-identity comparison.
+  submit_and_watch "$addr" "warmup-$name" 6 2 3 >/dev/null
+  "$TUNED" metrics --addr "$addr" >"$dir/metrics-warm.json"
 
-  "$TUNED" watch --addr "$addr" --id "$id" >/dev/null
+  local id t0 t1
+  t0=$(date +%s.%N)
+  id=$(submit_and_watch "$addr" "bench-$name" "$POP" "$GENS" "$SEED")
+  t1=$(date +%s.%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.6f", b - a }' >"$dir/wall"
+
   "$TUNED" status --addr "$addr" --id "$id" >"$dir/status.json"
   "$TUNED" metrics --addr "$addr" >"$dir/metrics.json"
   "$TUNED" shutdown --addr "$addr" >/dev/null
@@ -90,23 +133,50 @@ DIST_GENES=$(genes "$WORK/distributed/status.json")
 IDENTICAL=false
 [ -n "$LOCAL_GENES" ] && [ "$LOCAL_GENES" = "$DIST_GENES" ] && IDENTICAL=true
 
+measured_evals() { # name -> evaluations performed by the measured job
+  awk -v total="$(json_num "$WORK/$1/metrics.json" evaluations)" \
+    -v warm="$(json_num "$WORK/$1/metrics-warm.json" evaluations)" \
+    'BEGIN { print total - warm }'
+}
+
+evals_per_sec() { # name -> measured-job evals over measured-job wall time
+  awk -v ev="$(measured_evals "$1")" -v wall="$(cat "$WORK/$1/wall")" \
+    'BEGIN { printf "%.4f", (wall > 0) ? ev / wall : 0 }'
+}
+
+LOCAL_EPS=$(evals_per_sec local)
+DIST_EPS=$(evals_per_sec distributed)
+BEATS=$(awk -v l="$LOCAL_EPS" -v d="$DIST_EPS" \
+  'BEGIN { print (d > l) ? "true" : "false" }')
+SPEEDUP=$(awk -v l="$LOCAL_EPS" -v d="$DIST_EPS" \
+  'BEGIN { printf "%.4f", (l > 0) ? d / l : 0 }')
+if [ "$CORES" -ge 2 ]; then
+  THROUGHPUT_GATE="beats-local"
+  THROUGHPUT_OK=$BEATS
+else
+  THROUGHPUT_GATE="overhead-bounded-single-core"
+  THROUGHPUT_OK=$(awk -v s="$SPEEDUP" -v min="$MIN_RATIO" \
+    'BEGIN { print (s >= min) ? "true" : "false" }')
+fi
+
 emit_case() { # name
   local m="$WORK/$1/metrics.json"
-  local uptime evals gps hit_rate completed
-  uptime=$(json_num "$m" uptime_secs)
-  evals=$(json_num "$m" evaluations)
-  gps=$(json_num "$m" generations_per_sec)
+  local wall evals hit_rate completed batches
+  wall=$(cat "$WORK/$1/wall")
+  evals=$(measured_evals "$1")
   hit_rate=$(json_num "$m" cache_hit_rate)
   completed=$(sed -n 's/.*"remote":{[^}]*"completed":\([0-9]*\).*/\1/p' "$m" | head -n 1)
-  awk -v n="$1" -v up="$uptime" -v ev="$evals" -v gps="$gps" \
-      -v hit="$hit_rate" -v rc="${completed:-0}" 'BEGIN {
-    eps = (up > 0) ? ev / up : 0
+  batches=$(sed -n 's/.*"remote":{[^}]*"batches":\([0-9]*\).*/\1/p' "$m" | head -n 1)
+  awk -v n="$1" -v wall="$wall" -v ev="$evals" \
+      -v hit="$hit_rate" -v rc="${completed:-0}" -v rb="${batches:-0}" 'BEGIN {
+    eps = (wall > 0) ? ev / wall : 0
     printf "    \"%s\": {\n", n
-    printf "      \"generations_per_sec\": %.4f,\n", gps
+    printf "      \"wall_secs\": %.4f,\n", wall
     printf "      \"evaluations\": %d,\n", ev
     printf "      \"evaluations_per_sec\": %.4f,\n", eps
     printf "      \"cache_hit_rate\": %.4f,\n", hit
-    printf "      \"remote_completed\": %d\n", rc
+    printf "      \"remote_completed\": %d,\n", rc
+    printf "      \"remote_batches\": %d\n", rb
     printf "    }"
   }'
 }
@@ -117,7 +187,13 @@ emit_case() { # name
   printf '  "pop": %d,\n' "$POP"
   printf '  "gens": %d,\n' "$GENS"
   printf '  "seed": %d,\n' "$SEED"
+  printf '  "cores": %d,\n' "$CORES"
   printf '  "identical": %s,\n' "$IDENTICAL"
+  printf '  "speedup_2w": %s,\n' "$SPEEDUP"
+  printf '  "distributed_beats_local": %s,\n' "$BEATS"
+  printf '  "throughput_gate": "%s",\n' "$THROUGHPUT_GATE"
+  printf '  "min_single_core_ratio": %s,\n' "$MIN_RATIO"
+  printf '  "throughput_ok": %s,\n' "$THROUGHPUT_OK"
   printf '  "cases": {\n'
   emit_case local
   printf ',\n'
@@ -129,6 +205,16 @@ emit_case() { # name
 echo "== bench: wrote $OUT"
 cat "$OUT"
 [ "$IDENTICAL" = true ] || { echo "bench: distributed result differs from local!"; exit 1; }
+[ "$THROUGHPUT_OK" = true ] || {
+  if [ "$THROUGHPUT_GATE" = beats-local ]; then
+    echo "bench: distributed (2 workers, $DIST_EPS evals/sec) did not beat local ($LOCAL_EPS evals/sec)!"
+  else
+    echo "bench: single-core dispatch overhead too high:" \
+      "distributed $DIST_EPS vs local $LOCAL_EPS evals/sec" \
+      "(ratio $SPEEDUP < $MIN_RATIO)"
+  fi
+  exit 1
+}
 
 # ---------------------------------------------------------------------------
 # Observability overhead: the same deterministic tuning job, once with the
