@@ -105,6 +105,7 @@ mod tests {
             },
             strategy: "ga".into(),
             problem: "inline".into(),
+            tenant: "default".into(),
         }
     }
 

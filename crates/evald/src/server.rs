@@ -496,6 +496,7 @@ mod tests {
             },
             strategy: "ga".into(),
             problem: "inline".into(),
+            tenant: "default".into(),
         }
     }
 

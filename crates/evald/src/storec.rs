@@ -245,6 +245,7 @@ mod tests {
             },
             strategy: "ga".into(),
             problem: "inline".into(),
+            tenant: "default".into(),
         }
     }
 

@@ -62,6 +62,7 @@ fn tiny_spec(seed: u64) -> JobSpec {
         },
         strategy: "ga".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     }
 }
 

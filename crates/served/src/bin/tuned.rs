@@ -3,11 +3,12 @@
 //! ```text
 //! tuned serve  [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue N]
 //!              [--eval-threads N] [--worker HOST:PORT]...
-//!              [--store-path DIR]
+//!              [--shards N] [--tenant-quota TENANT=EVALS]...
+//!              [--max-connections N] [--store-path DIR]
 //!              [--metrics-listen HOST:PORT] [--obs-detail]
 //! tuned submit [--addr HOST:PORT] --name NAME --scenario opt|adapt
 //!              --goal run|tot|bal [--arch x86-p4|ppc-g4]
-//!              [--problem inline|flags|dss]
+//!              [--problem inline|flags|dss] [--tenant NAME]
 //!              [--strategy ga|random|hillclimb|anneal|grid|race|race:A+B[+C...]]
 //!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
 //!              [--threads N] [--stagnation N]
@@ -16,6 +17,7 @@
 //! tuned list    [--addr HOST:PORT]
 //! tuned cancel  [--addr HOST:PORT] --id N
 //! tuned metrics [--addr HOST:PORT]
+//! tuned tenants [--addr HOST:PORT]
 //! tuned obs     [--addr HOST:PORT]
 //! tuned store   [--addr HOST:PORT] stats|compact
 //! tuned shutdown [--addr HOST:PORT]
@@ -49,12 +51,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: tuned <serve|submit|status|watch|list|cancel|metrics|obs|store|shutdown> [flags]"
+            "usage: tuned <serve|submit|status|watch|list|cancel|metrics|tenants|obs|store|shutdown> [flags]"
         );
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
         "serve" => serve(&args[1..]),
+        "tenants" => with_client(&args[1..], |client| {
+            for t in client.tenants()? {
+                println!("{}", t.to_text());
+            }
+            Ok(())
+        }),
         "submit" => submit(&args[1..]),
         "status" => with_id(&args[1..], |client, id| {
             client.status(id).map(|j| println!("{}", j.to_text()))
@@ -146,6 +154,21 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot open store at {path}: {e}"))
         })
         .transpose()?;
+    // `--tenant-quota infra=50000` caps tenant `infra` at 50000
+    // evaluations of admitted budget; repeat the flag per tenant.
+    let tenant_quotas = flags
+        .get_all("--tenant-quota")
+        .into_iter()
+        .map(|kv| {
+            let (tenant, quota) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad --tenant-quota '{kv}' (want TENANT=EVALS)"))?;
+            let quota: u64 = quota
+                .parse()
+                .map_err(|_| format!("bad --tenant-quota evals in '{kv}'"))?;
+            Ok((tenant.to_string(), quota))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     let config = DaemonConfig {
         workers: flags.parse("--workers")?.unwrap_or(2),
         queue_capacity: flags.parse("--queue")?.unwrap_or(64),
@@ -155,9 +178,17 @@ fn serve(args: &[String]) -> Result<(), String> {
             .into_iter()
             .map(str::to_string)
             .collect(),
+        shards: flags.parse("--shards")?.unwrap_or(base.shards),
+        tenant_quotas,
+        max_connections: flags
+            .parse("--max-connections")?
+            .unwrap_or(base.max_connections),
         store,
         ..base
     };
+    if config.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let run_dir = RunDir::open(dir)?;
     let daemon = Daemon::start(config, run_dir.clone())?;
     if args.iter().any(|a| a == "--obs-detail") {
@@ -250,6 +281,7 @@ fn submit(args: &[String]) -> Result<(), String> {
             ..base
         },
         strategy: flags.get("--strategy").unwrap_or("ga").to_string(),
+        tenant: flags.get("--tenant").unwrap_or("default").to_string(),
         problem: flags.get("--problem").unwrap_or("inline").to_string(),
     };
     // Validate locally (names, GA shape) before going on the wire.

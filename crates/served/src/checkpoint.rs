@@ -844,6 +844,7 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            tenant: "default".into(),
         };
         rd.save_spec(3, &spec).unwrap();
         let snap = StrategySnapshot::Ga(stepped_snapshot());

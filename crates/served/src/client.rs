@@ -157,6 +157,19 @@ impl Client {
             .ok_or_else(|| "metrics response missing 'metrics'".into())
     }
 
+    /// Fetches every tenant's quota accounting rows.
+    ///
+    /// # Errors
+    /// Transport failure.
+    pub fn tenants(&mut self) -> Result<Vec<Json>, String> {
+        let resp = self.call(&Json::obj(vec![("cmd", Json::Str("tenants".into()))]))?;
+        Ok(resp
+            .get("tenants")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .to_vec())
+    }
+
     /// Fetches the full observability registry (counters, gauges,
     /// histograms, recent spans) as JSON. Decode with
     /// [`crate::proto::registry_from_json`].
@@ -296,12 +309,19 @@ impl Client {
 
 fn unwrap_ok(resp: Json) -> Result<Json, String> {
     if resp.get("ok").and_then(Json::as_bool) == Some(true) {
-        Ok(resp)
-    } else {
-        Err(resp
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("daemon returned ok:false")
-            .to_string())
+        return Ok(resp);
+    }
+    let msg = resp
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("daemon returned ok:false")
+        .to_string();
+    // Structured busy frames keep their machine-readable reason in the
+    // message so CLI users see "shard 0 queue full ... (busy: queue_full)".
+    match resp.get("reason").and_then(Json::as_str) {
+        Some(reason) if resp.get("busy").and_then(Json::as_bool) == Some(true) => {
+            Err(format!("{msg} (busy: {reason})"))
+        }
+        _ => Err(msg),
     }
 }

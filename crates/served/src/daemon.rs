@@ -8,13 +8,14 @@
 //! checkpoint, cancel, or shut down between generations without losing
 //! more than one generation of work.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ga::{GenTiming, LocalEvaluator};
 use search::{Standing, Strategy};
+use shard::{shard_of, Directory, DrrScheduler, QuotaAccountant, Reject, RejectKind, TenantUsage};
 
 use crate::checkpoint::RunDir;
 use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
@@ -26,10 +27,28 @@ use crate::net::{TcpTransport, Transport};
 /// Daemon tunables.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
-    /// Worker threads (concurrent jobs).
+    /// Worker threads (concurrent jobs). The daemon always spawns at
+    /// least one runner per shard (`max(workers, shards)`), so shards
+    /// are never idle merely because the runner count is low.
     pub workers: usize,
-    /// Maximum queued-but-not-running jobs; `submit` rejects beyond this.
+    /// Maximum queued-but-not-running jobs **per shard**; admission
+    /// rejects beyond this with a structured `busy` frame. (With one
+    /// shard — the default — this is exactly the old global bound.)
     pub queue_capacity: usize,
+    /// Independent job shards. Each job is routed by
+    /// `shard::shard_of(id, shards)` and its GA state, checkpoints, and
+    /// store writes are owned by that shard's runners for its lifetime.
+    pub shards: usize,
+    /// Per-tenant evaluation-budget quotas (tenant name → max evals
+    /// committed across that tenant's jobs). Tenants not listed are
+    /// unlimited.
+    pub tenant_quotas: Vec<(String, u64)>,
+    /// Deficit-round-robin quantum in eval-budget units (see
+    /// `shard::drr`).
+    pub drr_quantum: u64,
+    /// Cap on concurrent protocol connections; the server answers a
+    /// structured `busy` frame and disconnects beyond it.
+    pub max_connections: usize,
     /// Total **local** evaluation threads shared by every concurrently
     /// running job. Without this cap, W concurrent jobs each defaulting
     /// to `available_parallelism()` GA threads oversubscribe the machine
@@ -61,6 +80,10 @@ impl Default for DaemonConfig {
         Self {
             workers: 2,
             queue_capacity: 64,
+            shards: 1,
+            tenant_quotas: Vec::new(),
+            drr_quantum: shard::drr::DEFAULT_QUANTUM,
+            max_connections: 256,
             eval_threads: std::thread::available_parallelism().map_or(1, usize::from),
             eval_workers: Vec::new(),
             dispatch: DispatchConfig::default(),
@@ -138,17 +161,56 @@ pub struct JobRecord {
     /// member for a racing portfolio (not persisted across restarts;
     /// repopulated once the resumed job completes a round).
     pub standings: Vec<Standing>,
+    /// The shard that owns this job (`shard::shard_of(id, shards)`;
+    /// stable across restarts because it depends only on the id).
+    pub shard: usize,
 }
 
 struct JobEntry {
     record: JobRecord,
     cancel: Arc<AtomicBool>,
+    /// Micros (daemon clock) when the job was last enqueued, for the
+    /// scheduling-delay histogram.
+    enqueued_at: u64,
+    /// The unspent part of the job's quota reservation; settled back to
+    /// the tenant when the job leaves the system.
+    reserved: u64,
 }
 
 struct JobTable {
     jobs: HashMap<u64, JobEntry>,
-    queue: VecDeque<u64>,
+    /// One deficit-round-robin queue per shard.
+    queues: Vec<DrrScheduler>,
+    accountant: QuotaAccountant,
     next_id: u64,
+}
+
+/// A point-in-time view of one shard (for the `metrics` verb).
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    pub queued: usize,
+    pub running: usize,
+    pub done: usize,
+    pub failed: usize,
+    pub canceled: usize,
+}
+
+/// A failed `submit_admit`: either a structured admission rejection
+/// (map it to a `busy` frame) or an internal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    Rejected(Reject),
+    Internal(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected(r) => write!(f, "{r}"),
+            SubmitError::Internal(e) => write!(f, "{e}"),
+        }
+    }
 }
 
 struct Inner {
@@ -160,6 +222,41 @@ struct Inner {
     shutdown: AtomicBool,
     budget: ThreadBudget,
     pool: Arc<WorkerPool>,
+    directory: Arc<Directory>,
+}
+
+impl Inner {
+    fn now_micros(&self) -> u64 {
+        self.config.transport.now_micros()
+    }
+
+    fn set_depth_gauge(&self, shard: usize, depth: usize) {
+        let s = shard.to_string();
+        self.config
+            .obs
+            .gauge(&obs::labeled("shard_queue_depth", &[("shard", &s)]))
+            .set(depth as i64);
+    }
+
+    /// Per-tenant budget gauges — the obs mirror of the accountant's
+    /// books, refreshed wherever a tenant's used/reserved totals move
+    /// (admit, per-round charge, settle).
+    fn set_tenant_gauges(&self, table: &JobTable, tenant: &str) {
+        let Some(u) = table.accountant.usage_of(tenant) else {
+            return;
+        };
+        self.config
+            .obs
+            .gauge(&obs::labeled("tenant_evals_used", &[("tenant", tenant)]))
+            .set(u.used.min(i64::MAX as u64) as i64);
+        self.config
+            .obs
+            .gauge(&obs::labeled(
+                "tenant_evals_reserved",
+                &[("tenant", tenant)],
+            ))
+            .set(u.reserved.min(i64::MAX as u64) as i64);
+    }
 }
 
 /// The tuning daemon. Cheap to clone (an `Arc` around the shared state);
@@ -179,12 +276,19 @@ impl Daemon {
     /// Propagates run-directory I/O errors.
     pub fn start(config: DaemonConfig, run_dir: RunDir) -> Result<Self, String> {
         assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.shards >= 1, "need at least one shard");
+        let directory = Arc::new(Directory::new(
+            config.shards,
+            config.dispatch.stale_after.as_micros() as u64,
+        ));
         let inner = Arc::new(Inner {
-            config: config.clone(),
             run_dir,
             jobs: Mutex::new(JobTable {
                 jobs: HashMap::new(),
-                queue: VecDeque::new(),
+                queues: (0..config.shards)
+                    .map(|_| DrrScheduler::new(config.drr_quantum))
+                    .collect(),
+                accountant: QuotaAccountant::with_quotas(&config.tenant_quotas),
                 next_id: 1,
             }),
             queue_cv: Condvar::new(),
@@ -198,19 +302,33 @@ impl Daemon {
                 pool.set_transport(Arc::clone(&config.transport));
                 Arc::new(pool)
             },
+            directory: Arc::clone(&directory),
+            config,
         });
+        // Statically configured workers seed the directory exactly like
+        // a runtime registration would.
+        let boot = inner.now_micros();
+        for addr in &inner.config.eval_workers {
+            directory.observe(addr, boot);
+        }
         let daemon = Self {
             inner,
             workers: Arc::new(Mutex::new(Vec::new())),
         };
         daemon.recover()?;
+        // At least one runner per shard: shards are the unit of job
+        // concurrency, so a 16-shard daemon runs 16 jobs even when
+        // `workers` is lower.
+        let runners = daemon.inner.config.workers.max(daemon.inner.config.shards);
+        let shards = daemon.inner.config.shards;
         let mut pool = daemon.workers.lock().expect("worker pool poisoned");
-        for i in 0..config.workers {
+        for i in 0..runners {
             let inner = Arc::clone(&daemon.inner);
+            let home = i % shards;
             pool.push(
                 std::thread::Builder::new()
                     .name(format!("tuned-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, home))
                     .map_err(|e| format!("cannot spawn worker: {e}"))?,
             );
         }
@@ -224,6 +342,7 @@ impl Daemon {
     fn recover(&self) -> Result<(), String> {
         let inner = &self.inner;
         let ids = inner.run_dir.job_ids();
+        let now = inner.now_micros();
         let mut table = inner.jobs.lock().expect("job table poisoned");
         for id in ids {
             let Some(spec) = inner.run_dir.load_spec(id) else {
@@ -245,6 +364,24 @@ impl Daemon {
                 (JobState::Queued, None, true)
             };
             let best_fitness = result.as_ref().map(|(_, f)| *f);
+            // Re-derive the job's shard from its id: the same placement
+            // the pre-restart daemon used (provided the shard count is
+            // unchanged; a re-sharded daemon simply re-routes).
+            let home = shard_of(id, inner.config.shards);
+            let cost = spec.eval_estimate();
+            let tenant = spec.tenant.clone();
+            // Re-reserve the recovered job's budget. A quota rejection
+            // is ignored: the job was admitted once, and dropping it on
+            // restart would lose work — the invariant that matters here
+            // is no lost jobs, so it runs unreserved.
+            let reserved = if requeue {
+                match table.accountant.admit(&tenant, cost) {
+                    Ok(()) => cost,
+                    Err(_) => 0,
+                }
+            } else {
+                0
+            };
             table.jobs.insert(
                 id,
                 JobEntry {
@@ -258,12 +395,17 @@ impl Daemon {
                         error: None,
                         timing: None,
                         standings: Vec::new(),
+                        shard: home,
                     },
                     cancel: Arc::new(AtomicBool::new(false)),
+                    enqueued_at: now,
+                    reserved,
                 },
             );
             if requeue {
-                table.queue.push_back(id);
+                table.queues[home].enqueue(&tenant, id, cost);
+                inner.set_depth_gauge(home, table.queues[home].len());
+                inner.set_tenant_gauges(&table, &tenant);
                 Metrics::bump(&inner.metrics.jobs_recovered);
             }
             table.next_id = table.next_id.max(id + 1);
@@ -276,22 +418,55 @@ impl Daemon {
     /// Accepts a job: persists the spec, enqueues it, and returns its id.
     ///
     /// # Errors
-    /// Queue full, shutdown in progress, or run-directory I/O failure.
+    /// Queue full, over quota, shutdown in progress, or run-directory
+    /// I/O failure — all flattened to strings. Protocol callers use
+    /// [`Daemon::submit_admit`] to keep the structured rejection.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
+        self.submit_admit(spec).map_err(|e| e.to_string())
+    }
+
+    /// The admission path: routes the job to its shard, checks the
+    /// shard's queue depth and the tenant's quota, persists the spec,
+    /// and enqueues under deficit-round-robin.
+    ///
+    /// # Errors
+    /// [`SubmitError::Rejected`] carries the structured admission
+    /// decision (`queue_full` or `quota`) for the wire's `busy` frame.
+    pub fn submit_admit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::SeqCst) {
-            return Err("daemon is shutting down".into());
+            return Err(SubmitError::Rejected(Reject::new(
+                RejectKind::QueueFull,
+                "daemon is shutting down",
+            )));
         }
         let mut table = inner.jobs.lock().expect("job table poisoned");
-        if table.queue.len() >= inner.config.queue_capacity {
-            return Err(format!(
-                "queue full ({} jobs waiting)",
-                inner.config.queue_capacity
-            ));
+        // The id is routed before it is consumed: placement must match
+        // what recovery will later derive from the id alone.
+        let home = shard_of(table.next_id, inner.config.shards);
+        if table.queues[home].len() >= inner.config.queue_capacity {
+            Metrics::bump(&inner.metrics.busy_rejects);
+            return Err(SubmitError::Rejected(Reject::new(
+                RejectKind::QueueFull,
+                format!(
+                    "shard {home} queue full ({} jobs waiting)",
+                    inner.config.queue_capacity
+                ),
+            )));
+        }
+        let cost = spec.eval_estimate();
+        let tenant = spec.tenant.clone();
+        if let Err(reject) = table.accountant.admit(&tenant, cost) {
+            Metrics::bump(&inner.metrics.quota_rejects);
+            return Err(SubmitError::Rejected(reject));
         }
         let id = table.next_id;
         table.next_id += 1;
-        inner.run_dir.save_spec(id, &spec)?;
+        if let Err(e) = inner.run_dir.save_spec(id, &spec) {
+            // Undo the reservation: the job never entered the system.
+            table.accountant.settle(&tenant, cost);
+            return Err(SubmitError::Internal(e));
+        }
         table.jobs.insert(
             id,
             JobEntry {
@@ -305,11 +480,16 @@ impl Daemon {
                     error: None,
                     timing: None,
                     standings: Vec::new(),
+                    shard: home,
                 },
                 cancel: Arc::new(AtomicBool::new(false)),
+                enqueued_at: inner.now_micros(),
+                reserved: cost,
             },
         );
-        table.queue.push_back(id);
+        table.queues[home].enqueue(&tenant, id, cost);
+        inner.set_depth_gauge(home, table.queues[home].len());
+        inner.set_tenant_gauges(&table, &tenant);
         drop(table);
         Metrics::bump(&inner.metrics.jobs_submitted);
         inner.queue_cv.notify_one();
@@ -349,7 +529,13 @@ impl Daemon {
             JobState::Queued => {
                 entry.record.state = JobState::Canceled;
                 entry.cancel.store(true, Ordering::SeqCst);
-                table.queue.retain(|&qid| qid != id);
+                let home = entry.record.shard;
+                let tenant = entry.record.spec.tenant.clone();
+                let unspent = std::mem::take(&mut entry.reserved);
+                table.queues[home].remove(id);
+                table.accountant.settle(&tenant, unspent);
+                inner.set_depth_gauge(home, table.queues[home].len());
+                inner.set_tenant_gauges(&table, &tenant);
                 inner.run_dir.mark_canceled(id)?;
             }
             JobState::Running => {
@@ -411,6 +597,73 @@ impl Daemon {
         self.inner.config.store.as_ref()
     }
 
+    /// How many shards this daemon runs.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.config.shards
+    }
+
+    /// The server-side connection cap (structured `busy` reject above it).
+    #[must_use]
+    pub fn max_connections(&self) -> usize {
+        self.inner.config.max_connections
+    }
+
+    /// The cluster-wide worker directory (liveness + shard leases).
+    #[must_use]
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.inner.directory
+    }
+
+    /// Registers a worker with both the dispatch pool and the shard
+    /// directory — one call per `register` frame keeps the two views of
+    /// the fleet in lockstep. Returns `true` if the address was new.
+    pub fn register_worker(&self, addr: &str) -> bool {
+        let new = self.inner.pool.register(addr);
+        self.inner.directory.observe(addr, self.inner.now_micros());
+        new
+    }
+
+    /// Refreshes a worker's heartbeat in the pool and the directory
+    /// (auto-registering an address neither has seen, e.g. after a
+    /// daemon restart).
+    pub fn heartbeat_worker(&self, addr: &str) {
+        self.inner.pool.heartbeat(addr);
+        self.inner.directory.observe(addr, self.inner.now_micros());
+    }
+
+    /// Per-shard queue/terminal-state gauges, one row per shard, for the
+    /// `metrics` verb and the Prometheus endpoint.
+    #[must_use]
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        let table = self.inner.jobs.lock().expect("job table poisoned");
+        let mut rows: Vec<ShardSnapshot> = (0..self.inner.config.shards)
+            .map(|shard| ShardSnapshot {
+                shard,
+                ..ShardSnapshot::default()
+            })
+            .collect();
+        for e in table.jobs.values() {
+            let row = &mut rows[e.record.shard];
+            match e.record.state {
+                JobState::Queued => row.queued += 1,
+                JobState::Running => row.running += 1,
+                JobState::Done => row.done += 1,
+                JobState::Failed => row.failed += 1,
+                JobState::Canceled => row.canceled += 1,
+            }
+        }
+        rows
+    }
+
+    /// Every tenant's quota accounting (admissions, rejections, reserved
+    /// and consumed evaluation budget), sorted by tenant name.
+    #[must_use]
+    pub fn tenant_usage(&self) -> Vec<TenantUsage> {
+        let table = self.inner.jobs.lock().expect("job table poisoned");
+        table.accountant.usage()
+    }
+
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
@@ -430,21 +683,48 @@ impl Daemon {
     }
 }
 
-/// Claims the next queued job id, blocking on the queue condvar. Returns
-/// `None` when the daemon is shutting down.
-fn claim_next(inner: &Inner) -> Option<(u64, JobSpec, Arc<AtomicBool>)> {
+/// Claims the next queued job, blocking on the queue condvar. Runners
+/// scan shards starting from their home shard (affinity) and rotate
+/// through the rest (work conservation: no runner idles while any shard
+/// has queued jobs). Returns `None` when the daemon is shutting down.
+fn claim_next(inner: &Inner, home: usize) -> Option<(u64, JobSpec, Arc<AtomicBool>, usize)> {
+    let shards = inner.config.shards;
     let mut table = inner.jobs.lock().expect("job table poisoned");
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        if let Some(id) = table.queue.pop_front() {
-            let entry = table.jobs.get_mut(&id).expect("queued job has an entry");
-            if entry.record.state != JobState::Queued {
-                continue; // canceled while queued
+        let mut claimed = None;
+        'scan: for k in 0..shards {
+            let s = (home + k) % shards;
+            while let Some((id, _tenant)) = table.queues[s].dequeue() {
+                inner.set_depth_gauge(s, table.queues[s].len());
+                let entry = table.jobs.get_mut(&id).expect("queued job has an entry");
+                if entry.record.state != JobState::Queued {
+                    continue; // canceled while queued
+                }
+                entry.record.state = JobState::Running;
+                let delay = inner.now_micros().saturating_sub(entry.enqueued_at);
+                claimed = Some((id, entry.record.spec.clone(), Arc::clone(&entry.cancel), s));
+                let label = s.to_string();
+                inner
+                    .config
+                    .obs
+                    .histogram(&obs::labeled(
+                        "shard_sched_delay_micros",
+                        &[("shard", &label)],
+                    ))
+                    .record(delay);
+                inner
+                    .config
+                    .obs
+                    .histogram("sched_delay_micros")
+                    .record(delay);
+                break 'scan;
             }
-            entry.record.state = JobState::Running;
-            return Some((id, entry.record.spec.clone(), Arc::clone(&entry.cancel)));
+        }
+        if let Some(hit) = claimed {
+            return Some(hit);
         }
         table = inner.queue_cv.wait(table).expect("job table poisoned");
     }
@@ -460,15 +740,45 @@ fn set_failed(inner: &Inner, id: u64, msg: String) {
 
 /// The worker loop: claim → build tuner → restore-or-start → step /
 /// checkpoint until done, canceled, or shutdown.
-fn worker_loop(inner: &Inner) {
-    while let Some((id, spec, cancel)) = claim_next(inner) {
-        if let Err(msg) = run_job(inner, id, &spec, &cancel) {
+fn worker_loop(inner: &Inner, home: usize) {
+    while let Some((id, spec, cancel, shard_idx)) = claim_next(inner, home) {
+        let outcome = run_job(inner, id, &spec, &cancel, shard_idx);
+        // Whatever the outcome, the job has left its runner: release the
+        // unspent part of its quota reservation (unless it merely parked
+        // for shutdown, which keeps the job — and its budget — alive).
+        let parked = inner.shutdown.load(Ordering::SeqCst)
+            && matches!(
+                inner
+                    .jobs
+                    .lock()
+                    .expect("job table poisoned")
+                    .jobs
+                    .get(&id)
+                    .map(|e| e.record.state),
+                Some(JobState::Queued)
+            );
+        if !parked {
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                let unspent = std::mem::take(&mut e.reserved);
+                let tenant = e.record.spec.tenant.clone();
+                table.accountant.settle(&tenant, unspent);
+                inner.set_tenant_gauges(&table, &tenant);
+            }
+        }
+        if let Err(msg) = outcome {
             set_failed(inner, id, msg);
         }
     }
 }
 
-fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Result<(), String> {
+fn run_job(
+    inner: &Inner,
+    id: u64,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+    shard_idx: usize,
+) -> Result<(), String> {
     // Everything below this line is problem-generic: the strategy
     // searches the problem's gene space, evaluators call the problem's
     // fitness, and the store keys by the problem's tagged fingerprint.
@@ -524,13 +834,22 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
 
     // The remote tier: when the pool has workers, each round's memo
     // misses fan out over them; the problem's own fitness path is the
-    // fallback for anything no live worker answers.
-    let remote = StoreTier::new(
-        store_cell,
-        RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
+    // fallback for anything no live worker answers. The directory
+    // filter scopes dispatch to the workers leasing this job's shard
+    // (falling back to the whole fleet when the lease set is empty), so
+    // thousands of jobs multiplex the shared pool without all stampeding
+    // the same workers.
+    let remote = StoreTier::new(store_cell, {
+        let mut eval = RemoteEvaluator::new(&inner.pool, spec.to_json(), &inner.metrics, |genes| {
             problem.fitness(genes)
-        }),
-    );
+        });
+        let directory = Arc::clone(&inner.directory);
+        let transport = Arc::clone(&inner.config.transport);
+        eval.set_worker_filter(Arc::new(move |addr: &str| {
+            directory.allows(shard_idx, addr, transport.now_micros())
+        }));
+        eval
+    });
 
     // On the pipelined remote path, the on-disk checkpoint intentionally
     // lags the strategy by one round: each round's write rides the next
@@ -600,6 +919,37 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec, cancel: &AtomicBool) -> Resul
             (strategy.cache_hits() - hits_before) as u64,
         );
 
+        // Draw this round's fresh evaluations down from the tenant's
+        // reservation. Cache hits stay free — they consume no worker
+        // time — which is why `used` can finish under the admission
+        // estimate and the leftover gets settled back at job end.
+        let evals_delta = (strategy.evaluations() - evals_before) as u64;
+        if evals_delta > 0 {
+            {
+                let mut table = inner.jobs.lock().expect("job table poisoned");
+                table.accountant.charge(&spec.tenant, evals_delta);
+                if let Some(e) = table.jobs.get_mut(&id) {
+                    e.reserved = e.reserved.saturating_sub(evals_delta);
+                }
+                inner.set_tenant_gauges(&table, &spec.tenant);
+            }
+            let s = shard_idx.to_string();
+            inner
+                .config
+                .obs
+                .counter(&obs::labeled("shard_evals", &[("shard", &s)]))
+                .add(evals_delta);
+            if inner.config.store.is_some() {
+                // Each fresh score is one write-behind append keyed by
+                // this shard, so the same delta counts both.
+                inner
+                    .config
+                    .obs
+                    .counter(&obs::labeled("shard_store_writes", &[("shard", &s)]))
+                    .add(evals_delta);
+            }
+        }
+
         if use_remote && !done {
             checkpoint_lags = true;
         } else {
@@ -668,6 +1018,7 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            tenant: "default".into(),
         }
     }
 

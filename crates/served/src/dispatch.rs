@@ -760,7 +760,16 @@ pub struct RemoteEvaluator<'a> {
     /// so a connection's task binding always matches the batches sent
     /// on it. Dropped (closing the sockets) with the evaluator.
     conns: Arc<Mutex<HashMap<String, Conn>>>,
+    /// Optional address filter scoping fan-out to a subset of the live
+    /// pool (the shard directory's lease view). `None` uses every live
+    /// worker.
+    filter: Option<WorkerFilter>,
 }
+
+/// An address predicate restricting which live workers a generation may
+/// dispatch to. Re-checked every generation, so lease changes (worker
+/// churn, starvation rebalancing) take effect at round boundaries.
+pub type WorkerFilter = Arc<dyn Fn(&str) -> bool + Send + Sync>;
 
 impl<'a> RemoteEvaluator<'a> {
     /// Builds an evaluator for one job. `task` is the job-spec JSON sent
@@ -779,7 +788,16 @@ impl<'a> RemoteEvaluator<'a> {
             metrics: Arc::clone(metrics),
             fallback: Box::new(fallback),
             conns: Arc::new(Mutex::new(HashMap::new())),
+            filter: None,
         }
+    }
+
+    /// Installs a worker-address filter (the shard lease view). If the
+    /// filter rejects every live worker the generation falls back to the
+    /// whole live pool — dispatch stays work-conserving even when the
+    /// directory and the pool disagree about liveness.
+    pub fn set_worker_filter(&mut self, filter: WorkerFilter) {
+        self.filter = Some(filter);
     }
 }
 
@@ -793,10 +811,24 @@ fn dispatch_generation(
     metrics: &Metrics,
     genomes: &[Genome],
     conns: &Mutex<HashMap<String, Conn>>,
+    filter: Option<&WorkerFilter>,
 ) -> Vec<Option<f64>> {
     pool.sweep_stale(metrics);
     pool.probe_dead();
     let workers = pool.live();
+    let workers = match filter {
+        Some(f) => {
+            let kept: Vec<_> = workers.iter().filter(|w| f(&w.addr)).cloned().collect();
+            // An over-strict filter (directory aged everyone out) must
+            // not strand the round on the local fallback path.
+            if kept.is_empty() {
+                workers
+            } else {
+                kept
+            }
+        }
+        None => workers,
+    };
     let ledger = BatchLedger::new(genomes.len(), pool.transport().now_micros());
     if !workers.is_empty() {
         std::thread::scope(|scope| {
@@ -882,10 +914,20 @@ impl PipelinedEvaluator for RemoteEvaluator<'_> {
         let task = self.task.clone();
         let metrics = Arc::clone(&self.metrics);
         let conns = Arc::clone(&self.conns);
+        let filter = self.filter.clone();
         let thread_genomes = Arc::clone(&genomes);
         let handle = std::thread::Builder::new()
             .name("dispatch-coordinator".into())
-            .spawn(move || dispatch_generation(&pool, &task, &metrics, &thread_genomes, &conns))
+            .spawn(move || {
+                dispatch_generation(
+                    &pool,
+                    &task,
+                    &metrics,
+                    &thread_genomes,
+                    &conns,
+                    filter.as_ref(),
+                )
+            })
             .expect("spawn dispatch coordinator");
         Box::new(PendingRemote {
             eval: self,

@@ -126,6 +126,21 @@ pub fn render_daemon_metrics(s: &MetricsSnapshot) -> String {
             s.remote_evictions,
         ),
         (
+            "tuned_busy_rejects_total",
+            "Structured busy rejects (queue or connection cap).",
+            s.busy_rejects,
+        ),
+        (
+            "tuned_quota_rejects_total",
+            "Submissions rejected by tenant quota.",
+            s.quota_rejects,
+        ),
+        (
+            "tuned_slow_watch_disconnects_total",
+            "Slow watch consumers disconnected.",
+            s.slow_watch_disconnects,
+        ),
+        (
             "tuned_remote_fallback_evals_total",
             "Evals served by the local fallback.",
             s.remote_fallback_evals,
@@ -301,12 +316,17 @@ mod tests {
             remote_timeouts: 0,
             remote_evictions: 0,
             remote_fallback_evals: 0,
+            busy_rejects: 2,
+            quota_rejects: 1,
+            slow_watch_disconnects: 0,
         };
         let text = render_daemon_metrics(&s);
         assert!(text.contains("tuned_uptime_seconds 1.500\n"));
         assert!(text.contains("tuned_jobs{state=\"queued\"} 2\n"));
         assert!(text.contains("tuned_generations_total 7\n"));
         assert!(text.contains("# TYPE tuned_evaluations_total counter\n"));
+        assert!(text.contains("tuned_busy_rejects_total 2\n"));
+        assert!(text.contains("tuned_quota_rejects_total 1\n"));
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct JobSpec {
     /// default), `"random"`, `"hillclimb"`, `"anneal"`, `"grid"`, or a
     /// racing portfolio like `"race"` / `"race:ga+random+grid"`.
     pub strategy: String,
+    /// Owning tenant for quota accounting and fair scheduling. Specs
+    /// written before the shard subsystem carry no `tenant` key and
+    /// deserialize to [`shard::DEFAULT_TENANT`].
+    pub tenant: String,
 }
 
 impl JobSpec {
@@ -111,7 +115,18 @@ impl JobSpec {
             ),
             ("ga", ga_config_to_json(&self.ga)),
             ("strategy", Json::Str(self.strategy.clone())),
+            ("tenant", Json::Str(self.tenant.clone())),
         ])
+    }
+
+    /// Upper bound on the evaluations this job can spend: every search
+    /// strategy — racing portfolios included — works under the shared
+    /// proposal budget of `pop_size * generations` (see `search::core`),
+    /// so this is the reservation the quota accountant holds during the
+    /// job's lifetime.
+    #[must_use]
+    pub fn eval_estimate(&self) -> u64 {
+        (self.ga.pop_size as u64).saturating_mul(self.ga.generations as u64)
     }
 
     /// Deserializes a spec and validates every referenced name, so a bad
@@ -184,6 +199,15 @@ impl JobSpec {
             Some(s) => s.as_str().ok_or("'strategy' must be a string")?.to_string(),
         };
         search::validate_spec(&strategy)?;
+        // Specs written before the shard subsystem carry no "tenant"
+        // key; they belong to the default tenant.
+        let tenant = match v.get("tenant") {
+            None | Some(Json::Null) => shard::DEFAULT_TENANT.to_string(),
+            Some(t) => t.as_str().ok_or("'tenant' must be a string")?.to_string(),
+        };
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err("'tenant' must be 1..=64 characters".into());
+        }
         Ok(Self {
             name,
             scenario,
@@ -193,6 +217,7 @@ impl JobSpec {
             suite,
             ga,
             strategy,
+            tenant,
         })
     }
 
@@ -381,6 +406,7 @@ mod tests {
                 ..GaConfig::default()
             },
             strategy: "ga".into(),
+            tenant: "default".into(),
         }
     }
 
@@ -403,6 +429,34 @@ mod tests {
         assert_eq!(s.ga.threads, 1, "daemon jobs default to one eval thread");
         assert_eq!(s.strategy, "ga", "absent strategy defaults to the GA");
         assert_eq!(s.problem, "inline", "pre-problems specs are inlining jobs");
+        assert_eq!(
+            s.tenant, "default",
+            "pre-shard specs land on the default tenant"
+        );
+    }
+
+    #[test]
+    fn tenant_roundtrips_and_rejects_degenerate_names() {
+        let mut s = spec();
+        s.tenant = "acme".into();
+        let back = JobSpec::from_text(&s.to_json().to_text()).unwrap();
+        assert_eq!(back.tenant, "acme");
+        for bad in [
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","tenant":""}"#,
+            r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4","tenant":7}"#,
+        ] {
+            assert!(JobSpec::from_text(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn eval_estimate_is_the_shared_proposal_budget() {
+        let mut s = spec();
+        assert_eq!(s.eval_estimate(), 80, "pop 8 x 10 generations");
+        // Races share the same budget as a lone strategy, so the
+        // estimate does not scale with member count.
+        s.strategy = "race:ga+random".into();
+        assert_eq!(s.eval_estimate(), 80);
     }
 
     #[test]

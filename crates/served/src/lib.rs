@@ -50,8 +50,10 @@ pub mod server;
 
 pub use checkpoint::RunDir;
 pub use client::Client;
-pub use daemon::{Daemon, DaemonConfig, JobRecord};
-pub use dispatch::{DispatchConfig, RemoteEvaluator, Worker, WorkerPool, WorkerSnapshot};
+pub use daemon::{Daemon, DaemonConfig, JobRecord, ShardSnapshot, SubmitError};
+pub use dispatch::{
+    DispatchConfig, RemoteEvaluator, Worker, WorkerFilter, WorkerPool, WorkerSnapshot,
+};
 pub use expo::MetricsExporter;
 pub use job::{JobSpec, JobState};
 pub use metrics::{JobGauges, Metrics, MetricsSnapshot};

@@ -46,6 +46,15 @@ pub struct Metrics {
     /// Evaluations that fell back to the local path because no live
     /// worker answered.
     pub remote_fallback_evals: AtomicU64,
+    /// Submissions and connections turned away with a structured `busy`
+    /// frame (full shard queue or connection cap).
+    pub busy_rejects: AtomicU64,
+    /// Submissions rejected because a tenant's eval-budget quota could
+    /// not cover the job's estimate.
+    pub quota_rejects: AtomicU64,
+    /// `watch` consumers disconnected because their frame backlog
+    /// exceeded the bound.
+    pub slow_watch_disconnects: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -75,6 +84,9 @@ impl Metrics {
             remote_timeouts: AtomicU64::new(0),
             remote_evictions: AtomicU64::new(0),
             remote_fallback_evals: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            quota_rejects: AtomicU64::new(0),
+            slow_watch_disconnects: AtomicU64::new(0),
         }
     }
 
@@ -125,6 +137,9 @@ impl Metrics {
             remote_timeouts: self.remote_timeouts.load(Ordering::Relaxed),
             remote_evictions: self.remote_evictions.load(Ordering::Relaxed),
             remote_fallback_evals: self.remote_fallback_evals.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            quota_rejects: self.quota_rejects.load(Ordering::Relaxed),
+            slow_watch_disconnects: self.slow_watch_disconnects.load(Ordering::Relaxed),
         }
     }
 }
@@ -185,6 +200,12 @@ pub struct MetricsSnapshot {
     pub remote_evictions: u64,
     /// Evaluations answered by the local fallback path.
     pub remote_fallback_evals: u64,
+    /// Structured `busy` rejects (full shard queue or connection cap).
+    pub busy_rejects: u64,
+    /// Quota-exceeded submission rejects.
+    pub quota_rejects: u64,
+    /// Slow `watch` consumers force-disconnected.
+    pub slow_watch_disconnects: u64,
 }
 
 #[cfg(test)]

@@ -106,6 +106,24 @@ pub fn err(message: impl Into<String>) -> Json {
     ])
 }
 
+/// A structured `busy` reject envelope: `ok:false` like any error, plus
+/// machine-readable fields so a client can distinguish "back off and
+/// retry" (full queue, connection cap) from "don't bother" (quota).
+///
+/// ```text
+/// {"ok":false,"busy":true,"reason":"queue_full","retryable":true,"error":"..."}
+/// ```
+#[must_use]
+pub fn err_busy(reject: &shard::Reject) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("busy", Json::Bool(true)),
+        ("reason", Json::Str(reject.kind.reason().into())),
+        ("retryable", Json::Bool(reject.kind.retryable())),
+        ("error", Json::Str(reject.message.clone())),
+    ])
+}
+
 /// Parses a request line into `(cmd, body)`.
 ///
 /// # Errors
@@ -306,6 +324,8 @@ pub fn record_to_json(r: &JobRecord) -> Json {
         ("state", Json::Str(r.state.name().into())),
         ("problem", Json::Str(r.spec.problem.clone())),
         ("strategy", Json::Str(r.spec.strategy.clone())),
+        ("tenant", Json::Str(r.spec.tenant.clone())),
+        ("shard", Json::Int(r.shard as i64)),
         ("generation", Json::Int(r.generation as i64)),
         (
             "best_fitness",
@@ -560,6 +580,12 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ),
         ("connections", Json::Int(m.connections as i64)),
         ("protocol_errors", Json::Int(m.protocol_errors as i64)),
+        ("busy_rejects", Json::Int(m.busy_rejects as i64)),
+        ("quota_rejects", Json::Int(m.quota_rejects as i64)),
+        (
+            "slow_watch_disconnects",
+            Json::Int(m.slow_watch_disconnects as i64),
+        ),
         (
             "remote",
             Json::obj(vec![
@@ -572,6 +598,35 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
                 ("fallback_evals", Json::Int(m.remote_fallback_evals as i64)),
             ]),
         ),
+    ])
+}
+
+/// Serializes one shard's job gauges for the `metrics` verb.
+#[must_use]
+pub fn shard_to_json(s: &crate::daemon::ShardSnapshot) -> Json {
+    Json::obj(vec![
+        ("shard", Json::Int(s.shard as i64)),
+        ("queued", Json::Int(s.queued as i64)),
+        ("running", Json::Int(s.running as i64)),
+        ("done", Json::Int(s.done as i64)),
+        ("failed", Json::Int(s.failed as i64)),
+        ("canceled", Json::Int(s.canceled as i64)),
+    ])
+}
+
+/// Serializes one tenant's quota accounting for the `tenants` /
+/// `metrics` verbs. `u64` budget numbers ride as decimal strings so
+/// nothing clips to the JSON integer range.
+#[must_use]
+pub fn tenant_to_json(t: &shard::TenantUsage) -> Json {
+    Json::obj(vec![
+        ("tenant", Json::Str(t.tenant.clone())),
+        ("quota", t.quota.map_or(Json::Null, u64_to_json)),
+        ("used", u64_to_json(t.used)),
+        ("reserved", u64_to_json(t.reserved)),
+        ("admitted", u64_to_json(t.admitted)),
+        ("rejected", u64_to_json(t.rejected)),
+        ("settled", u64_to_json(t.settled)),
     ])
 }
 

@@ -9,18 +9,21 @@
 //! on the simulated network.
 
 use std::io::{BufReader, BufWriter};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::daemon::Daemon;
+use shard::{Reject, RejectKind};
+
+use crate::daemon::{Daemon, SubmitError};
 use crate::job::JobSpec;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::net::{NetListener, NetStream, TcpTransport, Transport};
 use crate::proto::{
-    err, metrics_to_json, ok_with, parse_request, read_frame, record_to_json, registry_to_json,
-    worker_to_json, write_frame, Frame,
+    err, err_busy, metrics_to_json, ok_with, parse_request, read_frame, record_to_json,
+    registry_to_json, shard_to_json, tenant_to_json, worker_to_json, write_frame, Frame,
 };
 
 /// How long a connection may sit idle (mid-read) before it is dropped.
@@ -31,6 +34,11 @@ const READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// Poll interval of the accept loop and of `watch`.
 const POLL: Duration = Duration::from_millis(50);
 
+/// How many un-sent `watch` frames may pile up before the consumer is
+/// declared too slow and disconnected. Progress frames are small, so
+/// this bounds per-watcher memory at a few hundred KB worst case.
+const WATCH_BACKLOG: usize = 64;
+
 /// The protocol server. Owns the listener; serves until a `shutdown`
 /// request arrives or [`Server::stop_flag`] is raised.
 pub struct Server {
@@ -38,6 +46,18 @@ pub struct Server {
     listener: Box<dyn NetListener>,
     daemon: Daemon,
     stop: Arc<AtomicBool>,
+    /// Connections currently being served; admission closes new ones
+    /// with a structured `busy` frame past the daemon's cap.
+    active: Arc<AtomicUsize>,
+}
+
+/// RAII count of one served connection.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Server {
@@ -67,6 +87,7 @@ impl Server {
             listener,
             daemon,
             stop: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -92,13 +113,33 @@ impl Server {
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept(POLL) {
                 Ok(Some(stream)) => {
+                    // Admission control: past the cap, answer with one
+                    // structured busy frame and close — a bounded, fast
+                    // reject instead of an unbounded thread pile-up.
+                    let cap = self.daemon.max_connections();
+                    if self.active.load(Ordering::SeqCst) >= cap {
+                        Metrics::bump(&self.daemon.metrics().busy_rejects);
+                        let reject = Reject::new(
+                            RejectKind::Connections,
+                            format!("server is at its connection cap ({cap})"),
+                        );
+                        let mut writer = BufWriter::new(stream);
+                        let _ = write_frame(&mut writer, &err_busy(&reject));
+                        continue;
+                    }
+                    self.active.fetch_add(1, Ordering::SeqCst);
+                    let guard = ConnGuard(Arc::clone(&self.active));
                     Metrics::bump(&self.daemon.metrics().connections);
                     let daemon = self.daemon.clone();
                     let stop = Arc::clone(&self.stop);
                     let transport = Arc::clone(&self.transport);
-                    let _ = std::thread::Builder::new()
-                        .name("tuned-conn".into())
-                        .spawn(move || serve_connection(stream, &daemon, &stop, &transport));
+                    let _ =
+                        std::thread::Builder::new()
+                            .name("tuned-conn".into())
+                            .spawn(move || {
+                                let _guard = guard;
+                                serve_connection(stream, &daemon, &stop, &transport);
+                            });
                 }
                 Ok(None) => {}
                 Err(e) => return Err(format!("accept failed: {e}")),
@@ -164,7 +205,7 @@ fn dispatch(
     cmd: &str,
     body: &Json,
     daemon: &Daemon,
-    writer: &mut impl std::io::Write,
+    writer: &mut BufWriter<Box<dyn NetStream>>,
     stop: &AtomicBool,
     transport: &Arc<dyn Transport>,
 ) -> Option<Json> {
@@ -172,9 +213,13 @@ fn dispatch(
         "ping" => Some(ok_with(vec![("pong", Json::Bool(true))])),
         "submit" => Some(match body.get("job") {
             None => err("submit needs a 'job' object"),
-            Some(job) => match JobSpec::from_json(job).and_then(|spec| daemon.submit(spec)) {
-                Ok(id) => ok_with(vec![("id", Json::Int(id as i64))]),
+            Some(job) => match JobSpec::from_json(job) {
                 Err(e) => err(e),
+                Ok(spec) => match daemon.submit_admit(spec) {
+                    Ok(id) => ok_with(vec![("id", Json::Int(id as i64))]),
+                    Err(SubmitError::Rejected(reject)) => err_busy(&reject),
+                    Err(SubmitError::Internal(e)) => err(e),
+                },
             },
         }),
         "status" => Some(match job_id(body) {
@@ -193,8 +238,9 @@ fn dispatch(
             Err(e) => err(e),
         }),
         "metrics" => {
-            // Per-worker counters ride inside the metrics object so every
-            // consumer of `client.metrics()` sees them.
+            // Per-worker, per-shard, and per-tenant rows ride inside the
+            // metrics object so every consumer of `client.metrics()`
+            // sees them.
             let mut m = metrics_to_json(&daemon.metrics_snapshot());
             if let Json::Obj(pairs) = &mut m {
                 pairs.push((
@@ -208,9 +254,21 @@ fn dispatch(
                             .collect(),
                     ),
                 ));
+                pairs.push((
+                    "shards".into(),
+                    Json::Arr(daemon.shard_snapshots().iter().map(shard_to_json).collect()),
+                ));
+                pairs.push((
+                    "tenants".into(),
+                    Json::Arr(daemon.tenant_usage().iter().map(tenant_to_json).collect()),
+                ));
             }
             Some(ok_with(vec![("metrics", m)]))
         }
+        "tenants" => Some(ok_with(vec![(
+            "tenants",
+            Json::Arr(daemon.tenant_usage().iter().map(tenant_to_json).collect()),
+        )])),
         "obs" => Some(ok_with(vec![(
             "obs",
             registry_to_json(&daemon.obs().snapshot()),
@@ -218,14 +276,16 @@ fn dispatch(
         "register" => Some(match worker_addr(body) {
             Err(e) => err(e),
             Ok(addr) => {
-                let new = daemon.pool().register(&addr);
+                // One call feeds both the dispatch pool and the shard
+                // directory (lease assignment, liveness).
+                let new = daemon.register_worker(&addr);
                 ok_with(vec![("new", Json::Bool(new))])
             }
         }),
         "heartbeat" => Some(match worker_addr(body) {
             Err(e) => err(e),
             Ok(addr) => {
-                daemon.pool().heartbeat(&addr);
+                daemon.heartbeat_worker(&addr);
                 ok_with(vec![])
             }
         }),
@@ -257,10 +317,16 @@ fn dispatch(
 }
 
 /// Streams one frame per job-record change until the job is terminal.
+///
+/// Frames go through a bounded queue to a dedicated writer thread, so a
+/// consumer that stops reading can only back up [`WATCH_BACKLOG`] frames
+/// of memory — past that it is disconnected (and counted in
+/// `slow_watch_disconnects`) instead of pinning daemon memory while the
+/// job keeps producing progress.
 fn watch(
     body: &Json,
     daemon: &Daemon,
-    writer: &mut impl std::io::Write,
+    writer: &mut BufWriter<Box<dyn NetStream>>,
     stop: &AtomicBool,
     transport: &Arc<dyn Transport>,
 ) -> Option<Json> {
@@ -268,13 +334,35 @@ fn watch(
         Ok(id) => id,
         Err(e) => return Some(err(e)),
     };
+    let Ok(write_half) = writer.get_ref().try_clone() else {
+        return None;
+    };
+    let (tx, rx) = sync_channel::<Json>(WATCH_BACKLOG);
+    let sink = std::thread::Builder::new()
+        .name("tuned-watch-writer".into())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            // Exits when the channel disconnects (watch loop done or the
+            // consumer was declared slow) or the socket breaks.
+            while let Ok(frame) = rx.recv() {
+                if write_frame(&mut out, &frame).is_err() {
+                    return;
+                }
+            }
+        });
+    let Ok(sink) = sink else {
+        return None;
+    };
+
     let mut last: Option<(String, usize)> = None;
+    let mut outcome = None;
     loop {
         if stop.load(Ordering::SeqCst) {
-            return None;
+            break;
         }
         let Some(r) = daemon.status(id) else {
-            return Some(err(format!("no job {id}")));
+            outcome = Some(err(format!("no job {id}")));
+            break;
         };
         let key = (r.state.name().to_string(), r.generation);
         if last.as_ref() != Some(&key) {
@@ -299,14 +387,55 @@ fn watch(
                     ]),
                 ));
             }
-            if write_frame(writer, &ok_with(fields)).is_err() {
-                return None;
+            match push_watch_frame(&tx, ok_with(fields), daemon.metrics()) {
+                WatchPush::Sent => {}
+                WatchPush::TooSlow => {
+                    // The consumer is WATCH_BACKLOG frames behind a
+                    // 20 Hz poll: cut it loose. The channel drops here;
+                    // the writer thread drains what it can and exits.
+                    drop(tx);
+                    let _ = sink.join();
+                    return None;
+                }
+                WatchPush::ConsumerGone => break,
             }
         }
         if r.state.is_terminal() {
-            return None;
+            break;
         }
         transport.sleep(POLL);
+    }
+    // Graceful end: let every queued frame flush before the connection
+    // returns to request/response mode or closes.
+    drop(tx);
+    let _ = sink.join();
+    outcome
+}
+
+/// What became of one frame offered to a watch writer's bounded queue.
+enum WatchPush {
+    /// Queued for the writer thread.
+    Sent,
+    /// The queue is full — the consumer fell [`WATCH_BACKLOG`] frames
+    /// behind and must be disconnected. Counted in
+    /// `slow_watch_disconnects`.
+    TooSlow,
+    /// The writer thread already exited (broken socket).
+    ConsumerGone,
+}
+
+fn push_watch_frame(
+    tx: &std::sync::mpsc::SyncSender<Json>,
+    frame: Json,
+    metrics: &Metrics,
+) -> WatchPush {
+    match tx.try_send(frame) {
+        Ok(()) => WatchPush::Sent,
+        Err(TrySendError::Full(_)) => {
+            Metrics::bump(&metrics.slow_watch_disconnects);
+            WatchPush::TooSlow
+        }
+        Err(TrySendError::Disconnected(_)) => WatchPush::ConsumerGone,
     }
 }
 
@@ -419,4 +548,46 @@ fn worker_addr(body: &Json) -> Result<String, String> {
         return Err(format!("'{addr}' is not a host:port address"));
     }
     Ok(addr.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_full_watch_queue_means_disconnect_and_a_counter_bump() {
+        let metrics = Metrics::new();
+        let (tx, rx) = sync_channel::<Json>(2);
+        assert!(matches!(
+            push_watch_frame(&tx, Json::Null, &metrics),
+            WatchPush::Sent
+        ));
+        assert!(matches!(
+            push_watch_frame(&tx, Json::Null, &metrics),
+            WatchPush::Sent
+        ));
+        // Third frame with nobody reading: the backlog bound is hit.
+        assert!(matches!(
+            push_watch_frame(&tx, Json::Null, &metrics),
+            WatchPush::TooSlow
+        ));
+        assert_eq!(
+            metrics
+                .slow_watch_disconnects
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // A hung-up consumer is not "slow" — no counter bump.
+        drop(rx);
+        assert!(matches!(
+            push_watch_frame(&tx, Json::Null, &metrics),
+            WatchPush::ConsumerGone
+        ));
+        assert_eq!(
+            metrics
+                .slow_watch_disconnects
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
 }

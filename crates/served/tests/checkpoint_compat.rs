@@ -179,6 +179,76 @@ fn legacy_spec_without_a_problem_key_loads_as_an_inlining_job() {
 }
 
 #[test]
+fn legacy_spec_without_a_tenant_key_loads_as_the_default_tenant() {
+    let text = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
+    assert!(
+        !text.contains("\"tenant\""),
+        "the legacy fixture must stay tenant-less — that is the point of it"
+    );
+    let spec = served::JobSpec::from_text(&text).expect("legacy spec bytes must keep loading");
+    assert_eq!(spec.tenant, shard::DEFAULT_TENANT);
+    // Today's serializer tags the tenant explicitly, and the tagged
+    // bytes decode back to the same spec.
+    let reserialized = spec.to_json().to_text();
+    assert!(reserialized.contains("\"tenant\":\"default\""));
+    assert_eq!(served::JobSpec::from_text(&reserialized).unwrap(), spec);
+}
+
+#[test]
+fn legacy_run_dir_recovers_on_a_sharded_daemon_under_the_default_tenant() {
+    // The same pre-shard run directory, booted on a daemon that shards
+    // its queue: recovery must route the job to a shard, account it to
+    // the default tenant, and still finish it.
+    let dir = std::env::temp_dir().join(format!("ckpt-compat-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let legacy = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
+    std::fs::create_dir_all(dir.join("jobs/1")).unwrap();
+    std::fs::write(dir.join("jobs/1/spec.json"), &legacy).unwrap();
+
+    let run_dir = served::RunDir::open(&dir).unwrap();
+    let daemon = served::Daemon::start(
+        served::DaemonConfig {
+            workers: 2,
+            shards: 3,
+            ..served::DaemonConfig::default()
+        },
+        run_dir,
+    )
+    .unwrap();
+    let unit = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000u64);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(unit * 120);
+    let record = loop {
+        let r = daemon.status(1).expect("recovered job must be tracked");
+        if r.state.is_terminal() {
+            break r;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "legacy job never finished on the sharded daemon"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let tenants = daemon.tenant_usage();
+    daemon.shutdown();
+
+    assert_eq!(record.spec.tenant, shard::DEFAULT_TENANT);
+    assert!(record.shard < 3, "job must land in a real shard");
+    assert!(record.result.is_some(), "legacy job must complete");
+    let row = tenants
+        .iter()
+        .find(|t| t.tenant == shard::DEFAULT_TENANT)
+        .expect("default tenant accounted");
+    assert!(
+        row.admitted >= 1,
+        "recovery admits under the default tenant"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn legacy_run_dir_recovers_as_an_inlining_job_bit_identically() {
     // A run directory as a pre-problems daemon left it: spec.json with
     // no "problem" key, job interrupted before any result was written.

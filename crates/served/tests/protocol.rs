@@ -11,7 +11,7 @@ use ga::GaConfig;
 use jit::Scenario;
 use served::daemon::{Daemon, DaemonConfig};
 use served::job::JobSpec;
-use served::json::{parse, Json};
+use served::json::{parse, u64_from_json, Json};
 use served::{Client, RunDir, Server};
 use tuner::Goal;
 
@@ -43,28 +43,43 @@ struct TestServer {
 
 impl TestServer {
     fn start(tag: &str, workers: usize) -> Self {
-        Self::start_configured(tag, workers, false)
+        Self::start_configured(tag, workers, false, |c| c)
     }
 
     /// Like [`TestServer::start`], with the persistent fitness store
     /// enabled under the run directory.
     fn start_with_store(tag: &str, workers: usize) -> Self {
-        Self::start_configured(tag, workers, true)
+        Self::start_configured(tag, workers, true, |c| c)
     }
 
-    fn start_configured(tag: &str, workers: usize, with_store: bool) -> Self {
+    /// Like [`TestServer::start`], with extra daemon-config tweaks
+    /// (shards, quotas, caps) applied on top of the defaults.
+    fn start_tuned(
+        tag: &str,
+        workers: usize,
+        tweak: impl FnOnce(DaemonConfig) -> DaemonConfig,
+    ) -> Self {
+        Self::start_configured(tag, workers, false, tweak)
+    }
+
+    fn start_configured(
+        tag: &str,
+        workers: usize,
+        with_store: bool,
+        tweak: impl FnOnce(DaemonConfig) -> DaemonConfig,
+    ) -> Self {
         let dir = std::env::temp_dir().join(format!("tuned-proto-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = with_store.then(|| {
             std::sync::Arc::new(stored::Store::open(dir.join("store")).expect("open store"))
         });
         let daemon = Daemon::start(
-            DaemonConfig {
+            tweak(DaemonConfig {
                 workers,
                 queue_capacity: 16,
                 store,
                 ..DaemonConfig::default()
-            },
+            }),
             RunDir::open(&dir).unwrap(),
         )
         .unwrap();
@@ -124,6 +139,7 @@ fn job(seed: u64, generations: usize) -> JobSpec {
         },
         strategy: "ga".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     }
 }
 
@@ -404,4 +420,183 @@ fn store_verbs_without_a_store_are_structured_errors() {
     assert!(e.contains("no store configured"), "{e}");
     let e = c.store_get(&job(1, 3), &[1, 2, 3, 4, 5]).unwrap_err();
     assert!(e.contains("no store configured"), "{e}");
+}
+
+/// Submits `spec` over a raw socket and returns the response frame.
+fn raw_submit(stream: &mut TcpStream, spec: &JobSpec) -> Json {
+    let line = Json::obj(vec![
+        ("cmd", Json::Str("submit".into())),
+        ("job", spec.to_json()),
+    ])
+    .to_text();
+    raw_request(stream, &line)
+}
+
+#[test]
+fn a_full_shard_queue_answers_with_a_structured_busy_frame() {
+    // One runner, room for one queued job: the first submit runs, the
+    // second queues, the third must bounce with reason "queue_full".
+    let ts = TestServer::start_tuned("busy-queue", 1, |c| DaemonConfig {
+        queue_capacity: 1,
+        ..c
+    });
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let a = raw_submit(&mut stream, &job(70, 400));
+    assert_eq!(a.get("ok"), Some(&Json::Bool(true)));
+    // Wait for the first job to leave the queue so exactly one slot is
+    // in play.
+    let deadline = Instant::now() + bound(60);
+    loop {
+        let running = ts
+            .daemon
+            .list()
+            .iter()
+            .filter(|r| r.state.name() == "running")
+            .count();
+        if running == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let b = raw_submit(&mut stream, &job(71, 400));
+    assert_eq!(b.get("ok"), Some(&Json::Bool(true)));
+    let c = raw_submit(&mut stream, &job(72, 400));
+    assert_eq!(c.get("ok"), Some(&Json::Bool(false)), "{}", c.to_text());
+    assert_eq!(c.get("busy"), Some(&Json::Bool(true)));
+    assert_eq!(c.get("reason").and_then(Json::as_str), Some("queue_full"));
+    assert_eq!(c.get("retryable"), Some(&Json::Bool(true)));
+    assert!(ts.daemon.metrics_snapshot().busy_rejects >= 1);
+
+    // The connection survives the reject.
+    let resp = raw_request(&mut stream, "{\"cmd\":\"ping\"}");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn quota_exhaustion_is_a_non_retryable_busy_frame() {
+    // job(…) estimates pop 6 × 3 gens = 18 evals; a quota of 20 admits
+    // one job and must reject the second.
+    let ts = TestServer::start_tuned("busy-quota", 1, |c| DaemonConfig {
+        tenant_quotas: vec![("capped".into(), 20)],
+        ..c
+    });
+    let mut stream = TcpStream::connect(&ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let capped = |seed| JobSpec {
+        tenant: "capped".into(),
+        ..job(seed, 3)
+    };
+
+    let a = raw_submit(&mut stream, &capped(80));
+    assert_eq!(a.get("ok"), Some(&Json::Bool(true)), "{}", a.to_text());
+    let b = raw_submit(&mut stream, &capped(81));
+    assert_eq!(b.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(b.get("busy"), Some(&Json::Bool(true)));
+    assert_eq!(b.get("reason").and_then(Json::as_str), Some("quota"));
+    assert_eq!(b.get("retryable"), Some(&Json::Bool(false)));
+    assert!(ts.daemon.metrics_snapshot().quota_rejects >= 1);
+
+    // An uncapped tenant is unaffected.
+    let c = raw_submit(&mut stream, &job(82, 3));
+    assert_eq!(c.get("ok"), Some(&Json::Bool(true)));
+
+    // The tenants verb reports the accounting.
+    let mut client = Client::connect(&ts.addr).unwrap();
+    let rows = client.tenants().unwrap();
+    let row = rows
+        .iter()
+        .find(|t| t.get("tenant").and_then(Json::as_str) == Some("capped"))
+        .expect("capped tenant row");
+    assert_eq!(row.get("admitted").and_then(u64_from_json), Some(1));
+    assert_eq!(row.get("rejected").and_then(u64_from_json), Some(1));
+    assert_eq!(row.get("quota").and_then(u64_from_json), Some(20));
+}
+
+#[test]
+fn metrics_carry_per_shard_rows_and_records_carry_tenant_and_shard() {
+    let ts = TestServer::start_tuned("shard-rows", 2, |c| DaemonConfig { shards: 3, ..c });
+    let mut client = Client::connect(&ts.addr).unwrap();
+    let id = client.submit(&job(90, 2)).unwrap();
+
+    let m = client.metrics().unwrap();
+    let shards = m.get("shards").and_then(Json::as_arr).expect("shards rows");
+    assert_eq!(shards.len(), 3, "one row per shard");
+    let total: i64 = shards
+        .iter()
+        .flat_map(|s| {
+            ["queued", "running", "done", "failed", "canceled"]
+                .map(|k| s.get(k).and_then(Json::as_i64).unwrap())
+        })
+        .sum();
+    assert_eq!(total, 1, "the submitted job shows up in exactly one shard");
+    assert!(m.get("tenants").and_then(Json::as_arr).is_some());
+
+    let j = client.status(id).unwrap();
+    assert_eq!(j.get("tenant").and_then(Json::as_str), Some("default"));
+    let shard = j.get("shard").and_then(Json::as_i64).expect("shard field");
+    assert!((0..3).contains(&shard));
+    let _ = client.cancel(id);
+}
+
+#[test]
+fn connections_past_the_cap_bounce_with_a_busy_frame() {
+    let ts = TestServer::start_tuned("conn-cap", 1, |c| DaemonConfig {
+        max_connections: 2,
+        ..c
+    });
+    // Fill the cap with two served connections (a ping response proves
+    // each is accepted and counted before the next connect).
+    // 30s timeouts: a fully loaded test host can starve these threads
+    // well past the file's usual 10s.
+    let mut a = TcpStream::connect(&ts.addr).unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!(
+        raw_request(&mut a, "{\"cmd\":\"ping\"}").get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let mut b = TcpStream::connect(&ts.addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!(
+        raw_request(&mut b, "{\"cmd\":\"ping\"}").get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    // The third connection gets one busy frame, then EOF.
+    let mut c = TcpStream::connect(&ts.addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(c.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim_end()).expect("busy frame is JSON");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "{}", v.to_text());
+    assert_eq!(v.get("busy"), Some(&Json::Bool(true)));
+    assert_eq!(v.get("reason").and_then(Json::as_str), Some("connections"));
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "then EOF");
+    assert!(ts.daemon.metrics_snapshot().busy_rejects >= 1);
+
+    // Freeing a slot readmits new connections.
+    drop(a);
+    let deadline = Instant::now() + bound(30);
+    loop {
+        let mut d = TcpStream::connect(&ts.addr).unwrap();
+        d.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let resp = raw_request(&mut d, "{\"cmd\":\"ping\"}");
+        if resp.get("ok") == Some(&Json::Bool(true)) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(b);
 }

@@ -141,6 +141,7 @@ fn job_spec() -> JobSpec {
         },
         strategy: "ga".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     }
 }
 

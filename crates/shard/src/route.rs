@@ -1,0 +1,39 @@
+//! The job→shard map.
+//!
+//! Placement must survive daemon restarts with nothing but the run
+//! directory to go on, so it is a pure function of the job id and the
+//! shard count: recovery re-routes every job to the shard that already
+//! owns its checkpoints. Job ids are assigned sequentially, so plain
+//! modulo is also a perfect round-robin spread — no hashing needed.
+
+/// The shard that owns `job_id` in a daemon running `shards` shards.
+pub fn shard_of(job_id: u64, shards: usize) -> usize {
+    assert!(shards > 0, "a daemon runs at least one shard");
+    (job_id % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in 1..9usize {
+            for id in 0..100u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards), "placement must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_evenly() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for id in 0..100u64 {
+            counts[shard_of(id, shards)] += 1;
+        }
+        assert_eq!(counts, vec![25; 4]);
+    }
+}

@@ -13,6 +13,12 @@
 //!     suite: virtual 1/2/4/8/16/50-worker fleet, prints the matrix and
 //!     "scale_ok: true|false" (exit 0 iff ok)
 //! simtest --scale --scale-workers 2,16                     # CI fast profile
+//! simtest --shard-seeds 50                                 # multi-tenant soak:
+//!     1000 virtual clients / 100 workers / 8 shards per seed (scale down
+//!     with --shard-clients/--shard-workers/--shard-shards/--shard-runners)
+//! simtest --shard-seed 3 --shard-clients 100               # replay one soak seed
+//! simtest --shard-bench --out BENCH_shard.json             # 1/4/16-shard
+//!     throughput bench (exit 0 iff sharded >= single-queue and no job lost)
 //! ```
 //!
 //! Sweep mode also runs `--mixed-seeds N` (default 8) mixed-problem
@@ -45,6 +51,11 @@ struct Args {
     broken: bool,
     scale: bool,
     scale_workers: Vec<usize>,
+    shard_seeds: u64,
+    one_shard_seed: Option<u64>,
+    shard_scale: sim::ShardScale,
+    shard_bench: bool,
+    shard_bench_jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +72,11 @@ fn parse_args() -> Result<Args, String> {
         broken: false,
         scale: false,
         scale_workers: sim::WORKER_COUNTS.to_vec(),
+        shard_seeds: 0,
+        one_shard_seed: None,
+        shard_scale: sim::ShardScale::default(),
+        shard_bench: false,
+        shard_bench_jobs: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +93,24 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--broken" => args.broken = true,
             "--scale" => args.scale = true,
+            "--shard-seeds" => args.shard_seeds = num(&grab("--shard-seeds")?)?,
+            "--shard-seed" => args.one_shard_seed = Some(num(&grab("--shard-seed")?)?),
+            "--shard-clients" => {
+                args.shard_scale.clients = num(&grab("--shard-clients")?)? as usize;
+            }
+            "--shard-workers" => {
+                args.shard_scale.workers = num(&grab("--shard-workers")?)? as usize;
+            }
+            "--shard-shards" => {
+                args.shard_scale.shards = num(&grab("--shard-shards")?)? as usize;
+            }
+            "--shard-runners" => {
+                args.shard_scale.runners = num(&grab("--shard-runners")?)? as usize;
+            }
+            "--shard-bench" => args.shard_bench = true,
+            "--shard-bench-jobs" => {
+                args.shard_bench_jobs = num(&grab("--shard-bench-jobs")?)? as usize;
+            }
             "--scale-workers" => {
                 args.scale_workers = grab("--scale-workers")?
                     .split(',')
@@ -86,8 +120,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: simtest [--seeds N] [--base-seed S] [--store-seeds N] \
-                     [--mixed-seeds N] [--out FILE] [--seed X [--trace]] [--store-seed X] \
-                     [--mixed-seed X] [--broken] [--scale [--scale-workers 1,2,...]]"
+                     [--mixed-seeds N] [--shard-seeds N] [--out FILE] [--seed X [--trace]] \
+                     [--store-seed X] [--mixed-seed X] [--shard-seed X] [--broken] \
+                     [--scale [--scale-workers 1,2,...]] \
+                     [--shard-clients N] [--shard-workers N] [--shard-shards N] \
+                     [--shard-runners N] [--shard-bench [--shard-bench-jobs N]]"
                 );
                 std::process::exit(0);
             }
@@ -160,6 +197,54 @@ fn main() {
             println!("summary written to {path}");
         }
         std::process::exit(i32::from(!ok));
+    }
+
+    // Shard-bench mode: 1/4/16 shards, 16 concurrent jobs, the
+    // `sharded >= single-queue` gate behind BENCH_shard.json.
+    if args.shard_bench {
+        let started = Instant::now();
+        let report = sim::run_shard_bench(
+            args.base_seed,
+            args.shard_bench_jobs,
+            args.shard_scale.workers.min(16),
+            &sim::BENCH_SHARD_COUNTS,
+        );
+        println!(
+            "shard bench (seed {}, {} concurrent jobs):",
+            report.seed, report.jobs
+        );
+        for p in &report.points {
+            println!(
+                "  {:>2} shards: {:>7.2} jobs/vsec  p95 sched delay {:>8} us  \
+                 ({} virtual ms, all_done {})",
+                p.shards, p.jobs_per_vsec, p.sched_delay_p95_micros, p.virtual_ms, p.all_done,
+            );
+        }
+        let ok = report.is_ok();
+        println!(
+            "shard_bench_ok: {ok} ({:.2}s wall)",
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(path) = &args.out {
+            let json = shard_bench_json(&report, started.elapsed().as_secs_f64());
+            if let Err(e) = std::fs::write(path, json.to_text() + "\n") {
+                eprintln!("simtest: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("summary written to {path}");
+        }
+        std::process::exit(i32::from(!ok));
+    }
+
+    // Single shard-soak replay mode.
+    if let Some(seed) = args.one_shard_seed {
+        let started = Instant::now();
+        let report = sim::run_shard_seed(seed, &args.shard_scale, &mut Expected::new());
+        print_shard_seed(&report, started.elapsed().as_secs_f64());
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        std::process::exit(i32::from(!report.is_ok()));
     }
 
     // Single store-scenario replay mode.
@@ -307,11 +392,45 @@ fn main() {
         Some(r)
     };
 
+    // The multi-tenant shard soak sweep (opt-in: `--shard-seeds N`;
+    // CI's soak stage runs it at the headline 1000-client scale).
+    let shard_report = if args.broken || args.shard_seeds == 0 {
+        None
+    } else {
+        let started = Instant::now();
+        let r = sim::run_shard_sweep(args.base_seed, args.shard_seeds, &args.shard_scale);
+        println!(
+            "shard soak: {} seeds x {} clients / {} workers / {} shards, {} passed, {} failed \
+             in {:.2}s ({} jobs done, {} queue_full rejects ridden, {} quota rejects, \
+             {:.1}s virtual)",
+            r.seeds,
+            args.shard_scale.clients,
+            args.shard_scale.workers,
+            args.shard_scale.shards,
+            r.passed,
+            r.failures.len(),
+            started.elapsed().as_secs_f64(),
+            r.jobs_done,
+            r.queue_full_rejects,
+            r.quota_rejects,
+            r.virtual_ms as f64 / 1000.0,
+        );
+        for f in &r.failures {
+            println!("\nshard seed {} FAILED:", f.seed);
+            for line in &f.failures {
+                println!("  {line}");
+            }
+            println!("  replay: simtest --shard-seed {}", f.seed);
+        }
+        Some(r)
+    };
+
     if let Some(path) = &args.out {
         let json = report_json(
             &report,
             mixed_report.as_ref(),
             store_report.as_ref(),
+            shard_report.as_ref(),
             wall.as_secs_f64(),
             args.broken,
         );
@@ -325,6 +444,7 @@ fn main() {
     let caught = !report.failures.is_empty();
     let store_ok = store_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let mixed_ok = mixed_report.as_ref().is_none_or(|r| r.failures.is_empty());
+    let shard_ok = shard_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let ok = if args.broken {
         // Self-test: a daemon that drops re-dispatched work MUST be
         // caught by at least one seed, or the sweep has no teeth.
@@ -335,7 +455,7 @@ fn main() {
         }
         caught
     } else {
-        !caught && store_ok && mixed_ok
+        !caught && store_ok && mixed_ok && shard_ok
     };
     std::process::exit(i32::from(!ok));
 }
@@ -393,10 +513,65 @@ fn scale_json(suite: &sim::ScaleSuite, seed: u64, wall_secs: f64) -> Json {
     ])
 }
 
+fn print_shard_seed(r: &sim::ShardSeedReport, wall_secs: f64) {
+    println!(
+        "shard seed {}: {} ({} clients: {} admitted, {} done, {} queue_full rejects ridden, \
+         {} quota rejects; p95 sched delay {} us; {} virtual ms, {wall_secs:.2}s wall)",
+        r.seed,
+        if r.is_ok() { "ok" } else { "FAILED" },
+        r.clients,
+        r.admitted,
+        r.done,
+        r.queue_full_rejects,
+        r.quota_rejects,
+        r.sched_delay_p95_micros,
+        r.virtual_ms,
+    );
+}
+
+fn shard_bench_json(report: &sim::ShardBenchReport, wall_secs: f64) -> Json {
+    Json::obj(vec![
+        ("bench", Json::Str("shard".into())),
+        ("seed", Json::Int(report.seed as i64)),
+        ("jobs", Json::Int(report.jobs as i64)),
+        (
+            "points",
+            Json::Arr(
+                report
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("shards", Json::Int(p.shards as i64)),
+                            ("virtual_ms", Json::Int(p.virtual_ms as i64)),
+                            (
+                                "jobs_per_vsec",
+                                served::checkpoint::f64_to_json(p.jobs_per_vsec),
+                            ),
+                            (
+                                "sched_delay_p95_micros",
+                                Json::Int(p.sched_delay_p95_micros as i64),
+                            ),
+                            ("all_done", Json::Bool(p.all_done)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sharded_beats_single",
+            Json::Bool(report.sharded_beats_single()),
+        ),
+        ("shard_bench_ok", Json::Bool(report.is_ok())),
+        ("wall_secs", served::checkpoint::f64_to_json(wall_secs)),
+    ])
+}
+
 fn report_json(
     report: &sim::SweepReport,
     mixed: Option<&sim::MixedSweepReport>,
     store: Option<&sim::StoreSweepReport>,
+    shard: Option<&sim::ShardSweepReport>,
     wall_secs: f64,
     broken: bool,
 ) -> Json {
@@ -444,6 +619,28 @@ fn report_json(
                 "mixed_failing_seeds",
                 Json::Arr(
                     m.failures
+                        .iter()
+                        .map(|f| Json::Int(f.seed as i64))
+                        .collect(),
+                ),
+            ),
+        ]);
+    }
+    if let Some(s) = shard {
+        fields.extend([
+            ("shard_seeds", Json::Int(s.seeds as i64)),
+            ("shard_passed", Json::Int(s.passed as i64)),
+            ("shard_failed", Json::Int(s.failures.len() as i64)),
+            ("shard_jobs_done", Json::Int(s.jobs_done as i64)),
+            (
+                "shard_queue_full_rejects",
+                Json::Int(s.queue_full_rejects as i64),
+            ),
+            ("shard_quota_rejects", Json::Int(s.quota_rejects as i64)),
+            (
+                "shard_failing_seeds",
+                Json::Arr(
+                    s.failures
                         .iter()
                         .map(|f| Json::Int(f.seed as i64))
                         .collect(),

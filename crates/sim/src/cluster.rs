@@ -83,6 +83,15 @@ pub struct ClusterConfig {
     /// The [`DispatchConfig::redispatch`] test hook. `false` builds the
     /// intentionally-broken daemon the sweep must catch.
     pub redispatch: bool,
+    /// Shard count for the daemon's sharded executor.
+    pub shards: usize,
+    /// Daemon job-runner threads (`DaemonConfig::workers`; the daemon
+    /// itself raises this to at least `shards`).
+    pub runners: usize,
+    /// Per-shard queue capacity.
+    pub queue_capacity: usize,
+    /// Per-tenant eval-budget quotas, `(tenant, max_evals)`.
+    pub tenant_quotas: Vec<(String, u64)>,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +101,10 @@ impl Default for ClusterConfig {
             workers: 2,
             plan: FaultPlan::default(),
             redispatch: true,
+            shards: 1,
+            runners: 1,
+            queue_capacity: 16,
+            tenant_quotas: Vec::new(),
         }
     }
 }
@@ -152,10 +165,14 @@ impl Cluster {
 
         let daemon = Daemon::start(
             DaemonConfig {
-                workers: 1,
-                queue_capacity: 16,
+                workers: config.runners,
+                queue_capacity: config.queue_capacity,
                 eval_threads: 1,
                 eval_workers: addrs,
+                shards: config.shards,
+                tenant_quotas: config.tenant_quotas.clone(),
+                drr_quantum: shard::drr::DEFAULT_QUANTUM,
+                max_connections: 4096,
                 dispatch: DispatchConfig {
                     connect_timeout: Duration::from_millis(50),
                     request_timeout: Duration::from_millis(200),
@@ -212,6 +229,24 @@ impl Cluster {
         &self.net
     }
 
+    /// The daemon handle itself — soak invariants read the authoritative
+    /// state (tenant accounting, shard snapshots, exact result bits)
+    /// straight from it rather than through JSON round-trips.
+    #[must_use]
+    pub fn daemon(&self) -> &Daemon {
+        &self.daemon
+    }
+
+    /// A fresh protocol client on the fault-free control link. The soak
+    /// reuses one connection for thousands of submits instead of paying
+    /// a connect (and a server conn thread) per job.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn client(&self) -> Result<Client, String> {
+        Client::connect_on(&self.ctl, DAEMON_ADDR)
+    }
+
     /// Current virtual time, milliseconds.
     #[must_use]
     pub fn now_ms(&self) -> u64 {
@@ -246,6 +281,7 @@ impl Cluster {
             },
             strategy: "ga".into(),
             problem: problem.into(),
+            tenant: "default".into(),
         }
     }
 

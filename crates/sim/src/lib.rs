@@ -40,6 +40,10 @@
 //!   dispatcher beats serial at 2 workers and holds ≥ 70 % parallel
 //!   efficiency at 16, while staying exactly-once and bit-identical
 //!   under seeded fault sweeps.
+//! * [`shard_soak`] — the multi-tenant soak: a thousand virtual clients
+//!   over a shared hundred-worker fleet against the sharded control
+//!   plane (admission, quotas, DRR fairness, bit-identity), plus the
+//!   1/4/16-shard throughput bench behind `BENCH_shard.json`.
 //! * [`sweep`] — seed-derived scenarios, the per-seed driver, and sweep
 //!   reports (`simtest` is a thin CLI over this). Includes the
 //!   persistent-store crash/recovery sweep ([`run_store_sweep`]): kill a
@@ -52,6 +56,7 @@
 pub mod cluster;
 pub mod net;
 pub mod scale;
+pub mod shard_soak;
 pub mod sweep;
 
 pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
@@ -59,6 +64,11 @@ pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
 pub use scale::{
     run_scale, run_scale_suite, run_scale_to, ScaleConfig, ScaleReport, ScaleSuite,
     MEASURE_ATTEMPTS, MIN_EFFICIENCY_AT_16, WORKER_COUNTS,
+};
+pub use shard_soak::{
+    run_shard_bench, run_shard_seed, run_shard_sweep, ShardBenchPoint, ShardBenchReport,
+    ShardScale, ShardSeedReport, ShardSweepReport, BENCH_SHARD_COUNTS, CAPPED_TENANT,
+    SOAK_DEADLINE, TENANTS,
 };
 pub use sweep::{
     run_mixed_seed, run_mixed_sweep, run_seed, run_store_seed, run_store_sweep, run_sweep,

@@ -1,0 +1,762 @@
+//! The multi-tenant shard soak: thousands of virtual clients, a shared
+//! worker fleet, and the full crash/partition/restart weather — against
+//! the sharded control plane's four invariants:
+//!
+//! 1. **No lost jobs.** Every *admitted* job reaches `done` inside the
+//!    virtual deadline. Admission rejects are legal (that is what the
+//!    admission controller is for) but must be structured: a retryable
+//!    `queue_full` that eventually admits, or a terminal `quota`.
+//! 2. **Quotas respected.** The capped tenant's charged evaluations
+//!    never exceed its budget, every reservation is settled by the end,
+//!    and the accountant's admit/reject books match the client's.
+//! 3. **No tenant starvation.** Every tenant with admitted work drains
+//!    it completely — the deficit-round-robin scheduler may not park a
+//!    runnable tenant behind a noisy one.
+//! 4. **Bit-identical results.** Each job's genome and fitness bits
+//!    equal a fault-free single-shard in-process run of the same spec
+//!    ([`Cluster::expected`]) — sharding and faults may change timing,
+//!    never answers.
+//!
+//! The headline scale (1000 clients, 100 workers) is tractable because
+//! clients draw their GA seed from a small pool and every simulated
+//! deployment runs with the persistent fitness store on: the first job
+//! per trajectory pays real evaluations, the rest are store hits. The
+//! soak is therefore a *control-plane* stress test — admission, DRR
+//! scheduling, quota accounting, shard routing, settle — not a fitness
+//! recomputation burner.
+//!
+//! [`run_shard_bench`] is the companion throughput probe: the same
+//! cluster at 1, 4 and 16 shards, 16 concurrent distinct-trajectory
+//! jobs, measuring submit-to-done throughput and p95 scheduling delay.
+//! One shard means one shard executor — the single-queue baseline this
+//! PR replaces — so the gate `sharded ≥ single-queue` is the whole
+//! point of the subsystem in one number.
+
+use std::time::Duration;
+
+use served::json::Json;
+use served::{Client, JobSpec, JobState};
+use simrng::child_rng;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::net::FaultPlan;
+use crate::sweep::Expected;
+
+/// Virtual-time budget for a whole soak scenario (submission through
+/// the last job's terminal state). Generous: the backlog is long but
+/// store-hit jobs finish in virtual microseconds.
+pub const SOAK_DEADLINE: Duration = Duration::from_secs(1200);
+
+/// GA seeds soak clients draw from (small on purpose: ground truths and
+/// store cells are shared across the sweep).
+const GA_SEEDS: [u64; 4] = [1, 7, 23, 77];
+
+/// The tenant roster every soak scenario uses. `capped` carries an
+/// eval-budget quota sized so that some of its submissions *must* be
+/// rejected — a soak that never exercises the quota path proves
+/// nothing about it.
+pub const TENANTS: [&str; 4] = ["alpha", "beta", "gamma", "capped"];
+
+/// The quota-capped member of [`TENANTS`].
+pub const CAPPED_TENANT: &str = "capped";
+
+/// Scale knobs for one soak scenario.
+#[derive(Debug, Clone)]
+pub struct ShardScale {
+    /// Virtual clients; each submits one job (retrying structured
+    /// `queue_full` rejects until admitted or terminally rejected).
+    pub clients: usize,
+    /// `evald` workers in the shared fleet.
+    pub workers: usize,
+    /// Daemon shards.
+    pub shards: usize,
+    /// Daemon job-runner threads.
+    pub runners: usize,
+}
+
+impl Default for ShardScale {
+    fn default() -> Self {
+        Self {
+            clients: 1000,
+            workers: 100,
+            shards: 8,
+            runners: 16,
+        }
+    }
+}
+
+/// One timed fault against a specific worker index.
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    Crash { at_ms: u64, worker: usize },
+    Restart { at_ms: u64, worker: usize },
+    Partition { at_ms: u64, worker: usize },
+    Heal { at_ms: u64, worker: usize },
+}
+
+impl Fault {
+    fn at_ms(self) -> u64 {
+        match self {
+            Fault::Crash { at_ms, .. }
+            | Fault::Restart { at_ms, .. }
+            | Fault::Partition { at_ms, .. }
+            | Fault::Heal { at_ms, .. } => at_ms,
+        }
+    }
+
+    fn fire(self, cluster: &Cluster) {
+        match self {
+            Fault::Crash { worker, .. } => cluster.crash_worker(worker),
+            Fault::Restart { worker, .. } => {
+                let _ = cluster.restart_worker(worker);
+            }
+            Fault::Partition { worker, .. } => cluster.partition_worker(worker),
+            Fault::Heal { worker, .. } => cluster.heal_worker(worker),
+        }
+    }
+}
+
+/// One soak scenario's report. Green iff `failures` is empty.
+#[derive(Debug, Clone)]
+pub struct ShardSeedReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Clients that submitted.
+    pub clients: usize,
+    /// Jobs the admission controller accepted.
+    pub admitted: u64,
+    /// Structured retryable `queue_full` rejects clients rode through.
+    pub queue_full_rejects: u64,
+    /// Structured terminal `quota` rejects (capped tenant only).
+    pub quota_rejects: u64,
+    /// Admitted jobs that reached `done` with the bit-exact result.
+    pub done: u64,
+    /// Broken invariants, in the order they were caught.
+    pub failures: Vec<String>,
+    /// Virtual ms from first submission to the last terminal state.
+    pub virtual_ms: u64,
+    /// p95 scheduling delay (enqueue → claim), virtual microseconds.
+    pub sched_delay_p95_micros: u64,
+}
+
+impl ShardSeedReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn soak_broken(seed: u64, clients: usize, detail: String) -> ShardSeedReport {
+    ShardSeedReport {
+        seed,
+        clients,
+        admitted: 0,
+        queue_full_rejects: 0,
+        quota_rejects: 0,
+        done: 0,
+        failures: vec![detail],
+        virtual_ms: 0,
+        sched_delay_p95_micros: 0,
+    }
+}
+
+/// Derives the fault schedule a soak seed denotes: frame-level faults
+/// on every daemon↔worker link plus one or two crash/restart pairs and
+/// an optional partition/heal pair, each aimed at a seeded worker
+/// index.
+fn derive_faults(seed: u64, workers: usize) -> (FaultPlan, Vec<Fault>) {
+    let mut rng = child_rng(seed, "sim/shard");
+    let plan = FaultPlan {
+        drop_p: rng.f64() * 0.08,
+        dup_p: rng.f64() * 0.03,
+        delay_p: rng.f64() * 0.30,
+        delay_max_micros: 1_000 + rng.below(15_000),
+    };
+    let mut faults = Vec::new();
+    for _ in 0..=rng.below(2) {
+        let worker = rng.below(workers as u64) as usize;
+        let crash_at = 40 + rng.below(400);
+        faults.push(Fault::Crash {
+            at_ms: crash_at,
+            worker,
+        });
+        faults.push(Fault::Restart {
+            at_ms: crash_at + 40 + rng.below(300),
+            worker,
+        });
+    }
+    if rng.chance(0.6) {
+        let worker = rng.below(workers as u64) as usize;
+        let cut_at = 20 + rng.below(400);
+        faults.push(Fault::Partition {
+            at_ms: cut_at,
+            worker,
+        });
+        faults.push(Fault::Heal {
+            at_ms: cut_at + 30 + rng.below(250),
+            worker,
+        });
+    }
+    faults.sort_by_key(|f| f.at_ms());
+    (plan, faults)
+}
+
+fn fire_due(cluster: &Cluster, started_ms: u64, pending: &mut Vec<Fault>) {
+    let now = cluster.now_ms();
+    while pending
+        .first()
+        .is_some_and(|f| now.saturating_sub(started_ms) >= f.at_ms())
+    {
+        pending.remove(0).fire(cluster);
+    }
+}
+
+/// What one submission attempt came back with.
+enum Admission {
+    Admitted(u64),
+    QueueFull,
+    Quota,
+    Broken(String),
+}
+
+fn try_submit(client: &mut Client, spec: &JobSpec) -> Admission {
+    let frame = Json::obj(vec![
+        ("cmd", Json::Str("submit".into())),
+        ("job", spec.to_json()),
+    ]);
+    let resp = match client.request(&frame) {
+        Ok(r) => r,
+        Err(e) => return Admission::Broken(format!("submit transport: {e}")),
+    };
+    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+        return match resp.get("id").and_then(Json::as_u64) {
+            Some(id) => Admission::Admitted(id),
+            None => Admission::Broken("submit ok frame without an id".into()),
+        };
+    }
+    if resp.get("busy").and_then(Json::as_bool) != Some(true) {
+        return Admission::Broken(format!("unstructured reject: {}", resp.to_text()));
+    }
+    let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
+    match resp.get("reason").and_then(Json::as_str) {
+        Some("queue_full") if retryable => Admission::QueueFull,
+        Some("quota") if !retryable => Admission::Quota,
+        other => Admission::Broken(format!(
+            "busy frame with reason {other:?} retryable {retryable}"
+        )),
+    }
+}
+
+/// Runs one soak scenario seed and checks every invariant. `expected`
+/// caches fault-free ground truths (shared across a sweep — clients
+/// draw from the same small GA-seed pool).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_shard_seed(seed: u64, scale: &ShardScale, expected: &mut Expected) -> ShardSeedReport {
+    let (plan, faults) = derive_faults(seed, scale.workers);
+    let mut rng = child_rng(seed, "sim/shard/clients");
+
+    // Ground truths up front (outside the cluster's virtual clock).
+    for ga_seed in GA_SEEDS {
+        let spec = Cluster::spec(ga_seed);
+        expected
+            .entry((spec.problem.clone(), ga_seed))
+            .or_insert_with(|| {
+                let (g, f) = Cluster::expected(&spec).expect("reference tune of a valid spec");
+                (g, f.to_bits())
+            });
+    }
+
+    // Size the capped tenant's budget so roughly a quarter of its
+    // clients can admit by estimate — the rest must see `quota`.
+    let per_job = Cluster::spec(1).eval_estimate();
+    let capped_clients = scale.clients.div_ceil(TENANTS.len());
+    let quota = per_job * (capped_clients as u64 / 4).max(1);
+
+    let cluster = match Cluster::boot(&ClusterConfig {
+        seed,
+        workers: scale.workers,
+        plan,
+        redispatch: true,
+        shards: scale.shards,
+        runners: scale.runners,
+        // Deliberately smaller than the backlog: the soak must ride
+        // through structured queue_full rejects, not sidestep them.
+        queue_capacity: (scale.clients / (16 * scale.shards.max(1))).max(4),
+        tenant_quotas: vec![(CAPPED_TENANT.to_string(), quota)],
+    }) {
+        Ok(c) => c,
+        Err(e) => return soak_broken(seed, scale.clients, format!("boot: {e}")),
+    };
+    let mut client = match cluster.client() {
+        Ok(c) => c,
+        Err(e) => {
+            cluster.abandon();
+            return soak_broken(seed, scale.clients, format!("connect: {e}"));
+        }
+    };
+
+    let started_ms = cluster.now_ms();
+    let give_up_ms = started_ms + SOAK_DEADLINE.as_millis() as u64;
+    let mut pending = faults;
+    let mut failures = Vec::new();
+    let mut admitted: Vec<(u64, u64, String)> = Vec::new(); // (id, ga_seed, tenant)
+    let mut queue_full_rejects = 0u64;
+    let mut quota_rejects = 0u64;
+
+    // Submission phase: every client submits one job, riding through
+    // retryable rejects while the runners drain the backlog underneath.
+    'clients: for c in 0..scale.clients {
+        let tenant = TENANTS[c % TENANTS.len()];
+        let ga_seed = *rng.choose(&GA_SEEDS);
+        let spec = JobSpec {
+            name: format!("soak-{seed}-{c}"),
+            tenant: tenant.to_string(),
+            ..Cluster::spec(ga_seed)
+        };
+        loop {
+            fire_due(&cluster, started_ms, &mut pending);
+            match try_submit(&mut client, &spec) {
+                Admission::Admitted(id) => {
+                    admitted.push((id, ga_seed, tenant.to_string()));
+                    break;
+                }
+                Admission::QueueFull => {
+                    queue_full_rejects += 1;
+                    if cluster.now_ms() >= give_up_ms {
+                        failures.push(format!("client {c}: still queue_full at the soak deadline"));
+                        break 'clients;
+                    }
+                    cluster.advance(Duration::from_millis(20));
+                }
+                Admission::Quota => {
+                    quota_rejects += 1;
+                    if tenant != CAPPED_TENANT {
+                        failures.push(format!("client {c}: quota reject for uncapped '{tenant}'"));
+                    }
+                    break;
+                }
+                Admission::Broken(detail) => {
+                    failures.push(format!("client {c}: {detail}"));
+                    // The control link is fault-free; try a reconnect
+                    // once rather than abandoning the whole scenario.
+                    match cluster.client() {
+                        Ok(fresh) => client = fresh,
+                        Err(e) => {
+                            failures.push(format!("reconnect: {e}"));
+                            break 'clients;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    // Drain phase: poll every admitted job to a terminal state through
+    // the protocol, firing the remaining timed faults as the virtual
+    // clock passes them, then check results against the authoritative
+    // daemon record (exact bits, not JSON round-trips).
+    let mut done = 0u64;
+    let mut hung = false;
+    for (id, ga_seed, tenant) in &admitted {
+        loop {
+            fire_due(&cluster, started_ms, &mut pending);
+            let state = match client.status(*id) {
+                Ok(job) => job
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_default(),
+                Err(_) => match cluster.client() {
+                    Ok(fresh) => {
+                        client = fresh;
+                        continue;
+                    }
+                    Err(e) => {
+                        failures.push(format!("job {id}: reconnect: {e}"));
+                        hung = true;
+                        break;
+                    }
+                },
+            };
+            if matches!(state.as_str(), "done" | "failed" | "canceled") {
+                break;
+            }
+            if cluster.now_ms() >= give_up_ms {
+                failures.push(format!(
+                    "job {id} (tenant {tenant}): still '{state}' at the soak deadline — lost work"
+                ));
+                hung = true;
+                break;
+            }
+            cluster.advance(Duration::from_millis(20));
+        }
+        if hung {
+            break;
+        }
+        let Some(record) = cluster.daemon().status(*id) else {
+            failures.push(format!("job {id}: vanished from the daemon"));
+            continue;
+        };
+        if record.state != JobState::Done {
+            failures.push(format!(
+                "job {id} (tenant {tenant}): terminal '{:?}': {}",
+                record.state,
+                record.error.unwrap_or_default()
+            ));
+            continue;
+        }
+        let spec_problem = record.spec.problem.clone();
+        let Some((want_genes, want_bits)) = expected.get(&(spec_problem, *ga_seed)) else {
+            failures.push(format!("job {id}: no ground truth for ga seed {ga_seed}"));
+            continue;
+        };
+        match record.result {
+            Some((ref genes, fitness))
+                if genes == want_genes && fitness.to_bits() == *want_bits =>
+            {
+                done += 1;
+            }
+            Some((genes, fitness)) => failures.push(format!(
+                "job {id} (ga seed {ga_seed}): got {genes:?} @ {fitness}, fault-free single-shard \
+                 gives {want_genes:?} @ {}",
+                f64::from_bits(*want_bits)
+            )),
+            None => failures.push(format!("job {id}: done without a result")),
+        }
+    }
+    let virtual_ms = cluster.now_ms() - started_ms;
+
+    // Book-keeping invariants, straight from the daemon. A job's state
+    // flips terminal *before* its runner settles the quota reservation,
+    // so give the runners a moment of wall clock to finish their books
+    // — the settle lag is scheduling, not an invariant breach.
+    if !hung {
+        for _ in 0..500 {
+            let usage = cluster.daemon().tenant_usage();
+            let settled: u64 = usage.iter().map(|u| u.settled).sum();
+            if usage.iter().all(|u| u.reserved == 0) && settled >= admitted.len() as u64 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        audit_books(&cluster, &admitted, quota_rejects, scale, &mut failures);
+        if let Err(e) = cluster.checkpoints_loadable() {
+            failures.push(format!("checkpoint audit: {e}"));
+        }
+    }
+    let sched_delay_p95_micros = cluster
+        .daemon()
+        .obs()
+        .histogram("sched_delay_micros")
+        .snapshot()
+        .p95();
+
+    if hung {
+        cluster.abandon();
+    } else {
+        cluster.shutdown();
+    }
+    ShardSeedReport {
+        seed,
+        clients: scale.clients,
+        admitted: admitted.len() as u64,
+        queue_full_rejects,
+        quota_rejects,
+        done,
+        failures,
+        virtual_ms,
+        sched_delay_p95_micros,
+    }
+}
+
+/// Quota, starvation and shard-routing invariants over the daemon's own
+/// books once the backlog has drained.
+fn audit_books(
+    cluster: &Cluster,
+    admitted: &[(u64, u64, String)],
+    quota_rejects: u64,
+    scale: &ShardScale,
+    failures: &mut Vec<String>,
+) {
+    let usage = cluster.daemon().tenant_usage();
+    let mut admitted_by_tenant = std::collections::HashMap::new();
+    for (_, _, tenant) in admitted {
+        *admitted_by_tenant.entry(tenant.as_str()).or_insert(0u64) += 1;
+    }
+    for tenant in TENANTS {
+        let Some(row) = usage.iter().find(|u| u.tenant == tenant) else {
+            failures.push(format!("tenant '{tenant}' missing from the accountant"));
+            continue;
+        };
+        let client_admits = admitted_by_tenant.get(tenant).copied().unwrap_or(0);
+        // Starvation: a tenant whose work was admitted must have had all
+        // of it scheduled, run and settled — DRR may not park anyone.
+        if row.settled < client_admits {
+            failures.push(format!(
+                "tenant '{tenant}': {} settled of {client_admits} admitted — starved work",
+                row.settled
+            ));
+        }
+        if row.reserved != 0 {
+            failures.push(format!(
+                "tenant '{tenant}': {} evals still reserved after the drain",
+                row.reserved
+            ));
+        }
+        if row.admitted < client_admits {
+            failures.push(format!(
+                "tenant '{tenant}': accountant admitted {} but clients saw {client_admits}",
+                row.admitted
+            ));
+        }
+        if scale.clients >= 2 * TENANTS.len() && client_admits == 0 && tenant != CAPPED_TENANT {
+            failures.push(format!("tenant '{tenant}': nothing admitted at soak scale"));
+        }
+        if tenant == CAPPED_TENANT {
+            if let Some(cap) = row.quota {
+                if row.used > cap {
+                    failures.push(format!(
+                        "capped tenant charged {} evals over its {cap} quota",
+                        row.used
+                    ));
+                }
+            } else {
+                failures.push("capped tenant lost its quota".into());
+            }
+            if row.rejected < quota_rejects {
+                failures.push(format!(
+                    "accountant counted {} quota rejects, clients saw {quota_rejects}",
+                    row.rejected
+                ));
+            }
+        }
+    }
+    // Shard routing: the backlog must actually spread, and every shard
+    // must end drained.
+    let snaps = cluster.daemon().shard_snapshots();
+    let busy_shards = snaps.iter().filter(|s| s.done > 0).count();
+    if scale.shards > 1 && admitted.len() >= 4 * scale.shards && busy_shards < 2 {
+        failures.push(format!(
+            "{} jobs all landed in one of {} shards — routing is not spreading",
+            admitted.len(),
+            scale.shards
+        ));
+    }
+    for s in &snaps {
+        if s.queued != 0 || s.running != 0 {
+            failures.push(format!(
+                "shard {}: {} queued / {} running after the drain",
+                s.shard, s.queued, s.running
+            ));
+        }
+    }
+}
+
+/// A shard soak sweep's summary.
+#[derive(Debug, Clone)]
+pub struct ShardSweepReport {
+    /// First seed swept.
+    pub base_seed: u64,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Seeds on which every invariant held.
+    pub passed: u64,
+    /// Failing reports (empty on a green sweep).
+    pub failures: Vec<ShardSeedReport>,
+    /// Jobs driven to their bit-exact result across the sweep.
+    pub jobs_done: u64,
+    /// Structured queue_full rejects ridden through across the sweep —
+    /// evidence the admission controller was actually exercised.
+    pub queue_full_rejects: u64,
+    /// Structured quota rejects across the sweep.
+    pub quota_rejects: u64,
+    /// Accumulated virtual milliseconds.
+    pub virtual_ms: u64,
+}
+
+/// Sweeps `seeds` consecutive soak scenario seeds at `scale`.
+#[must_use]
+pub fn run_shard_sweep(base_seed: u64, seeds: u64, scale: &ShardScale) -> ShardSweepReport {
+    let mut expected = Expected::new();
+    let mut report = ShardSweepReport {
+        base_seed,
+        seeds,
+        passed: 0,
+        failures: Vec::new(),
+        jobs_done: 0,
+        queue_full_rejects: 0,
+        quota_rejects: 0,
+        virtual_ms: 0,
+    };
+    for seed in base_seed..base_seed + seeds {
+        let r = run_shard_seed(seed, scale, &mut expected);
+        report.jobs_done += r.done;
+        report.queue_full_rejects += r.queue_full_rejects;
+        report.quota_rejects += r.quota_rejects;
+        report.virtual_ms += r.virtual_ms;
+        if r.is_ok() {
+            report.passed += 1;
+        } else {
+            report.failures.push(r);
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Shard throughput bench
+// ---------------------------------------------------------------------
+
+/// Shard counts the bench sweeps. One shard is the single-queue
+/// baseline this PR replaces.
+pub const BENCH_SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// One bench point: the cluster at one shard count.
+#[derive(Debug, Clone)]
+pub struct ShardBenchPoint {
+    /// Shards (and shard executors) in this configuration.
+    pub shards: usize,
+    /// Concurrent jobs submitted.
+    pub jobs: usize,
+    /// Virtual ms from first submit to the last job's terminal state.
+    pub virtual_ms: u64,
+    /// Submit-to-done throughput, jobs per virtual second.
+    pub jobs_per_vsec: f64,
+    /// p95 scheduling delay (enqueue → claim), virtual microseconds.
+    pub sched_delay_p95_micros: u64,
+    /// Whether every job finished `done` with a result.
+    pub all_done: bool,
+}
+
+/// The bench report across [`BENCH_SHARD_COUNTS`].
+#[derive(Debug, Clone)]
+pub struct ShardBenchReport {
+    /// The sim seed.
+    pub seed: u64,
+    /// Concurrent jobs per point.
+    pub jobs: usize,
+    /// One point per shard count, ascending.
+    pub points: Vec<ShardBenchPoint>,
+}
+
+impl ShardBenchReport {
+    /// The acceptance gate: the most-sharded configuration's throughput
+    /// is at least the single-queue baseline's.
+    #[must_use]
+    pub fn sharded_beats_single(&self) -> bool {
+        match (self.points.first(), self.points.last()) {
+            (Some(single), Some(sharded)) if self.points.len() >= 2 => {
+                sharded.jobs_per_vsec >= single.jobs_per_vsec
+            }
+            _ => false,
+        }
+    }
+
+    /// Gate plus completeness: every point drove every job to `done`.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.sharded_beats_single() && self.points.iter().all(|p| p.all_done)
+    }
+}
+
+/// Runs the shard bench: for each shard count, boots a fault-free
+/// cluster (network latency only — evaluations need a nonzero virtual
+/// cost for throughput to mean anything), submits `jobs` concurrent
+/// jobs with distinct GA trajectories, and measures submit-to-done
+/// throughput and p95 scheduling delay. Runner threads equal the shard
+/// count, so one shard *is* the serial single-queue daemon.
+#[must_use]
+pub fn run_shard_bench(
+    seed: u64,
+    jobs: usize,
+    workers: usize,
+    shard_counts: &[usize],
+) -> ShardBenchReport {
+    let mut points = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        points.push(bench_point(seed, jobs, workers, shards));
+    }
+    ShardBenchReport { seed, jobs, points }
+}
+
+fn bench_point(seed: u64, jobs: usize, workers: usize, shards: usize) -> ShardBenchPoint {
+    let broken = |virtual_ms| ShardBenchPoint {
+        shards,
+        jobs,
+        virtual_ms,
+        jobs_per_vsec: 0.0,
+        sched_delay_p95_micros: 0,
+        all_done: false,
+    };
+    let cluster = match Cluster::boot(&ClusterConfig {
+        seed,
+        workers,
+        // Latency-only weather: every frame takes time, none are lost,
+        // so the point is deterministic-by-outcome and evals cost
+        // virtual time.
+        plan: FaultPlan {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 1.0,
+            delay_max_micros: 4_000,
+        },
+        redispatch: true,
+        shards,
+        runners: shards,
+        queue_capacity: jobs.max(8),
+        tenant_quotas: Vec::new(),
+    }) {
+        Ok(c) => c,
+        Err(_) => return broken(0),
+    };
+    let Ok(mut client) = cluster.client() else {
+        cluster.abandon();
+        return broken(0);
+    };
+
+    let started_ms = cluster.now_ms();
+    let mut ids = Vec::with_capacity(jobs);
+    for c in 0..jobs {
+        // Distinct trajectories: no cross-job store hits, every job
+        // pays its own evaluations.
+        let spec = JobSpec {
+            name: format!("bench-{shards}-{c}"),
+            ..Cluster::spec(1000 + c as u64)
+        };
+        match client.submit(&spec) {
+            Ok(id) => ids.push(id),
+            Err(_) => {
+                let waited = cluster.now_ms() - started_ms;
+                cluster.abandon();
+                return broken(waited);
+            }
+        }
+    }
+    let mut all_done = true;
+    for id in &ids {
+        match cluster.wait(*id, SOAK_DEADLINE, |_| {}) {
+            crate::cluster::Outcome::Done { .. } => {}
+            _ => all_done = false,
+        }
+    }
+    let virtual_ms = (cluster.now_ms() - started_ms).max(1);
+    let sched_delay_p95_micros = cluster
+        .daemon()
+        .obs()
+        .histogram("sched_delay_micros")
+        .snapshot()
+        .p95();
+    cluster.shutdown();
+    #[allow(clippy::cast_precision_loss)]
+    ShardBenchPoint {
+        shards,
+        jobs,
+        virtual_ms,
+        jobs_per_vsec: jobs as f64 / (virtual_ms as f64 / 1000.0),
+        sched_delay_p95_micros,
+        all_done,
+    }
+}

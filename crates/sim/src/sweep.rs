@@ -224,6 +224,7 @@ fn run_scenario(
         workers: scenario.workers,
         plan: scenario.plan,
         redispatch,
+        ..ClusterConfig::default()
     })?;
     let started_ms = cluster.now_ms();
     let id = cluster.submit(&spec)?;
@@ -436,6 +437,7 @@ pub fn run_mixed_seed(seed: u64, expected: &mut Expected) -> MixedSeedReport {
         workers: scenario.workers,
         plan: scenario.plan,
         redispatch: true,
+        ..ClusterConfig::default()
     }) {
         Ok(c) => c,
         Err(e) => return mixed_broken(seed, scenario.ga_seed, &format!("boot: {e}")),

@@ -40,6 +40,7 @@ fn crash_partition_and_frame_faults_converge_to_the_fault_free_result() {
             delay_max_micros: 15_000,
         },
         redispatch: true,
+        ..ClusterConfig::default()
     })
     .expect("cluster boots");
 

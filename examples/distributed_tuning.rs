@@ -39,6 +39,7 @@ fn spec(seed: u64) -> JobSpec {
         },
         strategy: "ga".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     }
 }
 

@@ -52,6 +52,7 @@ fn main() {
         },
         strategy: "race:ga+random+hillclimb".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     };
     let mut client = Client::connect(&addr).expect("connect");
     let id = client.submit(&spec).expect("submit");

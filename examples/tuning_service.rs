@@ -33,6 +33,7 @@ fn job(name: &str, goal: Goal, seed: u64) -> JobSpec {
         },
         strategy: "ga".into(),
         problem: "inline".into(),
+        tenant: "default".into(),
     }
 }
 

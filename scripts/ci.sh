@@ -20,6 +20,10 @@
 # throughput-scaling suite (`simtest --scale`): a virtual worker fleet
 # that must beat serial at 2 workers and hold >=70% parallel efficiency
 # at 16, bit-identical and exactly-once under seeded fault variants.
+# Finally the multi-tenant shard soak (`simtest --shard-seeds`): per
+# seed, 1000 virtual clients across four tenants push jobs through the
+# sharded control plane over a shared 100-worker fleet — no lost jobs,
+# quotas respected, no tenant starved, results bit-identical.
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -47,6 +51,7 @@ if has_proptest_dep crates/obs/Cargo.toml; then
   cargo test -p inlinetune-obs --offline --quiet --features proptest
   cargo test -p inlinetune-served --offline --quiet --features proptest
   cargo test -p inlinetune-problems --offline --quiet --features proptest
+  cargo test -p inlinetune-shard --offline --quiet --features proptest
 else
   echo "== property suites skipped (proptest crate not vendored)"
 fi
@@ -206,5 +211,32 @@ target/release/simtest --scale \
   || { echo "throughput-scaling suite failed"; cat BENCH_scale.json; exit 1; }
 grep -q '"scale_ok":true' BENCH_scale.json \
   || { echo "BENCH_scale.json missing the green verdict"; cat BENCH_scale.json; exit 1; }
+
+# The sharded-control-plane bench that bench.sh wrote above: throughput
+# and p95 scheduling delay at 1/4/16 shards over one shared worker
+# fleet; the sharded run must beat the single-queue baseline at 16
+# concurrent jobs (bench.sh already exits nonzero when the gate fails —
+# this re-checks the artifact so a stale file cannot pass).
+grep -q '"shard_bench_ok":true' BENCH_shard.json \
+  || { echo "sharded >= single-queue bench gate failed"; cat BENCH_shard.json; exit 1; }
+
+echo "== multi-tenant shard soak (simtest --shard-seeds)"
+# The headline soak: per seed, 1000 virtual clients across four tenants
+# (one quota-capped) submit onto a sharded daemon over a shared
+# 100-worker fleet under crash/restart/partition weather. Invariants per
+# seed: no lost jobs, structured busy/quota rejects only, no tenant
+# starved, quotas never overdrawn, every result bit-identical to its
+# fault-free single-shard tune. Scale knobs for slow hosts:
+# SIM_SHARD_SEEDS / SIM_SHARD_CLIENTS / SIM_SHARD_WORKERS.
+target/release/simtest --seeds 0 --mixed-seeds 0 --store-seeds 0 \
+  --base-seed 1 --shard-seeds "${SIM_SHARD_SEEDS:-50}" \
+  --shard-clients "${SIM_SHARD_CLIENTS:-1000}" \
+  --shard-workers "${SIM_SHARD_WORKERS:-100}" \
+  --out BENCH_shard_soak.json \
+  || { echo "shard soak caught failing seeds (replay: simtest --shard-seed N)"; \
+       cat BENCH_shard_soak.json; exit 1; }
+grep -q '"shard_failed":0' BENCH_shard_soak.json \
+  || { echo "BENCH_shard_soak.json missing the green verdict"; \
+       cat BENCH_shard_soak.json; exit 1; }
 
 echo "== CI OK"
