@@ -1,0 +1,116 @@
+//! Criterion mirror of the `perfgate` calibrated gates: the same four
+//! hot paths (genome evaluation, store put/get, dispatch ledger), plus
+//! the calibration kernel itself so a criterion report can be read in
+//! the same machine-relative units the gates use.
+//!
+//! `perfgate` (crates/sim) is the CI-facing side: best-of-N wall
+//! timings against `obs::calib` thresholds, no external dependencies.
+//! This bench is the developer-facing side: full criterion statistics
+//! over the identical operations, for when a gate trips and the
+//! question becomes *which part* regressed. Keep the operation bodies
+//! in sync with `perfgate` — a drift between them makes the criterion
+//! numbers useless for diagnosing a gate failure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use served::dispatch::BatchLedger;
+use stored::{digest_parts, Fingerprint, Record, Store, FEATURES};
+use tuner::paper_tasks;
+use workloads::benchmark_by_name;
+
+/// The same inlining problem `perfgate` evaluates: Opt:Tot over the
+/// sim's one-benchmark suite.
+fn problem() -> std::sync::Arc<dyn problems::Problem> {
+    let task = paper_tasks()
+        .into_iter()
+        .find(|t| t.name == "Opt:Tot")
+        .expect("Opt:Tot is a paper task");
+    let suite = vec![benchmark_by_name("db").expect("db exists").clone()];
+    problems::build("inline", &task, &suite, jit::AdaptConfig::default())
+        .expect("inline problem builds")
+}
+
+fn synthetic_records(n: i64) -> Vec<Record> {
+    let fp = Fingerprint {
+        cell_digest: digest_parts(&["calibrated-bench"]),
+        arch: "x86-p4".into(),
+        features: (0..FEATURES).map(|f| f as f64).collect(),
+        problem: "inline".into(),
+    };
+    (0..n)
+        .map(|i| Record {
+            fingerprint: fp.clone(),
+            genome: vec![i, i * 7 % 97, i % 13, 1, 135],
+            fitness: 1.0 - i as f64 / 1024.0,
+        })
+        .collect()
+}
+
+fn bench_calibrated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibrated");
+
+    // The reference unit: everything below is judged in multiples of
+    // this kernel's median by the gates.
+    group.bench_function("kernel/600k_rounds", |b| {
+        b.iter(|| obs::calib::kernel(black_box(600_000)));
+    });
+
+    let p = problem();
+    let mut rng = simrng::child_rng(1, "perfgate/genomes");
+    let genomes: Vec<Vec<i64>> = (0..16).map(|_| p.space().random(&mut rng)).collect();
+    group.bench_function("genome_eval/16", |b| {
+        b.iter(|| {
+            for g in &genomes {
+                black_box(p.fitness(g));
+            }
+        });
+    });
+
+    let records = synthetic_records(256);
+    let scratch = std::env::temp_dir().join(format!("calibrated-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut round = 0u64;
+    group.bench_function("store_put/256_durable", |b| {
+        b.iter(|| {
+            let dir = scratch.join(format!("put-{round}"));
+            round += 1;
+            let store = Store::open(&dir).expect("scratch store opens");
+            for rec in &records {
+                store.append(rec).expect("bench append");
+            }
+        });
+    });
+    let store = Store::open(scratch.join("get")).expect("scratch store opens");
+    for rec in &records {
+        store.append(rec).expect("seed append");
+    }
+    group.bench_function("store_get/256", |b| {
+        b.iter(|| {
+            for rec in &records {
+                black_box(store.get(rec.fingerprint.cell_digest, &rec.genome));
+            }
+        });
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    group.bench_function("dispatch_ledger/4096_claim_resolve", |b| {
+        b.iter(|| {
+            let ledger = BatchLedger::new(4096, 0);
+            loop {
+                let claimed = ledger.claim(64);
+                if claimed.is_empty() {
+                    break;
+                }
+                for idx in claimed {
+                    assert!(ledger.resolve(idx, 1.0));
+                }
+            }
+            ledger.remaining()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibrated);
+criterion_main!(benches);

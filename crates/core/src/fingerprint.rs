@@ -4,9 +4,12 @@
 //! The fingerprint has two halves with different jobs:
 //!
 //! * the **cell digest** is exact identity — scenario, goal,
-//!   architecture and the training suite's benchmark names *in
-//!   evaluation order* (the geometric mean accumulates in suite order,
-//!   and the store promises bit-exact replay, so order is identity);
+//!   architecture and the training suite *in evaluation order* (the
+//!   geometric mean accumulates in suite order, and the store promises
+//!   bit-exact replay, so order is identity), with each benchmark
+//!   identified by its name *plus* its program's exact
+//!   structural/dynamic statistics, so a drift-morphed phase of a
+//!   suite is its own cell rather than a stale alias of the base;
 //! * the **feature vector** is similarity — [`stored::FEATURES`]
 //!   structural/dynamic statistics of the training programs, plus the
 //!   scenario/goal coordinates, over which the warm-start strategy
@@ -36,15 +39,32 @@ fn scenario_tag(s: Scenario) -> &'static str {
 /// The fingerprint of one tuning cell: `task` × `training` suite.
 #[must_use]
 pub fn cell_fingerprint(task: &TuningTask, training: &[Benchmark]) -> Fingerprint {
-    let mut parts: Vec<&str> = vec![
-        scenario_tag(task.scenario),
-        task.goal.label(),
-        task.arch.name,
+    let mut parts: Vec<String> = vec![
+        scenario_tag(task.scenario).to_string(),
+        task.goal.label().to_string(),
+        task.arch.name.to_string(),
     ];
     for b in training {
-        parts.push(b.name());
+        // The name alone is not identity once workloads drift: a
+        // morphed phase keeps its benchmark's name but runs a different
+        // program, and the store promises bit-exact replay per cell. So
+        // each part folds in the program's exact structural/dynamic
+        // identity — a base suite and its phase morphs are distinct
+        // cells, while the identity morph (phase 0) digests exactly
+        // like the offline cell.
+        let s = program_stats(&b.program);
+        parts.push(format!(
+            "{}#{:x}:{:x}:{:x}:{:x}:{:016x}",
+            b.name(),
+            s.n_methods,
+            s.n_call_sites,
+            s.total_size,
+            s.n_recursive,
+            s.dynamic_calls.to_bits(),
+        ));
     }
-    let cell_digest = digest_parts(&parts);
+    let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    let cell_digest = digest_parts(&part_refs);
 
     // Suite-aggregate shape: means over the benchmarks' program stats.
     let n = training.len().max(1) as f64;
@@ -140,6 +160,34 @@ mod tests {
         assert_ne!(
             cell_fingerprint(&tasks[1], &suite(&["db", "jess"])).cell_digest,
             cell_fingerprint(&tasks[1], &suite(&["jess", "db"])).cell_digest
+        );
+    }
+
+    #[test]
+    fn a_drift_morphed_phase_is_its_own_cell() {
+        use workloads::{DriftKind, DriftPos, DriftSchedule};
+        let task = &paper_tasks()[0];
+        let base = suite(&["db"]);
+        let schedule = DriftSchedule {
+            kind: DriftKind::Step,
+            period: 2,
+            phases: 2,
+            seed: 11,
+        };
+        let phase0 = schedule.suite_for(&base, &DriftPos::at_phase(0));
+        let phase1 = schedule.suite_for(&base, &DriftPos::at_phase(1));
+        // Phase 0 is the identity morph: same cell as the offline base,
+        // so warm transfer from offline tunes keeps working.
+        assert_eq!(
+            cell_fingerprint(task, &base).cell_digest,
+            cell_fingerprint(task, &phase0).cell_digest
+        );
+        // A real morph runs a different program under the same name —
+        // it must never alias the base cell (the store replays fitness
+        // bit-exactly per cell).
+        assert_ne!(
+            cell_fingerprint(task, &base).cell_digest,
+            cell_fingerprint(task, &phase1).cell_digest
         );
     }
 

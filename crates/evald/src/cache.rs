@@ -106,6 +106,8 @@ mod tests {
             strategy: "ga".into(),
             problem: "inline".into(),
             tenant: "default".into(),
+            online: None,
+            drift_pos: None,
         }
     }
 

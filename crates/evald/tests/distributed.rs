@@ -63,6 +63,8 @@ fn tiny_spec(seed: u64) -> JobSpec {
         strategy: "ga".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     }
 }
 

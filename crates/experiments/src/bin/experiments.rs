@@ -20,6 +20,7 @@
 //!   strategies        extension: search-strategy comparison (all 5 cells)
 //!   problems          extension: new tuning domains (flags, dss) x strategies
 //!   warmstart         extension: cold vs store-seeded tuning (all 5 cells)
+//!   online            extension: drift study (online vs frozen vs oracle)
 //!
 //! Options:
 //!   --out DIR         results directory              (default: results)
@@ -36,8 +37,8 @@ use std::process::ExitCode;
 
 use experiments::table::Table;
 use experiments::{
-    ablation, budget, fig1, fig10, fig2, figs, inspect, problems, strategies, sweep, table1,
-    table4, table5, warmstart, Context,
+    ablation, budget, fig1, fig10, fig2, figs, inspect, online, problems, strategies, sweep,
+    table1, table4, table5, warmstart, Context,
 };
 
 struct Args {
@@ -308,6 +309,24 @@ fn run_warmstart(ctx: &Context) {
     );
 }
 
+fn run_online(ctx: &Context) {
+    let cells = online::run(ctx);
+    emit(
+        ctx,
+        "Online drift study: adaptive re-tuning vs frozen incumbent vs per-epoch oracle",
+        "online_summary.csv",
+        &online::to_table(&cells),
+    );
+    if let Err(e) = online::to_rows_table(&cells).write_csv(&ctx.out_dir, "online.csv") {
+        eprintln!("warning: could not write online.csv: {e}");
+    }
+    println!(
+        "online beat the frozen incumbent on {} of {} drift schedules",
+        online::wins(&cells),
+        cells.len()
+    );
+}
+
 fn run_dump(ctx: &Context, name: Option<&str>) {
     let Some(name) = name else {
         eprintln!("usage: experiments dump <benchmark-name>");
@@ -362,7 +381,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|problems|warmstart|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
+            eprintln!("error: {e}\n\nusage: experiments <table1|fig1|fig2|table4|fig5..fig9|fig10|table5|ablation|sweep|inspect|dump|budget|strategies|problems|warmstart|online|all> [--out DIR] [--gens N] [--pop N] [--seed N] [--full]");
             return ExitCode::FAILURE;
         }
     };
@@ -388,6 +407,7 @@ fn main() -> ExitCode {
         "strategies" => run_strategies(&ctx),
         "problems" => run_problems(&ctx),
         "warmstart" => run_warmstart(&ctx),
+        "online" => run_online(&ctx),
         "all" => {
             run_table1(&ctx);
             run_fig1(&ctx);

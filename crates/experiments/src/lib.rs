@@ -15,7 +15,7 @@
 //! GA budget, output directory) and renders through [`table`] (aligned
 //! console tables + CSV files under `results/`).
 //!
-//! Beyond the paper's artifacts, six extension commands:
+//! Beyond the paper's artifacts, seven extension commands:
 //! [`ablation`] (cost-model mechanism knock-outs), [`sweep`]
 //! (per-parameter sensitivity, generalizing Fig. 2 to all five knobs),
 //! [`inspect`] (suite calibration statistics), [`budget`] (GA search
@@ -23,7 +23,9 @@
 //! comparison: every pluggable optimizer plus the racing portfolio on
 //! all five tuning cells) and [`warmstart`] (cold vs store-seeded
 //! transfer tuning: leave-one-out over the five cells, counting
-//! evaluations-to-target).
+//! evaluations-to-target) and [`online`] (the drift study:
+//! adaptive re-tuning vs a frozen incumbent vs a per-epoch oracle
+//! under three seeded drift schedules).
 //!
 //! Tuned parameters are persisted to `results/tuned_params.csv` so that
 //! `experiments fig5` can reuse the `table4` tuning run instead of
@@ -37,6 +39,7 @@ pub mod fig10;
 pub mod fig2;
 pub mod figs;
 pub mod inspect;
+pub mod online;
 pub mod problems;
 pub mod strategies;
 pub mod sweep;

@@ -25,12 +25,14 @@
 //!   verb (JSON), the `/metrics` endpoint (text exposition), and
 //!   enriched `watch` frames.
 
+pub mod calib;
 pub mod clock;
 pub mod expo;
 pub mod hist;
 pub mod registry;
 pub mod span;
 
+pub use calib::{calibrate, get_calibration, CalibrationBaseline};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use expo::render_prometheus;
 pub use hist::{HistSnapshot, Histogram, BOUNDS, NUM_BUCKETS};

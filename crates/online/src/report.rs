@@ -1,0 +1,248 @@
+//! Per-epoch accounting and the invariants an online run must satisfy.
+
+use workloads::{DriftKind, DriftPos};
+
+use crate::state::OnlineConfig;
+
+/// What happened in one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRow {
+    /// Epoch index (0 = the initial tune).
+    pub epoch: u64,
+    /// Workload position the epoch ran under.
+    pub pos: DriftPos,
+    /// The incumbent's fitness on this epoch's workload *before* any
+    /// retune — what the system actually delivered when the epoch
+    /// arrived (regret is measured on this).
+    pub probe: f64,
+    /// Whether this epoch committed a retune.
+    pub retuned: bool,
+    /// The incumbent's fitness at epoch end (post-retune when
+    /// `retuned`, the installation fitness otherwise).
+    pub fitness: f64,
+}
+
+/// The full account of one online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// One row per epoch.
+    pub rows: Vec<EpochRow>,
+    /// Retunes committed.
+    pub retunes: u64,
+    /// Epochs between each retune and the schedule boundary that
+    /// caused it (ground truth: the schedule is known).
+    pub detect_latencies: Vec<u64>,
+    /// Total fitness evaluations (probes + tuning).
+    pub evals: u64,
+    /// Final incumbent genome.
+    pub genes: Vec<i64>,
+    /// Final incumbent fitness.
+    pub fitness: f64,
+}
+
+impl OnlineReport {
+    /// Mean probe fitness over all epochs (the delivered quality).
+    #[must_use]
+    pub fn mean_probe(&self) -> f64 {
+        if self.rows.is_empty() {
+            return f64::NAN;
+        }
+        self.rows.iter().map(|r| r.probe).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean regret versus a per-epoch oracle fitness, in percent:
+    /// `mean((probe - oracle) / oracle) * 100`. `oracle[e]` is the
+    /// fitness an offline tune against epoch `e`'s exact workload
+    /// achieves.
+    #[must_use]
+    pub fn mean_regret_pct(&self, oracle: &[f64]) -> f64 {
+        let n = self.rows.len().min(oracle.len());
+        if n == 0 {
+            return f64::NAN;
+        }
+        let mut total = 0.0;
+        for (row, &best) in self.rows.iter().zip(oracle) {
+            if best > 0.0 {
+                total += (row.probe - best) / best * 100.0;
+            }
+        }
+        total / n as f64
+    }
+
+    /// Checks the bounded-regret-after-detection invariants. Empty
+    /// means the run is well-behaved; each violation is one sentence.
+    ///
+    /// * a retune never leaves the incumbent worse than the probe that
+    ///   triggered it (warm retunes seed the incumbent, so its score is
+    ///   a ceiling);
+    /// * detection latency is bounded by `window + period` epochs (and
+    ///   by `window` alone for step/cyclic schedules whose phases are
+    ///   at least a window long);
+    /// * within one constant workload position, probes after a retune
+    ///   never exceed the retuned fitness (phases are deterministic, so
+    ///   a held incumbent scores bit-equal every epoch).
+    #[must_use]
+    pub fn violations(&self, cfg: &OnlineConfig) -> Vec<String> {
+        let mut out = Vec::new();
+        let eps = 1e-9;
+        for row in &self.rows {
+            if row.retuned && row.fitness > row.probe * (1.0 + eps) {
+                out.push(format!(
+                    "epoch {}: retune worsened the incumbent ({} -> {})",
+                    row.epoch, row.probe, row.fitness
+                ));
+            }
+        }
+        let hard_bound = u64::from(cfg.detector.window as u32) + u64::from(cfg.schedule.period);
+        let tight = !matches!(cfg.schedule.kind, DriftKind::Ramp)
+            && u64::from(cfg.schedule.period) >= cfg.detector.window as u64;
+        for (i, &lat) in self.detect_latencies.iter().enumerate() {
+            let bound = if tight {
+                cfg.detector.window as u64
+            } else {
+                hard_bound
+            };
+            if lat > bound {
+                out.push(format!(
+                    "retune {i}: detection latency {lat} epochs exceeds the bound of {bound}"
+                ));
+            }
+        }
+        // Post-retune stability inside one workload position.
+        let mut held: Option<(DriftPos, f64)> = None;
+        for row in &self.rows {
+            match &mut held {
+                Some((pos, fit)) if *pos == row.pos && !row.retuned => {
+                    if row.probe > *fit * (1.0 + eps) {
+                        out.push(format!(
+                            "epoch {}: probe {} regressed past the retuned fitness {} \
+                             with no workload change",
+                            row.epoch, row.probe, fit
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            if row.retuned {
+                held = Some((row.pos, row.fitness));
+            } else if held.as_ref().is_some_and(|(pos, _)| *pos != row.pos) {
+                held = None;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::DetectorConfig;
+    use workloads::DriftSchedule;
+
+    fn cfg() -> OnlineConfig {
+        OnlineConfig {
+            epochs: 6,
+            schedule: DriftSchedule {
+                kind: DriftKind::Step,
+                period: 3,
+                phases: 2,
+                seed: 1,
+            },
+            detector: DetectorConfig {
+                window: 2,
+                threshold_pct: 5.0,
+            },
+        }
+    }
+
+    fn row(epoch: u64, phase: u32, probe: f64, retuned: bool, fitness: f64) -> EpochRow {
+        EpochRow {
+            epoch,
+            pos: DriftPos::at_phase(phase),
+            probe,
+            retuned,
+            fitness,
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let r = OnlineReport {
+            rows: vec![
+                row(0, 0, 1.0, false, 1.0),
+                row(1, 0, 1.0, false, 1.0),
+                row(2, 0, 1.0, false, 1.0),
+                row(3, 1, 1.5, true, 0.9),
+                row(4, 1, 0.9, false, 0.9),
+                row(5, 1, 0.9, false, 0.9),
+            ],
+            retunes: 1,
+            detect_latencies: vec![0],
+            evals: 100,
+            genes: vec![1],
+            fitness: 0.9,
+        };
+        assert!(r.violations(&cfg()).is_empty());
+        assert!((r.mean_probe() - (1.0 * 3.0 + 1.5 + 0.9 * 2.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worsening_retune_is_flagged() {
+        let r = OnlineReport {
+            rows: vec![row(0, 0, 1.0, false, 1.0), row(1, 0, 1.2, true, 1.3)],
+            retunes: 1,
+            detect_latencies: vec![0],
+            evals: 1,
+            genes: vec![1],
+            fitness: 1.3,
+        };
+        let v = r.violations(&cfg());
+        assert!(v.iter().any(|s| s.contains("worsened")));
+    }
+
+    #[test]
+    fn late_detection_is_flagged() {
+        let r = OnlineReport {
+            rows: vec![row(0, 0, 1.0, false, 1.0)],
+            retunes: 1,
+            detect_latencies: vec![10],
+            evals: 1,
+            genes: vec![1],
+            fitness: 1.0,
+        };
+        let v = r.violations(&cfg());
+        assert!(v.iter().any(|s| s.contains("latency")));
+    }
+
+    #[test]
+    fn post_retune_regression_in_same_phase_is_flagged() {
+        let r = OnlineReport {
+            rows: vec![
+                row(0, 0, 1.0, false, 1.0),
+                row(1, 1, 1.5, true, 0.9),
+                row(2, 1, 1.4, false, 0.9),
+            ],
+            retunes: 1,
+            detect_latencies: vec![0],
+            evals: 1,
+            genes: vec![1],
+            fitness: 0.9,
+        };
+        let v = r.violations(&cfg());
+        assert!(v.iter().any(|s| s.contains("no workload change")));
+    }
+
+    #[test]
+    fn regret_is_relative_to_oracle() {
+        let r = OnlineReport {
+            rows: vec![row(0, 0, 1.1, false, 1.1), row(1, 0, 1.1, false, 1.1)],
+            retunes: 0,
+            detect_latencies: vec![],
+            evals: 1,
+            genes: vec![1],
+            fitness: 1.1,
+        };
+        let regret = r.mean_regret_pct(&[1.0, 1.0]);
+        assert!((regret - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,485 @@
+//! The online re-tuning policy as a pure state machine.
+//!
+//! [`OnlineState`] owns every *decision* of an online job — when to
+//! probe, when a probe means drift, what the incumbent is, which seed
+//! the next retune uses — while the driver (the daemon's job runner or
+//! the in-process reference runner in [`crate::runner`]) owns the
+//! *mechanics* (building problems, evaluating genomes locally or over
+//! the worker pool, persisting checkpoints). One policy implementation
+//! driven by both keeps the simulated cluster bit-identical to the
+//! in-process reference: any divergence is a mechanics bug, never a
+//! policy fork.
+//!
+//! ## Epoch protocol
+//!
+//! ```text
+//! loop {
+//!     if state.is_done()            -> stop, state.into_report()
+//!     pos = state.pos()
+//!     if state.needs_initial_tune() -> tune; state.install(genes, fit)
+//!     else {
+//!         probe = fitness(incumbent) on pos's workload
+//!         if state.observe_probe(probe) -> retune; state.commit(Some(..))
+//!         else                          -> state.commit(None)
+//!     }
+//! }
+//! ```
+//!
+//! `install` consumes epoch 0 (the initial tune *is* epoch 0's
+//! incumbent, so no separate probe is paid); each `commit` consumes one
+//! further epoch. Checkpoints snapshot between epochs only, so a
+//! restore replays the interrupted epoch from its probe — every input
+//! to the replay (workload, incumbent, retune seed) is a pure function
+//! of restored state.
+
+use simrng::child_seed;
+use workloads::{DriftPos, DriftSchedule};
+
+use crate::detect::{DetectorConfig, DetectorSnapshot, DriftDetector};
+use crate::report::{EpochRow, OnlineReport};
+
+/// Everything that parameterizes an online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// Total epochs (≥ 1). Epoch 0 is the initial tune.
+    pub epochs: u64,
+    /// The workload drift schedule.
+    pub schedule: DriftSchedule,
+    /// Drift detector knobs.
+    pub detector: DetectorConfig,
+}
+
+/// Plain-data state for epoch-boundary checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSnapshot {
+    /// Completed epochs (also the next epoch to run).
+    pub epoch: u64,
+    /// Incumbent genome and its fitness at installation.
+    pub incumbent: Option<(Vec<i64>, f64)>,
+    /// Detector state.
+    pub detector: DetectorSnapshot,
+    /// Retunes committed so far.
+    pub retunes: u64,
+    /// Ground-truth detection latency of each retune, in epochs since
+    /// the last schedule boundary.
+    pub detect_latencies: Vec<u64>,
+    /// Fitness evaluations spent so far (probes + tuning).
+    pub evals: u64,
+    /// One row per completed epoch.
+    pub rows: Vec<EpochRow>,
+}
+
+/// The online policy state machine. See the module docs for the
+/// driving protocol.
+#[derive(Debug, Clone)]
+pub struct OnlineState {
+    cfg: OnlineConfig,
+    epoch: u64,
+    incumbent: Option<(Vec<i64>, f64)>,
+    detector: DriftDetector,
+    retunes: u64,
+    detect_latencies: Vec<u64>,
+    evals: u64,
+    rows: Vec<EpochRow>,
+    /// The probe awaiting this epoch's `commit` (replay-safe: never
+    /// checkpointed).
+    pending: Option<f64>,
+}
+
+impl OnlineState {
+    /// A fresh state at epoch 0, awaiting the initial tune.
+    ///
+    /// # Errors
+    /// Zero epochs, zero-period or zero-phase schedules, zero windows.
+    pub fn new(cfg: OnlineConfig) -> Result<Self, String> {
+        validate(&cfg)?;
+        let detector = DriftDetector::new(cfg.detector, f64::INFINITY);
+        Ok(Self {
+            cfg,
+            epoch: 0,
+            incumbent: None,
+            detector,
+            retunes: 0,
+            detect_latencies: Vec::new(),
+            evals: 0,
+            rows: Vec::new(),
+            pending: None,
+        })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Completed epochs (the next epoch to run while not done).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The workload position of the epoch being run.
+    #[must_use]
+    pub fn pos(&self) -> DriftPos {
+        self.cfg.schedule.pos_at(self.epoch)
+    }
+
+    /// Whether every epoch has been committed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.epoch >= self.cfg.epochs
+    }
+
+    /// Whether the driver must run the initial tune before anything
+    /// else (no incumbent exists yet).
+    #[must_use]
+    pub fn needs_initial_tune(&self) -> bool {
+        self.incumbent.is_none()
+    }
+
+    /// The incumbent genome and its installation fitness.
+    #[must_use]
+    pub fn incumbent(&self) -> Option<(&[i64], f64)> {
+        self.incumbent.as_ref().map(|(g, f)| (g.as_slice(), *f))
+    }
+
+    /// Retunes committed so far.
+    #[must_use]
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
+
+    /// Ground-truth detection latencies recorded so far.
+    #[must_use]
+    pub fn detect_latencies(&self) -> &[u64] {
+        &self.detect_latencies
+    }
+
+    /// The detector's current regression over its baseline, percent.
+    #[must_use]
+    pub fn regression_pct(&self) -> f64 {
+        self.detector.regression_pct()
+    }
+
+    /// Adds driver-side fitness evaluations to the running total.
+    pub fn note_evals(&mut self, n: u64) {
+        self.evals += n;
+    }
+
+    /// Total evaluations noted (probes are noted by the state itself).
+    #[must_use]
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// The GA seed of the next retune: a named child stream of the
+    /// job's base seed, indexed by retune ordinal, so retune N is
+    /// deterministic no matter which epoch triggered it.
+    #[must_use]
+    pub fn retune_seed(&self, base: u64) -> u64 {
+        child_seed(base, &format!("online/retune/{}", self.retunes))
+    }
+
+    /// Installs the initial incumbent, consuming epoch 0: records the
+    /// epoch-0 row (its probe is the tune fitness — the workload is the
+    /// one just tuned on) and baselines the detector.
+    ///
+    /// # Panics
+    /// If an incumbent already exists (driver protocol violation).
+    pub fn install(&mut self, genes: Vec<i64>, fitness: f64) {
+        assert!(
+            self.incumbent.is_none(),
+            "install() with an incumbent in place"
+        );
+        assert!(self.pending.is_none(), "install() with a probe pending");
+        self.detector.reset(fitness);
+        self.rows.push(EpochRow {
+            epoch: self.epoch,
+            pos: self.pos(),
+            probe: fitness,
+            retuned: false,
+            fitness,
+        });
+        self.incumbent = Some((genes, fitness));
+        self.epoch += 1;
+    }
+
+    /// Feeds the epoch's probe of the incumbent. Returns `true` when
+    /// the detector demands a retune; either way the epoch stays open
+    /// until [`OnlineState::commit`].
+    ///
+    /// # Panics
+    /// If there is no incumbent or a probe is already pending.
+    pub fn observe_probe(&mut self, probe: f64) -> bool {
+        assert!(self.incumbent.is_some(), "observe_probe() before install()");
+        assert!(self.pending.is_none(), "observe_probe() twice in one epoch");
+        self.evals += 1;
+        self.pending = Some(probe);
+        self.detector.observe(probe)
+    }
+
+    /// Commits the open epoch: `retuned` carries the new incumbent if
+    /// the driver retuned (detector reset to its fitness), `None`
+    /// keeps the incumbent. Records the epoch row and advances.
+    ///
+    /// # Panics
+    /// If no probe is pending (driver protocol violation).
+    pub fn commit(&mut self, retuned: Option<(Vec<i64>, f64)>) {
+        let probe = self
+            .pending
+            .take()
+            .expect("commit() without a pending probe");
+        let (retuned_flag, fitness) = match retuned {
+            Some((genes, fitness)) => {
+                self.detector.reset(fitness);
+                self.incumbent = Some((genes, fitness));
+                self.retunes += 1;
+                self.detect_latencies
+                    .push(self.epoch - self.last_boundary());
+                (true, fitness)
+            }
+            None => (false, self.incumbent.as_ref().map_or(probe, |(_, f)| *f)),
+        };
+        self.rows.push(EpochRow {
+            epoch: self.epoch,
+            pos: self.pos(),
+            probe,
+            retuned: retuned_flag,
+            fitness,
+        });
+        self.epoch += 1;
+    }
+
+    /// The most recent schedule boundary at or before the current
+    /// epoch (0 if the workload has never changed).
+    fn last_boundary(&self) -> u64 {
+        (1..=self.epoch)
+            .rev()
+            .find(|&e| self.cfg.schedule.is_boundary(e))
+            .unwrap_or(0)
+    }
+
+    /// Plain-data state as of the last committed epoch.
+    ///
+    /// # Panics
+    /// If a probe is pending (checkpoints live at epoch boundaries).
+    #[must_use]
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        assert!(self.pending.is_none(), "snapshot() mid-epoch");
+        OnlineSnapshot {
+            epoch: self.epoch,
+            incumbent: self.incumbent.clone(),
+            detector: self.detector.snapshot(),
+            retunes: self.retunes,
+            detect_latencies: self.detect_latencies.clone(),
+            evals: self.evals,
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Rebuilds the state machine from a snapshot, bit-identically.
+    ///
+    /// # Errors
+    /// Internally inconsistent snapshots (row/epoch mismatch, epoch
+    /// past the configured horizon, missing incumbent).
+    pub fn restore(cfg: OnlineConfig, snap: OnlineSnapshot) -> Result<Self, String> {
+        validate(&cfg)?;
+        if snap.epoch > cfg.epochs {
+            return Err(format!(
+                "online snapshot at epoch {} but the job has {} epochs",
+                snap.epoch, cfg.epochs
+            ));
+        }
+        if snap.rows.len() as u64 != snap.epoch {
+            return Err(format!(
+                "online snapshot has {} rows for {} epochs",
+                snap.rows.len(),
+                snap.epoch
+            ));
+        }
+        if snap.epoch > 0 && snap.incumbent.is_none() {
+            return Err("online snapshot past epoch 0 without an incumbent".into());
+        }
+        let detector = DriftDetector::restore(cfg.detector, snap.detector)?;
+        Ok(Self {
+            cfg,
+            epoch: snap.epoch,
+            incumbent: snap.incumbent,
+            detector,
+            retunes: snap.retunes,
+            detect_latencies: snap.detect_latencies,
+            evals: snap.evals,
+            rows: snap.rows,
+            pending: None,
+        })
+    }
+
+    /// Consumes a finished run into its report.
+    ///
+    /// # Panics
+    /// If the run is not done or has no incumbent.
+    #[must_use]
+    pub fn into_report(self) -> OnlineReport {
+        assert!(self.is_done(), "into_report() before the last epoch");
+        let (genes, fitness) = self.incumbent.expect("done without an incumbent");
+        OnlineReport {
+            rows: self.rows,
+            retunes: self.retunes,
+            detect_latencies: self.detect_latencies,
+            evals: self.evals,
+            genes,
+            fitness,
+        }
+    }
+}
+
+fn validate(cfg: &OnlineConfig) -> Result<(), String> {
+    if cfg.epochs == 0 {
+        return Err("an online job needs at least 1 epoch".into());
+    }
+    if cfg.epochs > 100_000 {
+        return Err("online jobs cap at 100000 epochs".into());
+    }
+    if cfg.schedule.period == 0 {
+        return Err("drift period must be ≥ 1 epoch".into());
+    }
+    if cfg.schedule.phases == 0 {
+        return Err("drift schedules need ≥ 1 phase".into());
+    }
+    if cfg.detector.window == 0 {
+        return Err("the drift detector needs a window ≥ 1".into());
+    }
+    if !(cfg.detector.threshold_pct > 0.0) {
+        return Err("the drift threshold must be a positive percentage".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::DriftKind;
+
+    fn cfg(epochs: u64) -> OnlineConfig {
+        OnlineConfig {
+            epochs,
+            schedule: DriftSchedule {
+                kind: DriftKind::Step,
+                period: 3,
+                phases: 3,
+                seed: 7,
+            },
+            detector: DetectorConfig {
+                window: 2,
+                threshold_pct: 5.0,
+            },
+        }
+    }
+
+    #[test]
+    fn protocol_runs_to_completion() {
+        let mut st = OnlineState::new(cfg(5)).unwrap();
+        assert!(st.needs_initial_tune());
+        st.install(vec![1, 2], 1.0);
+        assert_eq!(st.epoch(), 1);
+        while !st.is_done() {
+            let drifted = st.observe_probe(1.0);
+            assert!(!drifted, "flat probes must not trigger");
+            st.commit(None);
+        }
+        let r = st.into_report();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.retunes, 0);
+        assert_eq!(r.genes, vec![1, 2]);
+        assert_eq!(r.evals, 4, "one probe per epoch after the install");
+    }
+
+    #[test]
+    fn regression_triggers_and_retune_rebaselines() {
+        let mut st = OnlineState::new(cfg(9)).unwrap();
+        st.install(vec![1], 1.0);
+        let mut retuned_at = None;
+        while !st.is_done() {
+            // The workload regresses the incumbent by 50% from epoch 3;
+            // the retuned incumbent holds its new fitness afterwards.
+            let probe = if retuned_at.is_some() {
+                0.9
+            } else if st.epoch() >= 3 {
+                1.5
+            } else {
+                1.0
+            };
+            if st.observe_probe(probe) {
+                retuned_at = Some(st.epoch());
+                st.commit(Some((vec![2], 0.9)));
+            } else {
+                st.commit(None);
+            }
+        }
+        // Window 2: boundary at 3, trigger by epoch 4.
+        assert!(retuned_at.unwrap() <= 4);
+        let r = st.into_report();
+        assert_eq!(r.retunes, 1);
+        assert_eq!(r.genes, vec![2]);
+        assert!(r.detect_latencies[0] <= 2);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut a = OnlineState::new(cfg(7)).unwrap();
+        a.install(vec![3], 2.0);
+        a.observe_probe(2.0);
+        a.commit(None);
+        let snap = a.snapshot();
+        let mut b = OnlineState::restore(cfg(7), snap.clone()).unwrap();
+        assert_eq!(b.snapshot(), snap);
+        for probe in [2.0, 3.0, 3.0, 3.0] {
+            if a.is_done() {
+                break;
+            }
+            let da = a.observe_probe(probe);
+            let db = b.observe_probe(probe);
+            assert_eq!(da, db);
+            let retune = da.then(|| (vec![4], probe * 0.5));
+            a.commit(retune.clone());
+            b.commit(retune);
+            assert_eq!(a.snapshot(), b.snapshot());
+        }
+    }
+
+    #[test]
+    fn retune_seeds_are_ordinal_streams() {
+        let st = OnlineState::new(cfg(3)).unwrap();
+        let s0 = st.retune_seed(42);
+        assert_eq!(s0, simrng::child_seed(42, "online/retune/0"));
+        assert_ne!(s0, simrng::child_seed(43, "online/retune/0"));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut st = OnlineState::new(cfg(3)).unwrap();
+        st.install(vec![1], 1.0);
+        let mut snap = st.snapshot();
+        snap.rows.clear();
+        assert!(OnlineState::restore(cfg(3), snap).is_err());
+        let mut over = st.snapshot();
+        over.epoch = 99;
+        assert!(OnlineState::restore(cfg(3), over).is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_jobs() {
+        assert!(OnlineState::new(OnlineConfig {
+            epochs: 0,
+            ..cfg(1)
+        })
+        .is_err());
+        let mut bad = cfg(3);
+        bad.detector.window = 0;
+        assert!(OnlineState::new(bad).is_err());
+        let mut neg = cfg(3);
+        neg.detector.threshold_pct = -1.0;
+        assert!(OnlineState::new(neg).is_err());
+    }
+}

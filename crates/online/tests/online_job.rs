@@ -1,0 +1,112 @@
+//! End-to-end reference runs: the online policy against real drifting
+//! workloads, bracketed by the frozen-incumbent control and the
+//! per-phase oracle.
+
+use ga::GaConfig;
+use online::{DetectorConfig, OnlineConfig, OnlineJob, OnlineState};
+use tuner::paper_tasks;
+use workloads::{benchmark_by_name, DriftKind, DriftSchedule};
+
+fn job(kind: DriftKind, drift_seed: u64) -> OnlineJob {
+    OnlineJob {
+        problem: "inline".into(),
+        task: paper_tasks().remove(2), // Opt:Tot — compile-time share moves with body shape
+        base: vec![benchmark_by_name("db").unwrap()],
+        adapt: jit::AdaptConfig::default(),
+        ga: GaConfig {
+            pop_size: 8,
+            generations: 6,
+            threads: 1,
+            seed: 2005,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        },
+        strategy: "ga".into(),
+        online: OnlineConfig {
+            epochs: 9,
+            schedule: DriftSchedule {
+                kind,
+                period: 3,
+                phases: 3,
+                seed: drift_seed,
+            },
+            detector: DetectorConfig {
+                window: 2,
+                threshold_pct: 2.0,
+            },
+        },
+    }
+}
+
+#[test]
+fn online_run_is_deterministic_and_well_behaved() {
+    let j = job(DriftKind::Step, 11);
+    let a = j.run(None).unwrap();
+    let b = j.run(None).unwrap();
+    assert_eq!(a, b, "two runs of the same job must be bit-identical");
+    assert_eq!(a.rows.len(), 9);
+    let v = a.violations(&j.online);
+    assert!(v.is_empty(), "violations: {v:?}");
+}
+
+#[test]
+fn drift_triggers_retunes_and_online_beats_frozen() {
+    let mut kinds_with_retunes = 0;
+    for (kind, seed) in [
+        (DriftKind::Step, 11),
+        (DriftKind::Ramp, 11),
+        (DriftKind::Cyclic, 11),
+    ] {
+        let j = job(kind, seed);
+        let online = j.run(None).unwrap();
+        let frozen = j.run_frozen().unwrap();
+        assert_eq!(frozen.retunes, 0);
+        // Online never delivers worse than frozen: retunes only fire on
+        // detected regression and never worsen the incumbent.
+        assert!(
+            online.mean_probe() <= frozen.mean_probe() + 1e-9,
+            "{kind:?}: online {} vs frozen {}",
+            online.mean_probe(),
+            frozen.mean_probe()
+        );
+        if online.retunes > 0 {
+            kinds_with_retunes += 1;
+            assert!(
+                online.mean_probe() < frozen.mean_probe(),
+                "{kind:?}: retunes fired but delivered no improvement"
+            );
+        }
+        let v = online.violations(&j.online);
+        assert!(v.is_empty(), "{kind:?} violations: {v:?}");
+    }
+    assert!(
+        kinds_with_retunes >= 2,
+        "drift must trigger retunes on at least 2 of 3 schedule kinds \
+         (got {kinds_with_retunes})"
+    );
+}
+
+#[test]
+fn oracle_lower_bounds_delivered_quality_per_phase() {
+    let j = job(DriftKind::Step, 11);
+    let online = j.run(None).unwrap();
+    let oracle = j.oracle().unwrap();
+    assert_eq!(oracle.len(), 9);
+    let regret = online.mean_regret_pct(&oracle);
+    assert!(regret.is_finite());
+    // The initial tune IS the phase-0 oracle, so epoch 0 regret is 0.
+    assert!((online.rows[0].probe - oracle[0]).abs() < 1e-12);
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_mid_run() {
+    let j = job(DriftKind::Cyclic, 11);
+    let full = j.run(None).unwrap();
+    for cut in [1, 4, 7] {
+        let snap = j.snapshot_at(cut, None).unwrap();
+        assert_eq!(snap.epoch, cut);
+        let st = OnlineState::restore(j.online.clone(), snap).unwrap();
+        let resumed = j.resume(st, None).unwrap();
+        assert_eq!(resumed, full, "resume from epoch {cut} diverged");
+    }
+}

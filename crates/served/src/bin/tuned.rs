@@ -12,6 +12,9 @@
 //!              [--strategy ga|random|hillclimb|anneal|grid|race|race:A+B[+C...]]
 //!              [--bench NAME]... [--pop N] [--gens N] [--seed N]
 //!              [--threads N] [--stagnation N]
+//!              [--online [--epochs N] [--drift step|ramp|cyclic]
+//!               [--period N] [--phases N] [--drift-seed N]
+//!               [--window N] [--threshold-pct F]]
 //! tuned status  [--addr HOST:PORT] --id N
 //! tuned watch   [--addr HOST:PORT] --id N
 //! tuned list    [--addr HOST:PORT]
@@ -41,9 +44,10 @@ use std::sync::Arc;
 
 use ga::GaConfig;
 use served::daemon::{Daemon, DaemonConfig};
-use served::job::{goal_by_name, scenario_by_name, JobSpec};
+use served::job::{goal_by_name, scenario_by_name, JobSpec, OnlineSpec};
 use served::json::Json;
 use served::{Client, MetricsExporter, RunDir, Server};
+use workloads::DriftKind;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 
@@ -130,6 +134,11 @@ impl<'a> Flags<'a> {
         self.get(key)
             .map(|v| v.parse().map_err(|_| format!("bad value for {key}: '{v}'")))
             .transpose()
+    }
+
+    /// Presence of a bare (valueless) flag like `--online`.
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
     }
 }
 
@@ -283,6 +292,22 @@ fn submit(args: &[String]) -> Result<(), String> {
         strategy: flags.get("--strategy").unwrap_or("ga").to_string(),
         tenant: flags.get("--tenant").unwrap_or("default").to_string(),
         problem: flags.get("--problem").unwrap_or("inline").to_string(),
+        online: if flags.has("--online") {
+            let kind_name = flags.get("--drift").unwrap_or("step");
+            Some(OnlineSpec {
+                epochs: flags.parse("--epochs")?.unwrap_or(12),
+                kind: DriftKind::by_name(kind_name)
+                    .ok_or_else(|| format!("unknown --drift kind '{kind_name}'"))?,
+                period: flags.parse("--period")?.unwrap_or(3),
+                phases: flags.parse("--phases")?.unwrap_or(3),
+                drift_seed: flags.parse("--drift-seed")?.unwrap_or(0),
+                window: flags.parse("--window")?.unwrap_or(3),
+                threshold_pct: flags.parse("--threshold-pct")?.unwrap_or(5.0),
+            })
+        } else {
+            None
+        },
+        drift_pos: None,
     };
     // Validate locally (names, GA shape) before going on the wire.
     let spec = JobSpec::from_json(&spec.to_json())?;

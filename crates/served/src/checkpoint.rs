@@ -5,6 +5,8 @@
 //! ```text
 //! <dir>/jobs/<id>/spec.json        the JobSpec as submitted
 //! <dir>/jobs/<id>/checkpoint.json  GaSnapshot after the last generation
+//! <dir>/jobs/<id>/online.json      OnlineSnapshot after the last epoch
+//!                                  (online jobs only)
 //! <dir>/jobs/<id>/result.json      written once, when the job finishes
 //! <dir>/jobs/<id>/canceled         marker: don't resume this job
 //! ```
@@ -26,10 +28,12 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use ga::{GaConfig, GaSnapshot, GeneKind, Generation};
+use online::{DetectorSnapshot, EpochRow, OnlineSnapshot};
 use search::{
     AnnealSnapshot, CoreSnapshot, GridSnapshot, HillSnapshot, MemberSnapshot, RaceSnapshot,
     RandomSnapshot, StrategySnapshot, WarmstartSnapshot,
 };
+use workloads::DriftPos;
 
 use crate::job::{ga_config_from_json, ga_config_to_json, JobSpec};
 use crate::json::{parse, u64_from_json, u64_to_json, Json};
@@ -614,6 +618,154 @@ pub fn result_from_json(v: &Json) -> Result<(Vec<i64>, f64, usize), String> {
     Ok((genes, fitness, generations))
 }
 
+fn drift_pos_to_json(p: &DriftPos) -> Json {
+    Json::Arr(vec![
+        Json::Int(i64::from(p.phase)),
+        Json::Int(i64::from(p.num)),
+        Json::Int(i64::from(p.den)),
+    ])
+}
+
+fn drift_pos_from_json(v: &Json) -> Option<DriftPos> {
+    let arr = v.as_arr()?;
+    let nums: Vec<u32> = arr
+        .iter()
+        .map(|x| x.as_usize().and_then(|n| u32::try_from(n).ok()))
+        .collect::<Option<_>>()?;
+    let [phase, num, den] = nums[..] else {
+        return None;
+    };
+    (den >= 1 && num < den).then_some(DriftPos { phase, num, den })
+}
+
+fn epoch_row_to_json(r: &EpochRow) -> Json {
+    Json::obj(vec![
+        ("epoch", u64_to_json(r.epoch)),
+        ("pos", drift_pos_to_json(&r.pos)),
+        ("probe", f64_to_json(r.probe)),
+        ("retuned", Json::Bool(r.retuned)),
+        ("fitness", f64_to_json(r.fitness)),
+    ])
+}
+
+fn epoch_row_from_json(v: &Json) -> Option<EpochRow> {
+    Some(EpochRow {
+        epoch: v.get("epoch").and_then(u64_from_json)?,
+        pos: v.get("pos").and_then(drift_pos_from_json)?,
+        probe: v.get("probe").and_then(f64_from_json)?,
+        retuned: v.get("retuned").and_then(Json::as_bool)?,
+        fitness: v.get("fitness").and_then(f64_from_json)?,
+    })
+}
+
+/// Serializes an online-mode epoch checkpoint ([`OnlineSnapshot`]).
+#[must_use]
+pub fn online_snapshot_to_json(s: &OnlineSnapshot) -> Json {
+    let incumbent = match &s.incumbent {
+        None => Json::Null,
+        Some((genes, fitness)) => Json::obj(vec![
+            ("genes", genome_to_json(genes)),
+            ("fitness", f64_to_json(*fitness)),
+        ]),
+    };
+    Json::obj(vec![
+        ("epoch", u64_to_json(s.epoch)),
+        ("incumbent", incumbent),
+        (
+            "detector",
+            Json::obj(vec![
+                ("baseline", f64_to_json(s.detector.baseline)),
+                (
+                    "recent",
+                    Json::Arr(s.detector.recent.iter().map(|&x| f64_to_json(x)).collect()),
+                ),
+            ]),
+        ),
+        ("retunes", u64_to_json(s.retunes)),
+        (
+            "detect_latencies",
+            Json::Arr(s.detect_latencies.iter().map(|&l| u64_to_json(l)).collect()),
+        ),
+        ("evals", u64_to_json(s.evals)),
+        (
+            "rows",
+            Json::Arr(s.rows.iter().map(epoch_row_to_json).collect()),
+        ),
+    ])
+}
+
+/// Deserializes [`online_snapshot_to_json`]'s encoding.
+///
+/// # Errors
+/// Missing or mistyped fields.
+pub fn online_snapshot_from_json(v: &Json) -> Result<OnlineSnapshot, String> {
+    let epoch = v
+        .get("epoch")
+        .and_then(u64_from_json)
+        .ok_or("online snapshot missing integer 'epoch'")?;
+    let incumbent = match v.get("incumbent") {
+        None | Some(Json::Null) => None,
+        Some(inc) => Some((
+            inc.get("genes")
+                .and_then(genome_from_json)
+                .ok_or("online incumbent missing integer array 'genes'")?,
+            inc.get("fitness")
+                .and_then(f64_from_json)
+                .ok_or("online incumbent missing number 'fitness'")?,
+        )),
+    };
+    let det = v
+        .get("detector")
+        .ok_or("online snapshot missing object 'detector'")?;
+    let detector = DetectorSnapshot {
+        baseline: det
+            .get("baseline")
+            .and_then(f64_from_json)
+            .ok_or("detector missing number 'baseline'")?,
+        recent: det
+            .get("recent")
+            .and_then(Json::as_arr)
+            .ok_or("detector missing array 'recent'")?
+            .iter()
+            .map(f64_from_json)
+            .collect::<Option<_>>()
+            .ok_or("detector 'recent' entries must be numbers")?,
+    };
+    let retunes = v
+        .get("retunes")
+        .and_then(u64_from_json)
+        .ok_or("online snapshot missing integer 'retunes'")?;
+    let detect_latencies = v
+        .get("detect_latencies")
+        .and_then(Json::as_arr)
+        .ok_or("online snapshot missing array 'detect_latencies'")?
+        .iter()
+        .map(u64_from_json)
+        .collect::<Option<_>>()
+        .ok_or("'detect_latencies' entries must be integers")?;
+    let evals = v
+        .get("evals")
+        .and_then(u64_from_json)
+        .ok_or("online snapshot missing integer 'evals'")?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("online snapshot missing array 'rows'")?
+        .iter()
+        .map(epoch_row_from_json)
+        .collect::<Option<_>>()
+        .ok_or("online snapshot 'rows' entries are malformed")?;
+    Ok(OnlineSnapshot {
+        epoch,
+        incumbent,
+        detector,
+        retunes,
+        detect_latencies,
+        evals,
+        rows,
+    })
+}
+
 /// A daemon run directory: owns the `jobs/` tree and all atomic writes.
 #[derive(Debug, Clone)]
 pub struct RunDir {
@@ -696,6 +848,25 @@ impl RunDir {
     pub fn load_checkpoint(&self, id: u64) -> Option<Result<StrategySnapshot, String>> {
         self.read(id, "checkpoint.json")
             .map(|t| parse(&t).and_then(|v| strategy_snapshot_from_json(&v)))
+    }
+
+    /// Persists an online job's epoch-boundary snapshot atomically.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_online(&self, id: u64, snapshot: &OnlineSnapshot) -> Result<(), String> {
+        self.write_atomic(
+            id,
+            "online.json",
+            &online_snapshot_to_json(snapshot).to_text(),
+        )
+    }
+
+    /// Loads the last online epoch snapshot, if one was written.
+    #[must_use]
+    pub fn load_online(&self, id: u64) -> Option<Result<OnlineSnapshot, String>> {
+        self.read(id, "online.json")
+            .map(|t| parse(&t).and_then(|v| online_snapshot_from_json(&v)))
     }
 
     /// Persists the final result.
@@ -829,6 +1000,73 @@ mod tests {
     }
 
     #[test]
+    fn online_snapshot_roundtrips_exactly() {
+        let snap = OnlineSnapshot {
+            epoch: 5,
+            incumbent: Some((vec![3, -1, 40, 7, 2, 9, 1, 0], 12.625)),
+            detector: DetectorSnapshot {
+                baseline: 12.625,
+                recent: vec![12.625, 13.5, f64::INFINITY],
+            },
+            retunes: 2,
+            detect_latencies: vec![1, 3],
+            evals: 480,
+            rows: vec![
+                EpochRow {
+                    epoch: 0,
+                    pos: DriftPos {
+                        phase: 0,
+                        num: 0,
+                        den: 1,
+                    },
+                    probe: 12.625,
+                    retuned: false,
+                    fitness: 12.625,
+                },
+                EpochRow {
+                    epoch: 1,
+                    pos: DriftPos {
+                        phase: 1,
+                        num: 2,
+                        den: 3,
+                    },
+                    probe: 14.0,
+                    retuned: true,
+                    fitness: 12.0,
+                },
+            ],
+        };
+        let text = online_snapshot_to_json(&snap).to_text();
+        let back = online_snapshot_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+
+        let rd = RunDir::open(tmp_dir("online")).unwrap();
+        rd.save_online(9, &snap).unwrap();
+        assert_eq!(rd.load_online(9).unwrap().unwrap(), snap);
+        assert!(rd.load_online(8).is_none());
+        fs::remove_dir_all(rd.root()).unwrap();
+    }
+
+    #[test]
+    fn fresh_online_snapshot_without_incumbent_roundtrips() {
+        let snap = OnlineSnapshot {
+            epoch: 0,
+            incumbent: None,
+            detector: DetectorSnapshot {
+                baseline: f64::INFINITY,
+                recent: vec![],
+            },
+            retunes: 0,
+            detect_latencies: vec![],
+            evals: 0,
+            rows: vec![],
+        };
+        let text = online_snapshot_to_json(&snap).to_text();
+        let back = online_snapshot_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
     fn run_dir_persists_and_recovers_state() {
         let dir = tmp_dir("roundtrip");
         let rd = RunDir::open(&dir).unwrap();
@@ -845,6 +1083,8 @@ mod tests {
             },
             strategy: "ga".into(),
             tenant: "default".into(),
+            online: None,
+            drift_pos: None,
         };
         rd.save_spec(3, &spec).unwrap();
         let snap = StrategySnapshot::Ga(stepped_snapshot());

@@ -13,9 +13,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use ga::{GenTiming, LocalEvaluator};
+use ga::{GaConfig, GenTiming, LocalEvaluator};
+use online::OnlineState;
+use problems::Problem;
 use search::{Standing, Strategy};
 use shard::{shard_of, Directory, DrrScheduler, QuotaAccountant, Reject, RejectKind, TenantUsage};
+use workloads::DriftPos;
 
 use crate::checkpoint::RunDir;
 use crate::dispatch::{DispatchConfig, RemoteEvaluator, WorkerPool};
@@ -164,6 +167,24 @@ pub struct JobRecord {
     /// The shard that owns this job (`shard::shard_of(id, shards)`;
     /// stable across restarts because it depends only on the id).
     pub shard: usize,
+    /// Online-mode progress, per committed epoch (`None` for offline
+    /// jobs and until the first epoch commits; not persisted across
+    /// restarts — repopulated when the resumed job commits an epoch).
+    pub online: Option<OnlineProgress>,
+}
+
+/// One online job's live progress, surfaced on `status`/`watch` frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineProgress {
+    /// Committed epochs (epoch 0 is the initial tune).
+    pub epoch: u64,
+    /// Retunes committed so far.
+    pub retunes: u64,
+    /// The incumbent's probe regression over its baseline at the last
+    /// committed epoch, percent — the daemon's live regret proxy.
+    pub regret_pct: f64,
+    /// Workload phase of the last committed epoch.
+    pub phase: u32,
 }
 
 struct JobEntry {
@@ -349,11 +370,22 @@ impl Daemon {
                 continue; // a job dir with no spec: nothing to resume
             };
             let spec = spec.map_err(|e| format!("job {id}: corrupt spec: {e}"))?;
-            let generation = inner
-                .run_dir
-                .load_checkpoint(id)
-                .and_then(Result::ok)
-                .map_or(0, |s| s.rounds());
+            // An online job's visible progress is its committed epoch
+            // count (from the epoch-boundary snapshot), an offline
+            // job's is its strategy checkpoint's round count.
+            let generation = if spec.online.is_some() {
+                inner
+                    .run_dir
+                    .load_online(id)
+                    .and_then(Result::ok)
+                    .map_or(0, |s| usize::try_from(s.epoch).unwrap_or(usize::MAX))
+            } else {
+                inner
+                    .run_dir
+                    .load_checkpoint(id)
+                    .and_then(Result::ok)
+                    .map_or(0, |s| s.rounds())
+            };
             let (state, result, requeue) = if let Some(res) = inner.run_dir.load_result(id) {
                 let (genes, fitness, _) =
                     res.map_err(|e| format!("job {id}: corrupt result: {e}"))?;
@@ -396,6 +428,7 @@ impl Daemon {
                         timing: None,
                         standings: Vec::new(),
                         shard: home,
+                        online: None,
                     },
                     cancel: Arc::new(AtomicBool::new(false)),
                     enqueued_at: now,
@@ -481,6 +514,7 @@ impl Daemon {
                     timing: None,
                     standings: Vec::new(),
                     shard: home,
+                    online: None,
                 },
                 cancel: Arc::new(AtomicBool::new(false)),
                 enqueued_at: inner.now_micros(),
@@ -779,6 +813,9 @@ fn run_job(
     cancel: &AtomicBool,
     shard_idx: usize,
 ) -> Result<(), String> {
+    if spec.online.is_some() {
+        return run_online_job(inner, id, spec, cancel, shard_idx);
+    }
     // Everything below this line is problem-generic: the strategy
     // searches the problem's gene space, evaluators call the problem's
     // fitness, and the store keys by the problem's tagged fingerprint.
@@ -987,10 +1024,289 @@ fn run_job(
     }
 }
 
+/// Drives one online job: the [`OnlineState`] policy from
+/// `crates/online`, with the daemon's mechanics — problems built from
+/// phase-pinned specs (so eval workers and store fingerprints see the
+/// morphed workload), evaluation through the store tier and, when the
+/// pool has workers, remote dispatch, and an epoch-boundary
+/// `online.json` checkpoint. Online jobs checkpoint per *epoch*, not
+/// per generation: an interrupted epoch replays deterministically from
+/// the last boundary (every replay input — workload, incumbent, retune
+/// seed — is a pure function of the restored state).
+///
+/// The policy is the same state machine `online::OnlineJob::run` drives
+/// in-process, so a store-free daemon run is bit-identical to the
+/// reference runner — the equivalence the sim's `--online-seeds` sweep
+/// asserts under fault weather.
+fn run_online_job(
+    inner: &Inner,
+    id: u64,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+    shard_idx: usize,
+) -> Result<(), String> {
+    let online_spec = spec
+        .online
+        .as_ref()
+        .expect("online job without an online spec");
+    let mut st = match inner.run_dir.load_online(id) {
+        Some(Ok(snap)) => OnlineState::restore(online_spec.config(), snap)
+            .map_err(|e| format!("online checkpoint rejected: {e}"))?,
+        Some(Err(e)) => return Err(format!("corrupt online checkpoint: {e}")),
+        None => OnlineState::new(online_spec.config())?,
+    };
+
+    // Interruption leaves the last epoch-boundary snapshot as the
+    // resume point: cancellation tombstones the job, shutdown parks it
+    // back in the queue for the next process.
+    let interrupt = |st: &OnlineState| -> Result<(), String> {
+        if cancel.load(Ordering::SeqCst) {
+            inner.run_dir.mark_canceled(id)?;
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Canceled;
+            }
+        } else {
+            // The snapshot on disk is already current (written at the
+            // last epoch commit); just hand the job back to the queue.
+            let _ = st;
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Queued;
+            }
+        }
+        Ok(())
+    };
+
+    let mut problems_by_pos: HashMap<DriftPos, Arc<dyn Problem>> = HashMap::new();
+    loop {
+        if cancel.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            return interrupt(&st);
+        }
+        if st.is_done() {
+            let report = st.into_report();
+            inner
+                .run_dir
+                .save_result(id, &report.genes, report.fitness, report.rows.len())?;
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.state = JobState::Done;
+                e.record.result = Some((report.genes, report.fitness));
+                e.record.best_fitness = Some(report.fitness);
+            }
+            return Ok(());
+        }
+
+        let pos = st.pos();
+        let phase_spec = spec.at_pos(pos);
+        let problem = match problems_by_pos.get(&pos) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = phase_spec.build_problem()?;
+                problems_by_pos.insert(pos, Arc::clone(&p));
+                p
+            }
+        };
+
+        let evals_before = st.evals();
+        let mut regret_pct = 0.0;
+        if st.needs_initial_tune() {
+            let Some((genes, fitness, evals)) = online_tune(
+                inner,
+                &phase_spec,
+                &problem,
+                None,
+                spec.ga.seed,
+                cancel,
+                shard_idx,
+            )?
+            else {
+                return interrupt(&st);
+            };
+            st.note_evals(evals);
+            st.install(genes, fitness);
+        } else {
+            let incumbent: Vec<i64> = st
+                .incumbent()
+                .map(|(g, _)| g.to_vec())
+                .expect("incumbent exists");
+            let probe = {
+                // A probe is real local compute, like local evaluation.
+                let _busy = crate::net::busy(&*inner.config.transport);
+                problem.fitness(&incumbent)
+            };
+            let triggered = st.observe_probe(probe);
+            regret_pct = st.regression_pct();
+            if triggered {
+                let seed = st.retune_seed(spec.ga.seed);
+                let Some((genes, fitness, evals)) = online_tune(
+                    inner,
+                    &phase_spec,
+                    &problem,
+                    Some(&incumbent),
+                    seed,
+                    cancel,
+                    shard_idx,
+                )?
+                else {
+                    // Mid-epoch interruption: drop the open epoch; the
+                    // restore replays it from its probe.
+                    return interrupt(&st);
+                };
+                st.note_evals(evals);
+                st.commit(Some((genes, fitness)));
+                inner.config.obs.counter("online_retunes").add(1);
+                if let Some(latency) = st.detect_latencies().last() {
+                    inner
+                        .config
+                        .obs
+                        .histogram("drift_detect_latency")
+                        .record(*latency);
+                }
+            } else {
+                st.commit(None);
+            }
+        }
+
+        // Epoch committed: charge the tenant for the epoch's fresh
+        // evaluations, checkpoint, and publish progress (the record's
+        // `generation` is the committed epoch, so `watch` emits one
+        // frame per epoch).
+        let evals_delta = st.evals() - evals_before;
+        if evals_delta > 0 {
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            table.accountant.charge(&spec.tenant, evals_delta);
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.reserved = e.reserved.saturating_sub(evals_delta);
+            }
+            inner.set_tenant_gauges(&table, &spec.tenant);
+            drop(table);
+            let s = shard_idx.to_string();
+            inner
+                .config
+                .obs
+                .counter(&obs::labeled("shard_evals", &[("shard", &s)]))
+                .add(evals_delta);
+        }
+        Metrics::bump(&inner.metrics.generations);
+        Metrics::add(&inner.metrics.evaluations, evals_delta);
+        inner.run_dir.save_online(id, &st.snapshot())?;
+        Metrics::bump(&inner.metrics.checkpoints_written);
+        inner
+            .config
+            .obs
+            .gauge("online_regret_pct")
+            .set(regret_pct.round() as i64);
+        {
+            let mut table = inner.jobs.lock().expect("job table poisoned");
+            if let Some(e) = table.jobs.get_mut(&id) {
+                e.record.generation = usize::try_from(st.epoch()).unwrap_or(usize::MAX);
+                e.record.best_fitness = st.incumbent().map(|(_, f)| f);
+                e.record.online = Some(OnlineProgress {
+                    epoch: st.epoch(),
+                    retunes: st.retunes(),
+                    regret_pct,
+                    phase: pos.phase,
+                });
+            }
+        }
+    }
+}
+
+/// One tune to completion inside an online epoch, mirroring the
+/// reference runner's tuning step (`online::OnlineJob`): `warmstart`
+/// seeded with the incumbent (plus nearest-fingerprint store cells)
+/// when retuning, the submitted strategy for the initial tune. Returns
+/// `None` when interrupted by cancellation or shutdown.
+#[allow(clippy::too_many_arguments)]
+fn online_tune(
+    inner: &Inner,
+    phase_spec: &JobSpec,
+    problem: &Arc<dyn Problem>,
+    incumbent: Option<&[i64]>,
+    seed: u64,
+    cancel: &AtomicBool,
+    shard_idx: usize,
+) -> Result<Option<(Vec<i64>, f64, u64)>, String> {
+    let kind = if incumbent.is_some() {
+        "warmstart"
+    } else {
+        phase_spec.strategy.as_str()
+    };
+    let cfg = GaConfig {
+        seed,
+        ..phase_spec.ga.clone()
+    };
+    let mut strategy = search::build(kind, problem.space().clone(), cfg)?;
+    let mut seeds: Vec<Vec<i64>> = incumbent.map(<[i64]>::to_vec).into_iter().collect();
+    if let Some(store) = &inner.config.store {
+        let want = phase_spec.ga.pop_size.saturating_sub(seeds.len());
+        seeds.extend(store.warm_seeds(problem.fingerprint(), want));
+    }
+    if !seeds.is_empty() {
+        let planted = strategy.seed_population(&seeds);
+        if planted > incumbent.iter().len() {
+            inner
+                .config
+                .obs
+                .counter("store_warm_seeds")
+                .add((planted - incumbent.iter().len()) as u64);
+        }
+    }
+    strategy.set_obs(Arc::clone(&inner.config.obs));
+
+    let store_cell = inner
+        .config
+        .store
+        .as_ref()
+        .map(|s| (Arc::clone(s), problem.fingerprint().clone()));
+    let lease = inner.budget.lease(strategy.config().threads);
+    let local = StoreTier::new(store_cell.clone(), {
+        let problem = Arc::clone(problem);
+        LocalEvaluator::new(move |genes: &[i64]| problem.fitness(genes), lease.granted)
+    });
+    // The remote tier evaluates against the *phase-pinned* spec: the
+    // worker rebuilds the morphed suite from `drift_pos`, so its
+    // problem cache naturally splits per phase.
+    let remote = StoreTier::new(store_cell, {
+        let problem = Arc::clone(problem);
+        let mut eval = RemoteEvaluator::new(
+            &inner.pool,
+            phase_spec.to_json(),
+            &inner.metrics,
+            move |genes| problem.fitness(genes),
+        );
+        let directory = Arc::clone(&inner.directory);
+        let transport = Arc::clone(&inner.config.transport);
+        eval.set_worker_filter(Arc::new(move |addr: &str| {
+            directory.allows(shard_idx, addr, transport.now_micros())
+        }));
+        eval
+    });
+
+    loop {
+        if cancel.load(Ordering::SeqCst) || inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let done = if inner.pool.is_empty() {
+            let _busy = crate::net::busy(&*inner.config.transport);
+            search::step_with(strategy.as_mut(), &local)
+        } else {
+            search::step_with(strategy.as_mut(), &remote)
+        };
+        if done {
+            break;
+        }
+    }
+    let (genes, fitness) = strategy
+        .best()
+        .ok_or("online tune finished with no best genome")?;
+    Ok(Some((genes, fitness, strategy.evaluations() as u64)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ga::GaConfig;
     use jit::Scenario;
     use std::path::PathBuf;
     use tuner::{Goal, Tuner};
@@ -1019,7 +1335,40 @@ mod tests {
             },
             strategy: "ga".into(),
             tenant: "default".into(),
+            online: None,
+            drift_pos: None,
         }
+    }
+
+    fn online_spec(seed: u64) -> JobSpec {
+        let mut spec = tiny_spec(seed);
+        spec.name = "online".into();
+        spec.online = Some(crate::job::OnlineSpec {
+            epochs: 5,
+            kind: workloads::DriftKind::Step,
+            period: 2,
+            phases: 2,
+            drift_seed: 11,
+            window: 1,
+            threshold_pct: 2.0,
+        });
+        spec
+    }
+
+    /// The in-process reference run this spec must bit-match (the spec
+    /// carries no `drift_pos`, so `training()` is the unmorphed base).
+    fn reference_run(spec: &JobSpec) -> online::OnlineReport {
+        online::OnlineJob {
+            problem: spec.problem.clone(),
+            task: spec.task().unwrap(),
+            base: spec.training().unwrap(),
+            adapt: spec.adapt_cfg(),
+            ga: spec.ga.clone(),
+            strategy: spec.strategy.clone(),
+            online: spec.online.as_ref().unwrap().config(),
+        }
+        .run(None)
+        .unwrap()
     }
 
     fn wait_terminal(d: &Daemon, id: u64) -> JobRecord {
@@ -1342,6 +1691,60 @@ mod tests {
         assert_eq!(r.state, JobState::Done);
         let (genes, fitness) = r.result.unwrap();
         assert_eq!(genes, expected.params.to_genes());
+        assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+        d2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn online_job_matches_reference_runner() {
+        let dir = tmp_dir("online");
+        let spec = online_spec(7);
+        let expected = reference_run(&spec);
+        let d = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d.submit(spec).unwrap();
+        let r = wait_terminal(&d, id);
+        assert_eq!(r.state, JobState::Done);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, expected.genes);
+        assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
+        assert_eq!(r.generation, 5, "one frame per committed epoch");
+        let o = r.online.expect("online progress populated");
+        assert_eq!(o.epoch, 5);
+        assert_eq!(o.retunes, expected.retunes);
+        // The epoch-boundary snapshot on disk is the finished run's.
+        let snap = RunDir::open(&dir)
+            .unwrap()
+            .load_online(id)
+            .unwrap()
+            .unwrap();
+        assert_eq!(snap.epoch, 5);
+        assert_eq!(snap.rows.len(), 5);
+        assert_eq!(snap.retunes, expected.retunes);
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn online_shutdown_and_restart_resumes_bit_identically() {
+        let dir = tmp_dir("online-restart");
+        let spec = online_spec(13);
+        let expected = reference_run(&spec);
+
+        // First daemon: park the online job mid-run (whatever epoch it
+        // reached — possibly none).
+        let d1 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let id = d1.submit(spec).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        d1.shutdown();
+
+        // Second daemon: recovery replays the interrupted epoch from
+        // the last boundary and finishes to the reference bits.
+        let d2 = Daemon::start(DaemonConfig::default(), RunDir::open(&dir).unwrap()).unwrap();
+        let r = wait_terminal(&d2, id);
+        assert_eq!(r.state, JobState::Done);
+        let (genes, fitness) = r.result.unwrap();
+        assert_eq!(genes, expected.genes);
         assert_eq!(fitness.to_bits(), expected.fitness.to_bits());
         d2.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

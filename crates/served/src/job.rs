@@ -7,10 +7,136 @@
 
 use ga::{CrossoverKind, GaConfig};
 use jit::{AdaptConfig, ArchModel, Scenario};
+use online::{DetectorConfig, OnlineConfig};
 use tuner::{Goal, TuningTask};
-use workloads::{benchmark_by_name, specjvm98, Benchmark};
+use workloads::{benchmark_by_name, specjvm98, Benchmark, DriftKind, DriftPos, DriftSchedule};
 
 use crate::json::{parse, u64_from_json, u64_to_json, Json};
+
+/// The online re-tuning section of a [`JobSpec`]: the drift schedule
+/// the workload follows and the detector that decides when to retune.
+/// Legacy specs carry no `online` key and deserialize with the mode
+/// off ([`JobSpec::online`] = `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSpec {
+    /// Total epochs (epoch 0 is the initial tune).
+    pub epochs: u64,
+    /// Drift schedule shape (`step` / `ramp` / `cyclic`).
+    pub kind: DriftKind,
+    /// Epochs per drift phase.
+    pub period: u32,
+    /// Distinct workload phases (phase 0 is the unmorphed suite).
+    pub phases: u32,
+    /// Seed of the workload morph streams.
+    pub drift_seed: u64,
+    /// Drift-detector probe window.
+    pub window: usize,
+    /// Drift-detector regression threshold, percent over baseline.
+    pub threshold_pct: f64,
+}
+
+impl OnlineSpec {
+    /// The drift schedule this spec describes.
+    #[must_use]
+    pub fn schedule(&self) -> DriftSchedule {
+        DriftSchedule {
+            kind: self.kind,
+            period: self.period,
+            phases: self.phases,
+            seed: self.drift_seed,
+        }
+    }
+
+    /// The full online policy configuration.
+    #[must_use]
+    pub fn config(&self) -> OnlineConfig {
+        OnlineConfig {
+            epochs: self.epochs,
+            schedule: self.schedule(),
+            detector: DetectorConfig {
+                window: self.window,
+                threshold_pct: self.threshold_pct,
+            },
+        }
+    }
+
+    /// Serializes the section.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("epochs", u64_to_json(self.epochs)),
+            ("kind", Json::Str(self.kind.name().into())),
+            ("period", Json::Int(i64::from(self.period))),
+            ("phases", Json::Int(i64::from(self.phases))),
+            ("drift_seed", u64_to_json(self.drift_seed)),
+            ("window", Json::Int(self.window as i64)),
+            ("threshold_pct", Json::Num(self.threshold_pct)),
+        ])
+    }
+
+    /// Deserializes and validates the section.
+    ///
+    /// # Errors
+    /// Missing/mistyped fields or degenerate values.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let epochs = v
+            .get("epochs")
+            .and_then(u64_from_json)
+            .ok_or("'online' needs integer 'epochs'")?;
+        if epochs == 0 || epochs > 100_000 {
+            return Err("'online.epochs' must be 1..=100000".into());
+        }
+        let kind_name = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("'online' needs a string 'kind'")?;
+        let kind = DriftKind::by_name(kind_name)
+            .ok_or_else(|| format!("unknown drift kind '{kind_name}' (use step|ramp|cyclic)"))?;
+        let get_u32 = |key: &str, dflt: u32| -> Result<u32, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(dflt),
+                Some(x) => x
+                    .as_usize()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or(format!("'online.{key}' must be an integer")),
+            }
+        };
+        let period = get_u32("period", 3)?;
+        let phases = get_u32("phases", 3)?;
+        if period == 0 || phases == 0 {
+            return Err("'online.period' and 'online.phases' must be >= 1".into());
+        }
+        let drift_seed = match v.get("drift_seed") {
+            None | Some(Json::Null) => 0,
+            Some(x) => u64_from_json(x).ok_or("'online.drift_seed' must be a u64")?,
+        };
+        let window = match v.get("window") {
+            None | Some(Json::Null) => DetectorConfig::default().window,
+            Some(x) => x.as_usize().ok_or("'online.window' must be an integer")?,
+        };
+        if window == 0 || window > 64 {
+            return Err("'online.window' must be 1..=64".into());
+        }
+        let threshold_pct = match v.get("threshold_pct") {
+            None | Some(Json::Null) => DetectorConfig::default().threshold_pct,
+            Some(x) => x
+                .as_f64()
+                .ok_or("'online.threshold_pct' must be a number")?,
+        };
+        if !(threshold_pct > 0.0) || !threshold_pct.is_finite() {
+            return Err("'online.threshold_pct' must be a positive finite percentage".into());
+        }
+        Ok(Self {
+            epochs,
+            kind,
+            period,
+            phases,
+            drift_seed,
+            window,
+            threshold_pct,
+        })
+    }
+}
 
 /// What a client submits: one tuning job.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +166,15 @@ pub struct JobSpec {
     /// written before the shard subsystem carry no `tenant` key and
     /// deserialize to [`shard::DEFAULT_TENANT`].
     pub tenant: String,
+    /// Online re-tuning mode: `Some` runs the job as a drifting-workload
+    /// epoch loop with detection-triggered warm retunes; `None` (every
+    /// legacy spec) is a plain offline tune.
+    pub online: Option<OnlineSpec>,
+    /// The workload position the suite is materialized at. Internal
+    /// plumbing for per-epoch evaluation (`JobSpec::at_pos`): the
+    /// daemon sends position-pinned specs to eval workers so their
+    /// problem caches split per phase. `None` means phase 0.
+    pub drift_pos: Option<DriftPos>,
 }
 
 impl JobSpec {
@@ -64,20 +199,40 @@ impl JobSpec {
         })
     }
 
-    /// Materializes the training suite.
+    /// Materializes the training suite — morphed to this spec's
+    /// workload position when the job is online and pinned to one
+    /// (`drift_pos`), so everything downstream (problem construction,
+    /// store fingerprints, worker problem caches) sees the phase's
+    /// workload without knowing about drift.
     ///
     /// # Errors
     /// Unknown benchmark name, or an explicitly empty suite.
     pub fn training(&self) -> Result<Vec<Benchmark>, String> {
-        if self.suite.is_empty() {
-            return Ok(specjvm98());
+        let base: Vec<Benchmark> = if self.suite.is_empty() {
+            specjvm98()
+        } else {
+            self.suite
+                .iter()
+                .map(|name| {
+                    benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        match (&self.online, &self.drift_pos) {
+            (Some(online), Some(pos)) => Ok(online.schedule().suite_for(&base, pos)),
+            _ => Ok(base),
         }
-        self.suite
-            .iter()
-            .map(|name| {
-                benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))
-            })
-            .collect()
+    }
+
+    /// A clone of this spec pinned to workload position `pos` — what
+    /// the online runner evaluates one epoch against, locally and on
+    /// eval workers.
+    #[must_use]
+    pub fn at_pos(&self, pos: DriftPos) -> Self {
+        Self {
+            drift_pos: Some(pos),
+            ..self.clone()
+        }
     }
 
     /// The adaptive-system model configuration (fixed: it models the VM,
@@ -100,10 +255,12 @@ impl JobSpec {
         )
     }
 
-    /// Serializes the spec.
+    /// Serializes the spec. The `online` and `drift_pos` keys are
+    /// emitted only when set, so offline specs serialize byte-identically
+    /// to every earlier release.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("scenario", Json::Str(scenario_name(self.scenario).into())),
             ("goal", Json::Str(self.goal.label().into())),
@@ -116,7 +273,21 @@ impl JobSpec {
             ("ga", ga_config_to_json(&self.ga)),
             ("strategy", Json::Str(self.strategy.clone())),
             ("tenant", Json::Str(self.tenant.clone())),
-        ])
+        ];
+        if let Some(online) = &self.online {
+            fields.push(("online", online.to_json()));
+        }
+        if let Some(pos) = &self.drift_pos {
+            fields.push((
+                "drift_pos",
+                Json::Arr(vec![
+                    Json::Int(i64::from(pos.phase)),
+                    Json::Int(i64::from(pos.num)),
+                    Json::Int(i64::from(pos.den)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Upper bound on the evaluations this job can spend: every search
@@ -126,7 +297,18 @@ impl JobSpec {
     /// job's lifetime.
     #[must_use]
     pub fn eval_estimate(&self) -> u64 {
-        (self.ga.pop_size as u64).saturating_mul(self.ga.generations as u64)
+        let budget = (self.ga.pop_size as u64).saturating_mul(self.ga.generations as u64);
+        match &self.online {
+            None => budget,
+            // Online: one probe per epoch, plus the initial tune, plus
+            // one warm retune per workload boundary (the detector only
+            // fires on regression, and a retuned incumbent holds its
+            // phase, so boundaries bound the steady-state retune count).
+            Some(online) => {
+                let tunes = 1 + online.schedule().boundaries(online.epochs);
+                online.epochs.saturating_add(tunes.saturating_mul(budget))
+            }
+        }
     }
 
     /// Deserializes a spec and validates every referenced name, so a bad
@@ -208,6 +390,38 @@ impl JobSpec {
         if tenant.is_empty() || tenant.len() > 64 {
             return Err("'tenant' must be 1..=64 characters".into());
         }
+        // Specs written before the online subsystem carry no "online"
+        // key; they are plain offline tunes.
+        let online = match v.get("online") {
+            None | Some(Json::Null) => None,
+            Some(o) => Some(OnlineSpec::from_json(o)?),
+        };
+        let drift_pos = match v.get("drift_pos") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let arr = p
+                    .as_arr()
+                    .ok_or("'drift_pos' must be a [phase, num, den] array")?;
+                let nums: Vec<u32> = arr
+                    .iter()
+                    .map(|x| {
+                        x.as_usize()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| "'drift_pos' entries must be integers".to_string())
+                    })
+                    .collect::<Result<_, _>>()?;
+                let [phase, num, den] = nums[..] else {
+                    return Err("'drift_pos' must have exactly 3 entries".into());
+                };
+                let online = online
+                    .as_ref()
+                    .ok_or("'drift_pos' requires an 'online' section")?;
+                if den == 0 || num >= den || phase >= online.phases {
+                    return Err("'drift_pos' out of range for the online schedule".into());
+                }
+                Some(DriftPos { phase, num, den })
+            }
+        };
         Ok(Self {
             name,
             scenario,
@@ -218,6 +432,8 @@ impl JobSpec {
             ga,
             strategy,
             tenant,
+            online,
+            drift_pos,
         })
     }
 
@@ -407,6 +623,20 @@ mod tests {
             },
             strategy: "ga".into(),
             tenant: "default".into(),
+            online: None,
+            drift_pos: None,
+        }
+    }
+
+    fn online_section() -> OnlineSpec {
+        OnlineSpec {
+            epochs: 9,
+            kind: DriftKind::Step,
+            period: 3,
+            phases: 3,
+            drift_seed: 17,
+            window: 2,
+            threshold_pct: 5.0,
         }
     }
 
@@ -416,6 +646,92 @@ mod tests {
         let text = s.to_json().to_text();
         let back = JobSpec::from_text(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn online_spec_roundtrips_through_json() {
+        let mut s = spec();
+        s.online = Some(online_section());
+        s.drift_pos = Some(DriftPos {
+            phase: 1,
+            num: 1,
+            den: 3,
+        });
+        let back = JobSpec::from_text(&s.to_json().to_text()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn offline_spec_serialization_is_unchanged() {
+        let s = spec();
+        let text = s.to_json().to_text();
+        assert!(
+            !text.contains("online") && !text.contains("drift_pos"),
+            "offline specs must serialize without online keys: {text}"
+        );
+    }
+
+    #[test]
+    fn legacy_spec_defaults_online_off() {
+        let s =
+            JobSpec::from_text(r#"{"name":"j","scenario":"adapt","goal":"bal","arch":"ppc-g4"}"#)
+                .unwrap();
+        assert!(s.online.is_none(), "legacy specs must load with online off");
+        assert!(s.drift_pos.is_none());
+    }
+
+    #[test]
+    fn online_section_rejects_degenerate_values() {
+        for bad in [
+            r#"{"epochs":0,"kind":"step"}"#,
+            r#"{"epochs":5,"kind":"sine"}"#,
+            r#"{"epochs":5,"kind":"step","period":0}"#,
+            r#"{"epochs":5,"kind":"step","window":0}"#,
+            r#"{"epochs":5,"kind":"step","threshold_pct":-3.0}"#,
+            r#"{"kind":"step"}"#,
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(OnlineSpec::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn drift_pos_requires_online_and_validates_range() {
+        let base = r#"{"name":"j","scenario":"opt","goal":"tot","arch":"x86-p4"#;
+        let no_online = format!(r#"{base}","drift_pos":[0,0,1]}}"#);
+        assert!(JobSpec::from_text(&no_online).is_err());
+        let out_of_range = format!(
+            r#"{base}","online":{{"epochs":5,"kind":"step","phases":2}},"drift_pos":[7,0,1]}}"#
+        );
+        assert!(JobSpec::from_text(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn at_pos_pins_the_suite_to_a_phase() {
+        let mut s = spec();
+        s.online = Some(online_section());
+        let base = s.training().unwrap();
+        let phase0 = s.at_pos(DriftPos::at_phase(0));
+        assert_eq!(phase0.training().unwrap()[0].spec, base[0].spec);
+        let phase2 = s.at_pos(DriftPos::at_phase(2));
+        assert_ne!(
+            phase2.training().unwrap()[0].spec,
+            base[0].spec,
+            "a later phase must morph the suite"
+        );
+        // The pinned spec round-trips the wire (what eval workers see).
+        let back = JobSpec::from_text(&phase2.to_json().to_text()).unwrap();
+        assert_eq!(back, phase2);
+    }
+
+    #[test]
+    fn online_eval_estimate_covers_probes_and_boundary_retunes() {
+        let mut s = spec();
+        assert_eq!(s.eval_estimate(), 80);
+        s.online = Some(online_section());
+        // Step, 9 epochs, period 3, 3 phases: boundaries at 3 and 6.
+        // 9 probes + (1 initial + 2 retunes) * 80.
+        assert_eq!(s.eval_estimate(), 9 + 3 * 80);
     }
 
     #[test]

@@ -332,6 +332,17 @@ pub fn record_to_json(r: &JobRecord) -> Json {
             r.best_fitness.map_or(Json::Null, f64_to_json),
         ),
     ];
+    if let Some(o) = &r.online {
+        pairs.push((
+            "online",
+            Json::obj(vec![
+                ("epoch", u64_to_json(o.epoch)),
+                ("retunes", u64_to_json(o.retunes)),
+                ("regret_pct", f64_to_json(o.regret_pct)),
+                ("phase", Json::Int(i64::from(o.phase))),
+            ]),
+        ));
+    }
     if r.standings.len() > 1 {
         pairs.push((
             "strategies",

@@ -179,6 +179,53 @@ fn legacy_spec_without_a_problem_key_loads_as_an_inlining_job() {
 }
 
 #[test]
+fn legacy_spec_without_an_online_key_loads_with_online_mode_off() {
+    let text = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
+    assert!(
+        !text.contains("\"online\"") && !text.contains("\"drift_pos\""),
+        "the legacy fixture must stay online-less — that is the point of it"
+    );
+    let spec = served::JobSpec::from_text(&text).expect("legacy spec bytes must keep loading");
+    assert!(spec.online.is_none(), "online mode must default off");
+    assert!(spec.drift_pos.is_none());
+    // Offline specs stay byte-compatible: the serializer emits no
+    // online keys for them, so a pre-online daemon can still read the
+    // spec this daemon writes back.
+    let reserialized = spec.to_json().to_text();
+    assert!(!reserialized.contains("\"online\""));
+    assert!(!reserialized.contains("\"drift_pos\""));
+}
+
+#[test]
+fn online_spec_fixture_still_loads() {
+    let text = std::fs::read_to_string(fixture_path("online_job_spec.json")).unwrap();
+    let spec = served::JobSpec::from_text(&text).expect("online spec bytes must keep loading");
+    let online = spec.online.as_ref().expect("fixture is an online spec");
+    assert_eq!(online.epochs, 12);
+    assert_eq!(online.kind, workloads::DriftKind::Cyclic);
+    assert_eq!(online.period, 3);
+    assert_eq!(online.phases, 3);
+    assert_eq!(online.drift_seed, 11);
+    assert_eq!(online.window, 2);
+    assert!((online.threshold_pct - 4.5).abs() < 1e-12);
+    assert!(spec.drift_pos.is_none());
+    // The fixture round-trips bit-exactly through today's serializer.
+    assert_eq!(spec.to_json().to_text(), text.trim_end());
+    assert_eq!(
+        served::JobSpec::from_text(&spec.to_json().to_text()).unwrap(),
+        spec
+    );
+    // A phase-pinned clone serializes its position and loads back.
+    let pinned = spec.at_pos(workloads::DriftPos {
+        phase: 1,
+        num: 0,
+        den: 1,
+    });
+    let back = served::JobSpec::from_text(&pinned.to_json().to_text()).unwrap();
+    assert_eq!(back, pinned);
+}
+
+#[test]
 fn legacy_spec_without_a_tenant_key_loads_as_the_default_tenant() {
     let text = std::fs::read_to_string(fixture_path("legacy_job_spec.json")).unwrap();
     assert!(

@@ -140,6 +140,8 @@ fn job(seed: u64, generations: usize) -> JobSpec {
         strategy: "ga".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     }
 }
 

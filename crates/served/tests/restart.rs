@@ -142,6 +142,8 @@ fn job_spec() -> JobSpec {
         strategy: "ga".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     }
 }
 

@@ -1,0 +1,367 @@
+//! perfgate: calibrated performance-regression gates over the tuner's
+//! hot paths, plus the online-vs-frozen verdict from the drift study.
+//!
+//! Hard-coded wall-clock gates rot across machines, so every threshold
+//! here is expressed in *kernel medians* — multiples of how long this
+//! machine takes to run `obs::calib`'s fixed reference kernel — with a
+//! floor in milliseconds so gates never tighten below timer noise.
+//! Each gated operation is measured best-of-N (contention only ever
+//! adds time), the same discipline the calibration itself uses.
+//!
+//! Gated paths:
+//!
+//! * **genome_eval** — a batch of inlining-problem fitness evaluations
+//!   (the cost every generation of every tune pays per genome);
+//! * **store_put / store_get** — durable appends and lookups against a
+//!   scratch fitness store (the warm-start and read-through path);
+//! * **dispatch_ledger** — a full claim/resolve cycle over a
+//!   generation-sized [`served::dispatch::BatchLedger`] (the
+//!   exactly-once bookkeeping under every remote batch).
+//!
+//! If `results/online.csv` exists (written by `experiments online`),
+//! the gate also aggregates it: per drift schedule, the online
+//! adaptive runner's mean probe fitness must beat the frozen incumbent
+//! on at least two of three schedules.
+//!
+//! One JSON object lands in `--out` (default `BENCH_online.json`) and
+//! on stdout; the exit code is nonzero when any gate trips.
+//!
+//! ```sh
+//! perfgate [--out BENCH_online.json] [--csv results/online.csv] [--reps 5]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use served::dispatch::BatchLedger;
+use sim::Cluster;
+use stored::{Record, Store};
+
+/// One calibrated gate: what was measured, what the machine-scaled
+/// threshold came out to, and whether the measurement stayed under it.
+struct Gate {
+    name: &'static str,
+    /// Operations per measured repetition (for per-op context).
+    ops: usize,
+    measured_ms: f64,
+    multiplier: f64,
+    floor_ms: f64,
+    threshold_ms: f64,
+    ok: bool,
+}
+
+/// Best-of-`reps` wall time of `op`, in milliseconds, after one
+/// untimed warm-up pass (first-touch effects belong to the warm-up,
+/// not the gate).
+fn measure_ms(reps: usize, mut op: impl FnMut()) -> f64 {
+    op();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        op();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn gate(
+    name: &'static str,
+    ops: usize,
+    multiplier: f64,
+    floor_ms: f64,
+    reps: usize,
+    op: impl FnMut(),
+) -> Gate {
+    let baseline = obs::calib::get_calibration();
+    let measured_ms = measure_ms(reps, op);
+    let threshold_ms = baseline.threshold_ms(multiplier, floor_ms);
+    Gate {
+        name,
+        ops,
+        measured_ms,
+        multiplier,
+        floor_ms,
+        threshold_ms,
+        ok: measured_ms <= threshold_ms,
+    }
+}
+
+/// Mean probe fitness per `(schedule, mode)` cell of the drift study's
+/// CSV, plus the schedule set — tolerant of extra columns so the study
+/// can grow fields without breaking the gate.
+fn aggregate_csv(path: &str) -> Result<OnlineVerdict, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines
+        .next()
+        .ok_or_else(|| format!("{path} is empty"))?
+        .split(',')
+        .collect();
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .ok_or_else(|| format!("{path} has no '{name}' column (header: {header:?})"))
+    };
+    let (sched_col, mode_col, probe_col) = (col("schedule")?, col("mode")?, col("probe")?);
+
+    let mut sums: BTreeMap<(String, String), (f64, u64)> = BTreeMap::new();
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        let probe: f64 = fields
+            .get(probe_col)
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("{path} row {}: bad probe field", i + 2))?;
+        let key = (
+            fields.get(sched_col).unwrap_or(&"?").to_string(),
+            fields.get(mode_col).unwrap_or(&"?").to_string(),
+        );
+        let cell = sums.entry(key).or_insert((0.0, 0));
+        cell.0 += probe;
+        cell.1 += 1;
+    }
+
+    let mean = |schedule: &str, mode: &str| -> Option<f64> {
+        sums.get(&(schedule.to_string(), mode.to_string()))
+            .map(|(sum, n)| sum / *n as f64)
+    };
+    let schedules: Vec<String> = {
+        let mut s: Vec<String> = sums.keys().map(|(sched, _)| sched.clone()).collect();
+        s.dedup();
+        s
+    };
+    let mut rows = Vec::new();
+    let mut beats = 0usize;
+    for sched in &schedules {
+        let online = mean(sched, "online")
+            .ok_or_else(|| format!("{path}: schedule {sched} has no online rows"))?;
+        let frozen = mean(sched, "frozen")
+            .ok_or_else(|| format!("{path}: schedule {sched} has no frozen rows"))?;
+        let oracle = mean(sched, "oracle");
+        if online < frozen {
+            beats += 1;
+        }
+        rows.push((sched.clone(), online, frozen, oracle));
+    }
+    // The acceptance bar: adaptive re-tuning must beat the frozen
+    // incumbent on at least two of three drift schedules.
+    let need = schedules.len().div_ceil(3) * 2;
+    Ok(OnlineVerdict {
+        rows,
+        beats,
+        need,
+        ok: beats >= need,
+    })
+}
+
+struct OnlineVerdict {
+    /// `(schedule, mean online probe, mean frozen probe, mean oracle)`.
+    rows: Vec<(String, f64, f64, Option<f64>)>,
+    beats: usize,
+    need: usize,
+    ok: bool,
+}
+
+fn main() {
+    let mut out_path = "BENCH_online.json".to_string();
+    let mut csv_path = "results/online.csv".to_string();
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = || args.next().unwrap_or_default();
+        match arg.as_str() {
+            "--out" => out_path = grab(),
+            "--csv" => csv_path = grab(),
+            "--reps" => reps = grab().parse().unwrap_or(5).max(1),
+            other => {
+                eprintln!("perfgate: unknown argument '{other}'");
+                eprintln!("usage: perfgate [--out PATH] [--csv PATH] [--reps N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = obs::calib::get_calibration();
+    eprintln!(
+        "perfgate: kernel median {:.3} ms over {} iterations (cv {:.1}%)",
+        baseline.median_ms, baseline.iteration_count, baseline.cv_percent
+    );
+
+    // -- genome evaluation: the cost every generation pays per genome.
+    let spec = Cluster::spec(1);
+    let problem = spec.build_problem().expect("sim spec builds a problem");
+    let mut rng = simrng::child_rng(1, "perfgate/genomes");
+    let genomes: Vec<Vec<i64>> = (0..16).map(|_| problem.space().random(&mut rng)).collect();
+    let eval_gate = gate("genome_eval", genomes.len(), 40.0, 2.0, reps, || {
+        for g in &genomes {
+            std::hint::black_box(problem.fitness(g));
+        }
+    });
+
+    // -- store put/get: the durable warm-start and read-through path.
+    let scratch = std::env::temp_dir().join(format!("perfgate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let fp = problem.fingerprint().clone();
+    let records: Vec<Record> = (0..256)
+        .map(|i| Record {
+            fingerprint: fp.clone(),
+            genome: vec![i, i * 7 % 97, i % 13, 1, 135],
+            fitness: 1.0 - i as f64 / 1024.0,
+        })
+        .collect();
+    let mut put_round = 0u64;
+    let put_gate = gate("store_put", records.len(), 3.0, 4.0, reps, || {
+        // A fresh directory per repetition: appends must pay the
+        // durable (flush-before-ack) path every time, not ride a
+        // warmed log.
+        let dir = scratch.join(format!("put-{put_round}"));
+        put_round += 1;
+        let store = Store::open(&dir).expect("scratch store opens");
+        for rec in &records {
+            store.append(rec).expect("gated append");
+        }
+    });
+    let store = Store::open(scratch.join("get")).expect("scratch store opens");
+    for rec in &records {
+        store.append(rec).expect("seed append");
+    }
+    let get_gate = gate("store_get", records.len(), 1.0, 1.0, reps, || {
+        for rec in &records {
+            let hit = store.get(rec.fingerprint.cell_digest, &rec.genome);
+            assert_eq!(
+                hit.map(f64::to_bits),
+                Some(rec.fitness.to_bits()),
+                "store lookup lost an acked record mid-gate"
+            );
+        }
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // -- dispatch ledger: a generation-sized claim/resolve cycle.
+    let ledger_gate = gate("dispatch_ledger", 4096, 1.0, 1.0, reps, || {
+        let ledger = BatchLedger::new(4096, 0);
+        loop {
+            let claimed = ledger.claim(64);
+            if claimed.is_empty() {
+                break;
+            }
+            for idx in claimed {
+                assert!(ledger.resolve(idx, 1.0), "double-commit in gate loop");
+            }
+        }
+        assert_eq!(ledger.remaining(), 0);
+    });
+
+    let gates = [eval_gate, put_gate, get_gate, ledger_gate];
+    let gates_ok = gates.iter().all(|g| g.ok);
+    for g in &gates {
+        eprintln!(
+            "perfgate: {:16} {:8.3} ms / {:4} ops (threshold {:.3} ms = max({} x kernel, {} ms)) {}",
+            g.name,
+            g.measured_ms,
+            g.ops,
+            g.threshold_ms,
+            g.multiplier,
+            g.floor_ms,
+            if g.ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    // -- the drift study's verdict, when its CSV is present.
+    let online = if std::path::Path::new(&csv_path).exists() {
+        match aggregate_csv(&csv_path) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("perfgate: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        eprintln!("perfgate: no {csv_path} — skipping the online-vs-frozen verdict");
+        None
+    };
+    if let Some(v) = &online {
+        for (sched, on, frozen, _) in &v.rows {
+            eprintln!(
+                "perfgate: schedule {sched:6} online {on:.6} vs frozen {frozen:.6} ({})",
+                if on < frozen {
+                    "online wins"
+                } else {
+                    "frozen wins"
+                }
+            );
+        }
+        eprintln!(
+            "perfgate: online beats frozen on {}/{} schedules (need {}) {}",
+            v.beats,
+            v.rows.len(),
+            v.need,
+            if v.ok { "ok" } else { "FAIL" }
+        );
+    }
+    let online_ok = online.as_ref().is_none_or(|v| v.ok);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"calibrated perf gates\",\
+         \"calibration\":{{\"median_ms\":{:.6},\"cv_percent\":{:.3},\"iterations\":{}}},\
+         \"gates\":[",
+        baseline.median_ms, baseline.cv_percent, baseline.iteration_count
+    );
+    for (i, g) in gates.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\":\"{}\",\"ops\":{},\"measured_ms\":{:.6},\
+             \"multiplier\":{},\"floor_ms\":{},\"threshold_ms\":{:.6},\"ok\":{}}}",
+            if i == 0 { "" } else { "," },
+            g.name,
+            g.ops,
+            g.measured_ms,
+            g.multiplier,
+            g.floor_ms,
+            g.threshold_ms,
+            g.ok
+        );
+    }
+    let _ = write!(json, "],\"gates_ok\":{gates_ok},");
+    match &online {
+        Some(v) => {
+            let _ = write!(json, "\"online\":{{\"csv\":\"{csv_path}\",\"schedules\":[");
+            for (i, (sched, on, frozen, oracle)) in v.rows.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}{{\"schedule\":\"{}\",\"online_mean\":{:.6},\"frozen_mean\":{:.6}",
+                    if i == 0 { "" } else { "," },
+                    sched,
+                    on,
+                    frozen
+                );
+                if let Some(o) = oracle {
+                    let _ = write!(json, ",\"oracle_mean\":{o:.6}");
+                }
+                let _ = write!(json, "}}");
+            }
+            let _ = write!(
+                json,
+                "],\"beats_frozen\":{},\"needed\":{},\"online_ok\":{}}},",
+                v.beats, v.need, v.ok
+            );
+        }
+        None => {
+            let _ = write!(json, "\"online\":null,");
+        }
+    }
+    let _ = write!(json, "\"all_ok\":{}}}", gates_ok && online_ok);
+
+    println!("{json}");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("perfgate: write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    if !(gates_ok && online_ok) {
+        std::process::exit(1);
+    }
+}

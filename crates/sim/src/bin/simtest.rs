@@ -56,6 +56,8 @@ struct Args {
     shard_scale: sim::ShardScale,
     shard_bench: bool,
     shard_bench_jobs: usize,
+    online_seeds: u64,
+    one_online_seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
         shard_scale: sim::ShardScale::default(),
         shard_bench: false,
         shard_bench_jobs: 16,
+        online_seeds: 0,
+        one_online_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,6 +98,8 @@ fn parse_args() -> Result<Args, String> {
             "--broken" => args.broken = true,
             "--scale" => args.scale = true,
             "--shard-seeds" => args.shard_seeds = num(&grab("--shard-seeds")?)?,
+            "--online-seeds" => args.online_seeds = num(&grab("--online-seeds")?)?,
+            "--online-seed" => args.one_online_seed = Some(num(&grab("--online-seed")?)?),
             "--shard-seed" => args.one_shard_seed = Some(num(&grab("--shard-seed")?)?),
             "--shard-clients" => {
                 args.shard_scale.clients = num(&grab("--shard-clients")?)? as usize;
@@ -124,7 +130,8 @@ fn parse_args() -> Result<Args, String> {
                      [--store-seed X] [--mixed-seed X] [--shard-seed X] [--broken] \
                      [--scale [--scale-workers 1,2,...]] \
                      [--shard-clients N] [--shard-workers N] [--shard-shards N] \
-                     [--shard-runners N] [--shard-bench [--shard-bench-jobs N]]"
+                     [--shard-runners N] [--shard-bench [--shard-bench-jobs N]] \
+                     [--online-seeds N] [--online-seed X]"
                 );
                 std::process::exit(0);
             }
@@ -245,6 +252,31 @@ fn main() {
             println!("  {f}");
         }
         std::process::exit(i32::from(!report.is_ok()));
+    }
+
+    // Single online-scenario replay mode.
+    if let Some(seed) = args.one_online_seed {
+        let started = Instant::now();
+        let report = sim::run_online_seed(seed, &mut sim::OnlineExpected::new());
+        println!(
+            "online seed {seed}: {} ({:?} drift, {} retunes, {} virtual ms, {:.2}s wall, \
+             faults drop/dup/delay/blackhole = {}/{}/{}/{})",
+            report.verdict.tag(),
+            report.kind,
+            report.retunes,
+            report.virtual_ms,
+            started.elapsed().as_secs_f64(),
+            report.fault_counts.0,
+            report.fault_counts.1,
+            report.fault_counts.2,
+            report.fault_counts.3,
+        );
+        if args.trace || !report.verdict.is_ok() {
+            for line in &report.trace {
+                println!("  {line}");
+            }
+        }
+        std::process::exit(i32::from(!report.verdict.is_ok()));
     }
 
     // Single store-scenario replay mode.
@@ -425,12 +457,43 @@ fn main() {
         Some(r)
     };
 
+    // The online-drift sweep (opt-in: `--online-seeds N`; CI runs it at
+    // 50 seeds).
+    let online_report = if args.broken || args.online_seeds == 0 {
+        None
+    } else {
+        let started = Instant::now();
+        let r = sim::run_online_sweep(args.base_seed, args.online_seeds);
+        println!(
+            "online sweep: {} seeds, {} passed, {} failed in {:.2}s \
+             ({} retunes committed, {:.1}s virtual)",
+            r.seeds,
+            r.passed,
+            r.failures.len(),
+            started.elapsed().as_secs_f64(),
+            r.retunes,
+            r.virtual_ms as f64 / 1000.0,
+        );
+        for f in &r.failures {
+            println!(
+                "\nonline seed {} FAILED ({:?} drift): {:?}",
+                f.seed, f.kind, f.verdict
+            );
+            for line in &f.trace {
+                println!("  {line}");
+            }
+            println!("  replay: simtest --online-seed {}", f.seed);
+        }
+        Some(r)
+    };
+
     if let Some(path) = &args.out {
         let json = report_json(
             &report,
             mixed_report.as_ref(),
             store_report.as_ref(),
             shard_report.as_ref(),
+            online_report.as_ref(),
             wall.as_secs_f64(),
             args.broken,
         );
@@ -445,6 +508,7 @@ fn main() {
     let store_ok = store_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let mixed_ok = mixed_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let shard_ok = shard_report.as_ref().is_none_or(|r| r.failures.is_empty());
+    let online_ok = online_report.as_ref().is_none_or(|r| r.failures.is_empty());
     let ok = if args.broken {
         // Self-test: a daemon that drops re-dispatched work MUST be
         // caught by at least one seed, or the sweep has no teeth.
@@ -455,7 +519,7 @@ fn main() {
         }
         caught
     } else {
-        !caught && store_ok && mixed_ok && shard_ok
+        !caught && store_ok && mixed_ok && shard_ok && online_ok
     };
     std::process::exit(i32::from(!ok));
 }
@@ -572,6 +636,7 @@ fn report_json(
     mixed: Option<&sim::MixedSweepReport>,
     store: Option<&sim::StoreSweepReport>,
     shard: Option<&sim::ShardSweepReport>,
+    online: Option<&sim::OnlineSweepReport>,
     wall_secs: f64,
     broken: bool,
 ) -> Json {
@@ -641,6 +706,23 @@ fn report_json(
                 "shard_failing_seeds",
                 Json::Arr(
                     s.failures
+                        .iter()
+                        .map(|f| Json::Int(f.seed as i64))
+                        .collect(),
+                ),
+            ),
+        ]);
+    }
+    if let Some(o) = online {
+        fields.extend([
+            ("online_seeds", Json::Int(o.seeds as i64)),
+            ("online_passed", Json::Int(o.passed as i64)),
+            ("online_failed", Json::Int(o.failures.len() as i64)),
+            ("online_retunes", Json::Int(o.retunes as i64)),
+            (
+                "online_failing_seeds",
+                Json::Arr(
+                    o.failures
                         .iter()
                         .map(|f| Json::Int(f.seed as i64))
                         .collect(),

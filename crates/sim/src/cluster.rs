@@ -92,6 +92,14 @@ pub struct ClusterConfig {
     pub queue_capacity: usize,
     /// Per-tenant eval-budget quotas, `(tenant, max_evals)`.
     pub tenant_quotas: Vec<(String, u64)>,
+    /// Whether the daemon gets the persistent fitness store. On by
+    /// default (the offline sweep proves the store tier never perturbs
+    /// a trajectory); the online sweep turns it off, because
+    /// warm-start transfer *intentionally* reseeds retunes from store
+    /// cells — a store-backed online run is valid but diverges from
+    /// the store-free in-process reference the sweep bit-compares
+    /// against.
+    pub store: bool,
 }
 
 impl Default for ClusterConfig {
@@ -105,6 +113,7 @@ impl Default for ClusterConfig {
             runners: 1,
             queue_capacity: 16,
             tenant_quotas: Vec::new(),
+            store: true,
         }
     }
 }
@@ -187,14 +196,20 @@ impl Cluster {
                 },
                 obs: Arc::new(obs::Registry::new()),
                 transport: net.transport("daemon"),
-                // Every simulated deployment runs with the persistent
-                // fitness store enabled: invariant 3 (bit-identical
-                // results under faults) then also proves the store tier
-                // never perturbs a distributed trajectory.
-                store: Some(Arc::new(
-                    stored::Store::open(run_root.join("store"))
-                        .map_err(|e| format!("store: {e}"))?,
-                )),
+                // Simulated deployments run with the persistent
+                // fitness store enabled by default: invariant 3
+                // (bit-identical results under faults) then also proves
+                // the store tier never perturbs a distributed
+                // trajectory. See [`ClusterConfig::store`] for why the
+                // online sweep opts out.
+                store: if config.store {
+                    Some(Arc::new(
+                        stored::Store::open(run_root.join("store"))
+                            .map_err(|e| format!("store: {e}"))?,
+                    ))
+                } else {
+                    None
+                },
             },
             RunDir::open(&run_root).map_err(|e| format!("run dir: {e}"))?,
         )?;
@@ -282,6 +297,8 @@ impl Cluster {
             strategy: "ga".into(),
             problem: problem.into(),
             tenant: "default".into(),
+            online: None,
+            drift_pos: None,
         }
     }
 
@@ -424,8 +441,10 @@ impl Cluster {
         self.net.advance(d);
     }
 
-    /// Invariant: every checkpoint the daemon wrote restores cleanly
-    /// through [`search::restore`].
+    /// Invariant: every checkpoint the daemon wrote restores cleanly —
+    /// strategy checkpoints through [`search::restore`], online
+    /// epoch-boundary snapshots through [`online::OnlineState::restore`]
+    /// against the job's own spec.
     ///
     /// # Errors
     /// The first unloadable checkpoint.
@@ -442,8 +461,49 @@ impl Cluster {
                     loaded += 1;
                 }
             }
+            match dir.load_online(id) {
+                None => {}
+                Some(Err(e)) => return Err(format!("job {id}: corrupt online snapshot: {e}")),
+                Some(Ok(snap)) => {
+                    let cfg = Self::online_config(&dir, id)?;
+                    online::OnlineState::restore(cfg, snap)
+                        .map_err(|e| format!("job {id}: online snapshot rejected: {e}"))?;
+                    loaded += 1;
+                }
+            }
         }
         Ok(loaded)
+    }
+
+    /// The final online snapshot a job wrote, validated through
+    /// [`online::OnlineState::restore`] before it is returned — the
+    /// sweep compares its rows against the in-process reference run.
+    ///
+    /// # Errors
+    /// Missing, corrupt, or unrestorable snapshot (or a job that was
+    /// never online).
+    pub fn online_snapshot(&self, id: u64) -> Result<online::OnlineSnapshot, String> {
+        let dir = RunDir::open(&self.run_root).map_err(|e| format!("reopen run dir: {e}"))?;
+        let snap = dir
+            .load_online(id)
+            .ok_or_else(|| format!("job {id}: no online snapshot on disk"))?
+            .map_err(|e| format!("job {id}: corrupt online snapshot: {e}"))?;
+        let cfg = Self::online_config(&dir, id)?;
+        online::OnlineState::restore(cfg, snap.clone())
+            .map_err(|e| format!("job {id}: online snapshot rejected: {e}"))?;
+        Ok(snap)
+    }
+
+    /// The online config a job's persisted spec denotes.
+    fn online_config(dir: &RunDir, id: u64) -> Result<online::OnlineConfig, String> {
+        let spec = dir
+            .load_spec(id)
+            .ok_or_else(|| format!("job {id}: online snapshot without a spec"))?
+            .map_err(|e| format!("job {id}: corrupt spec: {e}"))?;
+        spec.online
+            .as_ref()
+            .map(served::job::OnlineSpec::config)
+            .ok_or_else(|| format!("job {id}: online snapshot but an offline spec"))
     }
 
     /// Graceful teardown: stops the server and workers, drains the

@@ -40,6 +40,11 @@
 //!   dispatcher beats serial at 2 workers and holds ≥ 70 % parallel
 //!   efficiency at 16, while staying exactly-once and bit-identical
 //!   under seeded fault sweeps.
+//! * [`online`] — the online-drift sweep: drifting workloads, the
+//!   drift detector, and warm retunes running inside the simulated
+//!   cluster, asserted bit-identical — per-epoch rows included —
+//!   against the in-process reference runner, with bounded regret
+//!   after every detection.
 //! * [`shard_soak`] — the multi-tenant soak: a thousand virtual clients
 //!   over a shared hundred-worker fleet against the sharded control
 //!   plane (admission, quotas, DRR fairness, bit-identity), plus the
@@ -55,12 +60,17 @@
 
 pub mod cluster;
 pub mod net;
+pub mod online;
 pub mod scale;
 pub mod shard_soak;
 pub mod sweep;
 
 pub use cluster::{Cluster, ClusterConfig, Outcome, DAEMON_ADDR};
 pub use net::{FaultPlan, SimNet, TraceEvent, GRACE};
+pub use online::{
+    run_online_seed, run_online_sweep, OnlineExpected, OnlineScenario, OnlineSeedReport,
+    OnlineSweepReport,
+};
 pub use scale::{
     run_scale, run_scale_suite, run_scale_to, ScaleConfig, ScaleReport, ScaleSuite,
     MEASURE_ATTEMPTS, MIN_EFFICIENCY_AT_16, WORKER_COUNTS,

@@ -285,6 +285,7 @@ pub fn run_shard_seed(seed: u64, scale: &ShardScale, expected: &mut Expected) ->
         // through structured queue_full rejects, not sidestep them.
         queue_capacity: (scale.clients / (16 * scale.shards.max(1))).max(4),
         tenant_quotas: vec![(CAPPED_TENANT.to_string(), quota)],
+        store: true,
     }) {
         Ok(c) => c,
         Err(e) => return soak_broken(seed, scale.clients, format!("boot: {e}")),
@@ -708,6 +709,7 @@ fn bench_point(seed: u64, jobs: usize, workers: usize, shards: usize) -> ShardBe
         runners: shards,
         queue_capacity: jobs.max(8),
         tenant_quotas: Vec::new(),
+        store: true,
     }) {
         Ok(c) => c,
         Err(_) => return broken(0),

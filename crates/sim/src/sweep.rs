@@ -59,7 +59,9 @@ pub enum Event {
 }
 
 impl Event {
-    fn at_ms(self) -> u64 {
+    /// The event's virtual fire time, in ms after job submission.
+    #[must_use]
+    pub fn at_ms(self) -> u64 {
         match self {
             Event::Crash { at_ms }
             | Event::Restart { at_ms }

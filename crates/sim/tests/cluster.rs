@@ -12,6 +12,24 @@ use std::time::Duration;
 use sim::sweep::Expected;
 use sim::{run_seed, run_sweep, Cluster, ClusterConfig, FaultPlan, Outcome};
 
+/// One timeout unit. Deadlines scale off `SIM_TIMEOUT_MS` (default
+/// 1000) so slow or loaded machines can stretch every bound with one
+/// env var instead of editing constants — the same knob the served
+/// integration suites honor. (The bound below caps *virtual* time, so
+/// it exists to catch real hangs, not to race the wall clock; the
+/// default still leaves an enormous margin over a healthy run.)
+fn timeout_unit() -> Duration {
+    let ms = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+fn bound(units: u32) -> Duration {
+    timeout_unit() * units
+}
+
 #[test]
 fn same_seed_is_bit_identical_across_executions() {
     // Thread interleaving may vary retry counts between executions, but
@@ -52,7 +70,7 @@ fn crash_partition_and_frame_faults_converge_to_the_fault_free_result() {
     // let both come back — the job must ride it out on retries,
     // failover, and the local fallback.
     let mut fired = [false; 4];
-    let outcome = cluster.wait(id, Duration::from_secs(60), |now_ms| {
+    let outcome = cluster.wait(id, bound(60), |now_ms| {
         let mut fire = |slot: usize, at: u64| {
             let due = now_ms >= at && !fired[slot];
             if due {
@@ -165,6 +183,39 @@ fn store_crash_recovery_sweep_passes_and_exercises_torn_tails() {
     assert_eq!(a.records, b.records);
     assert_eq!(a.torn_bytes, b.torn_bytes);
     assert_eq!(a.failures, b.failures);
+}
+
+#[test]
+fn online_drift_sweep_stays_bit_identical_and_commits_retunes() {
+    // Online jobs under fault weather: the daemon's whole epoch
+    // trajectory — per-epoch probes, retune decisions, detection
+    // latencies, evaluation counts, final incumbent bits — must equal
+    // the in-process reference runner, and the bounded-regret
+    // invariants must hold on every seed.
+    let report = sim::run_online_sweep(1, 6);
+    assert_eq!(
+        report.passed,
+        6,
+        "online scenarios diverged from the reference runner: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.seed, f.verdict.tag()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.retunes > 0,
+        "no scenario committed a retune — drift detection never fired"
+    );
+    // Scenario derivation is pure in the seed: the same seed replays
+    // the identical schedule and drift identity, which is what makes
+    // `simtest --online-seed N` a complete reproduction recipe.
+    let mut expected = sim::OnlineExpected::new();
+    let a = sim::run_online_seed(2, &mut expected);
+    let b = sim::run_online_seed(2, &mut expected);
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.retunes, b.retunes);
+    assert_eq!(a.kind, b.kind);
 }
 
 #[test]

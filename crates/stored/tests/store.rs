@@ -184,8 +184,15 @@ fn background_compaction_kicks_in_at_the_threshold() {
     for i in 0..64 {
         store.append(&rec(&cell, &[i], i as f64)).unwrap();
     }
-    // The compactor runs asynchronously; wait for it to catch up.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    // The compactor runs asynchronously; wait for it to catch up. The
+    // bound scales off SIM_TIMEOUT_MS (default 1000 ms, so 10 s here)
+    // like the served/sim integration suites, so loaded machines can
+    // stretch it without editing constants.
+    let unit: u64 = std::env::var("SIM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(unit * 10);
     while store.stats().compactions == 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(std::time::Duration::from_millis(10));
     }

@@ -1,0 +1,465 @@
+//! Drifting workloads: phased hotness / call-graph shifts over a base
+//! suite, driven by a seeded schedule.
+//!
+//! The paper tunes against a *fixed* suite; the online mode
+//! (`crates/online`) retunes live while the workload underneath it
+//! shifts. This module is the workload side of that story: a
+//! [`DriftSchedule`] maps an epoch counter to a [`DriftPos`] (which
+//! phase the workload is in, and — for ramps — how far between two
+//! phases), and [`DriftSchedule::suite_for`] materializes the suite as
+//! it looks at that position by morphing each benchmark's
+//! hotness/call-graph knobs with factors drawn from a seeded stream.
+//!
+//! Determinism contract: everything is a pure function of
+//! `(schedule, base suite, pos)`. Phase 0 is the identity morph, so an
+//! online job's initial tune sees exactly the workload a plain offline
+//! job would. Programs are regenerated from the *same* structural seed
+//! as the base benchmark (`child_seed(SUITE_SEED, name)`) — only the
+//! shape knobs move, modeling "the same application, behaving
+//! differently", not a different application.
+
+use simrng::{child_rng, child_seed};
+
+use crate::generate::generate;
+use crate::spec::BenchmarkSpec;
+use crate::suites::{Benchmark, SUITE_SEED};
+
+/// The temporal shape of a drift schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Hold each phase for `period` epochs, then jump to the next and
+    /// stay on the last phase forever.
+    Step,
+    /// Interpolate knobs linearly from each phase toward the next over
+    /// `period` epochs, holding the last phase once reached.
+    Ramp,
+    /// Hold each phase for `period` epochs, wrapping back to phase 0
+    /// after the last (periodic re-visits: the store-warmed retune's
+    /// best case).
+    Cyclic,
+}
+
+impl DriftKind {
+    /// Wire name (`step` / `ramp` / `cyclic`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftKind::Step => "step",
+            DriftKind::Ramp => "ramp",
+            DriftKind::Cyclic => "cyclic",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "step" => Some(DriftKind::Step),
+            "ramp" => Some(DriftKind::Ramp),
+            "cyclic" => Some(DriftKind::Cyclic),
+            _ => None,
+        }
+    }
+
+    /// All kinds, for sweeps and CLIs.
+    pub const ALL: [DriftKind; 3] = [DriftKind::Step, DriftKind::Ramp, DriftKind::Cyclic];
+}
+
+/// A seeded drift schedule: `phases` distinct workload phases visited
+/// in `kind` order, each lasting `period` epochs, with all morph
+/// randomness drawn from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftSchedule {
+    /// Temporal shape.
+    pub kind: DriftKind,
+    /// Epochs per phase (≥ 1).
+    pub period: u32,
+    /// Number of distinct phases (≥ 1; phase 0 is the unmorphed base).
+    pub phases: u32,
+    /// Seed of the morph streams (independent of GA and suite seeds).
+    pub seed: u64,
+}
+
+/// A canonical position in a drift schedule: the current phase plus a
+/// rational offset `num/den` toward the next phase (always `0/1` for
+/// step and cyclic schedules, so every epoch inside one phase maps to
+/// the *same* position — and therefore the same problem-cache cell and
+/// store fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DriftPos {
+    /// Current phase index (`< phases`).
+    pub phase: u32,
+    /// Offset numerator toward `phase + 1` (ramp only; `< den`).
+    pub num: u32,
+    /// Offset denominator (`1` for step/cyclic, `period` for ramp).
+    pub den: u32,
+}
+
+impl DriftPos {
+    /// The position of phase `p` exactly (no inter-phase offset).
+    #[must_use]
+    pub fn at_phase(p: u32) -> Self {
+        Self {
+            phase: p,
+            num: 0,
+            den: 1,
+        }
+    }
+
+    /// Fractional offset toward the next phase in `[0, 1)`.
+    #[must_use]
+    pub fn frac(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            f64::from(self.num) / f64::from(self.den)
+        }
+    }
+}
+
+impl std::fmt::Display for DriftPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.num == 0 {
+            write!(f, "phase {}", self.phase)
+        } else {
+            write!(f, "phase {}+{}/{}", self.phase, self.num, self.den)
+        }
+    }
+}
+
+impl DriftSchedule {
+    /// The workload position at `epoch` (epochs count from 0).
+    #[must_use]
+    pub fn pos_at(&self, epoch: u64) -> DriftPos {
+        let period = u64::from(self.period.max(1));
+        let phases = u64::from(self.phases.max(1));
+        let slot = epoch / period;
+        match self.kind {
+            DriftKind::Step => {
+                let p = slot.min(phases - 1);
+                DriftPos::at_phase(u32::try_from(p).unwrap_or(u32::MAX))
+            }
+            DriftKind::Cyclic => {
+                let p = slot % phases;
+                DriftPos::at_phase(u32::try_from(p).unwrap_or(u32::MAX))
+            }
+            DriftKind::Ramp => {
+                let p = slot.min(phases - 1);
+                if p == phases - 1 {
+                    // Reached the last phase: hold it.
+                    DriftPos::at_phase(u32::try_from(p).unwrap_or(u32::MAX))
+                } else {
+                    let num = u32::try_from(epoch % period).unwrap_or(0);
+                    if num == 0 {
+                        // Canonical: a ramp sitting exactly on a phase IS
+                        // that phase (same cache cell, same fingerprint).
+                        DriftPos::at_phase(u32::try_from(p).unwrap_or(u32::MAX))
+                    } else {
+                        DriftPos {
+                            phase: u32::try_from(p).unwrap_or(u32::MAX),
+                            num,
+                            den: self.period.max(1),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the workload position changes *at* `epoch` (i.e. differs
+    /// from the position at `epoch - 1`). Epoch 0 is not a boundary.
+    #[must_use]
+    pub fn is_boundary(&self, epoch: u64) -> bool {
+        epoch > 0 && self.pos_at(epoch) != self.pos_at(epoch - 1)
+    }
+
+    /// Ground-truth count of position changes over `epochs` epochs.
+    #[must_use]
+    pub fn boundaries(&self, epochs: u64) -> u64 {
+        (1..epochs).filter(|&e| self.is_boundary(e)).count() as u64
+    }
+
+    /// The suite as it looks at `pos`: every base benchmark morphed by
+    /// this schedule's seeded per-phase knob shifts. Phase `0/1` is the
+    /// identity (bit-identical programs to the base suite).
+    #[must_use]
+    pub fn suite_for(&self, base: &[Benchmark], pos: &DriftPos) -> Vec<Benchmark> {
+        base.iter()
+            .map(|b| {
+                let spec = self.morph(&b.spec, pos);
+                if spec == b.spec {
+                    b.clone()
+                } else {
+                    let program = generate(&spec, child_seed(SUITE_SEED, spec.name));
+                    Benchmark { spec, program }
+                }
+            })
+            .collect()
+    }
+
+    /// The morphed spec of one benchmark at `pos`.
+    #[must_use]
+    pub fn morph(&self, base: &BenchmarkSpec, pos: &DriftPos) -> BenchmarkSpec {
+        let here = self.knobs_at(base, pos.phase);
+        let knobs = if pos.num == 0 {
+            here
+        } else {
+            let next = self.knobs_at(base, (pos.phase + 1).min(self.phases.saturating_sub(1)));
+            Knobs::lerp(&here, &next, pos.frac())
+        };
+        knobs.apply(base)
+    }
+
+    /// The knob targets of `base` at exactly `phase`. Phase 0 is the
+    /// base spec itself; later phases draw shifts from the seeded
+    /// stream `drift/<name>/<phase>` — independent per benchmark and
+    /// per phase, so adding a phase or a benchmark never perturbs the
+    /// others.
+    fn knobs_at(&self, base: &BenchmarkSpec, phase: u32) -> Knobs {
+        if phase == 0 {
+            return Knobs::of(base);
+        }
+        let mut rng = child_rng(self.seed, &format!("drift/{}/{phase}", base.name));
+        // Hotness shifts: where the time goes moves around.
+        let hot_skew = (base.hot_skew * rng.f64_range(0.55, 1.9)).clamp(0.4, 3.0);
+        let call_in_loop_prob = rng.f64_range(0.05, 0.9);
+        let kernel_prob = rng.f64_range(0.08, 0.9);
+        let kernel_trips = (f64::from(base.kernel_trips) * rng.f64_range(0.3, 3.0)).max(1.0);
+        // Call-graph shifts: how much code there is and how it calls.
+        let fanout_mean = (base.fanout_mean * rng.f64_range(0.6, 1.8)).clamp(0.5, 12.0);
+        let body_median_ops = (base.body_median_ops * rng.f64_range(0.6, 1.8)).max(2.0);
+        let cold_branch_prob = rng.f64_range(0.02, 0.6);
+        Knobs {
+            hot_skew,
+            call_in_loop_prob,
+            cold_branch_prob,
+            kernel_prob,
+            kernel_trips,
+            fanout_mean,
+            body_median_ops,
+        }
+    }
+}
+
+/// The continuous knob targets a drift phase controls, held as `f64` so
+/// ramp positions can interpolate before rounding back into the spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Knobs {
+    hot_skew: f64,
+    call_in_loop_prob: f64,
+    cold_branch_prob: f64,
+    kernel_prob: f64,
+    kernel_trips: f64,
+    fanout_mean: f64,
+    body_median_ops: f64,
+}
+
+impl Knobs {
+    fn of(spec: &BenchmarkSpec) -> Self {
+        Self {
+            hot_skew: spec.hot_skew,
+            call_in_loop_prob: spec.call_in_loop_prob,
+            cold_branch_prob: spec.cold_branch_prob,
+            kernel_prob: spec.kernel_prob,
+            kernel_trips: f64::from(spec.kernel_trips),
+            fanout_mean: spec.fanout_mean,
+            body_median_ops: spec.body_median_ops,
+        }
+    }
+
+    fn lerp(a: &Self, b: &Self, t: f64) -> Self {
+        let l = |x: f64, y: f64| x + (y - x) * t;
+        Self {
+            hot_skew: l(a.hot_skew, b.hot_skew),
+            call_in_loop_prob: l(a.call_in_loop_prob, b.call_in_loop_prob),
+            cold_branch_prob: l(a.cold_branch_prob, b.cold_branch_prob),
+            kernel_prob: l(a.kernel_prob, b.kernel_prob),
+            kernel_trips: l(a.kernel_trips, b.kernel_trips),
+            fanout_mean: l(a.fanout_mean, b.fanout_mean),
+            body_median_ops: l(a.body_median_ops, b.body_median_ops),
+        }
+    }
+
+    fn apply(&self, base: &BenchmarkSpec) -> BenchmarkSpec {
+        let mut spec = base.clone();
+        spec.hot_skew = self.hot_skew;
+        spec.call_in_loop_prob = self.call_in_loop_prob.clamp(0.0, 1.0);
+        spec.cold_branch_prob = self.cold_branch_prob.clamp(0.0, 1.0);
+        spec.kernel_prob = self.kernel_prob.clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            spec.kernel_trips = self.kernel_trips.round().max(1.0) as u32;
+        }
+        spec.fanout_mean = self.fanout_mean;
+        spec.body_median_ops = self.body_median_ops;
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::benchmark_by_name;
+
+    fn sched(kind: DriftKind) -> DriftSchedule {
+        DriftSchedule {
+            kind,
+            period: 3,
+            phases: 3,
+            seed: 77,
+        }
+    }
+
+    fn base() -> Vec<Benchmark> {
+        vec![benchmark_by_name("db").unwrap()]
+    }
+
+    #[test]
+    fn step_positions_hold_then_jump_then_stick() {
+        let s = sched(DriftKind::Step);
+        let got: Vec<u32> = (0..12).map(|e| s.pos_at(e).phase).collect();
+        assert_eq!(got, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 2, 2, 2]);
+        assert!((0..12).all(|e| s.pos_at(e).num == 0));
+    }
+
+    #[test]
+    fn cyclic_positions_wrap() {
+        let s = sched(DriftKind::Cyclic);
+        let got: Vec<u32> = (0..12).map(|e| s.pos_at(e).phase).collect();
+        assert_eq!(got, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ramp_interpolates_and_holds_last_phase() {
+        let s = sched(DriftKind::Ramp);
+        assert_eq!(
+            s.pos_at(0),
+            DriftPos {
+                phase: 0,
+                num: 0,
+                den: 1
+            }
+        );
+        assert_eq!(
+            s.pos_at(1),
+            DriftPos {
+                phase: 0,
+                num: 1,
+                den: 3
+            }
+        );
+        assert_eq!(
+            s.pos_at(2),
+            DriftPos {
+                phase: 0,
+                num: 2,
+                den: 3
+            }
+        );
+        assert_eq!(s.pos_at(3), DriftPos::at_phase(1));
+        // Last phase holds with no offset.
+        assert_eq!(s.pos_at(6), DriftPos::at_phase(2));
+        assert_eq!(s.pos_at(7), DriftPos::at_phase(2));
+        // Every epoch of a ramp (before the hold) is a boundary.
+        assert_eq!(s.boundaries(7), 6);
+    }
+
+    #[test]
+    fn phase_zero_is_identity() {
+        for kind in DriftKind::ALL {
+            let s = sched(kind);
+            let b = base();
+            let suite = s.suite_for(&b, &s.pos_at(0));
+            assert_eq!(suite[0].spec, b[0].spec);
+            assert_eq!(suite[0].program, b[0].program);
+        }
+    }
+
+    #[test]
+    fn later_phases_actually_morph() {
+        let s = sched(DriftKind::Step);
+        let b = base();
+        let p1 = s.suite_for(&b, &DriftPos::at_phase(1));
+        let p2 = s.suite_for(&b, &DriftPos::at_phase(2));
+        assert_ne!(p1[0].spec, b[0].spec);
+        assert_ne!(p2[0].spec, b[0].spec);
+        assert_ne!(p1[0].spec, p2[0].spec);
+        // Structure stays the app's: same name and method population.
+        assert_eq!(p1[0].spec.name, "db");
+        assert_eq!(p1[0].spec.total_methods(), b[0].spec.total_methods());
+    }
+
+    #[test]
+    fn morphs_are_deterministic_in_seed() {
+        let s = sched(DriftKind::Step);
+        let b = base();
+        let once = s.suite_for(&b, &DriftPos::at_phase(2));
+        let twice = s.suite_for(&b, &DriftPos::at_phase(2));
+        assert_eq!(once[0].spec, twice[0].spec);
+        assert_eq!(once[0].program, twice[0].program);
+        let other = DriftSchedule { seed: 78, ..s };
+        assert_ne!(
+            other.suite_for(&b, &DriftPos::at_phase(2))[0].spec,
+            once[0].spec
+        );
+    }
+
+    #[test]
+    fn ramp_midpoint_sits_between_phases() {
+        let s = sched(DriftKind::Ramp);
+        let b = base();
+        let a = s.morph(&b[0].spec, &DriftPos::at_phase(0));
+        let c = s.morph(&b[0].spec, &DriftPos::at_phase(1));
+        let mid = s.morph(
+            &b[0].spec,
+            &DriftPos {
+                phase: 0,
+                num: 1,
+                den: 2,
+            },
+        );
+        let between = |x: f64, lo: f64, hi: f64| {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            x >= lo - 1e-9 && x <= hi + 1e-9
+        };
+        assert!(between(mid.hot_skew, a.hot_skew, c.hot_skew));
+        assert!(between(mid.fanout_mean, a.fanout_mean, c.fanout_mean));
+        assert!(between(
+            mid.call_in_loop_prob,
+            a.call_in_loop_prob,
+            c.call_in_loop_prob
+        ));
+    }
+
+    #[test]
+    fn morphed_knobs_stay_in_valid_ranges() {
+        let b = base();
+        for kind in DriftKind::ALL {
+            for seed in 0..20 {
+                let s = DriftSchedule {
+                    kind,
+                    period: 2,
+                    phases: 5,
+                    seed,
+                };
+                for e in 0..10 {
+                    let m = s.morph(&b[0].spec, &s.pos_at(e));
+                    assert!((0.0..=1.0).contains(&m.call_in_loop_prob));
+                    assert!((0.0..=1.0).contains(&m.cold_branch_prob));
+                    assert!((0.0..=1.0).contains(&m.kernel_prob));
+                    assert!(m.kernel_trips >= 1);
+                    assert!(m.hot_skew > 0.0 && m.fanout_mean > 0.0);
+                    assert!(m.body_median_ops >= 2.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in DriftKind::ALL {
+            assert_eq!(DriftKind::by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(DriftKind::by_name("nope"), None);
+    }
+}

@@ -21,10 +21,12 @@
 //! bit-identical. See [`spec::BenchmarkSpec`] for the knobs and
 //! [`suites`] for the 14 calibrated instances.
 
+pub mod drift;
 pub mod generate;
 pub mod spec;
 pub mod suites;
 
+pub use drift::{DriftKind, DriftPos, DriftSchedule};
 pub use generate::generate;
 pub use spec::{BenchmarkSpec, OpMix, Suite};
 pub use suites::{all_benchmarks, benchmark_by_name, dacapo_jbb, specjvm98, Benchmark};

@@ -40,6 +40,8 @@ fn spec(seed: u64) -> JobSpec {
         strategy: "ga".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     }
 }
 

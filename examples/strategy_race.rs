@@ -53,6 +53,8 @@ fn main() {
         strategy: "race:ga+random+hillclimb".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     };
     let mut client = Client::connect(&addr).expect("connect");
     let id = client.submit(&spec).expect("submit");

@@ -34,6 +34,8 @@ fn job(name: &str, goal: Goal, seed: u64) -> JobSpec {
         strategy: "ga".into(),
         problem: "inline".into(),
         tenant: "default".into(),
+        online: None,
+        drift_pos: None,
     }
 }
 

@@ -441,3 +441,29 @@ target/release/simtest --shard-bench --shard-bench-jobs "$SHARD_JOBS" \
 
 echo "== bench: wrote $SHARD_OUT"
 cat "$SHARD_OUT"
+
+# ---------------------------------------------------------------------------
+# Online drift study + calibrated perf gates: `experiments online` runs
+# adaptive re-tuning, the frozen incumbent and a per-epoch oracle on
+# three seeded drift schedules (step/ramp/cyclic), writing per-epoch
+# rows to results/online.csv. `perfgate` then times the tuner's hot
+# paths (genome eval, durable store put/get, dispatch-ledger
+# claim/resolve) against per-machine thresholds calibrated from the
+# obs reference kernel, folds in the study's online-vs-frozen verdict
+# (online must win on >= 2 of 3 schedules), and writes BENCH_online.json.
+# perfgate exits nonzero when any gate trips.
+#
+# Knobs: BENCH_ONLINE_OUT, BENCH_PERFGATE_REPS.
+
+ONLINE_OUT=${BENCH_ONLINE_OUT:-BENCH_online.json}
+
+echo "== bench: online drift study (3 schedules x online/frozen/oracle)"
+target/release/experiments online --seed "$SEED" >/dev/null
+
+echo "== bench: calibrated perf gates"
+target/release/perfgate --out "$ONLINE_OUT" --csv results/online.csv \
+  --reps "${BENCH_PERFGATE_REPS:-5}" \
+  || { echo "bench: a calibrated perf gate tripped!"; cat "$ONLINE_OUT"; exit 1; }
+
+echo "== bench: wrote $ONLINE_OUT"
+cat "$ONLINE_OUT"

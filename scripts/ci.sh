@@ -23,7 +23,12 @@
 # Finally the multi-tenant shard soak (`simtest --shard-seeds`): per
 # seed, 1000 virtual clients across four tenants push jobs through the
 # sharded control plane over a shared 100-worker fleet — no lost jobs,
-# quotas respected, no tenant starved, results bit-identical.
+# quotas respected, no tenant starved, results bit-identical. PR 10
+# adds the online drift sweep (seeded drifting workloads under fault
+# weather, every daemon trajectory bit-identical to the in-process
+# reference runner), a calibration-stability check for the perf-gate
+# baseline, and BENCH_online.json (calibrated hot-path gates plus the
+# online-vs-frozen drift-study verdict) via scripts/bench.sh.
 #
 # The workspace must never need the network: `--offline` everywhere.
 set -euo pipefail
@@ -52,9 +57,20 @@ if has_proptest_dep crates/obs/Cargo.toml; then
   cargo test -p inlinetune-served --offline --quiet --features proptest
   cargo test -p inlinetune-problems --offline --quiet --features proptest
   cargo test -p inlinetune-shard --offline --quiet --features proptest
+  cargo test -p inlinetune-online --offline --quiet --features proptest
 else
   echo "== property suites skipped (proptest crate not vendored)"
 fi
+
+echo "== calibration stability (perf-gate baseline)"
+# The per-machine baseline every calibrated perf gate scales from must
+# itself be repeatable: five back-to-back calibrations, each required
+# to hold a <20% coefficient of variation and to agree with the others
+# within 30%. #[ignore]d in plain `cargo test` (developer machines can
+# be arbitrarily loaded); CI runs it explicitly, in release mode like
+# the gates themselves.
+cargo test -p inlinetune-obs --release --offline --test calibration \
+  -- --ignored --quiet
 
 echo "== tuned smoke run"
 TUNED=target/release/tuned
@@ -178,12 +194,21 @@ grep -q '"race":' BENCH_search.json \
   || { echo "strategy shootout missing the portfolio row"; cat BENCH_search.json; exit 1; }
 grep -q '"warm_ok":true' BENCH_store.json \
   || { echo "store warm start needed more evals than cold"; cat BENCH_store.json; exit 1; }
+# The calibrated perf gates + online drift study that bench.sh just ran
+# (perfgate already exits nonzero on a tripped gate; re-check the
+# artifact so a stale file cannot pass).
+grep -q '"gates_ok":true' BENCH_online.json \
+  || { echo "a calibrated perf gate tripped"; cat BENCH_online.json; exit 1; }
+grep -q '"online_ok":true' BENCH_online.json \
+  || { echo "online did not beat the frozen incumbent on enough schedules"; \
+       cat BENCH_online.json; exit 1; }
 
 echo "== sim sweep (200 seeded fault schedules on the virtual clock)"
 # Fixed base seed so CI failures reproduce exactly: replay any failing
 # seed it prints with `scripts/replay.sh <seed>`.
 target/release/simtest --seeds "${SIM_SWEEP_SEEDS:-200}" --base-seed 1 \
-  --mixed-seeds "${SIM_MIXED_SEEDS:-8}" --out BENCH_sim.json
+  --mixed-seeds "${SIM_MIXED_SEEDS:-8}" \
+  --online-seeds "${SIM_ONLINE_SEEDS:-50}" --out BENCH_sim.json
 grep -q '"failed":0' BENCH_sim.json \
   || { echo "sim sweep caught failing seeds"; cat BENCH_sim.json; exit 1; }
 # The sweep's mixed-problem stage: per seed, an inline + a flags + a
@@ -196,6 +221,17 @@ grep -q '"mixed_failed":0' BENCH_sim.json \
 # acknowledged record must survive bit-exactly.
 grep -q '"store_failed":0' BENCH_sim.json \
   || { echo "store crash/recovery sweep lost acked records"; cat BENCH_sim.json; exit 1; }
+# The sweep's online stage: drifting workloads (step/ramp/cyclic) under
+# the same fault weather; every daemon epoch trajectory — probes,
+# retune decisions, detection latencies, final incumbent bits — must
+# equal the in-process reference runner, with checkpoints loadable at
+# every epoch (failing seeds replay with `simtest --online-seed N`).
+grep -q '"online_failed":0' BENCH_sim.json \
+  || { echo "online drift sweep diverged from the reference runner"; \
+       cat BENCH_sim.json; exit 1; }
+grep -q '"online_retunes":0' BENCH_sim.json \
+  && { echo "online sweep committed no retunes — drift detection inert"; \
+       cat BENCH_sim.json; exit 1; }
 # The sweep must prove it has teeth: a build that loses re-dispatched
 # work has to be caught by at least one seed.
 target/release/simtest --broken --seeds 12 --base-seed 9 >/dev/null \
